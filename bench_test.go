@@ -1,0 +1,168 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs a reduced-size sweep (fewer sizes,
+// shorter stabilization windows) so the full suite completes in minutes;
+// cmd/rackbench runs the complete sweeps and prints paper-style tables.
+//
+// Reported metrics use benchmark custom units:
+//
+//	cycles        end-to-end latency in 2 GHz cycles
+//	%overhead     latency overhead over the NUMA projection
+//	GB/s          application bandwidth
+package rackni
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchCfg() Config {
+	cfg := QuickConfig()
+	cfg.WindowCycles = 40_000
+	cfg.MaxCycles = 280_000
+	cfg.MeasureReqs = 24
+	return cfg
+}
+
+// BenchmarkTable1_QPvsNUMA regenerates Table 1: the QP-based model's
+// zero-load single-block latency against the NUMA projection.
+func BenchmarkTable1_QPvsNUMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunTable1(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.QP.TotalCycles, "qp-cycles")
+		b.ReportMetric(res.NUMACycles, "numa-cycles")
+		b.ReportMetric(res.OverheadPct, "%overhead")
+	}
+}
+
+// BenchmarkTable3_Breakdown regenerates Table 3: per-design zero-load
+// latency tomography (paper: edge 710, per-tile 445, split 447, NUMA 395).
+func BenchmarkTable3_Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunTable3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			b.ReportMetric(r.TotalCycles, fmt.Sprintf("%s-cycles", r.Design))
+		}
+		b.ReportMetric(res.NUMACycles, "NUMA-cycles")
+	}
+}
+
+// BenchmarkFig5_HopProjection regenerates Fig. 5: latency and overhead vs
+// intra-rack hop count (paper: 28.6%/4.7% at 6 hops, 16.2%/2.6% at 12).
+func BenchmarkFig5_HopProjection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[6].EdgeOverPct, "edge-%ovhd@6hops")
+		b.ReportMetric(res.Points[6].SplitOverPct, "split-%ovhd@6hops")
+		b.ReportMetric(res.Points[12].EdgeOverPct, "edge-%ovhd@12hops")
+		b.ReportMetric(res.Points[12].SplitOverPct, "split-%ovhd@12hops")
+	}
+}
+
+// BenchmarkFig6_LatencyVsSize regenerates Fig. 6 (mesh latency sweep) on a
+// reduced size set.
+func BenchmarkFig6_LatencyVsSize(b *testing.B) {
+	sizes := []int{64, 512, 4096, 16384}
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.MeasureReqs = 12
+		res, err := RunFig6(cfg, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.NS, fmt.Sprintf("%s-%dB-ns", p.Design, p.Size))
+		}
+	}
+}
+
+// BenchmarkFig7_BandwidthVsSize regenerates Fig. 7 (mesh bandwidth sweep)
+// on a reduced size set (paper peak: 214 GB/s for edge and split;
+// per-tile reaches ~25% of edge at 8 KB).
+func BenchmarkFig7_BandwidthVsSize(b *testing.B) {
+	sizes := []int{64, 512, 8192}
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig7(benchCfg(), sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.Result.AppGBps, fmt.Sprintf("%s-%dB-GB/s", p.Design, p.Size))
+		}
+		b.ReportMetric(res.Peak(NISplit), "split-peak-GB/s")
+		b.ReportMetric(res.Peak(NIPerTile), "pertile-peak-GB/s")
+	}
+}
+
+// BenchmarkFig9_NOCOutLatency regenerates Fig. 9 (NOC-Out latency sweep).
+func BenchmarkFig9_NOCOutLatency(b *testing.B) {
+	sizes := []int{64, 512, 4096, 16384}
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.MeasureReqs = 12
+		res, err := RunFig9(cfg, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.NS, fmt.Sprintf("%s-%dB-ns", p.Design, p.Size))
+		}
+	}
+}
+
+// BenchmarkFig10_NOCOutBandwidth regenerates Fig. 10 (NOC-Out bandwidth
+// sweep; paper: same trends as mesh with a significantly lower peak).
+func BenchmarkFig10_NOCOutBandwidth(b *testing.B) {
+	sizes := []int{64, 4096}
+	for i := 0; i < b.N; i++ {
+		res, err := RunFig10(benchCfg(), sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.Result.AppGBps, fmt.Sprintf("%s-%dB-GB/s", p.Design, p.Size))
+		}
+	}
+}
+
+// BenchmarkAblation_Routing regenerates the §6.2 CDR ablation (paper:
+// without CDR the peak is less than half of CDR's).
+func BenchmarkAblation_Routing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunRoutingAblation(benchCfg(), 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Points {
+			b.ReportMetric(p.Result.AppGBps, fmt.Sprintf("%s-GB/s", p.Routing))
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (simulated
+// cycles per wall-second for a loaded 64-core bandwidth run) — an
+// engineering metric, not a paper artifact.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cfg.MaxCycles = 100_000
+		cfg.WindowCycles = 50_000
+		n, err := NewNode(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := n.RunBandwidth(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cycles), "sim-cycles")
+	}
+}

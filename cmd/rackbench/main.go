@@ -1,0 +1,112 @@
+// Command rackbench regenerates the paper's evaluation artifacts (Tables 1
+// and 3, Figures 5, 6, 7, 9, 10, and the §6.2 routing ablation) and prints
+// them as paper-style tables.
+//
+// Usage:
+//
+//	rackbench -exp all                  # everything (slow: full sweeps)
+//	rackbench -exp table3               # one experiment
+//	rackbench -exp fig7 -quick          # reduced sweep, short windows
+//	rackbench -exp fig6 -sizes 64,4096  # custom size list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rackni"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all")
+	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
+	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg := rackni.DefaultConfig()
+	if *quick {
+		cfg = rackni.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	var sizes []int
+	if *sizeList != "" {
+		for _, tok := range strings.Split(*sizeList, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v <= 0 {
+				fatalf("bad size %q", tok)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	run := func(name string, fn func() (string, error)) {
+		t0 := time.Now()
+		out, err := fn()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(t0).Seconds(), out)
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("table1") {
+		run("Table 1: QP-based model vs NUMA (zero-load, 1 hop)", func() (string, error) {
+			r, err := rackni.RunTable1(cfg)
+			return r.Format(), err
+		})
+	}
+	if want("table3") {
+		run("Table 3: zero-load latency breakdown per NI design", func() (string, error) {
+			r, err := rackni.RunTable3(cfg)
+			return r.Format(), err
+		})
+	}
+	if want("fig5") {
+		run("Fig. 5: end-to-end latency vs intra-rack hop count", func() (string, error) {
+			r, err := rackni.RunFig5(cfg)
+			return r.Format(), err
+		})
+	}
+	if want("fig6") {
+		run("Fig. 6: sync remote-read latency vs size (mesh)", func() (string, error) {
+			r, err := rackni.RunFig6(cfg, sizes)
+			return r.Format(), err
+		})
+	}
+	if want("fig7") {
+		run("Fig. 7: application bandwidth vs size (mesh)", func() (string, error) {
+			r, err := rackni.RunFig7(cfg, sizes)
+			return r.Format(), err
+		})
+	}
+	if want("fig9") {
+		run("Fig. 9: sync remote-read latency vs size (NOC-Out)", func() (string, error) {
+			r, err := rackni.RunFig9(cfg, sizes)
+			return r.Format(), err
+		})
+	}
+	if want("fig10") {
+		run("Fig. 10: application bandwidth vs size (NOC-Out)", func() (string, error) {
+			r, err := rackni.RunFig10(cfg, sizes)
+			return r.Format(), err
+		})
+	}
+	if want("cdr") {
+		run("§6.2 ablation: routing policy vs peak bandwidth", func() (string, error) {
+			r, err := rackni.RunRoutingAblation(cfg, 4096)
+			return r.Format(), err
+		})
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rackbench: "+format+"\n", args...)
+	os.Exit(1)
+}

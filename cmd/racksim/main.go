@@ -1,0 +1,104 @@
+// Command racksim runs a single simulation configuration and prints its
+// latency or bandwidth result — the low-level tool for exploring the
+// design space beyond the paper's sweeps.
+//
+// Examples:
+//
+//	racksim -design split -size 64 -mode latency -hops 3
+//	racksim -design edge -size 8192 -mode bandwidth -routing xy
+//	racksim -design pertile -topology nocout -size 2048 -mode bandwidth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rackni"
+)
+
+func main() {
+	design := flag.String("design", "split", "NI design: edge|pertile|split")
+	topo := flag.String("topology", "mesh", "on-chip topology: mesh|nocout")
+	routing := flag.String("routing", "cdrni", "mesh routing: xy|yx|o1turn|cdr|cdrni")
+	mode := flag.String("mode", "latency", "latency|bandwidth")
+	size := flag.Int("size", 64, "transfer size in bytes")
+	hops := flag.Int("hops", 1, "one-way intra-rack hops to the peer")
+	core := flag.Int("core", 27, "issuing core (latency mode)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	quick := flag.Bool("quick", false, "short stabilization windows")
+	flag.Parse()
+
+	cfg := rackni.DefaultConfig()
+	if *quick {
+		cfg = rackni.QuickConfig()
+	}
+	cfg.Seed = *seed
+
+	switch *design {
+	case "edge":
+		cfg.Design = rackni.NIEdge
+	case "pertile":
+		cfg.Design = rackni.NIPerTile
+	case "split":
+		cfg.Design = rackni.NISplit
+	default:
+		fatalf("unknown design %q", *design)
+	}
+	switch *topo {
+	case "mesh":
+		cfg.Topology = rackni.Mesh
+	case "nocout":
+		cfg.Topology = rackni.NOCOut
+	default:
+		fatalf("unknown topology %q", *topo)
+	}
+	switch *routing {
+	case "xy":
+		cfg.Routing = rackni.RoutingXY
+	case "yx":
+		cfg.Routing = rackni.RoutingYX
+	case "o1turn":
+		cfg.Routing = rackni.RoutingO1Turn
+	case "cdr":
+		cfg.Routing = rackni.RoutingCDR
+	case "cdrni":
+		cfg.Routing = rackni.RoutingCDRNI
+	default:
+		fatalf("unknown routing %q", *routing)
+	}
+
+	n, err := rackni.NewNode(cfg, *hops)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	switch *mode {
+	case "latency":
+		res, err := n.RunSyncLatency(*size, *core)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		b := res.Breakdown
+		fmt.Printf("%v %v %dB @%d hop(s): %.0f cycles (%.0f ns)\n",
+			cfg.Design, cfg.Topology, *size, *hops, res.MeanCycles, res.MeanNS)
+		fmt.Printf("  WQ write %.0f | WQ read %.0f | dispatch %.0f | generate %.0f\n",
+			b.WQWrite, b.WQRead, b.Dispatch, b.Generate)
+		fmt.Printf("  net out %.0f | remote %.0f | net back %.0f\n", b.NetOut, b.Remote, b.NetBack)
+		fmt.Printf("  complete %.0f | CQ write %.0f | CQ read %.0f\n", b.Complete, b.CQWrite, b.CQRead)
+	case "bandwidth":
+		res, err := n.RunBandwidth(*size)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%v %v %dB async x64 cores: app %.1f GB/s (NOC agg %.1f, bisection %.1f), stable=%v, %d requests in %d cycles\n",
+			cfg.Design, cfg.Topology, *size, res.AppGBps, res.NOCGBps, res.BisectionGBps, res.Stable, res.Completed, res.Cycles)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "racksim: "+format+"\n", args...)
+	os.Exit(1)
+}

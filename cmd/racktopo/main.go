@@ -1,0 +1,31 @@
+// Command racktopo prints the rack topology statistics behind the Fig. 5
+// projection: hop-count distribution of the 512-node 3D torus.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rackni/internal/fabric"
+)
+
+func main() {
+	radix := flag.Int("radix", 8, "torus radix (nodes per dimension)")
+	flag.Parse()
+
+	t := fabric.NewTorus3D(*radix)
+	fmt.Printf("%d-node 3D torus (radix %d)\n", t.Nodes(), *radix)
+	fmt.Printf("diameter: %d hops, average: %.2f hops\n", t.MaxHops(), t.AvgHops())
+
+	hist := make([]int, t.MaxHops()+1)
+	for b := 1; b < t.Nodes(); b++ {
+		hist[t.Hops(0, b)]++
+	}
+	fmt.Printf("%5s %8s\n", "hops", "peers")
+	for h, c := range hist {
+		if h == 0 {
+			continue
+		}
+		fmt.Printf("%5d %8d\n", h, c)
+	}
+}

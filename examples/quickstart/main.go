@@ -1,0 +1,29 @@
+// Quickstart: build a node with the paper's proposed NIsplit design and
+// issue a few one-sided remote reads, printing the end-to-end latency —
+// the 20-line "hello world" of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rackni"
+)
+
+func main() {
+	cfg := rackni.DefaultConfig()
+	cfg.Design = rackni.NISplit
+	node, err := rackni.NewNode(cfg, 1) // one network hop to the peer node
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := node.RunSyncLatency(64, 27) // 64-byte reads from core (3,3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote 64B read through %v: %.0f cycles = %.0f ns\n",
+		cfg.Design, res.MeanCycles, res.MeanNS)
+	fmt.Printf("  of which QP interaction: WQ %.0f + CQ %.0f cycles\n",
+		res.Breakdown.WQWrite+res.Breakdown.WQRead,
+		res.Breakdown.CQWrite+res.Breakdown.CQRead)
+}

@@ -1,0 +1,34 @@
+// Latency tomography: reproduce the paper's Table 3 view interactively —
+// where every cycle of a one-sided remote read goes, for each NI design —
+// and project it across the rack with Fig. 5's methodology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rackni"
+)
+
+func main() {
+	cfg := rackni.QuickConfig()
+
+	t3, err := rackni.RunTable3(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Zero-load single-block remote read, 1 network hop:")
+	fmt.Println(t3.Format())
+
+	f5, err := rackni.RunFig5(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Projected across a %d-hop-diameter 512-node 3D torus (avg %.1f hops):\n",
+		f5.MaxHops, f5.AvgHops)
+	for _, h := range []int{1, 6, 12} {
+		p := f5.Points[h]
+		fmt.Printf("  %2d hops: NUMA %4.0f ns | split %4.0f ns (+%.1f%%) | edge %4.0f ns (+%.1f%%)\n",
+			p.Hops, p.NUMANS, p.SplitNS, p.SplitOverPct, p.EdgeNS, p.EdgeOverPct)
+	}
+}

@@ -1,0 +1,461 @@
+package rackni
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rackni/internal/analytic"
+	"rackni/internal/config"
+	"rackni/internal/fabric"
+)
+
+// Fig6Sizes are the transfer sizes of the latency sweeps (Figs. 6 and 9).
+var Fig6Sizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// Fig7Sizes are the transfer sizes of the bandwidth sweeps (Figs. 7, 10).
+var Fig7Sizes = []int{64, 128, 256, 512, 1024, 2048, 4096, 8192}
+
+// measureCore is the tile used for single-core latency runs: (3,3), a
+// centrally located core whose distances to the NI and MC edges are close
+// to the chip average.
+const measureCore = 27
+
+// toComponents converts a measured breakdown to the analytic form.
+func toComponents(b Breakdown) analytic.Components {
+	return analytic.Components{
+		WQWrite: b.WQWrite, WQRead: b.WQRead, Dispatch: b.Dispatch,
+		Generate: b.Generate, NetOut: b.NetOut, Remote: b.Remote,
+		NetBack: b.NetBack, Complete: b.Complete, CQWrite: b.CQWrite,
+		CQRead: b.CQRead,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Tables 1 and 3: zero-load single-block latency tomography.
+// ---------------------------------------------------------------------------
+
+// BreakdownRow is one design's column of Table 3 (or Table 1).
+type BreakdownRow struct {
+	Design      Design
+	Breakdown   Breakdown
+	TotalCycles float64
+	OverheadPct float64 // over the NUMA projection
+}
+
+// Table3Result reproduces Table 3: per-design breakdowns plus the NUMA
+// projection derived (as in the paper) from the NIsplit components.
+type Table3Result struct {
+	Rows       []BreakdownRow
+	NUMACycles float64
+}
+
+// RunTable3 measures the zero-load single-block (64 B) remote-read latency
+// breakdown for all three NI designs at one network hop and projects the
+// NUMA baseline.
+func RunTable3(cfg Config) (Table3Result, error) {
+	var out Table3Result
+	var splitComp analytic.Components
+	for _, d := range []Design{NIEdge, NIPerTile, NISplit} {
+		c := cfg
+		c.Design = d
+		n, err := NewNode(c, 1)
+		if err != nil {
+			return out, err
+		}
+		res, err := n.RunSyncLatency(cfg.BlockBytes, measureCore)
+		if err != nil {
+			return out, fmt.Errorf("%v: %w", d, err)
+		}
+		out.Rows = append(out.Rows, BreakdownRow{Design: d, Breakdown: res.Breakdown, TotalCycles: res.MeanCycles})
+		if d == NISplit {
+			splitComp = toComponents(res.Breakdown)
+		}
+	}
+	out.NUMACycles = splitComp.NUMATotal(&cfg)
+	for i := range out.Rows {
+		out.Rows[i].OverheadPct = 100 * (out.Rows[i].TotalCycles - out.NUMACycles) / out.NUMACycles
+	}
+	return out, nil
+}
+
+// Format renders the result as a paper-style table.
+func (t Table3Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s", "Latency component (cycles)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%14s", r.Design)
+	}
+	fmt.Fprintf(&b, "%14s\n", "NUMA proj.")
+	row := func(name string, f func(Breakdown) float64, numa string) {
+		fmt.Fprintf(&b, "%-28s", name)
+		for _, r := range t.Rows {
+			fmt.Fprintf(&b, "%14.0f", f(r.Breakdown))
+		}
+		fmt.Fprintf(&b, "%14s\n", numa)
+	}
+	row("WQ write (sw + coherence)", func(x Breakdown) float64 { return x.WQWrite }, "1")
+	row("WQ read / frontend", func(x Breakdown) float64 { return x.WQRead }, "-")
+	row("Frontend->backend transfer", func(x Breakdown) float64 { return x.Dispatch }, "23")
+	row("Request generation", func(x Breakdown) float64 { return x.Generate }, "-")
+	row("Intra-rack network (out)", func(x Breakdown) float64 { return x.NetOut }, "70")
+	row("Remote service (RRPP)", func(x Breakdown) float64 { return x.Remote }, "208")
+	row("Intra-rack network (back)", func(x Breakdown) float64 { return x.NetBack }, "70")
+	row("Completion (data write)", func(x Breakdown) float64 { return x.Complete }, "-")
+	row("CQ write", func(x Breakdown) float64 { return x.CQWrite }, "23")
+	row("CQ read (sw + coherence)", func(x Breakdown) float64 { return x.CQRead }, "-")
+	fmt.Fprintf(&b, "%-28s", "Total (2GHz cycles)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%14.0f", r.TotalCycles)
+	}
+	fmt.Fprintf(&b, "%14.0f\n", t.NUMACycles)
+	fmt.Fprintf(&b, "%-28s", "Overhead over NUMA")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%13.1f%%", r.OverheadPct)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}
+
+// Table1Result reproduces Table 1: the QP-based model (NIedge) against the
+// NUMA projection.
+type Table1Result struct {
+	QP          BreakdownRow
+	NUMACycles  float64
+	OverheadPct float64
+}
+
+// RunTable1 measures the QP-based model's latency (NIedge placement, the
+// conventional integrated NI) against the NUMA projection.
+func RunTable1(cfg Config) (Table1Result, error) {
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	out := Table1Result{NUMACycles: t3.NUMACycles}
+	for _, r := range t3.Rows {
+		if r.Design == NIEdge {
+			out.QP = r
+		}
+	}
+	out.OverheadPct = out.QP.OverheadPct
+	return out, nil
+}
+
+// Format renders Table 1.
+func (t Table1Result) Format() string {
+	b := t.QP.Breakdown
+	var s strings.Builder
+	fmt.Fprintf(&s, "%-34s %10s    %-34s %10s\n", "QP-based model", "cycles", "NUMA", "cycles")
+	line := func(l string, lv float64, r string, rv float64) {
+		fmt.Fprintf(&s, "%-34s %10.0f    %-34s %10.0f\n", l, lv, r, rv)
+	}
+	defCfg := config.Default()
+	edgeT := analytic.NUMAEdgeTraversal(&defCfg)
+	line("A1) WQ write (core)", b.WQWrite, "B1) Exec. of load instruction", 1)
+	line("A2) WQ read + generation (NI)", b.WQRead+b.Dispatch+b.Generate, "B2) Transfer req. to chip edge", edgeT)
+	line("A3) Intra-rack network", b.NetOut, "B3) Intra-rack network", b.NetOut)
+	line("A4) Read data from memory", b.Remote, "B4) Read data from memory", b.Remote)
+	line("A5) Intra-rack network", b.NetBack, "B5) Intra-rack network", b.NetBack)
+	line("A6) CQ write (NI)", b.Complete+b.CQWrite, "B6) Transfer reply to core", edgeT)
+	line("A7) CQ read (core)", b.CQRead, "", 0)
+	fmt.Fprintf(&s, "%-34s %10.0f    %-34s %10.0f\n", "Total (2GHz cycles)", t.QP.TotalCycles, "Total (2GHz cycles)", t.NUMACycles)
+	fmt.Fprintf(&s, "Overhead over NUMA: %.1f%%\n", t.OverheadPct)
+	return s.String()
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5: latency vs hop count projection.
+// ---------------------------------------------------------------------------
+
+// Fig5Result is the hop-count projection plus the torus statistics that
+// anchor it.
+type Fig5Result struct {
+	Points   []analytic.HopPoint
+	AvgHops  float64
+	MaxHops  int
+	Measured Table3Result
+}
+
+// RunFig5 reproduces Fig. 5: measures the Table 3 breakdowns, then projects
+// end-to-end latency and overhead-over-NUMA for 0..12 intra-rack hops (the
+// diameter of the 512-node 3D torus).
+func RunFig5(cfg Config) (Fig5Result, error) {
+	t3, err := RunTable3(cfg)
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	var edge, split analytic.Components
+	for _, r := range t3.Rows {
+		switch r.Design {
+		case NIEdge:
+			edge = toComponents(r.Breakdown)
+		case NISplit:
+			split = toComponents(r.Breakdown)
+		}
+	}
+	torus := fabric.NewTorus3D(cfg.TorusRadix)
+	pts := analytic.ProjectHops(&cfg, edge, split, 1, torus.MaxHops())
+	return Fig5Result{Points: pts, AvgHops: torus.AvgHops(), MaxHops: torus.MaxHops(), Measured: t3}, nil
+}
+
+// Format renders the Fig. 5 series.
+func (f Fig5Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "512-node 3D torus: avg hops %.1f, max hops %d\n", f.AvgHops, f.MaxHops)
+	fmt.Fprintf(&b, "%5s %12s %12s %12s %16s %16s\n",
+		"hops", "NUMA (ns)", "split (ns)", "edge (ns)", "split ovhd (%)", "edge ovhd (%)")
+	for _, p := range f.Points {
+		fmt.Fprintf(&b, "%5d %12.0f %12.0f %12.0f %16.1f %16.1f\n",
+			p.Hops, p.NUMANS, p.SplitNS, p.EdgeNS, p.SplitOverPct, p.EdgeOverPct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 6 and 9: synchronous latency vs transfer size.
+// ---------------------------------------------------------------------------
+
+// LatencyPoint is one (design, size) latency sample.
+type LatencyPoint struct {
+	Design Design
+	Size   int
+	NS     float64
+}
+
+// LatencySweepResult holds a full latency-vs-size sweep plus the NUMA
+// projection per size (derived from NIsplit, §6.1.3).
+type LatencySweepResult struct {
+	Topology Topology
+	Points   []LatencyPoint
+	NUMA     map[int]float64 // size -> projected ns
+}
+
+// RunFig6 reproduces Fig. 6 (mesh) — and Fig. 9 when cfg.Topology is
+// NOCOut: unloaded synchronous remote-read latency across transfer sizes
+// for the three designs, plus the NUMA projection.
+func RunFig6(cfg Config, sizes []int) (LatencySweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = Fig6Sizes
+	}
+	out := LatencySweepResult{Topology: cfg.Topology, NUMA: make(map[int]float64)}
+	var splitBase analytic.Components
+	splitBySize := make(map[int]float64)
+	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
+		for _, size := range sizes {
+			c := cfg
+			c.Design = d
+			n, err := NewNode(c, 1)
+			if err != nil {
+				return out, err
+			}
+			res, err := n.RunSyncLatency(size, measureCore)
+			if err != nil {
+				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
+			}
+			out.Points = append(out.Points, LatencyPoint{Design: d, Size: size, NS: res.MeanNS})
+			if d == NISplit {
+				splitBySize[size] = res.MeanCycles
+				if size == sizes[0] {
+					splitBase = toComponents(res.Breakdown)
+				}
+			}
+		}
+	}
+	for _, size := range sizes {
+		numaCycles := analytic.NUMALatencyForSize(&cfg, splitBase, splitBySize[size])
+		out.NUMA[size] = numaCycles * cfg.NsPerCycle()
+	}
+	return out, nil
+}
+
+// RunFig9 is RunFig6 on the NOC-Out topology.
+func RunFig9(cfg Config, sizes []int) (LatencySweepResult, error) {
+	cfg.Topology = NOCOut
+	return RunFig6(cfg, sizes)
+}
+
+// Format renders the sweep as a size-by-design table.
+func (l LatencySweepResult) Format() string {
+	designs := []Design{NIEdge, NISplit, NIPerTile}
+	bySize := map[int]map[Design]float64{}
+	var sizes []int
+	for _, p := range l.Points {
+		m, ok := bySize[p.Size]
+		if !ok {
+			m = map[Design]float64{}
+			bySize[p.Size] = m
+			sizes = append(sizes, p.Size)
+		}
+		m[p.Design] = p.NS
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Latency (ns) on %v\n%10s", l.Topology, "size (B)")
+	for _, d := range designs {
+		fmt.Fprintf(&b, "%14s", d)
+	}
+	fmt.Fprintf(&b, "%14s\n", "NUMA proj.")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "%10d", s)
+		for _, d := range designs {
+			fmt.Fprintf(&b, "%14.0f", bySize[s][d])
+		}
+		fmt.Fprintf(&b, "%14.0f\n", l.NUMA[s])
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 7 and 10: application bandwidth vs transfer size.
+// ---------------------------------------------------------------------------
+
+// BandwidthPoint is one (design, size) bandwidth sample.
+type BandwidthPoint struct {
+	Design Design
+	Size   int
+	Result BWResult
+}
+
+// BandwidthSweepResult holds a bandwidth-vs-size sweep.
+type BandwidthSweepResult struct {
+	Topology Topology
+	Points   []BandwidthPoint
+}
+
+// RunFig7 reproduces Fig. 7 (mesh) — and Fig. 10 when cfg.Topology is
+// NOCOut: aggregate application bandwidth of asynchronous remote reads,
+// all 64 cores issuing, across transfer sizes and designs.
+func RunFig7(cfg Config, sizes []int) (BandwidthSweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = Fig7Sizes
+	}
+	out := BandwidthSweepResult{Topology: cfg.Topology}
+	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
+		for _, size := range sizes {
+			c := cfg
+			c.Design = d
+			n, err := NewNode(c, 1)
+			if err != nil {
+				return out, err
+			}
+			res, err := n.RunBandwidth(size)
+			if err != nil {
+				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
+			}
+			out.Points = append(out.Points, BandwidthPoint{Design: d, Size: size, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// RunFig10 is RunFig7 on the NOC-Out topology.
+func RunFig10(cfg Config, sizes []int) (BandwidthSweepResult, error) {
+	cfg.Topology = NOCOut
+	return RunFig7(cfg, sizes)
+}
+
+// Peak returns the highest application bandwidth a design reached.
+func (r BandwidthSweepResult) Peak(d Design) float64 {
+	best := 0.0
+	for _, p := range r.Points {
+		if p.Design == d && p.Result.AppGBps > best {
+			best = p.Result.AppGBps
+		}
+	}
+	return best
+}
+
+// At returns the bandwidth of a design at a size (0 if absent).
+func (r BandwidthSweepResult) At(d Design, size int) float64 {
+	for _, p := range r.Points {
+		if p.Design == d && p.Size == size {
+			return p.Result.AppGBps
+		}
+	}
+	return 0
+}
+
+// Format renders the sweep.
+func (r BandwidthSweepResult) Format() string {
+	designs := []Design{NIEdge, NISplit, NIPerTile}
+	bySize := map[int]map[Design]float64{}
+	var sizes []int
+	for _, p := range r.Points {
+		m, ok := bySize[p.Size]
+		if !ok {
+			m = map[Design]float64{}
+			bySize[p.Size] = m
+			sizes = append(sizes, p.Size)
+		}
+		m[p.Design] = p.Result.AppGBps
+	}
+	sort.Ints(sizes)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Application bandwidth (GB/s) on %v\n%10s", r.Topology, "size (B)")
+	for _, d := range designs {
+		fmt.Fprintf(&b, "%14s", d)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "%10d", s)
+		for _, d := range designs {
+			fmt.Fprintf(&b, "%14.1f", bySize[s][d])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// §6.2 routing ablation: CDR roughly doubles the achievable peak.
+// ---------------------------------------------------------------------------
+
+// RoutingPoint is one routing policy's peak-bandwidth measurement.
+type RoutingPoint struct {
+	Routing Routing
+	Result  BWResult
+}
+
+// RoutingAblationResult compares routing policies at a peak-bandwidth
+// configuration (NIsplit, large transfers).
+type RoutingAblationResult struct {
+	Size   int
+	Points []RoutingPoint
+}
+
+// RunRoutingAblation reproduces the §6.2 observation that without CDR the
+// peak bandwidth is less than half of that achievable with it.
+func RunRoutingAblation(cfg Config, size int) (RoutingAblationResult, error) {
+	if size == 0 {
+		size = 4096
+	}
+	out := RoutingAblationResult{Size: size}
+	for _, pol := range []Routing{RoutingXY, RoutingO1Turn, RoutingCDR, RoutingCDRNI} {
+		c := cfg
+		c.Design = NISplit
+		c.Routing = pol
+		n, err := NewNode(c, 1)
+		if err != nil {
+			return out, err
+		}
+		res, err := n.RunBandwidth(size)
+		if err != nil {
+			return out, fmt.Errorf("%v: %w", pol, err)
+		}
+		out.Points = append(out.Points, RoutingPoint{Routing: pol, Result: res})
+	}
+	return out, nil
+}
+
+// Format renders the ablation.
+func (r RoutingAblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Routing ablation (NI_split, %dB transfers)\n", r.Size)
+	fmt.Fprintf(&b, "%10s %14s %16s %16s\n", "policy", "app (GB/s)", "NOC agg (GB/s)", "bisection (GB/s)")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%10s %14.1f %16.1f %16.1f\n",
+			p.Routing, p.Result.AppGBps, p.Result.NOCGBps, p.Result.BisectionGBps)
+	}
+	return b.String()
+}

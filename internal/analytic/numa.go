@@ -1,0 +1,107 @@
+// Package analytic provides the paper's two analytic models: the idealized
+// hardware-NUMA baseline ("NUMA projection") and the hop-count latency
+// projection of Fig. 5. Both are derived from measured simulator
+// components, exactly the way the paper derives them from its Table 3
+// (§6.1.1: "The last column of the table is a projection of the
+// performance of an ideal NUMA machine"; §6.1.3: "We project the latency
+// of an ideal NUMA machine by subtracting the latencies associated with QP
+// interactions in the NIsplit design").
+package analytic
+
+import "rackni/internal/config"
+
+// Components is a design's zero-load single-block latency tomography in
+// cycles (a distilled view of node.Breakdown).
+type Components struct {
+	WQWrite  float64
+	WQRead   float64
+	Dispatch float64
+	Generate float64
+	NetOut   float64
+	Remote   float64
+	NetBack  float64
+	Complete float64
+	CQWrite  float64
+	CQRead   float64
+}
+
+// Total sums all components.
+func (c Components) Total() float64 {
+	return c.WQWrite + c.WQRead + c.Dispatch + c.Generate +
+		c.NetOut + c.Remote + c.NetBack + c.Complete + c.CQWrite + c.CQRead
+}
+
+// QPOverhead returns the cycles attributable to the QP-based messaging
+// model: everything except issuing a load, reaching the chip edge, network
+// and remote memory access.
+func (c Components) QPOverhead(cfg *config.Config) float64 {
+	// The NUMA machine still pays: 1 cycle to issue the load, a request
+	// traversal to the chip's edge, the network, the remote read, and the
+	// reply traversal back to the core. The QP model's overhead is the
+	// rest: software entry construction beyond one instruction, WQ/CQ
+	// coherence transfers, and pipeline processing.
+	return c.Total() - c.NUMATotal(cfg)
+}
+
+// NUMATotal projects the ideal NUMA machine's latency from this design's
+// measured components (paper Table 1, right column): a 1-cycle load issue,
+// the same chip-edge traversals, network hops and remote service.
+func (c Components) NUMATotal(cfg *config.Config) float64 {
+	return 1 + NUMAEdgeTraversal(cfg) + c.NetOut + c.Remote + c.NetBack + NUMAEdgeTraversal(cfg)
+}
+
+// NUMAEdgeTraversal is the average on-chip traversal between a core and
+// the chip's edge interface for the NUMA baseline (Table 1 entry B2/B6:
+// 23 cycles at the paper's parameters): the mean x-distance to the edge
+// column, plus the mean y-distance to the (address-interleaved) interface
+// row, times the per-hop latency, plus the ejection cycle.
+func NUMAEdgeTraversal(cfg *config.Config) float64 {
+	w, h := float64(cfg.MeshWidth), float64(cfg.MeshHeight)
+	avgX := (w + 1) / 2                            // mean distance from a tile to the edge column
+	avgY := (h*h - 1) / (3 * h)                    // mean distance between two uniform rows
+	return (avgX+avgY)*float64(cfg.HopLatency) + 1 // + ejection port
+}
+
+// HopPoint is one point of the Fig. 5 projection.
+type HopPoint struct {
+	Hops         int
+	NUMANS       float64
+	SplitNS      float64
+	EdgeNS       float64
+	SplitOverPct float64 // NIsplit overhead over NUMA, percent
+	EdgeOverPct  float64 // NIedge overhead over NUMA, percent
+}
+
+// ProjectHops reproduces Fig. 5: end-to-end latency of a single-block
+// remote read versus intra-rack hop count, projected from measured
+// breakdowns at a reference hop count, with cfg.NetHopCycles() per hop per
+// direction added or removed.
+func ProjectHops(cfg *config.Config, edge, split Components, measuredHops, maxHops int) []HopPoint {
+	perHop := float64(cfg.NetHopCycles())
+	nsPer := cfg.NsPerCycle()
+	base := 2 * perHop * float64(measuredHops)
+	var out []HopPoint
+	for h := 0; h <= maxHops; h++ {
+		net := 2 * perHop * float64(h)
+		e := edge.Total() - base + net
+		s := split.Total() - base + net
+		n := split.NUMATotal(cfg) - base + net
+		out = append(out, HopPoint{
+			Hops:         h,
+			NUMANS:       n * nsPer,
+			SplitNS:      s * nsPer,
+			EdgeNS:       e * nsPer,
+			SplitOverPct: 100 * (s - n) / n,
+			EdgeOverPct:  100 * (e - n) / n,
+		})
+	}
+	return out
+}
+
+// NUMALatencyForSize projects the NUMA machine's latency for a transfer of
+// the given size from the NIsplit measured latency for that size, by
+// subtracting the QP interaction components (§6.1.3). For multi-block
+// transfers the QP cost is paid once, so the same subtraction applies.
+func NUMALatencyForSize(cfg *config.Config, split Components, splitTotalForSize float64) float64 {
+	return splitTotalForSize - (split.Total() - split.NUMATotal(cfg))
+}

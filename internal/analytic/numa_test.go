@@ -1,0 +1,105 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"rackni/internal/config"
+)
+
+// paperSplit approximates the paper's Table 3 NIsplit column.
+func paperSplit() Components {
+	return Components{
+		WQWrite: 13 + 5, WQRead: 4, Dispatch: 23, Generate: 4,
+		NetOut: 70, Remote: 208, NetBack: 70,
+		Complete: 4 + 23, CQWrite: 8 + 5, CQRead: 10,
+	}
+}
+
+func paperEdge() Components {
+	return Components{
+		WQWrite: 104, WQRead: 95, Dispatch: 0, Generate: 0,
+		NetOut: 70, Remote: 208, NetBack: 70,
+		Complete: 0, CQWrite: 79, CQRead: 84,
+	}
+}
+
+func TestNUMAEdgeTraversalMatchesPaper(t *testing.T) {
+	cfg := config.Default()
+	got := NUMAEdgeTraversal(&cfg)
+	// Paper Table 1: 23 cycles.
+	if math.Abs(got-23) > 3 {
+		t.Fatalf("edge traversal = %.1f cycles, paper uses 23", got)
+	}
+}
+
+func TestNUMAProjectionMatchesPaperTable(t *testing.T) {
+	cfg := config.Default()
+	n := paperSplit().NUMATotal(&cfg)
+	// Paper: 395 cycles.
+	if math.Abs(n-395) > 15 {
+		t.Fatalf("NUMA projection = %.0f cycles, paper reports 395", n)
+	}
+}
+
+func TestPaperComponentsReproduceHeadlineOverheads(t *testing.T) {
+	cfg := config.Default()
+	e, s := paperEdge(), paperSplit()
+	numa := s.NUMATotal(&cfg)
+	edgeOver := 100 * (e.Total() - numa) / numa
+	splitOver := 100 * (s.Total() - numa) / numa
+	// Paper: 79.7% and 13.2% at one network hop.
+	if edgeOver < 60 || edgeOver > 95 {
+		t.Fatalf("edge overhead %.1f%%, paper 79.7%%", edgeOver)
+	}
+	if splitOver < 5 || splitOver > 20 {
+		t.Fatalf("split overhead %.1f%%, paper 13.2%%", splitOver)
+	}
+}
+
+func TestProjectHopsShape(t *testing.T) {
+	cfg := config.Default()
+	pts := ProjectHops(&cfg, paperEdge(), paperSplit(), 1, 12)
+	if len(pts) != 13 {
+		t.Fatalf("want 13 points, got %d", len(pts))
+	}
+	// Overheads must decrease monotonically with hop count (Fig. 5).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].EdgeOverPct >= pts[i-1].EdgeOverPct && pts[i-1].Hops > 0 {
+			t.Fatalf("edge overhead not decreasing at %d hops: %.1f -> %.1f",
+				pts[i].Hops, pts[i-1].EdgeOverPct, pts[i].EdgeOverPct)
+		}
+	}
+	// Paper quotes ~28.6% (edge) and ~4.7% (split) at 6 hops,
+	// ~16.2% / 2.6% at 12.
+	p6, p12 := pts[6], pts[12]
+	if p6.EdgeOverPct < 20 || p6.EdgeOverPct > 38 {
+		t.Fatalf("edge overhead at 6 hops = %.1f%%, paper 28.6%%", p6.EdgeOverPct)
+	}
+	if p6.SplitOverPct < 2 || p6.SplitOverPct > 9 {
+		t.Fatalf("split overhead at 6 hops = %.1f%%, paper 4.7%%", p6.SplitOverPct)
+	}
+	if p12.EdgeOverPct < 10 || p12.EdgeOverPct > 22 {
+		t.Fatalf("edge overhead at 12 hops = %.1f%%, paper 16.2%%", p12.EdgeOverPct)
+	}
+	if p12.SplitOverPct < 1 || p12.SplitOverPct > 6 {
+		t.Fatalf("split overhead at 12 hops = %.1f%%, paper 2.6%%", p12.SplitOverPct)
+	}
+	// Latency at 0 hops should be near the on-chip-only cost.
+	if pts[0].NUMANS <= 0 || pts[0].NUMANS >= pts[12].NUMANS {
+		t.Fatal("latency must grow with hops")
+	}
+}
+
+func TestNUMALatencyForSizeSubtractsConstantQPCost(t *testing.T) {
+	cfg := config.Default()
+	s := paperSplit()
+	small := NUMALatencyForSize(&cfg, s, s.Total())
+	if math.Abs(small-s.NUMATotal(&cfg)) > 0.001 {
+		t.Fatal("projection at the measured size must equal the NUMA total")
+	}
+	big := NUMALatencyForSize(&cfg, s, s.Total()+1000)
+	if math.Abs((big-small)-1000) > 0.001 {
+		t.Fatal("QP subtraction must be size-independent")
+	}
+}

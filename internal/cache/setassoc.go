@@ -1,0 +1,156 @@
+// Package cache provides the storage structures shared by the simulated
+// cache hierarchy: set-associative arrays with LRU replacement and dirty
+// tracking. Timing and coherence live in the coherence package; this
+// package answers only presence/placement/victim questions.
+package cache
+
+import "fmt"
+
+// Line is one resident cache block.
+type Line struct {
+	Addr  uint64 // block-aligned address
+	Dirty bool
+	lru   uint64
+}
+
+// SetAssoc is a set-associative array of cache blocks.
+type SetAssoc struct {
+	sets      [][]Line
+	numSets   int
+	ways      int
+	blockBits uint
+	tick      uint64
+}
+
+// NewSetAssoc builds an array with the given total capacity in bytes.
+func NewSetAssoc(sizeBytes, ways, blockBytes int) *SetAssoc {
+	if sizeBytes <= 0 || ways <= 0 || blockBytes <= 0 {
+		panic(fmt.Sprintf("cache: bad geometry size=%d ways=%d block=%d", sizeBytes, ways, blockBytes))
+	}
+	blocks := sizeBytes / blockBytes
+	numSets := blocks / ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	bb := uint(0)
+	for 1<<bb < blockBytes {
+		bb++
+	}
+	if 1<<bb != blockBytes {
+		panic("cache: block size must be a power of two")
+	}
+	s := &SetAssoc{numSets: numSets, ways: ways, blockBits: bb}
+	s.sets = make([][]Line, numSets)
+	return s
+}
+
+// NumSets returns the number of sets.
+func (s *SetAssoc) NumSets() int { return s.numSets }
+
+// Ways returns the associativity.
+func (s *SetAssoc) Ways() int { return s.ways }
+
+func (s *SetAssoc) setOf(addr uint64) int {
+	return int((addr >> s.blockBits) % uint64(s.numSets))
+}
+
+// Contains reports whether the block holding addr is resident.
+func (s *SetAssoc) Contains(addr uint64) bool {
+	set := s.sets[s.setOf(addr)]
+	base := s.blockOf(addr)
+	for i := range set {
+		if set[i].Addr == base {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SetAssoc) blockOf(addr uint64) uint64 {
+	return addr &^ ((1 << s.blockBits) - 1)
+}
+
+// Touch updates LRU state for a resident block; it reports whether the
+// block was found.
+func (s *SetAssoc) Touch(addr uint64) bool {
+	set := s.sets[s.setOf(addr)]
+	base := s.blockOf(addr)
+	for i := range set {
+		if set[i].Addr == base {
+			s.tick++
+			set[i].lru = s.tick
+			return true
+		}
+	}
+	return false
+}
+
+// SetDirty marks a resident block dirty; it reports whether the block was
+// found.
+func (s *SetAssoc) SetDirty(addr uint64) bool {
+	set := s.sets[s.setOf(addr)]
+	base := s.blockOf(addr)
+	for i := range set {
+		if set[i].Addr == base {
+			set[i].Dirty = true
+			return true
+		}
+	}
+	return false
+}
+
+// Insert makes the block holding addr resident, evicting the LRU victim if
+// the set is full. It returns the victim (if any). Inserting a block that
+// is already resident just touches it (and ORs the dirty bit).
+func (s *SetAssoc) Insert(addr uint64, dirty bool) (victim Line, evicted bool) {
+	si := s.setOf(addr)
+	set := s.sets[si]
+	base := s.blockOf(addr)
+	s.tick++
+	for i := range set {
+		if set[i].Addr == base {
+			set[i].lru = s.tick
+			set[i].Dirty = set[i].Dirty || dirty
+			return Line{}, false
+		}
+	}
+	if len(set) < s.ways {
+		s.sets[si] = append(set, Line{Addr: base, Dirty: dirty, lru: s.tick})
+		return Line{}, false
+	}
+	// Evict LRU.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	victim = set[vi]
+	set[vi] = Line{Addr: base, Dirty: dirty, lru: s.tick}
+	return victim, true
+}
+
+// Remove drops the block holding addr if resident, returning it.
+func (s *SetAssoc) Remove(addr uint64) (Line, bool) {
+	si := s.setOf(addr)
+	set := s.sets[si]
+	base := s.blockOf(addr)
+	for i := range set {
+		if set[i].Addr == base {
+			ln := set[i]
+			set[i] = set[len(set)-1]
+			s.sets[si] = set[:len(set)-1]
+			return ln, true
+		}
+	}
+	return Line{}, false
+}
+
+// Len returns the number of resident blocks.
+func (s *SetAssoc) Len() int {
+	n := 0
+	for _, set := range s.sets {
+		n += len(set)
+	}
+	return n
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertAndContains(t *testing.T) {
+	c := NewSetAssoc(1024, 2, 64) // 16 blocks, 8 sets
+	if c.Contains(0) {
+		t.Fatal("empty cache claims residency")
+	}
+	if _, ev := c.Insert(0x40, false); ev {
+		t.Fatal("eviction from empty set")
+	}
+	if !c.Contains(0x40) || !c.Contains(0x7F) {
+		t.Fatal("inserted block not resident (any byte of the block must hit)")
+	}
+	if c.Contains(0x80) {
+		t.Fatal("wrong block resident")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewSetAssoc(2*64, 2, 64) // one set, two ways
+	c.Insert(0x0000, false)
+	c.Insert(0x1000, false)
+	c.Touch(0x0000) // make 0x1000 the LRU
+	v, ev := c.Insert(0x2000, false)
+	if !ev || v.Addr != 0x1000 {
+		t.Fatalf("evicted %#x (ev=%v), want 0x1000", v.Addr, ev)
+	}
+	if !c.Contains(0x0000) || !c.Contains(0x2000) || c.Contains(0x1000) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyPropagation(t *testing.T) {
+	c := NewSetAssoc(2*64, 2, 64)
+	c.Insert(0x0, false)
+	if !c.SetDirty(0x0) {
+		t.Fatal("SetDirty missed resident block")
+	}
+	c.Insert(0x1000, false)
+	c.Touch(0x1000)
+	c.Touch(0x1000)
+	// 0x0 is LRU now.
+	v, ev := c.Insert(0x2000, false)
+	if !ev || v.Addr != 0 || !v.Dirty {
+		t.Fatalf("dirty victim lost: %+v ev=%v", v, ev)
+	}
+}
+
+func TestReinsertIsIdempotent(t *testing.T) {
+	c := NewSetAssoc(2*64, 2, 64)
+	c.Insert(0x0, false)
+	if _, ev := c.Insert(0x0, true); ev {
+		t.Fatal("reinsert evicted")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len=%d want 1", c.Len())
+	}
+	v, _ := c.Remove(0x0)
+	if !v.Dirty {
+		t.Fatal("reinsert with dirty=true did not OR the dirty bit")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := NewSetAssoc(1024, 2, 64)
+	c.Insert(0x40, true)
+	ln, ok := c.Remove(0x40)
+	if !ok || ln.Addr != 0x40 || !ln.Dirty {
+		t.Fatalf("remove returned %+v ok=%v", ln, ok)
+	}
+	if _, ok := c.Remove(0x40); ok {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+// Property: capacity is never exceeded and an inserted block is resident
+// until evicted or removed.
+func TestPropertyCapacity(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := NewSetAssoc(4096, 4, 64) // 64 blocks
+		for _, a := range addrs {
+			c.Insert(uint64(a)<<6, a%2 == 0)
+			if c.Len() > 64 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within one set, the most recently inserted block is never the
+// eviction victim.
+func TestPropertyMRUNotVictim(t *testing.T) {
+	f := func(seq []uint8) bool {
+		c := NewSetAssoc(4*64, 4, 64) // one set, four ways
+		var last uint64
+		hasLast := false
+		for _, a := range seq {
+			addr := uint64(a) << 6
+			v, ev := c.Insert(addr, false)
+			if ev && hasLast && v.Addr == last && last != addr {
+				return false
+			}
+			last = addr
+			hasLast = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

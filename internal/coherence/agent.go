@@ -1,0 +1,451 @@
+package coherence
+
+import (
+	"fmt"
+
+	"rackni/internal/cache"
+	"rackni/internal/config"
+	"rackni/internal/noc"
+	"rackni/internal/sim"
+)
+
+// Side identifies which physical structure of a tile's cache complex an
+// access targets.
+type Side uint8
+
+const (
+	// SideCore is the core's L1 data cache.
+	SideCore Side = iota
+	// SideNI is the NI cache glued to the L1's back side (per-tile/split
+	// designs) or the standalone NI cache (edge design).
+	SideNI
+)
+
+// miss tracks one outstanding coherence transaction at a requestor.
+type miss struct {
+	want     State // Shared (GetS) or Modified (GetX)
+	dataGot  bool
+	grant    State
+	acksNeed int
+	acksGot  int
+	fillSide Side
+	waiters  []func()
+}
+
+// evict tracks a writeback awaiting its WBAck; the data stays available so
+// forwarded requests that race with the eviction can be served.
+type evict struct {
+	state State
+}
+
+// Agent is one coherence requestor: an L1 cache, a standalone NI cache
+// (NIedge), or — when built with NewComplex — a per-tile L1+NI cache
+// complex that appears as a single logical entity to the directory.
+type Agent struct {
+	eng *sim.Engine
+	net noc.Fabric
+	cfg *config.Config
+	id  noc.NodeID
+
+	arr      *cache.SetAssoc
+	state    map[uint64]State
+	mshr     map[uint64]*miss
+	evicting map[uint64]*evict
+	homeOf   func(addr uint64) noc.NodeID
+	hitLat   int64 // core-side hit latency
+	niHitLat int64 // NI-side hit latency
+
+	// NI side (nil for standalone agents).
+	niArr       *cache.SetAssoc
+	onCore      map[uint64]bool // block resident in L1 side
+	onNI        map[uint64]bool // block resident in NI side
+	dirtySide   map[uint64]Side // side holding the authoritative dirty copy
+	niOwned     map[uint64]bool // NI side in the Owned state of §3.4
+	transferLat int64
+
+	out        []*noc.Message
+	outWaiting bool
+
+	// Stats.
+	Hits, Misses, InternalTransfers, Writebacks int64
+}
+
+// NewAgent builds a standalone cache agent (an L1 or an edge NI cache).
+// sizeBytes/ways give its capacity; hitLat its access latency.
+func NewAgent(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id noc.NodeID,
+	sizeBytes, ways int, hitLat int64, homeOf func(uint64) noc.NodeID) *Agent {
+	a := &Agent{
+		eng:      eng,
+		net:      net,
+		cfg:      cfg,
+		id:       id,
+		arr:      cache.NewSetAssoc(sizeBytes, ways, cfg.BlockBytes),
+		state:    make(map[uint64]State),
+		mshr:     make(map[uint64]*miss),
+		evicting: make(map[uint64]*evict),
+		homeOf:   homeOf,
+		hitLat:   hitLat,
+		niHitLat: hitLat,
+	}
+	return a
+}
+
+// NewComplex builds the per-tile L1+NI cache complex of the NIper-tile and
+// NIsplit designs: one coherence identity, two physical caches, internal
+// transfers at cfg.NITransferLat cycles (§3.4).
+func NewComplex(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id noc.NodeID,
+	homeOf func(uint64) noc.NodeID) *Agent {
+	a := NewAgent(eng, net, cfg, id, cfg.L1SizeBytes, cfg.L1Ways, int64(cfg.L1Latency), homeOf)
+	a.niArr = cache.NewSetAssoc(cfg.NICacheBlocks*cfg.BlockBytes, 4, cfg.BlockBytes)
+	a.onCore = make(map[uint64]bool)
+	a.onNI = make(map[uint64]bool)
+	a.dirtySide = make(map[uint64]Side)
+	a.niOwned = make(map[uint64]bool)
+	a.transferLat = int64(cfg.NITransferLat)
+	a.niHitLat = 1
+	return a
+}
+
+// ID returns the agent's NOC endpoint (its coherence identity).
+func (a *Agent) ID() noc.NodeID { return a.id }
+
+// StateOf returns the agent's coherence state for addr (for tests).
+func (a *Agent) StateOf(addr uint64) State { return a.state[blockOf(addr, a.cfg)] }
+
+// NIOwned reports whether the NI side holds addr in the Owned state.
+func (a *Agent) NIOwned(addr uint64) bool { return a.niOwned[blockOf(addr, a.cfg)] }
+
+func blockOf(addr uint64, cfg *config.Config) uint64 {
+	return addr &^ uint64(cfg.BlockBytes-1)
+}
+
+// Read performs a coherent read from the core side; done runs when the
+// data is available.
+func (a *Agent) Read(addr uint64, done func()) { a.access(addr, SideCore, false, done) }
+
+// Write performs a coherent write from the core side.
+func (a *Agent) Write(addr uint64, done func()) { a.access(addr, SideCore, true, done) }
+
+// NISideRead performs a coherent read from the NI side (QP polling).
+func (a *Agent) NISideRead(addr uint64, done func()) { a.access(addr, SideNI, false, done) }
+
+// NISideWrite performs a coherent write from the NI side (CQ entry write).
+func (a *Agent) NISideWrite(addr uint64, done func()) { a.access(addr, SideNI, true, done) }
+
+func (a *Agent) access(addr uint64, side Side, write bool, done func()) {
+	addr = blockOf(addr, a.cfg)
+	st := a.state[addr]
+	lat := a.hitLat
+	if side == SideNI {
+		lat = a.niHitLat
+	}
+	if a.niArr == nil {
+		side = SideCore // standalone agent: single structure
+	}
+
+	switch {
+	case st == Modified || st == Exclusive:
+		if st == Exclusive && write {
+			a.state[addr] = Modified // silent E->M upgrade
+		}
+		a.local(addr, side, write, lat, done)
+		return
+	case st == Shared && !write:
+		a.local(addr, side, write, lat, done)
+		return
+	}
+
+	// Miss (or upgrade): join or create the MSHR entry.
+	if m, ok := a.mshr[addr]; ok {
+		// Re-execute the access after the outstanding fill completes; an
+		// upgrade-after-read naturally reissues as GetX.
+		m.waiters = append(m.waiters, func() { a.access(addr, side, write, done) })
+		return
+	}
+	a.Misses++
+	m := &miss{fillSide: side}
+	m.waiters = append(m.waiters, func() { a.access(addr, side, write, done) })
+	a.mshr[addr] = m
+	kind := KGetS
+	m.want = Shared
+	if write {
+		kind = KGetX
+		m.want = Modified
+	}
+	a.send(ctrl(kind, noc.VNReq, noc.ClassRequest, a.id, a.homeOf(addr), addr))
+}
+
+// local services a hit, performing any internal L1<->NI transfer the
+// complex needs (including the Owned-state fast path).
+func (a *Agent) local(addr uint64, side Side, write bool, lat int64, done func()) {
+	a.Hits++
+	if a.niArr == nil {
+		a.arr.Touch(addr)
+		if write {
+			a.state[addr] = Modified
+			a.arr.SetDirty(addr)
+		}
+		a.eng.Schedule(lat, done)
+		return
+	}
+	here := a.onCore[addr]
+	if side == SideNI {
+		here = a.onNI[addr]
+	}
+	if here {
+		a.touchSide(addr, side)
+		a.finishLocal(addr, side, write, lat, done)
+		return
+	}
+	// Internal back-side transfer between the L1 and the NI cache; the
+	// directory is not consulted (§3.4).
+	a.InternalTransfers++
+	a.eng.Schedule(a.transferLat, func() {
+		a.installSide(addr, side)
+		a.finishLocal(addr, side, write, 0, done)
+	})
+}
+
+func (a *Agent) finishLocal(addr uint64, side Side, write bool, lat int64, done func()) {
+	if write {
+		st := a.state[addr]
+		if st == Exclusive || st == Shared {
+			// Shared handled by caller (upgrade); Exclusive upgrades here.
+			a.state[addr] = Modified
+		}
+		a.dirtySide[addr] = side
+		if side == SideCore {
+			// A core write to an NI-Owned block supersedes the NI's data.
+			delete(a.niOwned, addr)
+			if a.onNI[addr] {
+				delete(a.onNI, addr)
+				a.niArr.Remove(addr)
+			}
+		} else if a.onCore[addr] {
+			// NI write invalidates the core's stale copy (the core will
+			// re-fetch it when polling).
+			delete(a.onCore, addr)
+			a.arr.Remove(addr)
+		}
+	} else if side == SideCore && a.state[addr] == Modified && a.dirtySide[addr] == SideNI {
+		// Owned-state fast path: the NI forwards a clean copy to the L1
+		// while retaining writeback responsibility (§3.4).
+		a.niOwned[addr] = true
+	}
+	if lat > 0 {
+		a.eng.Schedule(lat, done)
+	} else {
+		a.eng.Schedule(1, done)
+	}
+}
+
+func (a *Agent) touchSide(addr uint64, side Side) {
+	if side == SideCore {
+		a.arr.Touch(addr)
+	} else {
+		a.niArr.Touch(addr)
+	}
+}
+
+// installSide makes the block resident on the given physical side, evicting
+// that structure's LRU victim (a local drop if the other side still holds
+// the block; a protocol eviction otherwise).
+func (a *Agent) installSide(addr uint64, side Side) {
+	arr, on := a.arr, a.onCore
+	if side == SideNI {
+		arr, on = a.niArr, a.onNI
+	}
+	on[addr] = true
+	victim, ev := arr.Insert(addr, false)
+	if !ev || victim.Addr == addr {
+		return
+	}
+	if side == SideCore {
+		delete(a.onCore, victim.Addr)
+	} else {
+		delete(a.onNI, victim.Addr)
+		delete(a.niOwned, victim.Addr)
+	}
+	if a.onCore[victim.Addr] || a.onNI[victim.Addr] {
+		return // still resident on the other side: local drop only
+	}
+	a.protocolEvict(victim.Addr)
+}
+
+// protocolEvict removes the block from the complex and notifies the home
+// as the protocol requires.
+func (a *Agent) protocolEvict(addr uint64) {
+	st := a.state[addr]
+	delete(a.state, addr)
+	if a.dirtySide != nil {
+		delete(a.dirtySide, addr)
+	}
+	switch st {
+	case Modified:
+		a.Writebacks++
+		a.evicting[addr] = &evict{state: Modified}
+		a.send(dataMsg(KPutM, noc.VNReq, noc.ClassRequest, a.id, a.homeOf(addr), addr, a.cfg.BlockFlits()))
+	case Exclusive:
+		a.evicting[addr] = &evict{state: Exclusive}
+		a.send(ctrl(KPutE, noc.VNReq, noc.ClassRequest, a.id, a.homeOf(addr), addr))
+	case Shared:
+		// Silent drop: the protocol's directory is inexact (non-notifying)
+		// and tolerates invalidations to non-holders.
+	}
+}
+
+// Handle receives coherence traffic addressed to this agent.
+func (a *Agent) Handle(m *noc.Message) {
+	switch m.Kind {
+	case KData:
+		a.onData(m)
+	case KInvAck:
+		a.onInvAck(m)
+	case KFwdGetS:
+		a.onFwdGetS(m)
+	case KFwdGetX:
+		a.onFwdGetX(m)
+	case KInv:
+		a.onInv(m)
+	case KWBAck:
+		delete(a.evicting, m.Addr)
+	default:
+		panic(fmt.Sprintf("coherence agent %d: unexpected %s", a.id, kindName(m.Kind)))
+	}
+}
+
+func (a *Agent) onData(m *noc.Message) {
+	ms, ok := a.mshr[m.Addr]
+	if !ok {
+		panic(fmt.Sprintf("agent %d: Data for %#x without MSHR", a.id, m.Addr))
+	}
+	ms.dataGot = true
+	ms.grant = State(m.B)
+	ms.acksNeed = int(m.A)
+	a.maybeComplete(m.Addr, ms)
+}
+
+func (a *Agent) onInvAck(m *noc.Message) {
+	ms, ok := a.mshr[m.Addr]
+	if !ok {
+		// Ack for an epoch we already abandoned; tolerated by the inexact
+		// directory design.
+		return
+	}
+	ms.acksGot++
+	a.maybeComplete(m.Addr, ms)
+}
+
+func (a *Agent) maybeComplete(addr uint64, ms *miss) {
+	if !ms.dataGot || ms.acksGot < ms.acksNeed {
+		return
+	}
+	delete(a.mshr, addr)
+	a.state[addr] = ms.grant
+	if a.niArr == nil {
+		if victim, ev := a.arr.Insert(addr, ms.grant == Modified); ev && victim.Addr != addr {
+			a.protocolEvict(victim.Addr)
+		}
+	} else {
+		if ms.grant == Modified {
+			a.dirtySide[addr] = ms.fillSide
+		}
+		a.installSide(addr, ms.fillSide)
+	}
+	a.send(withB(ctrl(KUnblock, noc.VNResp, noc.ClassResponse, a.id, a.homeOf(addr), addr), int64(ms.grant)))
+	for _, w := range ms.waiters {
+		w()
+	}
+}
+
+func (a *Agent) onFwdGetS(m *noc.Message) {
+	addr := m.Addr
+	req := noc.NodeID(m.A)
+	home := m.Src
+	st := a.state[addr]
+	if st != Modified && st != Exclusive {
+		if _, ev := a.evicting[addr]; !ev {
+			panic(fmt.Sprintf("agent %d: FwdGetS for %#x in state %v", a.id, addr, st))
+		}
+		// Serve from the writeback buffer; the in-flight PutM/PutE will be
+		// treated as stale by the home.
+	} else {
+		a.state[addr] = Shared
+		a.clearDirty(addr)
+	}
+	if req != home {
+		a.send(withB(dataMsg(KData, noc.VNResp, noc.ClassResponse, a.id, req, addr, a.cfg.BlockFlits()), int64(Shared)))
+	}
+	a.send(dataMsg(KCopyBack, noc.VNResp, noc.ClassResponse, a.id, home, addr, a.cfg.BlockFlits()))
+}
+
+func (a *Agent) onFwdGetX(m *noc.Message) {
+	addr := m.Addr
+	req := noc.NodeID(m.A)
+	st := a.state[addr]
+	if st != Modified && st != Exclusive {
+		if _, ev := a.evicting[addr]; !ev {
+			panic(fmt.Sprintf("agent %d: FwdGetX for %#x in state %v", a.id, addr, st))
+		}
+	} else {
+		a.invalidateLocal(addr)
+	}
+	a.send(withB(dataMsg(KData, noc.VNResp, noc.ClassResponse, a.id, req, addr, a.cfg.BlockFlits()), int64(Modified)))
+}
+
+func (a *Agent) onInv(m *noc.Message) {
+	addr := m.Addr
+	ackTo := noc.NodeID(m.A)
+	if st := a.state[addr]; st != Invalid {
+		a.invalidateLocal(addr)
+	}
+	// A stale invalidation (silently dropped copy, or an upgrade race where
+	// our own GetX is queued behind the invalidating writer) is acked too.
+	ackKind := KInvAck
+	if m.B != 0 {
+		ackKind = int(m.B) // e.g. KInvAckHome for home-collected acks
+	}
+	a.send(ctrl(ackKind, noc.VNResp, noc.ClassResponse, a.id, ackTo, addr))
+}
+
+func (a *Agent) invalidateLocal(addr uint64) {
+	delete(a.state, addr)
+	a.arr.Remove(addr)
+	if a.niArr != nil {
+		a.niArr.Remove(addr)
+		delete(a.onCore, addr)
+		delete(a.onNI, addr)
+		delete(a.dirtySide, addr)
+		delete(a.niOwned, addr)
+	}
+}
+
+func (a *Agent) clearDirty(addr uint64) {
+	a.arr.Touch(addr)
+	if a.niArr != nil {
+		delete(a.dirtySide, addr)
+		delete(a.niOwned, addr)
+	}
+}
+
+func (a *Agent) send(m *noc.Message) {
+	a.out = append(a.out, m)
+	a.pump()
+}
+
+func (a *Agent) pump() {
+	if a.outWaiting {
+		return
+	}
+	for len(a.out) > 0 {
+		if !a.net.Send(a.out[0]) {
+			a.outWaiting = true
+			a.net.WhenFree(a.id, func() { a.outWaiting = false; a.pump() })
+			return
+		}
+		a.out = a.out[1:]
+	}
+}
+
+// withB sets the B payload field, for fluent message construction.
+func withB(m *noc.Message, b int64) *noc.Message { m.B = b; return m }

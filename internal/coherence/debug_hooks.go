@@ -1,0 +1,31 @@
+package coherence
+
+// DebugBusyBlocks returns the blocks whose home transaction is in flight
+// (test diagnostics).
+func (h *Home) DebugBusyBlocks() map[uint64]int {
+	out := map[uint64]int{}
+	for a, e := range h.dir {
+		if e.busy {
+			out[a] = len(e.queue)
+		}
+	}
+	return out
+}
+
+// DebugMemWait returns blocks with outstanding memory fetches.
+func (h *Home) DebugMemWait() []uint64 {
+	var out []uint64
+	for a := range h.memWait {
+		out = append(out, a)
+	}
+	return out
+}
+
+// DebugMSHR returns the agent's outstanding miss addresses.
+func (a *Agent) DebugMSHR() []uint64 {
+	var out []uint64
+	for addr := range a.mshr {
+		out = append(out, addr)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package coherence
+
+import (
+	"fmt"
+
+	"rackni/internal/cache"
+	"rackni/internal/config"
+	"rackni/internal/mem"
+	"rackni/internal/noc"
+	"rackni/internal/sim"
+)
+
+// dirState is the directory's view of a block.
+type dirState uint8
+
+const (
+	dirInvalid dirState = iota // no cached copies tracked
+	dirShared                  // read-only copies at sharers
+	dirOwned                   // exclusive/modified at owner
+)
+
+// dirEntry is the directory record plus the blocking-home transaction
+// context for one block.
+type dirEntry struct {
+	state   dirState
+	owner   noc.NodeID
+	sharers map[noc.NodeID]struct{}
+
+	busy    bool
+	queue   []*noc.Message
+	pending int    // completion events still expected (Unblock, CopyBack, acks…)
+	onEvent func() // runs on each completion event while busy
+}
+
+// Home is one tile's slice of the shared NUCA LLC together with its slice
+// of the distributed directory. It is the "home tile" for the blocks that
+// interleave to it, services the NI data path (KNIRead/KNIWrite, which
+// bypass the NI caches, §3.1), and talks to its row's memory controller on
+// misses. The bank is pipelined: one access may start per cycle and each
+// takes cfg.LLCLatency cycles.
+type Home struct {
+	eng *sim.Engine
+	net noc.Fabric
+	cfg *config.Config
+	id  noc.NodeID
+	mc  noc.NodeID
+
+	llc        *cache.SetAssoc
+	dir        map[uint64]*dirEntry
+	bankFree   int64
+	memWait    map[uint64][]func() // block -> continuations awaiting DRAM
+	out        []*noc.Message
+	outWaiting bool
+
+	// Stats.
+	Hits, MissesToMem, Writebacks, NIReads, NIWrites int64
+}
+
+// NewHome builds the home controller for a tile; bankBytes is this bank's
+// share of the LLC. mcID is the controller servicing this tile's misses.
+func NewHome(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id, mcID noc.NodeID, bankBytes int) *Home {
+	h := &Home{
+		eng:     eng,
+		net:     net,
+		cfg:     cfg,
+		id:      id,
+		mc:      mcID,
+		llc:     cache.NewSetAssoc(bankBytes, cfg.LLCWays, cfg.BlockBytes),
+		dir:     make(map[uint64]*dirEntry),
+		memWait: make(map[uint64][]func()),
+	}
+	return h
+}
+
+// ID returns the home's NOC endpoint (its tile).
+func (h *Home) ID() noc.NodeID { return h.id }
+
+// Handle dispatches a message addressed to the home side of the tile. The
+// node assembly routes tile-addressed traffic between the Home and the
+// tile's cache agent by message kind.
+func (h *Home) Handle(m *noc.Message) {
+	switch m.Kind {
+	case KGetS, KGetX, KPutM, KPutE, KNIRead, KNIWrite:
+		h.admit(m)
+	case KUnblock, KCopyBack, KInvAckHome:
+		h.onEvent(m)
+	case mem.KindReadResp:
+		h.onMemData(m)
+	default:
+		panic(fmt.Sprintf("home %d: unexpected %s", h.id, kindName(m.Kind)))
+	}
+}
+
+// HomeKind reports whether a message kind is addressed to the home side of
+// a tile (directory/LLC) rather than its cache agent.
+func HomeKind(k int) bool {
+	switch k {
+	case KGetS, KGetX, KPutM, KPutE, KNIRead, KNIWrite, KUnblock, KCopyBack, KInvAckHome, mem.KindReadResp:
+		return true
+	}
+	return false
+}
+
+func (h *Home) entry(addr uint64) *dirEntry {
+	e, ok := h.dir[addr]
+	if !ok {
+		e = &dirEntry{sharers: make(map[noc.NodeID]struct{})}
+		h.dir[addr] = e
+	}
+	return e
+}
+
+// admit starts a transaction if the block is idle, else queues behind the
+// one in flight (blocking home).
+func (h *Home) admit(m *noc.Message) {
+	e := h.entry(m.Addr)
+	if e.busy {
+		e.queue = append(e.queue, m)
+		return
+	}
+	e.busy = true
+	h.bankAccess(func() { h.execute(m, e) })
+}
+
+// bankAccess models the pipelined LLC bank: one new access per cycle,
+// LLCLatency cycles each.
+func (h *Home) bankAccess(fn func()) {
+	now := h.eng.Now()
+	slot := now
+	if h.bankFree > slot {
+		slot = h.bankFree
+	}
+	h.bankFree = slot + 1
+	h.eng.Schedule(slot-now+int64(h.cfg.LLCLatency), fn)
+}
+
+// conclude ends the current transaction and admits the next queued request
+// for the block.
+func (h *Home) conclude(addr uint64, e *dirEntry) {
+	e.busy = false
+	e.pending = 0
+	e.onEvent = nil
+	if len(e.queue) > 0 {
+		next := e.queue[0]
+		e.queue = e.queue[1:]
+		e.busy = true
+		h.bankAccess(func() { h.execute(next, e) })
+	}
+}
+
+// await arms the completion context: fire done after n events.
+func (h *Home) await(addr uint64, e *dirEntry, n int, done func()) {
+	if n <= 0 {
+		done()
+		return
+	}
+	e.pending = n
+	e.onEvent = func() {
+		e.pending--
+		if e.pending == 0 {
+			done()
+		}
+	}
+}
+
+// onEvent consumes Unblock/CopyBack/InvAck events for the active
+// transaction of a block.
+func (h *Home) onEvent(m *noc.Message) {
+	e := h.entry(m.Addr)
+	if m.Kind == KCopyBack {
+		// Downgraded dirty data returns to the LLC.
+		h.insertLLC(m.Addr, true)
+	}
+	if e.onEvent == nil {
+		// A stale ack from an abandoned epoch; tolerated.
+		return
+	}
+	e.onEvent()
+}
+
+// execute runs one admitted request against the directory state.
+func (h *Home) execute(m *noc.Message, e *dirEntry) {
+	switch m.Kind {
+	case KGetS:
+		h.doGetS(m, e)
+	case KGetX:
+		h.doGetX(m, e)
+	case KPutM, KPutE:
+		h.doPut(m, e)
+	case KNIRead:
+		h.doNIRead(m, e)
+	case KNIWrite:
+		h.doNIWrite(m, e)
+	}
+}
+
+func (h *Home) doGetS(m *noc.Message, e *dirEntry) {
+	addr, req := m.Addr, m.Src
+	if e.state == dirOwned {
+		// 3-hop: forward to the owner; expect its CopyBack plus the
+		// requestor's Unblock.
+		owner := e.owner
+		fwd := ctrl(KFwdGetS, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
+		fwd.A = int64(req)
+		h.send(fwd)
+		h.await(addr, e, 2, func() {
+			e.state = dirShared
+			clearSet(e.sharers)
+			e.sharers[owner] = struct{}{}
+			e.sharers[req] = struct{}{}
+			h.conclude(addr, e)
+		})
+		return
+	}
+	h.withData(addr, func() {
+		grant := Shared
+		if e.state == dirInvalid {
+			grant = Exclusive // MESI: sole reader gets E
+		}
+		d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
+		d.B = int64(grant)
+		h.send(d)
+		h.await(addr, e, 1, func() { // the requestor's Unblock
+			if grant == Exclusive {
+				e.state = dirOwned
+				e.owner = req
+			} else {
+				e.sharers[req] = struct{}{}
+			}
+			h.conclude(addr, e)
+		})
+	})
+}
+
+func (h *Home) doGetX(m *noc.Message, e *dirEntry) {
+	addr, req := m.Addr, m.Src
+	switch e.state {
+	case dirOwned:
+		owner := e.owner
+		if owner == req {
+			// The owner lost the copy silently? Not possible for E/M
+			// (notifying evictions); treat as a fresh grant for robustness.
+			e.state = dirInvalid
+			h.doGetX(m, e)
+			return
+		}
+		fwd := ctrl(KFwdGetX, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
+		fwd.A = int64(req)
+		h.send(fwd)
+		h.await(addr, e, 1, func() { // requestor's Unblock
+			e.owner = req
+			h.conclude(addr, e)
+		})
+	case dirShared:
+		acks := 0
+		for s := range e.sharers {
+			if s == req {
+				continue
+			}
+			acks++
+			inv := ctrl(KInv, noc.VNDir, noc.ClassDirectory, h.id, s, addr)
+			inv.A = int64(req)
+			h.send(inv)
+		}
+		h.withData(addr, func() {
+			// "MissNotify": data plus the count of invalidation acks the
+			// requestor must collect (Fig. 2a).
+			d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
+			d.B = int64(Modified)
+			d.A = int64(acks)
+			h.send(d)
+			h.await(addr, e, 1, func() {
+				clearSet(e.sharers)
+				e.state = dirOwned
+				e.owner = req
+				h.conclude(addr, e)
+			})
+		})
+	default: // dirInvalid
+		h.withData(addr, func() {
+			d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
+			d.B = int64(Modified)
+			h.send(d)
+			h.await(addr, e, 1, func() {
+				e.state = dirOwned
+				e.owner = req
+				h.conclude(addr, e)
+			})
+		})
+	}
+}
+
+func (h *Home) doPut(m *noc.Message, e *dirEntry) {
+	addr, src := m.Addr, m.Src
+	switch {
+	case e.state == dirOwned && e.owner == src:
+		if m.Kind == KPutM {
+			h.insertLLC(addr, true)
+		}
+		e.state = dirInvalid
+		e.owner = 0
+	case e.state == dirShared:
+		delete(e.sharers, src)
+		if len(e.sharers) == 0 {
+			e.state = dirInvalid
+		}
+	default:
+		// Stale writeback racing a forward that already moved ownership;
+		// drop the data (the new owner's copy is newer).
+	}
+	h.send(ctrl(KWBAck, noc.VNDir, noc.ClassDirectory, h.id, src, addr))
+	h.conclude(addr, e)
+}
+
+func (h *Home) doNIRead(m *noc.Message, e *dirEntry) {
+	h.NIReads++
+	addr, req, txn := m.Addr, m.Src, m.Txn
+	reply := func() {
+		d := dataMsg(KNIReadResp, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
+		d.Txn = txn
+		h.send(d)
+		h.conclude(addr, e)
+	}
+	if e.state == dirOwned {
+		// Recall the dirty block first so the NI reads fresh data.
+		owner := e.owner
+		fwd := ctrl(KFwdGetS, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
+		fwd.A = int64(h.id) // the copy comes back to us via CopyBack
+		h.send(fwd)
+		h.await(addr, e, 1, func() {
+			e.state = dirShared
+			clearSet(e.sharers)
+			e.sharers[owner] = struct{}{}
+			reply()
+		})
+		return
+	}
+	h.withData(addr, reply)
+}
+
+func (h *Home) doNIWrite(m *noc.Message, e *dirEntry) {
+	h.NIWrites++
+	addr, req, txn := m.Addr, m.Src, m.Txn
+	finish := func() {
+		e.state = dirInvalid
+		e.owner = 0
+		clearSet(e.sharers)
+		h.insertLLC(addr, true)
+		ack := ctrl(KNIWriteAck, noc.VNDir, noc.ClassDirectory, h.id, req, addr)
+		ack.Txn = txn
+		h.send(ack)
+		h.conclude(addr, e)
+	}
+	// Invalidate all cached copies; the NI overwrites the whole block, so
+	// dirty owner data need not be recalled.
+	targets := make([]noc.NodeID, 0, len(e.sharers)+1)
+	if e.state == dirOwned {
+		targets = append(targets, e.owner)
+	} else {
+		for s := range e.sharers {
+			targets = append(targets, s)
+		}
+	}
+	for _, t := range targets {
+		inv := ctrl(KInv, noc.VNDir, noc.ClassDirectory, h.id, t, addr)
+		inv.A = int64(h.id) // acks come back to the home
+		inv.B = KInvAckHome
+		h.send(inv)
+	}
+	h.await(addr, e, len(targets), finish)
+}
+
+// withData runs fn once the block's data is available at this bank,
+// fetching it from memory on an LLC miss.
+func (h *Home) withData(addr uint64, fn func()) {
+	if h.llc.Contains(addr) {
+		h.Hits++
+		h.llc.Touch(addr)
+		fn()
+		return
+	}
+	h.MissesToMem++
+	waiting, inFlight := h.memWait[addr]
+	h.memWait[addr] = append(waiting, fn)
+	if inFlight {
+		return
+	}
+	rd := ctrl(mem.KindRead, noc.VNReq, noc.ClassRequest, h.id, h.mc, addr)
+	h.send(rd)
+}
+
+// onMemData completes outstanding fetches for a block.
+func (h *Home) onMemData(m *noc.Message) {
+	h.insertLLC(m.Addr, false)
+	fns := h.memWait[m.Addr]
+	delete(h.memWait, m.Addr)
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// insertLLC allocates the block in the bank, writing back any dirty victim
+// to memory (latency-only: fire and forget).
+func (h *Home) insertLLC(addr uint64, dirty bool) {
+	victim, ev := h.llc.Insert(addr, dirty)
+	if ev && victim.Dirty {
+		h.Writebacks++
+		wb := dataMsg(mem.KindWrite, noc.VNReq, noc.ClassRequest, h.id, h.mc, victim.Addr, h.cfg.BlockFlits())
+		h.send(wb)
+	}
+}
+
+func (h *Home) send(m *noc.Message) {
+	h.out = append(h.out, m)
+	h.pump()
+}
+
+func (h *Home) pump() {
+	if h.outWaiting {
+		return
+	}
+	for len(h.out) > 0 {
+		if !h.net.Send(h.out[0]) {
+			h.outWaiting = true
+			h.net.WhenFree(h.id, func() { h.outWaiting = false; h.pump() })
+			return
+		}
+		h.out = h.out[1:]
+	}
+}
+
+func clearSet(s map[noc.NodeID]struct{}) {
+	for k := range s {
+		delete(s, k)
+	}
+}

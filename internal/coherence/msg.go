@@ -1,0 +1,98 @@
+// Package coherence implements the chip's cache-coherence protocol: a
+// directory-based, non-inclusive, invalidation-based MESI protocol with a
+// blocking home per block, 3-hop forwarding for dirty data, and
+// requestor-collected invalidation acks — the protocol sketched in Figs. 2a
+// and 2b of the paper (including the final acknowledgements that conclude
+// each transaction).
+//
+// Two requestor-side organizations are provided:
+//
+//   - Agent: a standalone cache (a core's L1, or the NI cache of the NIedge
+//     design, which participates in coherence like an L1 with its own tile
+//     ID, §3.4).
+//   - Agent with an NI side (NewComplex): the per-tile organization of the
+//     NIper-tile and NIsplit designs, where a small NI cache snoops the
+//     back side of the L1 and the pair appears to the LLC's coherence
+//     domain as a single logical entity. Transfers between the two sides
+//     never touch the directory, and the NI-cache-only Owned state lets a
+//     dirty block be handed to the polling core as a clean copy while the
+//     NI retains writeback responsibility.
+package coherence
+
+import "rackni/internal/noc"
+
+// Message kinds (range 0..99; the mem package uses 100+, the RMC 200+).
+const (
+	KGetS       = iota // requestor -> home: read miss
+	KGetX              // requestor -> home: write miss / upgrade
+	KPutM              // requestor -> home: dirty eviction (data)
+	KPutE              // requestor -> home: clean-exclusive eviction notice
+	KFwdGetS           // home -> owner: forward read (A = requestor id)
+	KFwdGetX           // home -> owner: forward write (A = requestor id)
+	KInv               // home -> sharer: invalidate (A = ack target id)
+	KData              // data to requestor (A = #acks to expect, B = granted state)
+	KInvAck            // sharer -> ack target
+	KUnblock           // requestor -> home: transaction concluded (B = installed state)
+	KCopyBack          // owner -> home: downgraded dirty data
+	KWBAck             // home -> evictor: writeback acknowledged
+	KNIRead            // NI -> home: data-path block read (bypasses NI cache, §3.1)
+	KNIReadResp        // home -> NI: data
+	KNIWrite           // NI -> home: data-path block write (allocates in LLC)
+	KNIWriteAck        // home -> NI
+	KInvAckHome        // sharer -> home (home-collected acks for NI writes)
+)
+
+// State is a cache block's coherence state at a requestor.
+type State uint8
+
+const (
+	// Invalid: not present.
+	Invalid State = iota
+	// Shared: read-only copy.
+	Shared
+	// Exclusive: sole clean copy; may transition to Modified silently.
+	Exclusive
+	// Modified: sole dirty copy.
+	Modified
+	// Owned is the NI-cache-visible state of §3.4: the NI side holds dirty
+	// data whose clean copy has been forwarded to the core's L1. It never
+	// appears on the interconnect; the complex is externally Modified.
+	Owned
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Owned:
+		return "O"
+	}
+	return "?"
+}
+
+// kindName helps protocol traces and test failures read well.
+func kindName(k int) string {
+	names := []string{"GetS", "GetX", "PutM", "PutE", "FwdGetS", "FwdGetX",
+		"Inv", "Data", "InvAck", "Unblock", "CopyBack", "WBAck",
+		"NIRead", "NIReadResp", "NIWrite", "NIWriteAck", "InvAckHome"}
+	if k >= 0 && k < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// ctrl builds a one-flit control message.
+func ctrl(kind int, vn noc.VN, class noc.Class, src, dst noc.NodeID, addr uint64) *noc.Message {
+	return &noc.Message{VN: vn, Class: class, Src: src, Dst: dst, Flits: 1, Kind: kind, Addr: addr}
+}
+
+// dataMsg builds a block-carrying message.
+func dataMsg(kind int, vn noc.VN, class noc.Class, src, dst noc.NodeID, addr uint64, flits int) *noc.Message {
+	return &noc.Message{VN: vn, Class: class, Src: src, Dst: dst, Flits: flits, Kind: kind, Addr: addr}
+}

@@ -1,0 +1,151 @@
+package coherence
+
+import (
+	"testing"
+
+	"rackni/internal/noc"
+)
+
+// TestFwdGetSRacesEviction: agent A holds a block Modified far from the
+// home; its dirty eviction (PutM) is in flight when a near-home reader's
+// GetS is processed first. The home forwards to A, which must serve the
+// data from its writeback buffer; the stale PutM that arrives later must
+// be dropped without corrupting directory state.
+func TestFwdGetSRacesEviction(t *testing.T) {
+	r := newRig(t, false, 63, 1)
+	a, b := r.agents[63], r.agents[1] // A far from home tile 0's region, B adjacent
+	addr := r.addrHomedAt(0, 0)
+	ok := false
+	a.Write(addr, func() {
+		// Evict the dirty block (PutM leaves tile 63 toward home 0: a
+		// long diagonal) and immediately read from B (tile 1: adjacent to
+		// the home). B's GetS wins the race to the home.
+		a.protocolEvict(addr)
+		b.Read(addr, func() { ok = true })
+	})
+	r.run()
+	if !ok {
+		t.Fatal("reader starved during eviction race")
+	}
+	if st := b.StateOf(addr); st != Shared && st != Exclusive {
+		t.Fatalf("reader state %v", st)
+	}
+	if len(a.evicting) != 0 {
+		t.Fatal("writeback buffer never drained (WBAck lost)")
+	}
+	// The system must still be usable for this block afterwards.
+	ok2 := false
+	b.Write(addr, func() { ok2 = true })
+	r.run()
+	if !ok2 || b.StateOf(addr) != Modified {
+		t.Fatal("post-race upgrade failed")
+	}
+}
+
+// TestFwdGetXRacesEviction: same race, but the competitor wants exclusive
+// ownership; A must hand over data from the writeback buffer and the home
+// must treat A's stale PutM as superseded (the new owner's copy is newer).
+func TestFwdGetXRacesEviction(t *testing.T) {
+	r := newRig(t, false, 63, 1)
+	a, b := r.agents[63], r.agents[1]
+	addr := r.addrHomedAt(0, 1)
+	ok := false
+	a.Write(addr, func() {
+		a.protocolEvict(addr)
+		b.Write(addr, func() { ok = true })
+	})
+	r.run()
+	if !ok {
+		t.Fatal("writer starved during eviction race")
+	}
+	if b.StateOf(addr) != Modified {
+		t.Fatalf("writer state %v, want M", b.StateOf(addr))
+	}
+	if len(a.evicting) != 0 {
+		t.Fatal("writeback buffer never drained")
+	}
+}
+
+// TestStaleInvAfterSilentEviction: shared copies may be dropped silently
+// (inexact directory); a later invalidation to the non-holder must still
+// be acked so the writer can collect its full ack count.
+func TestStaleInvAfterSilentEviction(t *testing.T) {
+	r := newRig(t, false, 2, 3, 4)
+	a, b, c := r.agents[2], r.agents[3], r.agents[4]
+	addr := r.addrHomedAt(20, 0)
+	done := false
+	a.Read(addr, func() {
+		b.Read(addr, func() {
+			// A silently drops its shared copy (capacity eviction).
+			a.invalidateLocal(addr)
+			// C's write must still complete: the directory invalidates
+			// both listed sharers; A acks despite not holding the block.
+			c.Write(addr, func() { done = true })
+		})
+	})
+	r.run()
+	if !done {
+		t.Fatal("writer hung waiting for a non-holder's ack")
+	}
+	if c.StateOf(addr) != Modified || b.StateOf(addr) != Invalid {
+		t.Fatalf("c=%v b=%v", c.StateOf(addr), b.StateOf(addr))
+	}
+}
+
+// TestUpgradeLosesRace: two sharers race to upgrade; the blocking home
+// serializes them, the loser's copy is invalidated mid-flight and it must
+// still obtain fresh data through the forward path.
+func TestUpgradeLosesRace(t *testing.T) {
+	r := newRig(t, false, 10, 50)
+	a, b := r.agents[10], r.agents[50]
+	addr := r.addrHomedAt(30, 0)
+	doneA, doneB := false, false
+	a.Read(addr, func() {
+		b.Read(addr, func() {
+			// Both upgrade simultaneously.
+			a.Write(addr, func() { doneA = true })
+			b.Write(addr, func() { doneB = true })
+		})
+	})
+	r.run()
+	if !doneA || !doneB {
+		t.Fatalf("upgrade race lost a writer: a=%v b=%v", doneA, doneB)
+	}
+	am, bm := a.StateOf(addr) == Modified, b.StateOf(addr) == Modified
+	if am == bm {
+		t.Fatalf("exactly one final owner required: a=%v b=%v", a.StateOf(addr), b.StateOf(addr))
+	}
+}
+
+// TestNIWriteRacesOwnerEviction: an NIWrite (RCP landing remote data) hits
+// a block whose dirty owner is concurrently evicting; the home-collected
+// invalidation must be acked from the stale state and the NIWrite data
+// must win.
+func TestNIWriteRacesOwnerEviction(t *testing.T) {
+	r := newRig(t, false, 63)
+	a := r.agents[63]
+	home := noc.NodeID(5)
+	addr := r.addrHomedAt(home, 0)
+	niID := noc.NIID(2)
+	acked := false
+	r.net.Register(niID, func(m *noc.Message) {
+		if m.Kind == KNIWriteAck {
+			acked = true
+		}
+	})
+	a.Write(addr, func() {
+		a.protocolEvict(addr)
+		wr := &noc.Message{VN: noc.VNReq, Class: noc.ClassRequest, Src: niID,
+			Dst: home, Flits: r.cfg.BlockFlits(), Kind: KNIWrite, Addr: addr, Txn: 1}
+		if !r.net.Send(wr) {
+			t.Error("inject failed")
+		}
+	})
+	r.run()
+	if !acked {
+		t.Fatal("NIWrite never acknowledged")
+	}
+	if !r.homes[home].llc.Contains(addr) {
+		t.Fatal("NIWrite data lost")
+	}
+}

@@ -1,0 +1,286 @@
+// Package config holds the simulated system's parameters. The defaults
+// reproduce Table 2 of the paper ("System parameters for simulation on
+// Flexus") and the microbenchmark parameters of §5.
+package config
+
+import "fmt"
+
+// Design selects one of the three manycore NI architectures studied by the
+// paper (§3), plus the idealized NUMA projection used as the baseline.
+type Design int
+
+const (
+	// NIEdge places all NI logic (RGP/RCP/RRPP) at edge tiles along one
+	// dimension of the NOC (§3.1).
+	NIEdge Design = iota
+	// NIPerTile collocates a full RGP/RCP pair with every core; RRPPs stay
+	// at the edge (§3.2).
+	NIPerTile
+	// NISplit replicates RGP/RCP frontends per tile and RGP/RCP backends at
+	// the edge (§3.3) — the paper's proposed design.
+	NISplit
+	// NUMA is the idealized hardware load/store baseline; it is evaluated
+	// analytically (the paper calls it "NUMA projection").
+	NUMA
+)
+
+func (d Design) String() string {
+	switch d {
+	case NIEdge:
+		return "NI_edge"
+	case NIPerTile:
+		return "NI_per-tile"
+	case NISplit:
+		return "NI_split"
+	case NUMA:
+		return "NUMA"
+	}
+	return fmt.Sprintf("Design(%d)", int(d))
+}
+
+// Topology selects the on-chip interconnect.
+type Topology int
+
+const (
+	// Mesh is the baseline 2D mesh (1 tile per core).
+	Mesh Topology = iota
+	// NOCOut is the latency-optimized scale-out NOC of §6.3: an LLC row in
+	// the middle of the chip richly interconnected by a flattened
+	// butterfly, with per-column reduction/dispersion trees to the cores.
+	NOCOut
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Mesh:
+		return "mesh"
+	case NOCOut:
+		return "NOC-Out"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Routing selects the mesh routing policy (§4.3).
+type Routing int
+
+const (
+	// RoutingXY is dimension-order XY routing.
+	RoutingXY Routing = iota
+	// RoutingYX is dimension-order YX routing.
+	RoutingYX
+	// RoutingO1Turn picks XY or YX pseudo-randomly per packet.
+	RoutingO1Turn
+	// RoutingCDR is class-based deterministic routing: memory requests YX,
+	// responses XY (Abts et al.).
+	RoutingCDR
+	// RoutingCDRNI is the paper's modified CDR: directory-sourced traffic
+	// is routed YX, everything else XY, so traffic never turns at the
+	// chip's NI/MC edge columns.
+	RoutingCDRNI
+)
+
+func (r Routing) String() string {
+	switch r {
+	case RoutingXY:
+		return "XY"
+	case RoutingYX:
+		return "YX"
+	case RoutingO1Turn:
+		return "O1Turn"
+	case RoutingCDR:
+		return "CDR"
+	case RoutingCDRNI:
+		return "CDR+NI"
+	}
+	return fmt.Sprintf("Routing(%d)", int(r))
+}
+
+// Config is the full parameter set for one simulated node and its rack.
+type Config struct {
+	// --- Chip geometry ---
+	MeshWidth  int // tiles per row (8)
+	MeshHeight int // tiles per column (8)
+
+	// --- Clock ---
+	ClockGHz float64 // 2.0; one cycle = 0.5 ns
+
+	// --- Caches (Table 2) ---
+	L1Latency     int // 3 cycles (tag+data)
+	L1SizeBytes   int // 32 KB
+	L1Ways        int // 2
+	L1MSHRs       int // 32
+	LLCLatency    int // 6 cycles per bank access
+	LLCSizeBytes  int // 16 MB total
+	LLCWays       int // 16
+	BlockBytes    int // 64
+	NICacheBlocks int // NI cache capacity in blocks (holds QP entries)
+	NITransferLat int // L1 <-> NI cache back-side transfer (5 cycles)
+	DirectoryLat  int // directory lookup, folded into LLC bank latency
+
+	// --- NOC (Table 2) ---
+	LinkBytes    int     // 16-byte links
+	HopLatency   int     // 3 cycles per mesh hop (router+link pipeline)
+	LinkBufFlits int     // per-VN output buffer depth, in flits
+	Routing      Routing // mesh routing policy
+	Topology     Topology
+
+	// NOC-Out parameters (§6.3, Table 2).
+	NOCOutLLCTiles int // 8 LLC tiles in the middle row
+	NOCOutFBCycle  int // flattened butterfly: 2 tiles per cycle
+	NOCOutTreeLat  int // tree networks: 1 cycle per hop
+
+	// --- Memory ---
+	MemLatencyNS float64 // 50 ns DRAM latency
+	MemPerRow    bool    // one MC per row on the edge opposite the NIs
+
+	// --- NI / RMC ---
+	Design         Design
+	RRPPPerRow     int // 1 RRPP per row (8 total)
+	RGPFrontendLat int // frontend processing (4 cycles in Table 3)
+	RGPBackendLat  int // backend processing (4 cycles)
+	RGPUnifiedLat  int // monolithic RGP processing (7 cycles, NIedge/per-tile)
+	RCPFrontendLat int // CQ-side frontend processing (8 cycles)
+	RCPBackendLat  int // response-side backend processing (4 cycles)
+	RCPUnifiedLat  int // monolithic RCP processing (11 cycles)
+	RRPPLat        int // RRPP protocol processing per request (3 cycles)
+	UnrollPerCycle int // requests unrolled per cycle (1)
+	ReqHeaderFlits int // network request packet size on the NOC (2 flits)
+	TranslationLat int // fixed TLB/translation stage latency (1 cycle)
+
+	// --- Software overheads (§3.1/§6.1.1) ---
+	WQWriteExec int // instruction-execution cycles to build a WQ entry (13)
+	CQReadExec  int // instruction-execution cycles to consume a CQ entry (10)
+	WQEntries   int // 128-entry WQ
+	WQEntryB    int // WQ entry size in bytes (16 -> 4 entries per block)
+	CQEntryB    int // CQ entry size in bytes (8 -> 8 entries per block)
+	PollPeriod  int // cycles between NI polls of an unchanged (cached) queue head
+
+	// --- Rack / inter-node network (§5) ---
+	NetHopNS    float64 // fixed 35 ns per intra-rack hop
+	TorusNodes  int     // 512-node 3D torus
+	TorusRadix  int     // 8 (8x8x8)
+	DefaultHops int     // hops used for single-node studies (1)
+
+	// --- Simulation control ---
+	Seed           uint64
+	WindowCycles   int64   // bandwidth monitoring window (500K in the paper)
+	StableDelta    float64 // stop when consecutive windows differ by < this (0.01)
+	MaxCycles      int64   // hard cap per run
+	WarmupRequests int     // sync-latency runs: requests discarded as warmup
+	MeasureReqs    int     // sync-latency runs: measured requests
+}
+
+// Default returns the paper's Table 2 configuration.
+func Default() Config {
+	return Config{
+		MeshWidth:  8,
+		MeshHeight: 8,
+		ClockGHz:   2.0,
+
+		L1Latency:     3,
+		L1SizeBytes:   32 << 10,
+		L1Ways:        2,
+		L1MSHRs:       32,
+		LLCLatency:    6,
+		LLCSizeBytes:  16 << 20,
+		LLCWays:       16,
+		BlockBytes:    64,
+		NICacheBlocks: 256,
+		NITransferLat: 5,
+		DirectoryLat:  0, // folded into LLCLatency
+
+		LinkBytes:    16,
+		HopLatency:   3,
+		LinkBufFlits: 16,
+		Routing:      RoutingCDRNI,
+		Topology:     Mesh,
+
+		NOCOutLLCTiles: 8,
+		NOCOutFBCycle:  2,
+		NOCOutTreeLat:  1,
+
+		MemLatencyNS: 50,
+		MemPerRow:    true,
+
+		Design:         NISplit,
+		RRPPPerRow:     1,
+		RGPFrontendLat: 4,
+		RGPBackendLat:  4,
+		RGPUnifiedLat:  7,
+		RCPFrontendLat: 8,
+		RCPBackendLat:  4,
+		RCPUnifiedLat:  11,
+		RRPPLat:        3,
+		UnrollPerCycle: 1,
+		ReqHeaderFlits: 2,
+		TranslationLat: 1,
+
+		WQWriteExec: 13,
+		CQReadExec:  10,
+		WQEntries:   128,
+		WQEntryB:    16,
+		CQEntryB:    8,
+		PollPeriod:  1,
+
+		NetHopNS:    35,
+		TorusNodes:  512,
+		TorusRadix:  8,
+		DefaultHops: 1,
+
+		Seed:           1,
+		WindowCycles:   100_000,
+		StableDelta:    0.02,
+		MaxCycles:      3_000_000,
+		WarmupRequests: 8,
+		MeasureReqs:    64,
+	}
+}
+
+// Tiles returns the number of mesh tiles (cores).
+func (c *Config) Tiles() int { return c.MeshWidth * c.MeshHeight }
+
+// MemLatencyCycles converts the DRAM latency to core cycles.
+func (c *Config) MemLatencyCycles() int64 {
+	return int64(c.MemLatencyNS * c.ClockGHz)
+}
+
+// NetHopCycles converts the intra-rack per-hop latency to core cycles
+// (70 cycles at 2 GHz and 35 ns).
+func (c *Config) NetHopCycles() int64 {
+	return int64(c.NetHopNS * c.ClockGHz)
+}
+
+// BlockFlits returns the number of link flits occupied by a message carrying
+// one cache block plus a header flit.
+func (c *Config) BlockFlits() int {
+	return c.BlockBytes/c.LinkBytes + 1
+}
+
+// NsPerCycle returns nanoseconds per core cycle.
+func (c *Config) NsPerCycle() float64 { return 1.0 / c.ClockGHz }
+
+// Validate reports configuration errors early instead of letting them
+// surface as simulator misbehavior.
+func (c *Config) Validate() error {
+	switch {
+	case c.MeshWidth <= 0 || c.MeshHeight <= 0:
+		return fmt.Errorf("config: bad mesh %dx%d", c.MeshWidth, c.MeshHeight)
+	case c.BlockBytes <= 0 || c.BlockBytes%c.LinkBytes != 0:
+		return fmt.Errorf("config: block size %dB not a multiple of link width %dB", c.BlockBytes, c.LinkBytes)
+	case c.WQEntryB <= 0 || c.BlockBytes%c.WQEntryB != 0:
+		return fmt.Errorf("config: WQ entry %dB must divide block size", c.WQEntryB)
+	case c.CQEntryB <= 0 || c.BlockBytes%c.CQEntryB != 0:
+		return fmt.Errorf("config: CQ entry %dB must divide block size", c.CQEntryB)
+	case c.WQEntries <= 0:
+		return fmt.Errorf("config: WQEntries must be positive")
+	case c.ClockGHz <= 0:
+		return fmt.Errorf("config: ClockGHz must be positive")
+	case c.Design == NUMA:
+		return fmt.Errorf("config: NUMA is an analytic baseline, not a simulated design")
+	case c.LLCWays <= 0 || c.L1Ways <= 0:
+		return fmt.Errorf("config: cache associativity must be positive")
+	case c.LinkBufFlits < c.BlockFlits():
+		return fmt.Errorf("config: link buffers (%d flits) must hold at least one data message (%d flits)", c.LinkBufFlits, c.BlockFlits())
+	}
+	return nil
+}

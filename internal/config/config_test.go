@@ -1,0 +1,70 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	cfg := Default()
+	if cfg.Tiles() != 64 {
+		t.Fatalf("tiles=%d want 64", cfg.Tiles())
+	}
+	if cfg.ClockGHz != 2.0 {
+		t.Fatalf("clock=%v want 2 GHz", cfg.ClockGHz)
+	}
+	if cfg.MemLatencyCycles() != 100 {
+		t.Fatalf("mem latency=%d cycles, want 100 (50 ns at 2 GHz)", cfg.MemLatencyCycles())
+	}
+	if cfg.NetHopCycles() != 70 {
+		t.Fatalf("net hop=%d cycles, want 70 (35 ns at 2 GHz)", cfg.NetHopCycles())
+	}
+	if cfg.BlockFlits() != 5 {
+		t.Fatalf("block flits=%d want 5 (64B data + header on 16B links)", cfg.BlockFlits())
+	}
+	if cfg.LLCSizeBytes != 16<<20 || cfg.LLCWays != 16 {
+		t.Fatal("LLC geometry drifted from Table 2")
+	}
+	if cfg.WQEntries != 128 {
+		t.Fatalf("WQ entries=%d want 128 (§5)", cfg.WQEntries)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.MeshWidth = 0 },
+		func(c *Config) { c.BlockBytes = 60 },
+		func(c *Config) { c.WQEntryB = 48 },
+		func(c *Config) { c.CQEntryB = 0 },
+		func(c *Config) { c.WQEntries = 0 },
+		func(c *Config) { c.ClockGHz = 0 },
+		func(c *Config) { c.Design = NUMA },
+		func(c *Config) { c.L1Ways = 0 },
+		func(c *Config) { c.LinkBufFlits = 2 },
+	}
+	for i, mut := range muts {
+		cfg := Default()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if NIEdge.String() != "NI_edge" || NISplit.String() != "NI_split" ||
+		NIPerTile.String() != "NI_per-tile" || NUMA.String() != "NUMA" {
+		t.Fatal("design names drifted")
+	}
+	if Mesh.String() != "mesh" || NOCOut.String() != "NOC-Out" {
+		t.Fatal("topology names drifted")
+	}
+	for _, r := range []Routing{RoutingXY, RoutingYX, RoutingO1Turn, RoutingCDR, RoutingCDRNI} {
+		if r.String() == "" {
+			t.Fatal("routing name empty")
+		}
+	}
+	if Design(99).String() == "" || Topology(99).String() == "" || Routing(99).String() == "" {
+		t.Fatal("unknown enum values must still render")
+	}
+}

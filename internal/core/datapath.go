@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"rackni/internal/coherence"
+	"rackni/internal/noc"
+)
+
+// DataPath is the NI's non-QP memory interface: block reads and writes that
+// bypass the NI cache (§3.1) and are serviced by the home LLC bank of the
+// target address (filling from / writing back to memory as needed). One
+// DataPath is shared by all RMC components at a NOC endpoint; responses are
+// demultiplexed by transaction id.
+type DataPath struct {
+	env     *Env
+	id      noc.NodeID
+	seq     uint64
+	pending map[uint64]func()
+	out     *outbox
+}
+
+// NewDataPath builds the data path for the component(s) at endpoint id.
+func NewDataPath(env *Env, id noc.NodeID) *DataPath {
+	return &DataPath{env: env, id: id, pending: make(map[uint64]func()), out: newOutbox(env, id)}
+}
+
+// ReadBlock fetches one cache block from local memory (through its home
+// LLC bank); done runs when the data is at the NI.
+func (d *DataPath) ReadBlock(addr uint64, done func()) {
+	txn := d.next()
+	d.pending[txn] = done
+	m := &noc.Message{
+		VN: noc.VNReq, Class: noc.ClassRequest,
+		Src: d.id, Dst: d.env.HomeOf(addr),
+		Flits: 1, Kind: coherence.KNIRead, Addr: addr, Txn: txn,
+	}
+	d.out.send(m)
+}
+
+// WriteBlock stores one cache block to local memory (allocating in the home
+// LLC bank); done runs when the write is acknowledged.
+func (d *DataPath) WriteBlock(addr uint64, done func()) {
+	txn := d.next()
+	d.pending[txn] = done
+	m := &noc.Message{
+		VN: noc.VNReq, Class: noc.ClassRequest,
+		Src: d.id, Dst: d.env.HomeOf(addr),
+		Flits: d.env.Cfg.BlockFlits(), Kind: coherence.KNIWrite, Addr: addr, Txn: txn,
+	}
+	d.out.send(m)
+}
+
+// Handle consumes KNIReadResp/KNIWriteAck messages for this endpoint.
+func (d *DataPath) Handle(m *noc.Message) {
+	done, ok := d.pending[m.Txn]
+	if !ok {
+		panic(fmt.Sprintf("datapath %d: unmatched txn %d", d.id, m.Txn))
+	}
+	delete(d.pending, m.Txn)
+	done()
+}
+
+func (d *DataPath) next() uint64 {
+	d.seq++
+	return d.seq
+}

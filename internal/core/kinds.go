@@ -1,0 +1,112 @@
+package core
+
+import (
+	"rackni/internal/config"
+	"rackni/internal/noc"
+	"rackni/internal/sim"
+	"rackni/internal/stats"
+)
+
+// RMC message kinds (range 200+; coherence uses 0..99, memory 100..119).
+const (
+	// KWQDispatch carries a valid WQ entry from an RGP frontend to its
+	// backend — the NIsplit Frontend-Backend Interface packet (§4.2).
+	KWQDispatch = 200
+	// KCQDispatch carries a completion from an RCP backend to its
+	// frontend (NIsplit).
+	KCQDispatch = 201
+	// KNetRequest is a cache-block-sized request packet headed off-chip.
+	KNetRequest = 202
+	// KNetResponse is a response packet delivered on-chip to an RCP
+	// backend (or to the issuing tile's NI in the per-tile design).
+	KNetResponse = 203
+	// KNetInbound is a remote node's request arriving at an RRPP.
+	KNetInbound = 204
+	// KNetOutbound is an RRPP's response headed off-chip.
+	KNetOutbound = 205
+)
+
+// RMCKind reports whether a message kind belongs to the RMC.
+func RMCKind(k int) bool { return k >= 200 && k <= 205 }
+
+// NetReq is the per-block context carried by request/response packets.
+type NetReq struct {
+	Req      *Request
+	Seq      int
+	ReturnTo noc.NodeID
+	Op       Op
+}
+
+// Env bundles what every RMC component needs.
+type Env struct {
+	Eng    *sim.Engine
+	Cfg    *config.Config
+	Net    noc.Fabric
+	HomeOf func(addr uint64) noc.NodeID
+	Stats  *Stats
+}
+
+// Now returns the current cycle.
+func (e *Env) Now() int64 { return e.Eng.Now() }
+
+// Stats aggregates the RMC-level measurements the experiments report.
+type Stats struct {
+	// RCPBytes counts payload bytes written into local buffers by RCP
+	// backends for locally initiated requests; RRPPBytes counts payload
+	// bytes sent out by RRPPs for remote requests. Their sum is the
+	// paper's "application bandwidth" (§6.2).
+	RCPBytes  int64
+	RRPPBytes int64
+
+	Completed int64
+	ReqLat    *stats.LatencyAccum
+	RRPPLat   *stats.LatencyAccum
+
+	// Done observes request completions (used by drivers); may be nil.
+	Done func(*Request)
+}
+
+// NewStats builds the stats sink.
+func NewStats() *Stats {
+	return &Stats{
+		ReqLat:  stats.NewLatencyAccum(4096),
+		RRPPLat: stats.NewLatencyAccum(4096),
+	}
+}
+
+// QPCache abstracts the NI cache an RGP/RCP frontend uses for its QP
+// interactions: the NI side of a tile's cache complex (per-tile/split) or
+// a standalone edge NI cache (edge).
+type QPCache interface {
+	Read(addr uint64, done func())
+	Write(addr uint64, done func())
+}
+
+// outbox serializes a component's NOC injections with retry-on-full.
+type outbox struct {
+	env     *Env
+	id      noc.NodeID
+	q       []*noc.Message
+	waiting bool
+}
+
+func newOutbox(env *Env, id noc.NodeID) *outbox { return &outbox{env: env, id: id} }
+
+func (o *outbox) send(m *noc.Message) {
+	o.q = append(o.q, m)
+	o.pump()
+}
+
+func (o *outbox) pump() {
+	if o.waiting {
+		return
+	}
+	for len(o.q) > 0 {
+		if !o.env.Net.Send(o.q[0]) {
+			o.waiting = true
+			o.env.Net.WhenFree(o.id, func() { o.waiting = false; o.pump() })
+			return
+		}
+		o.q = o.q[1:]
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rackni/internal/config"
+)
+
+func qp(t *testing.T) (*QueuePair, *config.Config) {
+	t.Helper()
+	cfg := config.Default()
+	return NewQueuePair(&cfg, 0, 0x4000_0000, 0x4000_8000), &cfg
+}
+
+func req(id uint64) *Request {
+	return &Request{ID: id, Size: 64, Op: OpRead}
+}
+
+func TestWQAddressesAdvanceByEntrySize(t *testing.T) {
+	q, cfg := qp(t)
+	a0 := q.WQHeadAddr()
+	q.PushWQ(req(1))
+	a1 := q.WQHeadAddr()
+	if a1-a0 != uint64(cfg.WQEntryB) {
+		t.Fatalf("head advanced %d bytes, want %d", a1-a0, cfg.WQEntryB)
+	}
+}
+
+func TestPopWQStopsAtBlockBoundary(t *testing.T) {
+	q, cfg := qp(t)
+	perBlock := cfg.BlockBytes / cfg.WQEntryB // 4
+	for i := 0; i < perBlock+2; i++ {
+		q.PushWQ(req(uint64(i)))
+	}
+	first := q.PopWQ()
+	if len(first) != perBlock {
+		t.Fatalf("one block read must yield %d entries, got %d", perBlock, len(first))
+	}
+	second := q.PopWQ()
+	if len(second) != 2 {
+		t.Fatalf("second block read must yield the remaining 2, got %d", len(second))
+	}
+	if len(q.PopWQ()) != 0 {
+		t.Fatal("empty WQ must pop nothing")
+	}
+}
+
+func TestWQFullAndCompletionFreesSlots(t *testing.T) {
+	q, cfg := qp(t)
+	for i := 0; i < cfg.WQEntries; i++ {
+		q.PushWQ(req(uint64(i)))
+	}
+	if !q.Full() {
+		t.Fatal("WQ must be full at 128 outstanding")
+	}
+	reqs := q.PopWQ() // NI consumes entries; slots stay busy until CQ read
+	if q.Full() != true {
+		t.Fatal("consuming WQ entries must not free slots (completion does)")
+	}
+	for _, r := range reqs {
+		q.PushCQ(r)
+	}
+	got := q.PopCQ()
+	if len(got) == 0 {
+		t.Fatal("completions not visible")
+	}
+	if q.Full() {
+		t.Fatal("consumed completions must free WQ slots")
+	}
+	if q.InFlight() != cfg.WQEntries-len(got) {
+		t.Fatalf("inFlight=%d want %d", q.InFlight(), cfg.WQEntries-len(got))
+	}
+}
+
+func TestWQOverflowPanics(t *testing.T) {
+	q, cfg := qp(t)
+	for i := 0; i < cfg.WQEntries; i++ {
+		q.PushWQ(req(uint64(i)))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow must panic (driver bug guard)")
+		}
+	}()
+	q.PushWQ(req(999))
+}
+
+func TestCQReserveOutOfOrderPublish(t *testing.T) {
+	q, _ := qp(t)
+	q.PushWQ(req(1))
+	q.PushWQ(req(2))
+	rs := q.PopWQ()
+	s1 := q.ReserveCQ()
+	s2 := q.ReserveCQ()
+	// Second completion lands first: the core must not consume past the
+	// unpublished first slot.
+	q.PushCQAt(s2, rs[1])
+	if len(q.PopCQ()) != 0 {
+		t.Fatal("consumed past an unpublished CQ slot")
+	}
+	q.PushCQAt(s1, rs[0])
+	got := q.PopCQ()
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("completion order wrong: %v", got)
+	}
+}
+
+func TestRequestBlocks(t *testing.T) {
+	cases := []struct{ size, want int }{
+		{1, 1}, {64, 1}, {65, 2}, {128, 2}, {8192, 128}, {16384, 256},
+	}
+	for _, c := range cases {
+		r := &Request{Size: c.size}
+		if got := r.Blocks(64); got != c.want {
+			t.Fatalf("Blocks(%d)=%d want %d", c.size, got, c.want)
+		}
+	}
+}
+
+// Property: push/pop through wrap-around keeps FIFO order and conserves
+// requests.
+func TestPropertyQPWrapAroundFIFO(t *testing.T) {
+	f := func(batches []uint8) bool {
+		cfg := config.Default()
+		q := NewQueuePair(&cfg, 0, 0, 0x8000)
+		next := uint64(0)
+		expect := uint64(0)
+		for _, raw := range batches {
+			n := int(raw%8) + 1
+			for i := 0; i < n && !q.Full(); i++ {
+				next++
+				q.PushWQ(req(next))
+			}
+			for {
+				rs := q.PopWQ()
+				if len(rs) == 0 {
+					break
+				}
+				for _, r := range rs {
+					expect++
+					if r.ID != expect {
+						return false
+					}
+					q.PushCQ(r)
+				}
+			}
+			for {
+				cs := q.PopCQ()
+				if len(cs) == 0 {
+					break
+				}
+			}
+		}
+		return q.InFlight() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

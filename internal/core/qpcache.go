@@ -1,0 +1,27 @@
+package core
+
+import "rackni/internal/coherence"
+
+// NISideCache adapts the NI side of a tile's cache complex to the QPCache
+// interface (the per-tile and split designs, §3.4).
+type NISideCache struct {
+	Agent *coherence.Agent
+}
+
+// Read polls a QP block through the NI cache.
+func (c NISideCache) Read(addr uint64, done func()) { c.Agent.NISideRead(addr, done) }
+
+// Write stores a QP block through the NI cache.
+func (c NISideCache) Write(addr uint64, done func()) { c.Agent.NISideWrite(addr, done) }
+
+// EdgeCache adapts a standalone edge NI cache (the NIedge design, where the
+// NI cache has its own tile ID and participates in coherence like an L1).
+type EdgeCache struct {
+	Agent *coherence.Agent
+}
+
+// Read polls a QP block through the edge NI cache.
+func (c EdgeCache) Read(addr uint64, done func()) { c.Agent.NISideRead(addr, done) }
+
+// Write stores a QP block through the edge NI cache.
+func (c EdgeCache) Write(addr uint64, done func()) { c.Agent.NISideWrite(addr, done) }

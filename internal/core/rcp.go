@@ -1,0 +1,81 @@
+package core
+
+import "rackni/internal/noc"
+
+// RCPBackend is the Request Completion Pipeline's backend: it receives
+// response packets from the network, updates in-flight request state,
+// stores read payloads into local memory, and — when a request's last
+// block has landed — notifies the frontend (Fig. 4b).
+type RCPBackend struct {
+	env      *Env
+	id       noc.NodeID
+	procLat  int64
+	data     *DataPath
+	complete func(*Request)
+}
+
+// NewRCPBackend builds a backend; complete is the Frontend-Backend
+// Interface toward the RCP frontend (latch or NOC packet sender).
+func NewRCPBackend(env *Env, id noc.NodeID, procLat int64, data *DataPath, complete func(*Request)) *RCPBackend {
+	return &RCPBackend{env: env, id: id, procLat: procLat, data: data, complete: complete}
+}
+
+// HandleResponse consumes one KNetResponse packet.
+func (b *RCPBackend) HandleResponse(m *noc.Message) {
+	nr := m.Meta.(*NetReq)
+	r := nr.Req
+	if r.T.RespFirst == 0 {
+		r.T.RespFirst = b.env.Now()
+	}
+	b.env.Eng.Schedule(b.procLat, func() {
+		if r.Op == OpRead {
+			blockB := uint64(b.env.Cfg.BlockBytes)
+			local := (r.LocalAddr &^ (blockB - 1)) + uint64(nr.Seq)*blockB
+			// The home LLC bank is the point of ordering: the request is
+			// complete once the store is issued toward it; the ack only
+			// retires the buffer slot (and the bandwidth accounting).
+			b.data.WriteBlock(local, func() {
+				b.env.Stats.RCPBytes += int64(b.env.Cfg.BlockBytes)
+			})
+			b.finishBlock(r)
+			return
+		}
+		b.finishBlock(r) // write acks carry no payload
+	})
+}
+
+func (b *RCPBackend) finishBlock(r *Request) {
+	r.blocksLeft--
+	if r.blocksLeft > 0 {
+		return
+	}
+	r.T.DataDone = b.env.Now()
+	b.complete(r)
+}
+
+// RCPFrontend notifies the application of completions by writing CQ
+// entries through the NI cache; the core's CQ polling then observes them
+// via the normal coherence mechanisms.
+type RCPFrontend struct {
+	env     *Env
+	cache   QPCache
+	procLat int64
+	qpOf    func(core int) *QueuePair
+}
+
+// NewRCPFrontend builds a frontend. qpOf resolves a core's queue pair.
+func NewRCPFrontend(env *Env, cache QPCache, procLat int64, qpOf func(int) *QueuePair) *RCPFrontend {
+	return &RCPFrontend{env: env, cache: cache, procLat: procLat, qpOf: qpOf}
+}
+
+// Complete publishes the request's completion to its core's CQ.
+func (f *RCPFrontend) Complete(r *Request) {
+	f.env.Eng.Schedule(f.procLat, func() {
+		qp := f.qpOf(r.Core)
+		slot := qp.ReserveCQ()
+		f.cache.Write(qp.CQSlotAddr(slot), func() {
+			qp.PushCQAt(slot, r)
+			r.T.CQWritten = f.env.Now()
+		})
+	})
+}

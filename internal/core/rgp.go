@@ -1,0 +1,145 @@
+package core
+
+import "rackni/internal/noc"
+
+// RGPFrontend is the Request Generation Pipeline's frontend: it selects
+// among its registered WQs, computes the WQ tail address, loads the WQ head
+// block through the NI cache, and hands valid entries to the backend
+// (Fig. 4a). While the WQ is idle the poll is a cheap NI-cache hit; when
+// the core publishes an entry the NI's copy has been invalidated and the
+// next poll pays a coherent re-fetch — the interaction the paper measures.
+type RGPFrontend struct {
+	env      *Env
+	cache    QPCache
+	procLat  int64
+	dispatch func(*Request)
+}
+
+// NewRGPFrontend builds a frontend; dispatch is the Frontend-Backend
+// Interface — a latch (direct call) in NIedge/NIper-tile or a NOC packet
+// sender in NIsplit.
+func NewRGPFrontend(env *Env, cache QPCache, procLat int64, dispatch func(*Request)) *RGPFrontend {
+	return &RGPFrontend{env: env, cache: cache, procLat: procLat, dispatch: dispatch}
+}
+
+// AddQP registers a WQ with this frontend and starts polling it.
+func (f *RGPFrontend) AddQP(qp *QueuePair) {
+	f.env.Eng.Schedule(0, func() { f.poll(qp) })
+}
+
+func (f *RGPFrontend) poll(qp *QueuePair) {
+	f.cache.Read(qp.WQTailAddr(), func() {
+		reqs := qp.PopWQ()
+		if len(reqs) == 0 {
+			f.env.Eng.Schedule(int64(f.env.Cfg.PollPeriod), func() { f.poll(qp) })
+			return
+		}
+		now := f.env.Now()
+		var delay int64
+		for _, r := range reqs {
+			r.T.WQSeen = now
+			req := r
+			f.env.Eng.Schedule(f.procLat+delay, func() { f.dispatch(req) })
+			delay++ // one entry per cycle through the pipeline
+		}
+		// More entries may sit in the next block; re-poll immediately.
+		f.env.Eng.Schedule(delay, func() { f.poll(qp) })
+	})
+}
+
+// RGPBackend is the Request Generation Pipeline's backend: it initializes
+// request-tracking state, unrolls multi-block requests into cache-block
+// transfers at one per cycle (§3.1), loads write payloads from local
+// memory, and injects request packets into the network router.
+type RGPBackend struct {
+	env      *Env
+	id       noc.NodeID
+	netPort  noc.NodeID
+	returnTo noc.NodeID
+	procLat  int64
+	data     *DataPath
+	out      *outbox
+
+	q         []*unrollJob
+	unrolling bool
+
+	// Unrolled counts block requests injected (tests/metrics).
+	Unrolled int64
+}
+
+type unrollJob struct {
+	req *Request
+	seq int
+}
+
+// NewRGPBackend builds a backend that injects packets toward netPort and
+// asks for responses to be returned to returnTo (the paired RCP backend's
+// endpoint: the same edge NI in NIedge/NIsplit, the issuing tile in
+// NIper-tile).
+func NewRGPBackend(env *Env, id, netPort, returnTo noc.NodeID, procLat int64, data *DataPath) *RGPBackend {
+	return &RGPBackend{
+		env: env, id: id, netPort: netPort, returnTo: returnTo,
+		procLat: procLat, data: data, out: newOutbox(env, id),
+	}
+}
+
+// Accept receives a WQ entry from the frontend (latch or NOC packet).
+func (b *RGPBackend) Accept(r *Request) {
+	r.T.Dispatched = b.env.Now()
+	r.blocksLeft = r.Blocks(b.env.Cfg.BlockBytes)
+	b.env.Eng.Schedule(b.procLat, func() {
+		b.q = append(b.q, &unrollJob{req: r})
+		b.kick()
+	})
+}
+
+func (b *RGPBackend) kick() {
+	if b.unrolling || len(b.q) == 0 {
+		return
+	}
+	b.unrolling = true
+	b.env.Eng.Schedule(1, b.step)
+}
+
+// step unrolls one cache-block transfer per cycle (UnrollPerCycle).
+func (b *RGPBackend) step() {
+	if len(b.q) == 0 {
+		b.unrolling = false
+		return
+	}
+	job := b.q[0]
+	r := job.req
+	seq := job.seq
+	blockB := uint64(b.env.Cfg.BlockBytes)
+	addr := (r.RemoteAddr &^ (blockB - 1)) + uint64(seq)*blockB
+	job.seq++
+	if job.seq >= r.Blocks(b.env.Cfg.BlockBytes) {
+		b.q = b.q[1:]
+	}
+	b.Unrolled++
+	nr := &NetReq{Req: r, Seq: seq, ReturnTo: b.returnTo, Op: r.Op}
+	switch r.Op {
+	case OpRead:
+		b.inject(nr, addr, b.env.Cfg.ReqHeaderFlits)
+	case OpWrite:
+		// Load the write payload from local memory first (Fig. 4a:
+		// "Memory Read"), then inject header+data.
+		local := (r.LocalAddr &^ (blockB - 1)) + uint64(seq)*blockB
+		b.data.ReadBlock(local, func() {
+			b.inject(nr, addr, b.env.Cfg.ReqHeaderFlits+b.env.Cfg.BlockBytes/b.env.Cfg.LinkBytes)
+		})
+	}
+	b.env.Eng.Schedule(int64(b.env.Cfg.UnrollPerCycle), b.step)
+}
+
+func (b *RGPBackend) inject(nr *NetReq, addr uint64, flits int) {
+	if nr.Req.T.Injected == 0 {
+		nr.Req.T.Injected = b.env.Now()
+	}
+	m := &noc.Message{
+		VN: noc.VNReq, Class: noc.ClassRequest,
+		Src: b.id, Dst: b.netPort,
+		Flits: flits, Kind: KNetRequest, Addr: addr, Meta: nr,
+	}
+	b.out.send(m)
+}

@@ -1,0 +1,66 @@
+package core
+
+import "rackni/internal/noc"
+
+// RRPP is the Remote Request Processing Pipeline: it services incoming
+// remote requests by reading or writing local memory and responding
+// (§4.1). RRPPs never interact with the cores, so every design places them
+// at the chip's edge next to the network router (§4.2), one per row, with
+// incoming traffic address-interleaved across them so each request ejects
+// at the row of its home LLC tile (§4.3).
+type RRPP struct {
+	env     *Env
+	id      noc.NodeID
+	netPort noc.NodeID
+	procLat int64
+	data    *DataPath
+	out     *outbox
+
+	// Serviced counts completed inbound requests.
+	Serviced int64
+}
+
+// NewRRPP builds the RRPP at endpoint id, responding through netPort.
+func NewRRPP(env *Env, id, netPort noc.NodeID, data *DataPath) *RRPP {
+	return &RRPP{
+		env: env, id: id, netPort: netPort,
+		procLat: int64(env.Cfg.TranslationLat + env.Cfg.RRPPLat),
+		data:    data,
+		out:     newOutbox(env, id),
+	}
+}
+
+// HandleInbound services one KNetInbound request. The service latency
+// (arrival to response injection) is recorded; the rack emulation uses the
+// local node's measured RRPP latency as the remote node's, exactly as the
+// paper's methodology prescribes (§5).
+func (p *RRPP) HandleInbound(m *noc.Message) {
+	t0 := p.env.Now()
+	op := Op(m.A)
+	addr := m.Addr
+	txn := m.Txn
+	p.env.Eng.Schedule(p.procLat, func() {
+		switch op {
+		case OpRead:
+			p.data.ReadBlock(addr, func() {
+				p.respond(txn, p.env.Cfg.BlockFlits(), t0)
+				p.env.Stats.RRPPBytes += int64(p.env.Cfg.BlockBytes)
+			})
+		case OpWrite:
+			p.data.WriteBlock(addr, func() {
+				p.respond(txn, 1, t0)
+			})
+		}
+	})
+}
+
+func (p *RRPP) respond(txn uint64, flits int, t0 int64) {
+	p.Serviced++
+	p.env.Stats.RRPPLat.Add(p.env.Now() - t0)
+	m := &noc.Message{
+		VN: noc.VNResp, Class: noc.ClassResponse,
+		Src: p.id, Dst: p.netPort,
+		Flits: flits, Kind: KNetOutbound, Txn: txn,
+	}
+	p.out.send(m)
+}

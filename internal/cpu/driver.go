@@ -1,0 +1,247 @@
+// Package cpu models the cores' interaction with the RMC: building WQ
+// entries, polling the CQ, and the microbenchmarks of §5. Cores are state
+// machines with the paper's measured instruction-execution overheads
+// (~13 cycles to build a WQ entry, ~10 to consume a CQ entry); every QP
+// load and store goes through the simulated coherence protocol, which is
+// where the designs differ.
+package cpu
+
+import (
+	"rackni/internal/coherence"
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/sim"
+)
+
+// Mode selects the microbenchmark issue discipline (§5).
+type Mode int
+
+const (
+	// Sync issues one remote read at a time, waiting for its completion —
+	// the latency microbenchmark.
+	Sync Mode = iota
+	// Async keeps enqueueing while WQ space remains, occasionally polling
+	// the CQ; with a full WQ it spins on the CQ — the bandwidth
+	// microbenchmark.
+	Async
+)
+
+// Workload generates the operations a core issues; implement it to run
+// application-like scenarios (see the examples) instead of the built-in
+// uniform microbenchmark.
+type Workload interface {
+	// Next returns the next operation for this core, or ok=false when the
+	// core should stop issuing.
+	Next(coreID int, seq uint64) (op rmc.Op, remoteAddr uint64, localAddr uint64, size int, ok bool)
+}
+
+// UniformReads is the paper's remote-read microbenchmark: fixed-size reads
+// at uniformly random block-aligned addresses of a source region that
+// exceeds the aggregate cache capacity.
+type UniformReads struct {
+	Size       int
+	RemoteBase uint64
+	RemoteSpan uint64
+	LocalBase  uint64
+	LocalSpan  uint64
+	Max        uint64 // 0 = unbounded
+	rnd        *sim.Rand
+}
+
+// NewUniformReads builds the microbenchmark workload for one core.
+func NewUniformReads(size int, remoteBase, remoteSpan, localBase, localSpan uint64, max uint64, seed uint64) *UniformReads {
+	return &UniformReads{
+		Size: size, RemoteBase: remoteBase, RemoteSpan: remoteSpan,
+		LocalBase: localBase, LocalSpan: localSpan, Max: max,
+		rnd: sim.NewRand(seed),
+	}
+}
+
+// Next implements Workload.
+func (u *UniformReads) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if u.Max > 0 && seq >= u.Max {
+		return 0, 0, 0, 0, false
+	}
+	sz := uint64(u.Size)
+	slots := u.RemoteSpan / sz
+	remote := u.RemoteBase + (u.rnd.Uint64()%slots)*sz
+	lslots := u.LocalSpan / sz
+	local := u.LocalBase + (u.rnd.Uint64()%lslots)*sz
+	return rmc.OpRead, remote, local, u.Size, true
+}
+
+// Driver is one core running a workload against its queue pair.
+type Driver struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	id    int
+	agent *coherence.Agent
+	qp    *rmc.QueuePair
+	stats *rmc.Stats
+	wl    Workload
+	mode  Mode
+
+	// PollEvery controls how often the async loop checks the CQ between
+	// enqueues ("occasionally polling", §5).
+	PollEvery int
+
+	seq       uint64
+	issued    uint64
+	completed uint64
+	sincePoll int
+	stopped   bool
+
+	// Completed requests retained for latency tomography (sync runs).
+	Retired []*rmc.Request
+
+	// OnIdle fires when a sync driver has exhausted its workload.
+	OnIdle func()
+}
+
+// NewDriver builds a driver for core id.
+func NewDriver(eng *sim.Engine, cfg *config.Config, id int, agent *coherence.Agent,
+	qp *rmc.QueuePair, st *rmc.Stats, wl Workload, mode Mode) *Driver {
+	return &Driver{
+		eng: eng, cfg: cfg, id: id, agent: agent, qp: qp, stats: st,
+		wl: wl, mode: mode, PollEvery: 4,
+	}
+}
+
+// Start launches the core's issue loop.
+func (d *Driver) Start() {
+	d.eng.Schedule(0, d.step)
+}
+
+// Stop makes the driver stop issuing new requests (in-flight ones finish).
+func (d *Driver) Stop() { d.stopped = true }
+
+// Completed returns the number of retired requests.
+func (d *Driver) Completed() uint64 { return d.completed }
+
+// Issued returns the number of issued requests.
+func (d *Driver) Issued() uint64 { return d.issued }
+
+func (d *Driver) step() {
+	if d.stopped {
+		return
+	}
+	switch d.mode {
+	case Sync:
+		d.issueOne(func() { d.spinCQ(true) })
+	case Async:
+		if d.qp.Full() {
+			d.spinCQ(false)
+			return
+		}
+		d.issueOne(func() {
+			d.sincePoll++
+			if d.sincePoll >= d.PollEvery {
+				d.sincePoll = 0
+				d.pollOnce(d.step)
+				return
+			}
+			d.step()
+		})
+	}
+}
+
+// issueOne builds a WQ entry (WQWriteExec cycles of instructions plus the
+// coherent store) and publishes it.
+func (d *Driver) issueOne(then func()) {
+	op, remote, local, size, ok := d.wl.Next(d.id, d.seq)
+	if !ok {
+		if d.mode == Async && d.qp.InFlight() > 0 {
+			d.drain()
+			return
+		}
+		d.stopped = true
+		if d.OnIdle != nil {
+			d.OnIdle()
+		}
+		return
+	}
+	d.seq++
+	r := &rmc.Request{
+		ID:         uint64(d.id)<<32 | d.seq,
+		Core:       d.id,
+		Op:         op,
+		RemoteAddr: remote,
+		LocalAddr:  local,
+		Size:       size,
+	}
+	r.T.IssueStart = d.eng.Now()
+	d.eng.Schedule(int64(d.cfg.WQWriteExec), func() {
+		d.agent.Write(d.qp.WQHeadAddr(), func() {
+			r.T.WQWritten = d.eng.Now()
+			d.qp.PushWQ(r)
+			d.issued++
+			then()
+		})
+	})
+}
+
+// spinCQ polls the CQ until at least one completion is consumed; sync mode
+// then loops back to issue, async mode resumes enqueueing.
+func (d *Driver) spinCQ(syncNext bool) {
+	d.agent.Read(d.qp.CQTailAddr(), func() {
+		done := d.qp.PopCQ()
+		if len(done) == 0 {
+			d.eng.Schedule(int64(d.cfg.PollPeriod), func() { d.spinCQ(syncNext) })
+			return
+		}
+		d.retire(done, d.step)
+	})
+}
+
+// pollOnce checks the CQ once without blocking on it.
+func (d *Driver) pollOnce(then func()) {
+	d.agent.Read(d.qp.CQTailAddr(), func() {
+		done := d.qp.PopCQ()
+		if len(done) == 0 {
+			then()
+			return
+		}
+		d.retire(done, then)
+	})
+}
+
+// drain consumes remaining completions after the workload is exhausted,
+// then reports idle.
+func (d *Driver) drain() {
+	if d.qp.InFlight() == 0 {
+		d.stopped = true
+		if d.OnIdle != nil {
+			d.OnIdle()
+		}
+		return
+	}
+	d.agent.Read(d.qp.CQTailAddr(), func() {
+		done := d.qp.PopCQ()
+		if len(done) == 0 {
+			d.eng.Schedule(int64(d.cfg.PollPeriod), d.drain)
+			return
+		}
+		d.retire(done, d.drain)
+	})
+}
+
+// retire consumes completions, charging CQReadExec cycles per entry.
+func (d *Driver) retire(done []*rmc.Request, then func()) {
+	cost := int64(len(done)) * int64(d.cfg.CQReadExec)
+	d.eng.Schedule(cost, func() {
+		now := d.eng.Now()
+		for _, r := range done {
+			r.T.Done = now
+			d.completed++
+			d.stats.Completed++
+			d.stats.ReqLat.Add(now - r.T.IssueStart)
+			if len(d.Retired) < 4096 {
+				d.Retired = append(d.Retired, r)
+			}
+			if d.stats.Done != nil {
+				d.stats.Done(r)
+			}
+		}
+		then()
+	})
+}

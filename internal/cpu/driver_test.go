@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"testing"
+
+	rmc "rackni/internal/core"
+)
+
+func TestUniformReadsBounds(t *testing.T) {
+	u := NewUniformReads(256, 0x1000_0000, 0x100_0000, 0x2000_0000, 0x10_0000, 100, 7)
+	for i := uint64(0); ; i++ {
+		op, remote, local, size, ok := u.Next(0, i)
+		if !ok {
+			if i != 100 {
+				t.Fatalf("stopped at %d, want 100", i)
+			}
+			break
+		}
+		if op != rmc.OpRead || size != 256 {
+			t.Fatalf("bad op/size: %v %d", op, size)
+		}
+		if remote < 0x1000_0000 || remote+256 > 0x1000_0000+0x100_0000 {
+			t.Fatalf("remote out of region: %#x", remote)
+		}
+		if remote%256 != 0 {
+			t.Fatalf("remote not size-aligned: %#x", remote)
+		}
+		if local < 0x2000_0000 || local+256 > 0x2000_0000+0x10_0000 {
+			t.Fatalf("local out of region: %#x", local)
+		}
+	}
+}
+
+func TestUniformReadsUnbounded(t *testing.T) {
+	u := NewUniformReads(64, 0x1000_0000, 0x100_0000, 0x2000_0000, 0x10_0000, 0, 7)
+	for i := uint64(0); i < 10_000; i++ {
+		if _, _, _, _, ok := u.Next(0, i); !ok {
+			t.Fatal("unbounded workload stopped")
+		}
+	}
+}
+
+func TestUniformReadsDeterminism(t *testing.T) {
+	a := NewUniformReads(64, 0x1000_0000, 0x100_0000, 0x2000_0000, 0x10_0000, 0, 42)
+	b := NewUniformReads(64, 0x1000_0000, 0x100_0000, 0x2000_0000, 0x10_0000, 0, 42)
+	for i := uint64(0); i < 100; i++ {
+		_, r1, l1, _, _ := a.Next(0, i)
+		_, r2, l2, _, _ := b.Next(0, i)
+		if r1 != r2 || l1 != l2 {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package fabric models the rack: the chip-to-chip network and the remote
+// end of every transfer. Following the paper's methodology (§5) exactly,
+// only one node is simulated in detail; the rack is emulated by
+//
+//   - a fixed 35 ns latency per intra-rack network hop,
+//   - a traffic generator that mirrors the outgoing request rate back at
+//     the node as incoming remote requests (address-interleaved across the
+//     RRPPs by home row, §4.3), and
+//   - using the local RRPPs' measured service latency as the remote node's
+//     service latency: each outgoing block request spawns a mirror inbound
+//     request, and the original's response is released when its mirror
+//     completes service plus the return network hops.
+//
+// The package also provides the 512-node 3D-torus hop statistics used by
+// the Fig. 5 projection.
+package fabric
+
+import (
+	"fmt"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/noc"
+)
+
+// Rack is the emulated remote end attached to a node's network ports.
+type Rack struct {
+	env     *rmc.Env
+	hops    int
+	homeRow func(addr uint64) int
+	rowOf   func(id noc.NodeID) int
+	rrppAt  func(row int) noc.NodeID
+
+	mirrorSeq uint64
+	pending   map[uint64]*outstanding
+	outs      map[int]*portOut
+
+	// Outgoing / inbound counters (tests, experiments).
+	RequestsOut  int64
+	ResponsesIn  int64
+	InboundMade  int64
+	ResponsesOut int64
+}
+
+type outstanding struct {
+	nr   *rmc.NetReq
+	addr uint64
+}
+
+type portOut struct {
+	rack    *Rack
+	id      noc.NodeID
+	q       []*noc.Message
+	waiting bool
+}
+
+// NewRack wires the rack emulation to the node's network ports. hops is
+// the one-way intra-rack hop count between the node and its peer; homeRow
+// maps an address to the row whose RRPP services it (the address
+// interleaving of §4.3); rowOf maps a response's return target to the row
+// whose port injects it; ports is the number of attachment points.
+func NewRack(env *rmc.Env, hops, ports int, homeRow func(uint64) int,
+	rowOf func(noc.NodeID) int, rrppAt func(int) noc.NodeID) *Rack {
+	r := &Rack{env: env, hops: hops, homeRow: homeRow, rowOf: rowOf, rrppAt: rrppAt,
+		pending: make(map[uint64]*outstanding), outs: make(map[int]*portOut)}
+	for row := 0; row < ports; row++ {
+		id := noc.NetID(row)
+		r.outs[row] = &portOut{rack: r, id: id}
+		env.Net.Register(id, r.handle)
+	}
+	return r
+}
+
+func (r *Rack) hopDelay() int64 {
+	return int64(r.hops) * r.env.Cfg.NetHopCycles()
+}
+
+func (r *Rack) handle(m *noc.Message) {
+	switch m.Kind {
+	case rmc.KNetRequest:
+		r.onOutgoingRequest(m)
+	case rmc.KNetOutbound:
+		r.onOutgoingResponse(m)
+	default:
+		panic(fmt.Sprintf("fabric: unexpected kind %d at network router", m.Kind))
+	}
+}
+
+// onOutgoingRequest sends one block request into the rack. Its mirror
+// arrives back at this node after the outbound hops; the original's
+// response is released when the mirror's RRPP service completes.
+func (r *Rack) onOutgoingRequest(m *noc.Message) {
+	r.RequestsOut++
+	nr := m.Meta.(*rmc.NetReq)
+	r.mirrorSeq++
+	txn := r.mirrorSeq
+	r.pending[txn] = &outstanding{nr: nr, addr: m.Addr}
+	addr := m.Addr // remote addresses map 1:1 onto the local source region
+	flits := r.env.Cfg.ReqHeaderFlits
+	if nr.Op == rmc.OpWrite {
+		flits += r.env.Cfg.BlockBytes / r.env.Cfg.LinkBytes
+	}
+	row := r.homeRow(addr)
+	inbound := &noc.Message{
+		VN: noc.VNReq, Class: noc.ClassRequest,
+		Src: noc.NetID(row), Dst: r.rrppAt(row),
+		Flits: flits, Kind: rmc.KNetInbound, Addr: addr, Txn: txn, A: int64(nr.Op),
+	}
+	r.InboundMade++
+	r.env.Eng.Schedule(r.hopDelay(), func() { r.outs[row].send(inbound) })
+}
+
+// onOutgoingResponse completes a mirror: after the return hops, the
+// matching original request's response enters the chip at the row of its
+// return target.
+func (r *Rack) onOutgoingResponse(m *noc.Message) {
+	r.ResponsesOut++
+	o, ok := r.pending[m.Txn]
+	if !ok {
+		panic(fmt.Sprintf("fabric: response for unknown mirror txn %d", m.Txn))
+	}
+	delete(r.pending, m.Txn)
+	flits := 1
+	if o.nr.Op == rmc.OpRead {
+		flits = r.env.Cfg.BlockFlits()
+	}
+	row := r.rowOf(o.nr.ReturnTo)
+	resp := &noc.Message{
+		VN: noc.VNResp, Class: noc.ClassResponse,
+		Src: noc.NetID(row), Dst: o.nr.ReturnTo,
+		Flits: flits, Kind: rmc.KNetResponse, Addr: o.addr, Meta: o.nr,
+	}
+	r.env.Eng.Schedule(r.hopDelay(), func() {
+		r.ResponsesIn++
+		r.outs[row].send(resp)
+	})
+}
+
+func (p *portOut) send(m *noc.Message) {
+	p.q = append(p.q, m)
+	p.pump()
+}
+
+func (p *portOut) pump() {
+	if p.waiting {
+		return
+	}
+	for len(p.q) > 0 {
+		if !p.rack.env.Net.Send(p.q[0]) {
+			p.waiting = true
+			p.rack.env.Net.WhenFree(p.id, func() { p.waiting = false; p.pump() })
+			return
+		}
+		p.q = p.q[1:]
+	}
+}

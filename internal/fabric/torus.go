@@ -1,0 +1,50 @@
+package fabric
+
+// Torus3D describes the rack's inter-node topology: the paper assumes a
+// 512-node 3D torus (8x8x8), whose average and maximum hop counts (6 and
+// 12) anchor the Fig. 5 latency projection.
+type Torus3D struct {
+	Radix int // nodes per dimension
+}
+
+// NewTorus3D builds an n-node 3D torus; n must be a perfect cube.
+func NewTorus3D(radix int) Torus3D { return Torus3D{Radix: radix} }
+
+// Nodes returns the node count.
+func (t Torus3D) Nodes() int { return t.Radix * t.Radix * t.Radix }
+
+// ringDist is the hop distance along one torus dimension.
+func (t Torus3D) ringDist(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if w := t.Radix - d; w < d {
+		return w
+	}
+	return d
+}
+
+// Hops returns the hop count between two node ids.
+func (t Torus3D) Hops(a, b int) int {
+	r := t.Radix
+	ax, ay, az := a%r, (a/r)%r, a/(r*r)
+	bx, by, bz := b%r, (b/r)%r, b/(r*r)
+	return t.ringDist(ax, bx) + t.ringDist(ay, by) + t.ringDist(az, bz)
+}
+
+// MaxHops returns the torus diameter (12 for an 8x8x8 torus).
+func (t Torus3D) MaxHops() int {
+	return 3 * (t.Radix / 2)
+}
+
+// AvgHops returns the average hop count from a node to every other node
+// (6.0 for an 8x8x8 torus, the figure the paper quotes).
+func (t Torus3D) AvgHops() float64 {
+	n := t.Nodes()
+	total := 0
+	for b := 1; b < n; b++ {
+		total += t.Hops(0, b)
+	}
+	return float64(total) / float64(n-1)
+}

@@ -1,0 +1,58 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTorusPaperFigures(t *testing.T) {
+	torus := NewTorus3D(8)
+	if torus.Nodes() != 512 {
+		t.Fatalf("nodes=%d want 512", torus.Nodes())
+	}
+	if torus.MaxHops() != 12 {
+		t.Fatalf("diameter=%d want 12 (paper §6.1.2)", torus.MaxHops())
+	}
+	avg := torus.AvgHops()
+	if avg < 5.9 || avg > 6.1 {
+		t.Fatalf("average hops=%.2f, paper quotes 6", avg)
+	}
+}
+
+func TestTorusHopsSymmetryAndIdentity(t *testing.T) {
+	torus := NewTorus3D(8)
+	f := func(a, b uint16) bool {
+		x, y := int(a)%512, int(b)%512
+		if torus.Hops(x, x) != 0 {
+			return false
+		}
+		return torus.Hops(x, y) == torus.Hops(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusTriangleInequality(t *testing.T) {
+	torus := NewTorus3D(4)
+	n := torus.Nodes()
+	for a := 0; a < n; a += 7 {
+		for b := 0; b < n; b += 5 {
+			for c := 0; c < n; c += 11 {
+				if torus.Hops(a, c) > torus.Hops(a, b)+torus.Hops(b, c) {
+					t.Fatalf("triangle inequality violated at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRingDistWraps(t *testing.T) {
+	torus := NewTorus3D(8)
+	if d := torus.ringDist(0, 7); d != 1 {
+		t.Fatalf("ring wrap distance = %d, want 1", d)
+	}
+	if d := torus.ringDist(0, 4); d != 4 {
+		t.Fatalf("half-ring distance = %d, want 4", d)
+	}
+}

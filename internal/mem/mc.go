@@ -1,0 +1,105 @@
+// Package mem models the memory controllers. Following the paper's
+// methodology (§5, "Memory and Network Bandwidth Assumptions"), DRAM is a
+// latency-only model: high-bandwidth interfaces (HMC-style stacked DRAM)
+// are assumed not to bottleneck the studied workloads, so the controller is
+// fully pipelined with a fixed access latency and the NOC remains the
+// bandwidth limiter.
+package mem
+
+import (
+	"rackni/internal/config"
+	"rackni/internal/noc"
+	"rackni/internal/sim"
+)
+
+// Message kinds understood by the memory controller. They live in their own
+// range so endpoint dispatch can tell them from coherence kinds.
+const (
+	KindRead  = 100 // request a block; A carries no meaning; replies KindReadResp
+	KindWrite = 101 // write back a block; fire-and-forget
+	// KindReadResp is the data reply to KindRead; Txn echoes the request.
+	KindReadResp = 102
+)
+
+// MC is one memory controller, attached at the east edge of its row.
+type MC struct {
+	eng *sim.Engine
+	net noc.Fabric
+	cfg *config.Config
+	id  noc.NodeID
+
+	lat        int64
+	blockFlits int
+
+	reads  int64
+	writes int64
+
+	// out is the retry queue for replies blocked on NOC injection space.
+	out        []*noc.Message
+	outWaiting bool
+}
+
+// New builds and registers the MC for the given row.
+func New(eng *sim.Engine, net noc.Fabric, cfg *config.Config, row int) *MC {
+	mc := &MC{
+		eng:        eng,
+		net:        net,
+		cfg:        cfg,
+		id:         noc.MCID(row),
+		lat:        cfg.MemLatencyCycles(),
+		blockFlits: cfg.BlockFlits(),
+	}
+	net.Register(mc.id, mc.handle)
+	return mc
+}
+
+// ID returns the controller's NOC endpoint.
+func (mc *MC) ID() noc.NodeID { return mc.id }
+
+// Reads returns the number of DRAM reads serviced.
+func (mc *MC) Reads() int64 { return mc.reads }
+
+// Writes returns the number of DRAM writes absorbed.
+func (mc *MC) Writes() int64 { return mc.writes }
+
+func (mc *MC) handle(m *noc.Message) {
+	switch m.Kind {
+	case KindRead:
+		mc.reads++
+		resp := &noc.Message{
+			VN:    noc.VNResp,
+			Class: noc.ClassResponse,
+			Src:   mc.id,
+			Dst:   m.Src,
+			Flits: mc.blockFlits,
+			Kind:  KindReadResp,
+			Addr:  m.Addr,
+			Txn:   m.Txn,
+		}
+		mc.eng.Schedule(mc.lat, func() { mc.send(resp) })
+	case KindWrite:
+		mc.writes++
+		// Latency-only model: the write is absorbed.
+	default:
+		panic("mem: unexpected message kind")
+	}
+}
+
+func (mc *MC) send(m *noc.Message) {
+	mc.out = append(mc.out, m)
+	mc.pump()
+}
+
+func (mc *MC) pump() {
+	if mc.outWaiting {
+		return
+	}
+	for len(mc.out) > 0 {
+		if !mc.net.Send(mc.out[0]) {
+			mc.outWaiting = true
+			mc.net.WhenFree(mc.id, func() { mc.outWaiting = false; mc.pump() })
+			return
+		}
+		mc.out = mc.out[1:]
+	}
+}

@@ -1,0 +1,64 @@
+package noc
+
+// The NodeID space for a WxH mesh:
+//
+//	0 .. W*H-1          tiles, id = y*W + x
+//	NIBase + row        edge NI block of each row (west edge column)
+//	MCBase + row        memory controller of each row (east edge column)
+//	NetBase + row       network-router attachment point of each row
+//	                    (collocated with the NI column; the chip-to-chip
+//	                    router spans the NI edge, Fig. 2)
+//
+// The bases leave room for meshes up to 4096 tiles.
+const (
+	NIBase  NodeID = 1 << 12
+	MCBase  NodeID = 2 << 12
+	NetBase NodeID = 3 << 12
+	LLCBase NodeID = 4 << 12
+)
+
+// TileID returns the NodeID of the tile at mesh coordinates (x, y).
+func TileID(x, y, width int) NodeID { return NodeID(y*width + x) }
+
+// NIID returns the NodeID of the edge NI block serving the given row.
+func NIID(row int) NodeID { return NIBase + NodeID(row) }
+
+// MCID returns the NodeID of the memory controller serving the given row.
+func MCID(row int) NodeID { return MCBase + NodeID(row) }
+
+// NetID returns the network-router attachment point at the given row.
+func NetID(row int) NodeID { return NetBase + NodeID(row) }
+
+// IsTile reports whether id addresses a mesh tile.
+func IsTile(id NodeID) bool { return id >= 0 && id < NIBase }
+
+// IsNI reports whether id addresses an edge NI block.
+func IsNI(id NodeID) bool { return id >= NIBase && id < MCBase }
+
+// IsMC reports whether id addresses a memory controller.
+func IsMC(id NodeID) bool { return id >= MCBase && id < NetBase }
+
+// IsNet reports whether id addresses a network-router port.
+func IsNet(id NodeID) bool { return id >= NetBase && id < LLCBase }
+
+// LLCID returns the NodeID of a NOC-Out LLC tile (the mesh gives each
+// tile its own LLC slice instead and does not use these).
+func LLCID(i int) NodeID { return LLCBase + NodeID(i) }
+
+// IsLLC reports whether id addresses a NOC-Out LLC tile.
+func IsLLC(id NodeID) bool { return id >= LLCBase }
+
+// Row extracts the index of an NI, MC, network-router or LLC NodeID.
+func Row(id NodeID) int {
+	switch {
+	case IsNI(id):
+		return int(id - NIBase)
+	case IsMC(id):
+		return int(id - MCBase)
+	case IsNet(id):
+		return int(id - NetBase)
+	case IsLLC(id):
+		return int(id - LLCBase)
+	}
+	return -1
+}

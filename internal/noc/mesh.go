@@ -1,0 +1,374 @@
+package noc
+
+import (
+	"fmt"
+
+	"rackni/internal/config"
+	"rackni/internal/sim"
+)
+
+// Direction of a router output port.
+type dir int
+
+const (
+	dirEast dir = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// subchannel index: each virtual network is split into an XY and a YX
+// subchannel so that O1Turn and the CDR variants remain deadlock-free.
+const numSub = int(numVNs) * 2
+
+func subOf(m *Message) int {
+	s := int(m.VN) * 2
+	if m.yx {
+		s++
+	}
+	return s
+}
+
+// link is a directed physical channel between two routers (or a router's
+// ejection port when to < 0). Each link owns the per-subchannel output
+// buffers of its upstream router; occupancy is managed credit-style: space
+// at the downstream buffer is reserved before a message starts crossing.
+type link struct {
+	mesh     *Mesh
+	from, to int // router indices; to == -1 for ejection
+	eject    NodeID
+	cross    bool // crosses the vertical bisection (for utilization stats)
+
+	queues [numSub][]*Message
+	occ    [numSub]int
+	cap    int
+	busy   bool
+	rr     int
+}
+
+// Mesh is the baseline 2D-mesh NOC. The grid has the chip's WxH tiles in
+// columns 1..W; column 0 hosts the edge NI blocks and the network-router
+// attachment points (the chip-to-chip router spans that edge, Fig. 2);
+// column W+1 hosts the memory controllers (§4.3: NIs on one side, MCs on
+// the opposite side).
+type Mesh struct {
+	eng *sim.Engine
+	cfg *config.Config
+	rnd *sim.Rand
+
+	gw, gh   int
+	hopLat   int64
+	links    [][]*link // [router][dir]
+	inbound  [][]*link // links whose downstream is this router
+	ejects   map[NodeID]*link
+	handlers map[NodeID]Handler
+	waiters  [][]func() // per-router blocked injectors
+	freePend []bool     // per-router coalesced wakeup scheduled
+
+	flitsCarried   int64
+	flitsBisection int64
+	bytesInjected  int64
+	sent           int64
+	delivered      int64
+}
+
+// NewMesh builds the mesh for the given configuration.
+func NewMesh(eng *sim.Engine, cfg *config.Config) *Mesh {
+	m := &Mesh{
+		eng:      eng,
+		cfg:      cfg,
+		rnd:      sim.NewRand(cfg.Seed ^ 0xA5A5),
+		gw:       cfg.MeshWidth + 2,
+		gh:       cfg.MeshHeight,
+		hopLat:   int64(cfg.HopLatency),
+		ejects:   make(map[NodeID]*link),
+		handlers: make(map[NodeID]Handler),
+	}
+	n := m.gw * m.gh
+	m.links = make([][]*link, n)
+	m.inbound = make([][]*link, n)
+	m.waiters = make([][]func(), n)
+	m.freePend = make([]bool, n)
+	for r := 0; r < n; r++ {
+		m.links[r] = make([]*link, numDirs)
+	}
+	mid := m.gw/2 - 1 // vertical bisection between columns mid and mid+1
+	for gy := 0; gy < m.gh; gy++ {
+		for gx := 0; gx < m.gw; gx++ {
+			r := gy*m.gw + gx
+			add := func(d dir, tx, ty int) {
+				if tx < 0 || tx >= m.gw || ty < 0 || ty >= m.gh {
+					return
+				}
+				t := ty*m.gw + tx
+				l := &link{mesh: m, from: r, to: t, cap: cfg.LinkBufFlits}
+				if (d == dirEast && gx == mid) || (d == dirWest && gx == mid+1) {
+					l.cross = true
+				}
+				m.links[r][d] = l
+				m.inbound[t] = append(m.inbound[t], l)
+			}
+			add(dirEast, gx+1, gy)
+			add(dirWest, gx-1, gy)
+			add(dirNorth, gx, gy-1)
+			add(dirSouth, gx, gy+1)
+		}
+	}
+	return m
+}
+
+// routerOf maps an endpoint to its grid router index.
+func (m *Mesh) routerOf(id NodeID) int {
+	switch {
+	case IsTile(id):
+		x := int(id) % m.cfg.MeshWidth
+		y := int(id) / m.cfg.MeshWidth
+		return y*m.gw + (x + 1)
+	case IsNI(id), IsNet(id):
+		return Row(id)*m.gw + 0
+	case IsMC(id):
+		return Row(id)*m.gw + (m.gw - 1)
+	}
+	panic(fmt.Sprintf("noc: unknown NodeID %d", id))
+}
+
+// Register attaches a delivery handler and creates the endpoint's private
+// ejection port.
+func (m *Mesh) Register(id NodeID, h Handler) {
+	m.handlers[id] = h
+	r := m.routerOf(id)
+	m.ejects[id] = &link{mesh: m, from: r, to: -1, eject: id, cap: 4 * m.cfg.LinkBufFlits}
+}
+
+// routeStep returns the next link for msg at router r, or the ejection link
+// when the destination is local.
+func (m *Mesh) routeStep(msg *Message, r int) *link {
+	dst := m.routerOf(msg.Dst)
+	if dst == r {
+		el, ok := m.ejects[msg.Dst]
+		if !ok {
+			panic(fmt.Sprintf("noc: message to unregistered endpoint %d", msg.Dst))
+		}
+		return el
+	}
+	gx, gy := r%m.gw, r/m.gw
+	dx, dy := dst%m.gw, dst/m.gw
+	var d dir
+	if msg.yx {
+		switch {
+		case gy < dy:
+			d = dirSouth
+		case gy > dy:
+			d = dirNorth
+		case gx < dx:
+			d = dirEast
+		default:
+			d = dirWest
+		}
+	} else {
+		switch {
+		case gx < dx:
+			d = dirEast
+		case gx > dx:
+			d = dirWest
+		case gy < dy:
+			d = dirSouth
+		default:
+			d = dirNorth
+		}
+	}
+	return m.links[r][d]
+}
+
+// chooseOrder applies the configured routing policy (§4.3).
+func (m *Mesh) chooseOrder(msg *Message) bool {
+	switch m.cfg.Routing {
+	case RoutingXYConst:
+		return false
+	case RoutingYXConst:
+		return true
+	case RoutingO1TurnConst:
+		return m.rnd.Bool()
+	case RoutingCDRConst:
+		// CDR: memory requests YX, responses XY.
+		return msg.Class == ClassRequest
+	default:
+		// Modified CDR: directory-sourced traffic YX, everything else XY,
+		// so traffic never turns at the NI or MC edge columns.
+		return msg.Class == ClassDirectory
+	}
+}
+
+// Aliases so this package does not import config constants by name
+// everywhere (and to keep the policy switch exhaustive and local).
+const (
+	RoutingXYConst     = config.RoutingXY
+	RoutingYXConst     = config.RoutingYX
+	RoutingO1TurnConst = config.RoutingO1Turn
+	RoutingCDRConst    = config.RoutingCDR
+	RoutingCDRNIConst  = config.RoutingCDRNI
+)
+
+// Send injects a message at its source router. It returns false when the
+// first buffer on the message's path has no space.
+func (m *Mesh) Send(msg *Message) bool {
+	if msg.Flits <= 0 {
+		msg.Flits = 1
+	}
+	// Edge devices sharing a router (the network router spans the NI edge
+	// next to the RRPPs and RGP/RCP backends, §4.2) are directly attached:
+	// their traffic never enters the mesh and does not serialize on a
+	// router port.
+	if !IsTile(msg.Src) && !IsTile(msg.Dst) {
+		if src, dst := m.routerOf(msg.Src), m.routerOf(msg.Dst); src == dst {
+			msg.Injected = m.eng.Now()
+			m.sent++
+			h := m.handlers[msg.Dst]
+			if h == nil {
+				panic(fmt.Sprintf("noc: message to unregistered endpoint %d", msg.Dst))
+			}
+			m.eng.Schedule(1, func() {
+				m.delivered++
+				h(msg)
+			})
+			return true
+		}
+	}
+	msg.yx = m.chooseOrder(msg)
+	src := m.routerOf(msg.Src)
+	l := m.routeStep(msg, src)
+	s := subOf(msg)
+	if l.occ[s]+msg.Flits > l.cap {
+		return false
+	}
+	msg.Injected = m.eng.Now()
+	l.occ[s] += msg.Flits
+	l.queues[s] = append(l.queues[s], msg)
+	m.sent++
+	m.bytesInjected += int64(msg.Flits * m.cfg.LinkBytes)
+	l.try()
+	return true
+}
+
+// WhenFree registers a one-shot retry callback for a blocked injector.
+func (m *Mesh) WhenFree(src NodeID, fn func()) {
+	r := m.routerOf(src)
+	m.waiters[r] = append(m.waiters[r], fn)
+}
+
+// FlitsCarried returns total flit-hops moved across router-to-router links.
+func (m *Mesh) FlitsCarried() int64 { return m.flitsCarried }
+
+// BisectionFlits returns flits that crossed the vertical bisection.
+func (m *Mesh) BisectionFlits() int64 { return m.flitsBisection }
+
+// BytesInjected returns payload+header bytes injected into mesh links (the
+// paper's "aggregate bandwidth" counter; it excludes the directly attached
+// edge-device traffic that never enters the mesh).
+func (m *Mesh) BytesInjected() int64 { return m.bytesInjected }
+
+// Delivered returns the number of messages ejected.
+func (m *Mesh) Delivered() int64 { return m.delivered }
+
+// notifyFree wakes blocked injectors and upstream links of router r. The
+// wakeups are coalesced to at most one per router per cycle: buffer space
+// often frees many times per cycle under load, and waking every blocked
+// sender on every pop turns into a retry storm (each retry recomputes a
+// route just to find the buffer full again).
+func (m *Mesh) notifyFree(r int) {
+	if m.freePend[r] {
+		return
+	}
+	if len(m.waiters[r]) == 0 && !m.anyInboundWaiting(r) {
+		return
+	}
+	m.freePend[r] = true
+	m.eng.Schedule(1, func() {
+		m.freePend[r] = false
+		if ws := m.waiters[r]; len(ws) > 0 {
+			m.waiters[r] = nil
+			for _, fn := range ws {
+				fn()
+			}
+		}
+		for _, l := range m.inbound[r] {
+			l.try()
+		}
+	})
+}
+
+// anyInboundWaiting reports whether an upstream link of router r has a
+// queued message (and may therefore be blocked on r's buffers).
+func (m *Mesh) anyInboundWaiting(r int) bool {
+	for _, l := range m.inbound[r] {
+		if l.busy {
+			continue
+		}
+		for s := range l.queues {
+			if len(l.queues[s]) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// try advances the link: if idle, pick (round-robin over subchannels) a
+// head-of-queue message whose next-hop buffer has space, reserve that
+// space, and start the transfer.
+func (l *link) try() {
+	if l.busy {
+		return
+	}
+	for i := 0; i < numSub; i++ {
+		s := (l.rr + i) % numSub
+		q := l.queues[s]
+		if len(q) == 0 {
+			continue
+		}
+		msg := q[0]
+		var next *link
+		if l.to >= 0 {
+			next = l.mesh.routeStep(msg, l.to)
+			ns := subOf(msg)
+			if next.occ[ns]+msg.Flits > next.cap {
+				continue // blocked; let another subchannel use the wire
+			}
+			next.occ[ns] += msg.Flits
+		}
+		// Depart this buffer.
+		l.queues[s] = q[1:]
+		l.occ[s] -= msg.Flits
+		l.rr = (s + 1) % numSub
+		l.busy = true
+		mesh := l.mesh
+		if l.to >= 0 {
+			mesh.flitsCarried += int64(msg.Flits)
+			if l.cross {
+				mesh.flitsBisection += int64(msg.Flits)
+			}
+		}
+		mesh.notifyFree(l.from)
+		ser := int64(msg.Flits)
+		mesh.eng.Schedule(ser, func() {
+			l.busy = false
+			l.try()
+		})
+		if l.to >= 0 {
+			nl := next
+			mesh.eng.Schedule(ser+mesh.hopLat-1, func() {
+				ns := subOf(msg)
+				nl.queues[ns] = append(nl.queues[ns], msg)
+				nl.try()
+			})
+		} else {
+			id := l.eject
+			mesh.eng.Schedule(ser, func() {
+				mesh.delivered++
+				mesh.handlers[id](msg)
+			})
+		}
+		return
+	}
+}

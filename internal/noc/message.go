@@ -1,0 +1,105 @@
+// Package noc implements the on-chip interconnect of the simulated SoC: a
+// 2D mesh with 16-byte links, 3-cycle hops, per-virtual-network buffering
+// with credit backpressure, and the routing policies studied by the paper
+// (XY, YX, O1Turn, CDR and the paper's modified CDR with a directory-sourced
+// class, §4.3).
+//
+// The NOC is modeled at message granularity: a message occupies a link for
+// one cycle per flit, and advances hop by hop only when the buffer it needs
+// at the next router has space. Congestion, hotspot columns and bisection
+// limits therefore emerge from first principles rather than being scripted.
+package noc
+
+import "fmt"
+
+// NodeID identifies an endpoint attached to the NOC: a tile (core + L1 +
+// LLC slice + directory slice, and in the per-tile/split designs an NI
+// frontend), an edge NI block, a memory controller, or a network-router
+// attachment point.
+type NodeID int32
+
+// VN is a virtual network. Separate virtual networks carry coherence
+// requests, directory-sourced traffic and responses so the protocol cannot
+// deadlock on the interconnect.
+type VN uint8
+
+const (
+	// VNReq carries coherence and NI requests.
+	VNReq VN = iota
+	// VNDir carries directory-sourced traffic (forwards, invalidations,
+	// LLC data replies). This is also the paper's extra CDR routing class.
+	VNDir
+	// VNResp carries responses: data from owners, acks, unblocks and NI
+	// payload traffic.
+	VNResp
+	numVNs
+)
+
+func (v VN) String() string {
+	switch v {
+	case VNReq:
+		return "req"
+	case VNDir:
+		return "dir"
+	case VNResp:
+		return "resp"
+	}
+	return fmt.Sprintf("vn%d", uint8(v))
+}
+
+// Class is the CDR routing class of a message (§4.3).
+type Class uint8
+
+const (
+	// ClassRequest marks memory/coherence requests.
+	ClassRequest Class = iota
+	// ClassResponse marks responses.
+	ClassResponse
+	// ClassDirectory marks directory-sourced traffic; the paper's modified
+	// CDR routes this class YX and everything else XY so that traffic never
+	// turns at the NI/MC edge columns.
+	ClassDirectory
+)
+
+// Message is one NOC packet. Kind/Addr/Txn/A/B/Meta are opaque to the
+// network and interpreted by the endpoints.
+type Message struct {
+	VN    VN
+	Class Class
+	Src   NodeID
+	Dst   NodeID
+	Flits int
+
+	Kind int
+	Addr uint64
+	Txn  uint64
+	A    int64
+	B    int64
+	Meta interface{}
+
+	// Injected is stamped by the fabric when the message is accepted.
+	Injected int64
+
+	// yx is the dimension order chosen at injection (routing scratch).
+	yx bool
+}
+
+// Handler receives messages ejected at a registered endpoint.
+type Handler func(m *Message)
+
+// Fabric is the interface shared by the mesh and NOC-Out interconnects.
+type Fabric interface {
+	// Register attaches a delivery handler to an endpoint.
+	Register(id NodeID, h Handler)
+	// Send injects a message at its source. It returns false when the
+	// injection buffer is full; the caller should register a WhenFree
+	// callback and retry.
+	Send(m *Message) bool
+	// WhenFree arranges for fn to run (once) the next time buffer space
+	// frees at the source's router, so blocked injectors can retry.
+	WhenFree(src NodeID, fn func())
+	// FlitsCarried returns the total flit-hops carried, a measure of NOC
+	// utilization (used to reproduce the paper's aggregate-vs-application
+	// bandwidth comparison, §6.2).
+	FlitsCarried() int64
+}

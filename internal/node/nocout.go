@@ -1,0 +1,200 @@
+package node
+
+import (
+	"fmt"
+
+	"rackni/internal/coherence"
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/fabric"
+	"rackni/internal/mem"
+	"rackni/internal/noc"
+	"rackni/internal/nocout"
+	"rackni/internal/sim"
+)
+
+// NewNOCOut builds a node on the NOC-Out topology of §6.3: 8 LLC tiles in
+// the chip's middle row interconnected by a flattened butterfly (which
+// also attaches the MCs and the network router), with the cores of each
+// column reaching their column's LLC tile over reduction/dispersion trees.
+//
+// Placement differences versus the mesh (Fig. 8): RRPPs sit at the LLC
+// tiles (their rich connectivity provides full bisection bandwidth), the
+// NIedge design collocates RGP/RCPs with them ("NImiddle"), NIsplit puts
+// RGP/RCP backends at the LLC tiles, and the LLC has 8 banks instead of 64
+// — the contention that caps NOC-Out's peak bandwidth.
+func NewNOCOut(cfg config.Config, hops int) (*Node, error) {
+	cfg.Topology = config.NOCOut
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{Eng: sim.NewEngine(), Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	net := nocout.NewNet(n.Eng, &cfg)
+	n.NOCOut = net
+	n.Net = net
+
+	tiles := cfg.Tiles()
+	banks := cfg.NOCOutLLCTiles
+	homeOf := func(addr uint64) noc.NodeID {
+		return noc.LLCID(int((addr / uint64(cfg.BlockBytes)) % uint64(banks)))
+	}
+	n.env = &rmc.Env{Eng: n.Eng, Cfg: n.Cfg, Net: n.Net, HomeOf: homeOf, Stats: n.Stats}
+
+	for i := 0; i < banks; i++ {
+		mem.New(n.Eng, n.Net, &cfg, i)
+	}
+
+	colOfCore := func(c int) int { return c % cfg.MeshWidth }
+
+	// Core tiles: cache agents only (the LLC lives in the middle row).
+	eps := make(map[noc.NodeID]*endpoint)
+	n.Agents = make([]*coherence.Agent, tiles)
+	for t := 0; t < tiles; t++ {
+		id := noc.NodeID(t)
+		if cfg.Design == config.NIEdge {
+			n.Agents[t] = coherence.NewAgent(n.Eng, n.Net, &cfg, id,
+				cfg.L1SizeBytes, cfg.L1Ways, int64(cfg.L1Latency), homeOf)
+		} else {
+			n.Agents[t] = coherence.NewComplex(n.Eng, n.Net, &cfg, id, homeOf)
+		}
+		eps[id] = &endpoint{agent: n.Agents[t]}
+	}
+
+	// LLC tiles: home controllers plus the RMC blocks placed there.
+	bankBytes := cfg.LLCSizeBytes / banks
+	n.Homes = make([]*coherence.Home, banks)
+	for i := 0; i < banks; i++ {
+		id := noc.LLCID(i)
+		n.Homes[i] = coherence.NewHome(n.Eng, n.Net, &cfg, id, noc.MCID(i), bankBytes)
+		eps[id] = &endpoint{home: n.Homes[i]}
+	}
+
+	n.QPs = make([]*rmc.QueuePair, tiles)
+	for c := 0; c < tiles; c++ {
+		n.QPs[c] = rmc.NewQueuePair(&cfg, c, qpWQBase(&cfg, c), qpCQBase(&cfg, c))
+	}
+	qpOf := func(c int) *rmc.QueuePair { return n.QPs[c] }
+
+	switch cfg.Design {
+	case config.NIEdge:
+		n.EdgeCaches = make([]*coherence.Agent, banks)
+		for i := 0; i < banks; i++ {
+			id := noc.LLCID(i)
+			dp := rmc.NewDataPath(n.env, id)
+			niCache := coherence.NewAgent(n.Eng, n.Net, &cfg, noc.NIID(i),
+				cfg.NICacheBlocks*cfg.BlockBytes, 4, 2, homeOf)
+			n.EdgeCaches[i] = niCache
+			// The NI cache is its own coherence endpoint (collocated on
+			// the FB with the LLC tile).
+			ni := niCache
+			n.Net.Register(noc.NIID(i), ni.Handle)
+			cache := rmc.EdgeCache{Agent: niCache}
+
+			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(i), id, int64(cfg.RGPUnifiedLat), dp)
+			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
+			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
+			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
+			for c := 0; c < tiles; c++ {
+				if colOfCore(c) == i {
+					rgpF.AddQP(n.QPs[c])
+				}
+			}
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			ep := eps[id]
+			ep.dp = dp
+			ep.rcpB = rcpB
+			ep.rrpp = rrpp
+		}
+
+	case config.NIPerTile:
+		for t := 0; t < tiles; t++ {
+			id := noc.NodeID(t)
+			col := colOfCore(t)
+			dp := rmc.NewDataPath(n.env, id)
+			cache := rmc.NISideCache{Agent: n.Agents[t]}
+			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(col), id, int64(cfg.RGPUnifiedLat), dp)
+			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
+			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
+			rgpF.AddQP(n.QPs[t])
+			ep := eps[id]
+			ep.dp = dp
+			ep.rcpB = rcpB
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+		}
+		for i := 0; i < banks; i++ {
+			id := noc.LLCID(i)
+			dp := rmc.NewDataPath(n.env, id)
+			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			ep := eps[id]
+			ep.dp = dp
+			ep.rrpp = rrpp
+		}
+
+	case config.NISplit:
+		for i := 0; i < banks; i++ {
+			id := noc.LLCID(i)
+			dp := rmc.NewDataPath(n.env, id)
+			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(i), id, int64(cfg.RGPBackendLat), dp)
+			cqSender := newSender(n.env, id)
+			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPBackendLat), dp,
+				func(r *rmc.Request) {
+					cqSender.send(&noc.Message{
+						VN: noc.VNResp, Class: noc.ClassResponse,
+						Src: id, Dst: noc.NodeID(r.Core),
+						Flits: 1, Kind: rmc.KCQDispatch, Meta: r,
+					})
+				})
+			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			ep := eps[id]
+			ep.dp = dp
+			ep.rcpB = rcpB
+			ep.rrpp = rrpp
+			ep.onWQ = rgpB.Accept
+		}
+		for t := 0; t < tiles; t++ {
+			id := noc.NodeID(t)
+			col := colOfCore(t)
+			cache := rmc.NISideCache{Agent: n.Agents[t]}
+			wqSender := newSender(n.env, id)
+			llc := noc.LLCID(col)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, int64(cfg.RGPFrontendLat),
+				func(r *rmc.Request) {
+					wqSender.send(&noc.Message{
+						VN: noc.VNReq, Class: noc.ClassRequest,
+						Src: id, Dst: llc,
+						Flits: cfg.ReqHeaderFlits, Kind: rmc.KWQDispatch, Meta: r,
+					})
+				})
+			rgpF.AddQP(n.QPs[t])
+			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)
+			eps[id].onCQ = rcpF.Complete
+		}
+	default:
+		return nil, fmt.Errorf("nocout: unsupported design %v", cfg.Design)
+	}
+
+	for id, ep := range eps {
+		ep := ep
+		n.Net.Register(id, ep.handle)
+	}
+
+	n.Rack = fabric.NewRack(n.env, hops, banks,
+		func(addr uint64) int {
+			return int((addr / uint64(cfg.BlockBytes)) % uint64(banks))
+		},
+		func(id noc.NodeID) int {
+			if noc.IsTile(id) {
+				return int(id) % cfg.MeshWidth
+			}
+			return noc.Row(id)
+		},
+		func(i int) noc.NodeID { return noc.LLCID(i) },
+	)
+	return n, nil
+}

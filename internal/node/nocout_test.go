@@ -1,0 +1,66 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+)
+
+func nocoutSyncRun(t *testing.T, d config.Design, size int) SyncResult {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Design = d
+	cfg.MeasureReqs = 24
+	n, err := NewNOCOut(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunSyncLatency(size, 27)
+	if err != nil {
+		t.Fatalf("%v: %v", d, err)
+	}
+	return res
+}
+
+func TestNOCOutSyncLatencyAllDesigns(t *testing.T) {
+	lat := map[config.Design]float64{}
+	for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+		res := nocoutSyncRun(t, d, 64)
+		lat[d] = res.MeanCycles
+		t.Logf("NOC-Out %v: %.0f cycles breakdown=%+v", d, res.MeanCycles, res.Breakdown)
+	}
+	if lat[config.NIEdge] <= lat[config.NISplit] {
+		t.Fatalf("NOC-Out: edge (%.0f) should still exceed split (%.0f), if by less than mesh",
+			lat[config.NIEdge], lat[config.NISplit])
+	}
+}
+
+func TestNOCOutFasterThanMeshSmallTransfers(t *testing.T) {
+	mesh := syncRun(t, config.NISplit, 64).MeanCycles
+	nout := nocoutSyncRun(t, config.NISplit, 64).MeanCycles
+	if nout >= mesh {
+		t.Fatalf("NOC-Out (%.0f) must beat mesh (%.0f) at small transfers (§6.3.1)", nout, mesh)
+	}
+}
+
+func TestNOCOutBandwidthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth in -short mode")
+	}
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.WindowCycles = 30_000
+	cfg.MaxCycles = 300_000
+	n, err := NewNOCOut(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunBandwidth(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("NOC-Out split 2KB: app=%.1f GB/s noc=%.1f completed=%d", res.AppGBps, res.NOCGBps, res.Completed)
+	if res.AppGBps < 5 {
+		t.Fatalf("implausibly low NOC-Out bandwidth %.1f", res.AppGBps)
+	}
+}

@@ -1,0 +1,306 @@
+// Package node assembles one simulated SoC: tiles (cores, L1s, LLC/
+// directory slices), the on-chip network, memory controllers, the RMC
+// pipelines in the placement selected by the configured NI design, and the
+// rack emulation. It also provides the two microbenchmark harnesses of §5
+// (synchronous latency, asynchronous bandwidth).
+package node
+
+import (
+	"fmt"
+
+	"rackni/internal/coherence"
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+	"rackni/internal/mem"
+	"rackni/internal/noc"
+	"rackni/internal/nocout"
+	"rackni/internal/sim"
+)
+
+// Memory map of the microbenchmarks (§5): the QP region is small; the
+// local buffer and remote source regions exceed the aggregate on-chip
+// cache capacity so all data accesses hit DRAM.
+const (
+	QPBase      = 0x4000_0000
+	QPStride    = 0x1_0000 // 64 KB per core: WQ, then CQ at +32 KB
+	CQOffset    = 0x8000
+	LocalBase   = 0x8000_0000
+	LocalStride = 0x20_0000 // 2 MB per core
+	SourceBase  = 0x1_0000_0000
+	SourceSpan  = 0x800_0000 // 128 MB shared source region
+)
+
+// qpWQBase returns core c's WQ base. The bases are staggered by one block
+// per core (and the CQ by an additional half-region) so that QP head
+// blocks scatter across home tiles and cache sets, the way physically
+// allocated QP pages would; a naive 64 KB-aligned layout would alias every
+// queue's head block onto one LLC set and one home tile.
+func qpWQBase(cfg *config.Config, c int) uint64 {
+	return uint64(QPBase + c*QPStride + c*cfg.BlockBytes)
+}
+
+// qpCQBase returns core c's CQ base.
+func qpCQBase(cfg *config.Config, c int) uint64 {
+	return qpWQBase(cfg, c) + CQOffset + 32*uint64(cfg.BlockBytes)
+}
+
+// Node is one assembled SoC plus its emulated rack.
+type Node struct {
+	Eng    *sim.Engine
+	Cfg    *config.Config
+	Mesh   *noc.Mesh
+	NOCOut *nocout.Net
+	Net    noc.Fabric
+	Stats  *rmc.Stats
+	Rack   *fabric.Rack
+
+	Homes      []*coherence.Home  // one per LLC bank
+	Agents     []*coherence.Agent // one per core (L1 or L1+NI complex)
+	EdgeCaches []*coherence.Agent // NIedge only: one NI cache per row
+	QPs        []*rmc.QueuePair
+	Drivers    []*cpu.Driver
+
+	RGPBackends []*rmc.RGPBackend
+	RRPPs       []*rmc.RRPP
+
+	env      *rmc.Env
+	rackHops int
+}
+
+// endpoint is the per-NodeID kind dispatcher: a tile (or edge NI block)
+// hosts several devices behind one NOC endpoint.
+type endpoint struct {
+	home  *coherence.Home
+	agent *coherence.Agent
+	dp    *rmc.DataPath
+	rcpB  *rmc.RCPBackend
+	rrpp  *rmc.RRPP
+	onWQ  func(*rmc.Request)
+	onCQ  func(*rmc.Request)
+}
+
+func (e *endpoint) handle(m *noc.Message) {
+	switch {
+	case m.Kind == coherence.KNIReadResp || m.Kind == coherence.KNIWriteAck:
+		e.dp.Handle(m)
+	case coherence.HomeKind(m.Kind):
+		e.home.Handle(m)
+	case m.Kind == rmc.KWQDispatch:
+		e.onWQ(m.Meta.(*rmc.Request))
+	case m.Kind == rmc.KCQDispatch:
+		e.onCQ(m.Meta.(*rmc.Request))
+	case m.Kind == rmc.KNetResponse:
+		e.rcpB.HandleResponse(m)
+	case m.Kind == rmc.KNetInbound:
+		e.rrpp.HandleInbound(m)
+	default:
+		e.agent.Handle(m)
+	}
+}
+
+// New builds a node with the given configuration (mesh topology) and
+// one-way intra-rack hop count.
+func New(cfg config.Config, hops int) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Topology != config.Mesh {
+		return nil, fmt.Errorf("node.New builds mesh nodes; use NewNOCOut for %v", cfg.Topology)
+	}
+	n := &Node{Eng: sim.NewEngine(), Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	n.Mesh = noc.NewMesh(n.Eng, &cfg)
+	n.Net = n.Mesh
+
+	tiles := cfg.Tiles()
+	homeOf := func(addr uint64) noc.NodeID {
+		return noc.NodeID((addr / uint64(cfg.BlockBytes)) % uint64(tiles))
+	}
+	n.env = &rmc.Env{Eng: n.Eng, Cfg: n.Cfg, Net: n.Net, HomeOf: homeOf, Stats: n.Stats}
+
+	// Memory controllers: one per row on the east edge (§4.3).
+	for row := 0; row < cfg.MeshHeight; row++ {
+		mem.New(n.Eng, n.Net, &cfg, row)
+	}
+
+	// Tiles: home (LLC slice + directory slice) everywhere; cache agents
+	// per design.
+	eps := make(map[noc.NodeID]*endpoint)
+	bank := cfg.LLCSizeBytes / tiles
+	n.Homes = make([]*coherence.Home, tiles)
+	n.Agents = make([]*coherence.Agent, tiles)
+	for t := 0; t < tiles; t++ {
+		id := noc.NodeID(t)
+		row := t / cfg.MeshWidth
+		n.Homes[t] = coherence.NewHome(n.Eng, n.Net, &cfg, id, noc.MCID(row), bank)
+		if cfg.Design == config.NIEdge {
+			n.Agents[t] = coherence.NewAgent(n.Eng, n.Net, &cfg, id,
+				cfg.L1SizeBytes, cfg.L1Ways, int64(cfg.L1Latency), homeOf)
+		} else {
+			n.Agents[t] = coherence.NewComplex(n.Eng, n.Net, &cfg, id, homeOf)
+		}
+		eps[id] = &endpoint{home: n.Homes[t], agent: n.Agents[t]}
+	}
+
+	// Queue pairs.
+	n.QPs = make([]*rmc.QueuePair, tiles)
+	for c := 0; c < tiles; c++ {
+		n.QPs[c] = rmc.NewQueuePair(&cfg, c, qpWQBase(&cfg, c), qpCQBase(&cfg, c))
+	}
+	qpOf := func(c int) *rmc.QueuePair { return n.QPs[c] }
+
+	rowOfCore := func(c int) int { return c / cfg.MeshWidth }
+
+	// Edge NI endpoints: RRPP everywhere; RGP/RCP per design.
+	switch cfg.Design {
+	case config.NIEdge:
+		n.EdgeCaches = make([]*coherence.Agent, cfg.MeshHeight)
+		for row := 0; row < cfg.MeshHeight; row++ {
+			niID := noc.NIID(row)
+			dp := rmc.NewDataPath(n.env, niID)
+			niCache := coherence.NewAgent(n.Eng, n.Net, &cfg, niID,
+				cfg.NICacheBlocks*cfg.BlockBytes, 4, 2, homeOf)
+			n.EdgeCaches[row] = niCache
+			cache := rmc.EdgeCache{Agent: niCache}
+
+			rgpB := rmc.NewRGPBackend(n.env, niID, noc.NetID(row), niID,
+				int64(cfg.RGPUnifiedLat), dp)
+			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
+			rcpB := rmc.NewRCPBackend(n.env, niID, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
+			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
+
+			for c := 0; c < tiles; c++ {
+				if rowOfCore(c) == row {
+					rgpF.AddQP(n.QPs[c])
+				}
+			}
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			eps[niID] = &endpoint{agent: niCache, dp: dp, rcpB: rcpB, rrpp: rrpp}
+		}
+
+	case config.NIPerTile:
+		// Full RGP/RCP at every tile; RRPPs at the edge.
+		for t := 0; t < tiles; t++ {
+			id := noc.NodeID(t)
+			row := rowOfCore(t)
+			dp := rmc.NewDataPath(n.env, id)
+			cache := rmc.NISideCache{Agent: n.Agents[t]}
+
+			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(row), id,
+				int64(cfg.RGPUnifiedLat), dp)
+			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
+			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
+			rgpF.AddQP(n.QPs[t])
+
+			ep := eps[id]
+			ep.dp = dp
+			ep.rcpB = rcpB
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+		}
+		for row := 0; row < cfg.MeshHeight; row++ {
+			niID := noc.NIID(row)
+			dp := rmc.NewDataPath(n.env, niID)
+			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			eps[niID] = &endpoint{dp: dp, rrpp: rrpp}
+		}
+
+	case config.NISplit:
+		// Backends at the edge, one per row.
+		for row := 0; row < cfg.MeshHeight; row++ {
+			niID := noc.NIID(row)
+			dp := rmc.NewDataPath(n.env, niID)
+			rgpB := rmc.NewRGPBackend(n.env, niID, noc.NetID(row), niID,
+				int64(cfg.RGPBackendLat), dp)
+			// RCP backend completes by sending a CQ-dispatch packet to the
+			// issuing core's tile (the split Frontend-Backend Interface).
+			cqSender := newSender(n.env, niID)
+			rcpB := rmc.NewRCPBackend(n.env, niID, int64(cfg.RCPBackendLat), dp,
+				func(r *rmc.Request) {
+					cqSender.send(&noc.Message{
+						VN: noc.VNResp, Class: noc.ClassResponse,
+						Src: niID, Dst: noc.NodeID(r.Core),
+						Flits: 1, Kind: rmc.KCQDispatch, Meta: r,
+					})
+				})
+			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
+			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.RRPPs = append(n.RRPPs, rrpp)
+			eps[niID] = &endpoint{dp: dp, rcpB: rcpB, rrpp: rrpp,
+				onWQ: rgpB.Accept}
+		}
+		// Frontends at every tile; WQ dispatch rides the NOC to the row's
+		// backend.
+		for t := 0; t < tiles; t++ {
+			id := noc.NodeID(t)
+			row := rowOfCore(t)
+			cache := rmc.NISideCache{Agent: n.Agents[t]}
+			wqSender := newSender(n.env, id)
+			niID := noc.NIID(row)
+			rgpF := rmc.NewRGPFrontend(n.env, cache, int64(cfg.RGPFrontendLat),
+				func(r *rmc.Request) {
+					wqSender.send(&noc.Message{
+						VN: noc.VNReq, Class: noc.ClassRequest,
+						Src: id, Dst: niID,
+						Flits: cfg.ReqHeaderFlits, Kind: rmc.KWQDispatch, Meta: r,
+					})
+				})
+			rgpF.AddQP(n.QPs[t])
+			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)
+			eps[id].onCQ = rcpF.Complete
+		}
+	}
+
+	// Register every endpoint dispatcher.
+	for id, ep := range eps {
+		ep := ep
+		n.Net.Register(id, ep.handle)
+	}
+
+	// Rack emulation.
+	n.Rack = fabric.NewRack(n.env, hops, cfg.MeshHeight,
+		func(addr uint64) int { return int(homeOf(addr)) / cfg.MeshWidth },
+		func(id noc.NodeID) int {
+			if noc.IsTile(id) {
+				return int(id) / cfg.MeshWidth
+			}
+			return noc.Row(id)
+		},
+		func(row int) noc.NodeID { return noc.NIID(row) },
+	)
+	return n, nil
+}
+
+// sender is a small retrying NOC injector for the split design's
+// frontend-backend packets.
+type sender struct {
+	env     *rmc.Env
+	id      noc.NodeID
+	q       []*noc.Message
+	waiting bool
+}
+
+func newSender(env *rmc.Env, id noc.NodeID) *sender { return &sender{env: env, id: id} }
+
+func (s *sender) send(m *noc.Message) {
+	s.q = append(s.q, m)
+	s.pump()
+}
+
+func (s *sender) pump() {
+	if s.waiting {
+		return
+	}
+	for len(s.q) > 0 {
+		if !s.env.Net.Send(s.q[0]) {
+			s.waiting = true
+			s.env.Net.WhenFree(s.id, func() { s.waiting = false; s.pump() })
+			return
+		}
+		s.q = s.q[1:]
+	}
+}

@@ -1,0 +1,98 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+)
+
+func syncRun(t *testing.T, d config.Design, size int) SyncResult {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Design = d
+	cfg.MeasureReqs = 24
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunSyncLatency(size, 27)
+	if err != nil {
+		t.Fatalf("%v: %v", d, err)
+	}
+	return res
+}
+
+func TestSyncLatencyAllDesignsComplete(t *testing.T) {
+	for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+		res := syncRun(t, d, 64)
+		if res.MeanCycles < 300 || res.MeanCycles > 2000 {
+			t.Fatalf("%v: single-block latency %.0f cycles out of plausible range", d, res.MeanCycles)
+		}
+		t.Logf("%v: %.0f cycles (%.0f ns) breakdown=%+v", d, res.MeanCycles, res.MeanNS, res.Breakdown)
+	}
+}
+
+func TestDesignLatencyOrdering(t *testing.T) {
+	edge := syncRun(t, config.NIEdge, 64).MeanCycles
+	tile := syncRun(t, config.NIPerTile, 64).MeanCycles
+	split := syncRun(t, config.NISplit, 64).MeanCycles
+	// Paper Table 3: NIedge 710 >> NIper-tile 445 ~= NIsplit 447.
+	if edge <= tile || edge <= split {
+		t.Fatalf("NIedge (%.0f) must be slower than per-tile (%.0f) and split (%.0f)", edge, tile, split)
+	}
+	if diff := split - tile; diff < -60 || diff > 60 {
+		t.Fatalf("per-tile (%.0f) and split (%.0f) should be within ~60 cycles at 64B", tile, split)
+	}
+}
+
+func TestQPOverheadDominatesInEdge(t *testing.T) {
+	res := syncRun(t, config.NIEdge, 64)
+	b := res.Breakdown
+	qp := b.WQWrite + b.WQRead + b.CQWrite + b.CQRead
+	if qp < 150 {
+		t.Fatalf("edge QP interaction cost %.0f cycles; paper reports hundreds", qp)
+	}
+	res2 := syncRun(t, config.NISplit, 64)
+	b2 := res2.Breakdown
+	qp2 := b2.WQWrite + b2.WQRead + b2.CQWrite + b2.CQRead
+	if qp2 >= qp/2 {
+		t.Fatalf("split QP cost %.0f not much lower than edge %.0f", qp2, qp)
+	}
+}
+
+func TestLargeTransferUnrolls(t *testing.T) {
+	res := syncRun(t, config.NISplit, 4096)
+	if res.MeanCycles < 500 {
+		t.Fatalf("4KB read faster than 64B read? %.0f cycles", res.MeanCycles)
+	}
+	res64 := syncRun(t, config.NISplit, 64)
+	if res.MeanCycles <= res64.MeanCycles {
+		t.Fatalf("4KB (%.0f) must cost more than 64B (%.0f)", res.MeanCycles, res64.MeanCycles)
+	}
+}
+
+func TestBandwidthSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth run in -short mode")
+	}
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.WindowCycles = 30_000
+	cfg.MaxCycles = 400_000
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunBandwidth(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("split 2KB: app=%.1f GB/s noc=%.1f GB/s bisection=%.1f GB/s stable=%v completed=%d cycles=%d",
+		res.AppGBps, res.NOCGBps, res.BisectionGBps, res.Stable, res.Completed, res.Cycles)
+	if res.AppGBps < 20 {
+		t.Fatalf("implausibly low aggregate bandwidth: %.1f GB/s", res.AppGBps)
+	}
+	if res.NOCGBps < res.AppGBps {
+		t.Fatalf("NOC bandwidth (%.1f) below application bandwidth (%.1f)", res.NOCGBps, res.AppGBps)
+	}
+}

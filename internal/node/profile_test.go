@@ -1,0 +1,28 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+)
+
+// TestBandwidthTiny is a fast-cycling bandwidth run used for profiling and
+// CI smoke; it asserts only liveness.
+func TestBandwidthTiny(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.WindowCycles = 10_000
+	cfg.MaxCycles = 50_000
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunBandwidth(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tiny: app=%.1f GB/s completed=%d cycles=%d", res.AppGBps, res.Completed, res.Cycles)
+	if res.Completed == 0 {
+		t.Fatal("no requests completed")
+	}
+}

@@ -1,0 +1,227 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/noc"
+)
+
+// TestRRPPAddressInterleaving verifies §4.3: every incoming remote request
+// is serviced by the RRPP of its home row, so it ejects at the row of its
+// home LLC tile.
+func TestRRPPAddressInterleaving(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 16
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(4096, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Every RRPP should have serviced some mirrors: 4KB requests span 64
+	// consecutive blocks, touching every home row.
+	for i, r := range n.RRPPs {
+		if r.Serviced == 0 {
+			t.Fatalf("RRPP %d idle — address interleaving broken", i)
+		}
+	}
+}
+
+// TestMirrorConservation: the rack emulation must create exactly one
+// inbound mirror per outgoing block request and one response per serviced
+// mirror.
+func TestMirrorConservation(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 16
+	n, err := New(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(1024, 27); err != nil {
+		t.Fatal(err)
+	}
+	rk := n.Rack
+	if rk.RequestsOut != rk.InboundMade {
+		t.Fatalf("outgoing %d != mirrors %d", rk.RequestsOut, rk.InboundMade)
+	}
+	if rk.ResponsesOut != rk.ResponsesIn {
+		t.Fatalf("serviced %d != responses delivered %d", rk.ResponsesOut, rk.ResponsesIn)
+	}
+	blocks := int64((cfg.WarmupRequests + cfg.MeasureReqs) * (1024 / cfg.BlockBytes))
+	if rk.RequestsOut != blocks {
+		t.Fatalf("outgoing blocks %d, want %d", rk.RequestsOut, blocks)
+	}
+}
+
+// TestHopCountScalesLatency: latency must grow by ~2*70 cycles per
+// additional one-way hop.
+func TestHopCountScalesLatency(t *testing.T) {
+	lat := func(hops int) float64 {
+		cfg := config.Default()
+		cfg.Design = config.NISplit
+		cfg.MeasureReqs = 16
+		n, err := New(cfg, hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunSyncLatency(64, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanCycles
+	}
+	l1, l3 := lat(1), lat(3)
+	want := 2.0 * 2 * 70 // two extra hops, both directions
+	if diff := (l3 - l1) - want; diff < -30 || diff > 30 {
+		t.Fatalf("hop scaling: 1 hop %.0f, 3 hops %.0f (delta %.0f, want ~%.0f)",
+			l1, l3, l3-l1, want)
+	}
+}
+
+// TestEdgeSmallTransferBandwidthPenalty verifies the §6.2 observation that
+// NIedge loses bandwidth on small transfers to WQ/CQ ping-ponging, while
+// split does not.
+func TestEdgeSmallTransferBandwidthPenalty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth run")
+	}
+	run := func(d config.Design) float64 {
+		cfg := config.Default()
+		cfg.Design = d
+		cfg.WindowCycles = 40_000
+		cfg.MaxCycles = 400_000
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunBandwidth(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AppGBps
+	}
+	edge, split := run(config.NIEdge), run(config.NISplit)
+	if split <= edge {
+		t.Fatalf("at 64B split (%.1f) must beat edge (%.1f) — QP ping-pong missing", split, edge)
+	}
+}
+
+// TestPerTileLargeTransferCollapse verifies the core Fig. 7 claim: at
+// large transfers the per-tile design delivers markedly less bandwidth
+// than split (source-tile unrolling floods the NOC; responses detour).
+func TestPerTileLargeTransferCollapse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth run")
+	}
+	run := func(d config.Design) float64 {
+		cfg := config.Default()
+		cfg.Design = d
+		cfg.WindowCycles = 50_000
+		cfg.MaxCycles = 500_000
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunBandwidth(8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AppGBps
+	}
+	tile, split := run(config.NIPerTile), run(config.NISplit)
+	if tile >= split*0.9 {
+		t.Fatalf("at 8KB per-tile (%.1f) must fall clearly below split (%.1f)", tile, split)
+	}
+}
+
+// TestEndpointDispatchCoversAllKinds: a long mixed run must not panic in
+// any dispatcher (panics would fail the test) and must touch every
+// endpoint type.
+func TestEndpointDispatchCoversAllKinds(t *testing.T) {
+	for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+		cfg := config.Default()
+		cfg.Design = d
+		cfg.MeasureReqs = 8
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.RunSyncLatency(512, 0); err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if n.Stats.RCPBytes == 0 || n.Stats.RRPPBytes == 0 {
+			t.Fatalf("%v: data-path counters silent", d)
+		}
+	}
+}
+
+// TestDeterminism: identical seeds give identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		cfg := config.Default()
+		cfg.Design = config.NISplit
+		cfg.Seed = 1234
+		cfg.MeasureReqs = 16
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunSyncLatency(256, 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanCycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %.2f vs %.2f", a, b)
+	}
+}
+
+// TestNIEdgeCacheParticipates: in the edge design the per-row NI caches
+// must be doing real coherent work (misses and refetches from polling).
+func TestNIEdgeCacheParticipates(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NIEdge
+	cfg.MeasureReqs = 16
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(64, 27); err != nil {
+		t.Fatal(err)
+	}
+	row := 27 / cfg.MeshWidth
+	ni := n.EdgeCaches[row]
+	if ni.Misses < 8 {
+		t.Fatalf("edge NI cache misses=%d — WQ invalidation ping-pong absent", ni.Misses)
+	}
+}
+
+// TestComplexEliminatesQPTraffic: in the split design the QP interactions
+// must be overwhelmingly local (internal transfers, not directory misses).
+func TestComplexEliminatesQPTraffic(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 32
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(64, 27); err != nil {
+		t.Fatal(err)
+	}
+	agent := n.Agents[27]
+	if agent.InternalTransfers == 0 {
+		t.Fatal("no internal L1<->NI transfers")
+	}
+	// Steady state: misses should be a handful (initial acquisitions),
+	// far fewer than the 40 requests' worth of QP interactions.
+	if agent.Misses > 20 {
+		t.Fatalf("complex misses=%d — QP traffic not eliminated", agent.Misses)
+	}
+	_ = noc.NodeID(0)
+}

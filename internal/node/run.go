@@ -1,0 +1,233 @@
+package node
+
+import (
+	"fmt"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+	"rackni/internal/stats"
+)
+
+// Breakdown is the per-request latency tomography (Tables 1 and 3), in
+// cycles, averaged over measured requests.
+type Breakdown struct {
+	WQWrite  float64 // core starts building the entry -> store visible
+	WQRead   float64 // store visible -> RGP frontend has the entry
+	Dispatch float64 // frontend -> backend (Frontend-Backend Interface)
+	Generate float64 // backend processing until first packet injected
+	NetOut   float64 // intra-rack hops, outbound
+	Remote   float64 // remote node service (measured via the mirror RRPP)
+	NetBack  float64 // intra-rack hops, inbound
+	Complete float64 // first response on chip -> data written locally
+	CQWrite  float64 // data written -> CQ entry visible
+	CQRead   float64 // CQ entry visible -> core consumed it
+	Total    float64
+	RRPPLat  float64 // average measured RRPP service latency
+	Samples  int
+}
+
+// SyncResult is the outcome of a synchronous-latency run.
+type SyncResult struct {
+	MeanCycles float64
+	MeanNS     float64
+	Breakdown  Breakdown
+}
+
+// RunSyncLatency runs the unloaded latency microbenchmark (§5): one core
+// issues synchronous remote reads of the given size; warmup requests are
+// discarded. The issuing core defaults to a centrally located tile.
+func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
+	cfg := n.Cfg
+	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
+	wl := cpu.NewUniformReads(size,
+		SourceBase, SourceSpan,
+		LocalBase+uint64(onCore)*LocalStride, LocalStride,
+		total, cfg.Seed+uint64(onCore))
+	d := cpu.NewDriver(n.Eng, cfg, onCore, n.Agents[onCore], n.QPs[onCore], n.Stats, wl, cpu.Sync)
+	n.Drivers = []*cpu.Driver{d}
+	finished := false
+	d.OnIdle = func() { finished = true; n.Eng.Stop() }
+	d.Start()
+	n.Eng.Run(cfg.MaxCycles)
+	if !finished || d.Completed() < total {
+		return SyncResult{}, fmt.Errorf("sync run did not finish: %d/%d completed by cycle %d",
+			d.Completed(), total, n.Eng.Now())
+	}
+	bd := n.breakdown(d.Retired[cfg.WarmupRequests:])
+	return SyncResult{
+		MeanCycles: bd.Total,
+		MeanNS:     bd.Total * cfg.NsPerCycle(),
+		Breakdown:  bd,
+	}, nil
+}
+
+func (n *Node) breakdown(reqs []*rmc.Request) Breakdown {
+	var b Breakdown
+	if len(reqs) == 0 {
+		return b
+	}
+	hop := float64(n.Cfg.NetHopCycles())
+	hops := float64(n.RackHops())
+	for _, r := range reqs {
+		b.WQWrite += float64(r.T.WQWritten - r.T.IssueStart)
+		b.WQRead += float64(r.T.WQSeen - r.T.WQWritten)
+		b.Dispatch += float64(r.T.Dispatched - r.T.WQSeen)
+		b.Generate += float64(r.T.Injected - r.T.Dispatched)
+		roundTrip := float64(r.T.RespFirst - r.T.Injected)
+		b.NetOut += hop * hops
+		b.NetBack += hop * hops
+		b.Remote += roundTrip - 2*hop*hops
+		b.Complete += float64(r.T.DataDone - r.T.RespFirst)
+		b.CQWrite += float64(r.T.CQWritten - r.T.DataDone)
+		b.CQRead += float64(r.T.Done - r.T.CQWritten)
+		b.Total += float64(r.T.Done - r.T.IssueStart)
+	}
+	k := float64(len(reqs))
+	b.WQWrite /= k
+	b.WQRead /= k
+	b.Dispatch /= k
+	b.Generate /= k
+	b.NetOut /= k
+	b.NetBack /= k
+	b.Remote /= k
+	b.Complete /= k
+	b.CQWrite /= k
+	b.CQRead /= k
+	b.Total /= k
+	b.RRPPLat = n.Stats.RRPPLat.Mean()
+	b.Samples = len(reqs)
+	return b
+}
+
+// RackHops returns the one-way hop count this node was built with.
+func (n *Node) RackHops() int { return n.rackHops }
+
+// BWResult is the outcome of a bandwidth run.
+type BWResult struct {
+	AppGBps       float64 // paper's application bandwidth (RCP writes + RRPP sends)
+	NOCGBps       float64 // aggregate NOC bandwidth (bytes injected into the mesh)
+	FlitHopGBps   float64 // flit-hops moved (link utilization view)
+	BisectionGBps float64 // traffic crossing the vertical bisection
+	Cycles        int64
+	Stable        bool
+	Completed     int64
+}
+
+// RunBandwidth runs the asynchronous bandwidth microbenchmark (§5): all
+// cores issue async remote reads of the given size, WQ depth 128, until
+// the windowed application bandwidth stabilizes (or MaxCycles).
+func (n *Node) RunBandwidth(size int) (BWResult, error) {
+	cfg := n.Cfg
+	tiles := cfg.Tiles()
+	n.Drivers = n.Drivers[:0]
+	for c := 0; c < tiles; c++ {
+		wl := cpu.NewUniformReads(size,
+			SourceBase, SourceSpan,
+			LocalBase+uint64(c)*LocalStride, LocalStride,
+			0, cfg.Seed+uint64(c)*7919+1)
+		d := cpu.NewDriver(n.Eng, cfg, c, n.Agents[c], n.QPs[c], n.Stats, wl, cpu.Async)
+		n.Drivers = append(n.Drivers, d)
+		d.Start()
+	}
+	mon := stats.NewBandwidthMonitor(cfg.WindowCycles, cfg.StableDelta, 3)
+	appBytes := func() int64 { return n.Stats.RCPBytes + n.Stats.RRPPBytes }
+
+	var flits0, bis0, inj0 int64
+	var cycles0 int64
+	stable := false
+	var tick func()
+	tick = func() {
+		if mon.Observe(appBytes()) {
+			stable = true
+			n.Eng.Stop()
+			return
+		}
+		n.Eng.Schedule(cfg.WindowCycles, tick)
+	}
+	// Skip the first window as warmup, then start counting NOC flits.
+	n.Eng.Schedule(cfg.WindowCycles, func() {
+		if n.Mesh != nil {
+			flits0 = n.Mesh.FlitsCarried()
+			bis0 = n.Mesh.BisectionFlits()
+			inj0 = n.Mesh.BytesInjected()
+		} else if n.NOCOut != nil {
+			flits0 = n.NOCOut.FlitsCarried()
+			inj0 = n.NOCOut.BytesInjected()
+		}
+		cycles0 = n.Eng.Now()
+		mon.Reset(appBytes())
+		n.Eng.Schedule(cfg.WindowCycles, tick)
+	})
+	n.Eng.Run(cfg.MaxCycles)
+	for _, d := range n.Drivers {
+		d.Stop()
+	}
+	elapsed := n.Eng.Now() - cycles0
+	if elapsed <= 0 {
+		return BWResult{}, fmt.Errorf("bandwidth run made no progress")
+	}
+	ghz := cfg.ClockGHz
+	res := BWResult{
+		AppGBps:   stats.GBps(mon.BytesPerCycle(), ghz),
+		Cycles:    n.Eng.Now(),
+		Stable:    stable,
+		Completed: n.Stats.Completed,
+	}
+	if n.Mesh != nil {
+		res.NOCGBps = stats.GBps(float64(n.Mesh.BytesInjected()-inj0)/float64(elapsed), ghz)
+		res.FlitHopGBps = stats.GBps(float64((n.Mesh.FlitsCarried()-flits0)*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+		res.BisectionGBps = stats.GBps(float64((n.Mesh.BisectionFlits()-bis0)*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+	} else if n.NOCOut != nil {
+		res.NOCGBps = stats.GBps(float64(n.NOCOut.BytesInjected()-inj0)/float64(elapsed), ghz)
+		res.FlitHopGBps = stats.GBps(float64((n.NOCOut.FlitsCarried()-flits0)*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+	}
+	return res, nil
+}
+
+// WorkloadResult summarizes a custom workload run (RunWorkload).
+type WorkloadResult struct {
+	Completed    int64
+	Cycles       int64
+	MeanLatency  float64 // cycles per completed request
+	AppBytes     int64   // RCP-written plus RRPP-sent payload bytes
+	AllExhausted bool    // every driver finished its workload
+}
+
+// RunWorkload drives every core whose factory returns a non-nil workload,
+// asynchronously, until all drivers finish (including draining in-flight
+// requests) or maxCycles elapse.
+func (n *Node) RunWorkload(factory func(core int) cpu.Workload, maxCycles int64) (WorkloadResult, error) {
+	if maxCycles <= 0 {
+		maxCycles = n.Cfg.MaxCycles
+	}
+	n.Drivers = n.Drivers[:0]
+	active := 0
+	for c := 0; c < n.Cfg.Tiles(); c++ {
+		wl := factory(c)
+		if wl == nil {
+			continue
+		}
+		d := cpu.NewDriver(n.Eng, n.Cfg, c, n.Agents[c], n.QPs[c], n.Stats, wl, cpu.Async)
+		active++
+		d.OnIdle = func() {
+			active--
+			if active == 0 {
+				n.Eng.Stop()
+			}
+		}
+		n.Drivers = append(n.Drivers, d)
+		d.Start()
+	}
+	if active == 0 {
+		return WorkloadResult{}, fmt.Errorf("node: no cores have workloads")
+	}
+	n.Eng.Run(maxCycles)
+	res := WorkloadResult{
+		Completed:    n.Stats.Completed,
+		Cycles:       n.Eng.Now(),
+		MeanLatency:  n.Stats.ReqLat.Mean(),
+		AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
+		AllExhausted: active == 0,
+	}
+	return res, nil
+}

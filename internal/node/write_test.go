@@ -1,0 +1,162 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+)
+
+// fixedWrites issues remote writes then stops.
+type fixedWrites struct {
+	n    int
+	size int
+}
+
+func (f fixedWrites) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if int(seq) >= f.n {
+		return 0, 0, 0, 0, false
+	}
+	remote := uint64(SourceBase) + uint64(seq)*uint64(f.size)
+	local := LocalBase + uint64(coreID)*LocalStride + uint64(seq)*uint64(f.size)
+	return rmc.OpWrite, remote, local, f.size, true
+}
+
+// TestRemoteWritesComplete exercises the one-sided write path end to end
+// on every design: RGP loads the payload from local memory, the packet
+// carries data, the remote RRPP stores it and acks, the RCP completes
+// without a data write.
+func TestRemoteWritesComplete(t *testing.T) {
+	for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+		cfg := config.Default()
+		cfg.Design = d
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunWorkload(func(core int) cpu.Workload {
+			if core != 5 {
+				return nil
+			}
+			return fixedWrites{n: 10, size: 1024}
+		}, 2_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.Completed != 10 {
+			t.Fatalf("%v: completed %d of 10 writes", d, res.Completed)
+		}
+		// The remote side must have absorbed the payload (no RRPP read
+		// bytes; the written blocks land through KNIWrite at the homes).
+		wrote := int64(0)
+		for _, h := range n.Homes {
+			wrote += h.NIWrites
+		}
+		if wrote < 10*1024/int64(cfg.BlockBytes) {
+			t.Fatalf("%v: only %d blocks written remotely", d, wrote)
+		}
+	}
+}
+
+// TestWriteLatencyExceedsReadSetup: a remote write must pay the local
+// payload load before injection, so its unloaded latency is at least a
+// read's.
+func TestWriteVsReadLatency(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunWorkload(func(core int) cpu.Workload {
+		if core != 27 {
+			return nil
+		}
+		return fixedWrites{n: 20, size: 64}
+	}, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLat := res.MeanLatency
+
+	n2, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readRes, err := n2.RunSyncLatency(64, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write path loads payload from DRAM first; it must not be faster
+	// than a read minus the response payload difference (sanity bound).
+	if writeLat < readRes.MeanCycles*0.7 {
+		t.Fatalf("write %.0f suspiciously fast vs read %.0f", writeLat, readRes.MeanCycles)
+	}
+}
+
+// TestMixedReadWriteWorkload runs interleaved reads and writes across
+// several cores on all designs (dispatch soak test for the RMC pipelines).
+func TestMixedReadWriteWorkload(t *testing.T) {
+	for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+		cfg := config.Default()
+		cfg.Design = d
+		n, err := New(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunWorkload(func(core int) cpu.Workload {
+			if core%8 != 0 {
+				return nil
+			}
+			return mixedOps{n: 16, core: core}
+		}, 4_000_000)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if res.Completed != 8*16 {
+			t.Fatalf("%v: completed %d of %d", d, res.Completed, 8*16)
+		}
+	}
+}
+
+type mixedOps struct {
+	n    int
+	core int
+}
+
+func (m mixedOps) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if int(seq) >= m.n {
+		return 0, 0, 0, 0, false
+	}
+	op := rmc.OpRead
+	if seq%3 == 2 {
+		op = rmc.OpWrite
+	}
+	size := 64 << (seq % 5) // 64B .. 1KB
+	remote := uint64(SourceBase) + (uint64(m.core)*1000+seq)*8192
+	local := LocalBase + uint64(m.core)*LocalStride + seq*8192
+	return op, remote, local, size, true
+}
+
+// TestNOCOutWrites exercises writes on the NOC-Out topology too.
+func TestNOCOutWrites(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	n, err := NewNOCOut(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunWorkload(func(core int) cpu.Workload {
+		if core != 9 {
+			return nil
+		}
+		return fixedWrites{n: 6, size: 512}
+	}, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 6 {
+		t.Fatalf("completed %d of 6", res.Completed)
+	}
+}

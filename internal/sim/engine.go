@@ -1,0 +1,153 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timed component in the simulator: a deterministic engine with a timing
+// wheel for short delays and an overflow heap for long ones.
+//
+// All simulated time is measured in core clock cycles (2 GHz in the default
+// configuration, i.e. one cycle = 0.5 ns). Components schedule closures to
+// run at future cycles; the engine runs them in (time, insertion-order)
+// order, which makes every simulation fully deterministic.
+package sim
+
+import "container/heap"
+
+// wheelSize must be a power of two and larger than the most common delays
+// (cache latencies, per-hop link times, DRAM latency, network hop latency).
+// Delays beyond the wheel fall into the overflow heap.
+const wheelSize = 4096
+
+// Event is a scheduled closure.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     int64
+	seq     uint64
+	pending int
+	wheel   [wheelSize][]event
+	over    overflowHeap
+	stopped bool
+}
+
+// NewEngine returns an engine positioned at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time in cycles.
+func (e *Engine) Now() int64 { return e.now }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return e.pending }
+
+// Schedule runs fn after delay cycles (delay >= 0). A delay of zero runs fn
+// later in the current cycle, after all previously scheduled work for this
+// cycle.
+func (e *Engine) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	at := e.now + delay
+	e.seq++
+	e.pending++
+	if delay < wheelSize {
+		slot := at & (wheelSize - 1)
+		e.wheel[slot] = append(e.wheel[slot], event{at: at, seq: e.seq, fn: fn})
+		return
+	}
+	heap.Push(&e.over, event{at: at, seq: e.seq, fn: fn})
+}
+
+// At runs fn at the absolute cycle t (t >= Now()).
+func (e *Engine) At(t int64, fn func()) {
+	e.Schedule(t-e.now, fn)
+}
+
+// Stop makes Run return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the given cycle (inclusive) or until no events
+// remain or Stop is called. It returns the cycle at which it stopped.
+func (e *Engine) Run(until int64) int64 {
+	e.stopped = false
+	for e.now <= until && e.pending > 0 && !e.stopped {
+		slot := e.now & (wheelSize - 1)
+		evs := e.wheel[slot]
+		if len(evs) > 0 {
+			// Events scheduled for a future lap of the wheel stay.
+			var keep []event
+			i := 0
+			for i < len(evs) {
+				ev := evs[i]
+				i++
+				if ev.at != e.now {
+					keep = append(keep, ev)
+					continue
+				}
+				e.pending--
+				ev.fn()
+				if e.stopped {
+					// Preserve the untouched remainder.
+					keep = append(keep, evs[i:]...)
+					break
+				}
+				// fn may have appended to this slot; refresh.
+				evs = e.wheel[slot]
+			}
+			e.wheel[slot] = keep
+			if e.stopped {
+				return e.now
+			}
+		}
+		// Drain overflow events that are due now (long delays can land on
+		// the current cycle once the wheel catches up).
+		for len(e.over) > 0 && e.over[0].at == e.now {
+			ev := heap.Pop(&e.over).(event)
+			e.pending--
+			ev.fn()
+			if e.stopped {
+				return e.now
+			}
+		}
+		if e.pending == 0 {
+			break
+		}
+		e.now++
+		// Re-home overflow events that are now within the wheel horizon.
+		for len(e.over) > 0 && e.over[0].at-e.now < wheelSize {
+			ev := heap.Pop(&e.over).(event)
+			slot := ev.at & (wheelSize - 1)
+			e.wheel[slot] = append(e.wheel[slot], ev)
+		}
+	}
+	return e.now
+}
+
+// RunAll executes events until none remain (or Stop is called).
+func (e *Engine) RunAll() int64 {
+	return e.Run(1<<62 - 1)
+}
+
+type overflowHeap []event
+
+func (h overflowHeap) Len() int { return len(h) }
+func (h overflowHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h overflowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *overflowHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *overflowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

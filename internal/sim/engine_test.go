@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int64
+	for _, d := range []int64{5, 3, 3, 0, 10000, 4096, 4095, 1} {
+		d := d
+		e.Schedule(d, func() { got = append(got, e.Now()) })
+	}
+	e.RunAll()
+	want := []int64{0, 1, 3, 3, 5, 4095, 4096, 10000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestZeroDelayFromWithinEvent(t *testing.T) {
+	e := NewEngine()
+	var seq []string
+	e.Schedule(2, func() {
+		seq = append(seq, "a")
+		e.Schedule(0, func() { seq = append(seq, "b") })
+		e.Schedule(1, func() { seq = append(seq, "c") })
+	})
+	e.Schedule(2, func() { seq = append(seq, "a2") })
+	e.RunAll()
+	want := []string{"a", "a2", "b", "c"}
+	for i := range want {
+		if i >= len(seq) || seq[i] != want[i] {
+			t.Fatalf("got %v want %v", seq, want)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	e.Run(15)
+	if fired != 1 {
+		t.Fatalf("fired=%d want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending=%d want 1", e.Pending())
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("fired=%d want 2", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(1, func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(100)
+	if count != 2 {
+		t.Fatalf("count=%d want 2", count)
+	}
+	// Remaining events must still be runnable afterwards.
+	e.RunAll()
+	if count != 5 {
+		t.Fatalf("count=%d want 5 after resume", count)
+	}
+}
+
+func TestLongDelayReHoming(t *testing.T) {
+	e := NewEngine()
+	var at []int64
+	delays := []int64{wheelSize, wheelSize + 1, 3 * wheelSize, 10 * wheelSize}
+	for _, d := range delays {
+		e.Schedule(d, func() { at = append(at, e.Now()) })
+	}
+	e.RunAll()
+	for i, d := range delays {
+		if at[i] != d {
+			t.Fatalf("delay %d fired at %d", d, at[i])
+		}
+	}
+}
+
+// Property: regardless of the delay multiset, events fire exactly once, in
+// nondecreasing time order, at now+delay.
+func TestSchedulePropertyOrdered(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fireTimes []int64
+		want := make([]int64, 0, len(raw))
+		for _, d := range raw {
+			d := int64(d)
+			want = append(want, d)
+			e.Schedule(d, func() { fireTimes = append(fireTimes, e.Now()) })
+		}
+		e.RunAll()
+		if len(fireTimes) != len(raw) {
+			return false
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if fireTimes[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 1000 {
+			e.Schedule(3, step)
+		}
+	}
+	e.Schedule(0, step)
+	end := e.RunAll()
+	if depth != 1000 {
+		t.Fatalf("depth=%d", depth)
+	}
+	if end != 3*999 {
+		t.Fatalf("end=%d want %d", end, 3*999)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewRand(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatal("different seeds look identical")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (xorshift64*). Simulation components must not use math/rand global state:
+// every component that needs randomness owns a Rand seeded from the
+// configuration so runs are reproducible.
+type Rand struct {
+	s uint64
+}
+
+// NewRand returns a generator with the given non-zero seed (a zero seed is
+// replaced by a fixed constant).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Rand{s: seed}
+}
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a pseudo-random boolean.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }

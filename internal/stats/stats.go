@@ -1,0 +1,193 @@
+// Package stats provides the measurement machinery shared by the simulator:
+// counters, latency accumulators and the windowed bandwidth monitor that
+// implements the paper's stabilization rule (§5: monitor in fixed-size
+// cycle windows and stop when consecutive windows agree within a delta).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// LatencyAccum accumulates latency samples (in cycles) and reports simple
+// aggregates. It keeps raw samples up to a cap so tests can inspect
+// distributions without unbounded memory.
+type LatencyAccum struct {
+	sum     float64
+	count   int64
+	min     int64
+	max     int64
+	samples []int64
+	keep    int
+}
+
+// NewLatencyAccum returns an accumulator that retains up to keep raw
+// samples (0 keeps none).
+func NewLatencyAccum(keep int) *LatencyAccum {
+	return &LatencyAccum{min: math.MaxInt64, keep: keep}
+}
+
+// Add records one latency sample.
+func (l *LatencyAccum) Add(v int64) {
+	l.sum += float64(v)
+	l.count++
+	if v < l.min {
+		l.min = v
+	}
+	if v > l.max {
+		l.max = v
+	}
+	if len(l.samples) < l.keep {
+		l.samples = append(l.samples, v)
+	}
+}
+
+// Count returns the number of samples.
+func (l *LatencyAccum) Count() int64 { return l.count }
+
+// Mean returns the average sample, or 0 with no samples.
+func (l *LatencyAccum) Mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / float64(l.count)
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (l *LatencyAccum) Min() int64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.min
+}
+
+// Max returns the largest sample.
+func (l *LatencyAccum) Max() int64 { return l.max }
+
+// Percentile returns the p-th percentile (0..100) of the retained samples.
+func (l *LatencyAccum) Percentile(p float64) int64 {
+	if len(l.samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), l.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p / 100 * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// BandwidthMonitor implements the paper's stabilization rule: application
+// bytes are accumulated; at each window boundary the per-window rate is
+// compared with the previous window and the run is declared stable when the
+// relative delta drops below the configured threshold.
+type BandwidthMonitor struct {
+	window     int64
+	delta      float64
+	minWindows int
+
+	base       int64
+	bytes      int64
+	lastBytes  int64
+	lastRate   float64
+	windows    int
+	stable     bool
+	stableRate float64
+}
+
+// NewBandwidthMonitor returns a monitor with the given window size in
+// cycles and relative stability threshold (e.g. 0.01 for 1%). At least
+// minWindows windows are observed before declaring stability.
+func NewBandwidthMonitor(window int64, delta float64, minWindows int) *BandwidthMonitor {
+	if minWindows < 2 {
+		minWindows = 2
+	}
+	return &BandwidthMonitor{window: window, delta: delta, minWindows: minWindows}
+}
+
+// AddBytes records payload bytes delivered to the application.
+func (b *BandwidthMonitor) AddBytes(n int64) { b.bytes += n }
+
+// Observe sets the cumulative byte count (an alternative to AddBytes for
+// callers that track a running total) and processes one window boundary;
+// it returns true when the rate has stabilized.
+func (b *BandwidthMonitor) Observe(total int64) bool {
+	b.bytes = total - b.base
+	return b.OnWindow()
+}
+
+// Reset re-baselines the monitor at the given cumulative count, discarding
+// warmup windows.
+func (b *BandwidthMonitor) Reset(total int64) {
+	b.base = total
+	b.bytes = 0
+	b.lastBytes = 0
+	b.lastRate = 0
+	b.windows = 0
+	b.stable = false
+	b.stableRate = 0
+}
+
+// Window returns the monitoring window in cycles.
+func (b *BandwidthMonitor) Window() int64 { return b.window }
+
+// OnWindow must be called once per window boundary; it returns true when
+// the metric has stabilized.
+func (b *BandwidthMonitor) OnWindow() bool {
+	cur := b.bytes - b.lastBytes
+	b.lastBytes = b.bytes
+	rate := float64(cur) / float64(b.window) // bytes per cycle
+	b.windows++
+	defer func() { b.lastRate = rate }()
+	if b.windows >= b.minWindows && b.lastRate > 0 {
+		d := math.Abs(rate-b.lastRate) / b.lastRate
+		if d < b.delta {
+			b.stable = true
+			b.stableRate = (rate + b.lastRate) / 2
+			return true
+		}
+	}
+	return false
+}
+
+// Stable reports whether stabilization was reached.
+func (b *BandwidthMonitor) Stable() bool { return b.stable }
+
+// BytesPerCycle returns the stabilized rate if stable, otherwise the
+// average rate over all complete windows.
+func (b *BandwidthMonitor) BytesPerCycle() float64 {
+	if b.stable {
+		return b.stableRate
+	}
+	if b.windows == 0 {
+		return 0
+	}
+	return float64(b.lastBytes) / float64(int64(b.windows)*b.window)
+}
+
+// GBps converts a bytes/cycle rate to GB/s at the given clock.
+func GBps(bytesPerCycle, clockGHz float64) float64 {
+	return bytesPerCycle * clockGHz // B/cycle * cycles/ns = B/ns = GB/s
+}
+
+// FormatGBps renders a bandwidth for tables.
+func FormatGBps(v float64) string { return fmt.Sprintf("%.1f GB/s", v) }

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("got %d", c.Value())
+	}
+}
+
+func TestLatencyAccumAggregates(t *testing.T) {
+	l := NewLatencyAccum(10)
+	for _, v := range []int64{5, 1, 9, 3} {
+		l.Add(v)
+	}
+	if l.Count() != 4 || l.Min() != 1 || l.Max() != 9 {
+		t.Fatalf("count=%d min=%d max=%d", l.Count(), l.Min(), l.Max())
+	}
+	if l.Mean() != 4.5 {
+		t.Fatalf("mean=%v", l.Mean())
+	}
+	if l.Percentile(100) != 9 || l.Percentile(0) != 1 {
+		t.Fatal("percentiles wrong")
+	}
+}
+
+func TestLatencyAccumEmpty(t *testing.T) {
+	l := NewLatencyAccum(0)
+	if l.Mean() != 0 || l.Min() != 0 || l.Percentile(50) != 0 {
+		t.Fatal("empty accumulator must return zeros")
+	}
+}
+
+func TestBandwidthMonitorStabilizes(t *testing.T) {
+	m := NewBandwidthMonitor(1000, 0.02, 3)
+	total := int64(0)
+	stable := false
+	for i := 0; i < 10 && !stable; i++ {
+		total += 5000 // constant 5 B/cycle
+		stable = m.Observe(total)
+	}
+	if !stable {
+		t.Fatal("constant rate never stabilized")
+	}
+	if got := m.BytesPerCycle(); got < 4.9 || got > 5.1 {
+		t.Fatalf("rate=%v want ~5", got)
+	}
+}
+
+func TestBandwidthMonitorRejectsRamp(t *testing.T) {
+	m := NewBandwidthMonitor(1000, 0.01, 3)
+	total := int64(0)
+	add := int64(1000)
+	for i := 0; i < 6; i++ {
+		add *= 2 // doubling every window: never stable
+		total += add
+		if m.Observe(total) {
+			t.Fatal("ramp declared stable")
+		}
+	}
+}
+
+func TestBandwidthMonitorReset(t *testing.T) {
+	m := NewBandwidthMonitor(100, 0.02, 3)
+	m.Observe(1_000_000) // warmup junk
+	m.Reset(1_000_000)
+	total := int64(1_000_000)
+	stable := false
+	for i := 0; i < 8 && !stable; i++ {
+		total += 200
+		stable = m.Observe(total)
+	}
+	if !stable {
+		t.Fatal("post-reset constant rate never stabilized")
+	}
+	if got := m.BytesPerCycle(); got < 1.9 || got > 2.1 {
+		t.Fatalf("rate=%v want ~2 (warmup must be excluded)", got)
+	}
+}
+
+func TestGBpsConversion(t *testing.T) {
+	// 64 B/cycle at 2 GHz = 128 GB/s.
+	if got := GBps(64, 2.0); got != 128 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestPropertyMeanBounded(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		l := NewLatencyAccum(0)
+		for _, v := range vals {
+			l.Add(int64(v))
+		}
+		m := l.Mean()
+		return m >= float64(l.Min()) && m <= float64(l.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package rackni is a cycle-level simulation library reproducing
+// "Manycore Network Interfaces for In-Memory Rack-Scale Computing"
+// (Daglis, Novaković, Bugnion, Falsafi, Grot — ISCA 2015).
+//
+// It models one 64-core tiled SoC of a rack-scale system in full detail —
+// mesh or NOC-Out interconnect, MESI directory coherence, NUCA LLC, memory
+// controllers, and the soNUMA Remote Memory Controller (RGP/RCP/RRPP
+// pipelines with in-memory queue pairs) — under the three NI placements
+// the paper studies (NIedge, NIper-tile, NIsplit), with the rest of the
+// rack emulated by the paper's own methodology (rate-matching traffic
+// generation, measured local RRPP latency, fixed 35 ns per network hop).
+//
+// Quick start:
+//
+//	cfg := rackni.DefaultConfig()
+//	cfg.Design = rackni.NISplit
+//	n, err := rackni.NewNode(cfg, 1) // one network hop to the peer
+//	if err != nil { ... }
+//	res, err := n.RunSyncLatency(64, 27) // 64-byte reads from core 27
+//	fmt.Printf("remote read: %.0f ns\n", res.MeanNS)
+//
+// The Experiments API (experiments.go) regenerates every table and figure
+// of the paper's evaluation; cmd/rackbench prints them.
+package rackni
+
+import (
+	"fmt"
+
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+	"rackni/internal/node"
+)
+
+// Config is the full system parameter set (Table 2 defaults).
+type Config = config.Config
+
+// Design selects the NI architecture.
+type Design = config.Design
+
+// Topology selects the on-chip interconnect.
+type Topology = config.Topology
+
+// Routing selects the mesh routing policy.
+type Routing = config.Routing
+
+// Re-exported enumerators.
+const (
+	NIEdge    = config.NIEdge
+	NIPerTile = config.NIPerTile
+	NISplit   = config.NISplit
+	NUMA      = config.NUMA
+
+	Mesh   = config.Mesh
+	NOCOut = config.NOCOut
+
+	RoutingXY     = config.RoutingXY
+	RoutingYX     = config.RoutingYX
+	RoutingO1Turn = config.RoutingO1Turn
+	RoutingCDR    = config.RoutingCDR
+	RoutingCDRNI  = config.RoutingCDRNI
+)
+
+// DefaultConfig returns the paper's Table 2 configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// QuickConfig returns a configuration with shorter measurement windows for
+// fast iteration (results are slightly noisier than the paper-fidelity
+// defaults).
+func QuickConfig() Config {
+	cfg := config.Default()
+	cfg.WindowCycles = 50_000
+	cfg.MaxCycles = 800_000
+	cfg.MeasureReqs = 32
+	return cfg
+}
+
+// SyncResult is a latency run's outcome; Breakdown is its tomography.
+type SyncResult = node.SyncResult
+
+// Breakdown is the per-request latency tomography (Tables 1 and 3).
+type Breakdown = node.Breakdown
+
+// BWResult is a bandwidth run's outcome.
+type BWResult = node.BWResult
+
+// Op is a one-sided operation type.
+type Op = rmc.Op
+
+// Operation kinds for custom workloads.
+const (
+	OpRead  = rmc.OpRead
+	OpWrite = rmc.OpWrite
+)
+
+// Workload generates per-core operations; implement it to drive the node
+// with application-like access patterns (see the examples).
+type Workload = cpu.Workload
+
+// Node is one simulated SoC plus its emulated rack.
+type Node struct {
+	n *node.Node
+}
+
+// NewNode builds a node for the configured topology and the given one-way
+// intra-rack hop count to its peer.
+func NewNode(cfg Config, hops int) (*Node, error) {
+	if hops < 0 {
+		return nil, fmt.Errorf("rackni: negative hop count %d", hops)
+	}
+	if hops == 0 {
+		hops = cfg.DefaultHops
+	}
+	var inner *node.Node
+	var err error
+	if cfg.Topology == config.NOCOut {
+		inner, err = node.NewNOCOut(cfg, hops)
+	} else {
+		inner, err = node.New(cfg, hops)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Node{n: inner}, nil
+}
+
+// RunSyncLatency measures unloaded remote-read latency: one core issues
+// synchronous reads of size bytes (§5's latency microbenchmark).
+func (n *Node) RunSyncLatency(size, core int) (SyncResult, error) {
+	if err := checkSize(n.n.Cfg, size); err != nil {
+		return SyncResult{}, err
+	}
+	if core < 0 || core >= n.n.Cfg.Tiles() {
+		return SyncResult{}, fmt.Errorf("rackni: core %d out of range", core)
+	}
+	return n.n.RunSyncLatency(size, core)
+}
+
+// RunBandwidth measures aggregate application bandwidth: all cores issue
+// asynchronous reads of size bytes until the windowed rate stabilizes
+// (§5's bandwidth microbenchmark).
+func (n *Node) RunBandwidth(size int) (BWResult, error) {
+	if err := checkSize(n.n.Cfg, size); err != nil {
+		return BWResult{}, err
+	}
+	return n.n.RunBandwidth(size)
+}
+
+// RunWorkload drives every core for which factory returns a non-nil
+// workload, asynchronously, until all drivers exhaust their workloads (and
+// drain their in-flight requests) or maxCycles elapse. It returns the
+// per-run statistics.
+func (n *Node) RunWorkload(factory func(core int) Workload, maxCycles int64) (WorkloadResult, error) {
+	return n.n.RunWorkload(factory, maxCycles)
+}
+
+// WorkloadResult summarizes a custom workload run.
+type WorkloadResult = node.WorkloadResult
+
+// Stats exposes the node's raw counters (latency accumulators, byte
+// counts) for custom analyses.
+func (n *Node) Stats() *rmc.Stats { return n.n.Stats }
+
+// Config returns the node's configuration.
+func (n *Node) Config() *Config { return n.n.Cfg }
+
+func checkSize(cfg *Config, size int) error {
+	switch {
+	case size <= 0:
+		return fmt.Errorf("rackni: non-positive transfer size %d", size)
+	case size > 1<<20:
+		return fmt.Errorf("rackni: transfer size %d exceeds 1 MiB", size)
+	}
+	return nil
+}

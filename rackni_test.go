@@ -1,0 +1,151 @@
+package rackni
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewNodeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := NewNode(cfg, -1); err == nil {
+		t.Fatal("negative hops accepted")
+	}
+	cfg.Design = NUMA
+	if _, err := NewNode(cfg, 1); err == nil {
+		t.Fatal("NUMA must be rejected as a simulated design (it is analytic)")
+	}
+	cfg = DefaultConfig()
+	cfg.WQEntryB = 48 // does not divide the block size
+	if _, err := NewNode(cfg, 1); err == nil {
+		t.Fatal("invalid WQ entry size accepted")
+	}
+}
+
+func TestRunSyncLatencyValidation(t *testing.T) {
+	n, err := NewNode(DefaultConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(0, 0); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := n.RunSyncLatency(64, 1000); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDesign := map[Design]BreakdownRow{}
+	for _, r := range res.Rows {
+		byDesign[r.Design] = r
+	}
+	edge, tile, split := byDesign[NIEdge], byDesign[NIPerTile], byDesign[NISplit]
+	// Paper Table 3: 710 / 445 / 447 cycles over a 395-cycle NUMA
+	// projection — overheads 79.7% / 12.7% / 13.2%.
+	if edge.OverheadPct < 40 || edge.OverheadPct > 110 {
+		t.Fatalf("edge overhead %.1f%%, paper 79.7%%", edge.OverheadPct)
+	}
+	if tile.OverheadPct < 3 || tile.OverheadPct > 30 {
+		t.Fatalf("per-tile overhead %.1f%%, paper 12.7%%", tile.OverheadPct)
+	}
+	if split.OverheadPct < 3 || split.OverheadPct > 30 {
+		t.Fatalf("split overhead %.1f%%, paper 13.2%%", split.OverheadPct)
+	}
+	if !strings.Contains(res.Format(), "Overhead over NUMA") {
+		t.Fatal("Format missing overhead row")
+	}
+	t.Logf("\n%s", res.Format())
+}
+
+func TestFig5ProjectionFromMeasurement(t *testing.T) {
+	cfg := QuickConfig()
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgHops < 5.9 || res.AvgHops > 6.1 || res.MaxHops != 12 {
+		t.Fatalf("torus stats wrong: avg=%.1f max=%d", res.AvgHops, res.MaxHops)
+	}
+	p6 := res.Points[6]
+	// Paper: 28.6% edge / 4.7% split at 6 hops.
+	if p6.EdgeOverPct < 15 || p6.EdgeOverPct > 45 {
+		t.Fatalf("edge overhead at 6 hops %.1f%%, paper 28.6%%", p6.EdgeOverPct)
+	}
+	if p6.SplitOverPct < 1 || p6.SplitOverPct > 12 {
+		t.Fatalf("split overhead at 6 hops %.1f%%, paper 4.7%%", p6.SplitOverPct)
+	}
+	t.Logf("\n%s", res.Format())
+}
+
+func TestFig6LatencyShape(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.MeasureReqs = 12
+	res, err := RunFig6(cfg, []int{64, 2048, 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(d Design, size int) float64 {
+		for _, p := range res.Points {
+			if p.Design == d && p.Size == size {
+				return p.NS
+			}
+		}
+		t.Fatalf("missing point %v/%d", d, size)
+		return 0
+	}
+	// Small transfers: edge slowest (Fig. 6).
+	if !(get(NIEdge, 64) > get(NISplit, 64)) {
+		t.Fatal("edge must be slowest at 64B")
+	}
+	// Large transfers: per-tile slowest (unroll at the source tile, §6.1.3).
+	if !(get(NIPerTile, 16384) > get(NIEdge, 16384)) {
+		t.Fatalf("per-tile (%f) must be slowest at 16KB (edge %f)", get(NIPerTile, 16384), get(NIEdge, 16384))
+	}
+	// Latency grows with size for every design.
+	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
+		if !(get(d, 16384) > get(d, 64)) {
+			t.Fatalf("%v: latency must grow with size", d)
+		}
+	}
+	// NUMA projection is below NIsplit everywhere.
+	for _, size := range []int{64, 2048, 16384} {
+		if res.NUMA[size] >= get(NISplit, size) {
+			t.Fatalf("NUMA projection must undercut split at %dB", size)
+		}
+	}
+	t.Logf("\n%s", res.Format())
+}
+
+func TestWorkloadAPI(t *testing.T) {
+	cfg := QuickConfig()
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunWorkload(func(core int) Workload {
+		if core >= 4 {
+			return nil
+		}
+		return FixedOps{Ops: []FixedOp{
+			{Op: OpRead, Remote: 0x1_0000_0000, Local: 0x8000_0000 + uint64(core)*0x20_0000, Size: 256},
+			{Op: OpRead, Remote: 0x1_0000_4000, Local: 0x8000_4000 + uint64(core)*0x20_0000, Size: 4096},
+		}}
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 8 {
+		t.Fatalf("completed=%d want 8", res.Completed)
+	}
+	if !res.AllExhausted {
+		t.Fatal("drivers did not drain")
+	}
+	if res.AppBytes <= 0 || res.MeanLatency <= 0 {
+		t.Fatalf("bad stats: %+v", res)
+	}
+}

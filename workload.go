@@ -1,0 +1,107 @@
+package rackni
+
+import (
+	"math"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+	"rackni/internal/node"
+	"rackni/internal/sim"
+)
+
+// Memory-map landmarks of the simulated node, exported so custom workloads
+// can place their data the way the microbenchmarks do: the source region
+// stands in for remote memory (the rack emulation services remote reads
+// against it), and each core owns a local-buffer slice.
+const (
+	// SourceBase is the start of the remote/source data region (128 MB,
+	// larger than the LLC so data accesses reach DRAM).
+	SourceBase = node.SourceBase
+	// SourceSpan is the size of the source region.
+	SourceSpan = node.SourceSpan
+	// LocalBase is the start of the local-buffer region.
+	LocalBase = node.LocalBase
+	// LocalStride is each core's local-buffer slice size.
+	LocalStride = node.LocalStride
+)
+
+// LocalBufferOf returns the base of a core's local-buffer slice.
+func LocalBufferOf(core int) uint64 {
+	return LocalBase + uint64(core)*LocalStride
+}
+
+// FixedOp is one scripted operation of a FixedOps workload.
+type FixedOp struct {
+	Op     Op
+	Remote uint64
+	Local  uint64
+	Size   int
+}
+
+// FixedOps replays a fixed operation list, then stops. Useful for tests and
+// deterministic application kernels.
+type FixedOps struct {
+	Ops []FixedOp
+}
+
+// Next implements Workload.
+func (f FixedOps) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if int(seq) >= len(f.Ops) {
+		return 0, 0, 0, 0, false
+	}
+	op := f.Ops[seq]
+	return op.Op, op.Remote, op.Local, op.Size, true
+}
+
+// UniformReads returns the paper's microbenchmark workload for one core:
+// fixed-size remote reads at uniformly random addresses of the shared
+// source region, landing in the core's local-buffer slice. max=0 issues
+// forever.
+func UniformReads(core, size int, max uint64, seed uint64) Workload {
+	return cpu.NewUniformReads(size, SourceBase, SourceSpan,
+		LocalBufferOf(core), LocalStride, max, seed)
+}
+
+// ZipfReads issues remote reads whose object popularity follows a
+// Zipf-like distribution — the skewed access pattern typical of key-value
+// workloads (§2.1). Objects are size-aligned slots of the source region.
+type ZipfReads struct {
+	Size    int
+	Objects int
+	Theta   float64 // skew: 0 = uniform, ~0.99 = typical KV skew
+	Max     uint64
+	core    int
+	rnd     *sim.Rand
+	zeta    float64
+}
+
+// NewZipfReads builds the skewed workload for one core.
+func NewZipfReads(core, size, objects int, theta float64, max uint64, seed uint64) *ZipfReads {
+	z := &ZipfReads{Size: size, Objects: objects, Theta: theta, Max: max,
+		core: core, rnd: sim.NewRand(seed)}
+	for i := 1; i <= objects; i++ {
+		z.zeta += 1 / math.Pow(float64(i), theta)
+	}
+	return z
+}
+
+// Next implements Workload.
+func (z *ZipfReads) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if z.Max > 0 && seq >= z.Max {
+		return 0, 0, 0, 0, false
+	}
+	// Inverse-CDF sampling over the truncated Zipf.
+	u := z.rnd.Float64() * z.zeta
+	var cum float64
+	obj := z.Objects - 1
+	for i := 1; i <= z.Objects; i++ {
+		cum += 1 / math.Pow(float64(i), z.Theta)
+		if cum >= u {
+			obj = i - 1
+			break
+		}
+	}
+	remote := SourceBase + uint64(obj)*uint64(z.Size)
+	local := LocalBufferOf(z.core) + (z.rnd.Uint64()%(LocalStride/uint64(z.Size)))*uint64(z.Size)
+	return rmc.OpRead, remote, local, z.Size, true
+}
