@@ -149,8 +149,10 @@ func BenchmarkAblation_Routing(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulator speed (simulated
 // cycles per wall-second for a loaded 64-core bandwidth run) — an
-// engineering metric, not a paper artifact.
+// engineering metric, not a paper artifact. BENCH_simthroughput.json
+// tracks its trajectory across PRs.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := benchCfg()
 		cfg.MaxCycles = 100_000

@@ -1,0 +1,3 @@
+module rackni
+
+go 1.24

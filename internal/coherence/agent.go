@@ -21,7 +21,18 @@ const (
 	SideNI
 )
 
-// miss tracks one outstanding coherence transaction at a requestor.
+// pendingAccess is an access parked on an outstanding miss; it re-executes
+// once the fill completes. Stored by value so parking allocates nothing
+// beyond the waiter list's amortized growth.
+type pendingAccess struct {
+	addr  uint64
+	side  Side
+	write bool
+	done  func()
+}
+
+// miss tracks one outstanding coherence transaction at a requestor. Records
+// are recycled through the agent's free list.
 type miss struct {
 	want     State // Shared (GetS) or Modified (GetX)
 	dataGot  bool
@@ -29,7 +40,7 @@ type miss struct {
 	acksNeed int
 	acksGot  int
 	fillSide Side
-	waiters  []func()
+	waiters  []pendingAccess
 }
 
 // evict tracks a writeback awaiting its WBAck; the data stays available so
@@ -63,8 +74,8 @@ type Agent struct {
 	niOwned     map[uint64]bool // NI side in the Owned state of §3.4
 	transferLat int64
 
-	out        []*noc.Message
-	outWaiting bool
+	out      *noc.Outbox
+	missFree []*miss
 
 	// Stats.
 	Hits, Misses, InternalTransfers, Writebacks int64
@@ -87,7 +98,30 @@ func NewAgent(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id noc.NodeID
 		hitLat:   hitLat,
 		niHitLat: hitLat,
 	}
+	a.out = noc.NewOutbox(net, id)
 	return a
+}
+
+// newMiss takes a miss record from the free list (or allocates one).
+func (a *Agent) newMiss(side Side) *miss {
+	if n := len(a.missFree); n > 0 {
+		m := a.missFree[n-1]
+		a.missFree = a.missFree[:n-1]
+		m.fillSide = side
+		return m
+	}
+	return &miss{fillSide: side}
+}
+
+// freeMiss recycles a completed miss record, keeping its waiter buffer.
+func (a *Agent) freeMiss(m *miss) {
+	w := m.waiters
+	for i := range w {
+		w[i] = pendingAccess{}
+	}
+	*m = miss{}
+	m.waiters = w[:0]
+	a.missFree = append(a.missFree, m)
 }
 
 // NewComplex builds the per-tile L1+NI cache complex of the NIper-tile and
@@ -159,12 +193,12 @@ func (a *Agent) access(addr uint64, side Side, write bool, done func()) {
 	if m, ok := a.mshr[addr]; ok {
 		// Re-execute the access after the outstanding fill completes; an
 		// upgrade-after-read naturally reissues as GetX.
-		m.waiters = append(m.waiters, func() { a.access(addr, side, write, done) })
+		m.waiters = append(m.waiters, pendingAccess{addr: addr, side: side, write: write, done: done})
 		return
 	}
 	a.Misses++
-	m := &miss{fillSide: side}
-	m.waiters = append(m.waiters, func() { a.access(addr, side, write, done) })
+	m := a.newMiss(side)
+	m.waiters = append(m.waiters, pendingAccess{addr: addr, side: side, write: write, done: done})
 	a.mshr[addr] = m
 	kind := KGetS
 	m.want = Shared
@@ -200,10 +234,32 @@ func (a *Agent) local(addr uint64, side Side, write bool, lat int64, done func()
 	// Internal back-side transfer between the L1 and the NI cache; the
 	// directory is not consulted (§3.4).
 	a.InternalTransfers++
-	a.eng.Schedule(a.transferLat, func() {
-		a.installSide(addr, side)
-		a.finishLocal(addr, side, write, 0, done)
-	})
+	a.eng.Post(a.transferLat, agentTransferEv, a, done, packAccess(addr, side, write))
+}
+
+// packAccess packs an access's (addr, side, write) into one event argument;
+// simulated addresses stay far below 2^61.
+func packAccess(addr uint64, side Side, write bool) int64 {
+	i := int64(addr) << 2
+	if side == SideNI {
+		i |= 2
+	}
+	if write {
+		i |= 1
+	}
+	return i
+}
+
+// agentTransferEv completes an internal L1<->NI transfer.
+func agentTransferEv(a, b any, i int64) {
+	ag := a.(*Agent)
+	addr := uint64(i) >> 2
+	side := SideCore
+	if i&2 != 0 {
+		side = SideNI
+	}
+	ag.installSide(addr, side)
+	ag.finishLocal(addr, side, i&1 != 0, 0, b.(func()))
 }
 
 func (a *Agent) finishLocal(addr uint64, side Side, write bool, lat int64, done func()) {
@@ -294,7 +350,8 @@ func (a *Agent) protocolEvict(addr uint64) {
 	}
 }
 
-// Handle receives coherence traffic addressed to this agent.
+// Handle receives coherence traffic addressed to this agent. The agent is
+// the message's final consumer and releases it.
 func (a *Agent) Handle(m *noc.Message) {
 	switch m.Kind {
 	case KData:
@@ -312,6 +369,7 @@ func (a *Agent) Handle(m *noc.Message) {
 	default:
 		panic(fmt.Sprintf("coherence agent %d: unexpected %s", a.id, kindName(m.Kind)))
 	}
+	noc.Release(m)
 }
 
 func (a *Agent) onData(m *noc.Message) {
@@ -354,8 +412,9 @@ func (a *Agent) maybeComplete(addr uint64, ms *miss) {
 	}
 	a.send(withB(ctrl(KUnblock, noc.VNResp, noc.ClassResponse, a.id, a.homeOf(addr), addr), int64(ms.grant)))
 	for _, w := range ms.waiters {
-		w()
+		a.access(w.addr, w.side, w.write, w.done)
 	}
+	a.freeMiss(ms)
 }
 
 func (a *Agent) onFwdGetS(m *noc.Message) {
@@ -429,22 +488,7 @@ func (a *Agent) clearDirty(addr uint64) {
 }
 
 func (a *Agent) send(m *noc.Message) {
-	a.out = append(a.out, m)
-	a.pump()
-}
-
-func (a *Agent) pump() {
-	if a.outWaiting {
-		return
-	}
-	for len(a.out) > 0 {
-		if !a.net.Send(a.out[0]) {
-			a.outWaiting = true
-			a.net.WhenFree(a.id, func() { a.outWaiting = false; a.pump() })
-			return
-		}
-		a.out = a.out[1:]
-	}
+	a.out.Send(m)
 }
 
 // withB sets the B payload field, for fluent message construction.

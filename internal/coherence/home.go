@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"slices"
 
 	"rackni/internal/cache"
 	"rackni/internal/config"
@@ -47,10 +48,12 @@ type Home struct {
 
 	llc        *cache.SetAssoc
 	dir        map[uint64]*dirEntry
+	dirFree    []*dirEntry // recycled idle entries
 	bankFree   int64
 	memWait    map[uint64][]func() // block -> continuations awaiting DRAM
-	out        []*noc.Message
-	outWaiting bool
+	waitFree   [][]func()          // recycled memWait lists
+	targetsBuf []noc.NodeID        // scratch for invalidation fan-out
+	out        *noc.Outbox
 
 	// Stats.
 	Hits, MissesToMem, Writebacks, NIReads, NIWrites int64
@@ -69,6 +72,7 @@ func NewHome(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id, mcID noc.N
 		dir:     make(map[uint64]*dirEntry),
 		memWait: make(map[uint64][]func()),
 	}
+	h.out = noc.NewOutbox(net, id)
 	return h
 }
 
@@ -77,15 +81,18 @@ func (h *Home) ID() noc.NodeID { return h.id }
 
 // Handle dispatches a message addressed to the home side of the tile. The
 // node assembly routes tile-addressed traffic between the Home and the
-// tile's cache agent by message kind.
+// tile's cache agent by message kind. Admitted requests are released when
+// their transaction executes; everything else is consumed here.
 func (h *Home) Handle(m *noc.Message) {
 	switch m.Kind {
 	case KGetS, KGetX, KPutM, KPutE, KNIRead, KNIWrite:
 		h.admit(m)
 	case KUnblock, KCopyBack, KInvAckHome:
 		h.onEvent(m)
+		noc.Release(m)
 	case mem.KindReadResp:
 		h.onMemData(m)
+		noc.Release(m)
 	default:
 		panic(fmt.Sprintf("home %d: unexpected %s", h.id, kindName(m.Kind)))
 	}
@@ -104,10 +111,31 @@ func HomeKind(k int) bool {
 func (h *Home) entry(addr uint64) *dirEntry {
 	e, ok := h.dir[addr]
 	if !ok {
-		e = &dirEntry{sharers: make(map[noc.NodeID]struct{})}
+		if n := len(h.dirFree); n > 0 {
+			e = h.dirFree[n-1]
+			h.dirFree = h.dirFree[:n-1]
+		} else {
+			e = &dirEntry{sharers: make(map[noc.NodeID]struct{})}
+		}
 		h.dir[addr] = e
 	}
 	return e
+}
+
+// reclaim drops a directory entry that carries no information (no tracked
+// copies, no transaction) back onto the free list. The uniform
+// microbenchmarks touch far more blocks than stay cached, so without this
+// the directory map — and the entry count — grows with every block ever
+// seen.
+func (h *Home) reclaim(addr uint64, e *dirEntry) {
+	if e.busy || e.state != dirInvalid || len(e.sharers) != 0 ||
+		len(e.queue) != 0 || e.pending != 0 {
+		return
+	}
+	delete(h.dir, addr)
+	e.onEvent = nil
+	e.owner = 0
+	h.dirFree = append(h.dirFree, e)
 }
 
 // admit starts a transaction if the block is idle, else queues behind the
@@ -119,33 +147,45 @@ func (h *Home) admit(m *noc.Message) {
 		return
 	}
 	e.busy = true
-	h.bankAccess(func() { h.execute(m, e) })
+	h.eng.Post(h.bankDelay(), homeExecEv, h, m, 0)
 }
 
-// bankAccess models the pipelined LLC bank: one new access per cycle,
-// LLCLatency cycles each.
-func (h *Home) bankAccess(fn func()) {
+// bankDelay models the pipelined LLC bank: one new access may start per
+// cycle and each takes LLCLatency cycles; it returns the delay until the
+// admitted access completes.
+func (h *Home) bankDelay() int64 {
 	now := h.eng.Now()
 	slot := now
 	if h.bankFree > slot {
 		slot = h.bankFree
 	}
 	h.bankFree = slot + 1
-	h.eng.Schedule(slot-now+int64(h.cfg.LLCLatency), fn)
+	return slot - now + int64(h.cfg.LLCLatency)
+}
+
+// homeExecEv runs an admitted request once its bank access completes.
+func homeExecEv(a, b any, _ int64) {
+	h := a.(*Home)
+	m := b.(*noc.Message)
+	h.execute(m, h.entry(m.Addr))
 }
 
 // conclude ends the current transaction and admits the next queued request
-// for the block.
+// for the block (or reclaims the entry when it holds no state).
 func (h *Home) conclude(addr uint64, e *dirEntry) {
 	e.busy = false
 	e.pending = 0
 	e.onEvent = nil
 	if len(e.queue) > 0 {
 		next := e.queue[0]
-		e.queue = e.queue[1:]
+		copy(e.queue, e.queue[1:])
+		e.queue[len(e.queue)-1] = nil
+		e.queue = e.queue[:len(e.queue)-1]
 		e.busy = true
-		h.bankAccess(func() { h.execute(next, e) })
+		h.eng.Post(h.bankDelay(), homeExecEv, h, next, 0)
+		return
 	}
+	h.reclaim(addr, e)
 }
 
 // await arms the completion context: fire done after n events.
@@ -164,21 +204,24 @@ func (h *Home) await(addr uint64, e *dirEntry, n int, done func()) {
 }
 
 // onEvent consumes Unblock/CopyBack/InvAck events for the active
-// transaction of a block.
+// transaction of a block. It looks the entry up without creating one, so a
+// stale ack for a reclaimed block does not resurrect it.
 func (h *Home) onEvent(m *noc.Message) {
-	e := h.entry(m.Addr)
+	e, ok := h.dir[m.Addr]
 	if m.Kind == KCopyBack {
 		// Downgraded dirty data returns to the LLC.
 		h.insertLLC(m.Addr, true)
 	}
-	if e.onEvent == nil {
+	if !ok || e.onEvent == nil {
 		// A stale ack from an abandoned epoch; tolerated.
 		return
 	}
 	e.onEvent()
 }
 
-// execute runs one admitted request against the directory state.
+// execute runs one admitted request against the directory state. Every
+// path copies what it needs out of the message up front, so the record is
+// released here.
 func (h *Home) execute(m *noc.Message, e *dirEntry) {
 	switch m.Kind {
 	case KGetS:
@@ -192,6 +235,7 @@ func (h *Home) execute(m *noc.Message, e *dirEntry) {
 	case KNIWrite:
 		h.doNIWrite(m, e)
 	}
+	noc.Release(m)
 }
 
 func (h *Home) doGetS(m *noc.Message, e *dirEntry) {
@@ -252,12 +296,20 @@ func (h *Home) doGetX(m *noc.Message, e *dirEntry) {
 			h.conclude(addr, e)
 		})
 	case dirShared:
-		acks := 0
+		// Collect and sort the sharers before fanning out: map iteration
+		// order is randomized, and the invalidation order decides how the
+		// messages serialize on the NOC — determinism requires a fixed
+		// order.
+		targets := h.targetsBuf[:0]
 		for s := range e.sharers {
-			if s == req {
-				continue
+			if s != req {
+				targets = append(targets, s)
 			}
-			acks++
+		}
+		h.targetsBuf = targets
+		slices.Sort(targets)
+		acks := len(targets)
+		for _, s := range targets {
 			inv := ctrl(KInv, noc.VNDir, noc.ClassDirectory, h.id, s, addr)
 			inv.A = int64(req)
 			h.send(inv)
@@ -352,15 +404,20 @@ func (h *Home) doNIWrite(m *noc.Message, e *dirEntry) {
 		h.conclude(addr, e)
 	}
 	// Invalidate all cached copies; the NI overwrites the whole block, so
-	// dirty owner data need not be recalled.
-	targets := make([]noc.NodeID, 0, len(e.sharers)+1)
+	// dirty owner data need not be recalled. The fan-out list lives in a
+	// per-home scratch buffer (await snapshots its length synchronously).
+	targets := h.targetsBuf[:0]
 	if e.state == dirOwned {
 		targets = append(targets, e.owner)
 	} else {
 		for s := range e.sharers {
 			targets = append(targets, s)
 		}
+		// Fixed fan-out order: map iteration is randomized and the
+		// invalidation order is NOC-visible.
+		slices.Sort(targets)
 	}
+	h.targetsBuf = targets
 	for _, t := range targets {
 		inv := ctrl(KInv, noc.VNDir, noc.ClassDirectory, h.id, t, addr)
 		inv.A = int64(h.id) // acks come back to the home
@@ -381,6 +438,12 @@ func (h *Home) withData(addr uint64, fn func()) {
 	}
 	h.MissesToMem++
 	waiting, inFlight := h.memWait[addr]
+	if !inFlight {
+		if n := len(h.waitFree); n > 0 {
+			waiting = h.waitFree[n-1]
+			h.waitFree = h.waitFree[:n-1]
+		}
+	}
 	h.memWait[addr] = append(waiting, fn)
 	if inFlight {
 		return
@@ -397,6 +460,10 @@ func (h *Home) onMemData(m *noc.Message) {
 	for _, fn := range fns {
 		fn()
 	}
+	for i := range fns {
+		fns[i] = nil
+	}
+	h.waitFree = append(h.waitFree, fns[:0])
 }
 
 // insertLLC allocates the block in the bank, writing back any dirty victim
@@ -411,22 +478,7 @@ func (h *Home) insertLLC(addr uint64, dirty bool) {
 }
 
 func (h *Home) send(m *noc.Message) {
-	h.out = append(h.out, m)
-	h.pump()
-}
-
-func (h *Home) pump() {
-	if h.outWaiting {
-		return
-	}
-	for len(h.out) > 0 {
-		if !h.net.Send(h.out[0]) {
-			h.outWaiting = true
-			h.net.WhenFree(h.id, func() { h.outWaiting = false; h.pump() })
-			return
-		}
-		h.out = h.out[1:]
-	}
+	h.out.Send(m)
 }
 
 func clearSet(s map[noc.NodeID]struct{}) {

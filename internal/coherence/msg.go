@@ -87,12 +87,17 @@ func kindName(k int) string {
 	return "?"
 }
 
-// ctrl builds a one-flit control message.
+// ctrl builds a one-flit control message (pooled; the receiving component
+// releases it when processing completes).
 func ctrl(kind int, vn noc.VN, class noc.Class, src, dst noc.NodeID, addr uint64) *noc.Message {
-	return &noc.Message{VN: vn, Class: class, Src: src, Dst: dst, Flits: 1, Kind: kind, Addr: addr}
+	m := noc.NewMessage()
+	m.VN, m.Class, m.Src, m.Dst, m.Flits, m.Kind, m.Addr = vn, class, src, dst, 1, kind, addr
+	return m
 }
 
-// dataMsg builds a block-carrying message.
+// dataMsg builds a block-carrying message (pooled).
 func dataMsg(kind int, vn noc.VN, class noc.Class, src, dst noc.NodeID, addr uint64, flits int) *noc.Message {
-	return &noc.Message{VN: vn, Class: class, Src: src, Dst: dst, Flits: flits, Kind: kind, Addr: addr}
+	m := noc.NewMessage()
+	m.VN, m.Class, m.Src, m.Dst, m.Flits, m.Kind, m.Addr = vn, class, src, dst, flits, kind, addr
+	return m
 }

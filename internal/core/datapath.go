@@ -17,7 +17,7 @@ type DataPath struct {
 	id      noc.NodeID
 	seq     uint64
 	pending map[uint64]func()
-	out     *outbox
+	out     *noc.Outbox
 }
 
 // NewDataPath builds the data path for the component(s) at endpoint id.
@@ -30,12 +30,11 @@ func NewDataPath(env *Env, id noc.NodeID) *DataPath {
 func (d *DataPath) ReadBlock(addr uint64, done func()) {
 	txn := d.next()
 	d.pending[txn] = done
-	m := &noc.Message{
-		VN: noc.VNReq, Class: noc.ClassRequest,
-		Src: d.id, Dst: d.env.HomeOf(addr),
-		Flits: 1, Kind: coherence.KNIRead, Addr: addr, Txn: txn,
-	}
-	d.out.send(m)
+	m := noc.NewMessage()
+	m.VN, m.Class = noc.VNReq, noc.ClassRequest
+	m.Src, m.Dst = d.id, d.env.HomeOf(addr)
+	m.Flits, m.Kind, m.Addr, m.Txn = 1, coherence.KNIRead, addr, txn
+	d.out.Send(m)
 }
 
 // WriteBlock stores one cache block to local memory (allocating in the home
@@ -43,21 +42,22 @@ func (d *DataPath) ReadBlock(addr uint64, done func()) {
 func (d *DataPath) WriteBlock(addr uint64, done func()) {
 	txn := d.next()
 	d.pending[txn] = done
-	m := &noc.Message{
-		VN: noc.VNReq, Class: noc.ClassRequest,
-		Src: d.id, Dst: d.env.HomeOf(addr),
-		Flits: d.env.Cfg.BlockFlits(), Kind: coherence.KNIWrite, Addr: addr, Txn: txn,
-	}
-	d.out.send(m)
+	m := noc.NewMessage()
+	m.VN, m.Class = noc.VNReq, noc.ClassRequest
+	m.Src, m.Dst = d.id, d.env.HomeOf(addr)
+	m.Flits, m.Kind, m.Addr, m.Txn = d.env.Cfg.BlockFlits(), coherence.KNIWrite, addr, txn
+	d.out.Send(m)
 }
 
-// Handle consumes KNIReadResp/KNIWriteAck messages for this endpoint.
+// Handle consumes (and releases) KNIReadResp/KNIWriteAck messages for this
+// endpoint.
 func (d *DataPath) Handle(m *noc.Message) {
 	done, ok := d.pending[m.Txn]
 	if !ok {
 		panic(fmt.Sprintf("datapath %d: unmatched txn %d", d.id, m.Txn))
 	}
 	delete(d.pending, m.Txn)
+	noc.Release(m)
 	done()
 }
 

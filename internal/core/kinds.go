@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"rackni/internal/config"
 	"rackni/internal/noc"
 	"rackni/internal/sim"
@@ -30,11 +32,22 @@ const (
 func RMCKind(k int) bool { return k >= 200 && k <= 205 }
 
 // NetReq is the per-block context carried by request/response packets.
+// Records are pooled: the RGP backend acquires one per block transfer and
+// the RCP backend releases it when the block's response retires.
 type NetReq struct {
 	Req      *Request
 	Seq      int
 	ReturnTo noc.NodeID
 	Op       Op
+}
+
+var netReqPool = sync.Pool{New: func() interface{} { return new(NetReq) }}
+
+func newNetReq() *NetReq { return netReqPool.Get().(*NetReq) }
+
+func releaseNetReq(nr *NetReq) {
+	*nr = NetReq{}
+	netReqPool.Put(nr)
 }
 
 // Env bundles what every RMC component needs.
@@ -82,31 +95,8 @@ type QPCache interface {
 	Write(addr uint64, done func())
 }
 
-// outbox serializes a component's NOC injections with retry-on-full.
-type outbox struct {
-	env     *Env
-	id      noc.NodeID
-	q       []*noc.Message
-	waiting bool
-}
-
-func newOutbox(env *Env, id noc.NodeID) *outbox { return &outbox{env: env, id: id} }
-
-func (o *outbox) send(m *noc.Message) {
-	o.q = append(o.q, m)
-	o.pump()
-}
-
-func (o *outbox) pump() {
-	if o.waiting {
-		return
-	}
-	for len(o.q) > 0 {
-		if !o.env.Net.Send(o.q[0]) {
-			o.waiting = true
-			o.env.Net.WhenFree(o.id, func() { o.waiting = false; o.pump() })
-			return
-		}
-		o.q = o.q[1:]
-	}
+// newOutbox wires a noc.Outbox (the shared retry-on-full injector) for a
+// component at endpoint id.
+func newOutbox(env *Env, id noc.NodeID) *noc.Outbox {
+	return noc.NewOutbox(env.Net, id)
 }

@@ -116,6 +116,11 @@ type QueuePair struct {
 	cqTail     int // consumer (core)
 	inFlight   int
 	everQueued uint64
+
+	// wqBuf/cqBuf back the slices PopWQ/PopCQ return, reused across calls;
+	// each consumer finishes with a batch before polling again.
+	wqBuf []*Request
+	cqBuf []*Request
 }
 
 // NewQueuePair builds a QP with the configured WQ/CQ geometry at the given
@@ -181,7 +186,7 @@ func (q *QueuePair) WQBlockHasNew() bool {
 // NIedge small-transfer effects of §6.2).
 func (q *QueuePair) PopWQ() []*Request {
 	blk := q.WQTailAddr() &^ uint64(q.cfg.BlockBytes-1)
-	var out []*Request
+	out := q.wqBuf[:0]
 	for q.wq[q.wqTail].Valid {
 		slotBlk := q.WQSlotAddr(q.wqTail) &^ uint64(q.cfg.BlockBytes-1)
 		if slotBlk != blk {
@@ -192,6 +197,7 @@ func (q *QueuePair) PopWQ() []*Request {
 		out = append(out, e.Req)
 		q.wqTail = (q.wqTail + 1) % len(q.wq)
 	}
+	q.wqBuf = out
 	return out
 }
 
@@ -217,7 +223,7 @@ func (q *QueuePair) PushCQAt(slot int, r *Request) {
 // PopCQ consumes completions visible in the block the core just read.
 func (q *QueuePair) PopCQ() []*Request {
 	blk := q.CQTailAddr() &^ uint64(q.cfg.BlockBytes-1)
-	var out []*Request
+	out := q.cqBuf[:0]
 	for q.cq[q.cqTail].Valid {
 		slotBlk := q.CQSlotAddr(q.cqTail) &^ uint64(q.cfg.BlockBytes-1)
 		if slotBlk != blk {
@@ -229,6 +235,7 @@ func (q *QueuePair) PopCQ() []*Request {
 		q.cqTail = (q.cqTail + 1) % len(q.cq)
 		q.inFlight--
 	}
+	q.cqBuf = out
 	return out
 }
 

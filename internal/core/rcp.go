@@ -7,41 +7,49 @@ import "rackni/internal/noc"
 // stores read payloads into local memory, and — when a request's last
 // block has landed — notifies the frontend (Fig. 4b).
 type RCPBackend struct {
-	env      *Env
-	id       noc.NodeID
-	procLat  int64
-	data     *DataPath
-	complete func(*Request)
+	env        *Env
+	id         noc.NodeID
+	procLat    int64
+	data       *DataPath
+	complete   func(*Request)
+	rcpBytesFn func() // prebuilt WriteBlock completion accounting
 }
 
 // NewRCPBackend builds a backend; complete is the Frontend-Backend
 // Interface toward the RCP frontend (latch or NOC packet sender).
 func NewRCPBackend(env *Env, id noc.NodeID, procLat int64, data *DataPath, complete func(*Request)) *RCPBackend {
-	return &RCPBackend{env: env, id: id, procLat: procLat, data: data, complete: complete}
+	b := &RCPBackend{env: env, id: id, procLat: procLat, data: data, complete: complete}
+	b.rcpBytesFn = func() { b.env.Stats.RCPBytes += int64(b.env.Cfg.BlockBytes) }
+	return b
 }
 
-// HandleResponse consumes one KNetResponse packet.
+// HandleResponse consumes one KNetResponse packet (and releases it; the
+// per-block NetReq context is released when the block retires).
 func (b *RCPBackend) HandleResponse(m *noc.Message) {
 	nr := m.Meta.(*NetReq)
-	r := nr.Req
-	if r.T.RespFirst == 0 {
-		r.T.RespFirst = b.env.Now()
+	if nr.Req.T.RespFirst == 0 {
+		nr.Req.T.RespFirst = b.env.Now()
 	}
-	b.env.Eng.Schedule(b.procLat, func() {
-		if r.Op == OpRead {
-			blockB := uint64(b.env.Cfg.BlockBytes)
-			local := (r.LocalAddr &^ (blockB - 1)) + uint64(nr.Seq)*blockB
-			// The home LLC bank is the point of ordering: the request is
-			// complete once the store is issued toward it; the ack only
-			// retires the buffer slot (and the bandwidth accounting).
-			b.data.WriteBlock(local, func() {
-				b.env.Stats.RCPBytes += int64(b.env.Cfg.BlockBytes)
-			})
-			b.finishBlock(r)
-			return
-		}
-		b.finishBlock(r) // write acks carry no payload
-	})
+	b.env.Eng.Post(b.procLat, rcpRespEv, b, nr, 0)
+	noc.Release(m)
+}
+
+// rcpRespEv retires one response block after the backend processing
+// latency.
+func rcpRespEv(a, bb any, _ int64) {
+	b := a.(*RCPBackend)
+	nr := bb.(*NetReq)
+	r := nr.Req
+	if r.Op == OpRead {
+		blockB := uint64(b.env.Cfg.BlockBytes)
+		local := (r.LocalAddr &^ (blockB - 1)) + uint64(nr.Seq)*blockB
+		// The home LLC bank is the point of ordering: the request is
+		// complete once the store is issued toward it; the ack only
+		// retires the buffer slot (and the bandwidth accounting).
+		b.data.WriteBlock(local, b.rcpBytesFn)
+	}
+	releaseNetReq(nr)
+	b.finishBlock(r) // write acks carry no payload
 }
 
 func (b *RCPBackend) finishBlock(r *Request) {
@@ -70,12 +78,17 @@ func NewRCPFrontend(env *Env, cache QPCache, procLat int64, qpOf func(int) *Queu
 
 // Complete publishes the request's completion to its core's CQ.
 func (f *RCPFrontend) Complete(r *Request) {
-	f.env.Eng.Schedule(f.procLat, func() {
-		qp := f.qpOf(r.Core)
-		slot := qp.ReserveCQ()
-		f.cache.Write(qp.CQSlotAddr(slot), func() {
-			qp.PushCQAt(slot, r)
-			r.T.CQWritten = f.env.Now()
-		})
+	f.env.Eng.Post(f.procLat, rcpCompleteEv, f, r, 0)
+}
+
+// rcpCompleteEv reserves the CQ slot and issues the coherent CQ store.
+func rcpCompleteEv(a, b any, _ int64) {
+	f := a.(*RCPFrontend)
+	r := b.(*Request)
+	qp := f.qpOf(r.Core)
+	slot := qp.ReserveCQ()
+	f.cache.Write(qp.CQSlotAddr(slot), func() {
+		qp.PushCQAt(slot, r)
+		r.T.CQWritten = f.env.Now()
 	})
 }

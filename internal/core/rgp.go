@@ -22,29 +22,49 @@ func NewRGPFrontend(env *Env, cache QPCache, procLat int64, dispatch func(*Reque
 	return &RGPFrontend{env: env, cache: cache, procLat: procLat, dispatch: dispatch}
 }
 
-// AddQP registers a WQ with this frontend and starts polling it.
-func (f *RGPFrontend) AddQP(qp *QueuePair) {
-	f.env.Eng.Schedule(0, func() { f.poll(qp) })
+// wqPoller is the per-WQ polling loop. Its callbacks are built once at
+// AddQP so the steady-state poll cycle (read -> empty -> re-arm) schedules
+// nothing but pre-existing func values.
+type wqPoller struct {
+	f          *RGPFrontend
+	qp         *QueuePair
+	pollFn     func()
+	readDoneFn func()
 }
 
-func (f *RGPFrontend) poll(qp *QueuePair) {
-	f.cache.Read(qp.WQTailAddr(), func() {
-		reqs := qp.PopWQ()
-		if len(reqs) == 0 {
-			f.env.Eng.Schedule(int64(f.env.Cfg.PollPeriod), func() { f.poll(qp) })
-			return
-		}
-		now := f.env.Now()
-		var delay int64
-		for _, r := range reqs {
-			r.T.WQSeen = now
-			req := r
-			f.env.Eng.Schedule(f.procLat+delay, func() { f.dispatch(req) })
-			delay++ // one entry per cycle through the pipeline
-		}
-		// More entries may sit in the next block; re-poll immediately.
-		f.env.Eng.Schedule(delay, func() { f.poll(qp) })
-	})
+// AddQP registers a WQ with this frontend and starts polling it.
+func (f *RGPFrontend) AddQP(qp *QueuePair) {
+	p := &wqPoller{f: f, qp: qp}
+	p.pollFn = p.poll
+	p.readDoneFn = p.onRead
+	f.env.Eng.Schedule(0, p.pollFn)
+}
+
+func (p *wqPoller) poll() {
+	p.f.cache.Read(p.qp.WQTailAddr(), p.readDoneFn)
+}
+
+// rgpDispatchEv hands one WQ entry to the Frontend-Backend Interface.
+func rgpDispatchEv(a, b any, _ int64) {
+	a.(*RGPFrontend).dispatch(b.(*Request))
+}
+
+func (p *wqPoller) onRead() {
+	f := p.f
+	reqs := p.qp.PopWQ()
+	if len(reqs) == 0 {
+		f.env.Eng.Schedule(int64(f.env.Cfg.PollPeriod), p.pollFn)
+		return
+	}
+	now := f.env.Now()
+	var delay int64
+	for _, r := range reqs {
+		r.T.WQSeen = now
+		f.env.Eng.Post(f.procLat+delay, rgpDispatchEv, f, r, 0)
+		delay++ // one entry per cycle through the pipeline
+	}
+	// More entries may sit in the next block; re-poll immediately.
+	f.env.Eng.Schedule(delay, p.pollFn)
 }
 
 // RGPBackend is the Request Generation Pipeline's backend: it initializes
@@ -58,9 +78,11 @@ type RGPBackend struct {
 	returnTo noc.NodeID
 	procLat  int64
 	data     *DataPath
-	out      *outbox
+	out      *noc.Outbox
+	stepFn   func()
 
-	q         []*unrollJob
+	q         []unrollJob // by value; popped via qhead so the array is reused
+	qhead     int
 	unrolling bool
 
 	// Unrolled counts block requests injected (tests/metrics).
@@ -77,47 +99,60 @@ type unrollJob struct {
 // endpoint: the same edge NI in NIedge/NIsplit, the issuing tile in
 // NIper-tile).
 func NewRGPBackend(env *Env, id, netPort, returnTo noc.NodeID, procLat int64, data *DataPath) *RGPBackend {
-	return &RGPBackend{
+	b := &RGPBackend{
 		env: env, id: id, netPort: netPort, returnTo: returnTo,
 		procLat: procLat, data: data, out: newOutbox(env, id),
 	}
+	b.stepFn = b.step
+	return b
+}
+
+// rgpAcceptEv enqueues a dispatched WQ entry after the backend's
+// processing latency.
+func rgpAcceptEv(a, b any, _ int64) {
+	bk := a.(*RGPBackend)
+	bk.q = append(bk.q, unrollJob{req: b.(*Request)})
+	bk.kick()
 }
 
 // Accept receives a WQ entry from the frontend (latch or NOC packet).
 func (b *RGPBackend) Accept(r *Request) {
 	r.T.Dispatched = b.env.Now()
 	r.blocksLeft = r.Blocks(b.env.Cfg.BlockBytes)
-	b.env.Eng.Schedule(b.procLat, func() {
-		b.q = append(b.q, &unrollJob{req: r})
-		b.kick()
-	})
+	b.env.Eng.Post(b.procLat, rgpAcceptEv, b, r, 0)
 }
 
 func (b *RGPBackend) kick() {
-	if b.unrolling || len(b.q) == 0 {
+	if b.unrolling || b.qhead == len(b.q) {
 		return
 	}
 	b.unrolling = true
-	b.env.Eng.Schedule(1, b.step)
+	b.env.Eng.Schedule(1, b.stepFn)
 }
 
 // step unrolls one cache-block transfer per cycle (UnrollPerCycle).
 func (b *RGPBackend) step() {
-	if len(b.q) == 0 {
+	if b.qhead == len(b.q) {
 		b.unrolling = false
 		return
 	}
-	job := b.q[0]
+	job := &b.q[b.qhead]
 	r := job.req
 	seq := job.seq
 	blockB := uint64(b.env.Cfg.BlockBytes)
 	addr := (r.RemoteAddr &^ (blockB - 1)) + uint64(seq)*blockB
 	job.seq++
 	if job.seq >= r.Blocks(b.env.Cfg.BlockBytes) {
-		b.q = b.q[1:]
+		job.req = nil
+		b.qhead++
+		if b.qhead == len(b.q) {
+			b.q = b.q[:0]
+			b.qhead = 0
+		}
 	}
 	b.Unrolled++
-	nr := &NetReq{Req: r, Seq: seq, ReturnTo: b.returnTo, Op: r.Op}
+	nr := newNetReq()
+	nr.Req, nr.Seq, nr.ReturnTo, nr.Op = r, seq, b.returnTo, r.Op
 	switch r.Op {
 	case OpRead:
 		b.inject(nr, addr, b.env.Cfg.ReqHeaderFlits)
@@ -129,17 +164,16 @@ func (b *RGPBackend) step() {
 			b.inject(nr, addr, b.env.Cfg.ReqHeaderFlits+b.env.Cfg.BlockBytes/b.env.Cfg.LinkBytes)
 		})
 	}
-	b.env.Eng.Schedule(int64(b.env.Cfg.UnrollPerCycle), b.step)
+	b.env.Eng.Schedule(int64(b.env.Cfg.UnrollPerCycle), b.stepFn)
 }
 
 func (b *RGPBackend) inject(nr *NetReq, addr uint64, flits int) {
 	if nr.Req.T.Injected == 0 {
 		nr.Req.T.Injected = b.env.Now()
 	}
-	m := &noc.Message{
-		VN: noc.VNReq, Class: noc.ClassRequest,
-		Src: b.id, Dst: b.netPort,
-		Flits: flits, Kind: KNetRequest, Addr: addr, Meta: nr,
-	}
-	b.out.send(m)
+	m := noc.NewMessage()
+	m.VN, m.Class = noc.VNReq, noc.ClassRequest
+	m.Src, m.Dst = b.id, b.netPort
+	m.Flits, m.Kind, m.Addr, m.Meta = flits, KNetRequest, addr, nr
+	b.out.Send(m)
 }

@@ -14,10 +14,25 @@ type RRPP struct {
 	netPort noc.NodeID
 	procLat int64
 	data    *DataPath
-	out     *outbox
+	out     *noc.Outbox
+
+	jobFree []*rrppJob
 
 	// Serviced counts completed inbound requests.
 	Serviced int64
+}
+
+// rrppJob carries one inbound request through the pipeline's stages. Jobs
+// are recycled per RRPP, and each job's data-path completion callback is
+// built once and reused with it, so steady-state service allocates
+// nothing.
+type rrppJob struct {
+	p      *RRPP
+	op     Op
+	addr   uint64
+	txn    uint64
+	t0     int64
+	doneFn func()
 }
 
 // NewRRPP builds the RRPP at endpoint id, responding through netPort.
@@ -30,37 +45,59 @@ func NewRRPP(env *Env, id, netPort noc.NodeID, data *DataPath) *RRPP {
 	}
 }
 
-// HandleInbound services one KNetInbound request. The service latency
-// (arrival to response injection) is recorded; the rack emulation uses the
-// local node's measured RRPP latency as the remote node's, exactly as the
-// paper's methodology prescribes (§5).
+func (p *RRPP) newJob(op Op, addr, txn uint64, t0 int64) *rrppJob {
+	if n := len(p.jobFree); n > 0 {
+		j := p.jobFree[n-1]
+		p.jobFree = p.jobFree[:n-1]
+		j.op, j.addr, j.txn, j.t0 = op, addr, txn, t0
+		return j
+	}
+	j := &rrppJob{p: p, op: op, addr: addr, txn: txn, t0: t0}
+	j.doneFn = j.done
+	return j
+}
+
+// HandleInbound services one KNetInbound request (releasing the packet).
+// The service latency (arrival to response injection) is recorded; the
+// rack emulation uses the local node's measured RRPP latency as the remote
+// node's, exactly as the paper's methodology prescribes (§5).
 func (p *RRPP) HandleInbound(m *noc.Message) {
-	t0 := p.env.Now()
-	op := Op(m.A)
-	addr := m.Addr
-	txn := m.Txn
-	p.env.Eng.Schedule(p.procLat, func() {
-		switch op {
-		case OpRead:
-			p.data.ReadBlock(addr, func() {
-				p.respond(txn, p.env.Cfg.BlockFlits(), t0)
-				p.env.Stats.RRPPBytes += int64(p.env.Cfg.BlockBytes)
-			})
-		case OpWrite:
-			p.data.WriteBlock(addr, func() {
-				p.respond(txn, 1, t0)
-			})
-		}
-	})
+	j := p.newJob(Op(m.A), m.Addr, m.Txn, p.env.Now())
+	noc.Release(m)
+	p.env.Eng.Post(p.procLat, rrppStartEv, p, j, 0)
+}
+
+// rrppStartEv issues the job's local memory access after the pipeline's
+// processing latency.
+func rrppStartEv(a, b any, _ int64) {
+	p := a.(*RRPP)
+	j := b.(*rrppJob)
+	switch j.op {
+	case OpRead:
+		p.data.ReadBlock(j.addr, j.doneFn)
+	case OpWrite:
+		p.data.WriteBlock(j.addr, j.doneFn)
+	}
+}
+
+// done completes a job once its memory access finishes.
+func (j *rrppJob) done() {
+	p := j.p
+	if j.op == OpRead {
+		p.respond(j.txn, p.env.Cfg.BlockFlits(), j.t0)
+		p.env.Stats.RRPPBytes += int64(p.env.Cfg.BlockBytes)
+	} else {
+		p.respond(j.txn, 1, j.t0)
+	}
+	p.jobFree = append(p.jobFree, j)
 }
 
 func (p *RRPP) respond(txn uint64, flits int, t0 int64) {
 	p.Serviced++
 	p.env.Stats.RRPPLat.Add(p.env.Now() - t0)
-	m := &noc.Message{
-		VN: noc.VNResp, Class: noc.ClassResponse,
-		Src: p.id, Dst: p.netPort,
-		Flits: flits, Kind: KNetOutbound, Txn: txn,
-	}
-	p.out.send(m)
+	m := noc.NewMessage()
+	m.VN, m.Class = noc.VNResp, noc.ClassResponse
+	m.Src, m.Dst = p.id, p.netPort
+	m.Flits, m.Kind, m.Txn = flits, KNetOutbound, txn
+	p.out.Send(m)
 }

@@ -91,6 +91,23 @@ type Driver struct {
 	sincePoll int
 	stopped   bool
 
+	// Prebuilt callbacks for the steady-state issue/poll loops, so a core
+	// spinning on its CQ schedules no new closures.
+	stepFn        func()
+	spinSyncFn    func() // re-arm spinCQ(true)
+	spinAsyncFn   func() // re-arm spinCQ(false)
+	spinSyncDone  func() // CQ read completion, sync mode
+	spinAsyncDone func() // CQ read completion, async mode
+	afterIssueFn  func() // async continuation after one enqueue
+	pollDoneFn    func() // pollOnce completion (non-blocking check)
+	drainFn       func()
+	drainDoneFn   func()
+
+	// retireBuf is the driver-owned copy of an in-flight retirement batch;
+	// PopCQ's return value aliases the QP's reused buffer and must not be
+	// held across the deferred CQ-read charge.
+	retireBuf []*rmc.Request
+
 	// Completed requests retained for latency tomography (sync runs).
 	Retired []*rmc.Request
 
@@ -101,15 +118,25 @@ type Driver struct {
 // NewDriver builds a driver for core id.
 func NewDriver(eng *sim.Engine, cfg *config.Config, id int, agent *coherence.Agent,
 	qp *rmc.QueuePair, st *rmc.Stats, wl Workload, mode Mode) *Driver {
-	return &Driver{
+	d := &Driver{
 		eng: eng, cfg: cfg, id: id, agent: agent, qp: qp, stats: st,
 		wl: wl, mode: mode, PollEvery: 4,
 	}
+	d.stepFn = d.step
+	d.spinSyncFn = func() { d.spinCQ(true) }
+	d.spinAsyncFn = func() { d.spinCQ(false) }
+	d.spinSyncDone = func() { d.onSpinRead(true) }
+	d.spinAsyncDone = func() { d.onSpinRead(false) }
+	d.afterIssueFn = d.afterIssue
+	d.pollDoneFn = d.onPollRead
+	d.drainFn = d.drain
+	d.drainDoneFn = d.onDrainRead
+	return d
 }
 
 // Start launches the core's issue loop.
 func (d *Driver) Start() {
-	d.eng.Schedule(0, d.step)
+	d.eng.Schedule(0, d.stepFn)
 }
 
 // Stop makes the driver stop issuing new requests (in-flight ones finish).
@@ -127,22 +154,26 @@ func (d *Driver) step() {
 	}
 	switch d.mode {
 	case Sync:
-		d.issueOne(func() { d.spinCQ(true) })
+		d.issueOne(d.spinSyncFn)
 	case Async:
 		if d.qp.Full() {
 			d.spinCQ(false)
 			return
 		}
-		d.issueOne(func() {
-			d.sincePoll++
-			if d.sincePoll >= d.PollEvery {
-				d.sincePoll = 0
-				d.pollOnce(d.step)
-				return
-			}
-			d.step()
-		})
+		d.issueOne(d.afterIssueFn)
 	}
+}
+
+// afterIssue continues the async loop after one enqueue: occasionally poll
+// the CQ, otherwise issue again.
+func (d *Driver) afterIssue() {
+	d.sincePoll++
+	if d.sincePoll >= d.PollEvery {
+		d.sincePoll = 0
+		d.agent.Read(d.qp.CQTailAddr(), d.pollDoneFn)
+		return
+	}
+	d.step()
 }
 
 // issueOne builds a WQ entry (WQWriteExec cycles of instructions plus the
@@ -151,7 +182,7 @@ func (d *Driver) issueOne(then func()) {
 	op, remote, local, size, ok := d.wl.Next(d.id, d.seq)
 	if !ok {
 		if d.mode == Async && d.qp.InFlight() > 0 {
-			d.drain()
+			d.drainFn()
 			return
 		}
 		d.stopped = true
@@ -183,26 +214,35 @@ func (d *Driver) issueOne(then func()) {
 // spinCQ polls the CQ until at least one completion is consumed; sync mode
 // then loops back to issue, async mode resumes enqueueing.
 func (d *Driver) spinCQ(syncNext bool) {
-	d.agent.Read(d.qp.CQTailAddr(), func() {
-		done := d.qp.PopCQ()
-		if len(done) == 0 {
-			d.eng.Schedule(int64(d.cfg.PollPeriod), func() { d.spinCQ(syncNext) })
-			return
-		}
-		d.retire(done, d.step)
-	})
+	if syncNext {
+		d.agent.Read(d.qp.CQTailAddr(), d.spinSyncDone)
+	} else {
+		d.agent.Read(d.qp.CQTailAddr(), d.spinAsyncDone)
+	}
 }
 
-// pollOnce checks the CQ once without blocking on it.
-func (d *Driver) pollOnce(then func()) {
-	d.agent.Read(d.qp.CQTailAddr(), func() {
-		done := d.qp.PopCQ()
-		if len(done) == 0 {
-			then()
-			return
+// onSpinRead handles a spinCQ read completion.
+func (d *Driver) onSpinRead(syncNext bool) {
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		if syncNext {
+			d.eng.Schedule(int64(d.cfg.PollPeriod), d.spinSyncFn)
+		} else {
+			d.eng.Schedule(int64(d.cfg.PollPeriod), d.spinAsyncFn)
 		}
-		d.retire(done, then)
-	})
+		return
+	}
+	d.retire(done, d.stepFn)
+}
+
+// onPollRead handles a non-blocking poll's read completion.
+func (d *Driver) onPollRead() {
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		d.step()
+		return
+	}
+	d.retire(done, d.stepFn)
 }
 
 // drain consumes remaining completions after the workload is exhausted,
@@ -215,18 +255,25 @@ func (d *Driver) drain() {
 		}
 		return
 	}
-	d.agent.Read(d.qp.CQTailAddr(), func() {
-		done := d.qp.PopCQ()
-		if len(done) == 0 {
-			d.eng.Schedule(int64(d.cfg.PollPeriod), d.drain)
-			return
-		}
-		d.retire(done, d.drain)
-	})
+	d.agent.Read(d.qp.CQTailAddr(), d.drainDoneFn)
+}
+
+// onDrainRead handles a drain read completion.
+func (d *Driver) onDrainRead() {
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		d.eng.Schedule(int64(d.cfg.PollPeriod), d.drainFn)
+		return
+	}
+	d.retire(done, d.drainFn)
 }
 
 // retire consumes completions, charging CQReadExec cycles per entry.
-func (d *Driver) retire(done []*rmc.Request, then func()) {
+func (d *Driver) retire(popped []*rmc.Request, then func()) {
+	// Copy out of the QP's pop buffer: the batch is consumed cost cycles
+	// from now, and the QP buffer must be free for whoever polls next.
+	done := append(d.retireBuf[:0], popped...)
+	d.retireBuf = done
 	cost := int64(len(done)) * int64(d.cfg.CQReadExec)
 	d.eng.Schedule(cost, func() {
 		now := d.eng.Now()

@@ -32,7 +32,8 @@ type Rack struct {
 
 	mirrorSeq uint64
 	pending   map[uint64]*outstanding
-	outs      map[int]*portOut
+	freeOut   []*outstanding // recycled records
+	outs      []*noc.Outbox  // injection port per row
 
 	// Outgoing / inbound counters (tests, experiments).
 	RequestsOut  int64
@@ -46,12 +47,6 @@ type outstanding struct {
 	addr uint64
 }
 
-type portOut struct {
-	rack    *Rack
-	id      noc.NodeID
-	q       []*noc.Message
-	waiting bool
-}
 
 // NewRack wires the rack emulation to the node's network ports. hops is
 // the one-way intra-rack hop count between the node and its peer; homeRow
@@ -61,10 +56,10 @@ type portOut struct {
 func NewRack(env *rmc.Env, hops, ports int, homeRow func(uint64) int,
 	rowOf func(noc.NodeID) int, rrppAt func(int) noc.NodeID) *Rack {
 	r := &Rack{env: env, hops: hops, homeRow: homeRow, rowOf: rowOf, rrppAt: rrppAt,
-		pending: make(map[uint64]*outstanding), outs: make(map[int]*portOut)}
+		pending: make(map[uint64]*outstanding), outs: make([]*noc.Outbox, ports)}
 	for row := 0; row < ports; row++ {
 		id := noc.NetID(row)
-		r.outs[row] = &portOut{rack: r, id: id}
+		r.outs[row] = noc.NewOutbox(env.Net, id)
 		env.Net.Register(id, r.handle)
 	}
 	return r
@@ -83,6 +78,7 @@ func (r *Rack) handle(m *noc.Message) {
 	default:
 		panic(fmt.Sprintf("fabric: unexpected kind %d at network router", m.Kind))
 	}
+	noc.Release(m)
 }
 
 // onOutgoingRequest sends one block request into the rack. Its mirror
@@ -93,20 +89,35 @@ func (r *Rack) onOutgoingRequest(m *noc.Message) {
 	nr := m.Meta.(*rmc.NetReq)
 	r.mirrorSeq++
 	txn := r.mirrorSeq
-	r.pending[txn] = &outstanding{nr: nr, addr: m.Addr}
+	var o *outstanding
+	if n := len(r.freeOut); n > 0 {
+		o = r.freeOut[n-1]
+		r.freeOut = r.freeOut[:n-1]
+		o.nr, o.addr = nr, m.Addr
+	} else {
+		o = &outstanding{nr: nr, addr: m.Addr}
+	}
+	r.pending[txn] = o
 	addr := m.Addr // remote addresses map 1:1 onto the local source region
 	flits := r.env.Cfg.ReqHeaderFlits
 	if nr.Op == rmc.OpWrite {
 		flits += r.env.Cfg.BlockBytes / r.env.Cfg.LinkBytes
 	}
 	row := r.homeRow(addr)
-	inbound := &noc.Message{
-		VN: noc.VNReq, Class: noc.ClassRequest,
-		Src: noc.NetID(row), Dst: r.rrppAt(row),
-		Flits: flits, Kind: rmc.KNetInbound, Addr: addr, Txn: txn, A: int64(nr.Op),
-	}
+	inbound := noc.NewMessage()
+	inbound.VN, inbound.Class = noc.VNReq, noc.ClassRequest
+	inbound.Src, inbound.Dst = noc.NetID(row), r.rrppAt(row)
+	inbound.Flits, inbound.Kind = flits, rmc.KNetInbound
+	inbound.Addr, inbound.Txn, inbound.A = addr, txn, int64(nr.Op)
 	r.InboundMade++
-	r.env.Eng.Schedule(r.hopDelay(), func() { r.outs[row].send(inbound) })
+	r.env.Eng.Post(r.hopDelay(), rackInboundEv, r, inbound, int64(row))
+}
+
+// rackInboundEv lands a mirrored request at its RRPP row after the
+// outbound network hops.
+func rackInboundEv(a, b any, row int64) {
+	r := a.(*Rack)
+	r.outs[row].Send(b.(*noc.Message))
 }
 
 // onOutgoingResponse completes a mirror: after the return hops, the
@@ -124,32 +135,19 @@ func (r *Rack) onOutgoingResponse(m *noc.Message) {
 		flits = r.env.Cfg.BlockFlits()
 	}
 	row := r.rowOf(o.nr.ReturnTo)
-	resp := &noc.Message{
-		VN: noc.VNResp, Class: noc.ClassResponse,
-		Src: noc.NetID(row), Dst: o.nr.ReturnTo,
-		Flits: flits, Kind: rmc.KNetResponse, Addr: o.addr, Meta: o.nr,
-	}
-	r.env.Eng.Schedule(r.hopDelay(), func() {
-		r.ResponsesIn++
-		r.outs[row].send(resp)
-	})
+	resp := noc.NewMessage()
+	resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
+	resp.Src, resp.Dst = noc.NetID(row), o.nr.ReturnTo
+	resp.Flits, resp.Kind = flits, rmc.KNetResponse
+	resp.Addr, resp.Meta = o.addr, o.nr
+	o.nr = nil
+	r.freeOut = append(r.freeOut, o)
+	r.env.Eng.Post(r.hopDelay(), rackRespEv, r, resp, int64(row))
 }
 
-func (p *portOut) send(m *noc.Message) {
-	p.q = append(p.q, m)
-	p.pump()
-}
-
-func (p *portOut) pump() {
-	if p.waiting {
-		return
-	}
-	for len(p.q) > 0 {
-		if !p.rack.env.Net.Send(p.q[0]) {
-			p.waiting = true
-			p.rack.env.Net.WhenFree(p.id, func() { p.waiting = false; p.pump() })
-			return
-		}
-		p.q = p.q[1:]
-	}
+// rackRespEv lands a matched response back on chip after the return hops.
+func rackRespEv(a, b any, row int64) {
+	r := a.(*Rack)
+	r.ResponsesIn++
+	r.outs[row].Send(b.(*noc.Message))
 }

@@ -35,8 +35,7 @@ type MC struct {
 	writes int64
 
 	// out is the retry queue for replies blocked on NOC injection space.
-	out        []*noc.Message
-	outWaiting bool
+	out *noc.Outbox
 }
 
 // New builds and registers the MC for the given row.
@@ -49,6 +48,7 @@ func New(eng *sim.Engine, net noc.Fabric, cfg *config.Config, row int) *MC {
 		lat:        cfg.MemLatencyCycles(),
 		blockFlits: cfg.BlockFlits(),
 	}
+	mc.out = noc.NewOutbox(net, mc.id)
 	net.Register(mc.id, mc.handle)
 	return mc
 }
@@ -62,44 +62,34 @@ func (mc *MC) Reads() int64 { return mc.reads }
 // Writes returns the number of DRAM writes absorbed.
 func (mc *MC) Writes() int64 { return mc.writes }
 
+// mcSendEv injects a DRAM reply once the access latency has elapsed.
+func mcSendEv(a, b any, _ int64) {
+	a.(*MC).send(b.(*noc.Message))
+}
+
 func (mc *MC) handle(m *noc.Message) {
 	switch m.Kind {
 	case KindRead:
 		mc.reads++
-		resp := &noc.Message{
-			VN:    noc.VNResp,
-			Class: noc.ClassResponse,
-			Src:   mc.id,
-			Dst:   m.Src,
-			Flits: mc.blockFlits,
-			Kind:  KindReadResp,
-			Addr:  m.Addr,
-			Txn:   m.Txn,
-		}
-		mc.eng.Schedule(mc.lat, func() { mc.send(resp) })
+		resp := noc.NewMessage()
+		resp.VN = noc.VNResp
+		resp.Class = noc.ClassResponse
+		resp.Src = mc.id
+		resp.Dst = m.Src
+		resp.Flits = mc.blockFlits
+		resp.Kind = KindReadResp
+		resp.Addr = m.Addr
+		resp.Txn = m.Txn
+		mc.eng.Post(mc.lat, mcSendEv, mc, resp, 0)
 	case KindWrite:
 		mc.writes++
 		// Latency-only model: the write is absorbed.
 	default:
 		panic("mem: unexpected message kind")
 	}
+	noc.Release(m)
 }
 
 func (mc *MC) send(m *noc.Message) {
-	mc.out = append(mc.out, m)
-	mc.pump()
-}
-
-func (mc *MC) pump() {
-	if mc.outWaiting {
-		return
-	}
-	for len(mc.out) > 0 {
-		if !mc.net.Send(mc.out[0]) {
-			mc.outWaiting = true
-			mc.net.WhenFree(mc.id, func() { mc.outWaiting = false; mc.pump() })
-			return
-		}
-		mc.out = mc.out[1:]
-	}
+	mc.out.Send(m)
 }

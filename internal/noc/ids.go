@@ -48,6 +48,27 @@ func LLCID(i int) NodeID { return LLCBase + NodeID(i) }
 // IsLLC reports whether id addresses a NOC-Out LLC tile.
 func IsLLC(id NodeID) bool { return id >= LLCBase }
 
+// DenseIndex maps an endpoint id into a compact index in
+// [0, tiles+4*rows): tiles first, then the NI, MC, network-router and LLC
+// rows. The fabrics use it to replace per-endpoint maps with flat slices on
+// the routing and delivery hot paths. rows must exceed every row index the
+// fabric uses; tiles is the tile count.
+func DenseIndex(id NodeID, tiles, rows int) int {
+	if id < NIBase {
+		return int(id)
+	}
+	switch {
+	case id < MCBase:
+		return tiles + int(id-NIBase)
+	case id < NetBase:
+		return tiles + rows + int(id-MCBase)
+	case id < LLCBase:
+		return tiles + 2*rows + int(id-NetBase)
+	default:
+		return tiles + 3*rows + int(id-LLCBase)
+	}
+}
+
 // Row extracts the index of an NI, MC, network-router or LLC NodeID.
 func Row(id NodeID) int {
 	switch {

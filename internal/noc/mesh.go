@@ -34,13 +34,18 @@ func subOf(m *Message) int {
 // ejection port when to < 0). Each link owns the per-subchannel output
 // buffers of its upstream router; occupancy is managed credit-style: space
 // at the downstream buffer is reserved before a message starts crossing.
+//
+// Queues pop from a head index instead of re-slicing so their backing
+// arrays are reused once drained; combined with the pooled events and
+// messages this makes the steady-state data path allocation-free.
 type link struct {
 	mesh     *Mesh
 	from, to int // router indices; to == -1 for ejection
-	eject    NodeID
+	ejectEp  int // dense endpoint index served when to == -1
 	cross    bool // crosses the vertical bisection (for utilization stats)
 
 	queues [numSub][]*Message
+	qh     [numSub]int // head index into queues[s]
 	occ    [numSub]int
 	cap    int
 	busy   bool
@@ -52,18 +57,26 @@ type link struct {
 // attachment points (the chip-to-chip router spans that edge, Fig. 2);
 // column W+1 hosts the memory controllers (§4.3: NIs on one side, MCs on
 // the opposite side).
+//
+// Every per-endpoint structure is a flat slice indexed by DenseIndex, and
+// router geometry is precomputed into lookup tables, so the per-hop path
+// (routeStep, try, eject) performs no map operations or divisions.
 type Mesh struct {
 	eng *sim.Engine
 	cfg *config.Config
 	rnd *sim.Rand
 
-	gw, gh   int
-	hopLat   int64
-	links    [][]*link // [router][dir]
+	gw, gh int
+	tiles  int
+	hopLat int64
+	links  []*link   // [router*numDirs+dir]; nil when the port exits the grid
 	inbound  [][]*link // links whose downstream is this router
-	ejects   map[NodeID]*link
-	handlers map[NodeID]Handler
+	ejects   []*link   // by dense endpoint index
+	handlers []Handler // by dense endpoint index
+	epRouter []int32   // dense endpoint index -> router
+	rx, ry   []int16   // router -> grid coordinates
 	waiters  [][]func() // per-router blocked injectors
+	spare    [][]func() // retired waiter buffers, reused to avoid churn
 	freePend []bool     // per-router coalesced wakeup scheduled
 
 	flitsCarried   int64
@@ -76,27 +89,42 @@ type Mesh struct {
 // NewMesh builds the mesh for the given configuration.
 func NewMesh(eng *sim.Engine, cfg *config.Config) *Mesh {
 	m := &Mesh{
-		eng:      eng,
-		cfg:      cfg,
-		rnd:      sim.NewRand(cfg.Seed ^ 0xA5A5),
-		gw:       cfg.MeshWidth + 2,
-		gh:       cfg.MeshHeight,
-		hopLat:   int64(cfg.HopLatency),
-		ejects:   make(map[NodeID]*link),
-		handlers: make(map[NodeID]Handler),
+		eng:    eng,
+		cfg:    cfg,
+		rnd:    sim.NewRand(cfg.Seed ^ 0xA5A5),
+		gw:     cfg.MeshWidth + 2,
+		gh:     cfg.MeshHeight,
+		tiles:  cfg.Tiles(),
+		hopLat: int64(cfg.HopLatency),
 	}
 	n := m.gw * m.gh
-	m.links = make([][]*link, n)
+	m.links = make([]*link, n*int(numDirs))
 	m.inbound = make([][]*link, n)
 	m.waiters = make([][]func(), n)
+	m.spare = make([][]func(), n)
 	m.freePend = make([]bool, n)
-	for r := 0; r < n; r++ {
-		m.links[r] = make([]*link, numDirs)
+	m.rx = make([]int16, n)
+	m.ry = make([]int16, n)
+	eps := m.tiles + 3*m.gh
+	m.ejects = make([]*link, eps)
+	m.handlers = make([]Handler, eps)
+	m.epRouter = make([]int32, eps)
+	for t := 0; t < m.tiles; t++ {
+		x := t % cfg.MeshWidth
+		y := t / cfg.MeshWidth
+		m.epRouter[DenseIndex(NodeID(t), m.tiles, m.gh)] = int32(y*m.gw + x + 1)
+	}
+	for row := 0; row < m.gh; row++ {
+		m.epRouter[DenseIndex(NIID(row), m.tiles, m.gh)] = int32(row * m.gw)
+		m.epRouter[DenseIndex(NetID(row), m.tiles, m.gh)] = int32(row * m.gw)
+		m.epRouter[DenseIndex(MCID(row), m.tiles, m.gh)] = int32(row*m.gw + m.gw - 1)
 	}
 	mid := m.gw/2 - 1 // vertical bisection between columns mid and mid+1
 	for gy := 0; gy < m.gh; gy++ {
 		for gx := 0; gx < m.gw; gx++ {
 			r := gy*m.gw + gx
+			m.rx[r] = int16(gx)
+			m.ry[r] = int16(gy)
 			add := func(d dir, tx, ty int) {
 				if tx < 0 || tx >= m.gw || ty < 0 || ty >= m.gh {
 					return
@@ -106,7 +134,7 @@ func NewMesh(eng *sim.Engine, cfg *config.Config) *Mesh {
 				if (d == dirEast && gx == mid) || (d == dirWest && gx == mid+1) {
 					l.cross = true
 				}
-				m.links[r][d] = l
+				m.links[r*int(numDirs)+int(d)] = l
 				m.inbound[t] = append(m.inbound[t], l)
 			}
 			add(dirEast, gx+1, gy)
@@ -118,42 +146,42 @@ func NewMesh(eng *sim.Engine, cfg *config.Config) *Mesh {
 	return m
 }
 
+// epIndex maps an endpoint to its dense slice index.
+func (m *Mesh) epIndex(id NodeID) int {
+	if IsLLC(id) {
+		panic(fmt.Sprintf("noc: LLC NodeID %d on the mesh", id))
+	}
+	return DenseIndex(id, m.tiles, m.gh)
+}
+
 // routerOf maps an endpoint to its grid router index.
 func (m *Mesh) routerOf(id NodeID) int {
-	switch {
-	case IsTile(id):
-		x := int(id) % m.cfg.MeshWidth
-		y := int(id) / m.cfg.MeshWidth
-		return y*m.gw + (x + 1)
-	case IsNI(id), IsNet(id):
-		return Row(id)*m.gw + 0
-	case IsMC(id):
-		return Row(id)*m.gw + (m.gw - 1)
-	}
-	panic(fmt.Sprintf("noc: unknown NodeID %d", id))
+	return int(m.epRouter[m.epIndex(id)])
 }
 
 // Register attaches a delivery handler and creates the endpoint's private
 // ejection port.
 func (m *Mesh) Register(id NodeID, h Handler) {
-	m.handlers[id] = h
-	r := m.routerOf(id)
-	m.ejects[id] = &link{mesh: m, from: r, to: -1, eject: id, cap: 4 * m.cfg.LinkBufFlits}
+	ep := m.epIndex(id)
+	m.handlers[ep] = h
+	r := int(m.epRouter[ep])
+	m.ejects[ep] = &link{mesh: m, from: r, to: -1, ejectEp: ep, cap: 4 * m.cfg.LinkBufFlits}
 }
 
 // routeStep returns the next link for msg at router r, or the ejection link
-// when the destination is local.
+// when the destination is local. The destination router and endpoint were
+// cached in the message at injection.
 func (m *Mesh) routeStep(msg *Message, r int) *link {
-	dst := m.routerOf(msg.Dst)
+	dst := int(msg.dstRouter)
 	if dst == r {
-		el, ok := m.ejects[msg.Dst]
-		if !ok {
+		el := m.ejects[msg.dstEp]
+		if el == nil {
 			panic(fmt.Sprintf("noc: message to unregistered endpoint %d", msg.Dst))
 		}
 		return el
 	}
-	gx, gy := r%m.gw, r/m.gw
-	dx, dy := dst%m.gw, dst/m.gw
+	gx, gy := int(m.rx[r]), int(m.ry[r])
+	dx, dy := int(m.rx[dst]), int(m.ry[dst])
 	var d dir
 	if msg.yx {
 		switch {
@@ -178,7 +206,7 @@ func (m *Mesh) routeStep(msg *Message, r int) *link {
 			d = dirNorth
 		}
 	}
-	return m.links[r][d]
+	return m.links[r*int(numDirs)+int(d)]
 }
 
 // chooseOrder applies the configured routing policy (§4.3).
@@ -210,33 +238,40 @@ const (
 	RoutingCDRNIConst  = config.RoutingCDRNI
 )
 
+// meshDirectEv delivers a message between directly attached edge devices.
+func meshDirectEv(a, b any, ep int64) {
+	m := a.(*Mesh)
+	msg := b.(*Message)
+	m.delivered++
+	m.handlers[ep](msg)
+}
+
 // Send injects a message at its source router. It returns false when the
 // first buffer on the message's path has no space.
 func (m *Mesh) Send(msg *Message) bool {
 	if msg.Flits <= 0 {
 		msg.Flits = 1
 	}
+	dEp := m.epIndex(msg.Dst)
+	msg.dstEp = int32(dEp)
+	msg.dstRouter = m.epRouter[dEp]
 	// Edge devices sharing a router (the network router spans the NI edge
 	// next to the RRPPs and RGP/RCP backends, §4.2) are directly attached:
 	// their traffic never enters the mesh and does not serialize on a
 	// router port.
 	if !IsTile(msg.Src) && !IsTile(msg.Dst) {
-		if src, dst := m.routerOf(msg.Src), m.routerOf(msg.Dst); src == dst {
+		if src := m.epRouter[m.epIndex(msg.Src)]; src == msg.dstRouter {
 			msg.Injected = m.eng.Now()
 			m.sent++
-			h := m.handlers[msg.Dst]
-			if h == nil {
+			if m.handlers[dEp] == nil {
 				panic(fmt.Sprintf("noc: message to unregistered endpoint %d", msg.Dst))
 			}
-			m.eng.Schedule(1, func() {
-				m.delivered++
-				h(msg)
-			})
+			m.eng.Post(1, meshDirectEv, m, msg, int64(dEp))
 			return true
 		}
 	}
 	msg.yx = m.chooseOrder(msg)
-	src := m.routerOf(msg.Src)
+	src := int(m.epRouter[m.epIndex(msg.Src)])
 	l := m.routeStep(msg, src)
 	s := subOf(msg)
 	if l.occ[s]+msg.Flits > l.cap {
@@ -271,6 +306,33 @@ func (m *Mesh) BytesInjected() int64 { return m.bytesInjected }
 // Delivered returns the number of messages ejected.
 func (m *Mesh) Delivered() int64 { return m.delivered }
 
+// meshNotifyEv is the deferred wakeup scheduled by notifyFree.
+func meshNotifyEv(a, _ any, ri int64) {
+	m := a.(*Mesh)
+	r := int(ri)
+	m.freePend[r] = false
+	if ws := m.waiters[r]; len(ws) > 0 {
+		// Swap in a retired buffer so callbacks that re-block can append
+		// without touching the list being drained. The spare is claimed
+		// (set to nil) for the duration of the drain so no other path can
+		// hand out the buffer being iterated — same protocol as NOC-Out's
+		// wakeInjectors.
+		spare := m.spare[r]
+		m.spare[r] = nil
+		m.waiters[r] = spare[:0]
+		for _, fn := range ws {
+			fn()
+		}
+		for i := range ws {
+			ws[i] = nil
+		}
+		m.spare[r] = ws[:0]
+	}
+	for _, l := range m.inbound[r] {
+		l.try()
+	}
+}
+
 // notifyFree wakes blocked injectors and upstream links of router r. The
 // wakeups are coalesced to at most one per router per cycle: buffer space
 // often frees many times per cycle under load, and waking every blocked
@@ -284,18 +346,7 @@ func (m *Mesh) notifyFree(r int) {
 		return
 	}
 	m.freePend[r] = true
-	m.eng.Schedule(1, func() {
-		m.freePend[r] = false
-		if ws := m.waiters[r]; len(ws) > 0 {
-			m.waiters[r] = nil
-			for _, fn := range ws {
-				fn()
-			}
-		}
-		for _, l := range m.inbound[r] {
-			l.try()
-		}
-	})
+	m.eng.Post(1, meshNotifyEv, m, nil, int64(r))
 }
 
 // anyInboundWaiting reports whether an upstream link of router r has a
@@ -306,12 +357,51 @@ func (m *Mesh) anyInboundWaiting(r int) bool {
 			continue
 		}
 		for s := range l.queues {
-			if len(l.queues[s]) > 0 {
+			if l.qh[s] < len(l.queues[s]) {
 				return true
 			}
 		}
 	}
 	return false
+}
+
+// pop removes the head message of subchannel s, recycling the queue's
+// backing array once drained.
+func (l *link) pop(s int) {
+	q := l.queues[s]
+	idx := l.qh[s]
+	q[idx] = nil
+	if idx+1 == len(q) {
+		l.queues[s] = q[:0]
+		l.qh[s] = 0
+	} else {
+		l.qh[s] = idx + 1
+	}
+}
+
+// linkFreeEv ends a link's serialization busy time.
+func linkFreeEv(a, _ any, _ int64) {
+	l := a.(*link)
+	l.busy = false
+	l.try()
+}
+
+// linkArriveEv lands a message in the next link's buffer after the hop
+// latency.
+func linkArriveEv(a, b any, _ int64) {
+	l := a.(*link)
+	msg := b.(*Message)
+	s := subOf(msg)
+	l.queues[s] = append(l.queues[s], msg)
+	l.try()
+}
+
+// linkDeliverEv ejects a message to its endpoint handler.
+func linkDeliverEv(a, b any, _ int64) {
+	l := a.(*link)
+	msg := b.(*Message)
+	l.mesh.delivered++
+	l.mesh.handlers[l.ejectEp](msg)
 }
 
 // try advances the link: if idle, pick (round-robin over subchannels) a
@@ -324,10 +414,10 @@ func (l *link) try() {
 	for i := 0; i < numSub; i++ {
 		s := (l.rr + i) % numSub
 		q := l.queues[s]
-		if len(q) == 0 {
+		if l.qh[s] == len(q) {
 			continue
 		}
-		msg := q[0]
+		msg := q[l.qh[s]]
 		var next *link
 		if l.to >= 0 {
 			next = l.mesh.routeStep(msg, l.to)
@@ -338,7 +428,7 @@ func (l *link) try() {
 			next.occ[ns] += msg.Flits
 		}
 		// Depart this buffer.
-		l.queues[s] = q[1:]
+		l.pop(s)
 		l.occ[s] -= msg.Flits
 		l.rr = (s + 1) % numSub
 		l.busy = true
@@ -351,23 +441,11 @@ func (l *link) try() {
 		}
 		mesh.notifyFree(l.from)
 		ser := int64(msg.Flits)
-		mesh.eng.Schedule(ser, func() {
-			l.busy = false
-			l.try()
-		})
+		mesh.eng.Post(ser, linkFreeEv, l, nil, 0)
 		if l.to >= 0 {
-			nl := next
-			mesh.eng.Schedule(ser+mesh.hopLat-1, func() {
-				ns := subOf(msg)
-				nl.queues[ns] = append(nl.queues[ns], msg)
-				nl.try()
-			})
+			mesh.eng.Post(ser+mesh.hopLat-1, linkArriveEv, next, msg, 0)
 		} else {
-			id := l.eject
-			mesh.eng.Schedule(ser, func() {
-				mesh.delivered++
-				mesh.handlers[id](msg)
-			})
+			mesh.eng.Post(ser, linkDeliverEv, l, msg, 0)
 		}
 		return
 	}

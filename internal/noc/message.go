@@ -10,7 +10,10 @@
 // limits therefore emerge from first principles rather than being scripted.
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies an endpoint attached to the NOC: a tile (core + L1 +
 // LLC slice + directory slice, and in the per-tile/split designs an NI
@@ -82,6 +85,30 @@ type Message struct {
 
 	// yx is the dimension order chosen at injection (routing scratch).
 	yx bool
+
+	// dstRouter/dstEp cache the destination's router and endpoint index;
+	// the mesh stamps them at injection so per-hop routing is pure array
+	// arithmetic.
+	dstRouter int32
+	dstEp     int32
+}
+
+// msgPool recycles Message records across send/eject so steady-state
+// traffic allocates nothing. It is shared by every fabric instance;
+// sync.Pool keeps it safe for tests that run simulations in parallel.
+var msgPool = sync.Pool{New: func() interface{} { return new(Message) }}
+
+// NewMessage returns a zeroed Message, reusing a released one when
+// available. Callers fill in the fields they need and hand the message to
+// Fabric.Send.
+func NewMessage() *Message { return msgPool.Get().(*Message) }
+
+// Release returns a delivered message to the pool. The component that
+// finishes processing a message owns it and must not touch it afterwards;
+// messages a test (or component) wants to keep are simply never released.
+func Release(m *Message) {
+	*m = Message{}
+	msgPool.Put(m)
 }
 
 // Handler receives messages ejected at a registered endpoint.

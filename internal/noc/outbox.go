@@ -1,0 +1,50 @@
+package noc
+
+// Outbox serializes a component's fabric injections with retry-on-full:
+// messages queue in order, and when Send returns false the outbox parks a
+// prebuilt WhenFree callback and resumes from where it stopped. The queue
+// drains through a head index so its backing array is reused, making
+// steady-state injection allocation-free. Every injecting component (cache
+// agents, homes, MCs, RMC pipelines, rack ports) shares this one
+// implementation.
+type Outbox struct {
+	net     Fabric
+	id      NodeID
+	q       []*Message
+	head    int
+	waiting bool
+	retryFn func()
+}
+
+// NewOutbox builds an outbox injecting at endpoint id.
+func NewOutbox(net Fabric, id NodeID) *Outbox {
+	o := &Outbox{net: net, id: id}
+	o.retryFn = func() { o.waiting = false; o.pump() }
+	return o
+}
+
+// ID returns the injection endpoint.
+func (o *Outbox) ID() NodeID { return o.id }
+
+// Send queues m and drains as far as buffer space allows.
+func (o *Outbox) Send(m *Message) {
+	o.q = append(o.q, m)
+	o.pump()
+}
+
+func (o *Outbox) pump() {
+	if o.waiting {
+		return
+	}
+	for o.head < len(o.q) {
+		if !o.net.Send(o.q[o.head]) {
+			o.waiting = true
+			o.net.WhenFree(o.id, o.retryFn)
+			return
+		}
+		o.q[o.head] = nil
+		o.head++
+	}
+	o.q = o.q[:0]
+	o.head = 0
+}

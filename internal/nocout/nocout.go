@@ -12,6 +12,10 @@
 // flattened butterfly traverses 2 tiles per cycle (Table 2). The far
 // smaller bank count (8 vs 64) is what makes the LLC "highly contended"
 // and caps NOC-Out's peak bandwidth (§6.3.1).
+//
+// Like the mesh, the fabric's per-endpoint state lives in flat slices
+// indexed by noc.DenseIndex and its per-hop events go through sim.Post, so
+// the steady-state data path performs no map lookups and no allocations.
 package nocout
 
 import (
@@ -25,20 +29,22 @@ import (
 // link is a serializing channel: one flit per cycle, per-subchannel
 // bounded buffers, credit-style reservation toward the next link.
 type link struct {
-	net    *Net
-	lat    int64
-	width  int               // flits per cycle (FB channels and LLC-tile ports are wide)
-	queues [6][]*noc.Message // VN x {up,down} is overkill; index by VN only via sub()
-	occ    [6]int
-	cap    int
-	busy   bool
-	rr     int
+	net     *Net
+	lat     int64
+	width   int               // flits per cycle (FB channels and LLC-tile ports are wide)
+	queues  [6][]*noc.Message // VN x {up,down} is overkill; index by VN only via sub()
+	qh      [6]int            // head index into queues[s]
+	occ     [6]int
+	cap     int
+	busy    bool
+	rr      int
 	// next returns the following link for a message leaving this one, or
 	// nil to eject at dst.
 	next func(m *noc.Message) *link
 	// feeders are upstream links woken when this link's buffers free.
 	feeders []*link
 	eject   bool
+	ejectEp int // dense endpoint index served when eject is set
 }
 
 func sub(m *noc.Message) int { return int(m.VN) }
@@ -48,7 +54,8 @@ type Net struct {
 	eng *sim.Engine
 	cfg *config.Config
 
-	handlers map[noc.NodeID]noc.Handler
+	tiles, rows int
+	handlers    []noc.Handler // by dense endpoint index
 
 	// Per column: reduction chain (cores toward LLC) and dispersion chain
 	// (LLC toward cores). chainUp[x][d] carries traffic from depth d+1 to
@@ -60,10 +67,16 @@ type Net struct {
 	// (i indexes LLC tiles 0..7, MCs 8..15, net ports 16..23).
 	fbOut []*link
 
-	// ejects holds one ejection link per registered endpoint.
-	ejects map[noc.NodeID]*link
+	// ejects holds one ejection link per registered endpoint (dense index).
+	ejects []*link
+
+	// colOfTile/depthOfTile precompute each core tile's column and tree
+	// depth so routing needs no division.
+	colOfTile   []int16
+	depthOfTile []int16
 
 	injectWaiters []func()
+	spareWaiters  []func()
 
 	flitsCarried  int64
 	bytesInjected int64
@@ -78,11 +91,33 @@ const (
 
 // NewNet builds the NOC-Out fabric.
 func NewNet(eng *sim.Engine, cfg *config.Config) *Net {
+	rows := cfg.MeshWidth
+	if cfg.MeshHeight > rows {
+		rows = cfg.MeshHeight
+	}
+	if cfg.NOCOutLLCTiles > rows {
+		rows = cfg.NOCOutLLCTiles
+	}
 	n := &Net{
-		eng:      eng,
-		cfg:      cfg,
-		handlers: make(map[noc.NodeID]noc.Handler),
-		ejects:   make(map[noc.NodeID]*link),
+		eng:   eng,
+		cfg:   cfg,
+		tiles: cfg.Tiles(),
+		rows:  rows,
+	}
+	eps := n.tiles + 4*rows
+	n.handlers = make([]noc.Handler, eps)
+	n.ejects = make([]*link, eps)
+	n.colOfTile = make([]int16, n.tiles)
+	n.depthOfTile = make([]int16, n.tiles)
+	half := cfg.MeshHeight / 2
+	for t := 0; t < n.tiles; t++ {
+		n.colOfTile[t] = int16(t % cfg.MeshWidth)
+		y := t / cfg.MeshWidth
+		if y < half {
+			n.depthOfTile[t] = int16(half - y)
+		} else {
+			n.depthOfTile[t] = int16(y - half + 1)
+		}
 	}
 	w := cfg.MeshWidth
 	depth := cfg.MeshHeight / 2 // tree depth per half-column
@@ -135,18 +170,16 @@ func (n *Net) fbLatency() int64 {
 
 // --- geometry helpers ---
 
+// epIndex maps an endpoint to its dense slice index.
+func (n *Net) epIndex(id noc.NodeID) int {
+	return noc.DenseIndex(id, n.tiles, n.rows)
+}
+
 // colOf returns the column of a core tile.
-func (n *Net) colOf(t int) int { return t % n.cfg.MeshWidth }
+func (n *Net) colOf(t int) int { return int(n.colOfTile[t]) }
 
 // depthOf returns a core's tree distance from the LLC row (1..4).
-func (n *Net) depthOf(t int) int {
-	y := t / n.cfg.MeshWidth
-	half := n.cfg.MeshHeight / 2
-	if y < half {
-		return half - y
-	}
-	return y - half + 1
-}
+func (n *Net) depthOf(t int) int { return int(n.depthOfTile[t]) }
 
 // fbIndexOf maps an endpoint to its FB attachment, or -1 for cores.
 func (n *Net) fbIndexOf(id noc.NodeID) int {
@@ -224,8 +257,8 @@ func (n *Net) afterFB(m *noc.Message) *link {
 }
 
 func (n *Net) ejectLink(id noc.NodeID) *link {
-	el, ok := n.ejects[id]
-	if !ok {
+	el := n.ejects[n.epIndex(id)]
+	if el == nil {
 		panic(fmt.Sprintf("nocout: message to unregistered endpoint %d", id))
 	}
 	return el
@@ -238,7 +271,6 @@ func (n *Net) firstLink(m *noc.Message) *link {
 		x := n.colOf(int(src))
 		d := n.depthOf(int(src))
 		// A core injects into the reduction chain link below its depth.
-		_ = d
 		// Destination in the same column below? Still goes via the LLC row
 		// (reduction then dispersion), as the trees are unidirectional.
 		return n.chainUp[x][d-1]
@@ -256,14 +288,16 @@ func (n *Net) firstLink(m *noc.Message) *link {
 // ejection port, wiring the upstream links that must be woken when the
 // port frees.
 func (n *Net) Register(id noc.NodeID, h noc.Handler) {
-	n.handlers[id] = h
+	ep := n.epIndex(id)
+	n.handlers[ep] = h
 	el := n.newLink(1)
 	el.eject = true
+	el.ejectEp = ep
 	el.cap = 4 * n.cfg.LinkBufFlits
 	if !noc.IsTile(id) {
 		el.width = 4 // fat LLC/MC/router tiles have wide local ports
 	}
-	n.ejects[id] = el
+	n.ejects[ep] = el
 	if noc.IsTile(id) {
 		x := n.colOf(int(id))
 		d := n.depthOf(int(id))
@@ -316,10 +350,59 @@ func (n *Net) wakeInjectors() {
 		return
 	}
 	ws := n.injectWaiters
-	n.injectWaiters = nil
+	// Swap in a retired buffer so callbacks that re-block append to a
+	// different backing array than the one being drained. The spare is
+	// claimed (set to nil) first: wakeInjectors re-enters itself when a
+	// woken sender's injection advances another link, and the inner call
+	// must not hand out the buffer this call is iterating.
+	spare := n.spareWaiters
+	n.spareWaiters = nil
+	n.injectWaiters = spare[:0]
 	for _, fn := range ws {
 		fn()
 	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	n.spareWaiters = ws[:0]
+}
+
+// pop removes the head message of subchannel s, recycling the queue's
+// backing array once drained.
+func (l *link) pop(s int) {
+	q := l.queues[s]
+	idx := l.qh[s]
+	q[idx] = nil
+	if idx+1 == len(q) {
+		l.queues[s] = q[:0]
+		l.qh[s] = 0
+	} else {
+		l.qh[s] = idx + 1
+	}
+}
+
+// nocoutFreeEv ends a link's serialization busy time.
+func nocoutFreeEv(a, _ any, _ int64) {
+	l := a.(*link)
+	l.busy = false
+	l.try()
+}
+
+// nocoutArriveEv lands a message in the next link's buffer after this
+// link's latency.
+func nocoutArriveEv(a, b any, _ int64) {
+	l := a.(*link)
+	m := b.(*noc.Message)
+	l.queues[sub(m)] = append(l.queues[sub(m)], m)
+	l.try()
+}
+
+// nocoutDeliverEv ejects a message to its endpoint handler.
+func nocoutDeliverEv(a, b any, _ int64) {
+	l := a.(*link)
+	m := b.(*noc.Message)
+	l.net.delivered++
+	l.net.handlers[l.ejectEp](m)
 }
 
 // try advances a link (same credit discipline as the mesh).
@@ -330,10 +413,10 @@ func (l *link) try() {
 	for i := 0; i < 6; i++ {
 		s := (l.rr + i) % 6
 		q := l.queues[s]
-		if len(q) == 0 {
+		if l.qh[s] == len(q) {
 			continue
 		}
-		m := q[0]
+		m := q[l.qh[s]]
 		var next *link
 		if !l.eject {
 			next = l.next(m)
@@ -345,7 +428,7 @@ func (l *link) try() {
 				next.occ[ns] += m.Flits
 			}
 		}
-		l.queues[s] = q[1:]
+		l.pop(s)
 		l.occ[s] -= m.Flits
 		l.rr = (s + 1) % 6
 		l.busy = true
@@ -355,23 +438,13 @@ func (l *link) try() {
 			f.try()
 		}
 		ser := int64((m.Flits + l.width - 1) / l.width)
-		nn.eng.Schedule(ser, func() {
-			l.busy = false
-			l.try()
-		})
+		nn.eng.Post(ser, nocoutFreeEv, l, nil, 0)
 		if l.eject {
-			nn.eng.Schedule(ser, func() {
-				nn.delivered++
-				nn.handlers[m.Dst](m)
-			})
+			nn.eng.Post(ser, nocoutDeliverEv, l, m, 0)
 			return
 		}
 		nn.flitsCarried += int64(m.Flits)
-		nl := next
-		nn.eng.Schedule(ser+l.lat-1, func() {
-			nl.queues[sub(m)] = append(nl.queues[sub(m)], m)
-			nl.try()
-		})
+		nn.eng.Post(ser+l.lat-1, nocoutArriveEv, next, m, 0)
 		return
 	}
 }

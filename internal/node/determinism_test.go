@@ -1,0 +1,56 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+)
+
+// TestDeterminismBandwidth is the kernel-refactor regression guard: two
+// bandwidth runs with the same configuration and seed must produce an
+// identical BWResult — same stabilization cycle, same completion count,
+// same bandwidth figures to the last bit.
+func TestDeterminismBandwidth(t *testing.T) {
+	run := func() BWResult {
+		cfg := config.Default()
+		cfg.Design = config.NISplit
+		cfg.Seed = 99
+		cfg.WindowCycles = 10_000
+		cfg.MaxCycles = 60_000
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunBandwidth(1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic bandwidth run:\n  %+v\nvs\n  %+v", a, b)
+	}
+}
+
+// TestDeterminismBreakdown asserts the full latency tomography — every
+// Breakdown component — is reproduced exactly across runs with one seed.
+func TestDeterminismBreakdown(t *testing.T) {
+	run := func() Breakdown {
+		cfg := config.Default()
+		cfg.Design = config.NISplit
+		cfg.Seed = 4242
+		cfg.MeasureReqs = 12
+		n, err := New(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := n.RunSyncLatency(512, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Breakdown
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic breakdown:\n  %+v\nvs\n  %+v", a, b)
+	}
+}

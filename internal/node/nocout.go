@@ -142,11 +142,8 @@ func NewNOCOut(cfg config.Config, hops int) (*Node, error) {
 			cqSender := newSender(n.env, id)
 			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPBackendLat), dp,
 				func(r *rmc.Request) {
-					cqSender.send(&noc.Message{
-						VN: noc.VNResp, Class: noc.ClassResponse,
-						Src: id, Dst: noc.NodeID(r.Core),
-						Flits: 1, Kind: rmc.KCQDispatch, Meta: r,
-					})
+					cqSender.dispatch(noc.VNResp, noc.ClassResponse,
+						noc.NodeID(r.Core), 1, rmc.KCQDispatch, r)
 				})
 			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
@@ -165,11 +162,8 @@ func NewNOCOut(cfg config.Config, hops int) (*Node, error) {
 			llc := noc.LLCID(col)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, int64(cfg.RGPFrontendLat),
 				func(r *rmc.Request) {
-					wqSender.send(&noc.Message{
-						VN: noc.VNReq, Class: noc.ClassRequest,
-						Src: id, Dst: llc,
-						Flits: cfg.ReqHeaderFlits, Kind: rmc.KWQDispatch, Meta: r,
-					})
+					wqSender.dispatch(noc.VNReq, noc.ClassRequest,
+						llc, cfg.ReqHeaderFlits, rmc.KWQDispatch, r)
 				})
 			rgpF.AddQP(n.QPs[t])
 			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)

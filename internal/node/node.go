@@ -88,9 +88,13 @@ func (e *endpoint) handle(m *noc.Message) {
 	case coherence.HomeKind(m.Kind):
 		e.home.Handle(m)
 	case m.Kind == rmc.KWQDispatch:
-		e.onWQ(m.Meta.(*rmc.Request))
+		r := m.Meta.(*rmc.Request)
+		noc.Release(m)
+		e.onWQ(r)
 	case m.Kind == rmc.KCQDispatch:
-		e.onCQ(m.Meta.(*rmc.Request))
+		r := m.Meta.(*rmc.Request)
+		noc.Release(m)
+		e.onCQ(r)
 	case m.Kind == rmc.KNetResponse:
 		e.rcpB.HandleResponse(m)
 	case m.Kind == rmc.KNetInbound:
@@ -221,11 +225,8 @@ func New(cfg config.Config, hops int) (*Node, error) {
 			cqSender := newSender(n.env, niID)
 			rcpB := rmc.NewRCPBackend(n.env, niID, int64(cfg.RCPBackendLat), dp,
 				func(r *rmc.Request) {
-					cqSender.send(&noc.Message{
-						VN: noc.VNResp, Class: noc.ClassResponse,
-						Src: niID, Dst: noc.NodeID(r.Core),
-						Flits: 1, Kind: rmc.KCQDispatch, Meta: r,
-					})
+					cqSender.dispatch(noc.VNResp, noc.ClassResponse,
+						noc.NodeID(r.Core), 1, rmc.KCQDispatch, r)
 				})
 			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
@@ -243,11 +244,8 @@ func New(cfg config.Config, hops int) (*Node, error) {
 			niID := noc.NIID(row)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, int64(cfg.RGPFrontendLat),
 				func(r *rmc.Request) {
-					wqSender.send(&noc.Message{
-						VN: noc.VNReq, Class: noc.ClassRequest,
-						Src: id, Dst: niID,
-						Flits: cfg.ReqHeaderFlits, Kind: rmc.KWQDispatch, Meta: r,
-					})
+					wqSender.dispatch(noc.VNReq, noc.ClassRequest,
+						niID, cfg.ReqHeaderFlits, rmc.KWQDispatch, r)
 				})
 			rgpF.AddQP(n.QPs[t])
 			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)
@@ -275,32 +273,22 @@ func New(cfg config.Config, hops int) (*Node, error) {
 	return n, nil
 }
 
-// sender is a small retrying NOC injector for the split design's
-// frontend-backend packets.
+// sender injects the split design's frontend-backend packets through the
+// shared retry-on-full outbox.
 type sender struct {
-	env     *rmc.Env
-	id      noc.NodeID
-	q       []*noc.Message
-	waiting bool
+	out *noc.Outbox
 }
 
-func newSender(env *rmc.Env, id noc.NodeID) *sender { return &sender{env: env, id: id} }
-
-func (s *sender) send(m *noc.Message) {
-	s.q = append(s.q, m)
-	s.pump()
+func newSender(env *rmc.Env, id noc.NodeID) *sender {
+	return &sender{out: noc.NewOutbox(env.Net, id)}
 }
 
-func (s *sender) pump() {
-	if s.waiting {
-		return
-	}
-	for len(s.q) > 0 {
-		if !s.env.Net.Send(s.q[0]) {
-			s.waiting = true
-			s.env.Net.WhenFree(s.id, func() { s.waiting = false; s.pump() })
-			return
-		}
-		s.q = s.q[1:]
-	}
+// dispatch builds and sends one frontend-backend interface packet carrying
+// the request as metadata.
+func (s *sender) dispatch(vn noc.VN, class noc.Class, dst noc.NodeID, flits, kind int, r *rmc.Request) {
+	m := noc.NewMessage()
+	m.VN, m.Class = vn, class
+	m.Src, m.Dst = s.out.ID(), dst
+	m.Flits, m.Kind, m.Meta = flits, kind, r
+	s.out.Send(m)
 }

@@ -3,23 +3,51 @@
 // wheel for short delays and an overflow heap for long ones.
 //
 // All simulated time is measured in core clock cycles (2 GHz in the default
-// configuration, i.e. one cycle = 0.5 ns). Components schedule closures to
+// configuration, i.e. one cycle = 0.5 ns). Components schedule handlers to
 // run at future cycles; the engine runs them in (time, insertion-order)
 // order, which makes every simulation fully deterministic.
+//
+// The kernel is allocation-free in steady state: events are plain records
+// stored by value in per-slot wheel buffers whose backing arrays are
+// compacted in place and reused, so the only allocations are the one-time
+// growth of those buffers. Hot-path components schedule through Post, which
+// carries a static handler function plus packed arguments; Schedule remains
+// as the closure-based convenience API for cold paths (a closure the caller
+// already holds is stored without boxing, since func values are
+// pointer-shaped).
 package sim
 
-import "container/heap"
+import "math/bits"
 
 // wheelSize must be a power of two and larger than the most common delays
 // (cache latencies, per-hop link times, DRAM latency, network hop latency).
 // Delays beyond the wheel fall into the overflow heap.
 const wheelSize = 4096
 
-// Event is a scheduled closure.
+// EventFunc is an event handler. It receives the two reference arguments
+// and the packed integer argument the event was scheduled with. Handlers
+// are top-level functions (or other static func values), so posting an
+// event stores no closure: pointer arguments convert to `any` without
+// allocating.
+type EventFunc func(a, b any, i int64)
+
+// event is one scheduled occurrence. Events are stored by value; the wheel
+// slot buffers double as the free list, so an executed event's record is
+// reused by a later Schedule/Post into the same slot. Wheel slots execute
+// in append order, which equals schedule order for same-cycle events, so
+// no sequence number is stored; only the overflow heap needs one.
 type event struct {
-	at  int64
+	at   int64
+	fn   EventFunc
+	a, b any
+	i    int64
+}
+
+// overEvent is a heap entry: an event plus the insertion order that breaks
+// same-cycle ties deterministically.
+type overEvent struct {
+	event
 	seq uint64
-	fn  func()
 }
 
 // Engine is a deterministic discrete-event scheduler.
@@ -30,6 +58,7 @@ type Engine struct {
 	seq     uint64
 	pending int
 	wheel   [wheelSize][]event
+	occ     [wheelSize / 64]uint64 // bitmap of non-empty wheel slots
 	over    overflowHeap
 	stopped bool
 }
@@ -45,22 +74,35 @@ func (e *Engine) Now() int64 { return e.now }
 // Pending reports the number of scheduled events not yet executed.
 func (e *Engine) Pending() int { return e.pending }
 
-// Schedule runs fn after delay cycles (delay >= 0). A delay of zero runs fn
-// later in the current cycle, after all previously scheduled work for this
-// cycle.
-func (e *Engine) Schedule(delay int64, fn func()) {
+// Post runs fn(a, b, i) after delay cycles (delay >= 0). A delay of zero
+// runs the event later in the current cycle, after all previously scheduled
+// work for this cycle. Post is the allocation-free scheduling path: fn
+// should be a static function and a/b pointer-shaped values.
+func (e *Engine) Post(delay int64, fn EventFunc, a, b any, i int64) {
 	if delay < 0 {
 		delay = 0
 	}
 	at := e.now + delay
-	e.seq++
 	e.pending++
 	if delay < wheelSize {
-		slot := at & (wheelSize - 1)
-		e.wheel[slot] = append(e.wheel[slot], event{at: at, seq: e.seq, fn: fn})
+		slot := int(at & (wheelSize - 1))
+		e.wheel[slot] = append(e.wheel[slot], event{at: at, fn: fn, a: a, b: b, i: i})
+		e.occ[slot>>6] |= 1 << uint(slot&63)
 		return
 	}
-	heap.Push(&e.over, event{at: at, seq: e.seq, fn: fn})
+	e.seq++
+	e.over.push(overEvent{event: event{at: at, fn: fn, a: a, b: b, i: i}, seq: e.seq})
+}
+
+// runClosure is the trampoline behind Schedule.
+func runClosure(a, _ any, _ int64) { a.(func())() }
+
+// Schedule runs fn after delay cycles (delay >= 0). A delay of zero runs fn
+// later in the current cycle, after all previously scheduled work for this
+// cycle. Storing fn allocates nothing beyond what the caller already paid
+// to build the func value.
+func (e *Engine) Schedule(delay int64, fn func()) {
+	e.Post(delay, runClosure, fn, nil, 0)
 }
 
 // At runs fn at the absolute cycle t (t >= Now()).
@@ -73,33 +115,49 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the given cycle (inclusive) or until no events
 // remain or Stop is called. It returns the cycle at which it stopped.
+//
+// Cycles with no due events are skipped in O(1) per wheel word rather than
+// visited one at a time, so lightly loaded phases (DRAM waits, network
+// hops) cost nothing.
 func (e *Engine) Run(until int64) int64 {
 	e.stopped = false
 	for e.now <= until && e.pending > 0 && !e.stopped {
-		slot := e.now & (wheelSize - 1)
+		slot := int(e.now & (wheelSize - 1))
 		evs := e.wheel[slot]
 		if len(evs) > 0 {
-			// Events scheduled for a future lap of the wheel stay.
-			var keep []event
-			i := 0
+			// Execute due events, compacting events that belong to a future
+			// lap of the wheel in place so the backing array is reused.
+			i, w := 0, 0
 			for i < len(evs) {
 				ev := evs[i]
 				i++
 				if ev.at != e.now {
-					keep = append(keep, ev)
+					evs[w] = ev
+					w++
 					continue
 				}
 				e.pending--
-				ev.fn()
+				ev.fn(ev.a, ev.b, ev.i)
 				if e.stopped {
-					// Preserve the untouched remainder.
-					keep = append(keep, evs[i:]...)
+					// Preserve the untouched remainder in place.
+					evs = e.wheel[slot]
+					w += copy(evs[w:], evs[i:])
 					break
 				}
-				// fn may have appended to this slot; refresh.
+				// fn may have appended to this slot (and grown the backing
+				// array); refresh.
 				evs = e.wheel[slot]
 			}
-			e.wheel[slot] = keep
+			// Zero the dropped tail so executed events do not pin their
+			// arguments past this cycle.
+			tail := evs[w:]
+			for j := range tail {
+				tail[j] = event{}
+			}
+			e.wheel[slot] = evs[:w]
+			if w == 0 {
+				e.occ[slot>>6] &^= 1 << uint(slot&63)
+			}
 			if e.stopped {
 				return e.now
 			}
@@ -107,9 +165,9 @@ func (e *Engine) Run(until int64) int64 {
 		// Drain overflow events that are due now (long delays can land on
 		// the current cycle once the wheel catches up).
 		for len(e.over) > 0 && e.over[0].at == e.now {
-			ev := heap.Pop(&e.over).(event)
+			ev := e.over.pop()
 			e.pending--
-			ev.fn()
+			ev.fn(ev.a, ev.b, ev.i)
 			if e.stopped {
 				return e.now
 			}
@@ -117,15 +175,53 @@ func (e *Engine) Run(until int64) int64 {
 		if e.pending == 0 {
 			break
 		}
-		e.now++
+		// Advance to the next cycle that can have work: the nearest
+		// occupied wheel slot or the overflow head, whichever is sooner.
+		next := e.now + e.nextOccupiedDelta()
+		if len(e.over) > 0 && e.over[0].at < next {
+			next = e.over[0].at
+		}
+		if next > until {
+			e.now = until + 1
+			break
+		}
+		e.now = next
 		// Re-home overflow events that are now within the wheel horizon.
 		for len(e.over) > 0 && e.over[0].at-e.now < wheelSize {
-			ev := heap.Pop(&e.over).(event)
-			slot := ev.at & (wheelSize - 1)
-			e.wheel[slot] = append(e.wheel[slot], ev)
+			ev := e.over.pop()
+			s := int(ev.at & (wheelSize - 1))
+			e.wheel[s] = append(e.wheel[s], ev.event)
+			e.occ[s>>6] |= 1 << uint(s&63)
 		}
 	}
 	return e.now
+}
+
+// nextOccupiedDelta returns the distance (1..wheelSize) to the next
+// occupied wheel slot, or a value past the wheel horizon when the wheel is
+// empty.
+func (e *Engine) nextOccupiedDelta() int64 {
+	start := int((e.now + 1) & (wheelSize - 1))
+	wi := start >> 6
+	// First word: mask off slots at distance < 1.
+	if w := e.occ[wi] >> uint(start&63); w != 0 {
+		return int64(bits.TrailingZeros64(w)) + 1
+	}
+	const words = wheelSize / 64
+	for k := 1; k <= words; k++ {
+		j := (wi + k) & (words - 1)
+		if w := e.occ[j]; w != 0 {
+			// Circular distance from the start slot to the found slot.
+			d := int64(j<<6+bits.TrailingZeros64(w)) - int64(start)
+			if d <= 0 {
+				d += wheelSize
+			}
+			return d + 1
+		}
+	}
+	// Empty wheel: any jump larger than the horizon works; the caller caps
+	// it with the overflow head and the run limit.
+	return wheelSize + 1
 }
 
 // RunAll executes events until none remain (or Stop is called).
@@ -133,21 +229,55 @@ func (e *Engine) RunAll() int64 {
 	return e.Run(1<<62 - 1)
 }
 
-type overflowHeap []event
+// overflowHeap is a hand-rolled binary min-heap of events ordered by
+// (at, seq). container/heap would box every event in an interface; this
+// keeps the records by value.
+type overflowHeap []overEvent
 
-func (h overflowHeap) Len() int { return len(h) }
-func (h overflowHeap) Less(i, j int) bool {
+func (h overflowHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h overflowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *overflowHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *overflowHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+
+func (h *overflowHeap) push(ev overEvent) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *overflowHeap) pop() overEvent {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = overEvent{} // release references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && s.less(l, sm) {
+			sm = l
+		}
+		if r < n && s.less(r, sm) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		s[i], s[sm] = s[sm], s[i]
+		i = sm
+	}
+	return top
 }

@@ -1,0 +1,93 @@
+package sim
+
+import "testing"
+
+// TestPostInterleavesWithSchedule checks that Post and Schedule events for
+// the same cycle run in their combined scheduling order.
+func TestPostInterleavesWithSchedule(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	add := func(k int) func() { return func() { order = append(order, k) } }
+	e.Schedule(5, add(0))
+	e.Post(5, func(_, _ any, i int64) { order = append(order, int(i)) }, nil, nil, 1)
+	e.Schedule(5, add(2))
+	e.Post(5, func(_, _ any, i int64) { order = append(order, int(i)) }, nil, nil, 3)
+	e.RunAll()
+	for k, v := range order {
+		if v != k {
+			t.Fatalf("order %v, want [0 1 2 3]", order)
+		}
+	}
+}
+
+// TestPostArguments checks the packed arguments arrive intact.
+func TestPostArguments(t *testing.T) {
+	e := NewEngine()
+	type box struct{ v int }
+	a, b := &box{1}, &box{2}
+	ran := false
+	e.Post(3, func(x, y any, i int64) {
+		ran = true
+		if x.(*box) != a || y.(*box) != b || i != -7 {
+			t.Errorf("got (%v, %v, %d)", x, y, i)
+		}
+	}, a, b, -7)
+	if at := e.RunAll(); at != 3 {
+		t.Fatalf("ran to %d, want 3", at)
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+}
+
+// TestFastForwardSkipsEmptyCycles checks that sparse timelines execute at
+// the right cycles and that Run honors its limit exactly like the
+// cycle-by-cycle kernel did (stopping at until+1 with work pending).
+func TestFastForwardSkipsEmptyCycles(t *testing.T) {
+	e := NewEngine()
+	var at []int64
+	note := func(_, _ any, _ int64) { at = append(at, e.Now()) }
+	// Within the wheel, far apart.
+	e.Post(1, note, nil, nil, 0)
+	e.Post(4000, note, nil, nil, 0)
+	// Beyond the wheel horizon (overflow heap).
+	e.Post(10_000, note, nil, nil, 0)
+	e.Post(1_000_000, note, nil, nil, 0)
+	if got := e.Run(500_000); got != 500_001 {
+		t.Fatalf("Run(500000) = %d, want 500001", got)
+	}
+	if got := e.RunAll(); got != 1_000_000 {
+		t.Fatalf("RunAll() = %d, want 1000000", got)
+	}
+	want := []int64{1, 4000, 10_000, 1_000_000}
+	if len(at) != len(want) {
+		t.Fatalf("fired at %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	}
+}
+
+// TestFastForwardChainedWakeups checks that an event scheduled from inside
+// another event (after a long idle gap) still runs at the right time.
+func TestFastForwardChainedWakeups(t *testing.T) {
+	e := NewEngine()
+	var trace []int64
+	var step EventFunc
+	step = func(_, _ any, depth int64) {
+		trace = append(trace, e.Now())
+		if depth < 4 {
+			e.Post(1000*depth+1, step, nil, nil, depth+1)
+		}
+	}
+	e.Post(0, step, nil, nil, 1)
+	e.RunAll()
+	want := []int64{0, 1001, 3002, 6003}
+	for i := range want {
+		if i >= len(trace) || trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
