@@ -1,6 +1,8 @@
 // Command rackbench regenerates the paper's evaluation artifacts (Tables 1
 // and 3, Figures 5, 6, 7, 9, 10, and the §6.2 routing ablation) and prints
-// them as paper-style tables.
+// them as paper-style tables. Each experiment is a sweep over independent
+// simulation points, so -parallel N runs points on N workers with
+// bit-identical output to a serial run.
 //
 // Usage:
 //
@@ -8,14 +10,22 @@
 //	rackbench -exp table3               # one experiment
 //	rackbench -exp fig7 -quick          # reduced sweep, short windows
 //	rackbench -exp fig6 -sizes 64,4096  # custom size list
+//	rackbench -exp all -quick -parallel 8   # one worker per core
+//	rackbench -exp all -json            # machine-readable results
+//	rackbench -exp all -timeout 2m      # abort cleanly after 2 minutes
+//
+// Per-experiment timing goes to stderr so stdout carries only the tables
+// (or JSON) and is byte-for-byte reproducible for a given config and seed.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
+	"os/signal"
 	"time"
 
 	"rackni"
@@ -26,7 +36,16 @@ func main() {
 	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; points are independent, output is identical)")
+	jsonOut := flag.Bool("json", false, "emit JSON results on stdout instead of tables")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
+
+	switch *exp {
+	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr":
+	default:
+		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all)", *exp)
+	}
 
 	cfg := rackni.DefaultConfig()
 	if *quick {
@@ -36,74 +55,109 @@ func main() {
 
 	var sizes []int
 	if *sizeList != "" {
-		for _, tok := range strings.Split(*sizeList, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || v <= 0 {
-				fatalf("bad size %q", tok)
-			}
-			sizes = append(sizes, v)
+		var err error
+		sizes, err = rackni.ParseSizes(*sizeList)
+		if err != nil {
+			fatalf("%v", err)
 		}
 	}
 
-	run := func(name string, fn func() (string, error)) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := rackni.Options{Parallel: *parallel, Context: ctx}
+
+	// run executes one experiment and prints its table; with -json the
+	// record is collected and the whole run emits a single JSON array.
+	// Cancellation discards the experiment's partial results and exits.
+	var jsonRecords []map[string]any
+	run := func(name string, fn func() (fmt.Stringer, error)) {
 		t0 := time.Now()
-		out, err := fn()
+		res, err := fn()
 		if err != nil {
+			// A point failure takes precedence: a deadline expiring while
+			// a genuine error unwinds must not masquerade as a timeout.
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+				fatalf("%s: aborted (%v); partial results discarded", name, ctx.Err())
+			}
 			fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", name, time.Since(t0).Seconds(), out)
+		fmt.Fprintf(os.Stderr, "rackbench: %s finished in %.1fs\n", name, time.Since(t0).Seconds())
+		if *jsonOut {
+			jsonRecords = append(jsonRecords, map[string]any{"experiment": name, "result": res})
+			return
+		}
+		fmt.Printf("== %s ==\n%s\n", name, res)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("table1") {
-		run("Table 1: QP-based model vs NUMA (zero-load, 1 hop)", func() (string, error) {
-			r, err := rackni.RunTable1(cfg)
-			return r.Format(), err
+		run("Table 1: QP-based model vs NUMA (zero-load, 1 hop)", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunTable1Opts(cfg, opts))
 		})
 	}
 	if want("table3") {
-		run("Table 3: zero-load latency breakdown per NI design", func() (string, error) {
-			r, err := rackni.RunTable3(cfg)
-			return r.Format(), err
+		run("Table 3: zero-load latency breakdown per NI design", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunTable3Opts(cfg, opts))
 		})
 	}
 	if want("fig5") {
-		run("Fig. 5: end-to-end latency vs intra-rack hop count", func() (string, error) {
-			r, err := rackni.RunFig5(cfg)
-			return r.Format(), err
+		run("Fig. 5: end-to-end latency vs intra-rack hop count", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunFig5Opts(cfg, opts))
 		})
 	}
 	if want("fig6") {
-		run("Fig. 6: sync remote-read latency vs size (mesh)", func() (string, error) {
-			r, err := rackni.RunFig6(cfg, sizes)
-			return r.Format(), err
+		run("Fig. 6: sync remote-read latency vs size (mesh)", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunFig6Opts(cfg, sizes, opts))
 		})
 	}
 	if want("fig7") {
-		run("Fig. 7: application bandwidth vs size (mesh)", func() (string, error) {
-			r, err := rackni.RunFig7(cfg, sizes)
-			return r.Format(), err
+		run("Fig. 7: application bandwidth vs size (mesh)", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunFig7Opts(cfg, sizes, opts))
 		})
 	}
 	if want("fig9") {
-		run("Fig. 9: sync remote-read latency vs size (NOC-Out)", func() (string, error) {
-			r, err := rackni.RunFig9(cfg, sizes)
-			return r.Format(), err
+		run("Fig. 9: sync remote-read latency vs size (NOC-Out)", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunFig9Opts(cfg, sizes, opts))
 		})
 	}
 	if want("fig10") {
-		run("Fig. 10: application bandwidth vs size (NOC-Out)", func() (string, error) {
-			r, err := rackni.RunFig10(cfg, sizes)
-			return r.Format(), err
+		run("Fig. 10: application bandwidth vs size (NOC-Out)", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunFig10Opts(cfg, sizes, opts))
 		})
 	}
 	if want("cdr") {
-		run("§6.2 ablation: routing policy vs peak bandwidth", func() (string, error) {
-			r, err := rackni.RunRoutingAblation(cfg, 4096)
-			return r.Format(), err
+		run("§6.2 ablation: routing policy vs peak bandwidth", func() (fmt.Stringer, error) {
+			return wrap(rackni.RunRoutingAblationOpts(cfg, 4096, opts))
 		})
 	}
+	if *jsonOut {
+		blob, err := json.MarshalIndent(jsonRecords, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("%s\n", blob)
+	}
+}
+
+// formatter is any experiment result with a paper-style renderer.
+type formatter interface{ Format() string }
+
+// wrapped adapts a result to fmt.Stringer (for table output) while staying
+// JSON-marshalable as the underlying struct.
+type wrapped struct{ res formatter }
+
+func (w wrapped) String() string { return w.res.Format() }
+
+func (w wrapped) MarshalJSON() ([]byte, error) { return json.Marshal(w.res) }
+
+func wrap[T formatter](res T, err error) (fmt.Stringer, error) {
+	return wrapped{res: res}, err
 }
 
 func fatalf(format string, args ...interface{}) {

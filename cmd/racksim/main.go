@@ -1,100 +1,152 @@
-// Command racksim runs a single simulation configuration and prints its
-// latency or bandwidth result — the low-level tool for exploring the
-// design space beyond the paper's sweeps.
+// Command racksim runs arbitrary design-space sweeps and prints structured
+// results — the tool for exploring the space beyond the paper's figures.
+// Every axis flag accepts a comma-separated list; the cross product of all
+// axes is executed (in parallel with -parallel), and a single latency point
+// additionally prints its full latency tomography.
 //
 // Examples:
 //
 //	racksim -design split -size 64 -mode latency -hops 3
 //	racksim -design edge -size 8192 -mode bandwidth -routing xy
-//	racksim -design pertile -topology nocout -size 2048 -mode bandwidth
+//	racksim -design edge,pertile,split -size 64,1024,16384 -parallel 8
+//	racksim -routing xy,cdrni -mode bandwidth -size 4096 -csv
+//	racksim -design split -topology mesh,nocout -size 2048 -json
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"rackni"
 )
 
 func main() {
-	design := flag.String("design", "split", "NI design: edge|pertile|split")
-	topo := flag.String("topology", "mesh", "on-chip topology: mesh|nocout")
-	routing := flag.String("routing", "cdrni", "mesh routing: xy|yx|o1turn|cdr|cdrni")
-	mode := flag.String("mode", "latency", "latency|bandwidth")
-	size := flag.Int("size", 64, "transfer size in bytes")
-	hops := flag.Int("hops", 1, "one-way intra-rack hops to the peer")
-	core := flag.Int("core", 27, "issuing core (latency mode)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	design := flag.String("design", "split", "NI design(s): edge|pertile|split, comma-separated")
+	topo := flag.String("topology", "mesh", "on-chip topology(s): mesh|nocout, comma-separated")
+	routing := flag.String("routing", "cdrni", "mesh routing(s): xy|yx|o1turn|cdr|cdrni, comma-separated")
+	mode := flag.String("mode", "latency", "microbenchmark(s): latency|bandwidth, comma-separated")
+	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated")
+	hops := flag.String("hops", "1", "one-way intra-rack hop count(s), comma-separated")
+	core := flag.String("core", "27", "issuing core(s) (latency mode), comma-separated")
+	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	quick := flag.Bool("quick", false, "short stabilization windows")
+	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
+	jsonOut := flag.Bool("json", false, "emit JSON results")
+	csvOut := flag.Bool("csv", false, "emit CSV results")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "report per-point completion on stderr")
 	flag.Parse()
 
 	cfg := rackni.DefaultConfig()
 	if *quick {
 		cfg = rackni.QuickConfig()
 	}
-	cfg.Seed = *seed
 
-	switch *design {
-	case "edge":
-		cfg.Design = rackni.NIEdge
-	case "pertile":
-		cfg.Design = rackni.NIPerTile
-	case "split":
-		cfg.Design = rackni.NISplit
-	default:
-		fatalf("unknown design %q", *design)
+	designs, err := rackni.ParseDesigns(*design)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	switch *topo {
-	case "mesh":
-		cfg.Topology = rackni.Mesh
-	case "nocout":
-		cfg.Topology = rackni.NOCOut
-	default:
-		fatalf("unknown topology %q", *topo)
+	topos, err := rackni.ParseTopologies(*topo)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	switch *routing {
-	case "xy":
-		cfg.Routing = rackni.RoutingXY
-	case "yx":
-		cfg.Routing = rackni.RoutingYX
-	case "o1turn":
-		cfg.Routing = rackni.RoutingO1Turn
-	case "cdr":
-		cfg.Routing = rackni.RoutingCDR
-	case "cdrni":
-		cfg.Routing = rackni.RoutingCDRNI
-	default:
-		fatalf("unknown routing %q", *routing)
+	routings, err := rackni.ParseRoutings(*routing)
+	if err != nil {
+		fatalf("%v", err)
 	}
-
-	n, err := rackni.NewNode(cfg, *hops)
+	modes, err := rackni.ParseModes(*mode)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sizes, err := rackni.ParseSizes(*size)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	hopList, err := rackni.ParseHops(*hops)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	cores, err := rackni.ParseCores(*core)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	seeds, err := rackni.ParseSeeds(*seed)
 	if err != nil {
 		fatalf("%v", err)
 	}
 
-	switch *mode {
-	case "latency":
-		res, err := n.RunSyncLatency(*size, *core)
+	points := rackni.NewSweep(cfg).
+		Designs(designs...).
+		Topologies(topos...).
+		Routings(routings...).
+		Modes(modes...).
+		Sizes(sizes...).
+		Hops(hopList...).
+		Seeds(seeds...).
+		Cores(cores...).
+		Points()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := rackni.Options{Parallel: *parallel, Context: ctx}
+	if *progress {
+		opts.Progress = func(done, total int, r rackni.Result) {
+			fmt.Fprintf(os.Stderr, "racksim: %d/%d points done (last took %.1fs)\n",
+				done, total, r.Wall.Seconds())
+		}
+	}
+
+	t0 := time.Now()
+	results, err := rackni.NewRunner(opts).Run(points)
+	if err != nil {
+		// A point failure takes precedence: a deadline expiring while a
+		// genuine error unwinds must not masquerade as a timeout.
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			fatalf("aborted (%v) after %.1fs; partial results discarded", ctx.Err(), time.Since(t0).Seconds())
+		}
+		fatalf("%v", err)
+	}
+
+	switch {
+	case *jsonOut:
+		blob, err := results.JSON()
 		if err != nil {
 			fatalf("%v", err)
 		}
-		b := res.Breakdown
+		fmt.Printf("%s\n", blob)
+	case *csvOut:
+		fmt.Print(results.CSV())
+	case len(results) == 1 && results[0].Sync != nil:
+		// Single latency point: keep the detailed tomography output.
+		r := results[0]
+		b := r.Sync.Breakdown
 		fmt.Printf("%v %v %dB @%d hop(s): %.0f cycles (%.0f ns)\n",
-			cfg.Design, cfg.Topology, *size, *hops, res.MeanCycles, res.MeanNS)
+			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Size,
+			r.Point.Hops, r.Sync.MeanCycles, r.Sync.MeanNS)
 		fmt.Printf("  WQ write %.0f | WQ read %.0f | dispatch %.0f | generate %.0f\n",
 			b.WQWrite, b.WQRead, b.Dispatch, b.Generate)
 		fmt.Printf("  net out %.0f | remote %.0f | net back %.0f\n", b.NetOut, b.Remote, b.NetBack)
 		fmt.Printf("  complete %.0f | CQ write %.0f | CQ read %.0f\n", b.Complete, b.CQWrite, b.CQRead)
-	case "bandwidth":
-		res, err := n.RunBandwidth(*size)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Printf("%v %v %dB async x64 cores: app %.1f GB/s (NOC agg %.1f, bisection %.1f), stable=%v, %d requests in %d cycles\n",
-			cfg.Design, cfg.Topology, *size, res.AppGBps, res.NOCGBps, res.BisectionGBps, res.Stable, res.Completed, res.Cycles)
+	case len(results) == 1 && results[0].BW != nil:
+		// Single bandwidth point: keep the detailed single-run output.
+		r := results[0]
+		bw := r.BW
+		fmt.Printf("%v %v %dB async x%d cores: app %.1f GB/s (NOC agg %.1f, bisection %.1f), stable=%v, %d requests in %d cycles\n",
+			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Size,
+			r.Point.Config.Tiles(), bw.AppGBps, bw.NOCGBps, bw.BisectionGBps,
+			bw.Stable, bw.Completed, bw.Cycles)
 	default:
-		fatalf("unknown mode %q", *mode)
+		fmt.Print(results.Format())
 	}
 }
 

@@ -1,29 +1,38 @@
-// Quickstart: build a node with the paper's proposed NIsplit design and
-// issue a few one-sided remote reads, printing the end-to-end latency —
-// the 20-line "hello world" of the library.
+// Quickstart: sweep the paper's three NI designs across two transfer sizes
+// with the declarative Sweep/Runner API, running points in parallel, then
+// print the structured results — the "hello world" of the library.
+//
+// For a single hand-built simulation, NewNode + RunSyncLatency remain
+// available (see the other examples).
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 
 	"rackni"
 )
 
 func main() {
-	cfg := rackni.DefaultConfig()
-	cfg.Design = rackni.NISplit
-	node, err := rackni.NewNode(cfg, 1) // one network hop to the peer node
+	cfg := rackni.QuickConfig() // short windows; DefaultConfig() for paper fidelity
+
+	// The cross product of every axis becomes one independent simulation
+	// point: 3 designs x 2 sizes = 6 points, run on one worker per core.
+	results, err := rackni.NewSweep(cfg).
+		Designs(rackni.NIEdge, rackni.NIPerTile, rackni.NISplit).
+		Sizes(64, 4096).
+		Run(rackni.Options{Parallel: runtime.NumCPU()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := node.RunSyncLatency(64, 27) // 64-byte reads from core (3,3)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("remote 64B read through %v: %.0f cycles = %.0f ns\n",
-		cfg.Design, res.MeanCycles, res.MeanNS)
-	fmt.Printf("  of which QP interaction: WQ %.0f + CQ %.0f cycles\n",
-		res.Breakdown.WQWrite+res.Breakdown.WQRead,
-		res.Breakdown.CQWrite+res.Breakdown.CQRead)
+
+	fmt.Print(results.Format())
+
+	// Results are ordered like the sweep's cross product, so positional
+	// access is deterministic; each result carries its full Point metadata.
+	best := results[len(results)-1]
+	fmt.Printf("\n%v at %dB: %.0f cycles = %.0f ns\n",
+		best.Point.Config.Design, best.Point.Size,
+		best.Sync.MeanCycles, best.Sync.MeanNS)
 }

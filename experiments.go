@@ -53,23 +53,26 @@ type Table3Result struct {
 // RunTable3 measures the zero-load single-block (64 B) remote-read latency
 // breakdown for all three NI designs at one network hop and projects the
 // NUMA baseline.
-func RunTable3(cfg Config) (Table3Result, error) {
+func RunTable3(cfg Config) (Table3Result, error) { return RunTable3Opts(cfg, Options{}) }
+
+// RunTable3Opts is RunTable3 with runner options (parallelism,
+// cancellation, progress).
+func RunTable3Opts(cfg Config, opts Options) (Table3Result, error) {
 	var out Table3Result
+	res, err := NewSweep(cfg).
+		Designs(NIEdge, NIPerTile, NISplit).
+		Sizes(cfg.BlockBytes).
+		Hops(1).
+		Run(opts)
+	if err != nil {
+		return out, err
+	}
 	var splitComp analytic.Components
-	for _, d := range []Design{NIEdge, NIPerTile, NISplit} {
-		c := cfg
-		c.Design = d
-		n, err := NewNode(c, 1)
-		if err != nil {
-			return out, err
-		}
-		res, err := n.RunSyncLatency(cfg.BlockBytes, measureCore)
-		if err != nil {
-			return out, fmt.Errorf("%v: %w", d, err)
-		}
-		out.Rows = append(out.Rows, BreakdownRow{Design: d, Breakdown: res.Breakdown, TotalCycles: res.MeanCycles})
+	for _, r := range res {
+		d := r.Point.Config.Design
+		out.Rows = append(out.Rows, BreakdownRow{Design: d, Breakdown: r.Sync.Breakdown, TotalCycles: r.Sync.MeanCycles})
 		if d == NISplit {
-			splitComp = toComponents(res.Breakdown)
+			splitComp = toComponents(r.Sync.Breakdown)
 		}
 	}
 	out.NUMACycles = splitComp.NUMATotal(&cfg)
@@ -127,8 +130,11 @@ type Table1Result struct {
 
 // RunTable1 measures the QP-based model's latency (NIedge placement, the
 // conventional integrated NI) against the NUMA projection.
-func RunTable1(cfg Config) (Table1Result, error) {
-	t3, err := RunTable3(cfg)
+func RunTable1(cfg Config) (Table1Result, error) { return RunTable1Opts(cfg, Options{}) }
+
+// RunTable1Opts is RunTable1 with runner options.
+func RunTable1Opts(cfg Config, opts Options) (Table1Result, error) {
+	t3, err := RunTable3Opts(cfg, opts)
 	if err != nil {
 		return Table1Result{}, err
 	}
@@ -180,8 +186,11 @@ type Fig5Result struct {
 // RunFig5 reproduces Fig. 5: measures the Table 3 breakdowns, then projects
 // end-to-end latency and overhead-over-NUMA for 0..12 intra-rack hops (the
 // diameter of the 512-node 3D torus).
-func RunFig5(cfg Config) (Fig5Result, error) {
-	t3, err := RunTable3(cfg)
+func RunFig5(cfg Config) (Fig5Result, error) { return RunFig5Opts(cfg, Options{}) }
+
+// RunFig5Opts is RunFig5 with runner options.
+func RunFig5Opts(cfg Config, opts Options) (Fig5Result, error) {
+	t3, err := RunTable3Opts(cfg, opts)
 	if err != nil {
 		return Fig5Result{}, err
 	}
@@ -235,30 +244,32 @@ type LatencySweepResult struct {
 // NOCOut: unloaded synchronous remote-read latency across transfer sizes
 // for the three designs, plus the NUMA projection.
 func RunFig6(cfg Config, sizes []int) (LatencySweepResult, error) {
+	return RunFig6Opts(cfg, sizes, Options{})
+}
+
+// RunFig6Opts is RunFig6 with runner options.
+func RunFig6Opts(cfg Config, sizes []int, opts Options) (LatencySweepResult, error) {
 	if len(sizes) == 0 {
 		sizes = Fig6Sizes
 	}
 	out := LatencySweepResult{Topology: cfg.Topology, NUMA: make(map[int]float64)}
+	res, err := NewSweep(cfg).
+		Designs(NIEdge, NISplit, NIPerTile).
+		Sizes(sizes...).
+		Hops(1).
+		Run(opts)
+	if err != nil {
+		return out, err
+	}
 	var splitBase analytic.Components
 	splitBySize := make(map[int]float64)
-	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
-		for _, size := range sizes {
-			c := cfg
-			c.Design = d
-			n, err := NewNode(c, 1)
-			if err != nil {
-				return out, err
-			}
-			res, err := n.RunSyncLatency(size, measureCore)
-			if err != nil {
-				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
-			}
-			out.Points = append(out.Points, LatencyPoint{Design: d, Size: size, NS: res.MeanNS})
-			if d == NISplit {
-				splitBySize[size] = res.MeanCycles
-				if size == sizes[0] {
-					splitBase = toComponents(res.Breakdown)
-				}
+	for _, r := range res {
+		d, size := r.Point.Config.Design, r.Point.Size
+		out.Points = append(out.Points, LatencyPoint{Design: d, Size: size, NS: r.Sync.MeanNS})
+		if d == NISplit {
+			splitBySize[size] = r.Sync.MeanCycles
+			if size == sizes[0] {
+				splitBase = toComponents(r.Sync.Breakdown)
 			}
 		}
 	}
@@ -271,8 +282,13 @@ func RunFig6(cfg Config, sizes []int) (LatencySweepResult, error) {
 
 // RunFig9 is RunFig6 on the NOC-Out topology.
 func RunFig9(cfg Config, sizes []int) (LatencySweepResult, error) {
+	return RunFig9Opts(cfg, sizes, Options{})
+}
+
+// RunFig9Opts is RunFig9 with runner options.
+func RunFig9Opts(cfg Config, sizes []int, opts Options) (LatencySweepResult, error) {
 	cfg.Topology = NOCOut
-	return RunFig6(cfg, sizes)
+	return RunFig6Opts(cfg, sizes, opts)
 }
 
 // Format renders the sweep as a size-by-design table.
@@ -327,32 +343,39 @@ type BandwidthSweepResult struct {
 // NOCOut: aggregate application bandwidth of asynchronous remote reads,
 // all 64 cores issuing, across transfer sizes and designs.
 func RunFig7(cfg Config, sizes []int) (BandwidthSweepResult, error) {
+	return RunFig7Opts(cfg, sizes, Options{})
+}
+
+// RunFig7Opts is RunFig7 with runner options.
+func RunFig7Opts(cfg Config, sizes []int, opts Options) (BandwidthSweepResult, error) {
 	if len(sizes) == 0 {
 		sizes = Fig7Sizes
 	}
 	out := BandwidthSweepResult{Topology: cfg.Topology}
-	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
-		for _, size := range sizes {
-			c := cfg
-			c.Design = d
-			n, err := NewNode(c, 1)
-			if err != nil {
-				return out, err
-			}
-			res, err := n.RunBandwidth(size)
-			if err != nil {
-				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
-			}
-			out.Points = append(out.Points, BandwidthPoint{Design: d, Size: size, Result: res})
-		}
+	res, err := NewSweep(cfg).
+		Designs(NIEdge, NISplit, NIPerTile).
+		Modes(Bandwidth).
+		Sizes(sizes...).
+		Hops(1).
+		Run(opts)
+	if err != nil {
+		return out, err
+	}
+	for _, r := range res {
+		out.Points = append(out.Points, BandwidthPoint{Design: r.Point.Config.Design, Size: r.Point.Size, Result: *r.BW})
 	}
 	return out, nil
 }
 
 // RunFig10 is RunFig7 on the NOC-Out topology.
 func RunFig10(cfg Config, sizes []int) (BandwidthSweepResult, error) {
+	return RunFig10Opts(cfg, sizes, Options{})
+}
+
+// RunFig10Opts is RunFig10 with runner options.
+func RunFig10Opts(cfg Config, sizes []int, opts Options) (BandwidthSweepResult, error) {
 	cfg.Topology = NOCOut
-	return RunFig7(cfg, sizes)
+	return RunFig7Opts(cfg, sizes, opts)
 }
 
 // Peak returns the highest application bandwidth a design reached.
@@ -427,23 +450,27 @@ type RoutingAblationResult struct {
 // RunRoutingAblation reproduces the §6.2 observation that without CDR the
 // peak bandwidth is less than half of that achievable with it.
 func RunRoutingAblation(cfg Config, size int) (RoutingAblationResult, error) {
+	return RunRoutingAblationOpts(cfg, size, Options{})
+}
+
+// RunRoutingAblationOpts is RunRoutingAblation with runner options.
+func RunRoutingAblationOpts(cfg Config, size int, opts Options) (RoutingAblationResult, error) {
 	if size == 0 {
 		size = 4096
 	}
 	out := RoutingAblationResult{Size: size}
-	for _, pol := range []Routing{RoutingXY, RoutingO1Turn, RoutingCDR, RoutingCDRNI} {
-		c := cfg
-		c.Design = NISplit
-		c.Routing = pol
-		n, err := NewNode(c, 1)
-		if err != nil {
-			return out, err
-		}
-		res, err := n.RunBandwidth(size)
-		if err != nil {
-			return out, fmt.Errorf("%v: %w", pol, err)
-		}
-		out.Points = append(out.Points, RoutingPoint{Routing: pol, Result: res})
+	cfg.Design = NISplit
+	res, err := NewSweep(cfg).
+		Routings(RoutingXY, RoutingO1Turn, RoutingCDR, RoutingCDRNI).
+		Modes(Bandwidth).
+		Sizes(size).
+		Hops(1).
+		Run(opts)
+	if err != nil {
+		return out, err
+	}
+	for _, r := range res {
+		out.Points = append(out.Points, RoutingPoint{Routing: r.Point.Config.Routing, Result: *r.BW})
 	}
 	return out, nil
 }

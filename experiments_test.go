@@ -1,0 +1,320 @@
+package rackni
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rackni/internal/analytic"
+)
+
+// ---------------------------------------------------------------------------
+// Golden renderer tests: synthetic results with fixed numbers, so a
+// formatting regression cannot hide behind simulation noise.
+// ---------------------------------------------------------------------------
+
+func TestTable3FormatGolden(t *testing.T) {
+	res := Table3Result{
+		Rows: []BreakdownRow{
+			{Design: NIEdge, Breakdown: Breakdown{WQWrite: 30, WQRead: 80, Dispatch: 20, Generate: 10, NetOut: 70, Remote: 210, NetBack: 70, Complete: 60, CQWrite: 80, CQRead: 80}, TotalCycles: 710, OverheadPct: 79.7},
+			{Design: NIPerTile, Breakdown: Breakdown{WQWrite: 16, WQRead: 4, Dispatch: 0, Generate: 8, NetOut: 70, Remote: 210, NetBack: 70, Complete: 5, CQWrite: 40, CQRead: 22}, TotalCycles: 445, OverheadPct: 12.7},
+			{Design: NISplit, Breakdown: Breakdown{WQWrite: 16, WQRead: 4, Dispatch: 23, Generate: 5, NetOut: 70, Remote: 210, NetBack: 70, Complete: 4, CQWrite: 30, CQRead: 15}, TotalCycles: 447, OverheadPct: 13.2},
+		},
+		NUMACycles: 395,
+	}
+	want := "Latency component (cycles)         NI_edge   NI_per-tile      NI_split    NUMA proj.\nWQ write (sw + coherence)               30            16            16             1\nWQ read / frontend                      80             4             4             -\nFrontend->backend transfer              20             0            23            23\nRequest generation                      10             8             5             -\nIntra-rack network (out)                70            70            70            70\nRemote service (RRPP)                  210           210           210           208\nIntra-rack network (back)               70            70            70            70\nCompletion (data write)                 60             5             4             -\nCQ write                                80            40            30            23\nCQ read (sw + coherence)                80            22            15             -\nTotal (2GHz cycles)                    710           445           447           395\nOverhead over NUMA                   79.7%         12.7%         13.2%\n"
+	if got := res.Format(); got != want {
+		t.Fatalf("Table3Result.Format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLatencySweepFormatGolden(t *testing.T) {
+	res := LatencySweepResult{
+		Topology: Mesh,
+		Points: []LatencyPoint{
+			{Design: NIEdge, Size: 64, NS: 355}, {Design: NIEdge, Size: 2048, NS: 501},
+			{Design: NISplit, Size: 64, NS: 223}, {Design: NISplit, Size: 2048, NS: 370},
+			{Design: NIPerTile, Size: 64, NS: 222}, {Design: NIPerTile, Size: 2048, NS: 388},
+		},
+		NUMA: map[int]float64{64: 197, 2048: 344},
+	}
+	want := "Latency (ns) on mesh\n  size (B)       NI_edge      NI_split   NI_per-tile    NUMA proj.\n        64           355           223           222           197\n      2048           501           370           388           344\n"
+	if got := res.Format(); got != want {
+		t.Fatalf("LatencySweepResult.Format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestBandwidthSweepFormatGolden(t *testing.T) {
+	res := BandwidthSweepResult{
+		Topology: NOCOut,
+		Points: []BandwidthPoint{
+			{Design: NIEdge, Size: 64, Result: BWResult{AppGBps: 26.1}},
+			{Design: NIEdge, Size: 4096, Result: BWResult{AppGBps: 121.9}},
+			{Design: NISplit, Size: 64, Result: BWResult{AppGBps: 26.8}},
+			{Design: NISplit, Size: 4096, Result: BWResult{AppGBps: 130.4}},
+			{Design: NIPerTile, Size: 64, Result: BWResult{AppGBps: 25.2}},
+			{Design: NIPerTile, Size: 4096, Result: BWResult{AppGBps: 55.0}},
+		},
+	}
+	want := "Application bandwidth (GB/s) on NOC-Out\n  size (B)       NI_edge      NI_split   NI_per-tile\n        64          26.1          26.8          25.2\n      4096         121.9         130.4          55.0\n"
+	if got := res.Format(); got != want {
+		t.Fatalf("BandwidthSweepResult.Format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence tests: the direct serial loops the experiment layer used
+// before the sweep redesign, kept here as references. Each legacy entry
+// point must return results identical to its pre-sweep implementation.
+// ---------------------------------------------------------------------------
+
+// refTable3 is the pre-sweep RunTable3.
+func refTable3(cfg Config) (Table3Result, error) {
+	var out Table3Result
+	var splitComp analytic.Components
+	for _, d := range []Design{NIEdge, NIPerTile, NISplit} {
+		c := cfg
+		c.Design = d
+		n, err := NewNode(c, 1)
+		if err != nil {
+			return out, err
+		}
+		res, err := n.RunSyncLatency(cfg.BlockBytes, measureCore)
+		if err != nil {
+			return out, fmt.Errorf("%v: %w", d, err)
+		}
+		out.Rows = append(out.Rows, BreakdownRow{Design: d, Breakdown: res.Breakdown, TotalCycles: res.MeanCycles})
+		if d == NISplit {
+			splitComp = toComponents(res.Breakdown)
+		}
+	}
+	out.NUMACycles = splitComp.NUMATotal(&cfg)
+	for i := range out.Rows {
+		out.Rows[i].OverheadPct = 100 * (out.Rows[i].TotalCycles - out.NUMACycles) / out.NUMACycles
+	}
+	return out, nil
+}
+
+// refFig6 is the pre-sweep RunFig6.
+func refFig6(cfg Config, sizes []int) (LatencySweepResult, error) {
+	out := LatencySweepResult{Topology: cfg.Topology, NUMA: make(map[int]float64)}
+	var splitBase analytic.Components
+	splitBySize := make(map[int]float64)
+	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
+		for _, size := range sizes {
+			c := cfg
+			c.Design = d
+			n, err := NewNode(c, 1)
+			if err != nil {
+				return out, err
+			}
+			res, err := n.RunSyncLatency(size, measureCore)
+			if err != nil {
+				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
+			}
+			out.Points = append(out.Points, LatencyPoint{Design: d, Size: size, NS: res.MeanNS})
+			if d == NISplit {
+				splitBySize[size] = res.MeanCycles
+				if size == sizes[0] {
+					splitBase = toComponents(res.Breakdown)
+				}
+			}
+		}
+	}
+	for _, size := range sizes {
+		numaCycles := analytic.NUMALatencyForSize(&cfg, splitBase, splitBySize[size])
+		out.NUMA[size] = numaCycles * cfg.NsPerCycle()
+	}
+	return out, nil
+}
+
+// refFig7 is the pre-sweep RunFig7.
+func refFig7(cfg Config, sizes []int) (BandwidthSweepResult, error) {
+	out := BandwidthSweepResult{Topology: cfg.Topology}
+	for _, d := range []Design{NIEdge, NISplit, NIPerTile} {
+		for _, size := range sizes {
+			c := cfg
+			c.Design = d
+			n, err := NewNode(c, 1)
+			if err != nil {
+				return out, err
+			}
+			res, err := n.RunBandwidth(size)
+			if err != nil {
+				return out, fmt.Errorf("%v/%dB: %w", d, size, err)
+			}
+			out.Points = append(out.Points, BandwidthPoint{Design: d, Size: size, Result: res})
+		}
+	}
+	return out, nil
+}
+
+// refAblation is the pre-sweep RunRoutingAblation.
+func refAblation(cfg Config, size int) (RoutingAblationResult, error) {
+	out := RoutingAblationResult{Size: size}
+	for _, pol := range []Routing{RoutingXY, RoutingO1Turn, RoutingCDR, RoutingCDRNI} {
+		c := cfg
+		c.Design = NISplit
+		c.Routing = pol
+		n, err := NewNode(c, 1)
+		if err != nil {
+			return out, err
+		}
+		res, err := n.RunBandwidth(size)
+		if err != nil {
+			return out, fmt.Errorf("%v: %w", pol, err)
+		}
+		out.Points = append(out.Points, RoutingPoint{Routing: pol, Result: res})
+	}
+	return out, nil
+}
+
+func TestTable3EquivalentToReference(t *testing.T) {
+	cfg := sweepTestCfg()
+	ref, err := refTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("sweep-based RunTable3 diverges from reference:\nref: %+v\ngot: %+v", ref, got)
+	}
+	if ref.Format() != got.Format() {
+		t.Fatal("RunTable3 Format output diverges from reference")
+	}
+	// Table 1 and Fig. 5 both derive from Table 3 measurements.
+	t1, err := RunTable1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.NUMACycles != ref.NUMACycles || t1.QP.TotalCycles != ref.Rows[0].TotalCycles {
+		t.Fatalf("RunTable1 diverges from reference Table 3: %+v", t1)
+	}
+	f5, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f5.Measured, ref) {
+		t.Fatal("RunFig5's measured breakdowns diverge from reference")
+	}
+}
+
+func TestFig6EquivalentToReference(t *testing.T) {
+	cfg := sweepTestCfg()
+	sizes := []int{64, 1024}
+	ref, err := refFig6(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunFig6(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("sweep-based RunFig6 diverges from reference:\nref: %+v\ngot: %+v", ref, got)
+	}
+	// The NOC-Out variant (Fig. 9) through the same path.
+	nocCfg := cfg
+	nocCfg.Topology = NOCOut
+	ref9, err := refFig6(nocCfg, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got9, err := RunFig9(cfg, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref9, got9) {
+		t.Fatal("sweep-based RunFig9 diverges from reference")
+	}
+}
+
+func TestFig7EquivalentToReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth equivalence sweep is slow")
+	}
+	cfg := sweepTestCfg()
+	cfg.WindowCycles = 15_000
+	cfg.MaxCycles = 70_000
+	sizes := []int{512}
+	ref, err := refFig7(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunFig7(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("sweep-based RunFig7 diverges from reference:\nref: %+v\ngot: %+v", ref, got)
+	}
+	got10, err := RunFig10(cfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocCfg := cfg
+	nocCfg.Topology = NOCOut
+	ref10, err := refFig7(nocCfg, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref10, got10) {
+		t.Fatal("sweep-based RunFig10 diverges from reference")
+	}
+}
+
+func TestAblationEquivalentToReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bandwidth equivalence sweep is slow")
+	}
+	cfg := sweepTestCfg()
+	cfg.WindowCycles = 15_000
+	cfg.MaxCycles = 70_000
+	ref, err := refAblation(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunRoutingAblation(cfg, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatalf("sweep-based RunRoutingAblation diverges from reference:\nref: %+v\ngot: %+v", ref, got)
+	}
+}
+
+// TestExperimentsParallelMatchSerial is the acceptance check for the
+// parallel runner: a parallel reproduction renders byte-identically to the
+// serial one.
+func TestExperimentsParallelMatchSerial(t *testing.T) {
+	cfg := sweepTestCfg()
+	sizes := []int{64, 1024}
+	serial, err := RunFig6Opts(cfg, sizes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFig6Opts(cfg, sizes, Options{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel RunFig6 diverges from serial")
+	}
+	if serial.Format() != par.Format() {
+		t.Fatal("parallel RunFig6 renders differently from serial")
+	}
+	t3s, err := RunTable3Opts(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3p, err := RunTable3Opts(cfg, Options{Parallel: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3s.Format() != t3p.Format() {
+		t.Fatal("parallel RunTable3 renders differently from serial")
+	}
+}

@@ -6,6 +6,7 @@
 package node
 
 import (
+	"context"
 	"fmt"
 
 	"rackni/internal/coherence"
@@ -67,7 +68,17 @@ type Node struct {
 
 	env      *rmc.Env
 	rackHops int
+
+	ctx        context.Context // optional; polled by the run loops
+	ctxWatched bool            // a cancellation watchdog is already scheduled
+	ctxFired   bool            // the watchdog stopped the current run
 }
+
+// SetContext attaches ctx to the node. Subsequent runs poll it periodically
+// (every cancelCheckCycles simulated cycles) and abort with the context's
+// error once it is cancelled; a nil or non-cancellable context costs
+// nothing.
+func (n *Node) SetContext(ctx context.Context) { n.ctx = ctx }
 
 // endpoint is the per-NodeID kind dispatcher: a tile (or edge NI block)
 // hosts several devices behind one NOC endpoint.

@@ -33,6 +33,54 @@ type SyncResult struct {
 	Breakdown  Breakdown
 }
 
+// cancelCheckCycles is the simulated-cycle period at which a run polls its
+// context for cancellation. At the simulator's loaded throughput this is a
+// few wall-clock polls per second — prompt aborts with negligible overhead.
+const cancelCheckCycles = 10_000
+
+// watchCancel arms a periodic context poll that stops the engine once the
+// node's context is cancelled. The poll events mutate no simulator state, so
+// results are bit-identical with and without a watchdog. A nil or
+// non-cancellable context arms nothing. Call it at the start of every run:
+// it resets the fired flag so ctxErr only reports cancellations that
+// actually stopped the current run, not ones landing after it completed.
+func (n *Node) watchCancel() {
+	n.ctxFired = false
+	if n.ctxWatched || n.ctx == nil || n.ctx.Done() == nil {
+		return
+	}
+	n.ctxWatched = true
+	var tick func()
+	tick = func() {
+		// The chain may outlive the run that armed it (the engine keeps
+		// pending ticks across runs on a reused node). Tear it down if the
+		// context was detached or replaced by a non-cancellable one, and
+		// disarm on teardown so a later SetContext arms a fresh chain.
+		if n.ctx == nil || n.ctx.Done() == nil {
+			n.ctxWatched = false
+			return
+		}
+		if n.ctx.Err() != nil {
+			n.ctxWatched = false
+			n.ctxFired = true
+			n.Eng.Stop()
+			return
+		}
+		n.Eng.Schedule(cancelCheckCycles, tick)
+	}
+	n.Eng.Schedule(cancelCheckCycles, tick)
+}
+
+// ctxErr reports the context's cancellation error if the watchdog stopped
+// the current run; a run that completed before the cancellation landed
+// keeps its result.
+func (n *Node) ctxErr() error {
+	if n.ctxFired && n.ctx != nil {
+		return n.ctx.Err()
+	}
+	return nil
+}
+
 // RunSyncLatency runs the unloaded latency microbenchmark (§5): one core
 // issues synchronous remote reads of the given size; warmup requests are
 // discarded. The issuing core defaults to a centrally located tile.
@@ -48,7 +96,11 @@ func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
 	finished := false
 	d.OnIdle = func() { finished = true; n.Eng.Stop() }
 	d.Start()
+	n.watchCancel()
 	n.Eng.Run(cfg.MaxCycles)
+	if err := n.ctxErr(); err != nil {
+		return SyncResult{}, err
+	}
 	if !finished || d.Completed() < total {
 		return SyncResult{}, fmt.Errorf("sync run did not finish: %d/%d completed by cycle %d",
 			d.Completed(), total, n.Eng.Now())
@@ -158,9 +210,13 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 		mon.Reset(appBytes())
 		n.Eng.Schedule(cfg.WindowCycles, tick)
 	})
+	n.watchCancel()
 	n.Eng.Run(cfg.MaxCycles)
 	for _, d := range n.Drivers {
 		d.Stop()
+	}
+	if err := n.ctxErr(); err != nil {
+		return BWResult{}, err
 	}
 	elapsed := n.Eng.Now() - cycles0
 	if elapsed <= 0 {
@@ -221,7 +277,11 @@ func (n *Node) RunWorkload(factory func(core int) cpu.Workload, maxCycles int64)
 	if active == 0 {
 		return WorkloadResult{}, fmt.Errorf("node: no cores have workloads")
 	}
+	n.watchCancel()
 	n.Eng.Run(maxCycles)
+	if err := n.ctxErr(); err != nil {
+		return WorkloadResult{}, err
+	}
 	res := WorkloadResult{
 		Completed:    n.Stats.Completed,
 		Cycles:       n.Eng.Now(),

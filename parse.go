@@ -1,0 +1,137 @@
+// CLI-facing string↔enum conversions, shared by cmd/racksim, cmd/rackbench
+// and sweep definitions built from user input.
+package rackni
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDesign converts a design name (edge, pertile, per-tile, split) to
+// its enumerator.
+func ParseDesign(s string) (Design, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "edge":
+		return NIEdge, nil
+	case "pertile", "per-tile":
+		return NIPerTile, nil
+	case "split":
+		return NISplit, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown design %q (want edge|pertile|split)", s)
+}
+
+// ParseTopology converts a topology name (mesh, nocout, noc-out) to its
+// enumerator.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "mesh":
+		return Mesh, nil
+	case "nocout", "noc-out":
+		return NOCOut, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown topology %q (want mesh|nocout)", s)
+}
+
+// ParseRouting converts a routing-policy name (xy, yx, o1turn, cdr, cdrni,
+// cdr+ni) to its enumerator.
+func ParseRouting(s string) (Routing, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "xy":
+		return RoutingXY, nil
+	case "yx":
+		return RoutingYX, nil
+	case "o1turn":
+		return RoutingO1Turn, nil
+	case "cdr":
+		return RoutingCDR, nil
+	case "cdrni", "cdr+ni":
+		return RoutingCDRNI, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown routing %q (want xy|yx|o1turn|cdr|cdrni)", s)
+}
+
+// ParseMode converts a microbenchmark name (latency, bandwidth) to its
+// enumerator.
+func ParseMode(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "latency":
+		return Latency, nil
+	case "bandwidth":
+		return Bandwidth, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown mode %q (want latency|bandwidth)", s)
+}
+
+// parseList splits a comma-separated flag value and parses each element.
+func parseList[T any](s string, parse func(string) (T, error)) ([]T, error) {
+	var out []T
+	for _, tok := range strings.Split(s, ",") {
+		v, err := parse(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseDesigns parses a comma-separated design list ("edge,split").
+func ParseDesigns(s string) ([]Design, error) { return parseList(s, ParseDesign) }
+
+// ParseTopologies parses a comma-separated topology list.
+func ParseTopologies(s string) ([]Topology, error) { return parseList(s, ParseTopology) }
+
+// ParseRoutings parses a comma-separated routing-policy list.
+func ParseRoutings(s string) ([]Routing, error) { return parseList(s, ParseRouting) }
+
+// ParseModes parses a comma-separated microbenchmark list.
+func ParseModes(s string) ([]Mode, error) { return parseList(s, ParseMode) }
+
+// ParseSizes parses a comma-separated list of positive transfer sizes in
+// bytes ("64,4096").
+func ParseSizes(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("rackni: bad size %q", tok)
+		}
+		return v, nil
+	})
+}
+
+// ParseHops parses a comma-separated list of non-negative hop counts
+// ("1,3,6"); 0 means the configuration's default.
+func ParseHops(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("rackni: bad hop count %q", tok)
+		}
+		return v, nil
+	})
+}
+
+// ParseCores parses a comma-separated list of non-negative core indices
+// ("5,27,40").
+func ParseCores(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("rackni: bad core %q", tok)
+		}
+		return v, nil
+	})
+}
+
+// ParseSeeds parses a comma-separated list of simulation seeds ("1,2,3").
+func ParseSeeds(s string) ([]uint64, error) {
+	return parseList(s, func(tok string) (uint64, error) {
+		v, err := strconv.ParseUint(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("rackni: bad seed %q", tok)
+		}
+		return v, nil
+	})
+}

@@ -19,11 +19,16 @@
 //	res, err := n.RunSyncLatency(64, 27) // 64-byte reads from core 27
 //	fmt.Printf("remote read: %.0f ns\n", res.MeanNS)
 //
-// The Experiments API (experiments.go) regenerates every table and figure
-// of the paper's evaluation; cmd/rackbench prints them.
+// The Sweep/Runner API (sweep.go) composes design-space sweeps — NI
+// placement × topology × routing × transfer size × hop count × seed — and
+// executes their points on a worker pool with deterministic, ordered
+// results. The Experiments API (experiments.go) defines every table and
+// figure of the paper's evaluation as such sweeps; cmd/rackbench prints
+// them and cmd/racksim runs arbitrary sweeps beyond the paper's.
 package rackni
 
 import (
+	"context"
 	"fmt"
 
 	"rackni/internal/config"
@@ -157,6 +162,12 @@ func (n *Node) RunWorkload(factory func(core int) Workload, maxCycles int64) (Wo
 // WorkloadResult summarizes a custom workload run.
 type WorkloadResult = node.WorkloadResult
 
+// SetContext attaches ctx to the node. Subsequent runs poll it periodically
+// and abort with the context's error once it is cancelled; a nil or
+// non-cancellable context costs nothing. The poll mutates no simulator
+// state, so results stay bit-identical with or without a context.
+func (n *Node) SetContext(ctx context.Context) { n.n.SetContext(ctx) }
+
 // Stats exposes the node's raw counters (latency accumulators, byte
 // counts) for custom analyses.
 func (n *Node) Stats() *rmc.Stats { return n.n.Stats }
@@ -168,8 +179,10 @@ func checkSize(cfg *Config, size int) error {
 	switch {
 	case size <= 0:
 		return fmt.Errorf("rackni: non-positive transfer size %d", size)
-	case size > 1<<20:
-		return fmt.Errorf("rackni: transfer size %d exceeds 1 MiB", size)
+	case size%cfg.BlockBytes != 0:
+		return fmt.Errorf("rackni: transfer size %d is not a multiple of the %d-byte block size", size, cfg.BlockBytes)
+	case size > node.LocalStride:
+		return fmt.Errorf("rackni: transfer size %d exceeds the per-core local buffer (%d bytes)", size, node.LocalStride)
 	}
 	return nil
 }

@@ -34,6 +34,29 @@ func TestRunSyncLatencyValidation(t *testing.T) {
 	}
 }
 
+func TestCheckSizeUsesConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, size := range []int{64, 128, 16384, LocalStride} {
+		if err := checkSize(&cfg, size); err != nil {
+			t.Fatalf("size %d rejected: %v", size, err)
+		}
+	}
+	for _, size := range []int{0, -64, 96, 65, LocalStride + cfg.BlockBytes} {
+		if err := checkSize(&cfg, size); err == nil {
+			t.Fatalf("size %d accepted", size)
+		}
+	}
+	// The granularity check must follow the configured block size, not a
+	// hard-coded 64.
+	cfg.BlockBytes = 128
+	if err := checkSize(&cfg, 64); err == nil {
+		t.Fatal("size 64 accepted with 128-byte blocks")
+	}
+	if err := checkSize(&cfg, 256); err != nil {
+		t.Fatalf("size 256 rejected with 128-byte blocks: %v", err)
+	}
+}
+
 func TestTable3MatchesPaperShape(t *testing.T) {
 	cfg := QuickConfig()
 	res, err := RunTable3(cfg)

@@ -1,0 +1,470 @@
+// Declarative design-space sweeps. The paper's evaluation is a cross
+// product — NI placement × topology × routing × transfer size × hop count —
+// and this file provides the three concepts that make such sweeps (and ones
+// the paper never ran) first-class: a Point (one fully-specified
+// simulation), a Sweep builder that composes axes into a cross product, and
+// a Runner that executes points on a worker pool. Every point is an
+// independent deterministic simulation with its own event engine, so
+// parallelism across points is race-free and results are bit-identical to a
+// serial run.
+package rackni
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Mode selects which §5 microbenchmark one sweep point runs.
+type Mode int
+
+const (
+	// Latency is the synchronous latency microbenchmark: one core issues
+	// blocking remote reads of the point's size.
+	Latency Mode = iota
+	// Bandwidth is the asynchronous bandwidth microbenchmark: all cores
+	// issue async remote reads until the windowed rate stabilizes.
+	Bandwidth
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Latency:
+		return "latency"
+	case Bandwidth:
+		return "bandwidth"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Point is one fully-specified simulation: a complete Config (with design,
+// topology, routing and seed already applied) plus the microbenchmark mode,
+// transfer size, one-way intra-rack hop count, and issuing core (latency
+// mode only). Points are value types; build them with a Sweep or directly.
+type Point struct {
+	Config Config
+	Mode   Mode
+	Size   int
+	Hops   int
+	Core   int
+}
+
+// label is the point's compact identity, used in errors and progress lines.
+func (p Point) label() string {
+	return fmt.Sprintf("%v/%v/%v/%v/%dB@%dhops/seed%d",
+		p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+		p.Size, p.Hops, p.Config.Seed)
+}
+
+// Sweep composes axes into a cross product of Points.
+//
+// Axis setters return the sweep for chaining; an axis left unset
+// contributes a single value taken from the base configuration (and for
+// axes with no Config field: Latency mode, the block size, DefaultHops, and
+// the central measurement core). Points enumerate in a fixed nesting order
+// — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Modes ▸ Sizes ▸ Seeds ▸ Cores,
+// first axis outermost — so a sweep's point list is deterministic and
+// stable across runs.
+type Sweep struct {
+	base     Config
+	designs  []Design
+	topos    []Topology
+	routings []Routing
+	modes    []Mode
+	sizes    []int
+	hops     []int
+	seeds    []uint64
+	cores    []int
+}
+
+// NewSweep starts a sweep over the given base configuration.
+func NewSweep(base Config) *Sweep { return &Sweep{base: base} }
+
+// Designs sets the NI-placement axis.
+func (s *Sweep) Designs(ds ...Design) *Sweep {
+	s.designs = append(s.designs[:0], ds...)
+	return s
+}
+
+// Topologies sets the on-chip interconnect axis.
+func (s *Sweep) Topologies(ts ...Topology) *Sweep {
+	s.topos = append(s.topos[:0], ts...)
+	return s
+}
+
+// Routings sets the mesh-routing-policy axis.
+func (s *Sweep) Routings(rs ...Routing) *Sweep {
+	s.routings = append(s.routings[:0], rs...)
+	return s
+}
+
+// Modes sets the microbenchmark axis.
+func (s *Sweep) Modes(ms ...Mode) *Sweep {
+	s.modes = append(s.modes[:0], ms...)
+	return s
+}
+
+// Sizes sets the transfer-size axis (bytes).
+func (s *Sweep) Sizes(sizes ...int) *Sweep {
+	s.sizes = append(s.sizes[:0], sizes...)
+	return s
+}
+
+// Hops sets the one-way intra-rack hop-count axis.
+func (s *Sweep) Hops(hops ...int) *Sweep {
+	s.hops = append(s.hops[:0], hops...)
+	return s
+}
+
+// Seeds sets the simulation-seed axis.
+func (s *Sweep) Seeds(seeds ...uint64) *Sweep {
+	s.seeds = append(s.seeds[:0], seeds...)
+	return s
+}
+
+// Cores sets the issuing-core axis (latency mode).
+func (s *Sweep) Cores(cores ...int) *Sweep {
+	s.cores = append(s.cores[:0], cores...)
+	return s
+}
+
+// Points expands the sweep into its cross product, in nesting order.
+func (s *Sweep) Points() []Point {
+	designs := s.designs
+	if len(designs) == 0 {
+		designs = []Design{s.base.Design}
+	}
+	topos := s.topos
+	if len(topos) == 0 {
+		topos = []Topology{s.base.Topology}
+	}
+	routings := s.routings
+	if len(routings) == 0 {
+		routings = []Routing{s.base.Routing}
+	}
+	hops := s.hops
+	if len(hops) == 0 {
+		hops = []int{s.base.DefaultHops}
+	}
+	modes := s.modes
+	if len(modes) == 0 {
+		modes = []Mode{Latency}
+	}
+	sizes := s.sizes
+	if len(sizes) == 0 {
+		sizes = []int{s.base.BlockBytes}
+	}
+	seeds := s.seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{s.base.Seed}
+	}
+	cores := s.cores
+	if len(cores) == 0 {
+		cores = []int{measureCore}
+	}
+	pts := make([]Point, 0,
+		len(designs)*len(topos)*len(routings)*len(hops)*len(modes)*len(sizes)*len(seeds)*len(cores))
+	for _, d := range designs {
+		for _, tp := range topos {
+			for _, rt := range routings {
+				for _, h := range hops {
+					if h == 0 {
+						// Resolve "default" now so the point's metadata
+						// (label, Format, CSV, JSON) reports the hop count
+						// actually simulated.
+						h = s.base.DefaultHops
+					}
+					for _, m := range modes {
+						for _, sz := range sizes {
+							for _, sd := range seeds {
+								for _, c := range cores {
+									cfg := s.base
+									cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+									pts = append(pts, Point{Config: cfg, Mode: m, Size: sz, Hops: h, Core: c})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Run expands the sweep and executes it; shorthand for
+// NewRunner(opts).Run(s.Points()).
+func (s *Sweep) Run(opts Options) (Results, error) {
+	return NewRunner(opts).Run(s.Points())
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Parallel is the worker-pool size; values below 2 run points serially.
+	// Points are independent simulations, so any degree of parallelism
+	// yields bit-identical results in the same order.
+	Parallel int
+	// Context, when non-nil, cancels the run: in-flight simulations abort
+	// at their next cancellation poll and not-yet-started points are
+	// skipped. Run returns the context's error.
+	Context context.Context
+	// Progress, when non-nil, is invoked after each point completes with
+	// the completed count, the total, and that point's result. Calls are
+	// serialized; completion order is nondeterministic under parallelism.
+	Progress func(done, total int, r Result)
+}
+
+// Result is one executed point and its outcome. Exactly one of Sync and BW
+// is set on success (matching the point's mode); a point skipped because
+// the run was cancelled before it started has all three of Sync, BW and Err
+// nil.
+type Result struct {
+	Point Point
+	Sync  *SyncResult
+	BW    *BWResult
+	Err   error
+	Wall  time.Duration
+}
+
+// Results is an ordered collection of point outcomes: index i holds point i
+// of the executed list regardless of completion order.
+type Results []Result
+
+// Runner executes sweep points, optionally on a worker pool.
+type Runner struct {
+	opts Options
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opts Options) *Runner { return &Runner{opts: opts} }
+
+// Run executes the points and returns their outcomes in point order. A
+// point failure fails fast: remaining points are abandoned (in-flight ones
+// abort at their next cancellation poll) and Run returns the first point
+// error in point order. Cancellation through Options.Context returns the
+// context's error — unless every point had already completed, in which
+// case the full result set stands. The Results are returned alongside any
+// error so callers can inspect partial outcomes.
+func (r *Runner) Run(points []Point) (Results, error) {
+	ctx := r.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// runCtx additionally cancels on the first point failure so a long
+	// sweep does not keep simulating doomed work (fail-fast, matching the
+	// serial loops the sweep API replaced).
+	runCtx, abort := context.WithCancel(ctx)
+	defer abort()
+	res := make(Results, len(points))
+	for i := range res {
+		res[i].Point = points[i]
+	}
+	workers := r.opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := range points {
+			select {
+			case idx <- i:
+			case <-runCtx.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res[i] = runPoint(runCtx, points[i])
+				if res[i].Err != nil {
+					abort()
+				}
+				mu.Lock()
+				done++
+				if r.opts.Progress != nil {
+					r.opts.Progress(done, len(points), res[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := range res {
+		if res[i].Err != nil {
+			return res, fmt.Errorf("rackni: point %d (%s): %w", i, points[i].label(), res[i].Err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Report the cancellation only if it actually cost us a point; a
+		// deadline landing after the last point completed should not
+		// discard a whole result set.
+		for i := range res {
+			if res[i].Sync == nil && res[i].BW == nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// runPoint executes one point: builds its node, attaches the context, and
+// runs the point's microbenchmark.
+func runPoint(ctx context.Context, p Point) Result {
+	out := Result{Point: p}
+	if err := ctx.Err(); err != nil {
+		return out // cancelled before start: leave the point skipped
+	}
+	t0 := time.Now()
+	n, err := NewNode(p.Config, p.Hops)
+	if err != nil {
+		out.Err = err
+		out.Wall = time.Since(t0)
+		return out
+	}
+	n.SetContext(ctx)
+	switch p.Mode {
+	case Latency:
+		r, err := n.RunSyncLatency(p.Size, p.Core)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.Sync = &r
+		}
+	case Bandwidth:
+		r, err := n.RunBandwidth(p.Size)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.BW = &r
+		}
+	default:
+		out.Err = fmt.Errorf("rackni: unknown mode %v", p.Mode)
+	}
+	if errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded) {
+		// A cancelled in-flight run has no result worth keeping; mark it
+		// skipped so renderers drop it. Genuine point errors (bad config,
+		// unstable run) are preserved even if cancellation raced them.
+		out.Sync, out.BW, out.Err = nil, nil, nil
+	}
+	out.Wall = time.Since(t0)
+	return out
+}
+
+// Format renders the results as an aligned table, one row per point.
+// Skipped points render as "-"; failed points show their error.
+func (rs Results) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-9s %8s %5s %5s %6s  %s\n",
+		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
+	for _, r := range rs {
+		p := r.Point
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-9v %8d %5d %5d %6d  ",
+			p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+			p.Size, p.Hops, p.Core, p.Config.Seed)
+		switch {
+		case r.Err != nil:
+			fmt.Fprintf(&b, "error: %v\n", r.Err)
+		case r.Sync != nil:
+			fmt.Fprintf(&b, "%.0f cycles (%.0f ns)\n", r.Sync.MeanCycles, r.Sync.MeanNS)
+		case r.BW != nil:
+			fmt.Fprintf(&b, "app %.1f GB/s (NOC %.1f, bisection %.1f, stable=%v)\n",
+				r.BW.AppGBps, r.BW.NOCGBps, r.BW.BisectionGBps, r.BW.Stable)
+		default:
+			fmt.Fprintf(&b, "-\n")
+		}
+	}
+	return b.String()
+}
+
+// CSV renders the results as a comma-separated table with a header row.
+// Metric columns not applicable to a point's mode are left empty. The CSV
+// carries simulation results only (no wall-clock timing), so it is
+// deterministic: identical runs — serial or parallel — diff clean.
+func (rs Results) CSV() string {
+	var b strings.Builder
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," +
+		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable,error\n")
+	for _, r := range rs {
+		p := r.Point
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,",
+			p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+			p.Size, p.Hops, p.Core, p.Config.Seed)
+		switch {
+		case r.Sync != nil:
+			fmt.Fprintf(&b, "%.2f,%.2f,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
+		case r.BW != nil:
+			fmt.Fprintf(&b, ",,%.3f,%.3f,%.3f,%v,", r.BW.AppGBps, r.BW.NOCGBps,
+				r.BW.BisectionGBps, r.BW.Stable)
+		default:
+			b.WriteString(",,,,,,")
+		}
+		if r.Err != nil {
+			// RFC-4180 quoting: wrap in quotes, double embedded quotes.
+			fmt.Fprintf(&b, `"%s"`, strings.ReplaceAll(r.Err.Error(), `"`, `""`))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// resultJSON is the machine-readable per-point record emitted by JSON.
+type resultJSON struct {
+	Design    string      `json:"design"`
+	Topology  string      `json:"topology"`
+	Routing   string      `json:"routing"`
+	Mode      string      `json:"mode"`
+	SizeBytes int         `json:"size_bytes"`
+	Hops      int         `json:"hops"`
+	Core      int         `json:"core"`
+	Seed      uint64      `json:"seed"`
+	Latency   *SyncResult `json:"latency,omitempty"`
+	Bandwidth *BWResult   `json:"bandwidth,omitempty"`
+	WallMS    float64     `json:"wall_ms"`
+	Skipped   bool        `json:"skipped,omitempty"`
+	Error     string      `json:"error,omitempty"`
+}
+
+// JSON renders the results as an indented JSON array, one record per
+// point. Unlike Format and CSV, each record includes wall_ms — per-point
+// wall-clock execution time, the one field that varies between otherwise
+// identical runs.
+func (rs Results) JSON() ([]byte, error) {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		p := r.Point
+		out[i] = resultJSON{
+			Design:    p.Config.Design.String(),
+			Topology:  p.Config.Topology.String(),
+			Routing:   p.Config.Routing.String(),
+			Mode:      p.Mode.String(),
+			SizeBytes: p.Size,
+			Hops:      p.Hops,
+			Core:      p.Core,
+			Seed:      p.Config.Seed,
+			Latency:   r.Sync,
+			Bandwidth: r.BW,
+			WallMS:    float64(r.Wall.Microseconds()) / 1000,
+			Skipped:   r.Sync == nil && r.BW == nil && r.Err == nil,
+		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,331 @@
+package rackni
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sweepTestCfg is a reduced configuration so runner tests finish quickly.
+func sweepTestCfg() Config {
+	cfg := QuickConfig()
+	cfg.WindowCycles = 30_000
+	cfg.MaxCycles = 250_000
+	cfg.MeasureReqs = 8
+	cfg.WarmupRequests = 2
+	return cfg
+}
+
+func TestSweepDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := NewSweep(cfg).Points()
+	if len(pts) != 1 {
+		t.Fatalf("default sweep has %d points, want 1", len(pts))
+	}
+	p := pts[0]
+	if p.Config.Design != cfg.Design || p.Config.Topology != cfg.Topology ||
+		p.Config.Routing != cfg.Routing || p.Config.Seed != cfg.Seed {
+		t.Fatalf("default point does not inherit base config: %+v", p)
+	}
+	if p.Mode != Latency || p.Size != cfg.BlockBytes || p.Hops != cfg.DefaultHops || p.Core != measureCore {
+		t.Fatalf("default axes wrong: mode=%v size=%d hops=%d core=%d", p.Mode, p.Size, p.Hops, p.Core)
+	}
+}
+
+func TestSweepCrossProductOrder(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := NewSweep(cfg).
+		Designs(NIEdge, NISplit).
+		Hops(1, 3).
+		Sizes(64, 128).
+		Points()
+	if len(pts) != 8 {
+		t.Fatalf("got %d points, want 8", len(pts))
+	}
+	// Nesting order: Designs outermost, then Hops, then Sizes.
+	want := []struct {
+		d    Design
+		hops int
+		size int
+	}{
+		{NIEdge, 1, 64}, {NIEdge, 1, 128}, {NIEdge, 3, 64}, {NIEdge, 3, 128},
+		{NISplit, 1, 64}, {NISplit, 1, 128}, {NISplit, 3, 64}, {NISplit, 3, 128},
+	}
+	for i, w := range want {
+		p := pts[i]
+		if p.Config.Design != w.d || p.Hops != w.hops || p.Size != w.size {
+			t.Fatalf("point %d = %v/%dB@%dhops, want %v/%dB@%dhops",
+				i, p.Config.Design, p.Size, p.Hops, w.d, w.size, w.hops)
+		}
+	}
+	// Seeds become part of each point's config.
+	pts = NewSweep(cfg).Seeds(7, 9).Points()
+	if pts[0].Config.Seed != 7 || pts[1].Config.Seed != 9 {
+		t.Fatalf("seed axis not applied: %d, %d", pts[0].Config.Seed, pts[1].Config.Seed)
+	}
+	// Hop count 0 ("use the default") resolves at expansion time so point
+	// metadata reports the hop count actually simulated.
+	pts = NewSweep(cfg).Hops(0, 3).Points()
+	if pts[0].Hops != cfg.DefaultHops || pts[1].Hops != 3 {
+		t.Fatalf("hops axis: got %d,%d, want %d,3", pts[0].Hops, pts[1].Hops, cfg.DefaultHops)
+	}
+}
+
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	sweep := NewSweep(sweepTestCfg()).
+		Designs(NIEdge, NISplit).
+		Sizes(64, 256).
+		Hops(1)
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(par) != 4 {
+		t.Fatalf("point counts: serial %d, parallel %d, want 4", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Point, par[i].Point) {
+			t.Fatalf("point %d metadata differs under parallelism", i)
+		}
+		if !reflect.DeepEqual(serial[i].Sync, par[i].Sync) {
+			t.Fatalf("point %d results differ: serial %+v parallel %+v", i, serial[i].Sync, par[i].Sync)
+		}
+	}
+	if serial.Format() != par.Format() {
+		t.Fatalf("Format differs:\nserial:\n%s\nparallel:\n%s", serial.Format(), par.Format())
+	}
+	if serial.CSV() != par.CSV() {
+		t.Fatalf("CSV differs:\nserial:\n%s\nparallel:\n%s", serial.CSV(), par.CSV())
+	}
+}
+
+func TestRunnerFailFast(t *testing.T) {
+	// 96 is invalid (not a multiple of the block size); the failure must
+	// abandon the rest of the sweep instead of simulating it.
+	res, err := NewSweep(sweepTestCfg()).Sizes(96, 64, 128).Run(Options{})
+	if err == nil {
+		t.Fatal("bad point accepted")
+	}
+	if res[0].Err == nil {
+		t.Fatal("failing point's Err not recorded")
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Sync != nil || res[i].BW != nil || res[i].Err != nil {
+			t.Fatalf("point %d ran after the sweep failed: %+v", i, res[i])
+		}
+	}
+}
+
+func TestRunnerCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := NewSweep(sweepTestCfg()).Designs(NIEdge, NISplit).Run(Options{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2 (skipped)", len(res))
+	}
+	for i, r := range res {
+		if r.Sync != nil || r.BW != nil || r.Err != nil {
+			t.Fatalf("point %d not skipped cleanly: %+v", i, r)
+		}
+	}
+}
+
+func TestRunnerCancelsInFlightRun(t *testing.T) {
+	// A bandwidth run that would simulate two billion cycles (hours of wall
+	// clock) must abort within the cancellation-poll latency.
+	cfg := sweepTestCfg()
+	cfg.MaxCycles = 2_000_000_000
+	cfg.StableDelta = -1 // stability never triggers
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	res, err := NewSweep(cfg).Modes(Bandwidth).Sizes(1024).Run(Options{Context: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if wall := time.Since(t0); wall > 30*time.Second {
+		t.Fatalf("cancellation took %v, want prompt abort", wall)
+	}
+	if res[0].Sync != nil || res[0].BW != nil || res[0].Err != nil {
+		t.Fatalf("cancelled in-flight point must be marked skipped, got %+v", res[0])
+	}
+}
+
+func TestNodeContextReattach(t *testing.T) {
+	// After a run aborts on a cancelled context, a fresh context attached
+	// to the same node must arm a new watchdog (regression: the disarmed
+	// watchdog used to stay marked armed forever).
+	cfg := sweepTestCfg()
+	cfg.MaxCycles = 2_000_000_000
+	cfg.StableDelta = -1
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	cancel1()
+	n.SetContext(ctx1)
+	if _, err := n.RunBandwidth(1024); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: err = %v, want context.Canceled", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	n.SetContext(ctx2)
+	t0 := time.Now()
+	if _, err := n.RunBandwidth(1024); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second run: err = %v, want context.DeadlineExceeded", err)
+	}
+	if wall := time.Since(t0); wall > 30*time.Second {
+		t.Fatalf("reattached context not honored promptly (took %v)", wall)
+	}
+}
+
+func TestNodeContextDetach(t *testing.T) {
+	// A watchdog armed by a run that completes uncancelled leaves a pending
+	// tick in the engine; detaching the context must not panic the next
+	// run (regression: the stale tick dereferenced a nil context).
+	cfg := sweepTestCfg()
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n.SetContext(ctx)
+	if _, err := n.RunSyncLatency(64, 27); err != nil {
+		t.Fatal(err)
+	}
+	n.SetContext(nil)
+	if _, err := n.RunSyncLatency(64, 27); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerPointError(t *testing.T) {
+	// 96 is not a multiple of the 64-byte block size, so the point fails.
+	res, err := NewSweep(sweepTestCfg()).Sizes(96).Run(Options{})
+	if err == nil {
+		t.Fatal("bad point accepted")
+	}
+	if !strings.Contains(err.Error(), "point 0") {
+		t.Fatalf("error does not identify the failing point: %v", err)
+	}
+	if res[0].Err == nil {
+		t.Fatal("failing point's Err not recorded")
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	var dones []int
+	res, err := NewSweep(sweepTestCfg()).Sizes(64, 128).Run(Options{
+		Parallel: 2,
+		Progress: func(done, total int, r Result) {
+			if total != 2 {
+				t.Errorf("total = %d, want 2", total)
+			}
+			dones = append(dones, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || !reflect.DeepEqual(dones, []int{1, 2}) {
+		t.Fatalf("progress sequence %v, want [1 2]", dones)
+	}
+}
+
+func TestResultsRenderers(t *testing.T) {
+	res, err := NewSweep(sweepTestCfg()).Sizes(64).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Format(), "cycles") {
+		t.Fatalf("Format missing latency result:\n%s", res.Format())
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "design,topology,routing,mode,size_bytes,") {
+		t.Fatalf("CSV header wrong:\n%s", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row", lines)
+	}
+	blob, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"design": "NI_split"`, `"mode": "latency"`, `"latency"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, blob)
+		}
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Design
+	}{{"edge", NIEdge}, {"pertile", NIPerTile}, {"per-tile", NIPerTile}, {"split", NISplit}, {" SPLIT ", NISplit}} {
+		d, err := ParseDesign(tc.in)
+		if err != nil || d != tc.want {
+			t.Fatalf("ParseDesign(%q) = %v, %v", tc.in, d, err)
+		}
+	}
+	if _, err := ParseDesign("numa"); err == nil {
+		t.Fatal("ParseDesign accepted numa (analytic baseline, not simulable)")
+	}
+	for _, tc := range []struct {
+		in   string
+		want Topology
+	}{{"mesh", Mesh}, {"nocout", NOCOut}, {"noc-out", NOCOut}} {
+		tp, err := ParseTopology(tc.in)
+		if err != nil || tp != tc.want {
+			t.Fatalf("ParseTopology(%q) = %v, %v", tc.in, tp, err)
+		}
+	}
+	for _, tc := range []struct {
+		in   string
+		want Routing
+	}{{"xy", RoutingXY}, {"yx", RoutingYX}, {"o1turn", RoutingO1Turn}, {"cdr", RoutingCDR}, {"cdrni", RoutingCDRNI}, {"cdr+ni", RoutingCDRNI}} {
+		r, err := ParseRouting(tc.in)
+		if err != nil || r != tc.want {
+			t.Fatalf("ParseRouting(%q) = %v, %v", tc.in, r, err)
+		}
+	}
+	for _, bad := range []string{"ring", ""} {
+		if _, err := ParseRouting(bad); err == nil {
+			t.Fatalf("ParseRouting(%q) accepted", bad)
+		}
+	}
+	m, err := ParseMode("bandwidth")
+	if err != nil || m != Bandwidth {
+		t.Fatalf("ParseMode(bandwidth) = %v, %v", m, err)
+	}
+	ds, err := ParseDesigns("edge,split")
+	if err != nil || !reflect.DeepEqual(ds, []Design{NIEdge, NISplit}) {
+		t.Fatalf("ParseDesigns = %v, %v", ds, err)
+	}
+	sizes, err := ParseSizes("64, 4096")
+	if err != nil || !reflect.DeepEqual(sizes, []int{64, 4096}) {
+		t.Fatalf("ParseSizes = %v, %v", sizes, err)
+	}
+	if _, err := ParseSizes("64,-1"); err == nil {
+		t.Fatal("ParseSizes accepted a negative size")
+	}
+	hops, err := ParseHops("0,3")
+	if err != nil || !reflect.DeepEqual(hops, []int{0, 3}) {
+		t.Fatalf("ParseHops = %v, %v", hops, err)
+	}
+	if _, err := ParseHops("-2"); err == nil {
+		t.Fatal("ParseHops accepted a negative hop count")
+	}
+}
