@@ -11,6 +11,8 @@
 //	racksim -design edge,pertile,split -size 64,1024,16384 -parallel 8
 //	racksim -routing xy,cdrni -mode bandwidth -size 4096 -csv
 //	racksim -design split -topology mesh,nocout -size 2048 -json
+//	racksim -workload kv,pointerchase -design edge,split -quick
+//	racksim -workload kv -quick    # single point: per-core p50/p95/p99 table
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"rackni"
@@ -30,9 +33,10 @@ func main() {
 	topo := flag.String("topology", "mesh", "on-chip topology(s): mesh|nocout, comma-separated")
 	routing := flag.String("routing", "cdrni", "mesh routing(s): xy|yx|o1turn|cdr|cdrni, comma-separated")
 	mode := flag.String("mode", "latency", "microbenchmark(s): latency|bandwidth, comma-separated")
-	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated")
+	workload := flag.String("workload", "", "closed-loop scenario(s): "+strings.Join(rackni.Scenarios(), "|")+", comma-separated (replaces -mode unless both are given)")
+	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated (microbenchmark modes; -workload scenarios define their own sizes)")
 	hops := flag.String("hops", "1", "one-way intra-rack hop count(s), comma-separated")
-	core := flag.String("core", "27", "issuing core(s) (latency mode), comma-separated")
+	core := flag.String("core", "27", "issuing core(s) (latency mode; -workload scenarios define their own cores), comma-separated")
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	quick := flag.Bool("quick", false, "short stabilization windows")
 	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
@@ -59,9 +63,34 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	modes, err := rackni.ParseModes(*mode)
-	if err != nil {
-		fatalf("%v", err)
+	// -workload replaces the default latency microbenchmark; passing -mode
+	// explicitly alongside it runs both kinds of points.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	modeSet := explicit["mode"]
+	if *workload != "" && !modeSet {
+		// Scenario points take their sizes and participating cores from the
+		// library, not these axes; only microbenchmark points use them.
+		// Warn rather than silently ignore.
+		for _, name := range []string{"size", "core"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "racksim: note: -%s applies to microbenchmark modes only; -workload scenarios define their own\n", name)
+			}
+		}
+	}
+	var modes []rackni.Mode
+	if *workload == "" || modeSet {
+		modes, err = rackni.ParseModes(*mode)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	var scenarios []string
+	if *workload != "" {
+		scenarios, err = rackni.ParseScenarios(*workload)
+		if err != nil {
+			fatalf("%v", err)
+		}
 	}
 	sizes, err := rackni.ParseSizes(*size)
 	if err != nil {
@@ -85,6 +114,7 @@ func main() {
 		Topologies(topos...).
 		Routings(routings...).
 		Modes(modes...).
+		Workloads(scenarios...).
 		Sizes(sizes...).
 		Hops(hopList...).
 		Seeds(seeds...).
@@ -137,6 +167,20 @@ func main() {
 			b.WQWrite, b.WQRead, b.Dispatch, b.Generate)
 		fmt.Printf("  net out %.0f | remote %.0f | net back %.0f\n", b.NetOut, b.Remote, b.NetBack)
 		fmt.Printf("  complete %.0f | CQ write %.0f | CQ read %.0f\n", b.Complete, b.CQWrite, b.CQRead)
+	case len(results) == 1 && results[0].WL != nil:
+		// Single workload point: add the per-core breakdown.
+		r := results[0]
+		wl := r.WL
+		fmt.Printf("%v %v %s @%d hop(s): %d ops in %d cycles, mean %.0f cyc, p50/p95/p99 %d/%d/%d cyc, drained=%v\n",
+			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Scenario,
+			r.Point.Hops, wl.Completed, wl.Cycles, wl.MeanLatency,
+			wl.P50, wl.P95, wl.P99, wl.AllExhausted)
+		fmt.Printf("  %4s %9s %9s %10s %8s %8s %8s\n",
+			"core", "issued", "done", "mean(cyc)", "p50", "p95", "p99")
+		for _, c := range wl.PerCore {
+			fmt.Printf("  %4d %9d %9d %10.0f %8d %8d %8d\n",
+				c.Core, c.Issued, c.Completed, c.MeanLatency, c.P50, c.P95, c.P99)
+		}
 	case len(results) == 1 && results[0].BW != nil:
 		// Single bandwidth point: keep the detailed single-run output.
 		r := results[0]

@@ -1,9 +1,10 @@
 // Quickstart: sweep the paper's three NI designs across two transfer sizes
-// with the declarative Sweep/Runner API, running points in parallel, then
-// print the structured results — the "hello world" of the library.
+// and a closed-loop scenario with the declarative Sweep/Runner API, running
+// points in parallel, then print the structured results — the "hello
+// world" of the library.
 //
-// For a single hand-built simulation, NewNode + RunSyncLatency remain
-// available (see the other examples).
+// For a single hand-built simulation, NewNode + RunSyncLatency / RunApp
+// remain available (see the other examples).
 package main
 
 import (
@@ -18,9 +19,14 @@ func main() {
 	cfg := rackni.QuickConfig() // short windows; DefaultConfig() for paper fidelity
 
 	// The cross product of every axis becomes one independent simulation
-	// point: 3 designs x 2 sizes = 6 points, run on one worker per core.
+	// point: 3 designs x (2 latency sizes + 1 workload scenario) = 9
+	// points, run on one worker per CPU. The "kv" workload is a v2
+	// closed-loop scenario; its rows report mean and p50/p95/p99 tail
+	// latency from deterministic fixed-bucket histograms.
 	results, err := rackni.NewSweep(cfg).
 		Designs(rackni.NIEdge, rackni.NIPerTile, rackni.NISplit).
+		Modes(rackni.Latency).
+		Workloads("kv").
 		Sizes(64, 4096).
 		Run(rackni.Options{Parallel: runtime.NumCPU()})
 	if err != nil {
@@ -31,8 +37,12 @@ func main() {
 
 	// Results are ordered like the sweep's cross product, so positional
 	// access is deterministic; each result carries its full Point metadata.
-	best := results[len(results)-1]
-	fmt.Printf("\n%v at %dB: %.0f cycles = %.0f ns\n",
-		best.Point.Config.Design, best.Point.Size,
-		best.Sync.MeanCycles, best.Sync.MeanNS)
+	for _, r := range results {
+		if r.WL != nil && r.Point.Config.Design == rackni.NISplit {
+			fmt.Printf("\n%v kv clients: p99 GET %d cycles (%.0f ns) over %d GETs\n",
+				r.Point.Config.Design, r.WL.P99,
+				float64(r.WL.P99)*cfg.NsPerCycle(), r.WL.Completed)
+			break
+		}
+	}
 }

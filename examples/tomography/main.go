@@ -1,6 +1,10 @@
 // Latency tomography: reproduce the paper's Table 3 view interactively —
 // where every cycle of a one-sided remote read goes, for each NI design —
-// and project it across the rack with Fig. 5's methodology.
+// project it across the rack with Fig. 5's methodology, and show how
+// dependent reads stack those anatomies end to end: a k-deep pointer chase
+// (v2 closed-loop PointerChase scenario) costs ~k times the single read,
+// which is exactly why remote-access latency is the paper's headline
+// metric.
 package main
 
 import (
@@ -9,6 +13,8 @@ import (
 
 	"rackni"
 )
+
+const chaseDepth = 8
 
 func main() {
 	cfg := rackni.QuickConfig()
@@ -31,4 +37,27 @@ func main() {
 		fmt.Printf("  %2d hops: NUMA %4.0f ns | split %4.0f ns (+%.1f%%) | edge %4.0f ns (+%.1f%%)\n",
 			p.Hops, p.NUMANS, p.SplitNS, p.SplitOverPct, p.EdgeNS, p.EdgeOverPct)
 	}
+
+	// Dependent reads stack the whole anatomy serially: a chase can never
+	// overlap its own reads, so chase latency ~= depth x single read.
+	cfg.Design = rackni.NISplit
+	n, err := rackni.NewNode(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chase := rackni.NewPointerChase(chaseDepth, 24, 64, 1<<16, cfg.Seed)
+	res, err := n.RunApp(func(core int) rackni.App {
+		if core != 27 {
+			return nil
+		}
+		return chase
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns := cfg.NsPerCycle()
+	fmt.Printf("\nDependent reads (NIsplit, %d-deep pointer chase):\n", chaseDepth)
+	fmt.Printf("  single read %4.0f ns | %d-deep chase %5.0f ns (%.2fx the single read, depth %d)\n",
+		res.MeanLatency*ns, chaseDepth, chase.ChaseLat.Mean()*ns,
+		chase.ChaseLat.Mean()/res.MeanLatency, chaseDepth)
 }

@@ -79,12 +79,25 @@ type Stats struct {
 	Done func(*Request)
 }
 
+// statsSampleCap is the raw-sample reservoir of the latency accumulators.
+const statsSampleCap = 4096
+
 // NewStats builds the stats sink.
 func NewStats() *Stats {
-	return &Stats{
-		ReqLat:  stats.NewLatencyAccum(4096),
-		RRPPLat: stats.NewLatencyAccum(4096),
-	}
+	s := &Stats{}
+	s.Reset()
+	return s
+}
+
+// Reset zeroes the counters and replaces the accumulators, so a run on a
+// reused node reports per-run statistics. Components reach the sink only
+// through the shared *Stats at event time, so swapping the accumulators is
+// safe between runs; the Done observer is preserved. On a fresh node Reset
+// is a no-op.
+func (s *Stats) Reset() {
+	s.RCPBytes, s.RRPPBytes, s.Completed = 0, 0, 0
+	s.ReqLat = stats.NewLatencyAccum(statsSampleCap)
+	s.RRPPLat = stats.NewLatencyAccum(statsSampleCap)
 }
 
 // QPCache abstracts the NI cache an RGP/RCP frontend uses for its QP

@@ -66,6 +66,7 @@ type Request struct {
 	RemoteAddr uint64
 	LocalAddr  uint64
 	Size       int
+	Tag        uint64 // application-chosen identifier, echoed at completion
 
 	T Times
 

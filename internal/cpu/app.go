@@ -1,0 +1,421 @@
+// The v2 application API: closed-loop workloads as completion-driven state
+// machines. The v1 Workload interface is a blind open-loop script — Next
+// can never observe a completion, so dependent pointer chases,
+// scatter-gather fan-outs, think-time clients and bounded-window streaming
+// are inexpressible with it. Under v2 the driver delivers every retirement
+// to the application (OnComplete) and asks it for its next action (Issue,
+// Wait, Think, Done), so applications choose what to do with full knowledge
+// of what has completed. v1 workloads keep running through Legacy, whose
+// driver discipline is bit-identical to the old open-loop driver.
+package cpu
+
+import (
+	"fmt"
+
+	"rackni/internal/coherence"
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/sim"
+	"rackni/internal/stats"
+)
+
+// Request is one application-level one-sided operation in the v2 API. Tag
+// is a caller-chosen identifier echoed back in OnComplete, for matching
+// completions to application state (e.g. which partition of a
+// scatter-gather fan-out answered).
+type Request struct {
+	Op     rmc.Op
+	Remote uint64
+	Local  uint64
+	Size   int
+	Tag    uint64
+}
+
+// actionKind discriminates the App's possible next moves.
+type actionKind uint8
+
+const (
+	// The zero actionKind is deliberately invalid so a zero Action{} from
+	// a buggy app hits the driver's error branch instead of issuing a
+	// zero-valued request.
+	actIssue actionKind = iota + 1
+	actWait
+	actThink
+	actDone
+)
+
+// Action is an App's answer to Step: what the core should do next. Build
+// actions with Issue, Wait, Think and Done.
+type Action struct {
+	kind  actionKind
+	req   Request
+	think int64
+}
+
+// Issue asks the driver to issue req. The request is a commitment: if the
+// WQ is full the driver blocks on the CQ and issues it as soon as space
+// frees up; the app is not asked again until the request is published.
+func Issue(req Request) Action { return Action{kind: actIssue, req: req} }
+
+// Wait blocks the core on its CQ until at least one in-flight request
+// completes (delivered through OnComplete), then asks the app again.
+// Waiting with nothing in flight is a deadlock; the driver stops the core
+// and reports it as an error.
+func Wait() Action { return Action{kind: actWait} }
+
+// Think idles the core for the given number of cycles — per-request service
+// time, inter-arrival gaps of a closed-loop client — then asks the app
+// again. Completions arriving during think time are delivered when the core
+// next polls. Non-positive durations count as one cycle.
+func Think(cycles int64) Action { return Action{kind: actThink, think: cycles} }
+
+// Done declares the workload exhausted. The driver drains in-flight
+// requests (their OnComplete calls still arrive), then parks the core.
+func Done() Action { return Action{kind: actDone} }
+
+// App is the v2 workload contract: a closed-loop state machine driven by
+// its core. The driver calls Step whenever the core is free to act — at
+// start, after each issue is published, after completions are delivered,
+// and after think time elapses — and delivers every retirement through
+// OnComplete (in retirement order, before the next Step). Apps are
+// per-core and single-threaded; determinism requires only that an App be
+// deterministic given its construction parameters.
+type App interface {
+	// Step returns the core's next action. now is the current cycle;
+	// inflight is the core's outstanding request count.
+	Step(coreID int, now int64, inflight int) Action
+	// OnComplete delivers one retired request with its issue and
+	// completion cycles.
+	OnComplete(coreID int, req Request, issuedCycle, doneCycle int64)
+}
+
+// legacyApp adapts a v1 open-loop Workload to the App contract: always
+// issue the next scripted operation, never wait, stop when the script
+// ends. On the driver's open-loop discipline this reproduces the old
+// async driver's event sequence bit for bit (equivalence-tested in
+// internal/node).
+type legacyApp struct {
+	wl   Workload
+	seq  uint64
+	done bool
+}
+
+// Legacy adapts a v1 Workload to the v2 App contract.
+func Legacy(wl Workload) App { return &legacyApp{wl: wl} }
+
+func (l *legacyApp) Step(coreID int, now int64, inflight int) Action {
+	if l.done {
+		return Done()
+	}
+	op, remote, local, size, ok := l.wl.Next(coreID, l.seq)
+	if !ok {
+		l.done = true
+		return Done()
+	}
+	l.seq++
+	return Issue(Request{Op: op, Remote: remote, Local: local, Size: size})
+}
+
+func (l *legacyApp) OnComplete(int, Request, int64, int64) {}
+
+// AppDriver is one core running a v2 App against its queue pair. Its issue
+// and poll machinery mirrors the open-loop Driver's async discipline —
+// WQWriteExec cycles to build an entry, a non-blocking CQ check every
+// PollEvery issues, CQReadExec cycles per consumed completion — so legacy
+// workloads behave identically; the difference is that the App, not the
+// driver, decides what happens after every publish and every retirement.
+type AppDriver struct {
+	eng   *sim.Engine
+	cfg   *config.Config
+	id    int
+	agent *coherence.Agent
+	qp    *rmc.QueuePair
+	stats *rmc.Stats
+	app   App
+
+	// PollEvery controls how often the issue loop checks the CQ between
+	// consecutive enqueues ("occasionally polling", §5).
+	PollEvery int
+
+	seq       uint64
+	issued    uint64
+	completed uint64
+	sincePoll int
+	stopped   bool
+	err       error
+
+	// pending is a committed Issue waiting for WQ space (the driver spins
+	// on the CQ until a slot frees, then publishes it).
+	pending *rmc.Request
+
+	// Hist accumulates this core's request latencies (count, mean,
+	// percentiles); it uses the shared latency shape so per-core
+	// histograms merge into node totals.
+	Hist *stats.Histogram
+
+	// Prebuilt callbacks so the steady-state loops schedule no new
+	// closures beyond the two per issue the coherent publish needs.
+	stepFn      func()
+	resumeFn    func()
+	spinFn      func()
+	spinDoneFn  func()
+	afterIssue  func()
+	pollDoneFn  func()
+	drainFn     func()
+	drainDoneFn func()
+
+	// retireBuf is the driver-owned copy of an in-flight retirement batch
+	// (PopCQ's return aliases the QP's reused buffer).
+	retireBuf []*rmc.Request
+
+	// OnIdle fires once the app is done and all in-flight requests have
+	// drained (or the app deadlocked; see Err).
+	OnIdle func()
+}
+
+// NewAppDriver builds a v2 driver for core id.
+func NewAppDriver(eng *sim.Engine, cfg *config.Config, id int, agent *coherence.Agent,
+	qp *rmc.QueuePair, st *rmc.Stats, app App) *AppDriver {
+	d := &AppDriver{
+		eng: eng, cfg: cfg, id: id, agent: agent, qp: qp, stats: st,
+		app: app, PollEvery: 4,
+		Hist: stats.NewLatencyHistogram(),
+	}
+	d.stepFn = d.step
+	d.resumeFn = d.resume
+	d.spinFn = d.spin
+	d.spinDoneFn = d.onSpinRead
+	d.afterIssue = d.onAfterIssue
+	d.pollDoneFn = d.onPollRead
+	d.drainFn = d.drain
+	d.drainDoneFn = d.onDrainRead
+	return d
+}
+
+// Start launches the core's loop.
+func (d *AppDriver) Start() { d.eng.Schedule(0, d.stepFn) }
+
+// Stop silences the driver: every queued callback of its issue/poll/drain
+// chains returns without touching the queue pair, the stats sink or the
+// app, so a stopped driver from a cut-short run cannot corrupt a later
+// run on the same node. In-flight requests are abandoned to the engine.
+func (d *AppDriver) Stop() { d.stopped = true }
+
+// ID returns the driver's core index.
+func (d *AppDriver) ID() int { return d.id }
+
+// Completed returns the number of retired requests.
+func (d *AppDriver) Completed() uint64 { return d.completed }
+
+// Issued returns the number of published requests.
+func (d *AppDriver) Issued() uint64 { return d.issued }
+
+// Err reports a contract violation by the app (waiting with nothing in
+// flight), or nil.
+func (d *AppDriver) Err() error { return d.err }
+
+// step consults the app for the core's next action.
+func (d *AppDriver) step() {
+	if d.stopped {
+		return
+	}
+	act := d.app.Step(d.id, d.eng.Now(), d.qp.InFlight())
+	switch act.kind {
+	case actIssue:
+		d.seq++
+		d.pending = &rmc.Request{
+			ID:         uint64(d.id)<<32 | d.seq,
+			Core:       d.id,
+			Op:         act.req.Op,
+			RemoteAddr: act.req.Remote,
+			LocalAddr:  act.req.Local,
+			Size:       act.req.Size,
+			Tag:        act.req.Tag,
+		}
+		if d.qp.Full() {
+			d.spin() // publish the commitment once a slot frees
+			return
+		}
+		d.issuePending(d.afterIssue)
+	case actWait:
+		if d.qp.InFlight() == 0 {
+			d.err = fmt.Errorf("cpu: core %d app waits with no requests in flight", d.id)
+			d.finish()
+			return
+		}
+		d.spin()
+	case actThink:
+		t := act.think
+		if t < 1 {
+			t = 1
+		}
+		d.eng.Schedule(t, d.stepFn)
+	case actDone:
+		if d.qp.InFlight() > 0 {
+			d.drain()
+			return
+		}
+		d.finish()
+	default:
+		d.err = fmt.Errorf("cpu: core %d app returned an invalid action", d.id)
+		d.finish()
+	}
+}
+
+// The d.stopped guards at the head of every callback below are inert
+// during a live run (a driver stops only when it finishes or the run
+// tears it down, after which it schedules nothing for itself) — they
+// exist so callbacks still queued in the engine when a run is cut short
+// by maxCycles or cancellation die silently instead of mutating the
+// queue pair, stats or app under a later run on the same node.
+
+// issuePending publishes the committed request: WQWriteExec cycles of
+// instructions plus the coherent store.
+func (d *AppDriver) issuePending(then func()) {
+	r := d.pending
+	d.pending = nil
+	r.T.IssueStart = d.eng.Now()
+	d.eng.Schedule(int64(d.cfg.WQWriteExec), func() {
+		if d.stopped {
+			return
+		}
+		d.agent.Write(d.qp.WQHeadAddr(), func() {
+			if d.stopped {
+				return
+			}
+			r.T.WQWritten = d.eng.Now()
+			d.qp.PushWQ(r)
+			d.issued++
+			then()
+		})
+	})
+}
+
+// onAfterIssue continues after one publish: occasionally poll the CQ,
+// otherwise ask the app again.
+func (d *AppDriver) onAfterIssue() {
+	if d.stopped {
+		return
+	}
+	d.sincePoll++
+	if d.sincePoll >= d.PollEvery {
+		d.sincePoll = 0
+		d.agent.Read(d.qp.CQTailAddr(), d.pollDoneFn)
+		return
+	}
+	d.step()
+}
+
+// onPollRead handles a non-blocking poll's read completion.
+func (d *AppDriver) onPollRead() {
+	if d.stopped {
+		return
+	}
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		d.step()
+		return
+	}
+	d.retire(done, d.resumeFn)
+}
+
+// spin polls the CQ until at least one completion is consumed.
+func (d *AppDriver) spin() {
+	if d.stopped {
+		return
+	}
+	d.agent.Read(d.qp.CQTailAddr(), d.spinDoneFn)
+}
+
+// onSpinRead handles a spin read completion.
+func (d *AppDriver) onSpinRead() {
+	if d.stopped {
+		return
+	}
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		d.eng.Schedule(int64(d.cfg.PollPeriod), d.spinFn)
+		return
+	}
+	d.retire(done, d.resumeFn)
+}
+
+// resume continues after a retirement: publish a committed request first,
+// otherwise ask the app.
+func (d *AppDriver) resume() {
+	if d.stopped {
+		return
+	}
+	if d.pending != nil {
+		if d.qp.Full() {
+			d.spin()
+			return
+		}
+		d.issuePending(d.afterIssue)
+		return
+	}
+	d.step()
+}
+
+// drain consumes remaining completions after the app is done, then parks.
+func (d *AppDriver) drain() {
+	if d.stopped {
+		return
+	}
+	if d.qp.InFlight() == 0 {
+		d.finish()
+		return
+	}
+	d.agent.Read(d.qp.CQTailAddr(), d.drainDoneFn)
+}
+
+// onDrainRead handles a drain read completion.
+func (d *AppDriver) onDrainRead() {
+	if d.stopped {
+		return
+	}
+	done := d.qp.PopCQ()
+	if len(done) == 0 {
+		d.eng.Schedule(int64(d.cfg.PollPeriod), d.drainFn)
+		return
+	}
+	d.retire(done, d.drainFn)
+}
+
+// finish parks the core and reports idle.
+func (d *AppDriver) finish() {
+	d.stopped = true
+	if d.OnIdle != nil {
+		d.OnIdle()
+	}
+}
+
+// retire consumes completions, charging CQReadExec cycles per entry, then
+// delivers them to the app and continues with then.
+func (d *AppDriver) retire(popped []*rmc.Request, then func()) {
+	done := append(d.retireBuf[:0], popped...)
+	d.retireBuf = done
+	cost := int64(len(done)) * int64(d.cfg.CQReadExec)
+	d.eng.Schedule(cost, func() {
+		if d.stopped {
+			return
+		}
+		now := d.eng.Now()
+		for _, r := range done {
+			r.T.Done = now
+			d.completed++
+			d.stats.Completed++
+			lat := now - r.T.IssueStart
+			d.stats.ReqLat.Add(lat)
+			d.Hist.Add(lat)
+			if d.stats.Done != nil {
+				d.stats.Done(r)
+			}
+			d.app.OnComplete(d.id, Request{
+				Op: r.Op, Remote: r.RemoteAddr, Local: r.LocalAddr,
+				Size: r.Size, Tag: r.Tag,
+			}, r.T.IssueStart, now)
+		}
+		then()
+	})
+}

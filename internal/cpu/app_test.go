@@ -1,0 +1,85 @@
+package cpu
+
+import (
+	"testing"
+
+	rmc "rackni/internal/core"
+)
+
+// scriptWL is a minimal v1 workload for adapter tests.
+type scriptWL struct{ n int }
+
+func (s scriptWL) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if int(seq) >= s.n {
+		return 0, 0, 0, 0, false
+	}
+	return rmc.OpRead, 0x1000 + seq*64, 0x2000 + seq*64, 64, true
+}
+
+// TestLegacyAdapterStepSequence: the adapter replays the script as Issue
+// actions in order, then Done — and keeps answering Done once exhausted.
+func TestLegacyAdapterStepSequence(t *testing.T) {
+	app := Legacy(scriptWL{n: 3})
+	for i := 0; i < 3; i++ {
+		act := app.Step(5, int64(i), 0)
+		if act.kind != actIssue {
+			t.Fatalf("step %d: kind %d, want issue", i, act.kind)
+		}
+		if act.req.Remote != 0x1000+uint64(i)*64 || act.req.Size != 64 || act.req.Op != rmc.OpRead {
+			t.Fatalf("step %d: wrong request %+v", i, act.req)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if act := app.Step(5, 100, 0); act.kind != actDone {
+			t.Fatalf("exhausted adapter returned kind %d, want done", act.kind)
+		}
+	}
+}
+
+// TestLegacyAdapterPassesCoreID: the adapter forwards the driver's coreID
+// to Next (workloads may place buffers by it).
+func TestLegacyAdapterPassesCoreID(t *testing.T) {
+	seen := -1
+	app := Legacy(workloadFunc(func(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+		seen = coreID
+		return 0, 0, 0, 0, false
+	}))
+	app.Step(42, 0, 0)
+	if seen != 42 {
+		t.Fatalf("Next saw coreID %d, want 42", seen)
+	}
+}
+
+type workloadFunc func(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool)
+
+func (f workloadFunc) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	return f(coreID, seq)
+}
+
+// TestActionConstructors: the action builders carry their payloads.
+func TestActionConstructors(t *testing.T) {
+	r := Request{Op: rmc.OpWrite, Remote: 1, Local: 2, Size: 64, Tag: 9}
+	if a := Issue(r); a.kind != actIssue || a.req != r {
+		t.Fatalf("Issue: %+v", a)
+	}
+	if a := Wait(); a.kind != actWait {
+		t.Fatalf("Wait: %+v", a)
+	}
+	if a := Think(70); a.kind != actThink || a.think != 70 {
+		t.Fatalf("Think: %+v", a)
+	}
+	if a := Done(); a.kind != actDone {
+		t.Fatalf("Done: %+v", a)
+	}
+}
+
+// TestZeroActionIsInvalid: the zero Action must not decode as Issue — a
+// buggy app returning Action{} gets the invalid-action error branch.
+func TestZeroActionIsInvalid(t *testing.T) {
+	var zero Action
+	for _, a := range []Action{Issue(Request{}), Wait(), Think(1), Done()} {
+		if a.kind == zero.kind {
+			t.Fatalf("constructor produced the zero action kind %d", a.kind)
+		}
+	}
+}

@@ -139,7 +139,12 @@ func (d *Driver) Start() {
 	d.eng.Schedule(0, d.stepFn)
 }
 
-// Stop makes the driver stop issuing new requests (in-flight ones finish).
+// Stop makes the driver stop issuing new requests (in-flight ones
+// finish). A stopped driver's queued callbacks die silently — each checks
+// d.stopped on entry — so a driver abandoned by a cut-short run cannot
+// touch the queue pair or stats under a later run on the same node. The
+// guards are inert during a live run: a driver only stops when it
+// finishes or the run ends, after which it schedules nothing for itself.
 func (d *Driver) Stop() { d.stopped = true }
 
 // Completed returns the number of retired requests.
@@ -167,6 +172,9 @@ func (d *Driver) step() {
 // afterIssue continues the async loop after one enqueue: occasionally poll
 // the CQ, otherwise issue again.
 func (d *Driver) afterIssue() {
+	if d.stopped {
+		return
+	}
 	d.sincePoll++
 	if d.sincePoll >= d.PollEvery {
 		d.sincePoll = 0
@@ -202,7 +210,13 @@ func (d *Driver) issueOne(then func()) {
 	}
 	r.T.IssueStart = d.eng.Now()
 	d.eng.Schedule(int64(d.cfg.WQWriteExec), func() {
+		if d.stopped {
+			return
+		}
 		d.agent.Write(d.qp.WQHeadAddr(), func() {
+			if d.stopped {
+				return
+			}
 			r.T.WQWritten = d.eng.Now()
 			d.qp.PushWQ(r)
 			d.issued++
@@ -214,6 +228,9 @@ func (d *Driver) issueOne(then func()) {
 // spinCQ polls the CQ until at least one completion is consumed; sync mode
 // then loops back to issue, async mode resumes enqueueing.
 func (d *Driver) spinCQ(syncNext bool) {
+	if d.stopped {
+		return
+	}
 	if syncNext {
 		d.agent.Read(d.qp.CQTailAddr(), d.spinSyncDone)
 	} else {
@@ -223,6 +240,9 @@ func (d *Driver) spinCQ(syncNext bool) {
 
 // onSpinRead handles a spinCQ read completion.
 func (d *Driver) onSpinRead(syncNext bool) {
+	if d.stopped {
+		return
+	}
 	done := d.qp.PopCQ()
 	if len(done) == 0 {
 		if syncNext {
@@ -237,6 +257,9 @@ func (d *Driver) onSpinRead(syncNext bool) {
 
 // onPollRead handles a non-blocking poll's read completion.
 func (d *Driver) onPollRead() {
+	if d.stopped {
+		return
+	}
 	done := d.qp.PopCQ()
 	if len(done) == 0 {
 		d.step()
@@ -248,6 +271,9 @@ func (d *Driver) onPollRead() {
 // drain consumes remaining completions after the workload is exhausted,
 // then reports idle.
 func (d *Driver) drain() {
+	if d.stopped {
+		return
+	}
 	if d.qp.InFlight() == 0 {
 		d.stopped = true
 		if d.OnIdle != nil {
@@ -260,6 +286,9 @@ func (d *Driver) drain() {
 
 // onDrainRead handles a drain read completion.
 func (d *Driver) onDrainRead() {
+	if d.stopped {
+		return
+	}
 	done := d.qp.PopCQ()
 	if len(done) == 0 {
 		d.eng.Schedule(int64(d.cfg.PollPeriod), d.drainFn)
@@ -276,6 +305,9 @@ func (d *Driver) retire(popped []*rmc.Request, then func()) {
 	d.retireBuf = done
 	cost := int64(len(done)) * int64(d.cfg.CQReadExec)
 	d.eng.Schedule(cost, func() {
+		if d.stopped {
+			return
+		}
 		now := d.eng.Now()
 		for _, r := range done {
 			r.T.Done = now

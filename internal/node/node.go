@@ -62,6 +62,7 @@ type Node struct {
 	EdgeCaches []*coherence.Agent // NIedge only: one NI cache per row
 	QPs        []*rmc.QueuePair
 	Drivers    []*cpu.Driver
+	AppDrivers []*cpu.AppDriver
 
 	RGPBackends []*rmc.RGPBackend
 	RRPPs       []*rmc.RRPP

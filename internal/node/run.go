@@ -81,10 +81,43 @@ func (n *Node) ctxErr() error {
 	return nil
 }
 
+// stopStaleDrivers silences every driver a previous run on this node left
+// behind, so callbacks still queued in the engine after a cut-short run
+// cannot issue into the queue pairs or mutate the stats under the next
+// run. No-op on a fresh node.
+func (n *Node) stopStaleDrivers() {
+	for _, d := range n.Drivers {
+		d.Stop()
+	}
+	for _, d := range n.AppDrivers {
+		d.Stop()
+	}
+}
+
+// refuseInFlight errors if a previous cut-short run left requests in the
+// RMC pipelines: they cannot be recalled, and their completions would
+// interleave with a measurement run's. No-op on a fresh or drained node.
+func (n *Node) refuseInFlight() error {
+	for c, qp := range n.QPs {
+		if qp.InFlight() > 0 {
+			return fmt.Errorf(
+				"node: core %d still has %d in-flight requests from a cut-short previous run; use a fresh node", c, qp.InFlight())
+		}
+	}
+	return nil
+}
+
 // RunSyncLatency runs the unloaded latency microbenchmark (§5): one core
 // issues synchronous remote reads of the given size; warmup requests are
 // discarded. The issuing core defaults to a centrally located tile.
+// Statistics and the cycle budget are per-run on a reused node.
 func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
+	n.stopStaleDrivers()
+	if err := n.refuseInFlight(); err != nil {
+		return SyncResult{}, err
+	}
+	n.Stats.Reset()
+	start := n.Eng.Now()
 	cfg := n.Cfg
 	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
 	wl := cpu.NewUniformReads(size,
@@ -97,7 +130,7 @@ func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
 	d.OnIdle = func() { finished = true; n.Eng.Stop() }
 	d.Start()
 	n.watchCancel()
-	n.Eng.Run(cfg.MaxCycles)
+	n.Eng.Run(start + cfg.MaxCycles)
 	if err := n.ctxErr(); err != nil {
 		return SyncResult{}, err
 	}
@@ -167,8 +200,15 @@ type BWResult struct {
 
 // RunBandwidth runs the asynchronous bandwidth microbenchmark (§5): all
 // cores issue async remote reads of the given size, WQ depth 128, until
-// the windowed application bandwidth stabilizes (or MaxCycles).
+// the windowed application bandwidth stabilizes (or MaxCycles). On a
+// reused node, statistics and the cycle budget are per-run; in-flight
+// remnants of a cut-short previous run are tolerated (rather than
+// refused) because the monitor re-baselines after the warmup window, so
+// stale completions perturb only the warmup.
 func (n *Node) RunBandwidth(size int) (BWResult, error) {
+	n.stopStaleDrivers()
+	n.Stats.Reset()
+	start := n.Eng.Now()
 	cfg := n.Cfg
 	tiles := cfg.Tiles()
 	n.Drivers = n.Drivers[:0]
@@ -211,7 +251,7 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 		n.Eng.Schedule(cfg.WindowCycles, tick)
 	})
 	n.watchCancel()
-	n.Eng.Run(cfg.MaxCycles)
+	n.Eng.Run(start + cfg.MaxCycles)
 	for _, d := range n.Drivers {
 		d.Stop()
 	}
@@ -225,7 +265,7 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 	ghz := cfg.ClockGHz
 	res := BWResult{
 		AppGBps:   stats.GBps(mon.BytesPerCycle(), ghz),
-		Cycles:    n.Eng.Now(),
+		Cycles:    n.Eng.Now() - start,
 		Stable:    stable,
 		Completed: n.Stats.Completed,
 	}
@@ -240,30 +280,64 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 	return res, nil
 }
 
-// WorkloadResult summarizes a custom workload run (RunWorkload).
+// CoreStats is one core's slice of a workload run.
+type CoreStats struct {
+	Core        int
+	Issued      int64
+	Completed   int64
+	MeanLatency float64 // cycles per completed request
+	P50         int64   // request latency percentiles, in cycles
+	P95         int64
+	P99         int64
+}
+
+// WorkloadResult summarizes a workload run (RunApp / RunWorkload).
+// Percentiles come from deterministic fixed-bucket histograms — never
+// sampled, exact to one 16-cycle bucket within the 64 Ki-cycle bucketed
+// range (latencies beyond it report the observed maximum) — so the p99 of
+// a million-request run is trustworthy: the metric that matters for
+// soNUMA-class remote access.
 type WorkloadResult struct {
 	Completed    int64
 	Cycles       int64
 	MeanLatency  float64 // cycles per completed request
-	AppBytes     int64   // RCP-written plus RRPP-sent payload bytes
-	AllExhausted bool    // every driver finished its workload
+	P50          int64   // request latency percentiles, in cycles
+	P95          int64
+	P99          int64
+	AppBytes     int64 // RCP-written plus RRPP-sent payload bytes
+	AllExhausted bool  // every driver finished its workload and drained
+	PerCore      []CoreStats
 }
 
-// RunWorkload drives every core whose factory returns a non-nil workload,
-// asynchronously, until all drivers finish (including draining in-flight
-// requests) or maxCycles elapse.
-func (n *Node) RunWorkload(factory func(core int) cpu.Workload, maxCycles int64) (WorkloadResult, error) {
+// RunApp drives every core whose factory returns a non-nil v2 App as a
+// closed-loop state machine, until all drivers finish (including draining
+// in-flight requests) or maxCycles elapse. A run stopped by maxCycles
+// returns partial statistics with AllExhausted=false. An app that violates
+// the contract (waiting with nothing in flight) fails the run. Statistics
+// are per-run: the node's Stats sink is reset at the start, so results on
+// a reused node cover this run only (matching the per-run percentiles).
+func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (WorkloadResult, error) {
 	if maxCycles <= 0 {
 		maxCycles = n.Cfg.MaxCycles
 	}
+	// On a reused node the engine clock keeps running across runs: budget
+	// and reported cycles are relative to this run's start (both no-ops on
+	// a fresh node, preserving the legacy driver's bit-identical results).
+	start := n.Eng.Now()
+	n.stopStaleDrivers()
+	if err := n.refuseInFlight(); err != nil {
+		return WorkloadResult{}, err
+	}
+	n.Stats.Reset()
 	n.Drivers = n.Drivers[:0]
+	n.AppDrivers = n.AppDrivers[:0]
 	active := 0
 	for c := 0; c < n.Cfg.Tiles(); c++ {
-		wl := factory(c)
-		if wl == nil {
+		app := factory(c)
+		if app == nil {
 			continue
 		}
-		d := cpu.NewDriver(n.Eng, n.Cfg, c, n.Agents[c], n.QPs[c], n.Stats, wl, cpu.Async)
+		d := cpu.NewAppDriver(n.Eng, n.Cfg, c, n.Agents[c], n.QPs[c], n.Stats, app)
 		active++
 		d.OnIdle = func() {
 			active--
@@ -271,23 +345,66 @@ func (n *Node) RunWorkload(factory func(core int) cpu.Workload, maxCycles int64)
 				n.Eng.Stop()
 			}
 		}
-		n.Drivers = append(n.Drivers, d)
+		n.AppDrivers = append(n.AppDrivers, d)
 		d.Start()
 	}
 	if active == 0 {
 		return WorkloadResult{}, fmt.Errorf("node: no cores have workloads")
 	}
 	n.watchCancel()
-	n.Eng.Run(maxCycles)
+	n.Eng.Run(start + maxCycles)
 	if err := n.ctxErr(); err != nil {
 		return WorkloadResult{}, err
 	}
 	res := WorkloadResult{
 		Completed:    n.Stats.Completed,
-		Cycles:       n.Eng.Now(),
+		Cycles:       n.Eng.Now() - start,
 		MeanLatency:  n.Stats.ReqLat.Mean(),
 		AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
 		AllExhausted: active == 0,
+		PerCore:      make([]CoreStats, 0, len(n.AppDrivers)),
+	}
+	merged := stats.NewLatencyHistogram()
+	var appErr error
+	for _, d := range n.AppDrivers {
+		if err := d.Err(); err != nil && appErr == nil {
+			appErr = err
+		}
+		merged.Merge(d.Hist)
+		res.PerCore = append(res.PerCore, CoreStats{
+			Core:        d.ID(),
+			Issued:      int64(d.Issued()),
+			Completed:   int64(d.Completed()),
+			MeanLatency: d.Hist.Mean(),
+			P50:         d.Hist.Percentile(50),
+			P95:         d.Hist.Percentile(95),
+			P99:         d.Hist.Percentile(99),
+		})
+	}
+	res.P50 = merged.Percentile(50)
+	res.P95 = merged.Percentile(95)
+	res.P99 = merged.Percentile(99)
+	if appErr != nil {
+		// A deadlocked core parks like a finished one (so the run can end),
+		// but its workload did not complete — the partial result returned
+		// with the error must not claim a full drain.
+		res.AllExhausted = false
+		return res, appErr
 	}
 	return res, nil
+}
+
+// RunWorkload drives every core whose factory returns a non-nil v1
+// workload through the legacy adapter. The adapter reproduces the old
+// open-loop async driver bit for bit (see workload_equiv_test.go), so
+// existing callers observe identical results — now with percentiles and
+// per-core breakdowns filled in.
+func (n *Node) RunWorkload(factory func(core int) cpu.Workload, maxCycles int64) (WorkloadResult, error) {
+	return n.RunApp(func(core int) cpu.App {
+		wl := factory(core)
+		if wl == nil {
+			return nil
+		}
+		return cpu.Legacy(wl)
+	}, maxCycles)
 }

@@ -1,0 +1,380 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+)
+
+// refWorkloadResult is the pre-v2 result shape (no percentiles), for
+// field-by-field comparison against the v2 path.
+type refWorkloadResult struct {
+	Completed    int64
+	Cycles       int64
+	MeanLatency  float64
+	AppBytes     int64
+	AllExhausted bool
+}
+
+// runWorkloadReference is the pre-v2 RunWorkload, retained verbatim on the
+// old open-loop cpu.Driver so the legacy-adapter path can be
+// equivalence-tested bit for bit against the driver it replaced.
+func runWorkloadReference(n *Node, factory func(core int) cpu.Workload, maxCycles int64) (refWorkloadResult, error) {
+	if maxCycles <= 0 {
+		maxCycles = n.Cfg.MaxCycles
+	}
+	n.Drivers = n.Drivers[:0]
+	active := 0
+	for c := 0; c < n.Cfg.Tiles(); c++ {
+		wl := factory(c)
+		if wl == nil {
+			continue
+		}
+		d := cpu.NewDriver(n.Eng, n.Cfg, c, n.Agents[c], n.QPs[c], n.Stats, wl, cpu.Async)
+		active++
+		d.OnIdle = func() {
+			active--
+			if active == 0 {
+				n.Eng.Stop()
+			}
+		}
+		n.Drivers = append(n.Drivers, d)
+		d.Start()
+	}
+	if active == 0 {
+		return refWorkloadResult{}, fmt.Errorf("node: no cores have workloads")
+	}
+	n.Eng.Run(maxCycles)
+	return refWorkloadResult{
+		Completed:    n.Stats.Completed,
+		Cycles:       n.Eng.Now(),
+		MeanLatency:  n.Stats.ReqLat.Mean(),
+		AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
+		AllExhausted: active == 0,
+	}, nil
+}
+
+// pressureReads issues enough back-to-back reads to overflow the WQ, so
+// the v2 driver's committed-issue spin path (WQ full) gets exercised.
+type pressureReads struct {
+	n    int
+	size int
+}
+
+func (p pressureReads) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, bool) {
+	if int(seq) >= p.n {
+		return 0, 0, 0, 0, false
+	}
+	remote := uint64(SourceBase) + (uint64(coreID)*100_000+seq)*4096
+	local := LocalBase + uint64(coreID)*LocalStride + (seq%256)*uint64(p.size)
+	return rmc.OpRead, remote, local, p.size, true
+}
+
+// equivCases are the workload mixes the equivalence test runs: every op
+// type, multi-core interleaving, and WQ overflow pressure.
+func equivCases() map[string]func(core int) cpu.Workload {
+	return map[string]func(core int) cpu.Workload{
+		"mixed8cores": func(core int) cpu.Workload {
+			if core%8 != 0 {
+				return nil
+			}
+			return mixedOps{n: 24, core: core}
+		},
+		"writes": func(core int) cpu.Workload {
+			if core != 5 && core != 42 {
+				return nil
+			}
+			return fixedWrites{n: 12, size: 512}
+		},
+		"wqpressure": func(core int) cpu.Workload {
+			if core != 27 && core != 28 {
+				return nil
+			}
+			return pressureReads{n: 400, size: 64}
+		},
+	}
+}
+
+// TestLegacyAdapterBitIdentical: the v2 AppDriver driving a v1 workload
+// through the Legacy adapter must reproduce the old open-loop driver's
+// results bit for bit — same completions, same final cycle, same mean
+// latency to the last ulp, same application bytes — on every design and
+// both topologies.
+func TestLegacyAdapterBitIdentical(t *testing.T) {
+	build := func(cfg config.Config, topo config.Topology) (*Node, error) {
+		if topo == config.NOCOut {
+			return NewNOCOut(cfg, 1)
+		}
+		return New(cfg, 1)
+	}
+	for name, factory := range equivCases() {
+		for _, topo := range []config.Topology{config.Mesh, config.NOCOut} {
+			for _, d := range []config.Design{config.NIEdge, config.NIPerTile, config.NISplit} {
+				cfg := config.Default()
+				cfg.Design = d
+				cfg.Topology = topo
+
+				nRef, err := build(cfg, topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := runWorkloadReference(nRef, factory, 8_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v/%v reference: %v", name, topo, d, err)
+				}
+
+				nV2, err := build(cfg, topo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := nV2.RunWorkload(factory, 8_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v/%v v2: %v", name, topo, d, err)
+				}
+
+				if got.Completed != ref.Completed || got.Cycles != ref.Cycles ||
+					got.MeanLatency != ref.MeanLatency || got.AppBytes != ref.AppBytes ||
+					got.AllExhausted != ref.AllExhausted {
+					t.Fatalf("%s/%v/%v diverges from the old driver:\nref: %+v\nv2:  completed=%d cycles=%d mean=%v bytes=%d exhausted=%v",
+						name, topo, d, ref,
+						got.Completed, got.Cycles, got.MeanLatency, got.AppBytes, got.AllExhausted)
+				}
+				if !ref.AllExhausted {
+					t.Fatalf("%s/%v/%v: reference did not drain; the case is mis-sized", name, topo, d)
+				}
+				// The v2 result must additionally carry coherent per-core
+				// breakdowns and percentiles.
+				var perCore int64
+				for _, c := range got.PerCore {
+					perCore += c.Completed
+				}
+				if perCore != got.Completed {
+					t.Fatalf("%s/%v/%v: per-core completions %d != total %d", name, topo, d, perCore, got.Completed)
+				}
+				if got.P50 <= 0 || got.P99 < got.P95 || got.P95 < got.P50 {
+					t.Fatalf("%s/%v/%v: inconsistent percentiles p50=%d p95=%d p99=%d",
+						name, topo, d, got.P50, got.P95, got.P99)
+				}
+			}
+		}
+	}
+}
+
+// TestRunWorkloadMaxCyclesPartial: a run cut off by maxCycles reports
+// AllExhausted=false with partial statistics; the same workload given
+// room reports AllExhausted=true (the closure-captured active counter).
+func TestRunWorkloadMaxCyclesPartial(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	factory := func(core int) cpu.Workload {
+		if core%4 != 0 {
+			return nil
+		}
+		return pressureReads{n: 300, size: 64}
+	}
+
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, err := n.RunWorkload(factory, 20_000) // far too few cycles to finish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.AllExhausted {
+		t.Fatalf("run stopped at maxCycles must not report AllExhausted: %+v", cut)
+	}
+	if cut.Cycles < 20_000 || cut.Cycles > 20_010 {
+		t.Fatalf("cut run stopped at cycle %d, want ~maxCycles (20000)", cut.Cycles)
+	}
+	if cut.Completed <= 0 || cut.Completed >= 16*300 {
+		t.Fatalf("cut run must report partial completions, got %d", cut.Completed)
+	}
+	if cut.MeanLatency <= 0 || cut.P99 <= 0 {
+		t.Fatalf("cut run must still report stats: %+v", cut)
+	}
+
+	n2, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := n2.RunWorkload(factory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.AllExhausted {
+		t.Fatalf("drained run must report AllExhausted: %+v", full)
+	}
+	if full.Completed != 16*300 {
+		t.Fatalf("full run completed %d of %d", full.Completed, 16*300)
+	}
+}
+
+// deadlockApp waits without anything in flight — a contract violation the
+// driver must surface instead of hanging the run.
+type deadlockApp struct{}
+
+func (deadlockApp) Step(int, int64, int) cpu.Action           { return cpu.Wait() }
+func (deadlockApp) OnComplete(int, cpu.Request, int64, int64) {}
+
+// TestRunAppDeadlockReported: RunApp fails loudly on a Wait-with-nothing-
+// in-flight app rather than spinning to maxCycles.
+func TestRunAppDeadlockReported(t *testing.T) {
+	cfg := config.Default()
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunApp(func(core int) cpu.App {
+		if core != 0 {
+			return nil
+		}
+		return deadlockApp{}
+	}, 1_000_000)
+	if err == nil {
+		t.Fatal("deadlocked app not reported")
+	}
+	if res.AllExhausted {
+		t.Fatal("deadlocked run must not claim AllExhausted")
+	}
+}
+
+// TestRunAppReusedNodePerRunStats: results on a reused node must cover
+// only the current run — Completed/MeanLatency/AppBytes from the same
+// sample set as the percentiles and per-core breakdowns.
+func TestRunAppReusedNodePerRunStats(t *testing.T) {
+	cfg := config.Default()
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(core int) cpu.Workload {
+		if core != 27 {
+			return nil
+		}
+		return pressureReads{n: 50, size: 64}
+	}
+	first, err := n.RunWorkload(factory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := n.RunWorkload(factory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Completed != 50 {
+		t.Fatalf("second run reports %d completions (leaked from the first run?), want 50", second.Completed)
+	}
+	var perCore int64
+	for _, c := range second.PerCore {
+		perCore += c.Completed
+	}
+	if perCore != second.Completed {
+		t.Fatalf("per-core completions %d != total %d on reused node", perCore, second.Completed)
+	}
+	if second.AppBytes != first.AppBytes {
+		t.Fatalf("identical runs report different bytes: %d vs %d", first.AppBytes, second.AppBytes)
+	}
+	if second.MeanLatency > float64(second.P99) {
+		t.Fatalf("mean %.0f exceeds p99 %d: mixed sample sets", second.MeanLatency, second.P99)
+	}
+}
+
+// TestRunAppReusedNodeCycles: a second run on a reused node reports its
+// own duration and gets a full maxCycles budget, not the engine's
+// cumulative clock and the remainder of an absolute deadline.
+func TestRunAppReusedNodeCycles(t *testing.T) {
+	cfg := config.Default()
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(core int) cpu.Workload {
+		if core != 27 {
+			return nil
+		}
+		return pressureReads{n: 50, size: 64}
+	}
+	first, err := n.RunWorkload(factory, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := n.RunWorkload(factory, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical workloads on a warm node: the second run's duration must
+	// be its own (same order of magnitude as the first), not cumulative.
+	if second.Cycles >= first.Cycles*2 {
+		t.Fatalf("second run reports %d cycles (first: %d): cumulative clock leaked", second.Cycles, first.Cycles)
+	}
+	// A budget smaller than the engine's absolute clock must still run.
+	third, err := n.RunWorkload(factory, first.Cycles/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Completed == 0 {
+		t.Fatal("reused-node run with a small budget made no progress (absolute deadline leaked)")
+	}
+}
+
+// TestRunAppAfterCutRun: a run cut short by maxCycles leaves in-flight
+// traffic that cannot be recalled; a second run on the same node must be
+// refused instead of silently mixing the two workloads' completions.
+// Stale driver callbacks from the cut run must also stay silent.
+func TestRunAppAfterCutRun(t *testing.T) {
+	cfg := config.Default()
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := func(core int) cpu.Workload {
+		if core%4 != 0 {
+			return nil
+		}
+		return pressureReads{n: 300, size: 64}
+	}
+	cut, err := n.RunWorkload(factory, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut.AllExhausted {
+		t.Fatal("cut run unexpectedly drained; the case is mis-sized")
+	}
+	if _, err := n.RunWorkload(factory, 0); err == nil {
+		t.Fatal("run on a node with in-flight requests from a cut run must be refused")
+	}
+}
+
+// TestRunAppAfterCutSyncRun: a cut-short sync microbenchmark must not
+// leak its driver's traffic into a later workload run on the same node —
+// either the run is refused (in-flight remnants) or its completions are
+// exactly its own.
+func TestRunAppAfterCutSyncRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.MaxCycles = 3_000 // cut the sync run almost immediately
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(64, 27); err == nil {
+		t.Fatal("sync run unexpectedly finished; the case is mis-sized")
+	}
+	res, err := n.RunWorkload(func(core int) cpu.Workload {
+		if core != 5 {
+			return nil
+		}
+		return pressureReads{n: 20, size: 64}
+	}, 500_000)
+	if err != nil {
+		// Acceptable: the node refused because the cut run left in-flight
+		// requests it cannot recall.
+		return
+	}
+	if res.Completed != 20 {
+		t.Fatalf("workload run counted %d completions (stale sync traffic leaked), want 20", res.Completed)
+	}
+}

@@ -96,6 +96,134 @@ func (l *LatencyAccum) Percentile(p float64) int64 {
 	return s[idx]
 }
 
+// Histogram is a deterministic fixed-bucket latency histogram: values land
+// in buckets of a fixed width, percentiles are computed from cumulative
+// bucket counts, and two histograms of the same shape merge by adding
+// counts. Unlike a sampling accumulator it never drops tail samples, so
+// p99 over millions of requests is exact to one bucket width — the
+// property tail-latency metrics need.
+type Histogram struct {
+	width    int64
+	counts   []int64
+	count    int64
+	sum      float64
+	min, max int64
+	overflow int64 // samples beyond the bucketed range (reported via max)
+}
+
+// NewHistogram returns a histogram of `buckets` buckets of `width` cycles
+// each; values at or beyond buckets*width accumulate in an overflow count
+// whose percentile reports the observed maximum.
+func NewHistogram(width int64, buckets int) *Histogram {
+	if width < 1 {
+		width = 1
+	}
+	if buckets < 1 {
+		buckets = 1
+	}
+	return &Histogram{width: width, counts: make([]int64, buckets), min: math.MaxInt64}
+}
+
+// NewLatencyHistogram returns the shape shared by the per-core request
+// latency histograms: 16-cycle buckets to 64 Ki cycles. All latency
+// histograms use one shape so per-core histograms merge into node totals.
+func NewLatencyHistogram() *Histogram { return NewHistogram(16, 4096) }
+
+// Add records one sample.
+func (h *Histogram) Add(v int64) {
+	h.count++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	i := v / h.width
+	if v < 0 {
+		i = 0
+	}
+	if i >= int64(len(h.counts)) {
+		h.overflow++
+		return
+	}
+	h.counts[i]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns the p-th percentile (0..100): the upper edge of the
+// bucket holding the p-th sample, capped at the observed maximum, so the
+// result never understates a latency by more than one bucket width.
+// Samples in the overflow region report the observed maximum.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			edge := (int64(i) + 1) * h.width
+			if edge > h.max {
+				edge = h.max
+			}
+			return edge
+		}
+	}
+	return h.max
+}
+
+// Merge adds o's counts into h. The histograms must share width and bucket
+// count (as NewLatencyHistogram guarantees); Merge panics otherwise.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.width != o.width || len(h.counts) != len(o.counts) {
+		panic("stats: merging histograms of different shapes")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.overflow += o.overflow
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
 // BandwidthMonitor implements the paper's stabilization rule: application
 // bytes are accumulated; at each window boundary the per-window rate is
 // compared with the previous window and the run is declared stable when the

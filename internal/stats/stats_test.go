@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"math"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -103,6 +105,110 @@ func TestPropertyMeanBounded(t *testing.T) {
 		}
 		m := l.Mean()
 		return m >= float64(l.Min()) && m <= float64(l.Max())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(10, 100)
+	// 100 samples 1..100: p50 covers samples <= 50 (bucket edge 50),
+	// p99 covers sample 99 (bucket edge 100, capped at max 100).
+	for v := int64(1); v <= 100; v++ {
+		h.Add(v)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if got := h.Percentile(50); got != 60 {
+		// sample 50 lands in bucket [50,60): the edge never understates
+		// the exact percentile (50) by design, and overstates by < width.
+		t.Fatalf("p50=%d want 60", got)
+	}
+	if got := h.Percentile(95); got != 100 {
+		// sample 95 lands in bucket [90,100), edge 100, capped at max 100
+		t.Fatalf("p95=%d want 100", got)
+	}
+	if got := h.Percentile(0); got != 10 {
+		t.Fatalf("p0=%d want first non-empty bucket edge 10", got)
+	}
+	if h.Mean() != 50.5 || h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("mean=%v min=%d max=%d", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOverflowAndEmpty(t *testing.T) {
+	h := NewHistogram(10, 4) // bucketed range [0,40)
+	if h.Percentile(99) != 0 || h.Mean() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Add(5)
+	h.Add(1_000_000) // overflow
+	if got := h.Percentile(99); got != 1_000_000 {
+		t.Fatalf("overflow percentile=%d want observed max", got)
+	}
+	if got := h.Percentile(50); got != 10 {
+		t.Fatalf("p50=%d want 10", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, ref := NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram()
+	for v := int64(0); v < 1000; v += 3 {
+		a.Add(v)
+		ref.Add(v)
+	}
+	for v := int64(1); v < 2000; v += 7 {
+		b.Add(v)
+		ref.Add(v)
+	}
+	a.Merge(b)
+	for _, p := range []float64{1, 25, 50, 90, 95, 99, 100} {
+		if a.Percentile(p) != ref.Percentile(p) {
+			t.Fatalf("p%.0f: merged %d != ref %d", p, a.Percentile(p), ref.Percentile(p))
+		}
+	}
+	if a.Count() != ref.Count() || a.Mean() != ref.Mean() || a.Min() != ref.Min() || a.Max() != ref.Max() {
+		t.Fatal("merged aggregates diverge from single-histogram reference")
+	}
+	// Merging mismatched shapes is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-shape merge did not panic")
+		}
+	}()
+	bad := NewHistogram(5, 10)
+	bad.Add(3)
+	a.Merge(bad)
+}
+
+// Property: a histogram percentile never understates the true percentile
+// by more than one bucket width, and never exceeds the observed max.
+func TestPropertyHistogramPercentileBounds(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram(16, 4096)
+		s := make([]int64, len(vals))
+		for i, v := range vals {
+			h.Add(int64(v))
+			s[i] = int64(v)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		for _, p := range []float64{50, 95, 99} {
+			rank := int(math.Ceil(p / 100 * float64(len(s))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := s[rank-1]
+			got := h.Percentile(p)
+			if got < exact || got > exact+16 || got > h.Max() {
+				return false
+			}
+		}
+		return true
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -89,6 +89,19 @@ func ParseRoutings(s string) ([]Routing, error) { return parseList(s, ParseRouti
 // ParseModes parses a comma-separated microbenchmark list.
 func ParseModes(s string) ([]Mode, error) { return parseList(s, ParseMode) }
 
+// ParseScenarios parses a comma-separated scenario-name list
+// ("kv,pointerchase"), validating each against the library, and returns
+// the canonical names for the Sweep's Workloads axis.
+func ParseScenarios(s string) ([]string, error) {
+	return parseList(s, func(tok string) (string, error) {
+		sc, err := ParseScenario(tok)
+		if err != nil {
+			return "", err
+		}
+		return sc.Name, nil
+	})
+}
+
 // ParseSizes parses a comma-separated list of positive transfer sizes in
 // bytes ("64,4096").
 func ParseSizes(s string) ([]int, error) {

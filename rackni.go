@@ -98,8 +98,11 @@ const (
 	OpWrite = rmc.OpWrite
 )
 
-// Workload generates per-core operations; implement it to drive the node
-// with application-like access patterns (see the examples).
+// Workload is the v1 open-loop workload contract, kept for compatibility:
+// a positional script that can never observe a completion. New code should
+// implement App (the v2 closed-loop contract, see scenario.go); v1 values
+// still run everywhere through the Legacy adapter, bit-identically to the
+// old driver.
 type Workload = cpu.Workload
 
 // Node is one simulated SoC plus its emulated rack.
@@ -151,16 +154,40 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 	return n.n.RunBandwidth(size)
 }
 
-// RunWorkload drives every core for which factory returns a non-nil
-// workload, asynchronously, until all drivers exhaust their workloads (and
-// drain their in-flight requests) or maxCycles elapse. It returns the
-// per-run statistics.
+// RunApp drives every core for which factory returns a non-nil v2 App as
+// a closed-loop state machine, until all apps are Done and their in-flight
+// requests have drained, or maxCycles elapse (maxCycles <= 0 uses the
+// configuration's MaxCycles). A run cut short by maxCycles returns partial
+// statistics with AllExhausted=false.
+func (n *Node) RunApp(factory func(core int) App, maxCycles int64) (WorkloadResult, error) {
+	return n.n.RunApp(factory, maxCycles)
+}
+
+// RunScenario runs a named scenario from the library (see Scenarios and
+// ParseScenario) on this node.
+func (n *Node) RunScenario(sc Scenario, maxCycles int64) (WorkloadResult, error) {
+	if sc.New == nil {
+		return WorkloadResult{}, fmt.Errorf("rackni: scenario %q has no constructor", sc.Name)
+	}
+	cfg := n.Config()
+	return n.RunApp(func(core int) App { return sc.New(cfg, core) }, maxCycles)
+}
+
+// RunWorkload drives every core for which factory returns a non-nil v1
+// workload through the Legacy adapter, until all workloads are exhausted
+// (and their in-flight requests drained) or maxCycles elapse. Results are
+// bit-identical to the pre-v2 open-loop driver, with the v2 percentile and
+// per-core fields filled in.
 func (n *Node) RunWorkload(factory func(core int) Workload, maxCycles int64) (WorkloadResult, error) {
 	return n.n.RunWorkload(factory, maxCycles)
 }
 
-// WorkloadResult summarizes a custom workload run.
+// WorkloadResult summarizes a workload run, including deterministic
+// fixed-bucket latency percentiles and per-core breakdowns.
 type WorkloadResult = node.WorkloadResult
+
+// CoreStats is one core's slice of a WorkloadResult.
+type CoreStats = node.CoreStats
 
 // SetContext attaches ctx to the node. Subsequent runs poll it periodically
 // and abort with the context's error once it is cancelled; a nil or

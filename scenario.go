@@ -1,0 +1,536 @@
+// The closed-loop scenario library: the access patterns of the rack-scale
+// applications that motivate the NI study (§1, §2.1) — dependent pointer
+// chases, partition-aggregate fan-outs, mixed read/write update streams,
+// think-time key-value clients, double-buffered streaming — expressed as
+// v2 Apps and shipped as named, parseable scenarios that the Sweep API and
+// cmd/racksim cross against design x topology x routing x hops.
+package rackni
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/cpu"
+	"rackni/internal/sim"
+	"rackni/internal/stats"
+)
+
+// App is the v2 workload contract: a per-core closed-loop state machine.
+// The driver calls Step for the core's next action and delivers every
+// retirement through OnComplete, so apps can chain dependent reads, bound
+// their outstanding window, and model per-request service time.
+type App = cpu.App
+
+// Request is one application-level one-sided operation of the v2 API.
+type Request = cpu.Request
+
+// Action is an App's answer to Step; build one with Issue, Wait, Think or
+// Done.
+type Action = cpu.Action
+
+// Issue commits req for issue (published as soon as WQ space allows).
+func Issue(req Request) Action { return cpu.Issue(req) }
+
+// Wait blocks the core until at least one in-flight request completes.
+func Wait() Action { return cpu.Wait() }
+
+// Think idles the core for the given cycles, then asks the app again.
+func Think(cycles int64) Action { return cpu.Think(cycles) }
+
+// Done declares the workload exhausted; in-flight requests drain.
+func Done() Action { return cpu.Done() }
+
+// Legacy adapts a v1 open-loop Workload to the v2 App contract with a
+// driver discipline bit-identical to the old open-loop driver.
+func Legacy(wl Workload) App { return cpu.Legacy(wl) }
+
+// scenarioSeed decorrelates per-core random streams from one run seed.
+func scenarioSeed(seed uint64, core int) uint64 {
+	return seed + uint64(core)*0x9E37_79B9 + 1
+}
+
+// Scenario constructors are synthetic traffic generators, not input
+// parsers: degenerate geometry is clamped to the nearest legal value
+// (minimum 1, request sizes to one block, keyspaces to the source region,
+// per-core footprints to the local-buffer slice) instead of faulting in
+// the issue path.
+
+// clampMin1 raises v to at least 1.
+func clampMin1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// clampSize clamps a request size to [64, LocalStride].
+func clampSize(size int) int {
+	if size < 64 {
+		return 64
+	}
+	if uint64(size) > LocalStride {
+		return int(LocalStride)
+	}
+	return size
+}
+
+// clampObjects clamps an object count so the keyspace fits the source
+// region at the given (already clamped) size.
+func clampObjects(objects, size int) int {
+	objects = clampMin1(objects)
+	if max := int(SourceSpan / uint64(size)); objects > max {
+		return max
+	}
+	return objects
+}
+
+// clampWindow clamps a per-core outstanding window so window*size slots
+// fit the core's local-buffer slice.
+func clampWindow(window, size int) int {
+	window = clampMin1(window)
+	if max := int(LocalStride / uint64(size)); window > max {
+		return max
+	}
+	return window
+}
+
+// chaseNext is the deterministic "pointer stored in the fetched object":
+// a splitmix64 step of the current object index. Using only the completed
+// object's identity makes every read data-dependent on its predecessor.
+func chaseNext(obj uint64, objects int) uint64 {
+	z := obj + 0x9E37_79B9_7F4A_7C15
+	z = (z ^ (z >> 30)) * 0xBF58_476D_1CE4_E5B9
+	z = (z ^ (z >> 27)) * 0x94D0_49BB_1331_11EB
+	z ^= z >> 31
+	return z % uint64(objects)
+}
+
+// PointerChase is the dependent-read scenario: each chase follows Depth
+// pointers, where every read's address is derived from the object the
+// previous read returned — the access pattern of remote hash-bucket and
+// linked-structure traversals. A k-deep chase can never overlap its own
+// reads, so its latency is ~k times the single-read latency; ChaseLat
+// records it per chase.
+type PointerChase struct {
+	Depth   int
+	Chases  uint64
+	Size    int
+	Objects int
+
+	// ChaseLat accumulates whole-chase latencies (cycles) in a
+	// deterministic fixed-bucket histogram, so its percentiles cover
+	// every chase, not a sampled prefix.
+	ChaseLat *stats.Histogram
+
+	rnd        *sim.Rand
+	cur        uint64
+	step       int
+	chaseStart int64
+	chasesDone uint64
+	pending    bool
+}
+
+// NewPointerChase builds the chase scenario for one core.
+func NewPointerChase(depth int, chases uint64, size, objects int, seed uint64) *PointerChase {
+	size = clampSize(size)
+	return &PointerChase{
+		Depth: clampMin1(depth), Chases: chases, Size: size,
+		Objects:  clampObjects(objects, size),
+		ChaseLat: stats.NewLatencyHistogram(),
+		rnd:      sim.NewRand(seed),
+	}
+}
+
+// Step implements App.
+func (p *PointerChase) Step(coreID int, now int64, inflight int) Action {
+	if p.pending {
+		return Wait()
+	}
+	if p.chasesDone >= p.Chases {
+		return Done()
+	}
+	if p.step == 0 {
+		p.cur = p.rnd.Uint64() % uint64(p.Objects)
+		p.chaseStart = now
+	}
+	p.pending = true
+	return Issue(Request{
+		Op:     rmc.OpRead,
+		Remote: SourceBase + p.cur*uint64(p.Size),
+		Local:  LocalBufferOf(coreID),
+		Size:   p.Size,
+		Tag:    p.cur,
+	})
+}
+
+// OnComplete implements App: the fetched object names the next pointer.
+func (p *PointerChase) OnComplete(coreID int, req Request, issued, done int64) {
+	p.pending = false
+	p.cur = chaseNext(req.Tag, p.Objects)
+	p.step++
+	if p.step >= p.Depth {
+		p.ChaseLat.Add(done - p.chaseStart)
+		p.chasesDone++
+		p.step = 0
+	}
+}
+
+// ScatterGather is the partition-aggregate scenario (§2.1's data-serving
+// fan-outs): each query scatters Fanout reads across the remote keyspace,
+// gathers all responses — the query is as slow as its slowest partition,
+// which is why its tail dominates — then thinks before the next query.
+// QueryLat records whole-query latencies.
+type ScatterGather struct {
+	Fanout  int
+	Queries uint64
+	Size    int
+	Objects int
+	ThinkC  int64
+
+	// QueryLat accumulates whole-query (fan-out to last-gather) latencies
+	// in a deterministic fixed-bucket histogram covering every query.
+	QueryLat *stats.Histogram
+
+	rnd         *sim.Rand
+	toIssue     int
+	outstanding int
+	queriesDone uint64
+	queryStart  int64
+	thinkNext   bool
+}
+
+// NewScatterGather builds the partition-aggregate scenario for one core.
+// The fan-out is bounded so its gather buffers fit the core's local slice.
+func NewScatterGather(fanout int, queries uint64, size, objects int, think int64, seed uint64) *ScatterGather {
+	size = clampSize(size)
+	return &ScatterGather{
+		Fanout: clampWindow(fanout, size), Queries: queries, Size: size,
+		Objects: clampObjects(objects, size), ThinkC: think,
+		QueryLat: stats.NewLatencyHistogram(),
+		rnd:      sim.NewRand(seed),
+	}
+}
+
+// Step implements App.
+func (s *ScatterGather) Step(coreID int, now int64, inflight int) Action {
+	if s.toIssue > 0 {
+		s.toIssue--
+		s.outstanding++
+		obj := s.rnd.Uint64() % uint64(s.Objects)
+		return Issue(Request{
+			Op:     rmc.OpRead,
+			Remote: SourceBase + obj*uint64(s.Size),
+			Local:  LocalBufferOf(coreID) + uint64(s.toIssue)*uint64(s.Size),
+			Size:   s.Size,
+			Tag:    uint64(s.toIssue),
+		})
+	}
+	if s.outstanding > 0 {
+		return Wait()
+	}
+	if s.thinkNext {
+		s.thinkNext = false
+		return Think(s.ThinkC)
+	}
+	if s.queriesDone >= s.Queries {
+		return Done()
+	}
+	s.toIssue = s.Fanout
+	s.queryStart = now
+	return s.Step(coreID, now, inflight)
+}
+
+// OnComplete implements App.
+func (s *ScatterGather) OnComplete(coreID int, req Request, issued, done int64) {
+	s.outstanding--
+	if s.outstanding == 0 && s.toIssue == 0 {
+		s.QueryLat.Add(done - s.queryStart)
+		s.queriesDone++
+		// No think after the final query (an idle window would inflate
+		// the run's cycle count).
+		if s.ThinkC > 0 && s.queriesDone < s.Queries {
+			s.thinkNext = true
+		}
+	}
+}
+
+// MixedUpdate is the read/write update-stream scenario: a bounded window
+// of outstanding operations where every WriteEvery-th operation is a
+// remote write — the update traffic of an in-memory store mixed into its
+// lookup stream.
+type MixedUpdate struct {
+	Window     int
+	Ops        uint64
+	Size       int
+	Objects    int
+	WriteEvery uint64 // every n-th op is a write; 0 = reads only
+
+	rnd    *sim.Rand
+	issued uint64
+}
+
+// NewMixedUpdate builds the mixed read/write scenario for one core.
+func NewMixedUpdate(window int, ops uint64, size, objects int, writeEvery uint64, seed uint64) *MixedUpdate {
+	size = clampSize(size)
+	return &MixedUpdate{
+		Window: clampWindow(window, size), Ops: ops, Size: size,
+		Objects:    clampObjects(objects, size),
+		WriteEvery: writeEvery, rnd: sim.NewRand(seed),
+	}
+}
+
+// Step implements App.
+func (m *MixedUpdate) Step(coreID int, now int64, inflight int) Action {
+	if m.issued >= m.Ops {
+		return Done()
+	}
+	if inflight >= m.Window {
+		return Wait()
+	}
+	op := rmc.OpRead
+	if m.WriteEvery > 0 && m.issued%m.WriteEvery == m.WriteEvery-1 {
+		op = rmc.OpWrite
+	}
+	obj := m.rnd.Uint64() % uint64(m.Objects)
+	slot := m.issued % uint64(m.Window)
+	m.issued++
+	return Issue(Request{
+		Op:     op,
+		Remote: SourceBase + obj*uint64(m.Size),
+		Local:  LocalBufferOf(coreID) + slot*uint64(m.Size),
+		Size:   m.Size,
+	})
+}
+
+// OnComplete implements App.
+func (m *MixedUpdate) OnComplete(int, Request, int64, int64) {}
+
+// KVClient is the closed-loop key-value client (§2.1): issue one GET for a
+// Zipf-popular key, wait for it, spend ThinkC cycles of service time on
+// the value, repeat — the load pattern of a Memcached-class frontend,
+// where per-request latency directly bounds client throughput.
+type KVClient struct {
+	Gets    uint64
+	Size    int
+	Objects int
+	Theta   float64
+	ThinkC  int64
+
+	rnd     *sim.Rand
+	table   *zipfTable
+	done    uint64
+	pending bool
+	served  bool
+}
+
+// NewKVClient builds the closed-loop KV client for one core. Negative
+// skew is clamped to uniform.
+func NewKVClient(gets uint64, size, objects int, theta float64, think int64, seed uint64) *KVClient {
+	return newKVClient(gets, size, objects, theta, think, seed, nil)
+}
+
+// newKVClient optionally takes a prebuilt popularity table (read-only
+// after construction, so one table can serve many clients). A table whose
+// length disagrees with the clamped object count would sample keys
+// outside the keyspace, and one built with a different skew would draw a
+// silently wrong distribution, so a mismatched table is discarded and
+// rebuilt.
+func newKVClient(gets uint64, size, objects int, theta float64, think int64, seed uint64, table *zipfTable) *KVClient {
+	size = clampSize(size)
+	objects = clampObjects(objects, size)
+	if theta < 0 {
+		theta = 0
+	}
+	if table == nil || len(table.cum) != objects || table.theta != theta {
+		table = newZipfTable(objects, theta)
+	}
+	return &KVClient{
+		Gets: gets, Size: size, Objects: objects, Theta: theta, ThinkC: think,
+		rnd: sim.NewRand(seed), table: table,
+	}
+}
+
+// Step implements App.
+func (k *KVClient) Step(coreID int, now int64, inflight int) Action {
+	if k.pending {
+		return Wait()
+	}
+	if k.served {
+		k.served = false
+		return Think(k.ThinkC)
+	}
+	if k.done >= k.Gets {
+		return Done()
+	}
+	obj := k.table.sample(k.rnd)
+	k.pending = true
+	return Issue(Request{
+		Op:     rmc.OpRead,
+		Remote: SourceBase + uint64(obj)*uint64(k.Size),
+		Local:  LocalBufferOf(coreID),
+		Size:   k.Size,
+	})
+}
+
+// OnComplete implements App.
+func (k *KVClient) OnComplete(coreID int, req Request, issued, done int64) {
+	k.pending = false
+	k.done++
+	// No think after the final value: the client is finished, and an idle
+	// think window would inflate the run's cycle count.
+	if k.ThinkC > 0 && k.done < k.Gets {
+		k.served = true
+	}
+}
+
+// Streamer is the double-buffered streaming scenario: Window (classically
+// two) outstanding bulk reads into alternating local buffers, refilling a
+// buffer the moment its transfer lands — the graph-analytics segment
+// scan, bounded so compute can overlap transfer without unbounded queues.
+type Streamer struct {
+	Segments uint64
+	SegBytes int
+	Window   int
+
+	next uint64
+}
+
+// NewStreamer builds the streaming scenario for one core.
+func NewStreamer(segments uint64, segBytes, window int) *Streamer {
+	segBytes = clampSize(segBytes)
+	return &Streamer{Segments: segments, SegBytes: segBytes,
+		Window: clampWindow(window, segBytes)}
+}
+
+// Step implements App.
+func (s *Streamer) Step(coreID int, now int64, inflight int) Action {
+	if s.next >= s.Segments {
+		return Done()
+	}
+	if inflight >= s.Window {
+		return Wait()
+	}
+	seg := s.next
+	s.next++
+	span := SourceSpan / uint64(s.SegBytes)
+	return Issue(Request{
+		Op:     rmc.OpRead,
+		Remote: SourceBase + (seg%span)*uint64(s.SegBytes),
+		Local:  LocalBufferOf(coreID) + (seg%uint64(s.Window))*uint64(s.SegBytes),
+		Size:   s.SegBytes,
+		Tag:    seg,
+	})
+}
+
+// OnComplete implements App.
+func (s *Streamer) OnComplete(int, Request, int64, int64) {}
+
+// Scenario is a named member of the closed-loop workload library. New
+// builds the per-core app for one run (nil for cores that sit out);
+// scenarios derive per-core seeds from cfg.Seed, so runs are deterministic
+// and seed-stable.
+type Scenario struct {
+	Name    string
+	Summary string
+	New     func(cfg *Config, core int) App
+}
+
+// kvScenarioTable lazily builds the kv scenario's 100k-entry popularity
+// table exactly once per process: zipfTable is read-only after
+// construction, so every client core of every sweep point — and every
+// concurrent run — shares it, instead of re-summing 100k math.Pow terms
+// per point.
+var kvScenarioTable = sync.OnceValue(func() *zipfTable {
+	return newZipfTable(100_000, 0.99)
+})
+
+// scenarioClients is the default client-core count for the request-bound
+// scenarios: a quarter of the tiles, so library runs finish quickly while
+// still loading the fabric from scattered tiles.
+func scenarioClients(cfg *Config) int {
+	c := cfg.Tiles() / 4
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// scenarioLibrary returns the built-in scenarios with their default
+// parameters. racksim -workload and the Sweep Workloads axis resolve
+// names against it; parameterized variants are built directly from the
+// scenario types (NewPointerChase etc.).
+func scenarioLibrary() []Scenario {
+	return []Scenario{
+		{
+			Name:    "pointerchase",
+			Summary: "dependent reads: 32 chases of 8 chained 64B lookups per client (tiles/4 clients)",
+			New: func(cfg *Config, core int) App {
+				if core >= scenarioClients(cfg) {
+					return nil
+				}
+				return NewPointerChase(8, 32, 64, 1<<16, scenarioSeed(cfg.Seed, core))
+			},
+		},
+		{
+			Name:    "scattergather",
+			Summary: "partition-aggregate: 32 queries of 8-way 128B fan-outs per client (tiles/4 clients)",
+			New: func(cfg *Config, core int) App {
+				if core >= scenarioClients(cfg) {
+					return nil
+				}
+				return NewScatterGather(8, 32, 128, 1<<16, 200, scenarioSeed(cfg.Seed, core))
+			},
+		},
+		{
+			Name:    "mixed",
+			Summary: "update stream: every core, window 8, 128 ops, every 4th a 256B write",
+			New: func(cfg *Config, core int) App {
+				return NewMixedUpdate(8, 128, 256, 1<<15, 4, scenarioSeed(cfg.Seed, core))
+			},
+		},
+		{
+			Name:    "kv",
+			Summary: "closed-loop KV: 128 Zipf(0.99) 256B GETs per client (tiles/4 clients), 300-cycle think",
+			New: func(cfg *Config, core int) App {
+				if core >= scenarioClients(cfg) {
+					return nil
+				}
+				return newKVClient(128, 256, 100_000, 0.99, 300,
+					scenarioSeed(cfg.Seed, core), kvScenarioTable())
+			},
+		},
+		{
+			Name:    "stream",
+			Summary: "double-buffered streaming: every core, 64 x 4KB segments, window 2",
+			New: func(cfg *Config, core int) App {
+				return NewStreamer(64, 4096, 2)
+			},
+		},
+	}
+}
+
+// Scenarios lists the library's scenario names, sorted.
+func Scenarios() []string {
+	lib := scenarioLibrary()
+	names := make([]string, len(lib))
+	for i, s := range lib {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseScenario resolves a scenario name from the library.
+func ParseScenario(s string) (Scenario, error) {
+	name := strings.ToLower(strings.TrimSpace(s))
+	for _, sc := range scenarioLibrary() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("rackni: unknown scenario %q (want %s)",
+		s, strings.Join(Scenarios(), "|"))
+}

@@ -1,0 +1,278 @@
+package rackni
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// scenarioTestCfg shortens runs; scenarios are request-bounded, so only
+// MaxCycles matters as a safety net.
+func scenarioTestCfg() Config {
+	return QuickConfig()
+}
+
+// TestPointerChaseDependentReads: a k-deep chase serializes k remote
+// reads, so its mean latency must be ~k times the run's single-read mean —
+// the dependent-read behavior the v1 open-loop API could not express.
+func TestPointerChaseDependentReads(t *testing.T) {
+	const depth = 8
+	cfg := scenarioTestCfg()
+	cfg.Design = NISplit
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chase := NewPointerChase(depth, 24, 64, 1<<16, cfg.Seed)
+	res, err := n.RunApp(func(core int) App {
+		if core != 27 {
+			return nil
+		}
+		return chase
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllExhausted || res.Completed != depth*24 {
+		t.Fatalf("chase run incomplete: %+v", res)
+	}
+	if chase.ChaseLat.Count() != 24 {
+		t.Fatalf("recorded %d chases, want 24", chase.ChaseLat.Count())
+	}
+	ratio := chase.ChaseLat.Mean() / res.MeanLatency
+	if ratio < depth*0.9 || ratio > depth*1.1 {
+		t.Fatalf("chase mean %.0f cyc is %.2fx the single read (%.0f cyc), want ~%dx",
+			chase.ChaseLat.Mean(), ratio, res.MeanLatency, depth)
+	}
+}
+
+// TestScatterGatherGathersAll: every query must gather its full fan-out
+// before the next query starts, and the whole-query latency (max of the
+// fan-out) must exceed the mean single-read latency.
+func TestScatterGatherGathersAll(t *testing.T) {
+	const fanout, queries = 8, 16
+	cfg := scenarioTestCfg()
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := NewScatterGather(fanout, queries, 128, 1<<16, 100, cfg.Seed)
+	res, err := n.RunApp(func(core int) App {
+		if core != 27 {
+			return nil
+		}
+		return sg
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != fanout*queries || sg.QueryLat.Count() != queries {
+		t.Fatalf("completed=%d queries=%d, want %d/%d", res.Completed, sg.QueryLat.Count(), fanout*queries, queries)
+	}
+	if sg.QueryLat.Mean() <= res.MeanLatency {
+		t.Fatalf("query latency %.0f must exceed single-read mean %.0f (gather waits for the slowest)",
+			sg.QueryLat.Mean(), res.MeanLatency)
+	}
+}
+
+// TestScenarioLibraryDeterminism: every library scenario is seed-stable —
+// two fresh nodes with the same configuration produce deeply equal
+// results, percentiles and per-core breakdowns included.
+func TestScenarioLibraryDeterminism(t *testing.T) {
+	for _, name := range Scenarios() {
+		if testing.Short() && name != "kv" && name != "pointerchase" {
+			continue
+		}
+		sc, err := ParseScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() WorkloadResult {
+			cfg := scenarioTestCfg()
+			n, err := NewNode(cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := n.RunScenario(sc, 0)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same seed diverged:\na: %+v\nb: %+v", name, a, b)
+		}
+		if !a.AllExhausted || a.Completed == 0 || a.P99 < a.P50 {
+			t.Fatalf("%s: implausible result %+v", name, a)
+		}
+	}
+}
+
+// TestWorkloadSweepParallelMatchesSerial: scenario points on the worker
+// pool are bit-identical to a serial run, like every other mode.
+func TestWorkloadSweepParallelMatchesSerial(t *testing.T) {
+	sweep := NewSweep(scenarioTestCfg()).
+		Designs(NIEdge, NISplit).
+		Workloads("kv", "pointerchase")
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(par) != 4 {
+		t.Fatalf("point counts: %d/%d, want 4", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].WL, par[i].WL) {
+			t.Fatalf("point %d workload results differ under parallelism", i)
+		}
+	}
+	if serial.Format() != par.Format() || serial.CSV() != par.CSV() {
+		t.Fatal("rendered workload results differ under parallelism")
+	}
+}
+
+// TestWorkloadSweepAxis: the Workloads axis expands alongside modes,
+// pins the size/core axes, and flows percentiles through the renderers.
+func TestWorkloadSweepAxis(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := NewSweep(cfg).
+		Designs(NIEdge, NISplit).
+		Modes(Latency).
+		Workloads("kv").
+		Sizes(64, 4096).
+		Points()
+	// Per design: 2 latency sizes + 1 kv point (scenario points don't span
+	// the Size axis).
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6", len(pts))
+	}
+	var kv, lat int
+	for _, p := range pts {
+		switch p.Mode {
+		case WorkloadMode:
+			kv++
+			if p.Scenario != "kv" || p.Size != 0 {
+				t.Fatalf("bad scenario point: %+v", p)
+			}
+		case Latency:
+			lat++
+		}
+	}
+	if kv != 2 || lat != 4 {
+		t.Fatalf("kinds: %d kv, %d latency, want 2/4", kv, lat)
+	}
+
+	// Workloads alone replaces the default latency point.
+	only := NewSweep(cfg).Workloads("stream").Points()
+	if len(only) != 1 || only[0].Mode != WorkloadMode || only[0].Scenario != "stream" {
+		t.Fatalf("workloads-only sweep wrong: %+v", only)
+	}
+
+	// Renderers carry the scenario name and percentile columns.
+	res, err := NewSweep(scenarioTestCfg()).Workloads("kv").Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Format(), "p50/p95/p99") || !strings.Contains(res.Format(), " kv ") {
+		t.Fatalf("Format missing workload columns:\n%s", res.Format())
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "wl_p99") || !strings.Contains(csv, ",kv,") {
+		t.Fatalf("CSV missing workload columns:\n%s", csv)
+	}
+	blob, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"scenario": "kv"`, `"workload"`, `"P99"`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, blob)
+		}
+	}
+}
+
+// TestScenarioConstructorsClampDegenerateGeometry: scenario constructors
+// are traffic generators, not input parsers — zero/negative sizes, object
+// counts, windows and fan-outs are clamped to legal values instead of
+// faulting at Step time (divide-by-zero) or spilling past the core's
+// local-buffer slice.
+func TestScenarioConstructorsClampDegenerateGeometry(t *testing.T) {
+	apps := []App{
+		NewPointerChase(0, 2, 0, 0, 1),
+		NewScatterGather(0, 2, -5, 0, 0, 1),
+		NewScatterGather(1<<20, 1, 4096, 16, 0, 1), // fan-out must fit the local slice
+		NewMixedUpdate(-1, 8, 0, -3, 0, 1),
+		NewKVClient(4, 0, 0, -1, 0, 1),
+		NewStreamer(4, 0, 0),
+	}
+	for _, app := range apps {
+		for step := 0; step < 64; step++ {
+			app.Step(3, int64(step), 0) // must not panic
+		}
+	}
+	if sg := NewScatterGather(1<<20, 1, 4096, 16, 0, 1); uint64(sg.Fanout)*uint64(sg.Size) > LocalStride {
+		t.Fatalf("fan-out footprint %d exceeds the local-buffer slice", sg.Fanout*sg.Size)
+	}
+	if st := NewStreamer(4, 1<<30, 3); uint64(st.SegBytes) > LocalStride {
+		t.Fatalf("segment size %d exceeds the local-buffer slice", st.SegBytes)
+	}
+}
+
+// TestParseScenarioHelpers: names resolve case-insensitively, lists
+// validate, unknown names enumerate the library.
+func TestParseScenarioHelpers(t *testing.T) {
+	for _, name := range Scenarios() {
+		sc, err := ParseScenario(strings.ToUpper(name))
+		if err != nil || sc.Name != name {
+			t.Fatalf("ParseScenario(%q) = %+v, %v", name, sc, err)
+		}
+		if sc.New == nil || sc.Summary == "" {
+			t.Fatalf("scenario %q lacks constructor or summary", name)
+		}
+	}
+	if _, err := ParseScenario("bogus"); err == nil || !strings.Contains(err.Error(), "kv") {
+		t.Fatalf("unknown scenario error must list the library, got %v", err)
+	}
+	names, err := ParseScenarios("kv, POINTERCHASE")
+	if err != nil || !reflect.DeepEqual(names, []string{"kv", "pointerchase"}) {
+		t.Fatalf("ParseScenarios = %v, %v", names, err)
+	}
+	if _, err := ParseScenarios("kv,nope"); err == nil {
+		t.Fatal("ParseScenarios accepted an unknown name")
+	}
+}
+
+// TestMixedUpdateWritesLand: the mixed scenario's writes must reach the
+// remote side (it exercises the write pipeline, not just reads).
+func TestMixedUpdateWritesLand(t *testing.T) {
+	cfg := scenarioTestCfg()
+	n, err := NewNode(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := n.RunApp(func(core int) App {
+		if core >= 4 {
+			return nil
+		}
+		return NewMixedUpdate(8, 64, 256, 1<<15, 4, cfg.Seed+uint64(core))
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4*64 || !res.AllExhausted {
+		t.Fatalf("mixed run incomplete: %+v", res)
+	}
+	if len(res.PerCore) != 4 {
+		t.Fatalf("per-core breakdowns: %d, want 4", len(res.PerCore))
+	}
+	for _, c := range res.PerCore {
+		if c.Completed != 64 || c.P99 < c.P50 {
+			t.Fatalf("core %d stats implausible: %+v", c.Core, c)
+		}
+	}
+}

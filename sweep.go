@@ -29,6 +29,9 @@ const (
 	// Bandwidth is the asynchronous bandwidth microbenchmark: all cores
 	// issue async remote reads until the windowed rate stabilizes.
 	Bandwidth
+	// WorkloadMode runs a named closed-loop scenario from the library
+	// (Point.Scenario); set through the Sweep's Workloads axis.
+	WorkloadMode
 )
 
 func (m Mode) String() string {
@@ -37,26 +40,41 @@ func (m Mode) String() string {
 		return "latency"
 	case Bandwidth:
 		return "bandwidth"
+	case WorkloadMode:
+		return "workload"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
 // Point is one fully-specified simulation: a complete Config (with design,
 // topology, routing and seed already applied) plus the microbenchmark mode,
-// transfer size, one-way intra-rack hop count, and issuing core (latency
-// mode only). Points are value types; build them with a Sweep or directly.
+// transfer size, one-way intra-rack hop count, issuing core (latency mode
+// only), and scenario name (workload mode only; its library defaults
+// define sizes and participating cores, so the Size and Core axes don't
+// apply to workload points). Points are value types; build them with a
+// Sweep or directly.
 type Point struct {
-	Config Config
-	Mode   Mode
-	Size   int
-	Hops   int
-	Core   int
+	Config   Config
+	Mode     Mode
+	Size     int
+	Hops     int
+	Core     int
+	Scenario string
+}
+
+// modeLabel names the point's run kind for tables: the scenario name for
+// workload points, the microbenchmark otherwise.
+func (p Point) modeLabel() string {
+	if p.Scenario != "" {
+		return p.Scenario
+	}
+	return p.Mode.String()
 }
 
 // label is the point's compact identity, used in errors and progress lines.
 func (p Point) label() string {
 	return fmt.Sprintf("%v/%v/%v/%v/%dB@%dhops/seed%d",
-		p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+		p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
 		p.Size, p.Hops, p.Config.Seed)
 }
 
@@ -66,19 +84,22 @@ func (p Point) label() string {
 // contributes a single value taken from the base configuration (and for
 // axes with no Config field: Latency mode, the block size, DefaultHops, and
 // the central measurement core). Points enumerate in a fixed nesting order
-// — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Modes ▸ Sizes ▸ Seeds ▸ Cores,
-// first axis outermost — so a sweep's point list is deterministic and
-// stable across runs.
+// — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ run kinds (Modes, then
+// Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis outermost — so a sweep's
+// point list is deterministic and stable across runs. Workload points pin
+// the Size and Core axes to 0 (the scenario defines both), contributing
+// one point per design/topology/routing/hops/seed combination.
 type Sweep struct {
-	base     Config
-	designs  []Design
-	topos    []Topology
-	routings []Routing
-	modes    []Mode
-	sizes    []int
-	hops     []int
-	seeds    []uint64
-	cores    []int
+	base      Config
+	designs   []Design
+	topos     []Topology
+	routings  []Routing
+	modes     []Mode
+	workloads []string
+	sizes     []int
+	hops      []int
+	seeds     []uint64
+	cores     []int
 }
 
 // NewSweep starts a sweep over the given base configuration.
@@ -105,6 +126,16 @@ func (s *Sweep) Routings(rs ...Routing) *Sweep {
 // Modes sets the microbenchmark axis.
 func (s *Sweep) Modes(ms ...Mode) *Sweep {
 	s.modes = append(s.modes[:0], ms...)
+	return s
+}
+
+// Workloads adds named closed-loop scenarios ("kv", "pointerchase", ...;
+// see Scenarios) to the run-kind axis. Scenario points ride the same cross
+// product as the microbenchmark modes: every scenario runs for every
+// design x topology x routing x hops x seed combination. Set alone, only
+// the scenarios run; combined with Modes, both do.
+func (s *Sweep) Workloads(names ...string) *Sweep {
+	s.workloads = append(s.workloads[:0], names...)
 	return s
 }
 
@@ -150,9 +181,21 @@ func (s *Sweep) Points() []Point {
 	if len(hops) == 0 {
 		hops = []int{s.base.DefaultHops}
 	}
-	modes := s.modes
-	if len(modes) == 0 {
-		modes = []Mode{Latency}
+	// The run-kind axis merges the microbenchmark modes and the named
+	// scenarios; with neither set, a single latency run is the default.
+	type runKind struct {
+		mode     Mode
+		scenario string
+	}
+	var kinds []runKind
+	for _, m := range s.modes {
+		kinds = append(kinds, runKind{mode: m})
+	}
+	for _, w := range s.workloads {
+		kinds = append(kinds, runKind{mode: WorkloadMode, scenario: w})
+	}
+	if len(kinds) == 0 {
+		kinds = []runKind{{mode: Latency}}
 	}
 	sizes := s.sizes
 	if len(sizes) == 0 {
@@ -167,7 +210,7 @@ func (s *Sweep) Points() []Point {
 		cores = []int{measureCore}
 	}
 	pts := make([]Point, 0,
-		len(designs)*len(topos)*len(routings)*len(hops)*len(modes)*len(sizes)*len(seeds)*len(cores))
+		len(designs)*len(topos)*len(routings)*len(hops)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
 			for _, rt := range routings {
@@ -178,13 +221,22 @@ func (s *Sweep) Points() []Point {
 						// actually simulated.
 						h = s.base.DefaultHops
 					}
-					for _, m := range modes {
-						for _, sz := range sizes {
+					for _, k := range kinds {
+						// Scenario points don't span the Size and Core axes
+						// (the scenario defines its sizes and participating
+						// cores), so they collapse to one point per
+						// design/topology/routing/hops/seed combination.
+						szs, crs := sizes, cores
+						if k.mode == WorkloadMode {
+							szs, crs = []int{0}, []int{0}
+						}
+						for _, sz := range szs {
 							for _, sd := range seeds {
-								for _, c := range cores {
+								for _, c := range crs {
 									cfg := s.base
 									cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-									pts = append(pts, Point{Config: cfg, Mode: m, Size: sz, Hops: h, Core: c})
+									pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+										Hops: h, Core: c, Scenario: k.scenario})
 								}
 							}
 						}
@@ -218,16 +270,22 @@ type Options struct {
 	Progress func(done, total int, r Result)
 }
 
-// Result is one executed point and its outcome. Exactly one of Sync and BW
-// is set on success (matching the point's mode); a point skipped because
-// the run was cancelled before it started has all three of Sync, BW and Err
-// nil.
+// Result is one executed point and its outcome. Exactly one of Sync, BW
+// and WL is set on success (matching the point's mode); a point skipped
+// because the run was cancelled before it started has Sync, BW, WL and Err
+// all nil.
 type Result struct {
 	Point Point
 	Sync  *SyncResult
 	BW    *BWResult
+	WL    *WorkloadResult
 	Err   error
 	Wall  time.Duration
+}
+
+// skipped reports whether the point never produced a result or error.
+func (r Result) skipped() bool {
+	return r.Sync == nil && r.BW == nil && r.WL == nil && r.Err == nil
 }
 
 // Results is an ordered collection of point outcomes: index i holds point i
@@ -315,7 +373,7 @@ func (r *Runner) Run(points []Point) (Results, error) {
 		// deadline landing after the last point completed should not
 		// discard a whole result set.
 		for i := range res {
-			if res[i].Sync == nil && res[i].BW == nil {
+			if res[i].skipped() {
 				return res, err
 			}
 		}
@@ -353,6 +411,18 @@ func runPoint(ctx context.Context, p Point) Result {
 		} else {
 			out.BW = &r
 		}
+	case WorkloadMode:
+		sc, err := ParseScenario(p.Scenario)
+		if err != nil {
+			out.Err = err
+			break
+		}
+		r, err := n.RunScenario(sc, 0)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.WL = &r
+		}
 	default:
 		out.Err = fmt.Errorf("rackni: unknown mode %v", p.Mode)
 	}
@@ -360,22 +430,23 @@ func runPoint(ctx context.Context, p Point) Result {
 		// A cancelled in-flight run has no result worth keeping; mark it
 		// skipped so renderers drop it. Genuine point errors (bad config,
 		// unstable run) are preserved even if cancellation raced them.
-		out.Sync, out.BW, out.Err = nil, nil, nil
+		out.Sync, out.BW, out.WL, out.Err = nil, nil, nil, nil
 	}
 	out.Wall = time.Since(t0)
 	return out
 }
 
 // Format renders the results as an aligned table, one row per point.
-// Skipped points render as "-"; failed points show their error.
+// Workload points report ops, mean and tail percentiles; skipped points
+// render as "-"; failed points show their error.
 func (rs Results) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-9s %8s %5s %5s %6s  %s\n",
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-9v %8d %5d %5d %6d  ",
-			p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d  ",
+			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
 			p.Size, p.Hops, p.Core, p.Config.Seed)
 		switch {
 		case r.Err != nil:
@@ -385,6 +456,10 @@ func (rs Results) Format() string {
 		case r.BW != nil:
 			fmt.Fprintf(&b, "app %.1f GB/s (NOC %.1f, bisection %.1f, stable=%v)\n",
 				r.BW.AppGBps, r.BW.NOCGBps, r.BW.BisectionGBps, r.BW.Stable)
+		case r.WL != nil:
+			fmt.Fprintf(&b, "%d ops, mean %.0f cyc, p50/p95/p99 %d/%d/%d, drained=%v\n",
+				r.WL.Completed, r.WL.MeanLatency, r.WL.P50, r.WL.P95, r.WL.P99,
+				r.WL.AllExhausted)
 		default:
 			fmt.Fprintf(&b, "-\n")
 		}
@@ -399,20 +474,24 @@ func (rs Results) Format() string {
 func (rs Results) CSV() string {
 	var b strings.Builder
 	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," +
-		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable,error\n")
+		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
+		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained,error\n")
 	for _, r := range rs {
 		p := r.Point
 		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,",
-			p.Config.Design, p.Config.Topology, p.Config.Routing, p.Mode,
+			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
 			p.Size, p.Hops, p.Core, p.Config.Seed)
 		switch {
 		case r.Sync != nil:
-			fmt.Fprintf(&b, "%.2f,%.2f,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
+			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
 		case r.BW != nil:
-			fmt.Fprintf(&b, ",,%.3f,%.3f,%.3f,%v,", r.BW.AppGBps, r.BW.NOCGBps,
+			fmt.Fprintf(&b, ",,%.3f,%.3f,%.3f,%v,,,,,,,", r.BW.AppGBps, r.BW.NOCGBps,
 				r.BW.BisectionGBps, r.BW.Stable)
+		case r.WL != nil:
+			fmt.Fprintf(&b, ",,,,,,%d,%.2f,%d,%d,%d,%v,", r.WL.Completed,
+				r.WL.MeanLatency, r.WL.P50, r.WL.P95, r.WL.P99, r.WL.AllExhausted)
 		default:
-			b.WriteString(",,,,,,")
+			b.WriteString(",,,,,,,,,,,,")
 		}
 		if r.Err != nil {
 			// RFC-4180 quoting: wrap in quotes, double embedded quotes.
@@ -425,19 +504,21 @@ func (rs Results) CSV() string {
 
 // resultJSON is the machine-readable per-point record emitted by JSON.
 type resultJSON struct {
-	Design    string      `json:"design"`
-	Topology  string      `json:"topology"`
-	Routing   string      `json:"routing"`
-	Mode      string      `json:"mode"`
-	SizeBytes int         `json:"size_bytes"`
-	Hops      int         `json:"hops"`
-	Core      int         `json:"core"`
-	Seed      uint64      `json:"seed"`
-	Latency   *SyncResult `json:"latency,omitempty"`
-	Bandwidth *BWResult   `json:"bandwidth,omitempty"`
-	WallMS    float64     `json:"wall_ms"`
-	Skipped   bool        `json:"skipped,omitempty"`
-	Error     string      `json:"error,omitempty"`
+	Design    string          `json:"design"`
+	Topology  string          `json:"topology"`
+	Routing   string          `json:"routing"`
+	Mode      string          `json:"mode"`
+	Scenario  string          `json:"scenario,omitempty"`
+	SizeBytes int             `json:"size_bytes"`
+	Hops      int             `json:"hops"`
+	Core      int             `json:"core"`
+	Seed      uint64          `json:"seed"`
+	Latency   *SyncResult     `json:"latency,omitempty"`
+	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
+	Workload  *WorkloadResult `json:"workload,omitempty"`
+	WallMS    float64         `json:"wall_ms"`
+	Skipped   bool            `json:"skipped,omitempty"`
+	Error     string          `json:"error,omitempty"`
 }
 
 // JSON renders the results as an indented JSON array, one record per
@@ -453,14 +534,16 @@ func (rs Results) JSON() ([]byte, error) {
 			Topology:  p.Config.Topology.String(),
 			Routing:   p.Config.Routing.String(),
 			Mode:      p.Mode.String(),
+			Scenario:  p.Scenario,
 			SizeBytes: p.Size,
 			Hops:      p.Hops,
 			Core:      p.Core,
 			Seed:      p.Config.Seed,
 			Latency:   r.Sync,
 			Bandwidth: r.BW,
+			Workload:  r.WL,
 			WallMS:    float64(r.Wall.Microseconds()) / 1000,
-			Skipped:   r.Sync == nil && r.BW == nil && r.Err == nil,
+			Skipped:   r.skipped(),
 		}
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()

@@ -1,7 +1,9 @@
 package rackni
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	rmc "rackni/internal/core"
 	"rackni/internal/cpu"
@@ -62,6 +64,40 @@ func UniformReads(core, size int, max uint64, seed uint64) Workload {
 		LocalBufferOf(core), LocalStride, max, seed)
 }
 
+// zipfTable is a precomputed cumulative table for inverse-CDF sampling of
+// a truncated Zipf distribution. Building it is O(objects) once; each
+// sample is a binary search, O(log objects) — versus the O(objects)
+// math.Pow scan per request the naive formulation costs.
+type zipfTable struct {
+	cum   []float64
+	theta float64
+}
+
+// newZipfTable builds the cumulative table for the given skew. The partial
+// sums accumulate in the same index order as the naive per-request scan,
+// so sampling is bit-identical to it.
+func newZipfTable(objects int, theta float64) *zipfTable {
+	cum := make([]float64, objects)
+	var z float64
+	for i := 1; i <= objects; i++ {
+		z += 1 / math.Pow(float64(i), theta)
+		cum[i-1] = z
+	}
+	return &zipfTable{cum: cum, theta: theta}
+}
+
+// sample draws one object index in [0, objects).
+func (t *zipfTable) sample(rnd *sim.Rand) int {
+	u := rnd.Float64() * t.cum[len(t.cum)-1]
+	// First index whose cumulative mass reaches u — exactly the object the
+	// linear scan would have stopped at.
+	i := sort.SearchFloat64s(t.cum, u)
+	if i >= len(t.cum) {
+		i = len(t.cum) - 1
+	}
+	return i
+}
+
 // ZipfReads issues remote reads whose object popularity follows a
 // Zipf-like distribution — the skewed access pattern typical of key-value
 // workloads (§2.1). Objects are size-aligned slots of the source region.
@@ -70,19 +106,31 @@ type ZipfReads struct {
 	Objects int
 	Theta   float64 // skew: 0 = uniform, ~0.99 = typical KV skew
 	Max     uint64
-	core    int
 	rnd     *sim.Rand
-	zeta    float64
+	table   *zipfTable
 }
 
-// NewZipfReads builds the skewed workload for one core.
-func NewZipfReads(core, size, objects int, theta float64, max uint64, seed uint64) *ZipfReads {
-	z := &ZipfReads{Size: size, Objects: objects, Theta: theta, Max: max,
-		core: core, rnd: sim.NewRand(seed)}
-	for i := 1; i <= objects; i++ {
-		z.zeta += 1 / math.Pow(float64(i), theta)
+// NewZipfReads builds the skewed workload; local placement follows the
+// coreID each Next call receives, so one value can serve any core (seed it
+// per core for decorrelated streams). Invalid geometry (non-positive size
+// or object count, a size exceeding the per-core local buffer, a keyspace
+// exceeding the source region, negative skew) is rejected here rather
+// than faulting in the issue path.
+func NewZipfReads(size, objects int, theta float64, max uint64, seed uint64) (*ZipfReads, error) {
+	switch {
+	case size <= 0:
+		return nil, fmt.Errorf("rackni: ZipfReads size %d must be positive", size)
+	case uint64(size) > LocalStride:
+		return nil, fmt.Errorf("rackni: ZipfReads size %d exceeds the per-core local buffer (%d bytes)", size, LocalStride)
+	case objects <= 0:
+		return nil, fmt.Errorf("rackni: ZipfReads needs a positive object count, got %d", objects)
+	case uint64(objects)*uint64(size) > SourceSpan:
+		return nil, fmt.Errorf("rackni: ZipfReads keyspace %d x %dB exceeds the source region (%d bytes)", objects, size, uint64(SourceSpan))
+	case theta < 0:
+		return nil, fmt.Errorf("rackni: ZipfReads skew %g must be non-negative", theta)
 	}
-	return z
+	return &ZipfReads{Size: size, Objects: objects, Theta: theta, Max: max,
+		rnd: sim.NewRand(seed), table: newZipfTable(objects, theta)}, nil
 }
 
 // Next implements Workload.
@@ -90,18 +138,8 @@ func (z *ZipfReads) Next(coreID int, seq uint64) (rmc.Op, uint64, uint64, int, b
 	if z.Max > 0 && seq >= z.Max {
 		return 0, 0, 0, 0, false
 	}
-	// Inverse-CDF sampling over the truncated Zipf.
-	u := z.rnd.Float64() * z.zeta
-	var cum float64
-	obj := z.Objects - 1
-	for i := 1; i <= z.Objects; i++ {
-		cum += 1 / math.Pow(float64(i), z.Theta)
-		if cum >= u {
-			obj = i - 1
-			break
-		}
-	}
+	obj := z.table.sample(z.rnd)
 	remote := SourceBase + uint64(obj)*uint64(z.Size)
-	local := LocalBufferOf(z.core) + (z.rnd.Uint64()%(LocalStride/uint64(z.Size)))*uint64(z.Size)
+	local := LocalBufferOf(coreID) + (z.rnd.Uint64()%(LocalStride/uint64(z.Size)))*uint64(z.Size)
 	return rmc.OpRead, remote, local, z.Size, true
 }

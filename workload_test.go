@@ -1,0 +1,152 @@
+package rackni
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/sim"
+)
+
+// zipfNextReference is the original O(objects) ZipfReads issue path —
+// per-request math.Pow scan over the cumulative mass — retained so the
+// table-driven sampler can be equivalence-tested bit for bit against it.
+// It consumes the RNG exactly like the original: one Float64 for the
+// object, one Uint64 for the local slot.
+func zipfNextReference(rnd *sim.Rand, size, objects int, theta float64, core int) (uint64, uint64) {
+	var zeta float64
+	for i := 1; i <= objects; i++ {
+		zeta += 1 / math.Pow(float64(i), theta)
+	}
+	u := rnd.Float64() * zeta
+	var cum float64
+	obj := objects - 1
+	for i := 1; i <= objects; i++ {
+		cum += 1 / math.Pow(float64(i), theta)
+		if cum >= u {
+			obj = i - 1
+			break
+		}
+	}
+	remote := SourceBase + uint64(obj)*uint64(size)
+	local := LocalBufferOf(core) + (rnd.Uint64()%(LocalStride/uint64(size)))*uint64(size)
+	return remote, local
+}
+
+// TestZipfReadsMatchesLinearReference: the precomputed-table binary-search
+// sampler must reproduce the original linear scan's address stream bit for
+// bit (same partial-sum order, same first-crossing semantics).
+func TestZipfReadsMatchesLinearReference(t *testing.T) {
+	const (
+		size    = 256
+		objects = 2000
+		theta   = 0.99
+		seed    = 42
+		core    = 7
+	)
+	z, err := NewZipfReads(size, objects, theta, 0, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRnd := sim.NewRand(seed)
+	for i := uint64(0); i < 5000; i++ {
+		op, remote, local, sz, ok := z.Next(core, i)
+		if !ok || op != rmc.OpRead || sz != size {
+			t.Fatalf("bad op/size/ok at %d", i)
+		}
+		wantRemote, wantLocal := zipfNextReference(refRnd, size, objects, theta, core)
+		if remote != wantRemote || local != wantLocal {
+			t.Fatalf("sample %d diverges: got (%#x,%#x), reference (%#x,%#x)",
+				i, remote, local, wantRemote, wantLocal)
+		}
+	}
+}
+
+// TestZipfReadsSkew: with strong skew, the most popular object must
+// dominate; with theta=0 the distribution must be near-uniform.
+func TestZipfReadsSkew(t *testing.T) {
+	count := func(theta float64) map[uint64]int {
+		z, err := NewZipfReads(64, 100, theta, 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := map[uint64]int{}
+		for i := uint64(0); i < 20_000; i++ {
+			_, remote, _, _, _ := z.Next(0, i)
+			c[remote]++
+		}
+		return c
+	}
+	skewed := count(0.99)
+	if top := skewed[SourceBase]; top < 2000 {
+		t.Fatalf("Zipf(0.99) head object drew %d of 20000, want >2000", top)
+	}
+	uniform := count(0)
+	for obj, n := range uniform {
+		if n > 500 {
+			t.Fatalf("theta=0 object %#x drew %d of 20000, want near-uniform (~200)", obj, n)
+		}
+	}
+}
+
+// TestZipfReadsUsesCoreID: local placement must follow the coreID passed
+// to Next (the old implementation ignored it for a stored field).
+func TestZipfReadsUsesCoreID(t *testing.T) {
+	z, err := NewZipfReads(64, 100, 0.99, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range []int{0, 13, 63} {
+		_, _, local, _, _ := z.Next(core, 0)
+		base := LocalBufferOf(core)
+		if local < base || local >= base+LocalStride {
+			t.Fatalf("core %d local %#x outside its buffer [%#x,%#x)", core, local, base, base+LocalStride)
+		}
+	}
+}
+
+// TestZipfReadsValidation: broken geometry is rejected at construction
+// (the old code divided by LocalStride/Size, which is 0 for Size >
+// LocalStride, and faulted at issue time).
+func TestZipfReadsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		size    int
+		objects int
+		theta   float64
+	}{
+		{"zero size", 0, 100, 0.99},
+		{"negative size", -64, 100, 0.99},
+		{"size exceeds local buffer", int(LocalStride) + 64, 100, 0.99},
+		{"zero objects", 64, 0, 0.99},
+		{"keyspace exceeds source region", 1 << 20, 1 << 20, 0.99},
+		{"negative skew", 64, 100, -1},
+	}
+	for _, tc := range cases {
+		if _, err := NewZipfReads(tc.size, tc.objects, tc.theta, 0, 1); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+	if _, err := NewZipfReads(64, 100, 0.99, 0, 1); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+}
+
+// BenchmarkZipfNext shows the per-request cost is O(log objects): growing
+// the keyspace 100x (1k -> 100k objects) must not grow ns/op with it (the
+// pre-table implementation was O(objects): ~100x slower at 100k).
+func BenchmarkZipfNext(b *testing.B) {
+	for _, objects := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("objects=%d", objects), func(b *testing.B) {
+			z, err := NewZipfReads(64, objects, 0.99, 0, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				z.Next(0, uint64(i))
+			}
+		})
+	}
+}
