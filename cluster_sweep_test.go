@@ -1,0 +1,130 @@
+package rackni
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// quickClusterCfg keeps multi-node sweep tests fast.
+func quickClusterCfg() Config {
+	cfg := QuickConfig()
+	cfg.MeasureReqs = 8
+	cfg.WarmupRequests = 2
+	return cfg
+}
+
+// TestClusterSweepParallelMatchesSerial: multi-node points are
+// independent simulations like any other, so a sweep spanning the Nodes
+// axis must produce byte-identical Results — Format and CSV — serially
+// and on a worker pool. Wired into the CI race job: the cluster is the
+// repo's largest single simulation, and this exercises it under -race.
+func TestClusterSweepParallelMatchesSerial(t *testing.T) {
+	sweep := NewSweep(quickClusterCfg()).
+		Designs(NISplit).
+		Modes(Latency).
+		Workloads("kv").
+		Sizes(64).
+		Nodes(1, 2).
+		Hops(2)
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(par) != 4 {
+		t.Fatalf("point counts: serial %d, parallel %d, want 4", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Point, par[i].Point) {
+			t.Fatalf("point %d metadata differs under parallelism", i)
+		}
+		if !reflect.DeepEqual(serial[i].Sync, par[i].Sync) ||
+			!reflect.DeepEqual(serial[i].WL, par[i].WL) {
+			t.Fatalf("point %d results differ under parallelism", i)
+		}
+	}
+	if serial.Format() != par.Format() {
+		t.Fatalf("Format differs:\nserial:\n%s\nparallel:\n%s", serial.Format(), par.Format())
+	}
+	if serial.CSV() != par.CSV() {
+		t.Fatalf("CSV differs:\nserial:\n%s\nparallel:\n%s", serial.CSV(), par.CSV())
+	}
+}
+
+// TestNodesAxisRenderers: the nodes column appears exactly when a result
+// set contains multi-node points, keeping single-node output
+// byte-identical to its pre-cluster form.
+func TestNodesAxisRenderers(t *testing.T) {
+	cfg := quickClusterCfg()
+	single, err := NewSweep(cfg).Designs(NISplit).Modes(Latency).Sizes(64).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(single.Format(), "nodes") || strings.Contains(single.CSV(), "nodes") {
+		t.Fatalf("single-node result set grew a nodes column:\n%s", single.Format())
+	}
+	blob, err := single.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), `"nodes"`) {
+		t.Fatalf("single-node JSON carries a nodes field:\n%s", blob)
+	}
+
+	multi, err := NewSweep(cfg).Designs(NISplit).Modes(Latency).Sizes(64).Nodes(2).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(multi.Format(), "nodes") || !strings.Contains(multi.CSV(), "nodes,") {
+		t.Fatalf("multi-node result set missing its nodes column:\n%s", multi.Format())
+	}
+	blob, err = multi.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"nodes": 2`) {
+		t.Fatalf("multi-node JSON missing nodes field:\n%s", blob)
+	}
+}
+
+// TestClusterScenarioCrossNode: a >=3-node scenario run shards each
+// node's keyspace across its peers — the interconnect's traffic matrix
+// must show every off-diagonal flow and an empty diagonal.
+func TestClusterScenarioCrossNode(t *testing.T) {
+	cfg := quickClusterCfg()
+	c, err := NewCluster(cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseScenario("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunScenario(sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregate.AllExhausted {
+		t.Fatal("scenario did not drain")
+	}
+	traffic := c.Interconnect().Traffic
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				if traffic[i][j] != 0 {
+					t.Errorf("node %d sent %d blocks to itself", i, traffic[i][j])
+				}
+			} else if traffic[i][j] == 0 {
+				t.Errorf("no traffic from node %d to node %d: sharding inactive", i, j)
+			}
+		}
+	}
+	// Per-node decorrelation: nodes must not issue identical streams.
+	if reflect.DeepEqual(res.PerNode[0], res.PerNode[1]) {
+		t.Error("nodes 0 and 1 produced identical results; per-node seeds not decorrelated")
+	}
+}

@@ -13,6 +13,8 @@
 //	racksim -design split -topology mesh,nocout -size 2048 -json
 //	racksim -workload kv,pointerchase -design edge,split -quick
 //	racksim -workload kv -quick    # single point: per-core p50/p95/p99 table
+//	racksim -nodes 2 -workload kv -quick   # real 2-node cluster, cross-node sharded KV
+//	racksim -nodes 1,2,4 -mode bandwidth -size 4096 -quick
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	workload := flag.String("workload", "", "closed-loop scenario(s): "+strings.Join(rackni.Scenarios(), "|")+", comma-separated (replaces -mode unless both are given)")
 	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated (microbenchmark modes; -workload scenarios define their own sizes)")
 	hops := flag.String("hops", "1", "one-way intra-rack hop count(s), comma-separated")
+	nodes := flag.String("nodes", "1", "detailed node count(s), comma-separated: 1 = emulated rack, n>1 = real n-node cluster (cross-node traffic over the torus hop model)")
 	core := flag.String("core", "27", "issuing core(s) (latency mode; -workload scenarios define their own cores), comma-separated")
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	quick := flag.Bool("quick", false, "short stabilization windows")
@@ -100,6 +103,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	nodeList, err := rackni.ParseNodeCounts(*nodes)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	cores, err := rackni.ParseCores(*core)
 	if err != nil {
 		fatalf("%v", err)
@@ -117,6 +124,7 @@ func main() {
 		Workloads(scenarios...).
 		Sizes(sizes...).
 		Hops(hopList...).
+		Nodes(nodeList...).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()
@@ -160,9 +168,9 @@ func main() {
 		// Single latency point: keep the detailed tomography output.
 		r := results[0]
 		b := r.Sync.Breakdown
-		fmt.Printf("%v %v %dB @%d hop(s): %.0f cycles (%.0f ns)\n",
+		fmt.Printf("%v %v %dB @%d hop(s)%s: %.0f cycles (%.0f ns)\n",
 			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Size,
-			r.Point.Hops, r.Sync.MeanCycles, r.Sync.MeanNS)
+			r.Point.Hops, nodesSuffix(r.Point.Nodes), r.Sync.MeanCycles, r.Sync.MeanNS)
 		fmt.Printf("  WQ write %.0f | WQ read %.0f | dispatch %.0f | generate %.0f\n",
 			b.WQWrite, b.WQRead, b.Dispatch, b.Generate)
 		fmt.Printf("  net out %.0f | remote %.0f | net back %.0f\n", b.NetOut, b.Remote, b.NetBack)
@@ -171,9 +179,9 @@ func main() {
 		// Single workload point: add the per-core breakdown.
 		r := results[0]
 		wl := r.WL
-		fmt.Printf("%v %v %s @%d hop(s): %d ops in %d cycles, mean %.0f cyc, p50/p95/p99 %d/%d/%d cyc, drained=%v\n",
+		fmt.Printf("%v %v %s @%d hop(s)%s: %d ops in %d cycles, mean %.0f cyc, p50/p95/p99 %d/%d/%d cyc, drained=%v\n",
 			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Scenario,
-			r.Point.Hops, wl.Completed, wl.Cycles, wl.MeanLatency,
+			r.Point.Hops, nodesSuffix(r.Point.Nodes), wl.Completed, wl.Cycles, wl.MeanLatency,
 			wl.P50, wl.P95, wl.P99, wl.AllExhausted)
 		fmt.Printf("  %4s %9s %9s %10s %8s %8s %8s\n",
 			"core", "issued", "done", "mean(cyc)", "p50", "p95", "p99")
@@ -185,13 +193,21 @@ func main() {
 		// Single bandwidth point: keep the detailed single-run output.
 		r := results[0]
 		bw := r.BW
-		fmt.Printf("%v %v %dB async x%d cores: app %.1f GB/s (NOC agg %.1f, bisection %.1f), stable=%v, %d requests in %d cycles\n",
+		fmt.Printf("%v %v %dB async x%d cores%s: app %.1f GB/s (NOC agg %.1f, bisection %.1f), stable=%v, %d requests in %d cycles\n",
 			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Size,
-			r.Point.Config.Tiles(), bw.AppGBps, bw.NOCGBps, bw.BisectionGBps,
-			bw.Stable, bw.Completed, bw.Cycles)
+			r.Point.Config.Tiles(), nodesSuffix(r.Point.Nodes), bw.AppGBps, bw.NOCGBps,
+			bw.BisectionGBps, bw.Stable, bw.Completed, bw.Cycles)
 	default:
 		fmt.Print(results.Format())
 	}
+}
+
+// nodesSuffix labels multi-node (cluster) points in single-point output.
+func nodesSuffix(n int) string {
+	if n > 1 {
+		return fmt.Sprintf(" x%d nodes", n)
+	}
+	return ""
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -31,6 +31,7 @@ type rrppJob struct {
 	op     Op
 	addr   uint64
 	txn    uint64
+	src    int64 // requesting node's tag, echoed on the response
 	t0     int64
 	doneFn func()
 }
@@ -45,14 +46,14 @@ func NewRRPP(env *Env, id, netPort noc.NodeID, data *DataPath) *RRPP {
 	}
 }
 
-func (p *RRPP) newJob(op Op, addr, txn uint64, t0 int64) *rrppJob {
+func (p *RRPP) newJob(op Op, addr, txn uint64, src, t0 int64) *rrppJob {
 	if n := len(p.jobFree); n > 0 {
 		j := p.jobFree[n-1]
 		p.jobFree = p.jobFree[:n-1]
-		j.op, j.addr, j.txn, j.t0 = op, addr, txn, t0
+		j.op, j.addr, j.txn, j.src, j.t0 = op, addr, txn, src, t0
 		return j
 	}
-	j := &rrppJob{p: p, op: op, addr: addr, txn: txn, t0: t0}
+	j := &rrppJob{p: p, op: op, addr: addr, txn: txn, src: src, t0: t0}
 	j.doneFn = j.done
 	return j
 }
@@ -60,9 +61,12 @@ func (p *RRPP) newJob(op Op, addr, txn uint64, t0 int64) *rrppJob {
 // HandleInbound services one KNetInbound request (releasing the packet).
 // The service latency (arrival to response injection) is recorded; the
 // rack emulation uses the local node's measured RRPP latency as the remote
-// node's, exactly as the paper's methodology prescribes (§5).
+// node's, exactly as the paper's methodology prescribes (§5). The packet's
+// B field is the requesting node's tag (zero under the single-node mirror
+// emulation); the RRPP echoes it on its response so the inter-node fabric
+// can validate who a response belongs to.
 func (p *RRPP) HandleInbound(m *noc.Message) {
-	j := p.newJob(Op(m.A), m.Addr, m.Txn, p.env.Now())
+	j := p.newJob(Op(m.A), m.Addr, m.Txn, m.B, p.env.Now())
 	noc.Release(m)
 	p.env.Eng.Post(p.procLat, rrppStartEv, p, j, 0)
 }
@@ -84,20 +88,20 @@ func rrppStartEv(a, b any, _ int64) {
 func (j *rrppJob) done() {
 	p := j.p
 	if j.op == OpRead {
-		p.respond(j.txn, p.env.Cfg.BlockFlits(), j.t0)
+		p.respond(j.txn, p.env.Cfg.BlockFlits(), j.src, j.t0)
 		p.env.Stats.RRPPBytes += int64(p.env.Cfg.BlockBytes)
 	} else {
-		p.respond(j.txn, 1, j.t0)
+		p.respond(j.txn, 1, j.src, j.t0)
 	}
 	p.jobFree = append(p.jobFree, j)
 }
 
-func (p *RRPP) respond(txn uint64, flits int, t0 int64) {
+func (p *RRPP) respond(txn uint64, flits int, src, t0 int64) {
 	p.Serviced++
 	p.env.Stats.RRPPLat.Add(p.env.Now() - t0)
 	m := noc.NewMessage()
 	m.VN, m.Class = noc.VNResp, noc.ClassResponse
 	m.Src, m.Dst = p.id, p.netPort
-	m.Flits, m.Kind, m.Txn = flits, KNetOutbound, txn
+	m.Flits, m.Kind, m.Txn, m.B = flits, KNetOutbound, txn, src
 	p.out.Send(m)
 }

@@ -73,6 +73,17 @@ func Think(cycles int64) Action { return Action{kind: actThink, think: cycles} }
 // requests (their OnComplete calls still arrive), then parks the core.
 func Done() Action { return Action{kind: actDone} }
 
+// MapIssue returns the action with f applied to its request if it is an
+// Issue; other action kinds pass through untouched. It lets wrappers
+// (e.g. cluster-wide sharding of an app's remote addresses) transform
+// issued requests without access to the Action's internals.
+func (a Action) MapIssue(f func(Request) Request) Action {
+	if a.kind == actIssue {
+		a.req = f(a.req)
+	}
+	return a
+}
+
 // App is the v2 workload contract: a closed-loop state machine driven by
 // its core. The driver calls Step whenever the core is free to act — at
 // start, after each issue is published, after completions are delivered,

@@ -1,0 +1,299 @@
+package fabric
+
+import (
+	"fmt"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/noc"
+)
+
+// Cluster-global addressing: a remote address may carry a target-node
+// selector in its high bits, above every on-chip region. Selector 0 means
+// "the default peer" — (src+1) mod N — which keeps plain single-node
+// addresses (and every existing workload) meaningful on a cluster: their
+// traffic goes to the next node around the ring, the natural two-node
+// mirror arrangement. Selector k>0 targets node k-1 explicitly; the
+// selector is stripped before the address reaches the remote node, so
+// on-chip address interleaving is identical either way.
+const (
+	// NodeSelShift is the bit position of the target-node selector.
+	NodeSelShift = 40
+	// nodeSelMask bounds the selector field (4095 ≥ any rack we model).
+	nodeSelMask = 0xFFF
+)
+
+// GlobalAddr returns addr targeted at the given cluster node. Targets
+// that do not fit the selector field are a programming error and panic —
+// letting them through would silently overflow into the default-peer
+// encoding and mis-route the request.
+func GlobalAddr(target int, addr uint64) uint64 {
+	if target < 0 || target+1 > nodeSelMask {
+		panic(fmt.Sprintf("fabric: node target %d outside the selector field [0, %d)", target, nodeSelMask-1))
+	}
+	return (addr &^ (uint64(nodeSelMask) << NodeSelShift)) |
+		uint64(target+1)<<NodeSelShift
+}
+
+// SplitAddr separates a cluster-global address into its target-node
+// selector (0 = default peer, k>0 = node k-1) and the node-local address.
+func SplitAddr(addr uint64) (sel int, local uint64) {
+	return int(addr>>NodeSelShift) & nodeSelMask,
+		addr &^ (uint64(nodeSelMask) << NodeSelShift)
+}
+
+// LinkStats is one node's per-run view of the inter-node fabric.
+type LinkStats struct {
+	// RequestsOut counts block requests this node sent into the fabric.
+	RequestsOut int64
+	// InboundDelivered counts remote block requests handed to this node's
+	// RRPPs.
+	InboundDelivered int64
+	// ResponsesOut counts RRPP responses this node sent back to peers.
+	ResponsesOut int64
+	// ResponsesIn counts responses delivered back to this node's RCPs.
+	ResponsesIn int64
+	// HopCycles accumulates the hop delay applied to this node's own
+	// requests (outbound and return legs) — the exact counterpart of
+	// Rack.HopCycles, compared bit for bit by the cross-validation tests.
+	HopCycles int64
+}
+
+// Interconnect is the real inter-node fabric: it connects N fully
+// simulated nodes (sharing one event engine), routing each outgoing block
+// request to its target node's actual RRPPs — the remote service the
+// single-node Rack only mirrors — and each RRPP response back to the
+// requester, charging per-hop latency for the torus distance between the
+// two nodes.
+//
+// Distances come from one of two models: with a Placement, nodes sit at
+// explicit coordinates of the rack's 3D torus and pairwise distances are
+// real Torus3D hop counts; without one, every pair (including loopback) is
+// a uniform UniformHops apart — the degenerate geometry of the paper's
+// fixed-hop emulation, which makes a symmetric cluster directly
+// comparable against Rack.
+type Interconnect struct {
+	topo      Torus3D
+	placement []int // torus coordinates per node; nil = uniform distances
+	uniform   int   // uniform pairwise hop count when placement is nil
+	hopCycles int64 // cycles per inter-node hop
+
+	ports []NodePort
+	outs  [][]*noc.Outbox // [node][row] injection ports
+
+	seq     uint64
+	pending map[uint64]*xfer
+	free    []*xfer
+
+	// Counters is the per-node accounting, reset per run by the cluster's
+	// run entry points.
+	Counters []LinkStats
+	// Traffic[i][j] counts block requests node i sent to node j.
+	Traffic [][]int64
+}
+
+// xfer is one in-flight block transfer crossing the fabric.
+type xfer struct {
+	nr       *rmc.NetReq
+	addr     uint64 // original (global) address
+	src, dst int
+}
+
+// NewInterconnect wires the fabric to every node's network ports.
+// placement, when non-nil, gives each node's torus coordinate (distinct,
+// in range); when nil every pair of nodes is uniformHops apart.
+func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []NodePort) (*Interconnect, error) {
+	n := len(ports)
+	if n == 0 {
+		return nil, fmt.Errorf("fabric: interconnect needs at least one node")
+	}
+	if n > nodeSelMask-1 {
+		return nil, fmt.Errorf("fabric: %d nodes exceed the %d-node address selector", n, nodeSelMask-1)
+	}
+	if placement != nil {
+		if len(placement) != n {
+			return nil, fmt.Errorf("fabric: placement names %d positions for %d nodes", len(placement), n)
+		}
+		seen := make(map[int]bool, n)
+		for i, p := range placement {
+			if p < 0 || p >= topo.Nodes() {
+				return nil, fmt.Errorf("fabric: placement[%d]=%d outside the %d-node torus", i, p, topo.Nodes())
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("fabric: placement %d used twice", p)
+			}
+			seen[p] = true
+		}
+	} else if uniformHops < 0 {
+		return nil, fmt.Errorf("fabric: negative uniform hop count %d", uniformHops)
+	}
+	base := ports[0].Env.Cfg
+	for i, p := range ports {
+		// One engine, one clock: every node must tick the shared wheel in
+		// the same time base for hop delays to mean the same thing.
+		if p.Env.Cfg.ClockGHz != base.ClockGHz || p.Env.Cfg.NetHopNS != base.NetHopNS {
+			return nil, fmt.Errorf("fabric: node %d clock domain (%.2f GHz, %.1f ns/hop) differs from node 0 (%.2f GHz, %.1f ns/hop)",
+				i, p.Env.Cfg.ClockGHz, p.Env.Cfg.NetHopNS, base.ClockGHz, base.NetHopNS)
+		}
+	}
+	x := &Interconnect{
+		topo: topo, placement: placement, uniform: uniformHops,
+		hopCycles: base.NetHopCycles(),
+		ports:     ports,
+		outs:      make([][]*noc.Outbox, n),
+		pending:   make(map[uint64]*xfer),
+		Counters:  make([]LinkStats, n),
+		Traffic:   make([][]int64, n),
+	}
+	for i := range ports {
+		x.Traffic[i] = make([]int64, n)
+		x.outs[i] = make([]*noc.Outbox, ports[i].Ports)
+		p := ports[i]
+		idx := i
+		handler := func(m *noc.Message) { x.handle(idx, m) }
+		for row := 0; row < p.Ports; row++ {
+			id := noc.NetID(row)
+			x.outs[i][row] = noc.NewOutbox(p.Env.Net, id)
+			p.Env.Net.Register(id, handler)
+		}
+	}
+	return x, nil
+}
+
+// NodeCount returns the number of attached nodes.
+func (x *Interconnect) NodeCount() int { return len(x.ports) }
+
+// Dist returns the hop distance between two cluster nodes.
+func (x *Interconnect) Dist(a, b int) int {
+	if x.placement == nil {
+		return x.uniform
+	}
+	return x.topo.Hops(x.placement[a], x.placement[b])
+}
+
+// DefaultPeer returns the node a selector-less address from src targets.
+func (x *Interconnect) DefaultPeer(src int) int { return (src + 1) % len(x.ports) }
+
+// ResetCounters zeroes the per-run accounting. In-flight transfer records
+// are untouched.
+func (x *Interconnect) ResetCounters() {
+	for i := range x.Counters {
+		x.Counters[i] = LinkStats{}
+		for j := range x.Traffic[i] {
+			x.Traffic[i][j] = 0
+		}
+	}
+}
+
+// handle consumes one message a node injected at its network ports.
+func (x *Interconnect) handle(node int, m *noc.Message) {
+	switch m.Kind {
+	case rmc.KNetRequest:
+		x.onRequest(node, m)
+	case rmc.KNetOutbound:
+		x.onResponse(node, m)
+	default:
+		panic(fmt.Sprintf("fabric: unexpected kind %d at node %d network router", m.Kind, node))
+	}
+	noc.Release(m)
+}
+
+// packDst packs the delivery coordinates into one event argument.
+func packDst(node, row int) int64 { return int64(node)<<32 | int64(row) }
+
+// onRequest routes one outgoing block request to its target node's RRPP
+// row, after the inter-node hops.
+func (x *Interconnect) onRequest(src int, m *noc.Message) {
+	nr := m.Meta.(*rmc.NetReq)
+	sel, local := SplitAddr(m.Addr)
+	dst := x.DefaultPeer(src)
+	if sel > 0 {
+		dst = sel - 1
+		if dst >= len(x.ports) {
+			panic(fmt.Sprintf("fabric: node %d addressed nonexistent node %d (cluster has %d)", src, dst, len(x.ports)))
+		}
+	}
+	x.seq++
+	txn := x.seq
+	var o *xfer
+	if n := len(x.free); n > 0 {
+		o = x.free[n-1]
+		x.free = x.free[:n-1]
+		o.nr, o.addr, o.src, o.dst = nr, m.Addr, src, dst
+	} else {
+		o = &xfer{nr: nr, addr: m.Addr, src: src, dst: dst}
+	}
+	x.pending[txn] = o
+
+	flits := x.ports[dst].Env.Cfg.ReqHeaderFlits
+	if nr.Op == rmc.OpWrite {
+		flits += x.ports[dst].Env.Cfg.BlockBytes / x.ports[dst].Env.Cfg.LinkBytes
+	}
+	row := x.ports[dst].HomeRow(local)
+	inbound := noc.NewMessage()
+	inbound.VN, inbound.Class = noc.VNReq, noc.ClassRequest
+	inbound.Src, inbound.Dst = noc.NetID(row), x.ports[dst].RRPPAt(row)
+	inbound.Flits, inbound.Kind = flits, rmc.KNetInbound
+	inbound.Addr, inbound.Txn, inbound.A = local, txn, int64(nr.Op)
+	inbound.B = int64(src) // source-node tag, echoed by the RRPP's response
+
+	delay := int64(x.Dist(src, dst)) * x.hopCycles
+	x.Counters[src].RequestsOut++
+	x.Counters[src].HopCycles += delay
+	x.Traffic[src][dst]++
+	x.ports[src].Env.Eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
+}
+
+// xconnInboundEv lands a request at its target node's RRPP row after the
+// inter-node hops. InboundDelivered counts here — at delivery, matching
+// ResponsesIn — so a cut-short run's ledger reflects only blocks the
+// RRPPs actually saw.
+func xconnInboundEv(a, b any, dst int64) {
+	x := a.(*Interconnect)
+	x.Counters[dst>>32].InboundDelivered++
+	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(b.(*noc.Message))
+}
+
+// onResponse routes an RRPP's response back to the requesting node, after
+// the return hops.
+func (x *Interconnect) onResponse(node int, m *noc.Message) {
+	o, ok := x.pending[m.Txn]
+	if !ok {
+		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d", m.Txn))
+	}
+	// Protocol validation: the servicing node and its RRPP's echoed
+	// source tag must both match the transfer record. A mismatch means the
+	// two implementations of "the rack" disagree about who asked.
+	if node != o.dst {
+		panic(fmt.Sprintf("fabric: txn %d serviced by node %d, was sent to node %d", m.Txn, node, o.dst))
+	}
+	if m.B != int64(o.src) {
+		panic(fmt.Sprintf("fabric: txn %d response tagged for node %d, belongs to node %d", m.Txn, m.B, o.src))
+	}
+	delete(x.pending, m.Txn)
+	flits := 1
+	if o.nr.Op == rmc.OpRead {
+		flits = x.ports[o.src].Env.Cfg.BlockFlits()
+	}
+	row := x.ports[o.src].RowOf(o.nr.ReturnTo)
+	resp := noc.NewMessage()
+	resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
+	resp.Src, resp.Dst = noc.NetID(row), o.nr.ReturnTo
+	resp.Flits, resp.Kind = flits, rmc.KNetResponse
+	resp.Addr, resp.Meta = o.addr, o.nr
+
+	src, dst := o.src, o.dst
+	o.nr = nil
+	x.free = append(x.free, o)
+	delay := int64(x.Dist(dst, src)) * x.hopCycles
+	x.Counters[src].HopCycles += delay
+	x.Counters[dst].ResponsesOut++
+	x.ports[src].Env.Eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
+}
+
+// xconnRespEv lands a response back at the requesting node after the
+// return hops.
+func xconnRespEv(a, b any, dst int64) {
+	x := a.(*Interconnect)
+	x.Counters[dst>>32].ResponsesIn++
+	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(b.(*noc.Message))
+}

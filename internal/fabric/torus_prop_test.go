@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bfsDistances computes single-source shortest-path hop counts over the
+// torus's actual link graph (±1 with wraparound in each of the three
+// dimensions) — an independent reference for the closed-form Hops.
+func bfsDistances(t Torus3D, src int) []int {
+	n := t.Nodes()
+	r := t.Radix
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	coord := func(id int) (int, int, int) { return id % r, (id / r) % r, id / (r * r) }
+	id := func(x, y, z int) int { return ((z+r)%r)*r*r + ((y+r)%r)*r + (x+r)%r }
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		x, y, z := coord(cur)
+		for _, nb := range []int{
+			id(x+1, y, z), id(x-1, y, z),
+			id(x, y+1, z), id(x, y-1, z),
+			id(x, y, z+1), id(x, y, z-1),
+		} {
+			if dist[nb] == -1 {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// TestTorusHopsMatchesBFS: the closed-form ring-distance sum must equal
+// true shortest-path distance over the link graph, for every destination
+// from randomly chosen sources of the paper's 512-node torus (and
+// exhaustively on a radix-4 torus, whose even radix exercises the
+// half-ring tie).
+func TestTorusHopsMatchesBFS(t *testing.T) {
+	for _, radix := range []int{3, 4, 5, 8} {
+		torus := NewTorus3D(radix)
+		n := torus.Nodes()
+		sources := n // exhaustive for small tori
+		if n > 200 {
+			sources = 24 // sampled for the 512-node torus
+		}
+		rnd := rand.New(rand.NewSource(1))
+		for s := 0; s < sources; s++ {
+			src := s
+			if n > 200 {
+				src = rnd.Intn(n)
+			}
+			dist := bfsDistances(torus, src)
+			for dst := 0; dst < n; dst++ {
+				if got := torus.Hops(src, dst); got != dist[dst] {
+					t.Fatalf("radix %d: Hops(%d,%d)=%d, BFS says %d", radix, src, dst, got, dist[dst])
+				}
+			}
+		}
+	}
+}
+
+// TestTorusAvgMaxConsistentWithBFS: AvgHops and MaxHops must agree with
+// the BFS reference on the paper's 512-node torus. By vertex transitivity
+// one source suffices for both.
+func TestTorusAvgMaxConsistentWithBFS(t *testing.T) {
+	torus := NewTorus3D(8)
+	dist := bfsDistances(torus, 0)
+	total, max := 0, 0
+	for _, d := range dist {
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	if max != torus.MaxHops() {
+		t.Fatalf("BFS diameter %d != MaxHops %d", max, torus.MaxHops())
+	}
+	wantAvg := float64(total) / float64(torus.Nodes()-1)
+	if got := torus.AvgHops(); got != wantAvg {
+		t.Fatalf("AvgHops %.4f != BFS average %.4f", got, wantAvg)
+	}
+}
+
+// TestTorusHopsBounds: property check — Hops is within [0, MaxHops] and
+// zero exactly on the diagonal.
+func TestTorusHopsBounds(t *testing.T) {
+	torus := NewTorus3D(8)
+	f := func(a, b uint16) bool {
+		x, y := int(a)%512, int(b)%512
+		h := torus.Hops(x, y)
+		if h < 0 || h > torus.MaxHops() {
+			return false
+		}
+		return (h == 0) == (x == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+	"rackni/internal/sim"
+	"rackni/internal/stats"
+)
+
+// ClusterSpec sizes and places a multi-node cluster.
+type ClusterSpec struct {
+	// Nodes is the number of fully simulated nodes (>= 1).
+	Nodes int
+	// Hops is the uniform pairwise inter-node distance used when
+	// Placement is nil — the degenerate geometry of the paper's fixed-hop
+	// emulation, under which every pair of nodes (including a node and
+	// itself) is Hops apart. 0 means the configuration's DefaultHops.
+	Hops int
+	// Placement, when non-nil, names each node's coordinate on the rack's
+	// 3D torus (cfg.TorusRadix per dimension); pairwise distances are then
+	// real torus hop counts, so skewed placements and non-uniform
+	// distances — inexpressible under the mirror emulation — emerge
+	// naturally.
+	Placement []int
+}
+
+// Cluster is N fully simulated nodes sharing one event engine, connected
+// by a real inter-node fabric that delivers every remote request to the
+// target node's actual RRPPs. It is the simulated counterpart of the
+// paper's emulated rack: a symmetric 2-node cluster running mirror-image
+// workloads reproduces the emulation's traffic, which is how the two are
+// cross-validated (cluster_equiv_test.go).
+type Cluster struct {
+	Eng   *sim.Engine
+	Cfg   *config.Config // shared configuration (one clock domain)
+	Nodes []*Node
+	Inter *fabric.Interconnect
+
+	ctx   context.Context
+	watch *sim.CancelWatch
+}
+
+// NewCluster builds a cluster of identical nodes per the spec. All nodes
+// share cfg — and therefore one clock domain; per-node state (caches,
+// queue pairs, RMC pipelines, statistics) is fully independent.
+func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
+	if spec.Nodes < 1 {
+		return nil, fmt.Errorf("node: cluster needs at least 1 node, got %d", spec.Nodes)
+	}
+	hops := spec.Hops
+	if hops == 0 {
+		hops = cfg.DefaultHops
+	}
+	if hops < 0 {
+		return nil, fmt.Errorf("node: negative hop count %d", hops)
+	}
+	topo := fabric.NewTorus3D(cfg.TorusRadix)
+	eng := sim.NewEngine()
+	c := &Cluster{Eng: eng}
+	c.watch = sim.NewCancelWatch(eng, cancelCheckCycles, func() context.Context { return c.ctx })
+
+	ports := make([]fabric.NodePort, 0, spec.Nodes)
+	// Pairwise distances are needed before the interconnect exists (each
+	// node's tomography wants its default-peer distance), so compute them
+	// the same way the interconnect will.
+	dist := func(a, b int) int {
+		if spec.Placement == nil {
+			return hops
+		}
+		return topo.Hops(spec.Placement[a], spec.Placement[b])
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		peer := (i + 1) % spec.Nodes
+		var peerHops int
+		if spec.Placement != nil {
+			if len(spec.Placement) != spec.Nodes {
+				return nil, fmt.Errorf("node: placement names %d positions for %d nodes", len(spec.Placement), spec.Nodes)
+			}
+			peerHops = dist(i, peer)
+		} else {
+			peerHops = hops
+		}
+		n, err := NewMember(eng, cfg, peerHops)
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, n)
+		ports = append(ports, n.Port())
+	}
+	c.Cfg = c.Nodes[0].Cfg
+	inter, err := fabric.NewInterconnect(topo, spec.Placement, hops, ports)
+	if err != nil {
+		return nil, err
+	}
+	c.Inter = inter
+	return c, nil
+}
+
+// SetContext attaches ctx to the cluster. Subsequent runs poll it
+// periodically and abort with the context's error once it is cancelled.
+// The cluster arms exactly one watchdog for the shared engine; member
+// nodes never arm their own.
+func (c *Cluster) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// beginRun is the shared run prologue: silence stale drivers on every
+// node, reset per-run accounting, and rebase the cycle budget.
+func (c *Cluster) beginRun() int64 {
+	for _, n := range c.Nodes {
+		n.stopStaleDrivers()
+		n.Stats.Reset()
+	}
+	c.Inter.ResetCounters()
+	return c.Eng.Now()
+}
+
+// refuseInFlight errors if any node still has in-flight requests from a
+// cut-short previous run.
+func (c *Cluster) refuseInFlight() error {
+	for i, n := range c.Nodes {
+		if err := n.refuseInFlight(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ClusterSyncResult is the outcome of a cluster-wide synchronous-latency
+// run: every node runs the same single-core latency microbenchmark
+// concurrently (each node both issues requests to its peer and services
+// its peer's), so PerNode[i] is node i's unloaded remote-read latency
+// through the real fabric. Aggregate averages across nodes.
+type ClusterSyncResult struct {
+	Aggregate SyncResult
+	PerNode   []SyncResult
+}
+
+// RunSyncLatency runs the §5 latency microbenchmark on every node
+// simultaneously: one core per node issues synchronous remote reads of
+// the given size to its default peer. All nodes use identical per-core
+// seeds, making the cluster a set of mirror images of one another — the
+// multi-node realization of the paper's rate-matching mirror emulation.
+func (c *Cluster) RunSyncLatency(size, onCore int) (ClusterSyncResult, error) {
+	if err := c.refuseInFlight(); err != nil {
+		return ClusterSyncResult{}, err
+	}
+	start := c.beginRun()
+	cfg := c.Cfg
+	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
+	remaining := 0
+	drivers := make([]*cpu.Driver, len(c.Nodes))
+	for i, n := range c.Nodes {
+		wl := cpu.NewUniformReads(size,
+			SourceBase, SourceSpan,
+			LocalBase+uint64(onCore)*LocalStride, LocalStride,
+			total, cfg.Seed+uint64(onCore))
+		d := cpu.NewDriver(c.Eng, n.Cfg, onCore, n.Agents[onCore], n.QPs[onCore], n.Stats, wl, cpu.Sync)
+		n.Drivers = []*cpu.Driver{d}
+		drivers[i] = d
+		remaining++
+		d.OnIdle = func() {
+			remaining--
+			if remaining == 0 {
+				c.Eng.Stop()
+			}
+		}
+		d.Start()
+	}
+	c.watch.Arm()
+	c.Eng.Run(start + cfg.MaxCycles)
+	if err := c.watch.Err(); err != nil {
+		return ClusterSyncResult{}, err
+	}
+	res := ClusterSyncResult{PerNode: make([]SyncResult, len(c.Nodes))}
+	for i, n := range c.Nodes {
+		d := drivers[i]
+		if remaining > 0 || d.Completed() < total {
+			return ClusterSyncResult{}, fmt.Errorf("cluster sync run did not finish: node %d at %d/%d by cycle %d",
+				i, d.Completed(), total, c.Eng.Now())
+		}
+		bd := n.breakdown(d.Retired[cfg.WarmupRequests:])
+		res.PerNode[i] = SyncResult{
+			MeanCycles: bd.Total,
+			MeanNS:     bd.Total * cfg.NsPerCycle(),
+			Breakdown:  bd,
+		}
+	}
+	res.Aggregate = meanSync(res.PerNode)
+	return res, nil
+}
+
+// meanSync averages per-node sync results into one aggregate.
+func meanSync(per []SyncResult) SyncResult {
+	var agg SyncResult
+	k := float64(len(per))
+	for _, r := range per {
+		agg.MeanCycles += r.MeanCycles / k
+		agg.MeanNS += r.MeanNS / k
+		b := &agg.Breakdown
+		b.WQWrite += r.Breakdown.WQWrite / k
+		b.WQRead += r.Breakdown.WQRead / k
+		b.Dispatch += r.Breakdown.Dispatch / k
+		b.Generate += r.Breakdown.Generate / k
+		b.NetOut += r.Breakdown.NetOut / k
+		b.NetBack += r.Breakdown.NetBack / k
+		b.Remote += r.Breakdown.Remote / k
+		b.Complete += r.Breakdown.Complete / k
+		b.CQWrite += r.Breakdown.CQWrite / k
+		b.CQRead += r.Breakdown.CQRead / k
+		b.Total += r.Breakdown.Total / k
+		b.RRPPLat += r.Breakdown.RRPPLat / k
+		b.Samples += r.Breakdown.Samples
+	}
+	return agg
+}
+
+// ClusterBWResult is the outcome of a cluster-wide bandwidth run.
+// Aggregate sums application and NOC bandwidth across nodes; PerNode
+// holds each node's share over the same measurement interval.
+type ClusterBWResult struct {
+	Aggregate BWResult
+	PerNode   []BWResult
+}
+
+// RunBandwidth runs the §5 bandwidth microbenchmark on every node
+// simultaneously: all cores of all nodes issue asynchronous remote reads
+// to their node's default peer until the cluster-wide windowed
+// application bandwidth stabilizes (or MaxCycles).
+func (c *Cluster) RunBandwidth(size int) (ClusterBWResult, error) {
+	start := c.beginRun()
+	cfg := c.Cfg
+	tiles := cfg.Tiles()
+	for _, n := range c.Nodes {
+		n.Drivers = n.Drivers[:0]
+		for core := 0; core < tiles; core++ {
+			wl := cpu.NewUniformReads(size,
+				SourceBase, SourceSpan,
+				LocalBase+uint64(core)*LocalStride, LocalStride,
+				0, cfg.Seed+uint64(core)*7919+1)
+			d := cpu.NewDriver(c.Eng, n.Cfg, core, n.Agents[core], n.QPs[core], n.Stats, wl, cpu.Async)
+			n.Drivers = append(n.Drivers, d)
+			d.Start()
+		}
+	}
+	appBytes := func(n *Node) int64 { return n.Stats.RCPBytes + n.Stats.RRPPBytes }
+	sumBytes := func() int64 {
+		var s int64
+		for _, n := range c.Nodes {
+			s += appBytes(n)
+		}
+		return s
+	}
+	mon := stats.NewBandwidthMonitor(cfg.WindowCycles, cfg.StableDelta, 3)
+	nvals := len(c.Nodes)
+	flits0 := make([]int64, nvals)
+	bis0 := make([]int64, nvals)
+	inj0 := make([]int64, nvals)
+	app0 := make([]int64, nvals)
+	var cycles0 int64
+	stable := false
+	var tick func()
+	tick = func() {
+		if mon.Observe(sumBytes()) {
+			stable = true
+			c.Eng.Stop()
+			return
+		}
+		c.Eng.Schedule(cfg.WindowCycles, tick)
+	}
+	// Skip the first window as warmup, then baseline every node's NOC and
+	// application counters over one shared measurement interval.
+	c.Eng.Schedule(cfg.WindowCycles, func() {
+		for i, n := range c.Nodes {
+			if n.Mesh != nil {
+				flits0[i] = n.Mesh.FlitsCarried()
+				bis0[i] = n.Mesh.BisectionFlits()
+				inj0[i] = n.Mesh.BytesInjected()
+			} else if n.NOCOut != nil {
+				flits0[i] = n.NOCOut.FlitsCarried()
+				inj0[i] = n.NOCOut.BytesInjected()
+			}
+			app0[i] = appBytes(n)
+		}
+		cycles0 = c.Eng.Now()
+		mon.Reset(sumBytes())
+		c.Eng.Schedule(cfg.WindowCycles, tick)
+	})
+	c.watch.Arm()
+	c.Eng.Run(start + cfg.MaxCycles)
+	for _, n := range c.Nodes {
+		for _, d := range n.Drivers {
+			d.Stop()
+		}
+	}
+	if err := c.watch.Err(); err != nil {
+		return ClusterBWResult{}, err
+	}
+	elapsed := c.Eng.Now() - cycles0
+	if elapsed <= 0 {
+		return ClusterBWResult{}, fmt.Errorf("cluster bandwidth run made no progress")
+	}
+	ghz := cfg.ClockGHz
+	res := ClusterBWResult{PerNode: make([]BWResult, nvals)}
+	for i, n := range c.Nodes {
+		r := BWResult{
+			AppGBps:   stats.GBps(float64(appBytes(n)-app0[i])/float64(elapsed), ghz),
+			Cycles:    c.Eng.Now() - start,
+			Stable:    stable,
+			Completed: n.Stats.Completed,
+		}
+		if n.Mesh != nil {
+			r.NOCGBps = stats.GBps(float64(n.Mesh.BytesInjected()-inj0[i])/float64(elapsed), ghz)
+			r.FlitHopGBps = stats.GBps(float64((n.Mesh.FlitsCarried()-flits0[i])*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+			r.BisectionGBps = stats.GBps(float64((n.Mesh.BisectionFlits()-bis0[i])*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+		} else if n.NOCOut != nil {
+			r.NOCGBps = stats.GBps(float64(n.NOCOut.BytesInjected()-inj0[i])/float64(elapsed), ghz)
+			r.FlitHopGBps = stats.GBps(float64((n.NOCOut.FlitsCarried()-flits0[i])*int64(cfg.LinkBytes))/float64(elapsed), ghz)
+		}
+		res.PerNode[i] = r
+		res.Aggregate.AppGBps += r.AppGBps
+		res.Aggregate.NOCGBps += r.NOCGBps
+		res.Aggregate.FlitHopGBps += r.FlitHopGBps
+		res.Aggregate.BisectionGBps += r.BisectionGBps
+		res.Aggregate.Completed += r.Completed
+	}
+	res.Aggregate.Cycles = c.Eng.Now() - start
+	res.Aggregate.Stable = stable
+	return res, nil
+}
+
+// ClusterWorkloadResult is the outcome of a cluster-wide closed-loop
+// workload run. Aggregate merges every node (PerCore entries carry
+// node-global core ids: node*Tiles+core); PerNode holds each node's own
+// view.
+type ClusterWorkloadResult struct {
+	Aggregate WorkloadResult
+	PerNode   []WorkloadResult
+}
+
+// RunApp drives every core of every node whose factory returns a non-nil
+// v2 App, until all drivers on all nodes finish (including draining
+// in-flight requests) or maxCycles elapse. The factory receives the node
+// index alongside the core, so callers can decorrelate per-node seeds or
+// shard roles across the rack.
+func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) (ClusterWorkloadResult, error) {
+	if maxCycles <= 0 {
+		maxCycles = c.Cfg.MaxCycles
+	}
+	if err := c.refuseInFlight(); err != nil {
+		return ClusterWorkloadResult{}, err
+	}
+	start := c.beginRun()
+	active := 0
+	for i, n := range c.Nodes {
+		n.AppDrivers = n.AppDrivers[:0]
+		for core := 0; core < n.Cfg.Tiles(); core++ {
+			app := factory(i, core)
+			if app == nil {
+				continue
+			}
+			d := cpu.NewAppDriver(c.Eng, n.Cfg, core, n.Agents[core], n.QPs[core], n.Stats, app)
+			active++
+			d.OnIdle = func() {
+				active--
+				if active == 0 {
+					c.Eng.Stop()
+				}
+			}
+			n.AppDrivers = append(n.AppDrivers, d)
+			d.Start()
+		}
+	}
+	if active == 0 {
+		return ClusterWorkloadResult{}, fmt.Errorf("node: no cores have workloads")
+	}
+	c.watch.Arm()
+	c.Eng.Run(start + maxCycles)
+	if err := c.watch.Err(); err != nil {
+		return ClusterWorkloadResult{}, err
+	}
+	res := ClusterWorkloadResult{PerNode: make([]WorkloadResult, len(c.Nodes))}
+	merged := stats.NewLatencyHistogram()
+	var appErr error
+	var latSum float64
+	var latCount int64
+	tiles := c.Cfg.Tiles()
+	for i, n := range c.Nodes {
+		nodeMerged := stats.NewLatencyHistogram()
+		nr := WorkloadResult{
+			Completed:    n.Stats.Completed,
+			Cycles:       c.Eng.Now() - start,
+			MeanLatency:  n.Stats.ReqLat.Mean(),
+			AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
+			AllExhausted: active == 0,
+			PerCore:      make([]CoreStats, 0, len(n.AppDrivers)),
+		}
+		for _, d := range n.AppDrivers {
+			if err := d.Err(); err != nil && appErr == nil {
+				appErr = fmt.Errorf("node %d: %w", i, err)
+			}
+			nodeMerged.Merge(d.Hist)
+			merged.Merge(d.Hist)
+			cs := CoreStats{
+				Core:        d.ID(),
+				Issued:      int64(d.Issued()),
+				Completed:   int64(d.Completed()),
+				MeanLatency: d.Hist.Mean(),
+				P50:         d.Hist.Percentile(50),
+				P95:         d.Hist.Percentile(95),
+				P99:         d.Hist.Percentile(99),
+			}
+			nr.PerCore = append(nr.PerCore, cs)
+			cs.Core = i*tiles + d.ID()
+			res.Aggregate.PerCore = append(res.Aggregate.PerCore, cs)
+		}
+		nr.P50 = nodeMerged.Percentile(50)
+		nr.P95 = nodeMerged.Percentile(95)
+		nr.P99 = nodeMerged.Percentile(99)
+		res.PerNode[i] = nr
+		res.Aggregate.Completed += nr.Completed
+		res.Aggregate.AppBytes += nr.AppBytes
+		latSum += nr.MeanLatency * float64(n.Stats.ReqLat.Count())
+		latCount += n.Stats.ReqLat.Count()
+	}
+	res.Aggregate.Cycles = c.Eng.Now() - start
+	res.Aggregate.AllExhausted = active == 0
+	if latCount > 0 {
+		res.Aggregate.MeanLatency = latSum / float64(latCount)
+	}
+	res.Aggregate.P50 = merged.Percentile(50)
+	res.Aggregate.P95 = merged.Percentile(95)
+	res.Aggregate.P99 = merged.Percentile(99)
+	if appErr != nil {
+		res.Aggregate.AllExhausted = false
+		return res, appErr
+	}
+	return res, nil
+}

@@ -1,0 +1,213 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"rackni/internal/config"
+)
+
+// Cross-validation of the two implementations of "the rack": the paper's
+// single-node mirror-traffic emulation (fabric.Rack, §5) against a real
+// 2-node cluster (fabric.Interconnect) in the symmetric arrangement —
+// both nodes run identical workloads with identical seeds, so each node's
+// inbound traffic is exactly the mirror stream the emulation synthesizes.
+// The two are independent implementations of the same system, so their
+// results must agree:
+//
+//   - mean sync latency and per-node bandwidth within syncTol/bwTol
+//     (documented in the README accuracy table; residual differences come
+//     only from same-cycle event interleaving between the two nodes'
+//     otherwise independent event streams), and
+//   - hop-delay accounting bit-exact: both worlds charge exactly
+//     hops*NetHopCycles per leg per block, and the emulation's HopCycles
+//     must equal the cluster's per-node counterpart.
+const (
+	syncTol = 0.01 // 1% on mean sync latency
+	bwTol   = 0.05 // 5% on per-node application bandwidth
+)
+
+// equivCfg is a reduced-size configuration so the 3 designs x 2
+// topologies matrix stays fast.
+func equivCfg(d config.Design, topo config.Topology) config.Config {
+	cfg := config.Default()
+	cfg.Design = d
+	cfg.Topology = topo
+	cfg.MeasureReqs = 24
+	cfg.WarmupRequests = 4
+	cfg.WindowCycles = 20_000
+	cfg.MaxCycles = 400_000
+	return cfg
+}
+
+// buildSingle builds the emulated-rack node for the configuration.
+func buildSingle(t *testing.T, cfg config.Config, hops int) *Node {
+	t.Helper()
+	var n *Node
+	var err error
+	if cfg.Topology == config.NOCOut {
+		n, err = NewNOCOut(cfg, hops)
+	} else {
+		n, err = New(cfg, hops)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func designMatrix() []config.Design {
+	return []config.Design{config.NIEdge, config.NIPerTile, config.NISplit}
+}
+
+func topoMatrix() []config.Topology {
+	return []config.Topology{config.Mesh, config.NOCOut}
+}
+
+// TestClusterSyncMatchesEmulation: unloaded remote-read latency must
+// agree between emulation and simulation across all three NI designs and
+// both on-chip topologies, with the hop legs accounted identically.
+func TestClusterSyncMatchesEmulation(t *testing.T) {
+	const hops, size, core = 3, 512, 27
+	for _, d := range designMatrix() {
+		for _, topo := range topoMatrix() {
+			cfg := equivCfg(d, topo)
+			name := d.String() + "/" + topo.String()
+
+			single := buildSingle(t, cfg, hops)
+			emu, err := single.RunSyncLatency(size, core)
+			if err != nil {
+				t.Fatalf("%s: emulated run: %v", name, err)
+			}
+
+			cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: hops})
+			if err != nil {
+				t.Fatalf("%s: cluster: %v", name, err)
+			}
+			sim, err := cl.RunSyncLatency(size, core)
+			if err != nil {
+				t.Fatalf("%s: cluster run: %v", name, err)
+			}
+
+			for i, pn := range sim.PerNode {
+				rel := math.Abs(pn.MeanNS-emu.MeanNS) / emu.MeanNS
+				if rel > syncTol {
+					t.Errorf("%s node %d: cluster %.1f ns vs emulated %.1f ns (%.2f%% > %.0f%%)",
+						name, i, pn.MeanNS, emu.MeanNS, rel*100, syncTol*100)
+				}
+				// Hop-delay accounting must be exact: both worlds charge
+				// hops*NetHopCycles per direction.
+				if pn.Breakdown.NetOut != emu.Breakdown.NetOut || pn.Breakdown.NetBack != emu.Breakdown.NetBack {
+					t.Errorf("%s node %d: hop legs %.0f/%.0f, emulated %.0f/%.0f (must be exact)",
+						name, i, pn.Breakdown.NetOut, pn.Breakdown.NetBack,
+						emu.Breakdown.NetOut, emu.Breakdown.NetBack)
+				}
+			}
+
+			// The fabric-level ledger: each node's own requests crossed
+			// the same number of hop-cycles as the emulation's mirrors.
+			rack := single.Rack
+			for i := range cl.Nodes {
+				cs := cl.Inter.Counters[i]
+				if cs.HopCycles != rack.HopCycles {
+					t.Errorf("%s node %d: interconnect hop-cycles %d != emulation %d",
+						name, i, cs.HopCycles, rack.HopCycles)
+				}
+				if cs.RequestsOut != rack.RequestsOut {
+					t.Errorf("%s node %d: %d requests out vs emulated %d",
+						name, i, cs.RequestsOut, rack.RequestsOut)
+				}
+			}
+			t.Logf("%s: emulated %.1f ns, cluster %.1f ns (Δ %.3f%%), hop-cycles %d (exact)",
+				name, emu.MeanNS, sim.PerNode[0].MeanNS,
+				math.Abs(sim.PerNode[0].MeanNS-emu.MeanNS)/emu.MeanNS*100,
+				rack.HopCycles)
+		}
+	}
+}
+
+// TestClusterBandwidthMatchesEmulation: loaded per-node application
+// bandwidth must agree between the emulated rack and the real 2-node
+// fabric. Both worlds measure over the same fixed cycle interval
+// (StableDelta=0 disables early stabilization), so the comparison is not
+// clouded by the two monitors stabilizing at different times; what
+// remains is genuine traffic-timing divergence, which must stay within
+// bwTol. The full matrix is exercised without -short; the quick pass
+// keeps one design per topology.
+func TestClusterBandwidthMatchesEmulation(t *testing.T) {
+	const hops = 1
+	size := 1024
+	designs, topos := designMatrix(), topoMatrix()
+	if testing.Short() {
+		designs = []config.Design{config.NISplit}
+		topos = []config.Topology{config.Mesh}
+	}
+	for _, d := range designs {
+		for _, topo := range topos {
+			cfg := equivCfg(d, topo)
+			cfg.StableDelta = 0 // fixed measurement interval in both worlds
+			cfg.MaxCycles = 150_000
+			name := d.String() + "/" + topo.String()
+
+			single := buildSingle(t, cfg, hops)
+			emu, err := single.RunBandwidth(size)
+			if err != nil {
+				t.Fatalf("%s: emulated run: %v", name, err)
+			}
+
+			cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: hops})
+			if err != nil {
+				t.Fatalf("%s: cluster: %v", name, err)
+			}
+			sim, err := cl.RunBandwidth(size)
+			if err != nil {
+				t.Fatalf("%s: cluster run: %v", name, err)
+			}
+
+			for i, pn := range sim.PerNode {
+				rel := math.Abs(pn.AppGBps-emu.AppGBps) / emu.AppGBps
+				if rel > bwTol {
+					t.Errorf("%s node %d: cluster %.2f GB/s vs emulated %.2f GB/s (%.2f%% > %.0f%%)",
+						name, i, pn.AppGBps, emu.AppGBps, rel*100, bwTol*100)
+				}
+			}
+			t.Logf("%s: emulated %.1f GB/s, cluster node0 %.1f GB/s (Δ %.2f%%)",
+				name, emu.AppGBps, sim.PerNode[0].AppGBps,
+				math.Abs(sim.PerNode[0].AppGBps-emu.AppGBps)/emu.AppGBps*100)
+		}
+	}
+}
+
+// TestClusterConservation: the interconnect's ledger must balance — every
+// block request delivered and answered exactly once, every leg charged
+// the configured hop delay.
+func TestClusterConservation(t *testing.T) {
+	const hops = 2
+	cfg := equivCfg(config.NISplit, config.Mesh)
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := 1024
+	if _, err := cl.RunSyncLatency(size, 27); err != nil {
+		t.Fatal(err)
+	}
+	blocks := int64((cfg.WarmupRequests + cfg.MeasureReqs) * (size / cfg.BlockBytes))
+	for i := range cl.Nodes {
+		cs := cl.Inter.Counters[i]
+		if cs.RequestsOut != blocks {
+			t.Errorf("node %d: %d requests out, want %d", i, cs.RequestsOut, blocks)
+		}
+		if cs.InboundDelivered != blocks || cs.ResponsesOut != blocks || cs.ResponsesIn != blocks {
+			t.Errorf("node %d: inbound/respOut/respIn = %d/%d/%d, want all %d",
+				i, cs.InboundDelivered, cs.ResponsesOut, cs.ResponsesIn, blocks)
+		}
+		want := 2 * blocks * int64(hops) * cfg.NetHopCycles()
+		if cs.HopCycles != want {
+			t.Errorf("node %d: hop-cycles %d, want %d", i, cs.HopCycles, want)
+		}
+	}
+	if cl.Inter.Traffic[0][1] != blocks || cl.Inter.Traffic[1][0] != blocks {
+		t.Errorf("traffic matrix %v, want %d each way", cl.Inter.Traffic, blocks)
+	}
+}

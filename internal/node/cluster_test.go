@@ -1,0 +1,224 @@
+package node
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+)
+
+// TestClusterN1BitIdentical: a 1-node cluster in uniform-hop mode is the
+// real-fabric realization of the paper's mirror emulation — outgoing
+// requests loop back to the node's own RRPPs after the uniform hop delay,
+// exactly as Rack's mirrors do. The two must agree bit for bit.
+func TestClusterN1BitIdentical(t *testing.T) {
+	const hops, size, core = 3, 1024, 27
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 16
+
+	single, err := New(cfg, hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emu, err := single.RunSyncLatency(size, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 1, Hops: hops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.RunSyncLatency(size, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerNode[0] != emu {
+		t.Fatalf("1-node cluster diverges from the emulation:\ncluster:  %+v\nemulated: %+v",
+			res.PerNode[0], emu)
+	}
+}
+
+// TestClusterDeterminism: same configuration and seed, same results —
+// byte for byte — on repeated cluster constructions.
+func TestClusterDeterminism(t *testing.T) {
+	run := func() ClusterSyncResult {
+		cfg := config.Default()
+		cfg.Design = config.NISplit
+		cfg.Seed = 7
+		cfg.MeasureReqs = 12
+		cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.RunSyncLatency(256, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.PerNode) != len(b.PerNode) || a.Aggregate != b.Aggregate {
+		t.Fatalf("nondeterministic cluster run:\n  %+v\nvs\n  %+v", a.Aggregate, b.Aggregate)
+	}
+	for i := range a.PerNode {
+		if a.PerNode[i] != b.PerNode[i] {
+			t.Fatalf("node %d nondeterministic:\n  %+v\nvs\n  %+v", i, a.PerNode[i], b.PerNode[i])
+		}
+	}
+}
+
+// TestClusterPlacement: with an explicit torus placement, inter-node
+// distances are real Torus3D hop counts — and latency scales with them.
+func TestClusterPlacement(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 8
+	torus := fabric.NewTorus3D(cfg.TorusRadix)
+
+	lat := func(placement []int) float64 {
+		cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Placement: placement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := torus.Hops(placement[0], placement[1])
+		if got := cl.Inter.Dist(0, 1); got != want {
+			t.Fatalf("Dist(0,1)=%d, torus says %d", got, want)
+		}
+		res, err := cl.RunSyncLatency(64, 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Aggregate.MeanCycles
+	}
+	// 0 -> 1: one hop along x. 0 -> (2,2,2): 6 hops (the torus average).
+	near := lat([]int{0, 1})
+	far := lat([]int{0, 2 + 2*8 + 2*64})
+	hop := float64(cfg.NetHopCycles())
+	wantDelta := 2 * 5 * hop // 5 extra hops, both directions
+	delta := far - near
+	if delta < wantDelta*0.95 || delta > wantDelta*1.05 {
+		t.Fatalf("distance 6 vs 1: latency delta %.0f cycles, want ~%.0f", delta, wantDelta)
+	}
+}
+
+// scatterApp issues one read per target node, round-robin, using
+// explicit fabric.GlobalAddr targets.
+type scatterApp struct {
+	targets []int
+	size    int
+	issued  int
+	total   int
+}
+
+func (s *scatterApp) Step(coreID int, now int64, inflight int) cpu.Action {
+	if s.issued >= s.total {
+		return cpu.Done()
+	}
+	target := s.targets[s.issued%len(s.targets)]
+	addr := fabric.GlobalAddr(target, SourceBase+uint64(s.issued)*uint64(s.size))
+	s.issued++
+	return cpu.Issue(cpu.Request{
+		Op:     0, // OpRead
+		Remote: addr,
+		Local:  LocalBase + uint64(coreID)*LocalStride,
+		Size:   s.size,
+	})
+}
+
+func (s *scatterApp) OnComplete(int, cpu.Request, int64, int64) {}
+
+// TestClusterCrossNodeSharding: explicitly targeted addresses
+// (fabric.GlobalAddr) reach the named node, not the default peer — node
+// 0 of a 3-node cluster scatters across both peers, and the traffic
+// matrix must show both flows.
+func TestClusterCrossNodeSharding(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 3, Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 32
+	res, err := cl.RunApp(func(node, core int) cpu.App {
+		if node != 0 || core != 27 {
+			return nil
+		}
+		return &scatterApp{targets: []int{1, 2}, size: cfg.BlockBytes, total: total}
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Completed != total {
+		t.Fatalf("completed %d, want %d", res.Aggregate.Completed, total)
+	}
+	if got := cl.Inter.Traffic[0][1]; got != total/2 {
+		t.Errorf("traffic 0->1 = %d, want %d", got, total/2)
+	}
+	if got := cl.Inter.Traffic[0][2]; got != total/2 {
+		t.Errorf("traffic 0->2 = %d, want %d", got, total/2)
+	}
+	if got := cl.Inter.Traffic[0][0]; got != 0 {
+		t.Errorf("unexpected loopback traffic %d", got)
+	}
+	// The remote nodes actually serviced the requests.
+	if cl.Nodes[1].Stats.RRPPBytes == 0 || cl.Nodes[2].Stats.RRPPBytes == 0 {
+		t.Errorf("peer RRPPs idle: node1 %dB, node2 %dB",
+			cl.Nodes[1].Stats.RRPPBytes, cl.Nodes[2].Stats.RRPPBytes)
+	}
+}
+
+// TestMemberRefusesSingleNodeRuns: cluster members must only be driven
+// through the cluster — a member calling the single-node run entry points
+// would seize run control of the shared engine.
+func TestMemberRefusesSingleNodeRuns(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cl.Nodes[0]
+	if _, err := m.RunSyncLatency(64, 27); err == nil {
+		t.Error("member RunSyncLatency did not refuse")
+	}
+	if _, err := m.RunBandwidth(64); err == nil {
+		t.Error("member RunBandwidth did not refuse")
+	}
+	if _, err := m.RunApp(func(int) cpu.App { return nil }, 0); err == nil {
+		t.Error("member RunApp did not refuse")
+	}
+}
+
+// TestRackCountersResetPerRun: the rack emulation's outstanding-record
+// counters must report per-run figures on a reused node (regression: the
+// reused-node rebase path left them accumulating across runs).
+func TestRackCountersResetPerRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cfg.MeasureReqs = 8
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.RunSyncLatency(1024, 27); err != nil {
+		t.Fatal(err)
+	}
+	first := n.Rack.RequestsOut
+	blocks := int64((cfg.WarmupRequests + cfg.MeasureReqs) * (1024 / cfg.BlockBytes))
+	if first != blocks {
+		t.Fatalf("first run: %d requests out, want %d", first, blocks)
+	}
+	if _, err := n.RunSyncLatency(1024, 27); err != nil {
+		t.Fatal(err)
+	}
+	if n.Rack.RequestsOut != blocks {
+		t.Fatalf("second run on reused node: %d requests out, want %d (counters not reset)",
+			n.Rack.RequestsOut, blocks)
+	}
+	if n.Rack.ResponsesIn != blocks || n.Rack.HopCycles != 2*blocks*int64(n.RackHops())*cfg.NetHopCycles() {
+		t.Fatalf("second run: responses %d, hop-cycles %d not per-run", n.Rack.ResponsesIn, n.Rack.HopCycles)
+	}
+}

@@ -24,11 +24,18 @@ import (
 // RGP/RCP backends at the LLC tiles, and the LLC has 8 banks instead of 64
 // — the contention that caps NOC-Out's peak bandwidth.
 func NewNOCOut(cfg config.Config, hops int) (*Node, error) {
+	return newNOCOut(sim.NewEngine(), cfg, hops, true)
+}
+
+// newNOCOut assembles a NOC-Out node on the given engine, optionally
+// attaching the single-node rack emulation to its network ports.
+func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*Node, error) {
 	cfg.Topology = config.NOCOut
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Node{Eng: sim.NewEngine(), Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	n := &Node{Eng: eng, Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	n.watch = sim.NewCancelWatch(n.Eng, cancelCheckCycles, n.context)
 	net := nocout.NewNet(n.Eng, &cfg)
 	n.NOCOut = net
 	n.Net = net
@@ -178,17 +185,22 @@ func NewNOCOut(cfg config.Config, hops int) (*Node, error) {
 		n.Net.Register(id, ep.handle)
 	}
 
-	n.Rack = fabric.NewRack(n.env, hops, banks,
-		func(addr uint64) int {
+	n.port = fabric.NodePort{
+		Env:   n.env,
+		Ports: banks,
+		HomeRow: func(addr uint64) int {
 			return int((addr / uint64(cfg.BlockBytes)) % uint64(banks))
 		},
-		func(id noc.NodeID) int {
+		RowOf: func(id noc.NodeID) int {
 			if noc.IsTile(id) {
 				return int(id) % cfg.MeshWidth
 			}
 			return noc.Row(id)
 		},
-		func(i int) noc.NodeID { return noc.LLCID(i) },
-	)
+		RRPPAt: func(i int) noc.NodeID { return noc.LLCID(i) },
+	}
+	if attachRack {
+		n.Rack = fabric.NewRack(n.port, hops)
+	}
 	return n, nil
 }

@@ -69,10 +69,11 @@ type Node struct {
 
 	env      *rmc.Env
 	rackHops int
+	port     fabric.NodePort
+	member   bool // part of a cluster: run control belongs to the cluster
 
-	ctx        context.Context // optional; polled by the run loops
-	ctxWatched bool            // a cancellation watchdog is already scheduled
-	ctxFired   bool            // the watchdog stopped the current run
+	ctx   context.Context // optional; polled by the run loops
+	watch *sim.CancelWatch
 }
 
 // SetContext attaches ctx to the node. Subsequent runs poll it periodically
@@ -80,6 +81,11 @@ type Node struct {
 // error once it is cancelled; a nil or non-cancellable context costs
 // nothing.
 func (n *Node) SetContext(ctx context.Context) { n.ctx = ctx }
+
+// Port returns the node's attachment descriptor for the inter-node
+// fabric: what a fabric.Rack or fabric.Interconnect needs to land inbound
+// requests on the node's RRPP rows and responses on its injection ports.
+func (n *Node) Port() fabric.NodePort { return n.port }
 
 // endpoint is the per-NodeID kind dispatcher: a tile (or edge NI block)
 // hosts several devices behind one NOC endpoint.
@@ -117,15 +123,45 @@ func (e *endpoint) handle(m *noc.Message) {
 }
 
 // New builds a node with the given configuration (mesh topology) and
-// one-way intra-rack hop count.
+// one-way intra-rack hop count, with the rest of the rack emulated by the
+// paper's mirror-traffic methodology (fabric.Rack) — the single-node fast
+// path.
 func New(cfg config.Config, hops int) (*Node, error) {
+	return newMesh(sim.NewEngine(), cfg, hops, true)
+}
+
+// NewMember builds a node of a multi-node cluster: it shares the given
+// engine with its peers and attaches no rack emulation — the caller wires
+// the node's network ports into a real inter-node fabric
+// (fabric.NewInterconnect) through Port(). hops is the one-way distance to
+// the node's default peer, used only for latency tomography. Topology is
+// taken from the configuration.
+func NewMember(eng *sim.Engine, cfg config.Config, hops int) (*Node, error) {
+	var n *Node
+	var err error
+	if cfg.Topology == config.NOCOut {
+		n, err = newNOCOut(eng, cfg, hops, false)
+	} else {
+		n, err = newMesh(eng, cfg, hops, false)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.member = true
+	return n, nil
+}
+
+// newMesh assembles a mesh-topology node on the given engine, optionally
+// attaching the single-node rack emulation to its network ports.
+func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Topology != config.Mesh {
 		return nil, fmt.Errorf("node.New builds mesh nodes; use NewNOCOut for %v", cfg.Topology)
 	}
-	n := &Node{Eng: sim.NewEngine(), Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	n := &Node{Eng: eng, Cfg: &cfg, Stats: rmc.NewStats(), rackHops: hops}
+	n.watch = sim.NewCancelWatch(n.Eng, cancelCheckCycles, n.context)
 	n.Mesh = noc.NewMesh(n.Eng, &cfg)
 	n.Net = n.Mesh
 
@@ -271,19 +307,29 @@ func New(cfg config.Config, hops int) (*Node, error) {
 		n.Net.Register(id, ep.handle)
 	}
 
-	// Rack emulation.
-	n.Rack = fabric.NewRack(n.env, hops, cfg.MeshHeight,
-		func(addr uint64) int { return int(homeOf(addr)) / cfg.MeshWidth },
-		func(id noc.NodeID) int {
+	// Attachment to the inter-node fabric: the rack emulation (N=1) or a
+	// cluster interconnect (wired by the caller through Port).
+	n.port = fabric.NodePort{
+		Env:     n.env,
+		Ports:   cfg.MeshHeight,
+		HomeRow: func(addr uint64) int { return int(homeOf(addr)) / cfg.MeshWidth },
+		RowOf: func(id noc.NodeID) int {
 			if noc.IsTile(id) {
 				return int(id) / cfg.MeshWidth
 			}
 			return noc.Row(id)
 		},
-		func(row int) noc.NodeID { return noc.NIID(row) },
-	)
+		RRPPAt: func(row int) noc.NodeID { return noc.NIID(row) },
+	}
+	if attachRack {
+		n.Rack = fabric.NewRack(n.port, hops)
+	}
 	return n, nil
 }
+
+// context is the watch's context getter (SetContext may replace the
+// node's context between runs).
+func (n *Node) context() context.Context { return n.ctx }
 
 // sender injects the split design's frontend-backend packets through the
 // shared retry-on-full outbox.

@@ -38,45 +38,43 @@ type SyncResult struct {
 // few wall-clock polls per second — prompt aborts with negligible overhead.
 const cancelCheckCycles = 10_000
 
-// watchCancel arms a periodic context poll that stops the engine once the
-// node's context is cancelled. The poll events mutate no simulator state, so
-// results are bit-identical with and without a watchdog. A nil or
-// non-cancellable context arms nothing. Call it at the start of every run:
-// it resets the fired flag so ctxErr only reports cancellations that
-// actually stopped the current run, not ones landing after it completed.
+// watchCancel arms the node's cancellation watch (sim.CancelWatch): a
+// periodic context poll that stops the engine once the node's context is
+// cancelled. The poll events mutate no simulator state, so results are
+// bit-identical with and without a watchdog. Call it at the start of every
+// run. Cluster members never arm their own watch — the cluster owns the
+// shared engine's run control and arms exactly one.
 func (n *Node) watchCancel() {
-	n.ctxFired = false
-	if n.ctxWatched || n.ctx == nil || n.ctx.Done() == nil {
-		return
-	}
-	n.ctxWatched = true
-	var tick func()
-	tick = func() {
-		// The chain may outlive the run that armed it (the engine keeps
-		// pending ticks across runs on a reused node). Tear it down if the
-		// context was detached or replaced by a non-cancellable one, and
-		// disarm on teardown so a later SetContext arms a fresh chain.
-		if n.ctx == nil || n.ctx.Done() == nil {
-			n.ctxWatched = false
-			return
-		}
-		if n.ctx.Err() != nil {
-			n.ctxWatched = false
-			n.ctxFired = true
-			n.Eng.Stop()
-			return
-		}
-		n.Eng.Schedule(cancelCheckCycles, tick)
-	}
-	n.Eng.Schedule(cancelCheckCycles, tick)
+	n.watch.Arm()
 }
 
 // ctxErr reports the context's cancellation error if the watchdog stopped
 // the current run; a run that completed before the cancellation landed
 // keeps its result.
 func (n *Node) ctxErr() error {
-	if n.ctxFired && n.ctx != nil {
-		return n.ctx.Err()
+	return n.watch.Err()
+}
+
+// resetRunCounters clears the per-run accounting a previous run on this
+// node left behind: the stats sink and — when the single-node rack
+// emulation is attached — its outstanding-record counters, which the
+// reused-node rebase path used to leak across runs (they kept
+// accumulating, so a second run on one node reported doubled
+// RequestsOut/ResponsesIn).
+func (n *Node) resetRunCounters() {
+	n.Stats.Reset()
+	if n.Rack != nil {
+		n.Rack.ResetCounters()
+	}
+}
+
+// refuseMember errors when a cluster member is driven through the
+// single-node run entry points: run control of the shared engine belongs
+// to the cluster, and a member calling Eng.Run/Stop (or arming its own
+// cancellation watch) would corrupt every peer's run.
+func (n *Node) refuseMember() error {
+	if n.member {
+		return fmt.Errorf("node: this node is a cluster member; drive it through the Cluster's run methods")
 	}
 	return nil
 }
@@ -112,11 +110,14 @@ func (n *Node) refuseInFlight() error {
 // discarded. The issuing core defaults to a centrally located tile.
 // Statistics and the cycle budget are per-run on a reused node.
 func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
+	if err := n.refuseMember(); err != nil {
+		return SyncResult{}, err
+	}
 	n.stopStaleDrivers()
 	if err := n.refuseInFlight(); err != nil {
 		return SyncResult{}, err
 	}
-	n.Stats.Reset()
+	n.resetRunCounters()
 	start := n.Eng.Now()
 	cfg := n.Cfg
 	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
@@ -206,8 +207,11 @@ type BWResult struct {
 // refused) because the monitor re-baselines after the warmup window, so
 // stale completions perturb only the warmup.
 func (n *Node) RunBandwidth(size int) (BWResult, error) {
+	if err := n.refuseMember(); err != nil {
+		return BWResult{}, err
+	}
 	n.stopStaleDrivers()
-	n.Stats.Reset()
+	n.resetRunCounters()
 	start := n.Eng.Now()
 	cfg := n.Cfg
 	tiles := cfg.Tiles()
@@ -317,6 +321,9 @@ type WorkloadResult struct {
 // are per-run: the node's Stats sink is reset at the start, so results on
 // a reused node cover this run only (matching the per-run percentiles).
 func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (WorkloadResult, error) {
+	if err := n.refuseMember(); err != nil {
+		return WorkloadResult{}, err
+	}
 	if maxCycles <= 0 {
 		maxCycles = n.Cfg.MaxCycles
 	}
@@ -328,7 +335,7 @@ func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (Workload
 	if err := n.refuseInFlight(); err != nil {
 		return WorkloadResult{}, err
 	}
-	n.Stats.Reset()
+	n.resetRunCounters()
 	n.Drivers = n.Drivers[:0]
 	n.AppDrivers = n.AppDrivers[:0]
 	active := 0

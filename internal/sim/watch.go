@@ -1,0 +1,76 @@
+package sim
+
+import "context"
+
+// CancelWatch is a periodic context poll that stops an engine once the
+// watched context is cancelled. It exists because engine ownership is no
+// longer one-to-one: a single engine may drive one node or a whole
+// cluster of them, and exactly one watchdog chain should poll the run's
+// context regardless of how many components share the engine. The poll
+// events mutate no simulator state, so results are bit-identical with and
+// without an armed watch.
+//
+// The context is read through a getter so the owner can attach, replace
+// or detach it between runs without re-wiring the watch.
+type CancelWatch struct {
+	eng    *Engine
+	period int64
+	ctx    func() context.Context
+
+	watched bool // a poll chain is already scheduled
+	fired   bool // the watch stopped the current run
+}
+
+// NewCancelWatch builds a watch polling ctx() every period cycles.
+func NewCancelWatch(eng *Engine, period int64, ctx func() context.Context) *CancelWatch {
+	return &CancelWatch{eng: eng, period: period, ctx: ctx}
+}
+
+// Arm starts the poll chain if one is not already pending. Call it at the
+// start of every run: it resets the fired flag so Err only reports
+// cancellations that actually stopped the current run, not ones landing
+// after it completed. A nil or non-cancellable context arms nothing.
+func (w *CancelWatch) Arm() {
+	w.fired = false
+	if w.watched {
+		return
+	}
+	ctx := w.ctx()
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	w.watched = true
+	var tick func()
+	tick = func() {
+		// The chain may outlive the run that armed it (the engine keeps
+		// pending ticks across runs on a reused node). Tear it down if the
+		// context was detached or replaced by a non-cancellable one, and
+		// disarm on teardown so a later Arm schedules a fresh chain.
+		ctx := w.ctx()
+		if ctx == nil || ctx.Done() == nil {
+			w.watched = false
+			return
+		}
+		if ctx.Err() != nil {
+			w.watched = false
+			w.fired = true
+			w.eng.Stop()
+			return
+		}
+		w.eng.Schedule(w.period, tick)
+	}
+	w.eng.Schedule(w.period, tick)
+}
+
+// Err reports the context's cancellation error if the watch stopped the
+// current run; a run that completed before the cancellation landed keeps
+// its result (nil error).
+func (w *CancelWatch) Err() error {
+	if !w.fired {
+		return nil
+	}
+	if ctx := w.ctx(); ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}

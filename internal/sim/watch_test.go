@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCancelWatchStopsRun: an armed watch halts the engine at its next
+// poll once the context is cancelled, and reports the cancellation.
+func TestCancelWatchStopsRun(t *testing.T) {
+	eng := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewCancelWatch(eng, 100, func() context.Context { return ctx })
+	w.Arm()
+
+	// Keep the engine busy well past the first poll.
+	ticks := 0
+	var busy func()
+	busy = func() {
+		ticks++
+		if ticks < 1000 {
+			eng.Schedule(1, busy)
+		}
+	}
+	eng.Schedule(0, busy)
+	cancel()
+	eng.Run(10_000)
+	if eng.Now() > 100 {
+		t.Fatalf("engine ran to cycle %d; watch should have stopped it at the first poll", eng.Now())
+	}
+	if w.Err() == nil {
+		t.Fatal("watch stopped the run but reports no error")
+	}
+}
+
+// TestCancelWatchNilContext: a nil or non-cancellable context arms
+// nothing and costs nothing.
+func TestCancelWatchNilContext(t *testing.T) {
+	eng := NewEngine()
+	w := NewCancelWatch(eng, 100, func() context.Context { return nil })
+	w.Arm()
+	if eng.Pending() != 0 {
+		t.Fatalf("nil context scheduled %d events", eng.Pending())
+	}
+	w2 := NewCancelWatch(eng, 100, func() context.Context { return context.Background() })
+	w2.Arm()
+	if eng.Pending() != 0 {
+		t.Fatalf("non-cancellable context scheduled %d events", eng.Pending())
+	}
+}
+
+// TestCancelWatchLateCancel: a cancellation landing after the run
+// completed does not retroactively fail it.
+func TestCancelWatchLateCancel(t *testing.T) {
+	eng := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewCancelWatch(eng, 100, func() context.Context { return ctx })
+	w.Arm()
+	done := false
+	eng.Schedule(10, func() { done = true; eng.Stop() })
+	eng.Run(1_000)
+	if !done {
+		t.Fatal("run did not reach its own completion")
+	}
+	cancel()
+	if w.Err() != nil {
+		t.Fatalf("late cancellation reported against a completed run: %v", w.Err())
+	}
+}
+
+// TestCancelWatchRearm: one chain serves consecutive runs; a second Arm
+// while the chain is live schedules nothing extra.
+func TestCancelWatchRearm(t *testing.T) {
+	eng := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := NewCancelWatch(eng, 100, func() context.Context { return ctx })
+	w.Arm()
+	p := eng.Pending()
+	w.Arm()
+	if eng.Pending() != p {
+		t.Fatalf("re-arming a live watch scheduled extra events (%d -> %d)", p, eng.Pending())
+	}
+}

@@ -138,6 +138,19 @@ func ParseCores(s string) ([]int, error) {
 	})
 }
 
+// ParseNodeCounts parses a comma-separated list of positive node counts
+// ("1,2,4"); 1 runs the single detailed node against the emulated rack,
+// n > 1 a real n-node Cluster.
+func ParseNodeCounts(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("rackni: bad node count %q", tok)
+		}
+		return v, nil
+	})
+}
+
 // ParseSeeds parses a comma-separated list of simulation seeds ("1,2,3").
 func ParseSeeds(s string) ([]uint64, error) {
 	return parseList(s, func(tok string) (uint64, error) {

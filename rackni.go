@@ -34,6 +34,7 @@ import (
 	"rackni/internal/config"
 	rmc "rackni/internal/core"
 	"rackni/internal/cpu"
+	"rackni/internal/fabric"
 	"rackni/internal/node"
 )
 
@@ -201,6 +202,128 @@ func (n *Node) Stats() *rmc.Stats { return n.n.Stats }
 
 // Config returns the node's configuration.
 func (n *Node) Config() *Config { return n.n.Cfg }
+
+// ClusterSpec sizes and places a multi-node cluster: the node count, plus
+// either a uniform pairwise hop distance (Hops; the paper's fixed-hop
+// rack model) or explicit coordinates on the rack's 3D torus (Placement;
+// real pairwise distances).
+type ClusterSpec = node.ClusterSpec
+
+// ClusterSyncResult is a cluster latency run's outcome (per node plus
+// cross-node aggregate).
+type ClusterSyncResult = node.ClusterSyncResult
+
+// ClusterBWResult is a cluster bandwidth run's outcome (per node plus
+// summed aggregate).
+type ClusterBWResult = node.ClusterBWResult
+
+// ClusterWorkloadResult is a cluster workload run's outcome (per node
+// plus merged aggregate; aggregate PerCore entries carry node-global core
+// ids, node*Tiles+core).
+type ClusterWorkloadResult = node.ClusterWorkloadResult
+
+// Cluster is N fully simulated nodes sharing one event engine, connected
+// by a real inter-node fabric (fabric.Interconnect) that delivers every
+// remote request to the target node's actual RRPPs — the simulated
+// counterpart of the paper's emulated rack, cross-validated against it in
+// internal/node/cluster_equiv_test.go. Unlike the mirror emulation, a
+// cluster can express cross-node sharding, skewed placement and fan-out
+// scenarios; N=1 single-node studies keep using NewNode's emulated rack,
+// the fast path.
+type Cluster struct {
+	c *node.Cluster
+}
+
+// NewCluster builds a cluster of n identical nodes, every pair a uniform
+// hops apart (0 = the configuration's DefaultHops) — the symmetric
+// arrangement the cross-validation runs. For explicit torus placement use
+// NewClusterSpec.
+func NewCluster(cfg Config, n, hops int) (*Cluster, error) {
+	return NewClusterSpec(cfg, ClusterSpec{Nodes: n, Hops: hops})
+}
+
+// NewClusterSpec builds a cluster per the full spec.
+func NewClusterSpec(cfg Config, spec ClusterSpec) (*Cluster, error) {
+	c, err := node.NewCluster(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{c: c}, nil
+}
+
+// NodeCount returns the number of simulated nodes.
+func (c *Cluster) NodeCount() int { return len(c.c.Nodes) }
+
+// Config returns the cluster's shared configuration.
+func (c *Cluster) Config() *Config { return c.c.Cfg }
+
+// NodeStats exposes node i's raw counters.
+func (c *Cluster) NodeStats(i int) *rmc.Stats { return c.c.Nodes[i].Stats }
+
+// Interconnect exposes the inter-node fabric's per-run accounting: one
+// LinkStats per node plus the node-to-node traffic matrix.
+func (c *Cluster) Interconnect() *fabric.Interconnect { return c.c.Inter }
+
+// SetContext attaches ctx to the cluster; runs poll it periodically and
+// abort with its error once cancelled. Exactly one watchdog serves the
+// whole cluster.
+func (c *Cluster) SetContext(ctx context.Context) { c.c.SetContext(ctx) }
+
+// RunSyncLatency runs the §5 latency microbenchmark on every node
+// simultaneously: one core per node issues synchronous remote reads of
+// size bytes to its default peer, while its own RRPPs service the peer's
+// identical stream — the multi-node realization of the paper's
+// mirror-traffic emulation.
+func (c *Cluster) RunSyncLatency(size, core int) (ClusterSyncResult, error) {
+	if err := checkSize(c.c.Cfg, size); err != nil {
+		return ClusterSyncResult{}, err
+	}
+	if core < 0 || core >= c.c.Cfg.Tiles() {
+		return ClusterSyncResult{}, fmt.Errorf("rackni: core %d out of range", core)
+	}
+	return c.c.RunSyncLatency(size, core)
+}
+
+// RunBandwidth runs the §5 bandwidth microbenchmark on every node
+// simultaneously until the cluster-wide windowed application bandwidth
+// stabilizes.
+func (c *Cluster) RunBandwidth(size int) (ClusterBWResult, error) {
+	if err := checkSize(c.c.Cfg, size); err != nil {
+		return ClusterBWResult{}, err
+	}
+	return c.c.RunBandwidth(size)
+}
+
+// RunApp drives every core of every node whose factory returns a non-nil
+// App. The factory receives the node index alongside the core, so apps
+// can shard roles and decorrelate seeds across the rack; target remote
+// addresses at a specific node with TargetNode.
+func (c *Cluster) RunApp(factory func(nodeIdx, core int) App, maxCycles int64) (ClusterWorkloadResult, error) {
+	return c.c.RunApp(factory, maxCycles)
+}
+
+// RunScenario runs a named scenario from the library on every node, with
+// per-node decorrelated seeds and each client's keyspace sharded across
+// the other nodes of the cluster (see ShardRemote) — the cross-node
+// object placement the single-node mirror emulation cannot express.
+func (c *Cluster) RunScenario(sc Scenario, maxCycles int64) (ClusterWorkloadResult, error) {
+	if sc.New == nil {
+		return ClusterWorkloadResult{}, fmt.Errorf("rackni: scenario %q has no constructor", sc.Name)
+	}
+	n := c.NodeCount()
+	return c.RunApp(func(nodeIdx, core int) App {
+		cfg := *c.c.Cfg
+		// Decorrelate the node's clients from its peers': without this,
+		// every node would issue the identical stream (desirable for
+		// mirror validation, not for scenario diversity).
+		cfg.Seed = clusterNodeSeed(cfg.Seed, nodeIdx)
+		app := sc.New(&cfg, core)
+		if app == nil {
+			return nil
+		}
+		return ShardRemote(app, nodeIdx, n)
+	}, maxCycles)
+}
 
 func checkSize(cfg *Config, size int) error {
 	switch {

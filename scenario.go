@@ -14,6 +14,7 @@ import (
 
 	rmc "rackni/internal/core"
 	"rackni/internal/cpu"
+	"rackni/internal/fabric"
 	"rackni/internal/sim"
 	"rackni/internal/stats"
 )
@@ -50,6 +51,65 @@ func Legacy(wl Workload) App { return cpu.Legacy(wl) }
 // scenarioSeed decorrelates per-core random streams from one run seed.
 func scenarioSeed(seed uint64, core int) uint64 {
 	return seed + uint64(core)*0x9E37_79B9 + 1
+}
+
+// clusterNodeSeed decorrelates per-node streams in a cluster run.
+func clusterNodeSeed(seed uint64, node int) uint64 {
+	return seed + uint64(node)*0x51_7CC1_B727_220B + 1
+}
+
+// TargetNode returns addr routed to the given cluster node's memory: the
+// interconnect strips the selector before the address reaches the remote
+// chip, so on-chip interleaving is unchanged. Addresses without a
+// selector go to the issuing node's default peer — the next node around
+// the ring — which is why every single-node workload runs on a cluster
+// unmodified.
+func TargetNode(node int, addr uint64) uint64 { return fabric.GlobalAddr(node, addr) }
+
+// shardedApp wraps an App for a cluster run, routing each issued
+// request's remote address to a home node derived from its object block —
+// stable per object, scattered across every peer.
+type shardedApp struct {
+	app         App
+	self, nodes int
+}
+
+// ShardRemote wraps an app so its remote keyspace is sharded across the
+// cluster's other nodes: each issued request's target is chosen by the
+// object block of its remote address (stable: one object, one home), with
+// the issuing node excluded. On completions the app sees its own
+// (selector-less) addresses back. With fewer than 3 nodes the wrap is the
+// identity: everything already goes to the single peer (or self-mirror).
+func ShardRemote(app App, self, nodes int) App {
+	if nodes < 3 {
+		return app
+	}
+	return &shardedApp{app: app, self: self, nodes: nodes}
+}
+
+// target picks the home node for a remote address: hash its object block,
+// spread over the peers, skipping the issuing node.
+func (s *shardedApp) target(addr uint64) int {
+	block := (addr - SourceBase) >> 6 // stable per 64B-aligned object block
+	t := int(chaseNext(block, s.nodes-1))
+	if t >= s.self {
+		t++
+	}
+	return t
+}
+
+// Step implements App.
+func (s *shardedApp) Step(coreID int, now int64, inflight int) Action {
+	return s.app.Step(coreID, now, inflight).MapIssue(func(r Request) Request {
+		r.Remote = TargetNode(s.target(r.Remote), r.Remote)
+		return r
+	})
+}
+
+// OnComplete implements App, handing the app back its own address space.
+func (s *shardedApp) OnComplete(coreID int, req Request, issued, done int64) {
+	_, req.Remote = fabric.SplitAddr(req.Remote)
+	s.app.OnComplete(coreID, req, issued, done)
 }
 
 // Scenario constructors are synthetic traffic generators, not input

@@ -49,10 +49,13 @@ func (m Mode) String() string {
 // Point is one fully-specified simulation: a complete Config (with design,
 // topology, routing and seed already applied) plus the microbenchmark mode,
 // transfer size, one-way intra-rack hop count, issuing core (latency mode
-// only), and scenario name (workload mode only; its library defaults
-// define sizes and participating cores, so the Size and Core axes don't
-// apply to workload points). Points are value types; build them with a
-// Sweep or directly.
+// only), scenario name (workload mode only; its library defaults define
+// sizes and participating cores, so the Size and Core axes don't apply to
+// workload points), and node count. Nodes <= 1 runs one detailed node
+// against the paper's emulated rack (the fast path); Nodes > 1 builds a
+// real Cluster of that many detailed nodes, every pair Hops apart, and
+// reports the cross-node aggregate. Points are value types; build them
+// with a Sweep or directly.
 type Point struct {
 	Config   Config
 	Mode     Mode
@@ -60,6 +63,15 @@ type Point struct {
 	Hops     int
 	Core     int
 	Scenario string
+	Nodes    int
+}
+
+// nodeCount normalizes the point's node count (0 means single-node).
+func (p Point) nodeCount() int {
+	if p.Nodes < 1 {
+		return 1
+	}
+	return p.Nodes
 }
 
 // modeLabel names the point's run kind for tables: the scenario name for
@@ -73,22 +85,27 @@ func (p Point) modeLabel() string {
 
 // label is the point's compact identity, used in errors and progress lines.
 func (p Point) label() string {
-	return fmt.Sprintf("%v/%v/%v/%v/%dB@%dhops/seed%d",
+	l := fmt.Sprintf("%v/%v/%v/%v/%dB@%dhops/seed%d",
 		p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
 		p.Size, p.Hops, p.Config.Seed)
+	if p.nodeCount() > 1 {
+		l += fmt.Sprintf("/%dnodes", p.nodeCount())
+	}
+	return l
 }
 
 // Sweep composes axes into a cross product of Points.
 //
 // Axis setters return the sweep for chaining; an axis left unset
 // contributes a single value taken from the base configuration (and for
-// axes with no Config field: Latency mode, the block size, DefaultHops, and
-// the central measurement core). Points enumerate in a fixed nesting order
-// — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ run kinds (Modes, then
-// Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis outermost — so a sweep's
-// point list is deterministic and stable across runs. Workload points pin
-// the Size and Core axes to 0 (the scenario defines both), contributing
-// one point per design/topology/routing/hops/seed combination.
+// axes with no Config field: Latency mode, the block size, DefaultHops,
+// the central measurement core, and one node). Points enumerate in a fixed
+// nesting order — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ run
+// kinds (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis
+// outermost — so a sweep's point list is deterministic and stable across
+// runs. Workload points pin the Size and Core axes to 0 (the scenario
+// defines both), contributing one point per
+// design/topology/routing/hops/nodes/seed combination.
 type Sweep struct {
 	base      Config
 	designs   []Design
@@ -100,6 +117,7 @@ type Sweep struct {
 	hops      []int
 	seeds     []uint64
 	cores     []int
+	nodes     []int
 }
 
 // NewSweep starts a sweep over the given base configuration.
@@ -163,6 +181,14 @@ func (s *Sweep) Cores(cores ...int) *Sweep {
 	return s
 }
 
+// Nodes sets the node-count axis: 1 runs the single detailed node against
+// the paper's emulated rack; n > 1 builds a real n-node Cluster (every
+// pair Hops apart) and reports the cross-node aggregate.
+func (s *Sweep) Nodes(nodes ...int) *Sweep {
+	s.nodes = append(s.nodes[:0], nodes...)
+	return s
+}
+
 // Points expands the sweep into its cross product, in nesting order.
 func (s *Sweep) Points() []Point {
 	designs := s.designs
@@ -209,8 +235,12 @@ func (s *Sweep) Points() []Point {
 	if len(cores) == 0 {
 		cores = []int{measureCore}
 	}
+	nodes := s.nodes
+	if len(nodes) == 0 {
+		nodes = []int{1}
+	}
 	pts := make([]Point, 0,
-		len(designs)*len(topos)*len(routings)*len(hops)*len(kinds)*len(sizes)*len(seeds)*len(cores))
+		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
 			for _, rt := range routings {
@@ -221,22 +251,27 @@ func (s *Sweep) Points() []Point {
 						// actually simulated.
 						h = s.base.DefaultHops
 					}
-					for _, k := range kinds {
-						// Scenario points don't span the Size and Core axes
-						// (the scenario defines its sizes and participating
-						// cores), so they collapse to one point per
-						// design/topology/routing/hops/seed combination.
-						szs, crs := sizes, cores
-						if k.mode == WorkloadMode {
-							szs, crs = []int{0}, []int{0}
+					for _, nn := range nodes {
+						if nn < 1 {
+							nn = 1
 						}
-						for _, sz := range szs {
-							for _, sd := range seeds {
-								for _, c := range crs {
-									cfg := s.base
-									cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-									pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-										Hops: h, Core: c, Scenario: k.scenario})
+						for _, k := range kinds {
+							// Scenario points don't span the Size and Core axes
+							// (the scenario defines its sizes and participating
+							// cores), so they collapse to one point per
+							// design/topology/routing/hops/seed combination.
+							szs, crs := sizes, cores
+							if k.mode == WorkloadMode {
+								szs, crs = []int{0}, []int{0}
+							}
+							for _, sz := range szs {
+								for _, sd := range seeds {
+									for _, c := range crs {
+										cfg := s.base
+										cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+										pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+											Hops: h, Core: c, Scenario: k.scenario, Nodes: nn})
+									}
 								}
 							}
 						}
@@ -381,14 +416,22 @@ func (r *Runner) Run(points []Point) (Results, error) {
 	return res, nil
 }
 
-// runPoint executes one point: builds its node, attaches the context, and
-// runs the point's microbenchmark.
+// runPoint executes one point: builds its node (or, for Nodes > 1, its
+// cluster), attaches the context, and runs the point's microbenchmark.
 func runPoint(ctx context.Context, p Point) Result {
 	out := Result{Point: p}
 	if err := ctx.Err(); err != nil {
 		return out // cancelled before start: leave the point skipped
 	}
 	t0 := time.Now()
+	if p.nodeCount() > 1 {
+		runClusterPoint(ctx, p, &out)
+		if errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded) {
+			out.Sync, out.BW, out.WL, out.Err = nil, nil, nil, nil
+		}
+		out.Wall = time.Since(t0)
+		return out
+	}
 	n, err := NewNode(p.Config, p.Hops)
 	if err != nil {
 		out.Err = err
@@ -436,18 +479,80 @@ func runPoint(ctx context.Context, p Point) Result {
 	return out
 }
 
+// runClusterPoint executes a multi-node point on a real Cluster,
+// reporting the cross-node aggregate.
+func runClusterPoint(ctx context.Context, p Point, out *Result) {
+	c, err := NewCluster(p.Config, p.nodeCount(), p.Hops)
+	if err != nil {
+		out.Err = err
+		return
+	}
+	c.SetContext(ctx)
+	switch p.Mode {
+	case Latency:
+		r, err := c.RunSyncLatency(p.Size, p.Core)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.Sync = &r.Aggregate
+		}
+	case Bandwidth:
+		r, err := c.RunBandwidth(p.Size)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.BW = &r.Aggregate
+		}
+	case WorkloadMode:
+		sc, err := ParseScenario(p.Scenario)
+		if err != nil {
+			out.Err = err
+			return
+		}
+		r, err := c.RunScenario(sc, 0)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.WL = &r.Aggregate
+		}
+	default:
+		out.Err = fmt.Errorf("rackni: unknown mode %v", p.Mode)
+	}
+}
+
+// hasMultiNode reports whether any point of the set runs a real cluster.
+// Renderers add a nodes column only then, so single-node result sets stay
+// byte-identical to their pre-cluster form.
+func (rs Results) hasMultiNode() bool {
+	for _, r := range rs {
+		if r.Point.nodeCount() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the results as an aligned table, one row per point.
 // Workload points report ops, mean and tail percentiles; skipped points
-// render as "-"; failed points show their error.
+// render as "-"; failed points show their error. A nodes column appears
+// when the set contains multi-node (Cluster) points.
 func (rs Results) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s  %s\n",
+	multi := rs.hasMultiNode()
+	nodesHdr, nodesFmt := "", ""
+	if multi {
+		nodesHdr = fmt.Sprintf(" %5s", "nodes")
+	}
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d  ",
+		if multi {
+			nodesFmt = fmt.Sprintf(" %5d", p.nodeCount())
+		}
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -470,17 +575,27 @@ func (rs Results) Format() string {
 // CSV renders the results as a comma-separated table with a header row.
 // Metric columns not applicable to a point's mode are left empty. The CSV
 // carries simulation results only (no wall-clock timing), so it is
-// deterministic: identical runs — serial or parallel — diff clean.
+// deterministic: identical runs — serial or parallel — diff clean. A
+// nodes column follows seed when the set contains multi-node points.
 func (rs Results) CSV() string {
 	var b strings.Builder
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," +
+	multi := rs.hasMultiNode()
+	nodesHdr := ""
+	if multi {
+		nodesHdr = "nodes,"
+	}
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
 		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained,error\n")
 	for _, r := range rs {
 		p := r.Point
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,",
+		nodesCol := ""
+		if multi {
+			nodesCol = fmt.Sprintf("%d,", p.nodeCount())
+		}
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -513,6 +628,7 @@ type resultJSON struct {
 	Hops      int             `json:"hops"`
 	Core      int             `json:"core"`
 	Seed      uint64          `json:"seed"`
+	Nodes     int             `json:"nodes,omitempty"` // > 1: a real Cluster ran this point
 	Latency   *SyncResult     `json:"latency,omitempty"`
 	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
 	Workload  *WorkloadResult `json:"workload,omitempty"`
@@ -544,6 +660,9 @@ func (rs Results) JSON() ([]byte, error) {
 			Workload:  r.WL,
 			WallMS:    float64(r.Wall.Microseconds()) / 1000,
 			Skipped:   r.skipped(),
+		}
+		if n := p.nodeCount(); n > 1 {
+			out[i].Nodes = n
 		}
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()
