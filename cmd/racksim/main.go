@@ -15,6 +15,7 @@
 //	racksim -workload kv -quick    # single point: per-core p50/p95/p99 table
 //	racksim -nodes 2 -workload kv -quick   # real 2-node cluster, cross-node sharded KV
 //	racksim -nodes 1,2,4 -mode bandwidth -size 4096 -quick
+//	racksim -nodes 512 -placement torus -mode bandwidth -size 1024 -quick -timeout 10m   # the paper's full rack
 package main
 
 import (
@@ -38,7 +39,8 @@ func main() {
 	workload := flag.String("workload", "", "closed-loop scenario(s): "+strings.Join(rackni.Scenarios(), "|")+", comma-separated (replaces -mode unless both are given)")
 	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated (microbenchmark modes; -workload scenarios define their own sizes)")
 	hops := flag.String("hops", "1", "one-way intra-rack hop count(s), comma-separated")
-	nodes := flag.String("nodes", "1", "detailed node count(s), comma-separated: 1 = emulated rack, n>1 = real n-node cluster (cross-node traffic over the torus hop model)")
+	nodes := flag.String("nodes", "1", "detailed node count(s), comma-separated, up to 512: 1 = emulated rack, n>1 = real n-node cluster (cross-node traffic over the torus hop model)")
+	placement := flag.String("placement", "uniform", "multi-node distance model: uniform (every pair -hops apart) | torus (real 3D-torus coordinates, the paper's 8x8x8 rack geometry; -nodes 512 covers the full rack)")
 	core := flag.String("core", "27", "issuing core(s) (latency mode; -workload scenarios define their own cores), comma-separated")
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	quick := flag.Bool("quick", false, "short stabilization windows")
@@ -116,6 +118,15 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	torusPlaced := false
+	switch *placement {
+	case "uniform":
+	case "torus":
+		torusPlaced = true
+	default:
+		fatalf("unknown placement %q (uniform|torus)", *placement)
+	}
+
 	points := rackni.NewSweep(cfg).
 		Designs(designs...).
 		Topologies(topos...).
@@ -125,6 +136,7 @@ func main() {
 		Sizes(sizes...).
 		Hops(hopList...).
 		Nodes(nodeList...).
+		TorusPlacement(torusPlaced).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()

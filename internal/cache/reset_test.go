@@ -1,0 +1,34 @@
+package cache
+
+import "testing"
+
+// TestReset: a reset array is empty and its LRU clock rewinds, so the
+// same insertion sequence evicts the same victims as on a fresh array.
+func TestReset(t *testing.T) {
+	s := NewSetAssoc(4*64, 2, 64) // 2 sets x 2 ways
+	fill := func(a *SetAssoc) (victims []uint64) {
+		for i := uint64(0); i < 6; i++ {
+			if v, ev := a.Insert(i*128, i%2 == 0); ev {
+				victims = append(victims, v.Addr)
+			}
+		}
+		return
+	}
+	want := fill(s)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("reset array holds %d blocks", s.Len())
+	}
+	if s.Contains(0) {
+		t.Fatal("reset array still contains block 0")
+	}
+	got := fill(s)
+	if len(want) != len(got) {
+		t.Fatalf("victim count after reset: %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("victim %d after reset: %#x, want %#x (LRU clock not rewound)", i, got[i], want[i])
+		}
+	}
+}

@@ -146,6 +146,15 @@ func (s *SetAssoc) Remove(addr uint64) (Line, bool) {
 	return Line{}, false
 }
 
+// Reset empties the array (and rewinds the LRU clock), returning it to
+// its just-built state; set backing arrays are kept.
+func (s *SetAssoc) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+	s.tick = 0
+}
+
 // Len returns the number of resident blocks.
 func (s *SetAssoc) Len() int {
 	n := 0

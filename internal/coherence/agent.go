@@ -143,6 +143,31 @@ func NewComplex(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id noc.Node
 // ID returns the agent's NOC endpoint (its coherence identity).
 func (a *Agent) ID() noc.NodeID { return a.id }
 
+// Reset returns the agent to its just-built cold state: both physical
+// arrays emptied, every coherence state, MSHR entry and writeback record
+// dropped, counters zeroed and the injection port drained. The run
+// lifecycle resets agents together with their directory (Home.Reset), so
+// the protocol's invariants hold vacuously on the empty state; events of
+// in-flight transactions are cleared with the engine.
+func (a *Agent) Reset() {
+	a.arr.Reset()
+	clear(a.state)
+	for addr, m := range a.mshr {
+		a.freeMiss(m)
+		delete(a.mshr, addr)
+	}
+	clear(a.evicting)
+	if a.niArr != nil {
+		a.niArr.Reset()
+		clear(a.onCore)
+		clear(a.onNI)
+		clear(a.dirtySide)
+		clear(a.niOwned)
+	}
+	a.Hits, a.Misses, a.InternalTransfers, a.Writebacks = 0, 0, 0, 0
+	a.out.Reset()
+}
+
 // StateOf returns the agent's coherence state for addr (for tests).
 func (a *Agent) StateOf(addr uint64) State { return a.state[blockOf(addr, a.cfg)] }
 

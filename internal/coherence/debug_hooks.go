@@ -15,8 +15,10 @@ func (h *Home) DebugBusyBlocks() map[uint64]int {
 // DebugMemWait returns blocks with outstanding memory fetches.
 func (h *Home) DebugMemWait() []uint64 {
 	var out []uint64
-	for a := range h.memWait {
-		out = append(out, a)
+	for a, e := range h.dir {
+		if e.mem != memNone {
+			out = append(out, a)
+		}
 	}
 	return out
 }

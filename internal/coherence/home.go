@@ -20,17 +20,79 @@ const (
 	dirOwned                   // exclusive/modified at owner
 )
 
+// txnKind names the completion step of a block's active transaction. The
+// home is a blocking directory — one transaction per block — so the
+// continuation that used to be a per-transaction closure is instead a
+// kind tag plus a few context fields stored in the entry itself, and
+// completion dispatches statically. On the cluster hot path (every remote
+// block is an NI read or write here) this removes two closure allocations
+// per block transfer.
+type txnKind uint8
+
+const (
+	txnNone        txnKind = iota
+	txnGetSOwned           // CopyBack + Unblock collected: owner and requestor share
+	txnGetSData            // Unblock collected: grant recorded at the requestor
+	txnGetXFwd             // Unblock collected: ownership moved to the requestor
+	txnGetXData            // Unblock collected: requestor owns (sharers invalidated)
+	txnNIReadOwned         // recall CopyBack collected: reply to the NI
+	txnNIWrite             // invalidation acks collected: absorb the NI write
+)
+
+// memPhase names what the active transaction does once its block's data
+// arrives from memory (the continuation that used to be a closure in the
+// per-address wait list).
+type memPhase uint8
+
+const (
+	memNone   memPhase = iota
+	memGetS            // grant and send Data, then await the Unblock
+	memGetX            // send MissNotify Data, then await the Unblock
+	memNIRead          // reply to the NI
+)
+
 // dirEntry is the directory record plus the blocking-home transaction
-// context for one block.
+// context for one block. Sharers live in a small slice (every fan-out
+// sorts before sending, so set order is never observable); the active
+// transaction's continuation is the kind/mem tags plus the context fields
+// below, not a closure.
 type dirEntry struct {
 	state   dirState
 	owner   noc.NodeID
-	sharers map[noc.NodeID]struct{}
+	sharers []noc.NodeID
 
 	busy    bool
 	queue   []*noc.Message
-	pending int    // completion events still expected (Unblock, CopyBack, acks…)
-	onEvent func() // runs on each completion event while busy
+	pending int // completion events still expected (Unblock, CopyBack, acks…)
+
+	kind  txnKind
+	mem   memPhase
+	req   noc.NodeID // requestor of the active transaction
+	txn   uint64     // NI transaction id (doNIRead/doNIWrite)
+	grant State      // grant recorded for txnGetSData
+	aux   noc.NodeID // previous owner (txnGetSOwned, txnNIReadOwned)
+	acks  int64      // invalidation-ack count for the memGetX MissNotify
+}
+
+// addSharer records a sharer if not already present.
+func (e *dirEntry) addSharer(id noc.NodeID) {
+	for _, s := range e.sharers {
+		if s == id {
+			return
+		}
+	}
+	e.sharers = append(e.sharers, id)
+}
+
+// dropSharer removes a sharer if present.
+func (e *dirEntry) dropSharer(id noc.NodeID) {
+	for i, s := range e.sharers {
+		if s == id {
+			e.sharers[i] = e.sharers[len(e.sharers)-1]
+			e.sharers = e.sharers[:len(e.sharers)-1]
+			return
+		}
+	}
 }
 
 // Home is one tile's slice of the shared NUCA LLC together with its slice
@@ -50,9 +112,7 @@ type Home struct {
 	dir        map[uint64]*dirEntry
 	dirFree    []*dirEntry // recycled idle entries
 	bankFree   int64
-	memWait    map[uint64][]func() // block -> continuations awaiting DRAM
-	waitFree   [][]func()          // recycled memWait lists
-	targetsBuf []noc.NodeID        // scratch for invalidation fan-out
+	targetsBuf []noc.NodeID // scratch for invalidation fan-out
 	out        *noc.Outbox
 
 	// Stats.
@@ -63,14 +123,13 @@ type Home struct {
 // share of the LLC. mcID is the controller servicing this tile's misses.
 func NewHome(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id, mcID noc.NodeID, bankBytes int) *Home {
 	h := &Home{
-		eng:     eng,
-		net:     net,
-		cfg:     cfg,
-		id:      id,
-		mc:      mcID,
-		llc:     cache.NewSetAssoc(bankBytes, cfg.LLCWays, cfg.BlockBytes),
-		dir:     make(map[uint64]*dirEntry),
-		memWait: make(map[uint64][]func()),
+		eng: eng,
+		net: net,
+		cfg: cfg,
+		id:  id,
+		mc:  mcID,
+		llc: cache.NewSetAssoc(bankBytes, cfg.LLCWays, cfg.BlockBytes),
+		dir: make(map[uint64]*dirEntry),
 	}
 	h.out = noc.NewOutbox(net, id)
 	return h
@@ -78,6 +137,30 @@ func NewHome(eng *sim.Engine, net noc.Fabric, cfg *config.Config, id, mcID noc.N
 
 // ID returns the home's NOC endpoint (its tile).
 func (h *Home) ID() noc.NodeID { return h.id }
+
+// Reset returns the home to its just-built cold state: LLC bank emptied,
+// every directory entry (including in-flight transactions and their
+// queued requests) dropped, the bank pipeline idled, counters zeroed and
+// the injection port drained. Queued and in-flight messages are abandoned
+// — their events are cleared with the engine by the run lifecycle that
+// calls this.
+func (h *Home) Reset() {
+	h.llc.Reset()
+	for addr, e := range h.dir {
+		for i, q := range e.queue {
+			noc.Release(q)
+			e.queue[i] = nil
+		}
+		queue := e.queue[:0]
+		sharers := e.sharers[:0]
+		*e = dirEntry{sharers: sharers, queue: queue}
+		h.dirFree = append(h.dirFree, e)
+		delete(h.dir, addr)
+	}
+	h.bankFree = 0
+	h.Hits, h.MissesToMem, h.Writebacks, h.NIReads, h.NIWrites = 0, 0, 0, 0, 0
+	h.out.Reset()
+}
 
 // Handle dispatches a message addressed to the home side of the tile. The
 // node assembly routes tile-addressed traffic between the Home and the
@@ -115,7 +198,7 @@ func (h *Home) entry(addr uint64) *dirEntry {
 			e = h.dirFree[n-1]
 			h.dirFree = h.dirFree[:n-1]
 		} else {
-			e = &dirEntry{sharers: make(map[noc.NodeID]struct{})}
+			e = &dirEntry{}
 		}
 		h.dir[addr] = e
 	}
@@ -133,8 +216,8 @@ func (h *Home) reclaim(addr uint64, e *dirEntry) {
 		return
 	}
 	delete(h.dir, addr)
-	e.onEvent = nil
 	e.owner = 0
+	e.kind, e.mem = txnNone, memNone
 	h.dirFree = append(h.dirFree, e)
 }
 
@@ -175,7 +258,7 @@ func homeExecEv(a, b any, _ int64) {
 func (h *Home) conclude(addr uint64, e *dirEntry) {
 	e.busy = false
 	e.pending = 0
-	e.onEvent = nil
+	e.kind, e.mem = txnNone, memNone
 	if len(e.queue) > 0 {
 		next := e.queue[0]
 		copy(e.queue, e.queue[1:])
@@ -188,19 +271,16 @@ func (h *Home) conclude(addr uint64, e *dirEntry) {
 	h.reclaim(addr, e)
 }
 
-// await arms the completion context: fire done after n events.
-func (h *Home) await(addr uint64, e *dirEntry, n int, done func()) {
+// await arms the completion context: run the kind's completion step after
+// n events.
+func (h *Home) await(addr uint64, e *dirEntry, n int, kind txnKind) {
 	if n <= 0 {
-		done()
+		e.kind = kind
+		h.completeTxn(addr, e)
 		return
 	}
 	e.pending = n
-	e.onEvent = func() {
-		e.pending--
-		if e.pending == 0 {
-			done()
-		}
-	}
+	e.kind = kind
 }
 
 // onEvent consumes Unblock/CopyBack/InvAck events for the active
@@ -212,11 +292,61 @@ func (h *Home) onEvent(m *noc.Message) {
 		// Downgraded dirty data returns to the LLC.
 		h.insertLLC(m.Addr, true)
 	}
-	if !ok || e.onEvent == nil {
+	if !ok || e.kind == txnNone {
 		// A stale ack from an abandoned epoch; tolerated.
 		return
 	}
-	e.onEvent()
+	e.pending--
+	if e.pending == 0 {
+		h.completeTxn(m.Addr, e)
+	}
+}
+
+// completeTxn runs the active transaction's completion step.
+func (h *Home) completeTxn(addr uint64, e *dirEntry) {
+	switch e.kind {
+	case txnGetSOwned:
+		e.state = dirShared
+		e.sharers = e.sharers[:0]
+		e.addSharer(e.aux)
+		e.addSharer(e.req)
+	case txnGetSData:
+		if e.grant == Exclusive {
+			e.state = dirOwned
+			e.owner = e.req
+		} else {
+			e.addSharer(e.req)
+		}
+	case txnGetXFwd:
+		e.owner = e.req
+	case txnGetXData:
+		e.sharers = e.sharers[:0]
+		e.state = dirOwned
+		e.owner = e.req
+	case txnNIReadOwned:
+		e.state = dirShared
+		e.sharers = e.sharers[:0]
+		e.addSharer(e.aux)
+		h.sendNIReadResp(addr, e)
+	case txnNIWrite:
+		e.state = dirInvalid
+		e.owner = 0
+		e.sharers = e.sharers[:0]
+		h.insertLLC(addr, true)
+		ack := ctrl(KNIWriteAck, noc.VNDir, noc.ClassDirectory, h.id, e.req, addr)
+		ack.Txn = e.txn
+		h.send(ack)
+	default:
+		panic(fmt.Sprintf("home %d: completion without an active transaction for %#x", h.id, addr))
+	}
+	h.conclude(addr, e)
+}
+
+// sendNIReadResp replies to an NI data-path read.
+func (h *Home) sendNIReadResp(addr uint64, e *dirEntry) {
+	d := dataMsg(KNIReadResp, noc.VNDir, noc.ClassDirectory, h.id, e.req, addr, h.cfg.BlockFlits())
+	d.Txn = e.txn
+	h.send(d)
 }
 
 // execute runs one admitted request against the directory state. Every
@@ -240,6 +370,7 @@ func (h *Home) execute(m *noc.Message, e *dirEntry) {
 
 func (h *Home) doGetS(m *noc.Message, e *dirEntry) {
 	addr, req := m.Addr, m.Src
+	e.req = req
 	if e.state == dirOwned {
 		// 3-hop: forward to the owner; expect its CopyBack plus the
 		// requestor's Unblock.
@@ -247,37 +378,31 @@ func (h *Home) doGetS(m *noc.Message, e *dirEntry) {
 		fwd := ctrl(KFwdGetS, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
 		fwd.A = int64(req)
 		h.send(fwd)
-		h.await(addr, e, 2, func() {
-			e.state = dirShared
-			clearSet(e.sharers)
-			e.sharers[owner] = struct{}{}
-			e.sharers[req] = struct{}{}
-			h.conclude(addr, e)
-		})
+		e.aux = owner
+		h.await(addr, e, 2, txnGetSOwned)
 		return
 	}
-	h.withData(addr, func() {
-		grant := Shared
-		if e.state == dirInvalid {
-			grant = Exclusive // MESI: sole reader gets E
-		}
-		d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
-		d.B = int64(grant)
-		h.send(d)
-		h.await(addr, e, 1, func() { // the requestor's Unblock
-			if grant == Exclusive {
-				e.state = dirOwned
-				e.owner = req
-			} else {
-				e.sharers[req] = struct{}{}
-			}
-			h.conclude(addr, e)
-		})
-	})
+	h.withData(addr, e, memGetS)
+}
+
+// dataReadyGetS continues a GetS once the block's data is at the bank:
+// grant (Exclusive to a sole reader), send the data and await the
+// requestor's Unblock.
+func (h *Home) dataReadyGetS(addr uint64, e *dirEntry) {
+	grant := Shared
+	if e.state == dirInvalid {
+		grant = Exclusive // MESI: sole reader gets E
+	}
+	d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, e.req, addr, h.cfg.BlockFlits())
+	d.B = int64(grant)
+	h.send(d)
+	e.grant = grant
+	h.await(addr, e, 1, txnGetSData)
 }
 
 func (h *Home) doGetX(m *noc.Message, e *dirEntry) {
 	addr, req := m.Addr, m.Src
+	e.req = req
 	switch e.state {
 	case dirOwned:
 		owner := e.owner
@@ -291,55 +416,42 @@ func (h *Home) doGetX(m *noc.Message, e *dirEntry) {
 		fwd := ctrl(KFwdGetX, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
 		fwd.A = int64(req)
 		h.send(fwd)
-		h.await(addr, e, 1, func() { // requestor's Unblock
-			e.owner = req
-			h.conclude(addr, e)
-		})
+		h.await(addr, e, 1, txnGetXFwd)
 	case dirShared:
-		// Collect and sort the sharers before fanning out: map iteration
-		// order is randomized, and the invalidation order decides how the
-		// messages serialize on the NOC — determinism requires a fixed
-		// order.
+		// Collect and sort the sharers before fanning out: the sharer
+		// list's insertion order is workload-dependent, and the
+		// invalidation order decides how the messages serialize on the NOC
+		// — determinism requires a fixed order.
 		targets := h.targetsBuf[:0]
-		for s := range e.sharers {
+		for _, s := range e.sharers {
 			if s != req {
 				targets = append(targets, s)
 			}
 		}
 		h.targetsBuf = targets
 		slices.Sort(targets)
-		acks := len(targets)
 		for _, s := range targets {
 			inv := ctrl(KInv, noc.VNDir, noc.ClassDirectory, h.id, s, addr)
 			inv.A = int64(req)
 			h.send(inv)
 		}
-		h.withData(addr, func() {
-			// "MissNotify": data plus the count of invalidation acks the
-			// requestor must collect (Fig. 2a).
-			d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
-			d.B = int64(Modified)
-			d.A = int64(acks)
-			h.send(d)
-			h.await(addr, e, 1, func() {
-				clearSet(e.sharers)
-				e.state = dirOwned
-				e.owner = req
-				h.conclude(addr, e)
-			})
-		})
+		e.acks = int64(len(targets))
+		h.withData(addr, e, memGetX)
 	default: // dirInvalid
-		h.withData(addr, func() {
-			d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
-			d.B = int64(Modified)
-			h.send(d)
-			h.await(addr, e, 1, func() {
-				e.state = dirOwned
-				e.owner = req
-				h.conclude(addr, e)
-			})
-		})
+		e.acks = 0
+		h.withData(addr, e, memGetX)
 	}
+}
+
+// dataReadyGetX continues a GetX once the block's data is at the bank:
+// send "MissNotify" — data plus the count of invalidation acks the
+// requestor must collect (Fig. 2a) — and await the requestor's Unblock.
+func (h *Home) dataReadyGetX(addr uint64, e *dirEntry) {
+	d := dataMsg(KData, noc.VNDir, noc.ClassDirectory, h.id, e.req, addr, h.cfg.BlockFlits())
+	d.B = int64(Modified)
+	d.A = e.acks
+	h.send(d)
+	h.await(addr, e, 1, txnGetXData)
 }
 
 func (h *Home) doPut(m *noc.Message, e *dirEntry) {
@@ -352,7 +464,7 @@ func (h *Home) doPut(m *noc.Message, e *dirEntry) {
 		e.state = dirInvalid
 		e.owner = 0
 	case e.state == dirShared:
-		delete(e.sharers, src)
+		e.dropSharer(src)
 		if len(e.sharers) == 0 {
 			e.state = dirInvalid
 		}
@@ -366,55 +478,35 @@ func (h *Home) doPut(m *noc.Message, e *dirEntry) {
 
 func (h *Home) doNIRead(m *noc.Message, e *dirEntry) {
 	h.NIReads++
-	addr, req, txn := m.Addr, m.Src, m.Txn
-	reply := func() {
-		d := dataMsg(KNIReadResp, noc.VNDir, noc.ClassDirectory, h.id, req, addr, h.cfg.BlockFlits())
-		d.Txn = txn
-		h.send(d)
-		h.conclude(addr, e)
-	}
+	addr := m.Addr
+	e.req, e.txn = m.Src, m.Txn
 	if e.state == dirOwned {
 		// Recall the dirty block first so the NI reads fresh data.
 		owner := e.owner
 		fwd := ctrl(KFwdGetS, noc.VNDir, noc.ClassDirectory, h.id, owner, addr)
 		fwd.A = int64(h.id) // the copy comes back to us via CopyBack
 		h.send(fwd)
-		h.await(addr, e, 1, func() {
-			e.state = dirShared
-			clearSet(e.sharers)
-			e.sharers[owner] = struct{}{}
-			reply()
-		})
+		e.aux = owner
+		h.await(addr, e, 1, txnNIReadOwned)
 		return
 	}
-	h.withData(addr, reply)
+	h.withData(addr, e, memNIRead)
 }
 
 func (h *Home) doNIWrite(m *noc.Message, e *dirEntry) {
 	h.NIWrites++
-	addr, req, txn := m.Addr, m.Src, m.Txn
-	finish := func() {
-		e.state = dirInvalid
-		e.owner = 0
-		clearSet(e.sharers)
-		h.insertLLC(addr, true)
-		ack := ctrl(KNIWriteAck, noc.VNDir, noc.ClassDirectory, h.id, req, addr)
-		ack.Txn = txn
-		h.send(ack)
-		h.conclude(addr, e)
-	}
+	addr := m.Addr
+	e.req, e.txn = m.Src, m.Txn
 	// Invalidate all cached copies; the NI overwrites the whole block, so
 	// dirty owner data need not be recalled. The fan-out list lives in a
-	// per-home scratch buffer (await snapshots its length synchronously).
+	// per-home scratch buffer.
 	targets := h.targetsBuf[:0]
 	if e.state == dirOwned {
 		targets = append(targets, e.owner)
 	} else {
-		for s := range e.sharers {
-			targets = append(targets, s)
-		}
-		// Fixed fan-out order: map iteration is randomized and the
-		// invalidation order is NOC-visible.
+		targets = append(targets, e.sharers...)
+		// Fixed fan-out order: the sharer list's insertion order is
+		// workload-dependent and the invalidation order is NOC-visible.
 		slices.Sort(targets)
 	}
 	h.targetsBuf = targets
@@ -424,46 +516,52 @@ func (h *Home) doNIWrite(m *noc.Message, e *dirEntry) {
 		inv.B = KInvAckHome
 		h.send(inv)
 	}
-	h.await(addr, e, len(targets), finish)
+	h.await(addr, e, len(targets), txnNIWrite)
 }
 
-// withData runs fn once the block's data is available at this bank,
-// fetching it from memory on an LLC miss.
-func (h *Home) withData(addr uint64, fn func()) {
+// withData continues the active transaction (per phase) once the block's
+// data is available at this bank, fetching it from memory on an LLC miss.
+// The home is a blocking directory — one transaction per block — so at
+// most one fetch per block is ever outstanding and the waiting
+// continuation is the entry's mem tag, not a queued closure.
+func (h *Home) withData(addr uint64, e *dirEntry, phase memPhase) {
 	if h.llc.Contains(addr) {
 		h.Hits++
 		h.llc.Touch(addr)
-		fn()
+		h.dataReady(addr, e, phase)
 		return
 	}
 	h.MissesToMem++
-	waiting, inFlight := h.memWait[addr]
-	if !inFlight {
-		if n := len(h.waitFree); n > 0 {
-			waiting = h.waitFree[n-1]
-			h.waitFree = h.waitFree[:n-1]
-		}
-	}
-	h.memWait[addr] = append(waiting, fn)
-	if inFlight {
-		return
-	}
+	e.mem = phase
 	rd := ctrl(mem.KindRead, noc.VNReq, noc.ClassRequest, h.id, h.mc, addr)
 	h.send(rd)
 }
 
-// onMemData completes outstanding fetches for a block.
+// dataReady dispatches the phase's continuation.
+func (h *Home) dataReady(addr uint64, e *dirEntry, phase memPhase) {
+	switch phase {
+	case memGetS:
+		h.dataReadyGetS(addr, e)
+	case memGetX:
+		h.dataReadyGetX(addr, e)
+	case memNIRead:
+		h.sendNIReadResp(addr, e)
+		h.conclude(addr, e)
+	}
+}
+
+// onMemData completes the outstanding fetch for a block.
 func (h *Home) onMemData(m *noc.Message) {
 	h.insertLLC(m.Addr, false)
-	fns := h.memWait[m.Addr]
-	delete(h.memWait, m.Addr)
-	for _, fn := range fns {
-		fn()
+	e, ok := h.dir[m.Addr]
+	if !ok || e.mem == memNone {
+		// Data for an epoch the active transaction no longer waits on;
+		// the LLC insert above is all it is good for.
+		return
 	}
-	for i := range fns {
-		fns[i] = nil
-	}
-	h.waitFree = append(h.waitFree, fns[:0])
+	phase := e.mem
+	e.mem = memNone
+	h.dataReady(m.Addr, e, phase)
 }
 
 // insertLLC allocates the block in the bank, writing back any dirty victim
@@ -479,10 +577,4 @@ func (h *Home) insertLLC(addr uint64, dirty bool) {
 
 func (h *Home) send(m *noc.Message) {
 	h.out.Send(m)
-}
-
-func clearSet(s map[noc.NodeID]struct{}) {
-	for k := range s {
-		delete(s, k)
-	}
 }

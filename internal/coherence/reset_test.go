@@ -1,0 +1,55 @@
+package coherence
+
+import "testing"
+
+// TestAgentHomeReset: after a reset, agents and homes are cold — no
+// cached state, zeroed counters — and the same access sequence replays
+// exactly as on a fresh system (the property the node-level Session
+// relies on; the full bit-identity torture lives in internal/node).
+func TestAgentHomeReset(t *testing.T) {
+	r := newRig(t, true, 0, 1)
+	a, b := r.agents[0], r.agents[1]
+	addr := r.addrHomedAt(30, 0)
+
+	sequence := func() (hits, misses int64) {
+		done := 0
+		a.Write(addr, func() { done++ })
+		r.run()
+		b.Read(addr, func() { done++ })
+		r.run()
+		a.Read(addr, func() { done++ })
+		r.run()
+		if done != 3 {
+			t.Fatalf("sequence completed %d/3 accesses", done)
+		}
+		return a.Hits + b.Hits, a.Misses + b.Misses
+	}
+	h1, m1 := sequence()
+
+	r.eng.Reset()
+	for _, ag := range []*Agent{a, b} {
+		ag.Reset()
+	}
+	for _, h := range r.homes {
+		h.Reset()
+	}
+	if a.StateOf(addr) != Invalid || b.StateOf(addr) != Invalid {
+		t.Fatal("reset agents still track coherence state")
+	}
+	if a.Hits != 0 || a.Misses != 0 || a.Writebacks != 0 {
+		t.Fatal("reset agent reports nonzero counters")
+	}
+	for _, h := range r.homes {
+		if h.Hits != 0 || h.MissesToMem != 0 || h.NIReads != 0 {
+			t.Fatal("reset home reports nonzero counters")
+		}
+		if len(h.DebugBusyBlocks()) != 0 || len(h.DebugMemWait()) != 0 {
+			t.Fatal("reset home still has transactions in flight")
+		}
+	}
+
+	h2, m2 := sequence()
+	if h1 != h2 || m1 != m2 {
+		t.Fatalf("replayed sequence differs after reset: hits %d vs %d, misses %d vs %d", h1, h2, m1, m2)
+	}
+}

@@ -12,24 +12,28 @@ import (
 // target address (filling from / writing back to memory as needed). One
 // DataPath is shared by all RMC components at a NOC endpoint; responses are
 // demultiplexed by transaction id.
+//
+// The data path sits on the per-block hot path of every transfer, so the
+// demux table is a pooled slice indexed by a recycling transaction id
+// (slot+1, 0 invalid) rather than a map: no hashing, no per-transaction
+// allocation, and the table stays dense at the working-set size.
 type DataPath struct {
 	env     *Env
 	id      noc.NodeID
-	seq     uint64
-	pending map[uint64]func()
+	pending []func()
+	free    []uint64
 	out     *noc.Outbox
 }
 
 // NewDataPath builds the data path for the component(s) at endpoint id.
 func NewDataPath(env *Env, id noc.NodeID) *DataPath {
-	return &DataPath{env: env, id: id, pending: make(map[uint64]func()), out: newOutbox(env, id)}
+	return &DataPath{env: env, id: id, out: newOutbox(env, id)}
 }
 
 // ReadBlock fetches one cache block from local memory (through its home
 // LLC bank); done runs when the data is at the NI.
 func (d *DataPath) ReadBlock(addr uint64, done func()) {
-	txn := d.next()
-	d.pending[txn] = done
+	txn := d.next(done)
 	m := noc.NewMessage()
 	m.VN, m.Class = noc.VNReq, noc.ClassRequest
 	m.Src, m.Dst = d.id, d.env.HomeOf(addr)
@@ -40,8 +44,7 @@ func (d *DataPath) ReadBlock(addr uint64, done func()) {
 // WriteBlock stores one cache block to local memory (allocating in the home
 // LLC bank); done runs when the write is acknowledged.
 func (d *DataPath) WriteBlock(addr uint64, done func()) {
-	txn := d.next()
-	d.pending[txn] = done
+	txn := d.next(done)
 	m := noc.NewMessage()
 	m.VN, m.Class = noc.VNReq, noc.ClassRequest
 	m.Src, m.Dst = d.id, d.env.HomeOf(addr)
@@ -52,16 +55,37 @@ func (d *DataPath) WriteBlock(addr uint64, done func()) {
 // Handle consumes (and releases) KNIReadResp/KNIWriteAck messages for this
 // endpoint.
 func (d *DataPath) Handle(m *noc.Message) {
-	done, ok := d.pending[m.Txn]
-	if !ok {
-		panic(fmt.Sprintf("datapath %d: unmatched txn %d", d.id, m.Txn))
+	txn := m.Txn
+	if txn == 0 || txn > uint64(len(d.pending)) || d.pending[txn-1] == nil {
+		panic(fmt.Sprintf("datapath %d: unmatched txn %d", d.id, txn))
 	}
-	delete(d.pending, m.Txn)
+	done := d.pending[txn-1]
+	d.pending[txn-1] = nil
+	d.free = append(d.free, txn)
 	noc.Release(m)
 	done()
 }
 
-func (d *DataPath) next() uint64 {
-	d.seq++
-	return d.seq
+// next parks done in a free demux slot and returns its transaction id.
+func (d *DataPath) next(done func()) uint64 {
+	if n := len(d.free); n > 0 {
+		txn := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.pending[txn-1] = done
+		return txn
+	}
+	d.pending = append(d.pending, done)
+	return uint64(len(d.pending))
+}
+
+// Reset drops every outstanding access (their completion events are
+// cleared with the engine by the run lifecycle that calls this), restarts
+// the transaction ids and drains the injection port.
+func (d *DataPath) Reset() {
+	for i := range d.pending {
+		d.pending[i] = nil
+	}
+	d.pending = d.pending[:0]
+	d.free = d.free[:0]
+	d.out.Reset()
 }

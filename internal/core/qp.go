@@ -242,3 +242,19 @@ func (q *QueuePair) PopCQ() []*Request {
 
 // EverQueued returns the total number of requests ever enqueued (tests).
 func (q *QueuePair) EverQueued() uint64 { return q.everQueued }
+
+// Reset returns the queue pair to its just-built emptiness: all entries
+// dropped (in-flight requests are abandoned — their pipeline events are
+// cleared with the engine by the run lifecycle that calls this), head and
+// tail pointers rewound, the in-flight count zeroed.
+func (q *QueuePair) Reset() {
+	for i := range q.wq {
+		q.wq[i] = WQEntry{}
+	}
+	for i := range q.cq {
+		q.cq[i] = CQEntry{}
+	}
+	q.wqHead, q.wqTail, q.cqHead, q.cqTail = 0, 0, 0, 0
+	q.inFlight = 0
+	q.everQueued = 0
+}

@@ -13,6 +13,7 @@ type RGPFrontend struct {
 	cache    QPCache
 	procLat  int64
 	dispatch func(*Request)
+	pollers  []*wqPoller // in AddQP order, for RestartPolling
 }
 
 // NewRGPFrontend builds a frontend; dispatch is the Frontend-Backend
@@ -37,7 +38,18 @@ func (f *RGPFrontend) AddQP(qp *QueuePair) {
 	p := &wqPoller{f: f, qp: qp}
 	p.pollFn = p.poll
 	p.readDoneFn = p.onRead
+	f.pollers = append(f.pollers, p)
 	f.env.Eng.Schedule(0, p.pollFn)
+}
+
+// RestartPolling re-arms every registered WQ's poll chain, in AddQP order.
+// The run lifecycle calls it after an engine reset (which dropped the
+// previous chains' events), reproducing the event sequence a fresh
+// frontend schedules at construction.
+func (f *RGPFrontend) RestartPolling() {
+	for _, p := range f.pollers {
+		f.env.Eng.Schedule(0, p.pollFn)
+	}
 }
 
 func (p *wqPoller) poll() {
@@ -105,6 +117,19 @@ func NewRGPBackend(env *Env, id, netPort, returnTo noc.NodeID, procLat int64, da
 	}
 	b.stepFn = b.step
 	return b
+}
+
+// Reset drops queued unroll jobs (their requests are abandoned with the
+// engine's events), idles the pipeline and zeroes the counters.
+func (b *RGPBackend) Reset() {
+	for i := range b.q {
+		b.q[i] = unrollJob{}
+	}
+	b.q = b.q[:0]
+	b.qhead = 0
+	b.unrolling = false
+	b.Unrolled = 0
+	b.out.Reset()
 }
 
 // rgpAcceptEv enqueues a dispatched WQ entry after the backend's

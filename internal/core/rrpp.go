@@ -46,6 +46,14 @@ func NewRRPP(env *Env, id, netPort noc.NodeID, data *DataPath) *RRPP {
 	}
 }
 
+// Reset zeroes the service counter and drains the response port. Jobs of
+// in-flight services are abandoned — their events are cleared with the
+// engine by the run lifecycle that calls this.
+func (p *RRPP) Reset() {
+	p.Serviced = 0
+	p.out.Reset()
+}
+
 func (p *RRPP) newJob(op Op, addr, txn uint64, src, t0 int64) *rrppJob {
 	if n := len(p.jobFree); n > 0 {
 		j := p.jobFree[n-1]

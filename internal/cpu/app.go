@@ -148,6 +148,13 @@ type AppDriver struct {
 	// consecutive enqueues ("occasionally polling", §5).
 	PollEvery int
 
+	// CheckAddr, when non-nil, validates every issued request's remote
+	// address before it enters the queue pair. Cluster members install the
+	// fabric's addressing-contract check here so an app that manufactures
+	// an address with stray target-selector bits fails its run loudly
+	// (through Err) instead of being silently mis-routed to another node.
+	CheckAddr func(remote uint64) error
+
 	seq       uint64
 	issued    uint64
 	completed uint64
@@ -233,6 +240,13 @@ func (d *AppDriver) step() {
 	act := d.app.Step(d.id, d.eng.Now(), d.qp.InFlight())
 	switch act.kind {
 	case actIssue:
+		if d.CheckAddr != nil {
+			if err := d.CheckAddr(act.req.Remote); err != nil {
+				d.err = fmt.Errorf("cpu: core %d issued an invalid remote address: %w", d.id, err)
+				d.finish()
+				return
+			}
+		}
 		d.seq++
 		d.pending = &rmc.Request{
 			ID:         uint64(d.id)<<32 | d.seq,

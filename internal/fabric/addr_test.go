@@ -1,0 +1,99 @@
+package fabric
+
+import (
+	"testing"
+
+	"rackni/internal/sim"
+)
+
+// TestGlobalAddrBoundaries: the selector field holds target+1 in 12 bits
+// with 0 reserved for the default peer, so valid targets are [0, 4094] —
+// 4094 must encode, 4095 must panic (silently wrapping would alias the
+// default-peer encoding and mis-route).
+func TestGlobalAddrBoundaries(t *testing.T) {
+	const addr = 0x1_2345_6780
+	got := GlobalAddr(4094, addr)
+	sel, local := SplitAddr(got)
+	if sel != 4095 || local != addr {
+		t.Fatalf("GlobalAddr(4094): sel=%d local=%#x, want 4095/%#x", sel, local, uint64(addr))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GlobalAddr(4095) must panic: the selector field cannot hold 4096")
+		}
+	}()
+	GlobalAddr(4095, addr)
+}
+
+// TestGlobalAddrNegativePanics: negative targets are programming errors.
+func TestGlobalAddrNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GlobalAddr(-1) must panic")
+		}
+	}()
+	GlobalAddr(-1, 0x1000)
+}
+
+// TestGlobalSplitRoundTrip: for every valid selector and random node-local
+// addresses (within the ≤1 TiB contract), SplitAddr(GlobalAddr(t, a))
+// returns exactly (t+1, a) — and re-encoding an already-global address
+// retargets it cleanly.
+func TestGlobalSplitRoundTrip(t *testing.T) {
+	rnd := sim.NewRand(42)
+	for target := 0; target <= 4094; target += 13 { // every residue class incl. 0 and 4094
+		for i := 0; i < 32; i++ {
+			local := rnd.Uint64() & ((1 << NodeSelShift) - 1)
+			g := GlobalAddr(target, local)
+			sel, back := SplitAddr(g)
+			if sel != target+1 || back != local {
+				t.Fatalf("round trip target=%d local=%#x: got sel=%d local=%#x", target, local, sel, back)
+			}
+			// Re-encoding a global address replaces the selector.
+			g2 := GlobalAddr((target+7)%4095, g)
+			sel2, back2 := SplitAddr(g2)
+			if sel2 != (target+7)%4095+1 || back2 != local {
+				t.Fatalf("re-encode target=%d: got sel=%d local=%#x, want %d/%#x",
+					(target+7)%4095, sel2, back2, (target+7)%4095+1, local)
+			}
+		}
+	}
+	// Selector-less addresses split to the default peer (0).
+	for i := 0; i < 64; i++ {
+		local := rnd.Uint64() & ((1 << NodeSelShift) - 1)
+		if sel, back := SplitAddr(local); sel != 0 || back != local {
+			t.Fatalf("selector-less %#x split to sel=%d local=%#x", local, sel, back)
+		}
+	}
+}
+
+// TestCheckRemoteAddr: the boundary validation of the ≤1 TiB node-local
+// contract — stray selector bits that name a nonexistent node and
+// addresses above the selector field must be rejected; legal encodings
+// pass.
+func TestCheckRemoteAddr(t *testing.T) {
+	const nodes = 4
+	legal := []uint64{
+		0,
+		0x8000_0000,             // plain node-local
+		(1 << NodeSelShift) - 1, // top of the node-local space
+		GlobalAddr(0, 0x1000),   // explicit node 0
+		GlobalAddr(3, 0x1000),   // last node of the cluster
+	}
+	for _, a := range legal {
+		if err := CheckRemoteAddr(a, nodes); err != nil {
+			t.Errorf("CheckRemoteAddr(%#x) rejected a legal address: %v", a, err)
+		}
+	}
+	illegal := []uint64{
+		GlobalAddr(4, 0x1000),      // selects node 4 of a 4-node cluster
+		uint64(37) << NodeSelShift, // stray bits naming a far node
+		uint64(1) << 52,            // above the selector field
+		uint64(1)<<56 | 0x8000_0000,
+	}
+	for _, a := range illegal {
+		if err := CheckRemoteAddr(a, nodes); err == nil {
+			t.Errorf("CheckRemoteAddr(%#x) accepted an address outside the contract", a)
+		}
+	}
+}

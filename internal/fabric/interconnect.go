@@ -5,6 +5,7 @@ import (
 
 	rmc "rackni/internal/core"
 	"rackni/internal/noc"
+	"rackni/internal/sim"
 )
 
 // Cluster-global addressing: a remote address may carry a target-node
@@ -15,30 +16,73 @@ import (
 // mirror arrangement. Selector k>0 targets node k-1 explicitly; the
 // selector is stripped before the address reaches the remote node, so
 // on-chip address interleaving is identical either way.
+//
+// Address-space contract: the node-local address space is at most 1 TiB —
+// a node-local address must fit below bit NodeSelShift (40). Explicit
+// cluster-global addresses are produced ONLY by GlobalAddr, which places
+// the target-node selector in bits [40,52) and sets the globalBit marker;
+// the marker is what makes intent unambiguous. A workload that
+// manufactures a "local" address with stray bits at or above bit 40 (but
+// no marker) is a contract violation — before the marker existed such an
+// address was silently reinterpreted as an explicit target and mis-routed
+// to whichever node the stray bits named. CheckRemoteAddr is the boundary
+// validation cluster members apply at request-issue time, and the fabric
+// itself rejects out-of-contract addresses on arrival, so the violation
+// fails loudly instead of landing on the wrong node.
 const (
 	// NodeSelShift is the bit position of the target-node selector.
 	NodeSelShift = 40
 	// nodeSelMask bounds the selector field (4095 ≥ any rack we model).
 	nodeSelMask = 0xFFF
+	// globalBit marks an address as an explicit GlobalAddr encoding.
+	globalBit = uint64(1) << 63
+	// selField is everything GlobalAddr owns: selector plus marker.
+	selField = uint64(nodeSelMask)<<NodeSelShift | globalBit
 )
 
 // GlobalAddr returns addr targeted at the given cluster node. Targets
 // that do not fit the selector field are a programming error and panic —
 // letting them through would silently overflow into the default-peer
-// encoding and mis-route the request.
+// encoding and mis-route the request. Valid targets are [0, nodeSelMask-1]
+// = [0, 4094]: target+1 must fit the 12-bit selector with 0 reserved for
+// "default peer".
 func GlobalAddr(target int, addr uint64) uint64 {
 	if target < 0 || target+1 > nodeSelMask {
-		panic(fmt.Sprintf("fabric: node target %d outside the selector field [0, %d)", target, nodeSelMask-1))
+		panic(fmt.Sprintf("fabric: node target %d outside the selector field [0, %d]", target, nodeSelMask-1))
 	}
-	return (addr &^ (uint64(nodeSelMask) << NodeSelShift)) |
-		uint64(target+1)<<NodeSelShift
+	return (addr &^ selField) | uint64(target+1)<<NodeSelShift | globalBit
 }
 
 // SplitAddr separates a cluster-global address into its target-node
 // selector (0 = default peer, k>0 = node k-1) and the node-local address.
+// Only explicit GlobalAddr encodings (marker bit set) carry a selector;
+// every other address is node-local as-is — including, unchanged, any
+// out-of-contract stray bits, which the fabric and the issue-boundary
+// check reject loudly rather than reinterpret.
 func SplitAddr(addr uint64) (sel int, local uint64) {
-	return int(addr>>NodeSelShift) & nodeSelMask,
-		addr &^ (uint64(nodeSelMask) << NodeSelShift)
+	if addr&globalBit == 0 {
+		return 0, addr
+	}
+	return int(addr>>NodeSelShift) & nodeSelMask, addr &^ selField
+}
+
+// CheckRemoteAddr validates a remote address against the cluster
+// addressing contract for a rack of `nodes` nodes: the node-local part
+// must fit the ≤1 TiB node-local space — a non-GlobalAddr address with
+// any bit at or above 40 set violates the contract (the pre-marker
+// encoding silently mis-routed exactly these) — and an explicit selector
+// must name an existing node. Cluster members apply it at the
+// request-issue boundary so violations fail the run loudly instead of
+// landing on the wrong node.
+func CheckRemoteAddr(addr uint64, nodes int) error {
+	sel, local := SplitAddr(addr)
+	if local >= 1<<NodeSelShift {
+		return fmt.Errorf("fabric: remote address %#x is outside the 1 TiB node-local space (stray bits in or above the node-selector field [40,52)); target a node explicitly with GlobalAddr/TargetNode", addr)
+	}
+	if sel > nodes {
+		return fmt.Errorf("fabric: remote address %#x selects node %d, but the cluster has %d nodes", addr, sel-1, nodes)
+	}
+	return nil
 }
 
 // LinkStats is one node's per-run view of the inter-node fabric.
@@ -71,18 +115,40 @@ type LinkStats struct {
 // a uniform UniformHops apart — the degenerate geometry of the paper's
 // fixed-hop emulation, which makes a symmetric cluster directly
 // comparable against Rack.
+//
+// The fabric is on the cluster's hot path — every remote block crosses it
+// twice — so the per-message work is precomputed at construction: pairwise
+// hop delays live in a dense N×N cycle table (no torus coordinate math per
+// message), per-op flit counts are resolved once from the shared
+// configuration, and in-flight transfer records live by value in a pooled
+// slice indexed by a recycling transaction id (no map operations, no
+// per-transfer allocation).
 type Interconnect struct {
+	eng       *sim.Engine
 	topo      Torus3D
 	placement []int // torus coordinates per node; nil = uniform distances
 	uniform   int   // uniform pairwise hop count when placement is nil
 	hopCycles int64 // cycles per inter-node hop
 
+	// dist[src*n+dst] and delay[src*n+dst] are the precomputed inter-node
+	// hop counts and hop delays in cycles.
+	dist  []int32
+	delay []int64
+
+	// Per-op flit counts, identical across nodes (one clock domain, one
+	// block geometry — validated at construction).
+	reqFlits      int // read request header
+	writeReqFlits int // write request header + payload
+	respFlits     int // read response payload
+	ackFlits      int // write acknowledgement
+
 	ports []NodePort
 	outs  [][]*noc.Outbox // [node][row] injection ports
 
-	seq     uint64
-	pending map[uint64]*xfer
-	free    []*xfer
+	// In-flight transfers, by value, indexed by txn-1. Free slot indices
+	// recycle LIFO so the table stays dense at the working-set size.
+	xfers []xfer
+	free  []uint64
 
 	// Counters is the per-node accounting, reset per run by the cluster's
 	// run entry points.
@@ -95,7 +161,8 @@ type Interconnect struct {
 type xfer struct {
 	nr       *rmc.NetReq
 	addr     uint64 // original (global) address
-	src, dst int
+	src, dst int32
+	active   bool
 }
 
 // NewInterconnect wires the fabric to every node's network ports.
@@ -128,21 +195,44 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 	}
 	base := ports[0].Env.Cfg
 	for i, p := range ports {
-		// One engine, one clock: every node must tick the shared wheel in
-		// the same time base for hop delays to mean the same thing.
+		// One engine, one clock, one block geometry: every node must tick
+		// the shared wheel in the same time base for hop delays to mean the
+		// same thing, and the precomputed flit counts assume one link and
+		// block size across the rack.
 		if p.Env.Cfg.ClockGHz != base.ClockGHz || p.Env.Cfg.NetHopNS != base.NetHopNS {
 			return nil, fmt.Errorf("fabric: node %d clock domain (%.2f GHz, %.1f ns/hop) differs from node 0 (%.2f GHz, %.1f ns/hop)",
 				i, p.Env.Cfg.ClockGHz, p.Env.Cfg.NetHopNS, base.ClockGHz, base.NetHopNS)
 		}
+		if p.Env.Cfg.BlockBytes != base.BlockBytes || p.Env.Cfg.LinkBytes != base.LinkBytes ||
+			p.Env.Cfg.ReqHeaderFlits != base.ReqHeaderFlits {
+			return nil, fmt.Errorf("fabric: node %d block/link geometry differs from node 0", i)
+		}
 	}
 	x := &Interconnect{
+		eng:  ports[0].Env.Eng,
 		topo: topo, placement: placement, uniform: uniformHops,
-		hopCycles: base.NetHopCycles(),
-		ports:     ports,
-		outs:      make([][]*noc.Outbox, n),
-		pending:   make(map[uint64]*xfer),
-		Counters:  make([]LinkStats, n),
-		Traffic:   make([][]int64, n),
+		hopCycles:     base.NetHopCycles(),
+		reqFlits:      base.ReqHeaderFlits,
+		writeReqFlits: base.ReqHeaderFlits + base.BlockBytes/base.LinkBytes,
+		respFlits:     base.BlockFlits(),
+		ackFlits:      1,
+		ports:         ports,
+		outs:          make([][]*noc.Outbox, n),
+		Counters:      make([]LinkStats, n),
+		Traffic:       make([][]int64, n),
+	}
+	// Dense pairwise hop-delay table: the per-message Dist call collapses
+	// to one load. At the paper's full 512-node rack this is 2 MiB — small
+	// next to the nodes it serves — and for uniform mode it simply repeats
+	// the one configured distance.
+	x.dist = make([]int32, n*n)
+	x.delay = make([]int64, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			d := x.distSlow(a, b)
+			x.dist[a*n+b] = int32(d)
+			x.delay[a*n+b] = int64(d) * x.hopCycles
+		}
 	}
 	for i := range ports {
 		x.Traffic[i] = make([]int64, n)
@@ -162,16 +252,30 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 // NodeCount returns the number of attached nodes.
 func (x *Interconnect) NodeCount() int { return len(x.ports) }
 
-// Dist returns the hop distance between two cluster nodes.
-func (x *Interconnect) Dist(a, b int) int {
+// distSlow computes a pairwise hop distance from the topology model; used
+// only to fill the dense table at construction.
+func (x *Interconnect) distSlow(a, b int) int {
 	if x.placement == nil {
 		return x.uniform
 	}
 	return x.topo.Hops(x.placement[a], x.placement[b])
 }
 
+// Dist returns the hop distance between two cluster nodes (a dense-table
+// lookup).
+func (x *Interconnect) Dist(a, b int) int {
+	return int(x.dist[a*len(x.ports)+b])
+}
+
 // DefaultPeer returns the node a selector-less address from src targets.
 func (x *Interconnect) DefaultPeer(src int) int { return (src + 1) % len(x.ports) }
+
+// CheckAddr validates a remote address against the cluster addressing
+// contract (see CheckRemoteAddr); cluster members install it as their
+// request-issue validator.
+func (x *Interconnect) CheckAddr(addr uint64) error {
+	return CheckRemoteAddr(addr, len(x.ports))
+}
 
 // ResetCounters zeroes the per-run accounting. In-flight transfer records
 // are untouched.
@@ -180,6 +284,28 @@ func (x *Interconnect) ResetCounters() {
 		x.Counters[i] = LinkStats{}
 		for j := range x.Traffic[i] {
 			x.Traffic[i][j] = 0
+		}
+	}
+}
+
+// Reset returns the fabric to its just-built state: per-run counters
+// zeroed, in-flight transfer records dropped, transaction ids restarted,
+// injection ports drained. The cluster's run lifecycle (node.Session)
+// calls it between runs; the events referencing dropped transfers are
+// cleared with the shared engine.
+func (x *Interconnect) Reset() {
+	x.ResetCounters()
+	// Zero the abandoned records before truncating: a cut-short run can
+	// leave hundreds of thousands of them, and the retained capacity would
+	// otherwise pin every referenced NetReq across subsequent runs.
+	for i := range x.xfers {
+		x.xfers[i] = xfer{}
+	}
+	x.xfers = x.xfers[:0]
+	x.free = x.free[:0]
+	for _, rows := range x.outs {
+		for _, o := range rows {
+			o.Reset()
 		}
 	}
 }
@@ -200,11 +326,29 @@ func (x *Interconnect) handle(node int, m *noc.Message) {
 // packDst packs the delivery coordinates into one event argument.
 func packDst(node, row int) int64 { return int64(node)<<32 | int64(row) }
 
+// newXfer takes a free transfer slot (or grows the table) and returns its
+// transaction id; ids are slot+1 so 0 stays invalid.
+func (x *Interconnect) newXfer() (uint64, *xfer) {
+	if n := len(x.free); n > 0 {
+		txn := x.free[n-1]
+		x.free = x.free[:n-1]
+		return txn, &x.xfers[txn-1]
+	}
+	x.xfers = append(x.xfers, xfer{})
+	txn := uint64(len(x.xfers))
+	return txn, &x.xfers[txn-1]
+}
+
 // onRequest routes one outgoing block request to its target node's RRPP
 // row, after the inter-node hops.
 func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	nr := m.Meta.(*rmc.NetReq)
 	sel, local := SplitAddr(m.Addr)
+	if local >= 1<<NodeSelShift {
+		// Out-of-contract address that slipped past the issue boundary
+		// (e.g. a v1 microbenchmark path): fail loudly, never mis-route.
+		panic(fmt.Sprintf("fabric: node %d issued address %#x outside the 1 TiB node-local space (stray selector bits?)", src, m.Addr))
+	}
 	dst := x.DefaultPeer(src)
 	if sel > 0 {
 		dst = sel - 1
@@ -212,21 +356,12 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 			panic(fmt.Sprintf("fabric: node %d addressed nonexistent node %d (cluster has %d)", src, dst, len(x.ports)))
 		}
 	}
-	x.seq++
-	txn := x.seq
-	var o *xfer
-	if n := len(x.free); n > 0 {
-		o = x.free[n-1]
-		x.free = x.free[:n-1]
-		o.nr, o.addr, o.src, o.dst = nr, m.Addr, src, dst
-	} else {
-		o = &xfer{nr: nr, addr: m.Addr, src: src, dst: dst}
-	}
-	x.pending[txn] = o
+	txn, o := x.newXfer()
+	o.nr, o.addr, o.src, o.dst, o.active = nr, m.Addr, int32(src), int32(dst), true
 
-	flits := x.ports[dst].Env.Cfg.ReqHeaderFlits
+	flits := x.reqFlits
 	if nr.Op == rmc.OpWrite {
-		flits += x.ports[dst].Env.Cfg.BlockBytes / x.ports[dst].Env.Cfg.LinkBytes
+		flits = x.writeReqFlits
 	}
 	row := x.ports[dst].HomeRow(local)
 	inbound := noc.NewMessage()
@@ -236,11 +371,11 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	inbound.Addr, inbound.Txn, inbound.A = local, txn, int64(nr.Op)
 	inbound.B = int64(src) // source-node tag, echoed by the RRPP's response
 
-	delay := int64(x.Dist(src, dst)) * x.hopCycles
+	delay := x.delay[src*len(x.ports)+dst]
 	x.Counters[src].RequestsOut++
 	x.Counters[src].HopCycles += delay
 	x.Traffic[src][dst]++
-	x.ports[src].Env.Eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
+	x.eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
 }
 
 // xconnInboundEv lands a request at its target node's RRPP row after the
@@ -256,38 +391,39 @@ func xconnInboundEv(a, b any, dst int64) {
 // onResponse routes an RRPP's response back to the requesting node, after
 // the return hops.
 func (x *Interconnect) onResponse(node int, m *noc.Message) {
-	o, ok := x.pending[m.Txn]
-	if !ok {
-		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d", m.Txn))
+	txn := m.Txn
+	if txn == 0 || txn > uint64(len(x.xfers)) || !x.xfers[txn-1].active {
+		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d", txn))
 	}
+	o := &x.xfers[txn-1]
 	// Protocol validation: the servicing node and its RRPP's echoed
 	// source tag must both match the transfer record. A mismatch means the
 	// two implementations of "the rack" disagree about who asked.
-	if node != o.dst {
-		panic(fmt.Sprintf("fabric: txn %d serviced by node %d, was sent to node %d", m.Txn, node, o.dst))
+	if int32(node) != o.dst {
+		panic(fmt.Sprintf("fabric: txn %d serviced by node %d, was sent to node %d", txn, node, o.dst))
 	}
 	if m.B != int64(o.src) {
-		panic(fmt.Sprintf("fabric: txn %d response tagged for node %d, belongs to node %d", m.Txn, m.B, o.src))
+		panic(fmt.Sprintf("fabric: txn %d response tagged for node %d, belongs to node %d", txn, m.B, o.src))
 	}
-	delete(x.pending, m.Txn)
-	flits := 1
-	if o.nr.Op == rmc.OpRead {
-		flits = x.ports[o.src].Env.Cfg.BlockFlits()
+	nr, addr, src, dst := o.nr, o.addr, int(o.src), int(o.dst)
+	*o = xfer{}
+	x.free = append(x.free, txn)
+
+	flits := x.ackFlits
+	if nr.Op == rmc.OpRead {
+		flits = x.respFlits
 	}
-	row := x.ports[o.src].RowOf(o.nr.ReturnTo)
+	row := x.ports[src].RowOf(nr.ReturnTo)
 	resp := noc.NewMessage()
 	resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
-	resp.Src, resp.Dst = noc.NetID(row), o.nr.ReturnTo
+	resp.Src, resp.Dst = noc.NetID(row), nr.ReturnTo
 	resp.Flits, resp.Kind = flits, rmc.KNetResponse
-	resp.Addr, resp.Meta = o.addr, o.nr
+	resp.Addr, resp.Meta = addr, nr
 
-	src, dst := o.src, o.dst
-	o.nr = nil
-	x.free = append(x.free, o)
-	delay := int64(x.Dist(dst, src)) * x.hopCycles
+	delay := x.delay[dst*len(x.ports)+src]
 	x.Counters[src].HopCycles += delay
 	x.Counters[dst].ResponsesOut++
-	x.ports[src].Env.Eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
+	x.eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
 }
 
 // xconnRespEv lands a response back at the requesting node after the

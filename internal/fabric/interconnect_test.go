@@ -7,11 +7,13 @@ import (
 )
 
 // TestGlobalAddrRoundTrip: encoding a target into an address and
-// splitting it back must recover both parts, for any on-chip address.
+// splitting it back must recover both parts, for any on-chip address
+// (the selector field and the explicit-target marker belong to the
+// encoding, so they are masked out of the local part).
 func TestGlobalAddrRoundTrip(t *testing.T) {
 	f := func(target uint16, addr uint64) bool {
 		tg := int(target) % (nodeSelMask - 1)
-		local := addr &^ (uint64(nodeSelMask) << NodeSelShift)
+		local := addr &^ selField
 		sel, gotLocal := SplitAddr(GlobalAddr(tg, local))
 		return sel == tg+1 && gotLocal == local
 	}

@@ -99,6 +99,24 @@ func (r *Rack) ResetCounters() {
 	r.RequestsOut, r.ResponsesIn, r.InboundMade, r.ResponsesOut, r.HopCycles = 0, 0, 0, 0, 0
 }
 
+// Reset returns the emulation to its just-built state: counters zeroed,
+// in-flight mirror records dropped, the mirror sequence restarted and the
+// injection ports drained. The run lifecycle (node.Session) calls it
+// between runs; events referencing dropped mirrors are cleared with the
+// engine.
+func (r *Rack) Reset() {
+	r.ResetCounters()
+	for txn, o := range r.pending {
+		o.nr = nil
+		r.freeOut = append(r.freeOut, o)
+		delete(r.pending, txn)
+	}
+	r.mirrorSeq = 0
+	for _, o := range r.outs {
+		o.Reset()
+	}
+}
+
 func (r *Rack) hopDelay() int64 {
 	return int64(r.hops) * r.env.Cfg.NetHopCycles()
 }

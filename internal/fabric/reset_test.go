@@ -1,0 +1,126 @@
+package fabric
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/noc"
+	"rackni/internal/sim"
+)
+
+// testPorts builds n minimal node ports (each with its own on-chip
+// fabric, all sharing one engine) — enough to construct an Interconnect
+// for table/bookkeeping tests without full node assemblies.
+func testPorts(t *testing.T, n int) []NodePort {
+	t.Helper()
+	eng := sim.NewEngine()
+	ports := make([]NodePort, n)
+	for i := range ports {
+		cfg := config.Default()
+		mesh := noc.NewMesh(eng, &cfg)
+		env := &rmc.Env{Eng: eng, Cfg: &cfg, Net: mesh, Stats: rmc.NewStats()}
+		ports[i] = NodePort{
+			Env:     env,
+			Ports:   1,
+			HomeRow: func(addr uint64) int { return 0 },
+			RowOf:   func(id noc.NodeID) int { return 0 },
+			RRPPAt:  func(row int) noc.NodeID { return noc.NIID(row) },
+		}
+	}
+	return ports
+}
+
+// TestInterconnectDenseDistance: the precomputed table must agree with
+// the torus model for every pair under placement, and with the uniform
+// distance without one.
+func TestInterconnectDenseDistance(t *testing.T) {
+	topo := NewTorus3D(4)
+	placement := []int{0, 7, 21, 42, 63, 13, 30, 55}
+	x, err := NewInterconnect(topo, placement, 0, testPorts(t, len(placement)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range placement {
+		for b := range placement {
+			want := topo.Hops(placement[a], placement[b])
+			if got := x.Dist(a, b); got != want {
+				t.Fatalf("Dist(%d,%d)=%d, want torus %d", a, b, got, want)
+			}
+		}
+	}
+
+	u, err := NewInterconnect(topo, nil, 5, testPorts(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			if u.Dist(a, b) != 5 {
+				t.Fatalf("uniform Dist(%d,%d)=%d, want 5", a, b, u.Dist(a, b))
+			}
+		}
+	}
+	if err := u.CheckAddr(GlobalAddr(2, 0x1000)); err != nil {
+		t.Fatalf("CheckAddr rejected a legal target: %v", err)
+	}
+	if err := u.CheckAddr(GlobalAddr(3, 0x1000)); err == nil {
+		t.Fatal("CheckAddr accepted a target beyond the cluster")
+	}
+}
+
+// TestInterconnectXferRecycling: transfer slots recycle LIFO through the
+// free list, the table stays dense, and Reset restarts the ids.
+func TestInterconnectXferRecycling(t *testing.T) {
+	x, err := NewInterconnect(NewTorus3D(8), nil, 1, testPorts(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, o1 := x.newXfer()
+	t2, _ := x.newXfer()
+	if t1 != 1 || t2 != 2 {
+		t.Fatalf("first ids %d,%d, want 1,2", t1, t2)
+	}
+	o1.active = true
+	*o1 = xfer{}
+	x.free = append(x.free, t1)
+	t3, _ := x.newXfer()
+	if t3 != t1 {
+		t.Fatalf("freed id %d not recycled (got %d)", t1, t3)
+	}
+	if len(x.xfers) != 2 {
+		t.Fatalf("table grew to %d despite recycling", len(x.xfers))
+	}
+	x.Counters[0].RequestsOut = 9
+	x.Traffic[0][1] = 4
+	x.Reset()
+	if x.Counters[0] != (LinkStats{}) || x.Traffic[0][1] != 0 {
+		t.Fatal("Reset left per-run accounting")
+	}
+	if len(x.xfers) != 0 || len(x.free) != 0 {
+		t.Fatal("Reset left transfer state")
+	}
+	if tn, _ := x.newXfer(); tn != 1 {
+		t.Fatalf("post-Reset ids restart at %d, want 1", tn)
+	}
+}
+
+// TestRackReset: the emulation returns to its just-built state — counters
+// zeroed, mirror records dropped, sequence restarted.
+func TestRackReset(t *testing.T) {
+	ports := testPorts(t, 1)
+	r := NewRack(ports[0], 3)
+	r.RequestsOut, r.ResponsesIn, r.HopCycles = 5, 4, 100
+	r.mirrorSeq = 17
+	r.pending[17] = &outstanding{addr: 0x40}
+	r.Reset()
+	if r.RequestsOut != 0 || r.ResponsesIn != 0 || r.HopCycles != 0 {
+		t.Fatal("Reset left counters")
+	}
+	if len(r.pending) != 0 || r.mirrorSeq != 0 {
+		t.Fatal("Reset left mirror state")
+	}
+	if len(r.freeOut) != 1 {
+		t.Fatalf("dropped mirror record not recycled (free list %d)", len(r.freeOut))
+	}
+}

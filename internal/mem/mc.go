@@ -56,6 +56,14 @@ func New(eng *sim.Engine, net noc.Fabric, cfg *config.Config, row int) *MC {
 // ID returns the controller's NOC endpoint.
 func (mc *MC) ID() noc.NodeID { return mc.id }
 
+// Reset zeroes the counters and drains the reply queue, returning the
+// controller to its just-built state (in-flight access events are cleared
+// with the engine by the run lifecycle that calls this).
+func (mc *MC) Reset() {
+	mc.reads, mc.writes = 0, 0
+	mc.out.Reset()
+}
+
 // Reads returns the number of DRAM reads serviced.
 func (mc *MC) Reads() int64 { return mc.reads }
 

@@ -40,8 +40,8 @@ func subOf(m *Message) int {
 // messages this makes the steady-state data path allocation-free.
 type link struct {
 	mesh     *Mesh
-	from, to int // router indices; to == -1 for ejection
-	ejectEp  int // dense endpoint index served when to == -1
+	from, to int  // router indices; to == -1 for ejection
+	ejectEp  int  // dense endpoint index served when to == -1
 	cross    bool // crosses the vertical bisection (for utilization stats)
 
 	queues [numSub][]*Message
@@ -66,15 +66,15 @@ type Mesh struct {
 	cfg *config.Config
 	rnd *sim.Rand
 
-	gw, gh int
-	tiles  int
-	hopLat int64
-	links  []*link   // [router*numDirs+dir]; nil when the port exits the grid
-	inbound  [][]*link // links whose downstream is this router
-	ejects   []*link   // by dense endpoint index
-	handlers []Handler // by dense endpoint index
-	epRouter []int32   // dense endpoint index -> router
-	rx, ry   []int16   // router -> grid coordinates
+	gw, gh   int
+	tiles    int
+	hopLat   int64
+	links    []*link    // [router*numDirs+dir]; nil when the port exits the grid
+	inbound  [][]*link  // links whose downstream is this router
+	ejects   []*link    // by dense endpoint index
+	handlers []Handler  // by dense endpoint index
+	epRouter []int32    // dense endpoint index -> router
+	rx, ry   []int16    // router -> grid coordinates
 	waiters  [][]func() // per-router blocked injectors
 	spare    [][]func() // retired waiter buffers, reused to avoid churn
 	freePend []bool     // per-router coalesced wakeup scheduled
@@ -144,6 +144,50 @@ func NewMesh(eng *sim.Engine, cfg *config.Config) *Mesh {
 		}
 	}
 	return m
+}
+
+// reset empties one link's buffers and transfer state.
+func (l *link) reset() {
+	for s := range l.queues {
+		q := l.queues[s]
+		for i := range q {
+			q[i] = nil
+		}
+		l.queues[s] = q[:0]
+		l.qh[s] = 0
+		l.occ[s] = 0
+	}
+	l.busy = false
+	l.rr = 0
+}
+
+// Reset returns the mesh to its just-built state: all link and ejection
+// buffers emptied, blocked-injector lists dropped, counters zeroed and the
+// routing randomness reseeded, so a reused fabric behaves bit-identically
+// to a fresh one. Events referencing in-flight messages are cleared with
+// the engine by the run lifecycle that calls this.
+func (m *Mesh) Reset() {
+	for _, l := range m.links {
+		if l != nil {
+			l.reset()
+		}
+	}
+	for _, l := range m.ejects {
+		if l != nil {
+			l.reset()
+		}
+	}
+	for r := range m.waiters {
+		ws := m.waiters[r]
+		for i := range ws {
+			ws[i] = nil
+		}
+		m.waiters[r] = ws[:0]
+		m.freePend[r] = false
+	}
+	m.rnd = sim.NewRand(m.cfg.Seed ^ 0xA5A5)
+	m.flitsCarried, m.flitsBisection, m.bytesInjected = 0, 0, 0
+	m.sent, m.delivered = 0, 0
 }
 
 // epIndex maps an endpoint to its dense slice index.

@@ -26,6 +26,19 @@ func NewOutbox(net Fabric, id NodeID) *Outbox {
 // ID returns the injection endpoint.
 func (o *Outbox) ID() NodeID { return o.id }
 
+// Reset drops any queued messages and clears the retry state, returning
+// the outbox to its just-built emptiness (the run lifecycle resets every
+// injector between runs; a parked WhenFree callback died with the fabric's
+// own reset).
+func (o *Outbox) Reset() {
+	for i := o.head; i < len(o.q); i++ {
+		o.q[i] = nil
+	}
+	o.q = o.q[:0]
+	o.head = 0
+	o.waiting = false
+}
+
 // Send queues m and drains as far as buffer space allows.
 func (o *Outbox) Send(m *Message) {
 	o.q = append(o.q, m)

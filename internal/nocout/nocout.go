@@ -29,15 +29,15 @@ import (
 // link is a serializing channel: one flit per cycle, per-subchannel
 // bounded buffers, credit-style reservation toward the next link.
 type link struct {
-	net     *Net
-	lat     int64
-	width   int               // flits per cycle (FB channels and LLC-tile ports are wide)
-	queues  [6][]*noc.Message // VN x {up,down} is overkill; index by VN only via sub()
-	qh      [6]int            // head index into queues[s]
-	occ     [6]int
-	cap     int
-	busy    bool
-	rr      int
+	net    *Net
+	lat    int64
+	width  int               // flits per cycle (FB channels and LLC-tile ports are wide)
+	queues [6][]*noc.Message // VN x {up,down} is overkill; index by VN only via sub()
+	qh     [6]int            // head index into queues[s]
+	occ    [6]int
+	cap    int
+	busy   bool
+	rr     int
 	// next returns the following link for a message leaving this one, or
 	// nil to eject at dst.
 	next func(m *noc.Message) *link
@@ -166,6 +166,52 @@ func (n *Net) fbLatency() int64 {
 		l = 1
 	}
 	return l
+}
+
+// reset empties one link's buffers and transfer state.
+func (l *link) reset() {
+	for s := range l.queues {
+		q := l.queues[s]
+		for i := range q {
+			q[i] = nil
+		}
+		l.queues[s] = q[:0]
+		l.qh[s] = 0
+		l.occ[s] = 0
+	}
+	l.busy = false
+	l.rr = 0
+}
+
+// Reset returns the fabric to its just-built state: every chain, FB and
+// ejection buffer emptied, blocked-injector lists dropped and counters
+// zeroed, so a reused fabric behaves bit-identically to a fresh one.
+// Events referencing in-flight messages are cleared with the engine by the
+// run lifecycle that calls this.
+func (n *Net) Reset() {
+	for _, col := range n.chainUp {
+		for _, l := range col {
+			l.reset()
+		}
+	}
+	for _, col := range n.chainDown {
+		for _, l := range col {
+			l.reset()
+		}
+	}
+	for _, l := range n.fbOut {
+		l.reset()
+	}
+	for _, l := range n.ejects {
+		if l != nil {
+			l.reset()
+		}
+	}
+	for i := range n.injectWaiters {
+		n.injectWaiters[i] = nil
+	}
+	n.injectWaiters = n.injectWaiters[:0]
+	n.flitsCarried, n.bytesInjected, n.delivered = 0, 0, 0
 }
 
 // --- geometry helpers ---

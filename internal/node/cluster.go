@@ -40,8 +40,9 @@ type Cluster struct {
 	Nodes []*Node
 	Inter *fabric.Interconnect
 
-	ctx   context.Context
-	watch *sim.CancelWatch
+	ctx     context.Context
+	watch   *sim.CancelWatch
+	session *Session
 }
 
 // NewCluster builds a cluster of identical nodes per the spec. All nodes
@@ -97,6 +98,7 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		return nil, err
 	}
 	c.Inter = inter
+	c.session = newSession(eng, c.watch, c.Nodes, inter)
 	return c, nil
 }
 
@@ -105,28 +107,6 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 // The cluster arms exactly one watchdog for the shared engine; member
 // nodes never arm their own.
 func (c *Cluster) SetContext(ctx context.Context) { c.ctx = ctx }
-
-// beginRun is the shared run prologue: silence stale drivers on every
-// node, reset per-run accounting, and rebase the cycle budget.
-func (c *Cluster) beginRun() int64 {
-	for _, n := range c.Nodes {
-		n.stopStaleDrivers()
-		n.Stats.Reset()
-	}
-	c.Inter.ResetCounters()
-	return c.Eng.Now()
-}
-
-// refuseInFlight errors if any node still has in-flight requests from a
-// cut-short previous run.
-func (c *Cluster) refuseInFlight() error {
-	for i, n := range c.Nodes {
-		if err := n.refuseInFlight(); err != nil {
-			return fmt.Errorf("node %d: %w", i, err)
-		}
-	}
-	return nil
-}
 
 // ClusterSyncResult is the outcome of a cluster-wide synchronous-latency
 // run: every node runs the same single-core latency microbenchmark
@@ -144,10 +124,7 @@ type ClusterSyncResult struct {
 // seeds, making the cluster a set of mirror images of one another — the
 // multi-node realization of the paper's rate-matching mirror emulation.
 func (c *Cluster) RunSyncLatency(size, onCore int) (ClusterSyncResult, error) {
-	if err := c.refuseInFlight(); err != nil {
-		return ClusterSyncResult{}, err
-	}
-	start := c.beginRun()
+	c.session.Begin()
 	cfg := c.Cfg
 	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
 	remaining := 0
@@ -158,7 +135,7 @@ func (c *Cluster) RunSyncLatency(size, onCore int) (ClusterSyncResult, error) {
 			LocalBase+uint64(onCore)*LocalStride, LocalStride,
 			total, cfg.Seed+uint64(onCore))
 		d := cpu.NewDriver(c.Eng, n.Cfg, onCore, n.Agents[onCore], n.QPs[onCore], n.Stats, wl, cpu.Sync)
-		n.Drivers = []*cpu.Driver{d}
+		n.Drivers = append(n.Drivers, d)
 		drivers[i] = d
 		remaining++
 		d.OnIdle = func() {
@@ -169,9 +146,8 @@ func (c *Cluster) RunSyncLatency(size, onCore int) (ClusterSyncResult, error) {
 		}
 		d.Start()
 	}
-	c.watch.Arm()
-	c.Eng.Run(start + cfg.MaxCycles)
-	if err := c.watch.Err(); err != nil {
+	c.session.Run(cfg.MaxCycles)
+	if err := c.session.End(); err != nil {
 		return ClusterSyncResult{}, err
 	}
 	res := ClusterSyncResult{PerNode: make([]SyncResult, len(c.Nodes))}
@@ -230,11 +206,11 @@ type ClusterBWResult struct {
 // to their node's default peer until the cluster-wide windowed
 // application bandwidth stabilizes (or MaxCycles).
 func (c *Cluster) RunBandwidth(size int) (ClusterBWResult, error) {
-	start := c.beginRun()
+	c.session.Begin()
+	start := c.Eng.Now()
 	cfg := c.Cfg
 	tiles := cfg.Tiles()
 	for _, n := range c.Nodes {
-		n.Drivers = n.Drivers[:0]
 		for core := 0; core < tiles; core++ {
 			wl := cpu.NewUniformReads(size,
 				SourceBase, SourceSpan,
@@ -288,14 +264,8 @@ func (c *Cluster) RunBandwidth(size int) (ClusterBWResult, error) {
 		mon.Reset(sumBytes())
 		c.Eng.Schedule(cfg.WindowCycles, tick)
 	})
-	c.watch.Arm()
-	c.Eng.Run(start + cfg.MaxCycles)
-	for _, n := range c.Nodes {
-		for _, d := range n.Drivers {
-			d.Stop()
-		}
-	}
-	if err := c.watch.Err(); err != nil {
+	c.session.Run(cfg.MaxCycles)
+	if err := c.session.End(); err != nil {
 		return ClusterBWResult{}, err
 	}
 	elapsed := c.Eng.Now() - cycles0
@@ -349,19 +319,21 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 	if maxCycles <= 0 {
 		maxCycles = c.Cfg.MaxCycles
 	}
-	if err := c.refuseInFlight(); err != nil {
-		return ClusterWorkloadResult{}, err
-	}
-	start := c.beginRun()
+	c.session.Begin()
+	start := c.Eng.Now()
 	active := 0
 	for i, n := range c.Nodes {
-		n.AppDrivers = n.AppDrivers[:0]
 		for core := 0; core < n.Cfg.Tiles(); core++ {
 			app := factory(i, core)
 			if app == nil {
 				continue
 			}
 			d := cpu.NewAppDriver(c.Eng, n.Cfg, core, n.Agents[core], n.QPs[core], n.Stats, app)
+			// The issue boundary of the cluster addressing contract: a
+			// workload that manufactures a remote address with stray bits in
+			// the node-selector field fails its run loudly here instead of
+			// being silently mis-routed (see fabric.CheckRemoteAddr).
+			d.CheckAddr = c.Inter.CheckAddr
 			active++
 			d.OnIdle = func() {
 				active--
@@ -376,9 +348,8 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 	if active == 0 {
 		return ClusterWorkloadResult{}, fmt.Errorf("node: no cores have workloads")
 	}
-	c.watch.Arm()
-	c.Eng.Run(start + maxCycles)
-	if err := c.watch.Err(); err != nil {
+	c.session.Run(maxCycles)
+	if err := c.session.End(); err != nil {
 		return ClusterWorkloadResult{}, err
 	}
 	res := ClusterWorkloadResult{PerNode: make([]WorkloadResult, len(c.Nodes))}

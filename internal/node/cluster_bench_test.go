@@ -1,0 +1,72 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"rackni/internal/config"
+)
+
+// benchClusterCfg is the cluster-throughput configuration: a reduced 4x2
+// chip per node so the inter-node fabric — not the single-chip simulation
+// already covered by BENCH_simthroughput — dominates the event mix, with a
+// multi-block transfer size so every request unrolls into a stream of
+// fabric crossings.
+func benchClusterCfg() config.Config {
+	cfg := config.Default()
+	cfg.MeshWidth = 4
+	cfg.MeshHeight = 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0 // fixed interval: run the full budget
+	cfg.WindowCycles = 20_000
+	return cfg
+}
+
+// identityPlacement places n nodes at torus coordinates 0..n-1.
+func identityPlacement(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// BenchmarkClusterThroughput measures whole-cluster simulation speed —
+// simulated cycles per wall-clock second — with every node's cores issuing
+// asynchronous remote reads through the real inter-node fabric under torus
+// placement (the distance-computation path the paper's 512-node rack
+// exercises). The series at N = 2/8/64 is recorded in BENCH_cluster.json.
+func BenchmarkClusterThroughput(b *testing.B) {
+	cases := []struct {
+		nodes  int
+		budget int64
+	}{
+		{2, 200_000},
+		{8, 100_000},
+		{64, 40_000},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("N%d", tc.nodes), func(b *testing.B) {
+			cfg := benchClusterCfg()
+			cfg.MaxCycles = tc.budget
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := NewCluster(cfg, ClusterSpec{
+					Nodes:     tc.nodes,
+					Placement: identityPlacement(tc.nodes),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res, err := cl.RunBandwidth(4096)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Aggregate.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+		})
+	}
+}

@@ -39,6 +39,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 	net := nocout.NewNet(n.Eng, &cfg)
 	n.NOCOut = net
 	n.Net = net
+	n.resets = append(n.resets, net.Reset)
 
 	tiles := cfg.Tiles()
 	banks := cfg.NOCOutLLCTiles
@@ -48,7 +49,8 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 	n.env = &rmc.Env{Eng: n.Eng, Cfg: n.Cfg, Net: n.Net, HomeOf: homeOf, Stats: n.Stats}
 
 	for i := 0; i < banks; i++ {
-		mem.New(n.Eng, n.Net, &cfg, i)
+		mc := mem.New(n.Eng, n.Net, &cfg, i)
+		n.resets = append(n.resets, mc.Reset)
 	}
 
 	colOfCore := func(c int) int { return c % cfg.MeshWidth }
@@ -65,6 +67,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			n.Agents[t] = coherence.NewComplex(n.Eng, n.Net, &cfg, id, homeOf)
 		}
 		eps[id] = &endpoint{agent: n.Agents[t]}
+		n.resets = append(n.resets, n.Agents[t].Reset)
 	}
 
 	// LLC tiles: home controllers plus the RMC blocks placed there.
@@ -74,11 +77,13 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 		id := noc.LLCID(i)
 		n.Homes[i] = coherence.NewHome(n.Eng, n.Net, &cfg, id, noc.MCID(i), bankBytes)
 		eps[id] = &endpoint{home: n.Homes[i]}
+		n.resets = append(n.resets, n.Homes[i].Reset)
 	}
 
 	n.QPs = make([]*rmc.QueuePair, tiles)
 	for c := 0; c < tiles; c++ {
 		n.QPs[c] = rmc.NewQueuePair(&cfg, c, qpWQBase(&cfg, c), qpCQBase(&cfg, c))
+		n.resets = append(n.resets, n.QPs[c].Reset)
 	}
 	qpOf := func(c int) *rmc.QueuePair { return n.QPs[c] }
 
@@ -109,6 +114,8 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			}
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, niCache.Reset, dp.Reset, rgpB.Reset, rrpp.Reset)
 			ep := eps[id]
 			ep.dp = dp
 			ep.rcpB = rcpB
@@ -130,12 +137,15 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			ep.dp = dp
 			ep.rcpB = rcpB
 			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, dp.Reset, rgpB.Reset)
 		}
 		for i := 0; i < banks; i++ {
 			id := noc.LLCID(i)
 			dp := rmc.NewDataPath(n.env, id)
 			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.resets = append(n.resets, dp.Reset, rrpp.Reset)
 			ep := eps[id]
 			ep.dp = dp
 			ep.rrpp = rrpp
@@ -155,6 +165,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.resets = append(n.resets, dp.Reset, rgpB.Reset, rrpp.Reset, cqSender.out.Reset)
 			ep := eps[id]
 			ep.dp = dp
 			ep.rcpB = rcpB
@@ -174,6 +185,8 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 				})
 			rgpF.AddQP(n.QPs[t])
 			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, wqSender.out.Reset)
 			eps[id].onCQ = rcpF.Complete
 		}
 	default:
@@ -201,6 +214,8 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 	}
 	if attachRack {
 		n.Rack = fabric.NewRack(n.port, hops)
+		n.resets = append(n.resets, n.Rack.Reset)
+		n.session = newSession(n.Eng, n.watch, []*Node{n}, nil)
 	}
 	return n, nil
 }

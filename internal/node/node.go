@@ -72,6 +72,17 @@ type Node struct {
 	port     fabric.NodePort
 	member   bool // part of a cluster: run control belongs to the cluster
 
+	// resets returns every stateful component to its freshly-constructed
+	// state; frontends re-arm their WQ poll chains afterwards. Both are
+	// collected in construction order so a Session.Begin reproduces a
+	// fresh node's initial event sequence exactly.
+	resets    []func()
+	frontends []*rmc.RGPFrontend
+
+	// session is the node's run lifecycle (nil for cluster members, whose
+	// lifecycle belongs to the cluster's session).
+	session *Session
+
 	ctx   context.Context // optional; polled by the run loops
 	watch *sim.CancelWatch
 }
@@ -164,6 +175,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 	n.watch = sim.NewCancelWatch(n.Eng, cancelCheckCycles, n.context)
 	n.Mesh = noc.NewMesh(n.Eng, &cfg)
 	n.Net = n.Mesh
+	n.resets = append(n.resets, n.Mesh.Reset)
 
 	tiles := cfg.Tiles()
 	homeOf := func(addr uint64) noc.NodeID {
@@ -173,7 +185,8 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 
 	// Memory controllers: one per row on the east edge (§4.3).
 	for row := 0; row < cfg.MeshHeight; row++ {
-		mem.New(n.Eng, n.Net, &cfg, row)
+		mc := mem.New(n.Eng, n.Net, &cfg, row)
+		n.resets = append(n.resets, mc.Reset)
 	}
 
 	// Tiles: home (LLC slice + directory slice) everywhere; cache agents
@@ -193,12 +206,14 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 			n.Agents[t] = coherence.NewComplex(n.Eng, n.Net, &cfg, id, homeOf)
 		}
 		eps[id] = &endpoint{home: n.Homes[t], agent: n.Agents[t]}
+		n.resets = append(n.resets, n.Homes[t].Reset, n.Agents[t].Reset)
 	}
 
 	// Queue pairs.
 	n.QPs = make([]*rmc.QueuePair, tiles)
 	for c := 0; c < tiles; c++ {
 		n.QPs[c] = rmc.NewQueuePair(&cfg, c, qpWQBase(&cfg, c), qpCQBase(&cfg, c))
+		n.resets = append(n.resets, n.QPs[c].Reset)
 	}
 	qpOf := func(c int) *rmc.QueuePair { return n.QPs[c] }
 
@@ -230,6 +245,8 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 			}
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, niCache.Reset, dp.Reset, rgpB.Reset, rrpp.Reset)
 			eps[niID] = &endpoint{agent: niCache, dp: dp, rcpB: rcpB, rrpp: rrpp}
 		}
 
@@ -252,12 +269,15 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 			ep.dp = dp
 			ep.rcpB = rcpB
 			n.RGPBackends = append(n.RGPBackends, rgpB)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, dp.Reset, rgpB.Reset)
 		}
 		for row := 0; row < cfg.MeshHeight; row++ {
 			niID := noc.NIID(row)
 			dp := rmc.NewDataPath(n.env, niID)
 			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.resets = append(n.resets, dp.Reset, rrpp.Reset)
 			eps[niID] = &endpoint{dp: dp, rrpp: rrpp}
 		}
 
@@ -279,6 +299,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)
+			n.resets = append(n.resets, dp.Reset, rgpB.Reset, rrpp.Reset, cqSender.out.Reset)
 			eps[niID] = &endpoint{dp: dp, rcpB: rcpB, rrpp: rrpp,
 				onWQ: rgpB.Accept}
 		}
@@ -297,6 +318,8 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 				})
 			rgpF.AddQP(n.QPs[t])
 			rcpF := rmc.NewRCPFrontend(n.env, cache, int64(cfg.RCPFrontendLat), qpOf)
+			n.frontends = append(n.frontends, rgpF)
+			n.resets = append(n.resets, wqSender.out.Reset)
 			eps[id].onCQ = rcpF.Complete
 		}
 	}
@@ -323,6 +346,8 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 	}
 	if attachRack {
 		n.Rack = fabric.NewRack(n.port, hops)
+		n.resets = append(n.resets, n.Rack.Reset)
+		n.session = newSession(n.Eng, n.watch, []*Node{n}, nil)
 	}
 	return n, nil
 }

@@ -1,0 +1,143 @@
+package node
+
+import (
+	"strings"
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+)
+
+// poisonApp issues one read whose "node-local" address has a stray bit in
+// the selector field [40,52) — the mis-routing hazard the addressing
+// contract forbids.
+type poisonApp struct{ issued bool }
+
+func (p *poisonApp) Step(coreID int, now int64, inflight int) cpu.Action {
+	if p.issued {
+		if inflight > 0 {
+			return cpu.Wait()
+		}
+		return cpu.Done()
+	}
+	p.issued = true
+	return cpu.Issue(cpu.Request{
+		Op:     cpu.Request{}.Op, // OpRead zero value
+		Remote: uint64(1)<<(fabric.NodeSelShift+1) | SourceBase,
+		Local:  LocalBase,
+		Size:   64,
+	})
+}
+
+func (p *poisonApp) OnComplete(int, cpu.Request, int64, int64) {}
+
+// TestClusterSelectorHazardFailsLoudly: a workload touching a node-local
+// address with bits in [40,52) must fail its run with a contract error —
+// before the Session owned the issue boundary, the address was silently
+// reinterpreted by SplitAddr as an explicit target and landed on the
+// wrong node.
+func TestClusterSelectorHazardFailsLoudly(t *testing.T) {
+	cfg := config.Default()
+	cfg.MeasureReqs = 4
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.RunApp(func(node, core int) cpu.App {
+		if node != 0 || core != 0 {
+			return nil
+		}
+		return &poisonApp{}
+	}, 100_000)
+	if err == nil {
+		t.Fatal("run with a poisoned node-local address must fail loudly, not mis-route")
+	}
+	if !strings.Contains(err.Error(), "invalid remote address") {
+		t.Fatalf("hazard error does not name the contract violation: %v", err)
+	}
+}
+
+// smokeClusterCfg is the large-N smoke configuration: a reduced 4x2 chip
+// per node so hundreds of detailed nodes fit one engine in CI-feasible
+// time, with short budgets — these runs prove scale and wiring, not
+// paper-fidelity metrics.
+func smokeClusterCfg() config.Config {
+	cfg := config.Default()
+	cfg.MeshWidth = 4
+	cfg.MeshHeight = 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0
+	cfg.WindowCycles = 2_000
+	cfg.MaxCycles = 8_000
+	return cfg
+}
+
+// runClusterSmoke builds an n-node torus-placed cluster, runs a short
+// fixed-budget bandwidth burst, and checks every node actually exchanged
+// traffic over the real fabric.
+func runClusterSmoke(t *testing.T, n int) *Cluster {
+	t.Helper()
+	cfg := smokeClusterCfg()
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: n, Placement: identityPlacement(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.RunBandwidth(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Completed == 0 {
+		t.Fatal("smoke run completed no requests")
+	}
+	for i := range cl.Nodes {
+		cs := cl.Inter.Counters[i]
+		if cs.RequestsOut == 0 || cs.InboundDelivered == 0 {
+			t.Fatalf("node %d exchanged no traffic (out=%d, inbound=%d)", i, cs.RequestsOut, cs.InboundDelivered)
+		}
+	}
+	return cl
+}
+
+// TestClusterSmoke64: a 64-node cluster (4x4x4 sub-torus of coordinates)
+// executes end-to-end under a short budget. Wired into the CI workflow as
+// the cluster smoke step.
+func TestClusterSmoke64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node smoke runs in the dedicated CI step")
+	}
+	runClusterSmoke(t, 64)
+}
+
+// TestClusterPaperScale512: the paper's full rack — 512 nodes at every
+// coordinate of the 8x8x8 3D torus — executes end-to-end under a short
+// cycle budget, with the placement's hop statistics matching the torus
+// figures the paper quotes (average 6, diameter 12).
+func TestClusterPaperScale512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node rack run skipped in -short")
+	}
+	cl := runClusterSmoke(t, 512)
+
+	// The identity placement covers the whole torus: pairwise distances
+	// from node 0 must average the paper's 6.0 (and peak at 12).
+	topo := fabric.NewTorus3D(cl.Cfg.TorusRadix)
+	if n := topo.Nodes(); n != 512 {
+		t.Fatalf("torus has %d nodes, want 512", n)
+	}
+	var sum, max int
+	for b := 1; b < 512; b++ {
+		d := cl.Inter.Dist(0, b)
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(sum) / 511
+	if avg < 5.9 || avg > 6.1 {
+		t.Fatalf("average hop distance %.3f, want ≈6 (paper's 8x8x8 torus)", avg)
+	}
+	if max != topo.MaxHops() {
+		t.Fatalf("max hop distance %d, want the torus diameter %d", max, topo.MaxHops())
+	}
+}

@@ -38,40 +38,10 @@ type SyncResult struct {
 // few wall-clock polls per second — prompt aborts with negligible overhead.
 const cancelCheckCycles = 10_000
 
-// watchCancel arms the node's cancellation watch (sim.CancelWatch): a
-// periodic context poll that stops the engine once the node's context is
-// cancelled. The poll events mutate no simulator state, so results are
-// bit-identical with and without a watchdog. Call it at the start of every
-// run. Cluster members never arm their own watch — the cluster owns the
-// shared engine's run control and arms exactly one.
-func (n *Node) watchCancel() {
-	n.watch.Arm()
-}
-
-// ctxErr reports the context's cancellation error if the watchdog stopped
-// the current run; a run that completed before the cancellation landed
-// keeps its result.
-func (n *Node) ctxErr() error {
-	return n.watch.Err()
-}
-
-// resetRunCounters clears the per-run accounting a previous run on this
-// node left behind: the stats sink and — when the single-node rack
-// emulation is attached — its outstanding-record counters, which the
-// reused-node rebase path used to leak across runs (they kept
-// accumulating, so a second run on one node reported doubled
-// RequestsOut/ResponsesIn).
-func (n *Node) resetRunCounters() {
-	n.Stats.Reset()
-	if n.Rack != nil {
-		n.Rack.ResetCounters()
-	}
-}
-
 // refuseMember errors when a cluster member is driven through the
 // single-node run entry points: run control of the shared engine belongs
-// to the cluster, and a member calling Eng.Run/Stop (or arming its own
-// cancellation watch) would corrupt every peer's run.
+// to the cluster's Session, and a member beginning its own run would reset
+// every peer's state mid-flight.
 func (n *Node) refuseMember() error {
 	if n.member {
 		return fmt.Errorf("node: this node is a cluster member; drive it through the Cluster's run methods")
@@ -79,46 +49,16 @@ func (n *Node) refuseMember() error {
 	return nil
 }
 
-// stopStaleDrivers silences every driver a previous run on this node left
-// behind, so callbacks still queued in the engine after a cut-short run
-// cannot issue into the queue pairs or mutate the stats under the next
-// run. No-op on a fresh node.
-func (n *Node) stopStaleDrivers() {
-	for _, d := range n.Drivers {
-		d.Stop()
-	}
-	for _, d := range n.AppDrivers {
-		d.Stop()
-	}
-}
-
-// refuseInFlight errors if a previous cut-short run left requests in the
-// RMC pipelines: they cannot be recalled, and their completions would
-// interleave with a measurement run's. No-op on a fresh or drained node.
-func (n *Node) refuseInFlight() error {
-	for c, qp := range n.QPs {
-		if qp.InFlight() > 0 {
-			return fmt.Errorf(
-				"node: core %d still has %d in-flight requests from a cut-short previous run; use a fresh node", c, qp.InFlight())
-		}
-	}
-	return nil
-}
-
 // RunSyncLatency runs the unloaded latency microbenchmark (§5): one core
 // issues synchronous remote reads of the given size; warmup requests are
-// discarded. The issuing core defaults to a centrally located tile.
-// Statistics and the cycle budget are per-run on a reused node.
+// discarded. The issuing core defaults to a centrally located tile. The
+// Session makes a reused node bit-identical to a fresh one, so results are
+// per-run by construction.
 func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
 	if err := n.refuseMember(); err != nil {
 		return SyncResult{}, err
 	}
-	n.stopStaleDrivers()
-	if err := n.refuseInFlight(); err != nil {
-		return SyncResult{}, err
-	}
-	n.resetRunCounters()
-	start := n.Eng.Now()
+	n.session.Begin()
 	cfg := n.Cfg
 	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
 	wl := cpu.NewUniformReads(size,
@@ -126,13 +66,12 @@ func (n *Node) RunSyncLatency(size, onCore int) (SyncResult, error) {
 		LocalBase+uint64(onCore)*LocalStride, LocalStride,
 		total, cfg.Seed+uint64(onCore))
 	d := cpu.NewDriver(n.Eng, cfg, onCore, n.Agents[onCore], n.QPs[onCore], n.Stats, wl, cpu.Sync)
-	n.Drivers = []*cpu.Driver{d}
+	n.Drivers = append(n.Drivers, d)
 	finished := false
 	d.OnIdle = func() { finished = true; n.Eng.Stop() }
 	d.Start()
-	n.watchCancel()
-	n.Eng.Run(start + cfg.MaxCycles)
-	if err := n.ctxErr(); err != nil {
+	n.session.Run(cfg.MaxCycles)
+	if err := n.session.End(); err != nil {
 		return SyncResult{}, err
 	}
 	if !finished || d.Completed() < total {
@@ -201,21 +140,18 @@ type BWResult struct {
 
 // RunBandwidth runs the asynchronous bandwidth microbenchmark (§5): all
 // cores issue async remote reads of the given size, WQ depth 128, until
-// the windowed application bandwidth stabilizes (or MaxCycles). On a
-// reused node, statistics and the cycle budget are per-run; in-flight
-// remnants of a cut-short previous run are tolerated (rather than
-// refused) because the monitor re-baselines after the warmup window, so
-// stale completions perturb only the warmup.
+// the windowed application bandwidth stabilizes (or MaxCycles). The
+// Session makes a reused node bit-identical to a fresh one — in-flight
+// remnants of a cut-short previous run no longer exist by the time the
+// drivers start.
 func (n *Node) RunBandwidth(size int) (BWResult, error) {
 	if err := n.refuseMember(); err != nil {
 		return BWResult{}, err
 	}
-	n.stopStaleDrivers()
-	n.resetRunCounters()
+	n.session.Begin()
 	start := n.Eng.Now()
 	cfg := n.Cfg
 	tiles := cfg.Tiles()
-	n.Drivers = n.Drivers[:0]
 	for c := 0; c < tiles; c++ {
 		wl := cpu.NewUniformReads(size,
 			SourceBase, SourceSpan,
@@ -254,12 +190,8 @@ func (n *Node) RunBandwidth(size int) (BWResult, error) {
 		mon.Reset(appBytes())
 		n.Eng.Schedule(cfg.WindowCycles, tick)
 	})
-	n.watchCancel()
-	n.Eng.Run(start + cfg.MaxCycles)
-	for _, d := range n.Drivers {
-		d.Stop()
-	}
-	if err := n.ctxErr(); err != nil {
+	n.session.Run(cfg.MaxCycles)
+	if err := n.session.End(); err != nil {
 		return BWResult{}, err
 	}
 	elapsed := n.Eng.Now() - cycles0
@@ -317,9 +249,9 @@ type WorkloadResult struct {
 // closed-loop state machine, until all drivers finish (including draining
 // in-flight requests) or maxCycles elapse. A run stopped by maxCycles
 // returns partial statistics with AllExhausted=false. An app that violates
-// the contract (waiting with nothing in flight) fails the run. Statistics
-// are per-run: the node's Stats sink is reset at the start, so results on
-// a reused node cover this run only (matching the per-run percentiles).
+// the contract (waiting with nothing in flight) fails the run. The Session
+// makes a reused node bit-identical to a fresh one, so statistics, the
+// cycle budget and the reported cycles are per-run by construction.
 func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (WorkloadResult, error) {
 	if err := n.refuseMember(); err != nil {
 		return WorkloadResult{}, err
@@ -327,17 +259,8 @@ func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (Workload
 	if maxCycles <= 0 {
 		maxCycles = n.Cfg.MaxCycles
 	}
-	// On a reused node the engine clock keeps running across runs: budget
-	// and reported cycles are relative to this run's start (both no-ops on
-	// a fresh node, preserving the legacy driver's bit-identical results).
+	n.session.Begin()
 	start := n.Eng.Now()
-	n.stopStaleDrivers()
-	if err := n.refuseInFlight(); err != nil {
-		return WorkloadResult{}, err
-	}
-	n.resetRunCounters()
-	n.Drivers = n.Drivers[:0]
-	n.AppDrivers = n.AppDrivers[:0]
 	active := 0
 	for c := 0; c < n.Cfg.Tiles(); c++ {
 		app := factory(c)
@@ -358,9 +281,8 @@ func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (Workload
 	if active == 0 {
 		return WorkloadResult{}, fmt.Errorf("node: no cores have workloads")
 	}
-	n.watchCancel()
-	n.Eng.Run(start + maxCycles)
-	if err := n.ctxErr(); err != nil {
+	n.session.Run(maxCycles)
+	if err := n.session.End(); err != nil {
 		return WorkloadResult{}, err
 	}
 	res := WorkloadResult{

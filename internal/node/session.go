@@ -1,0 +1,104 @@
+// The run lifecycle. Every run entry point — node or cluster, latency,
+// bandwidth or workload — used to carry its own scatter of reset duties
+// (silence stale drivers, reset the stats sink, rebase the cycle budget,
+// zero the rack and interconnect counters, tolerate or refuse in-flight
+// leftovers), and each new run type re-discovered a piece of state the
+// others forgot: PRs 3 and 4 both shipped point fixes for exactly this bug
+// class. Session replaces the scatter with one owner: Begin returns the
+// entire system — engine, caches, directories, queue pairs, pipelines,
+// fabrics, statistics — to its freshly-constructed state, so a reused node
+// or cluster is bit-identical to a new one and the state-leak bug class is
+// gone by construction rather than patched per symptom.
+package node
+
+import (
+	"rackni/internal/fabric"
+	"rackni/internal/sim"
+)
+
+// Session is the single run-lifecycle owner for a node or cluster: all
+// per-run reset duties live behind its Begin/End protocol. Exactly one
+// Session exists per engine — a standalone node's own, or one spanning all
+// members of a cluster.
+type Session struct {
+	eng   *sim.Engine
+	watch *sim.CancelWatch
+	nodes []*Node
+	inter *fabric.Interconnect
+}
+
+// newSession builds the lifecycle owner for the given engine and nodes
+// (one for a standalone node, all members for a cluster). inter is the
+// cluster's fabric, nil for a standalone node.
+func newSession(eng *sim.Engine, watch *sim.CancelWatch, nodes []*Node, inter *fabric.Interconnect) *Session {
+	return &Session{eng: eng, watch: watch, nodes: nodes, inter: inter}
+}
+
+// Begin starts a run by returning the whole system to its
+// freshly-constructed state:
+//
+//   - the engine drops every pending event (stale driver callbacks,
+//     in-flight pipeline work, watchdog chains) and rewinds to cycle 0 —
+//     the cycle budget and every reported cycle count are per-run by
+//     construction;
+//   - every node resets its caches, directories, queue pairs, RMC
+//     pipelines, on-chip fabric, statistics sink (histograms included) and
+//     rack emulation; a cluster also resets the inter-node fabric;
+//   - the WQ poll chains are re-armed in construction order, reproducing a
+//     fresh node's initial event sequence.
+//
+// On a fresh instance all of this is a no-op (resetting empty state and
+// re-arming the chains construction just armed), so first-run results are
+// byte-identical to the pre-Session code; on a reused instance it erases
+// every leak a cut-short or completed previous run could leave behind.
+func (s *Session) Begin() {
+	s.eng.Reset()
+	s.watch.Disarm()
+	for _, n := range s.nodes {
+		n.resetAll()
+	}
+	if s.inter != nil {
+		s.inter.Reset()
+	}
+	for _, n := range s.nodes {
+		for _, f := range n.frontends {
+			f.RestartPolling()
+		}
+	}
+}
+
+// Run arms the cancellation watch and executes the run for at most budget
+// cycles past the current cycle.
+func (s *Session) Run(budget int64) {
+	s.watch.Arm()
+	s.eng.Run(s.eng.Now() + budget)
+}
+
+// End concludes the run: drivers are silenced (their still-queued
+// callbacks die without touching the queue pairs or statistics) and the
+// cancellation outcome is reported — the context's error if the watch
+// stopped this run, nil if the run completed first.
+func (s *Session) End() error {
+	for _, n := range s.nodes {
+		for _, d := range n.Drivers {
+			d.Stop()
+		}
+		for _, d := range n.AppDrivers {
+			d.Stop()
+		}
+	}
+	return s.watch.Err()
+}
+
+// resetAll returns one node's components to their freshly-constructed
+// state. The per-component Reset methods were registered at construction,
+// in construction order; the driver lists are emptied (a run installs its
+// own) and the statistics sink restarts with fresh accumulators.
+func (n *Node) resetAll() {
+	for _, reset := range n.resets {
+		reset()
+	}
+	n.Stats.Reset()
+	n.Drivers = n.Drivers[:0]
+	n.AppDrivers = n.AppDrivers[:0]
+}

@@ -1,0 +1,181 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+)
+
+// The Session torture tests: interleave every run type on one reused node
+// (and one reused cluster) and demand each result be bit-identical to the
+// same run on a fresh instance. This is the structural guarantee that
+// kills the reused-node state-leak bug class — stale drivers, warm caches,
+// unreset stats sinks, leaking Rack/Interconnect counters, in-flight
+// pipeline remnants of cut-short runs — which PRs 3 and 4 each patched
+// piecemeal. Wired into the CI race job.
+
+// tortureCfg keeps the many runs of the torture sequence fast. MaxCycles
+// is sized so the bandwidth run is cut mid-flight (never stabilizing with
+// StableDelta=0), leaving in-flight traffic the Session must annihilate.
+func tortureCfg(d config.Design, topo config.Topology) config.Config {
+	cfg := config.Default()
+	cfg.Design = d
+	cfg.Topology = topo
+	cfg.MeasureReqs = 8
+	cfg.WarmupRequests = 2
+	cfg.WindowCycles = 8_000
+	cfg.StableDelta = 0
+	cfg.MaxCycles = 28_000
+	return cfg
+}
+
+// tortureWorkload is a multi-core v1 mix (runs through the v2 legacy
+// adapter) with enough pressure to overflow WQs.
+func tortureWorkload(core int) cpu.Workload {
+	if core%8 != 3 {
+		return nil
+	}
+	return pressureReads{n: 40, size: 256}
+}
+
+// tortureApp is a v2 closed-loop app with waits and think time.
+func tortureApp(core int) cpu.App {
+	if core != 11 {
+		return nil
+	}
+	return cpu.Legacy(pressureReads{n: 25, size: 512})
+}
+
+// nodeRun is one step of the node torture sequence: run one kind of run
+// and return its result as a comparable value.
+type nodeRun struct {
+	name string
+	run  func(t *testing.T, n *Node) any
+}
+
+func nodeTortureSequence() []nodeRun {
+	return []nodeRun{
+		{"sync", func(t *testing.T, n *Node) any {
+			r, err := n.RunSyncLatency(512, 27)
+			if err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			return r
+		}},
+		{"bandwidth-cut", func(t *testing.T, n *Node) any {
+			// StableDelta=0 never stabilizes: the run is cut by MaxCycles
+			// with a full pipeline of in-flight traffic.
+			r, err := n.RunBandwidth(1024)
+			if err != nil {
+				t.Fatalf("bandwidth: %v", err)
+			}
+			return r
+		}},
+		{"workload", func(t *testing.T, n *Node) any {
+			r, err := n.RunWorkload(tortureWorkload, 0)
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			return r
+		}},
+		{"app", func(t *testing.T, n *Node) any {
+			r, err := n.RunApp(tortureApp, 0)
+			if err != nil {
+				t.Fatalf("app: %v", err)
+			}
+			return r
+		}},
+	}
+}
+
+// TestSessionNodeTorture interleaves every run type twice over on one
+// reused node and checks each result bit-identical to a fresh node's.
+func TestSessionNodeTorture(t *testing.T) {
+	designs := []config.Design{config.NISplit}
+	topos := []config.Topology{config.Mesh, config.NOCOut}
+	if !testing.Short() {
+		designs = []config.Design{config.NIEdge, config.NIPerTile, config.NISplit}
+	}
+	for _, d := range designs {
+		for _, topo := range topos {
+			cfg := tortureCfg(d, topo)
+			name := d.String() + "/" + topo.String()
+			reused := buildSingle(t, cfg, 2)
+			seq := nodeTortureSequence()
+			// Two full passes: the second pass reruns every kind after
+			// every other kind has already dirtied the node.
+			for pass := 0; pass < 2; pass++ {
+				for _, step := range seq {
+					fresh := buildSingle(t, cfg, 2)
+					want := step.run(t, fresh)
+					got := step.run(t, reused)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s pass %d %s: reused node differs from fresh\nfresh:  %+v\nreused: %+v",
+							name, pass, step.name, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionClusterTorture interleaves every cluster run type on one
+// reused 2-node cluster and checks each result bit-identical to a fresh
+// cluster's, including the interconnect's ledger.
+func TestSessionClusterTorture(t *testing.T) {
+	cfg := tortureCfg(config.NISplit, config.Mesh)
+	spec := ClusterSpec{Nodes: 2, Hops: 2}
+	build := func() *Cluster {
+		cl, err := NewCluster(cfg, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	type step struct {
+		name string
+		run  func(t *testing.T, c *Cluster) any
+	}
+	appFactory := func(node, core int) cpu.App { return tortureApp(core) }
+	seq := []step{
+		{"sync", func(t *testing.T, c *Cluster) any {
+			r, err := c.RunSyncLatency(512, 27)
+			if err != nil {
+				t.Fatalf("cluster sync: %v", err)
+			}
+			return r
+		}},
+		{"bandwidth-cut", func(t *testing.T, c *Cluster) any {
+			r, err := c.RunBandwidth(1024)
+			if err != nil {
+				t.Fatalf("cluster bandwidth: %v", err)
+			}
+			return r
+		}},
+		{"app", func(t *testing.T, c *Cluster) any {
+			r, err := c.RunApp(appFactory, 0)
+			if err != nil {
+				t.Fatalf("cluster app: %v", err)
+			}
+			return r
+		}},
+	}
+	reused := build()
+	for pass := 0; pass < 2; pass++ {
+		for _, st := range seq {
+			fresh := build()
+			want := st.run(t, fresh)
+			got := st.run(t, reused)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("pass %d %s: reused cluster differs from fresh\nfresh:  %+v\nreused: %+v",
+					pass, st.name, want, got)
+			}
+			if !reflect.DeepEqual(fresh.Inter.Counters, reused.Inter.Counters) {
+				t.Fatalf("pass %d %s: interconnect ledgers differ\nfresh:  %+v\nreused: %+v",
+					pass, st.name, fresh.Inter.Counters, reused.Inter.Counters)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"rackni/internal/config"
@@ -322,20 +323,29 @@ func TestRunAppReusedNodeCycles(t *testing.T) {
 }
 
 // TestRunAppAfterCutRun: a run cut short by maxCycles leaves in-flight
-// traffic that cannot be recalled; a second run on the same node must be
-// refused instead of silently mixing the two workloads' completions.
-// Stale driver callbacks from the cut run must also stay silent.
+// traffic mid-pipeline. The Session annihilates it at the next Begin, so
+// a second run on the same node is not merely tolerated (the pre-Session
+// code refused it) — it is bit-identical to the same run on a fresh node.
 func TestRunAppAfterCutRun(t *testing.T) {
 	cfg := config.Default()
-	n, err := New(cfg, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
 	factory := func(core int) cpu.Workload {
 		if core%4 != 0 {
 			return nil
 		}
 		return pressureReads{n: 300, size: 64}
+	}
+	fresh, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RunWorkload(factory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
 	}
 	cut, err := n.RunWorkload(factory, 20_000)
 	if err != nil {
@@ -344,8 +354,12 @@ func TestRunAppAfterCutRun(t *testing.T) {
 	if cut.AllExhausted {
 		t.Fatal("cut run unexpectedly drained; the case is mis-sized")
 	}
-	if _, err := n.RunWorkload(factory, 0); err == nil {
-		t.Fatal("run on a node with in-flight requests from a cut run must be refused")
+	got, err := n.RunWorkload(factory, 0)
+	if err != nil {
+		t.Fatalf("run after a cut run: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("run after a cut run differs from a fresh node:\nfresh:  %+v\nreused: %+v", want, got)
 	}
 }
 

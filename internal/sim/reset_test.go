@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineReset: a reset engine is indistinguishable from a fresh one —
+// clock at 0, no pending events (wheel and overflow), and a subsequent
+// run schedules from scratch.
+func TestEngineReset(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(3, func() { ran++ })
+	e.Schedule(10_000, func() { ran++ }) // overflow-heap event
+	e.Run(5)
+	if ran != 1 || e.Now() != 5+1 {
+		t.Fatalf("setup: ran=%d now=%d", ran, e.Now())
+	}
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("after Reset: now=%d pending=%d, want 0/0", e.Now(), e.Pending())
+	}
+	// The dropped overflow event must not fire on the next run.
+	e.Run(20_000)
+	if ran != 1 {
+		t.Fatalf("dropped event fired after Reset (ran=%d)", ran)
+	}
+	// The engine schedules and runs normally after a reset.
+	e.Schedule(7, func() { ran += 10 })
+	e.Run(100)
+	if ran != 11 {
+		t.Fatalf("post-Reset run: ran=%d, want 11", ran)
+	}
+	// Resetting an idle engine is a no-op.
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatal("idle Reset not clean")
+	}
+}
+
+// TestCancelWatchDisarm: after an engine reset dropped the poll chain,
+// Disarm lets a later Arm schedule a fresh chain (without it the watch
+// would believe a chain is still live and never poll again).
+func TestCancelWatchDisarm(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	w := NewCancelWatch(e, 10, func() context.Context { return ctx })
+	w.Arm()
+	if e.Pending() != 1 {
+		t.Fatalf("armed watch scheduled %d events, want 1", e.Pending())
+	}
+	e.Reset()
+	w.Disarm()
+	w.Arm()
+	if e.Pending() != 1 {
+		t.Fatalf("re-armed watch scheduled %d events, want 1", e.Pending())
+	}
+	cancel()
+	e.Schedule(100, func() {})
+	e.Run(1000)
+	if err := w.Err(); err == nil {
+		t.Fatal("cancelled context not reported after disarm/re-arm")
+	}
+}

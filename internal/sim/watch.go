@@ -62,6 +62,14 @@ func (w *CancelWatch) Arm() {
 	w.eng.Schedule(w.period, tick)
 }
 
+// Disarm forgets any scheduled poll chain without touching the engine.
+// Call it after Engine.Reset (which dropped the chain's pending event) so
+// a later Arm schedules a fresh chain instead of assuming one is live.
+func (w *CancelWatch) Disarm() {
+	w.watched = false
+	w.fired = false
+}
+
 // Err reports the context's cancellation error if the watch stopped the
 // current run; a run that completed before the cancellation landed keeps
 // its result (nil error).

@@ -183,6 +183,49 @@ func TestHistogramMerge(t *testing.T) {
 	a.Merge(bad)
 }
 
+// TestHistogramEdgeCases: the degenerate shapes — a single-bucket
+// histogram (everything collapses to one edge or the overflow max), a
+// merge with an empty or nil histogram (no-op), and percentiles taken
+// from an empty histogram that later receives merged counts.
+func TestHistogramEdgeCases(t *testing.T) {
+	// Single bucket: in-range samples report the bucket edge capped at the
+	// observed max; out-of-range samples report the max.
+	one := NewHistogram(8, 1)
+	one.Add(3)
+	if got := one.Percentile(50); got != 3 {
+		t.Fatalf("single bucket p50=%d, want the observed max 3 (edge capped)", got)
+	}
+	one.Add(500) // overflow of the one-bucket range
+	if got := one.Percentile(99); got != 500 {
+		t.Fatalf("single bucket overflow p99=%d, want 500", got)
+	}
+
+	// Merging an empty or nil histogram changes nothing.
+	h := NewLatencyHistogram()
+	for v := int64(10); v <= 100; v += 10 {
+		h.Add(v)
+	}
+	p50, cnt, mean := h.Percentile(50), h.Count(), h.Mean()
+	h.Merge(NewLatencyHistogram())
+	h.Merge(nil)
+	if h.Percentile(50) != p50 || h.Count() != cnt || h.Mean() != mean {
+		t.Fatal("merge with empty/nil histogram changed aggregates")
+	}
+
+	// An empty histogram that receives merged counts reports the donor's
+	// percentiles (min/max included).
+	empty := NewLatencyHistogram()
+	empty.Merge(h)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if empty.Percentile(p) != h.Percentile(p) {
+			t.Fatalf("post-merge p%.0f=%d, want %d", p, empty.Percentile(p), h.Percentile(p))
+		}
+	}
+	if empty.Min() != h.Min() || empty.Max() != h.Max() {
+		t.Fatalf("post-merge min/max %d/%d, want %d/%d", empty.Min(), empty.Max(), h.Min(), h.Max())
+	}
+}
+
 // Property: a histogram percentile never understates the true percentile
 // by more than one bucket width, and never exceeds the observed max.
 func TestPropertyHistogramPercentileBounds(t *testing.T) {

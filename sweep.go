@@ -64,6 +64,11 @@ type Point struct {
 	Core     int
 	Scenario string
 	Nodes    int
+	// TorusPlacement places the point's cluster nodes at coordinates
+	// 0..Nodes-1 of the rack's 3D torus (real pairwise hop distances, the
+	// paper's 512-node rack geometry) instead of the uniform fixed-hop
+	// model. Requires Nodes ≤ TorusRadix³; single-node points ignore it.
+	TorusPlacement bool
 }
 
 // nodeCount normalizes the point's node count (0 means single-node).
@@ -90,6 +95,9 @@ func (p Point) label() string {
 		p.Size, p.Hops, p.Config.Seed)
 	if p.nodeCount() > 1 {
 		l += fmt.Sprintf("/%dnodes", p.nodeCount())
+		if p.TorusPlacement {
+			l += "-torus"
+		}
 	}
 	return l
 }
@@ -107,17 +115,18 @@ func (p Point) label() string {
 // defines both), contributing one point per
 // design/topology/routing/hops/nodes/seed combination.
 type Sweep struct {
-	base      Config
-	designs   []Design
-	topos     []Topology
-	routings  []Routing
-	modes     []Mode
-	workloads []string
-	sizes     []int
-	hops      []int
-	seeds     []uint64
-	cores     []int
-	nodes     []int
+	base        Config
+	designs     []Design
+	topos       []Topology
+	routings    []Routing
+	modes       []Mode
+	workloads   []string
+	sizes       []int
+	hops        []int
+	seeds       []uint64
+	cores       []int
+	nodes       []int
+	torusPlaced bool
 }
 
 // NewSweep starts a sweep over the given base configuration.
@@ -186,6 +195,16 @@ func (s *Sweep) Cores(cores ...int) *Sweep {
 // pair Hops apart) and reports the cross-node aggregate.
 func (s *Sweep) Nodes(nodes ...int) *Sweep {
 	s.nodes = append(s.nodes[:0], nodes...)
+	return s
+}
+
+// TorusPlacement makes every multi-node point place its nodes at real
+// coordinates of the rack's 3D torus (identity placement, pairwise
+// distances from Torus3D) instead of the uniform fixed-hop model — the
+// geometry of the paper's full 512-node rack. Node counts must not exceed
+// the torus size (TorusRadix³).
+func (s *Sweep) TorusPlacement(on bool) *Sweep {
+	s.torusPlaced = on
 	return s
 }
 
@@ -270,7 +289,8 @@ func (s *Sweep) Points() []Point {
 										cfg := s.base
 										cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
 										pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-											Hops: h, Core: c, Scenario: k.scenario, Nodes: nn})
+											Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+											TorusPlacement: s.torusPlaced && nn > 1})
 									}
 								}
 							}
@@ -300,8 +320,11 @@ type Options struct {
 	// skipped. Run returns the context's error.
 	Context context.Context
 	// Progress, when non-nil, is invoked after each point completes with
-	// the completed count, the total, and that point's result. Calls are
-	// serialized; completion order is nondeterministic under parallelism.
+	// the completed count, the total, and that point's result. The done
+	// count is a consistent snapshot, but calls are NOT serialized: under
+	// parallelism they may arrive concurrently and out of done order — a
+	// slow callback must not be able to stall the other workers'
+	// simulations behind a lock.
 	Progress func(done, total int, r Result)
 }
 
@@ -388,12 +411,16 @@ func (r *Runner) Run(points []Point) (Results, error) {
 				if res[i].Err != nil {
 					abort()
 				}
+				// Snapshot the count under the lock, invoke the callback
+				// outside it: a blocking Progress must stall only its own
+				// worker, never serialize the whole pool.
 				mu.Lock()
 				done++
-				if r.opts.Progress != nil {
-					r.opts.Progress(done, len(points), res[i])
-				}
+				dn := done
 				mu.Unlock()
+				if r.opts.Progress != nil {
+					r.opts.Progress(dn, len(points), res[i])
+				}
 			}
 		}()
 	}
@@ -482,7 +509,14 @@ func runPoint(ctx context.Context, p Point) Result {
 // runClusterPoint executes a multi-node point on a real Cluster,
 // reporting the cross-node aggregate.
 func runClusterPoint(ctx context.Context, p Point, out *Result) {
-	c, err := NewCluster(p.Config, p.nodeCount(), p.Hops)
+	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops}
+	if p.TorusPlacement {
+		spec.Placement = make([]int, spec.Nodes)
+		for i := range spec.Placement {
+			spec.Placement[i] = i
+		}
+	}
+	c, err := NewClusterSpec(p.Config, spec)
 	if err != nil {
 		out.Err = err
 		return
@@ -628,7 +662,8 @@ type resultJSON struct {
 	Hops      int             `json:"hops"`
 	Core      int             `json:"core"`
 	Seed      uint64          `json:"seed"`
-	Nodes     int             `json:"nodes,omitempty"` // > 1: a real Cluster ran this point
+	Nodes     int             `json:"nodes,omitempty"`     // > 1: a real Cluster ran this point
+	Placement string          `json:"placement,omitempty"` // "torus": real 3D-torus coordinates
 	Latency   *SyncResult     `json:"latency,omitempty"`
 	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
 	Workload  *WorkloadResult `json:"workload,omitempty"`
@@ -663,6 +698,9 @@ func (rs Results) JSON() ([]byte, error) {
 		}
 		if n := p.nodeCount(); n > 1 {
 			out[i].Nodes = n
+			if p.TorusPlacement {
+				out[i].Placement = "torus"
+			}
 		}
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -226,6 +229,9 @@ func TestRunnerPointError(t *testing.T) {
 }
 
 func TestRunnerProgress(t *testing.T) {
+	// Callbacks are no longer serialized (a slow one must not stall the
+	// pool), so collect under a lock and check the done counts as a set.
+	var mu sync.Mutex
 	var dones []int
 	res, err := NewSweep(sweepTestCfg()).Sizes(64, 128).Run(Options{
 		Parallel: 2,
@@ -233,14 +239,50 @@ func TestRunnerProgress(t *testing.T) {
 			if total != 2 {
 				t.Errorf("total = %d, want 2", total)
 			}
+			mu.Lock()
 			dones = append(dones, done)
+			mu.Unlock()
 		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	sort.Ints(dones)
 	if len(res) != 2 || !reflect.DeepEqual(dones, []int{1, 2}) {
-		t.Fatalf("progress sequence %v, want [1 2]", dones)
+		t.Fatalf("progress done counts %v, want {1,2}", dones)
+	}
+}
+
+// TestRunnerProgressDoesNotStallWorkers: a Progress callback that blocks
+// must stall only its own worker. The first arriving callbacks block
+// until every point's callback has been entered — possible only if the
+// runner invokes Progress outside its bookkeeping lock (the pre-fix
+// worker held the lock across the callback, serializing the pool and
+// deadlocking this test).
+func TestRunnerProgressDoesNotStallWorkers(t *testing.T) {
+	const points = 4
+	var arrived atomic.Int32
+	release := make(chan struct{})
+	fail := time.After(60 * time.Second)
+	_, err := NewSweep(sweepTestCfg()).Seeds(1, 2, 3, 4).Run(Options{
+		Parallel: points,
+		Progress: func(done, total int, r Result) {
+			if arrived.Add(1) == points {
+				close(release)
+				return
+			}
+			select {
+			case <-release:
+			case <-fail:
+				t.Error("progress callbacks serialized: blocked callback stalled the other workers")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := arrived.Load(); got != points {
+		t.Fatalf("%d progress calls, want %d", got, points)
 	}
 }
 
