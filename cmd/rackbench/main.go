@@ -32,19 +32,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all")
+	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded (fault-plane studies beyond the paper, not part of all)")
 	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	nodes := flag.Int("nodes", 8, "cluster node count for the overload and degraded experiments")
 	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; points are independent, output is identical)")
 	jsonOut := flag.Bool("json", false, "emit JSON results on stdout instead of tables")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr":
+	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded":
 	default:
-		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all)", *exp)
+		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded)", *exp)
 	}
 
 	cfg := rackni.DefaultConfig()
@@ -136,6 +137,24 @@ func main() {
 			return wrap(rackni.RunRoutingAblationOpts(cfg, 4096, opts))
 		})
 	}
+	// The fault-plane studies run whole clusters per point, so they use the
+	// reduced smoke chip (4x2 mesh, 2 MiB LLC) to keep many-node runs
+	// tractable; they measure flow-control and recovery behavior, not
+	// paper-fidelity single-chip metrics.
+	if *exp == "overload" {
+		size := 1024
+		if len(sizes) > 0 {
+			size = sizes[0]
+		}
+		run(fmt.Sprintf("Overload control: goodput vs offered load (%d nodes)", *nodes), func() (fmt.Stringer, error) {
+			return wrap(rackni.RunOverloadCurve(clusterStudyCfg(cfg), *nodes, size, nil))
+		})
+	}
+	if *exp == "degraded" {
+		run(fmt.Sprintf("Degraded mode: kv scenario under fabric faults (%d nodes)", *nodes), func() (fmt.Stringer, error) {
+			return wrap(rackni.RunDegradedMode(clusterStudyCfg(cfg), *nodes, "kv", nil, true))
+		})
+	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(jsonRecords, "", "  ")
 		if err != nil {
@@ -143,6 +162,18 @@ func main() {
 		}
 		fmt.Printf("%s\n", blob)
 	}
+}
+
+// clusterStudyCfg shrinks the per-node chip for the multi-node fault-plane
+// studies: 4x2 mesh, 2 MiB LLC, fixed cycle budget.
+func clusterStudyCfg(cfg rackni.Config) rackni.Config {
+	cfg.MeshWidth = 4
+	cfg.MeshHeight = 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0
+	cfg.WindowCycles = 20_000
+	cfg.MaxCycles = 200_000
+	return cfg
 }
 
 // formatter is any experiment result with a paper-style renderer.

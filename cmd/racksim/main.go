@@ -16,6 +16,8 @@
 //	racksim -nodes 2 -workload kv -quick   # real 2-node cluster, cross-node sharded KV
 //	racksim -nodes 1,2,4 -mode bandwidth -size 4096 -quick
 //	racksim -nodes 512 -placement torus -mode bandwidth -size 1024 -quick -timeout 10m   # the paper's full rack
+//	racksim -nodes 8 -workload kv -drop 0.01 -quick       # 1% fabric drops, recovered by retry
+//	racksim -nodes 4 -mode bandwidth -size 4096 -window 1,4,16,0 -quick   # credit-window overload sweep
 package main
 
 import (
@@ -43,6 +45,8 @@ func main() {
 	placement := flag.String("placement", "uniform", "multi-node distance model: uniform (every pair -hops apart) | torus (real 3D-torus coordinates, the paper's 8x8x8 rack geometry; -nodes 512 covers the full rack)")
 	core := flag.String("core", "27", "issuing core(s) (latency mode; -workload scenarios define their own cores), comma-separated")
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
+	drop := flag.String("drop", "0", "fabric drop rate(s) in [0,1), comma-separated; > 0 needs -nodes > 1 and arms the request timeout so drops recover by retry")
+	window := flag.String("window", "0", "QP credit window(s), comma-separated; 0 = uncapped (WQ-depth bound only)")
 	quick := flag.Bool("quick", false, "short stabilization windows")
 	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
 	jsonOut := flag.Bool("json", false, "emit JSON results")
@@ -117,6 +121,14 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	drops, err := rackni.ParseDropRates(*drop)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	windows, err := rackni.ParseWindows(*window)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	torusPlaced := false
 	switch *placement {
@@ -137,9 +149,18 @@ func main() {
 		Hops(hopList...).
 		Nodes(nodeList...).
 		TorusPlacement(torusPlaced).
+		Faults(drops...).
+		Windows(windows...).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()
+
+	// Reject bad axis combinations (torus capacity, faults without a
+	// cluster, out-of-range cores and sizes, ...) before any point burns
+	// simulation time.
+	if err := rackni.CheckSweepPoints(points); err != nil {
+		fatalf("%v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,95 @@
+package rackni
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverloadCurveWindowBoundsInFlight: the credit window is real
+// admission control — the fabric's peak live in-flight record count never
+// exceeds window x QPs x blocks-per-transfer, goodput grows with the
+// window until saturation, and the uncapped point equals the WQ-depth
+// bound. This quick 2-node curve is the CI overload smoke.
+func TestOverloadCurveWindowBoundsInFlight(t *testing.T) {
+	cfg := quickClusterCfg()
+	cfg.WindowCycles = 10_000
+	cfg.MaxCycles = 60_000
+	res, err := RunOverloadCurve(cfg, 2, 256, []int{1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points=%d, want 3", len(res.Points))
+	}
+	blocks := 256 / cfg.BlockBytes // blocks per transfer
+	qps := 2 * cfg.Tiles()         // both nodes issue on every core
+	for _, p := range res.Points {
+		cap := p.EffWindow * qps * blocks
+		if p.PeakInFlight > cap {
+			t.Fatalf("window %d: peak in-flight %d exceeds window bound %d",
+				p.Window, p.PeakInFlight, cap)
+		}
+		if p.Completed == 0 || p.AppGBps <= 0 {
+			t.Fatalf("window %d delivered nothing: %+v", p.Window, p)
+		}
+	}
+	if res.Points[0].AppGBps >= res.Points[1].AppGBps {
+		t.Fatalf("window 1 goodput %.2f not below window 4 goodput %.2f — the cap isn't throttling",
+			res.Points[0].AppGBps, res.Points[1].AppGBps)
+	}
+	if res.Points[2].EffWindow != cfg.WQEntries {
+		t.Fatalf("uncapped effective window %d, want WQ depth %d",
+			res.Points[2].EffWindow, cfg.WQEntries)
+	}
+	if _, err := RunOverloadCurve(cfg, 2, 256, []int{-1}); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	out := res.Format()
+	if !strings.Contains(out, "uncapped") || !strings.Contains(out, "peak in-flight") {
+		t.Fatalf("Format missing expected columns:\n%s", out)
+	}
+}
+
+// TestDegradedModeRecoversAndIsolates: the degraded-mode study on one
+// reused cluster — lossless baseline, a recoverable drop rate, and a dead
+// link. Low loss recovers everything by retransmission; the dead link
+// produces permanent failures on exactly the traffic that crosses it,
+// while the rest of the rack keeps working.
+func TestDegradedModeRecoversAndIsolates(t *testing.T) {
+	cfg := quickClusterCfg()
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 2_000_000
+	res, err := RunDegradedMode(cfg, 3, "kv", []float64{0, 0.002}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points=%d, want 3", len(res.Points))
+	}
+	clean, lossy, dead := res.Points[0], res.Points[1], res.Points[2]
+	if clean.Drops != 0 || clean.Retries != 0 || clean.Failed != 0 || !clean.Drained {
+		t.Fatalf("lossless baseline not clean: %+v", clean)
+	}
+	if lossy.Drops == 0 || lossy.Retries == 0 {
+		t.Fatalf("0.2%% drops left no trace: %+v", lossy)
+	}
+	if lossy.Failed != 0 || !lossy.Drained {
+		t.Fatalf("0.2%% drops did not fully recover by retransmission: %+v", lossy)
+	}
+	if dead.Failed == 0 {
+		t.Fatalf("dead link produced no permanent failures: %+v", dead)
+	}
+	if dead.Completed == 0 {
+		t.Fatalf("dead link between two nodes killed the whole rack: %+v", dead)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "link 0<->1 down") || !strings.Contains(out, "drop=0.002") {
+		t.Fatalf("Format missing fault labels:\n%s", out)
+	}
+	if _, err := RunDegradedMode(cfg, 3, "nosuch", nil, false); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if _, err := RunDegradedMode(cfg, 3, "kv", []float64{1.5}, false); err == nil {
+		t.Fatal("out-of-range drop rate accepted")
+	}
+}

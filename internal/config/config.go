@@ -161,6 +161,24 @@ type Config struct {
 	TorusRadix  int     // 8 (8x8x8)
 	DefaultHops int     // hops used for single-node studies (1)
 
+	// --- Reliability / flow control ---
+	// ReqTimeout is the per-block request timeout in cycles: an unacked
+	// network request retransmits after this many cycles (with exponential
+	// backoff). 0 disables timeouts and retries — the fabric is assumed
+	// lossless, today's behavior.
+	ReqTimeout int64
+	// MaxRetries bounds retransmissions per block; when exhausted the
+	// whole request completes as permanently failed.
+	MaxRetries int
+	// RetryBackoffMax caps the exponential-backoff shift: retransmission
+	// k waits ReqTimeout << min(k-1, RetryBackoffMax) cycles.
+	RetryBackoffMax int
+	// QPWindow caps in-flight requests per queue pair (credit-based
+	// admission control at the issue boundary). 0, or any value at or
+	// above WQEntries, means the WQ depth is the only bound — today's
+	// behavior.
+	QPWindow int
+
 	// --- Simulation control ---
 	Seed           uint64
 	WindowCycles   int64   // bandwidth monitoring window (500K in the paper)
@@ -169,6 +187,12 @@ type Config struct {
 	WarmupRequests int     // sync-latency runs: requests discarded as warmup
 	MeasureReqs    int     // sync-latency runs: measured requests
 }
+
+// DefaultReqTimeout is the timeout sweeps arm when a fault axis is enabled
+// without an explicit ReqTimeout: generous enough to sit far above any
+// legitimate round trip (512-node torus worst case plus queueing), small
+// enough that retries finish within default cycle budgets.
+const DefaultReqTimeout int64 = 20_000
 
 // Default returns the paper's Table 2 configuration.
 func Default() Config {
@@ -227,6 +251,11 @@ func Default() Config {
 		TorusRadix:  8,
 		DefaultHops: 1,
 
+		ReqTimeout:      0, // lossless fabric: no timeouts
+		MaxRetries:      3,
+		RetryBackoffMax: 4,
+		QPWindow:        0, // WQ depth is the only in-flight bound
+
 		Seed:           1,
 		WindowCycles:   100_000,
 		StableDelta:    0.02,
@@ -281,6 +310,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: cache associativity must be positive")
 	case c.LinkBufFlits < c.BlockFlits():
 		return fmt.Errorf("config: link buffers (%d flits) must hold at least one data message (%d flits)", c.LinkBufFlits, c.BlockFlits())
+	case c.ReqTimeout < 0:
+		return fmt.Errorf("config: negative request timeout %d", c.ReqTimeout)
+	case c.ReqTimeout > 0 && c.MaxRetries < 0:
+		return fmt.Errorf("config: negative retry bound %d", c.MaxRetries)
+	case c.ReqTimeout > 0 && c.RetryBackoffMax < 0:
+		return fmt.Errorf("config: negative backoff cap %d", c.RetryBackoffMax)
+	case c.QPWindow < 0:
+		return fmt.Errorf("config: negative QP window %d", c.QPWindow)
 	}
 	return nil
 }

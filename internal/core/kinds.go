@@ -39,6 +39,16 @@ type NetReq struct {
 	Seq      int
 	ReturnTo noc.NodeID
 	Op       Op
+
+	// Ret, when non-nil, is the retrier tracking this attempt; RetryID
+	// names the tracked entry and its generation so a late response to a
+	// superseded attempt is recognized and discarded. Both are zero when
+	// timeouts are disabled.
+	Ret     *Retrier
+	RetryID uint64
+	// Nacked marks a synthesized fabric NACK: the block was dropped and
+	// retries are disabled, so the request must fail instead of hang.
+	Nacked bool
 }
 
 var netReqPool = sync.Pool{New: func() interface{} { return new(NetReq) }}
@@ -75,6 +85,11 @@ type Stats struct {
 	ReqLat    *stats.LatencyAccum
 	RRPPLat   *stats.LatencyAccum
 
+	// Retries counts block retransmissions; FailedOps counts requests
+	// completed as permanently failed after exhausting their retry budget.
+	Retries   int64
+	FailedOps int64
+
 	// Done observes request completions (used by drivers); may be nil.
 	Done func(*Request)
 }
@@ -96,6 +111,7 @@ func NewStats() *Stats {
 // is a no-op.
 func (s *Stats) Reset() {
 	s.RCPBytes, s.RRPPBytes, s.Completed = 0, 0, 0
+	s.Retries, s.FailedOps = 0, 0
 	s.ReqLat = stats.NewLatencyAccum(statsSampleCap)
 	s.RRPPLat = stats.NewLatencyAccum(statsSampleCap)
 }

@@ -68,6 +68,12 @@ type Request struct {
 	Size       int
 	Tag        uint64 // application-chosen identifier, echoed at completion
 
+	// Failed marks a request whose transfer was abandoned after exhausting
+	// its retry budget (or NACKed by the fabric with retries disabled). A
+	// failed request still completes through the CQ so the application can
+	// observe the failure instead of waiting forever.
+	Failed bool
+
 	T Times
 
 	blocksLeft int
@@ -116,6 +122,7 @@ type QueuePair struct {
 	cqHead     int // producer (RCP frontend)
 	cqTail     int // consumer (core)
 	inFlight   int
+	window     int // in-flight credit cap (≤ WQ depth)
 	everQueued uint64
 
 	// wqBuf/cqBuf back the slices PopWQ/PopCQ return, reused across calls;
@@ -127,6 +134,10 @@ type QueuePair struct {
 // NewQueuePair builds a QP with the configured WQ/CQ geometry at the given
 // base addresses.
 func NewQueuePair(cfg *config.Config, coreID int, wqBase, cqBase uint64) *QueuePair {
+	window := cfg.WQEntries
+	if cfg.QPWindow > 0 && cfg.QPWindow < window {
+		window = cfg.QPWindow
+	}
 	return &QueuePair{
 		CoreID: coreID,
 		WQBase: wqBase,
@@ -134,6 +145,7 @@ func NewQueuePair(cfg *config.Config, coreID int, wqBase, cqBase uint64) *QueueP
 		cfg:    cfg,
 		wq:     make([]WQEntry, cfg.WQEntries),
 		cq:     make([]CQEntry, cfg.WQEntries),
+		window: window,
 	}
 }
 
@@ -156,8 +168,15 @@ func (q *QueuePair) WQTailAddr() uint64 { return q.WQSlotAddr(q.wqTail) }
 // CQTailAddr is the address the core polls for completions.
 func (q *QueuePair) CQTailAddr() uint64 { return q.CQSlotAddr(q.cqTail) }
 
-// Full reports whether the WQ has no free slot (128 outstanding, §5).
-func (q *QueuePair) Full() bool { return q.inFlight >= len(q.wq) }
+// Full reports whether the QP can admit no further request: either the WQ
+// has no free slot (128 outstanding, §5) or the configured credit window
+// (Config.QPWindow) is exhausted. Issuers check Full before PushWQ, so the
+// window is admission control at the issue boundary.
+func (q *QueuePair) Full() bool { return q.inFlight >= q.window }
+
+// Window returns the QP's in-flight credit cap (the WQ depth when no
+// tighter window is configured).
+func (q *QueuePair) Window() int { return q.window }
 
 // InFlight returns the number of requests issued but not yet consumed from
 // the CQ.

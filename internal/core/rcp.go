@@ -40,6 +40,24 @@ func rcpRespEv(a, bb any, _ int64) {
 	b := a.(*RCPBackend)
 	nr := bb.(*NetReq)
 	r := nr.Req
+	if nr.Nacked {
+		// Fabric-synthesized NACK (drop with retries disabled): fail the
+		// request instead of letting the application wait forever.
+		releaseNetReq(nr)
+		b.FailRequest(r)
+		return
+	}
+	if nr.Ret != nil && !nr.Ret.Ack(nr.RetryID) {
+		// Response to a superseded or cancelled attempt — a retransmission
+		// owns this block now, or the request already failed. Discard.
+		releaseNetReq(nr)
+		return
+	}
+	if r.Failed || r.blocksLeft <= 0 {
+		// Straggler for a request that already failed; its state is final.
+		releaseNetReq(nr)
+		return
+	}
 	if r.Op == OpRead {
 		blockB := uint64(b.env.Cfg.BlockBytes)
 		local := (r.LocalAddr &^ (blockB - 1)) + uint64(nr.Seq)*blockB
@@ -50,6 +68,19 @@ func rcpRespEv(a, bb any, _ int64) {
 	}
 	releaseNetReq(nr)
 	b.finishBlock(r) // write acks carry no payload
+}
+
+// FailRequest completes r as permanently failed through the normal CQ
+// path, exactly once; duplicate failure signals (sibling blocks, late
+// NACKs) and failures racing a legitimate completion are ignored.
+func (b *RCPBackend) FailRequest(r *Request) {
+	if r.Failed || r.blocksLeft <= 0 {
+		return
+	}
+	r.Failed = true
+	r.T.DataDone = b.env.Now()
+	b.env.Stats.FailedOps++
+	b.complete(r)
 }
 
 func (b *RCPBackend) finishBlock(r *Request) {

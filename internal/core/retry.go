@@ -1,0 +1,204 @@
+package core
+
+// Retrier gives an RGP backend per-block request timeouts and bounded
+// retransmission: every injected block request is tracked with a cycle
+// deadline, a periodic scan (scheduled only while attempts are live, woken
+// at the earliest pending deadline) retransmits expired attempts with
+// deterministic exponential backoff, and a block whose retry budget runs
+// out fails its whole request through the paired RCP backend.
+//
+// Each retransmission carries a fresh NetReq and a bumped generation: a
+// late response to a superseded attempt fails the Ack generation check in
+// rcpRespEv and is discarded, so a delayed-then-retransmitted block can
+// never retire twice. Retransmitted writes re-send the payload captured at
+// first injection without re-reading local memory — the RMC is modeled as
+// holding the block in a retransmit buffer until it is acked.
+//
+// A backend owns at most one Retrier, constructed only when
+// Config.ReqTimeout > 0, so lossless configurations schedule no scan
+// events and stay bit-identical to builds without this file.
+type Retrier struct {
+	env        *Env
+	b          *RGPBackend
+	fail       func(*Request) // permanent-failure sink (RCPBackend.FailRequest)
+	timeout    int64
+	maxRetries int
+	backoffMax int
+
+	// Tracked attempts live by value; free slots recycle LIFO. A slot's
+	// generation survives recycling, which is what keeps RetryIDs unique.
+	ents   []retryEnt
+	free   []int32
+	live   int
+	wakeAt int64 // earliest scheduled scan, 0 = none pending
+	scanFn func()
+}
+
+// retryEnt is one tracked in-flight block attempt.
+type retryEnt struct {
+	nr       *NetReq
+	addr     uint64
+	flits    int
+	deadline int64
+	attempt  int // transmissions so far (1 = the original send)
+	gen      uint32
+	active   bool
+}
+
+// newRetrier builds the backend's retrier from the shared configuration.
+func newRetrier(env *Env, b *RGPBackend) *Retrier {
+	t := &Retrier{
+		env: env, b: b,
+		timeout:    env.Cfg.ReqTimeout,
+		maxRetries: env.Cfg.MaxRetries,
+		backoffMax: env.Cfg.RetryBackoffMax,
+	}
+	t.scanFn = t.scan
+	return t
+}
+
+// Track registers a freshly injected block attempt and arms the scan.
+func (t *Retrier) Track(nr *NetReq, addr uint64, flits int) {
+	var slot int32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.ents = append(t.ents, retryEnt{})
+		slot = int32(len(t.ents) - 1)
+	}
+	e := &t.ents[slot]
+	gen := e.gen + 1
+	deadline := t.env.Now() + t.timeout
+	*e = retryEnt{nr: nr, addr: addr, flits: flits, deadline: deadline, attempt: 1, gen: gen, active: true}
+	nr.Ret, nr.RetryID = t, retryID(slot, gen)
+	t.live++
+	t.arm(deadline)
+}
+
+// Ack retires the attempt named by id. It reports false — the response
+// must be discarded — when the attempt was superseded by a retransmission
+// or cancelled by its request's failure.
+func (t *Retrier) Ack(id uint64) bool {
+	slot, gen := int32(id>>32), uint32(id)
+	if int(slot) >= len(t.ents) {
+		return false
+	}
+	e := &t.ents[slot]
+	if !e.active || e.gen != gen {
+		return false
+	}
+	t.release(slot, e)
+	return true
+}
+
+// Live returns the number of tracked in-flight attempts (tests).
+func (t *Retrier) Live() int { return t.live }
+
+// Reset returns the retrier to its just-built emptiness: tracked attempts
+// dropped (their events are cleared with the engine by the run lifecycle),
+// slot generations rewound so a reused node replays a fresh node's
+// RetryIDs exactly.
+func (t *Retrier) Reset() {
+	for i := range t.ents {
+		t.ents[i] = retryEnt{}
+	}
+	t.ents = t.ents[:0]
+	t.free = t.free[:0]
+	t.live = 0
+	t.wakeAt = 0
+}
+
+func retryID(slot int32, gen uint32) uint64 {
+	return uint64(uint32(slot))<<32 | uint64(gen)
+}
+
+func (t *Retrier) release(slot int32, e *retryEnt) {
+	e.active = false
+	e.nr = nil
+	t.free = append(t.free, slot)
+	t.live--
+}
+
+// arm schedules a scan at absolute cycle at, unless one is already pending
+// no later than that. Deadlines grow monotonically under a fixed timeout,
+// so steady-state tracking arms at most one scan at a time.
+func (t *Retrier) arm(at int64) {
+	now := t.env.Now()
+	if t.wakeAt != 0 && t.wakeAt <= at && t.wakeAt > now {
+		return
+	}
+	t.wakeAt = at
+	d := at - now
+	if d < 1 {
+		d = 1
+	}
+	t.env.Eng.Schedule(d, t.scanFn)
+}
+
+// scan walks the tracked attempts, retransmitting the expired and failing
+// those out of budget, then re-arms at the earliest surviving deadline.
+func (t *Retrier) scan() {
+	t.wakeAt = 0
+	if t.live == 0 {
+		return
+	}
+	now := t.env.Now()
+	var next int64
+	for slot := range t.ents {
+		e := &t.ents[slot]
+		if !e.active {
+			continue
+		}
+		if e.deadline > now {
+			if next == 0 || e.deadline < next {
+				next = e.deadline
+			}
+			continue
+		}
+		if e.attempt > t.maxRetries {
+			r := e.nr.Req
+			t.release(int32(slot), e)
+			t.cancelReq(r)
+			if t.fail == nil {
+				panic("core: retrier has no failure sink (RGPBackend.OnFail was never wired)")
+			}
+			t.fail(r)
+			continue
+		}
+		// Retransmit under a new generation; the old attempt's response,
+		// if it ever arrives, fails the Ack check and is discarded.
+		old := e.nr
+		nr := newNetReq()
+		nr.Req, nr.Seq, nr.ReturnTo, nr.Op = old.Req, old.Seq, old.ReturnTo, old.Op
+		e.gen++
+		e.nr = nr
+		shift := e.attempt - 1
+		if shift > t.backoffMax {
+			shift = t.backoffMax
+		}
+		e.attempt++
+		e.deadline = now + t.timeout<<shift
+		nr.Ret, nr.RetryID = t, retryID(int32(slot), e.gen)
+		t.env.Stats.Retries++
+		t.b.inject(nr, e.addr, e.flits)
+		if next == 0 || e.deadline < next {
+			next = e.deadline
+		}
+	}
+	if next > 0 {
+		t.arm(next)
+	}
+}
+
+// cancelReq deactivates every attempt still tracking a block of r; called
+// when one block exhausts its budget so sibling blocks stop retrying a
+// request that is already failing.
+func (t *Retrier) cancelReq(r *Request) {
+	for slot := range t.ents {
+		e := &t.ents[slot]
+		if e.active && e.nr.Req == r {
+			t.release(int32(slot), e)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/noc"
+)
+
+// retryEnv builds an Env with timeouts armed plus an RGP backend whose
+// network port swallows outbound traffic — enough to drive the retrier's
+// track/ack/timeout machinery without a remote end.
+func retryEnv(t *testing.T, timeout int64, maxRetries, backoffMax int) (*Env, *RGPBackend) {
+	t.Helper()
+	env, mesh := dpEnv(t)
+	env.Cfg.ReqTimeout = timeout
+	env.Cfg.MaxRetries = maxRetries
+	env.Cfg.RetryBackoffMax = backoffMax
+	ni := noc.NIID(0)
+	b := NewRGPBackend(env, ni, noc.NetID(0), ni, 1, NewDataPath(env, ni))
+	mesh.Register(noc.NetID(0), func(m *noc.Message) { noc.Release(m) })
+	mesh.Register(ni, func(m *noc.Message) { noc.Release(m) })
+	return env, b
+}
+
+// TestRetrierTrackAck: a tracked attempt acks exactly once under its
+// RetryID; the slot recycles LIFO with a bumped generation so a stale id
+// can never retire a successor.
+func TestRetrierTrackAck(t *testing.T) {
+	_, b := retryEnv(t, 1000, 3, 4)
+	tr := b.Retrier()
+	if tr == nil {
+		t.Fatal("ReqTimeout > 0 but the backend built no retrier")
+	}
+	nr := newNetReq()
+	nr.Req = &Request{ID: 1}
+	tr.Track(nr, 0x100, 2)
+	if tr.Live() != 1 || nr.Ret != tr {
+		t.Fatalf("tracked attempt not live: live=%d ret=%v", tr.Live(), nr.Ret)
+	}
+	id := nr.RetryID
+	if !tr.Ack(id) {
+		t.Fatal("first Ack rejected")
+	}
+	if tr.Ack(id) {
+		t.Fatal("second Ack of the same attempt accepted")
+	}
+	if tr.Live() != 0 {
+		t.Fatalf("live=%d after ack", tr.Live())
+	}
+	// The freed slot recycles with a higher generation: the old id is dead.
+	nr2 := newNetReq()
+	nr2.Req = &Request{ID: 2}
+	tr.Track(nr2, 0x200, 2)
+	if nr2.RetryID == id {
+		t.Fatal("recycled slot reissued the retired RetryID")
+	}
+	if tr.Ack(id) {
+		t.Fatal("stale RetryID acked the recycled slot")
+	}
+	if !tr.Ack(nr2.RetryID) {
+		t.Fatal("fresh attempt failed to ack")
+	}
+	if tr.Ack(retryID(99, 1)) {
+		t.Fatal("out-of-range slot acked")
+	}
+}
+
+// TestRetrierTimeoutRetransmitAndFail: an unacked block is retransmitted
+// MaxRetries times with exponential backoff, then the request fails
+// permanently through the OnFail sink — total transmissions 1+MaxRetries,
+// deterministic deadlines, no events left once everything is dead.
+func TestRetrierTimeoutRetransmitAndFail(t *testing.T) {
+	env, b := retryEnv(t, 100, 2, 4)
+	var failed []*Request
+	b.OnFail(func(r *Request) { failed = append(failed, r) })
+	r := &Request{ID: 7, Core: 0, Op: OpRead, RemoteAddr: 0x1000, Size: 64}
+	b.Accept(r)
+	env.Eng.RunAll()
+	// Timeline: inject @~0, retransmit @100 (backoff 100<<1=200), retransmit
+	// @300 (backoff 400), fail @700. Two retransmissions = MaxRetries.
+	if env.Stats.Retries != 2 {
+		t.Fatalf("Retries=%d, want 2", env.Stats.Retries)
+	}
+	if len(failed) != 1 || failed[0] != r {
+		t.Fatalf("OnFail saw %v, want exactly the accepted request", failed)
+	}
+	if b.Retrier().Live() != 0 {
+		t.Fatalf("failed request left %d live attempts", b.Retrier().Live())
+	}
+	if env.Eng.Pending() != 0 {
+		t.Fatalf("%d events still pending after permanent failure", env.Eng.Pending())
+	}
+}
+
+// TestRetrierMultiBlockCancel: when one block of a request exhausts its
+// budget, its sibling attempts are cancelled too — the request fails once
+// and stops consuming fabric, and later scans don't re-fail it.
+func TestRetrierMultiBlockCancel(t *testing.T) {
+	env, b := retryEnv(t, 100, 1, 4)
+	var fails int
+	b.OnFail(func(*Request) { fails++ })
+	r := &Request{ID: 9, Core: 0, Op: OpRead, RemoteAddr: 0x1000, Size: 256} // 4 blocks
+	b.Accept(r)
+	env.Eng.RunAll()
+	if fails != 1 {
+		t.Fatalf("request failed %d times, want once", fails)
+	}
+	if b.Retrier().Live() != 0 {
+		t.Fatalf("cancelled request left %d live attempts", b.Retrier().Live())
+	}
+}
+
+// TestRetrierReset: Reset drops all tracked attempts AND rewinds slot
+// generations, so a reused node hands out the same RetryIDs as a fresh
+// one — the bit-identity the Session lifecycle demands.
+func TestRetrierReset(t *testing.T) {
+	_, b := retryEnv(t, 1000, 3, 4)
+	tr := b.Retrier()
+	first := make([]uint64, 3)
+	for i := range first {
+		nr := newNetReq()
+		nr.Req = &Request{ID: uint64(i)}
+		tr.Track(nr, uint64(0x100*i), 1)
+		first[i] = nr.RetryID
+	}
+	b.Reset()
+	if tr.Live() != 0 {
+		t.Fatalf("reset retrier still tracks %d attempts", tr.Live())
+	}
+	for i := range first {
+		nr := newNetReq()
+		nr.Req = &Request{ID: uint64(i)}
+		tr.Track(nr, uint64(0x100*i), 1)
+		if nr.RetryID != first[i] {
+			t.Fatalf("post-reset RetryID %d = %#x, fresh run had %#x", i, nr.RetryID, first[i])
+		}
+	}
+}
+
+// TestNoRetrierWithoutTimeout: ReqTimeout 0 must build no retrier and
+// schedule no scan events — the lossless fast path stays untouched.
+func TestNoRetrierWithoutTimeout(t *testing.T) {
+	env, mesh := dpEnv(t)
+	ni := noc.NIID(0)
+	b := NewRGPBackend(env, ni, noc.NetID(0), ni, 1, NewDataPath(env, ni))
+	mesh.Register(noc.NetID(0), func(m *noc.Message) { noc.Release(m) })
+	if b.Retrier() != nil {
+		t.Fatal("ReqTimeout 0 built a retrier")
+	}
+	b.Accept(&Request{ID: 1, Op: OpRead, RemoteAddr: 0x1000, Size: 64})
+	env.Eng.RunAll()
+}
+
+// TestQueuePairWindow: QPWindow caps admission below the WQ depth;
+// 0 (or anything >= WQEntries) keeps the WQ-depth-only bound.
+func TestQueuePairWindow(t *testing.T) {
+	cfg := config.Default()
+	cfg.QPWindow = 2
+	q := NewQueuePair(&cfg, 0, 0x4000_0000, 0x4000_8000)
+	if q.Window() != 2 {
+		t.Fatalf("Window()=%d, want 2", q.Window())
+	}
+	q.PushWQ(req(1))
+	if q.Full() {
+		t.Fatal("window 2 full after one request")
+	}
+	q.PushWQ(req(2))
+	if !q.Full() {
+		t.Fatal("window 2 not full at two in-flight")
+	}
+	// Retiring one in-flight request reopens the window.
+	q.PopWQ()
+	q.PushCQ(req(1))
+	q.PopCQ()
+	if q.Full() {
+		t.Fatal("window still full after one completion")
+	}
+
+	cfg.QPWindow = 0
+	u := NewQueuePair(&cfg, 0, 0x4100_0000, 0x4100_8000)
+	if u.Window() != cfg.WQEntries {
+		t.Fatalf("uncapped Window()=%d, want WQEntries %d", u.Window(), cfg.WQEntries)
+	}
+	cfg.QPWindow = cfg.WQEntries * 2
+	o := NewQueuePair(&cfg, 0, 0x4200_0000, 0x4200_8000)
+	if o.Window() != cfg.WQEntries {
+		t.Fatalf("oversized window %d not clamped to WQ depth %d", o.Window(), cfg.WQEntries)
+	}
+}

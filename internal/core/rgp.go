@@ -92,6 +92,7 @@ type RGPBackend struct {
 	data     *DataPath
 	out      *noc.Outbox
 	stepFn   func()
+	ret      *Retrier // non-nil only when Config.ReqTimeout > 0
 
 	q         []unrollJob // by value; popped via qhead so the array is reused
 	qhead     int
@@ -116,8 +117,23 @@ func NewRGPBackend(env *Env, id, netPort, returnTo noc.NodeID, procLat int64, da
 		procLat: procLat, data: data, out: newOutbox(env, id),
 	}
 	b.stepFn = b.step
+	if env.Cfg.ReqTimeout > 0 {
+		b.ret = newRetrier(env, b)
+	}
 	return b
 }
+
+// OnFail wires the permanent-failure sink — the paired RCP backend's
+// FailRequest — that the retrier invokes when a block exhausts its retry
+// budget. A no-op when timeouts are disabled.
+func (b *RGPBackend) OnFail(f func(*Request)) {
+	if b.ret != nil {
+		b.ret.fail = f
+	}
+}
+
+// Retrier exposes the backend's retrier (nil when timeouts are disabled).
+func (b *RGPBackend) Retrier() *Retrier { return b.ret }
 
 // Reset drops queued unroll jobs (their requests are abandoned with the
 // engine's events), idles the pipeline and zeroes the counters.
@@ -130,6 +146,9 @@ func (b *RGPBackend) Reset() {
 	b.unrolling = false
 	b.Unrolled = 0
 	b.out.Reset()
+	if b.ret != nil {
+		b.ret.Reset()
+	}
 }
 
 // rgpAcceptEv enqueues a dispatched WQ entry after the backend's
@@ -163,6 +182,19 @@ func (b *RGPBackend) step() {
 	}
 	job := &b.q[b.qhead]
 	r := job.req
+	if r.Failed {
+		// A sibling block exhausted its retry budget while this request
+		// was still unrolling: abandon the remaining blocks (the request
+		// already completed as failed through the CQ).
+		job.req = nil
+		b.qhead++
+		if b.qhead == len(b.q) {
+			b.q = b.q[:0]
+			b.qhead = 0
+		}
+		b.env.Eng.Schedule(int64(b.env.Cfg.UnrollPerCycle), b.stepFn)
+		return
+	}
 	seq := job.seq
 	blockB := uint64(b.env.Cfg.BlockBytes)
 	addr := (r.RemoteAddr &^ (blockB - 1)) + uint64(seq)*blockB
@@ -195,6 +227,11 @@ func (b *RGPBackend) step() {
 func (b *RGPBackend) inject(nr *NetReq, addr uint64, flits int) {
 	if nr.Req.T.Injected == 0 {
 		nr.Req.T.Injected = b.env.Now()
+	}
+	if b.ret != nil && nr.Ret == nil {
+		// First transmission of this block: start its timeout. Retransmits
+		// arrive here already tracked (the retrier pre-sets nr.Ret).
+		b.ret.Track(nr, addr, flits)
 	}
 	m := noc.NewMessage()
 	m.VN, m.Class = noc.VNReq, noc.ClassRequest

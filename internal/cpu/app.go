@@ -29,6 +29,13 @@ type Request struct {
 	Local  uint64
 	Size   int
 	Tag    uint64
+
+	// Failed is set in OnComplete deliveries when the request was
+	// permanently abandoned — its retry budget ran out, or the fabric
+	// dropped it with retries disabled. Failed requests carry no data and
+	// are excluded from latency statistics; the app decides whether to
+	// reissue, degrade, or give up.
+	Failed bool
 }
 
 // actionKind discriminates the App's possible next moves.
@@ -158,6 +165,7 @@ type AppDriver struct {
 	seq       uint64
 	issued    uint64
 	completed uint64
+	failed    uint64
 	sincePoll int
 	stopped   bool
 	err       error
@@ -222,8 +230,11 @@ func (d *AppDriver) Stop() { d.stopped = true }
 // ID returns the driver's core index.
 func (d *AppDriver) ID() int { return d.id }
 
-// Completed returns the number of retired requests.
+// Completed returns the number of successfully retired requests.
 func (d *AppDriver) Completed() uint64 { return d.completed }
+
+// Failed returns the number of requests retired as permanently failed.
+func (d *AppDriver) Failed() uint64 { return d.failed }
 
 // Issued returns the number of published requests.
 func (d *AppDriver) Issued() uint64 { return d.issued }
@@ -264,7 +275,14 @@ func (d *AppDriver) step() {
 		d.issuePending(d.afterIssue)
 	case actWait:
 		if d.qp.InFlight() == 0 {
-			d.err = fmt.Errorf("cpu: core %d app waits with no requests in flight", d.id)
+			// Fires both for the classic contract violation and when every
+			// in-flight request was dropped and retired as failed (the app
+			// kept waiting for data that will never come).
+			if d.failed > 0 {
+				d.err = fmt.Errorf("cpu: core %d app waits with no requests in flight (%d permanently failed)", d.id, d.failed)
+			} else {
+				d.err = fmt.Errorf("cpu: core %d app waits with no requests in flight", d.id)
+			}
 			d.finish()
 			return
 		}
@@ -428,6 +446,17 @@ func (d *AppDriver) retire(popped []*rmc.Request, then func()) {
 		now := d.eng.Now()
 		for _, r := range done {
 			r.T.Done = now
+			if r.Failed {
+				// A permanently failed request still reaches the app (so it
+				// can reissue or degrade) but contributes no latency sample:
+				// its "latency" is the retry budget, not a service time.
+				d.failed++
+				d.app.OnComplete(d.id, Request{
+					Op: r.Op, Remote: r.RemoteAddr, Local: r.LocalAddr,
+					Size: r.Size, Tag: r.Tag, Failed: true,
+				}, r.T.IssueStart, now)
+				continue
+			}
 			d.completed++
 			d.stats.Completed++
 			lat := now - r.T.IssueStart

@@ -88,6 +88,7 @@ type Driver struct {
 	seq       uint64
 	issued    uint64
 	completed uint64
+	failed    uint64
 	sincePoll int
 	stopped   bool
 
@@ -147,8 +148,11 @@ func (d *Driver) Start() {
 // finishes or the run ends, after which it schedules nothing for itself.
 func (d *Driver) Stop() { d.stopped = true }
 
-// Completed returns the number of retired requests.
+// Completed returns the number of successfully retired requests.
 func (d *Driver) Completed() uint64 { return d.completed }
+
+// Failed returns the number of requests retired as permanently failed.
+func (d *Driver) Failed() uint64 { return d.failed }
 
 // Issued returns the number of issued requests.
 func (d *Driver) Issued() uint64 { return d.issued }
@@ -311,6 +315,12 @@ func (d *Driver) retire(popped []*rmc.Request, then func()) {
 		now := d.eng.Now()
 		for _, r := range done {
 			r.T.Done = now
+			if r.Failed {
+				// Permanently failed: no latency sample, no tomography
+				// record — the entry only frees its WQ slot.
+				d.failed++
+				continue
+			}
 			d.completed++
 			d.stats.Completed++
 			d.stats.ReqLat.Add(now - r.T.IssueStart)

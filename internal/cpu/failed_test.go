@@ -1,0 +1,61 @@
+package cpu
+
+import (
+	"testing"
+
+	"rackni/internal/config"
+	rmc "rackni/internal/core"
+	"rackni/internal/sim"
+)
+
+// recordingApp captures OnComplete deliveries.
+type recordingApp struct {
+	got []Request
+}
+
+func (a *recordingApp) Step(coreID int, now int64, inflight int) Action { return Done() }
+func (a *recordingApp) OnComplete(coreID int, req Request, issued, done int64) {
+	a.got = append(a.got, req)
+}
+
+// TestAppDriverRetiresFailedRequests: a permanently failed request reaches
+// the app flagged Failed, counts in the driver's failure tally, and stays
+// out of every success-side statistic — completions, latency samples, the
+// histogram — so fault runs don't poison latency percentiles with retry
+// budgets.
+func TestAppDriverRetiresFailedRequests(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := config.Default()
+	st := rmc.NewStats()
+	app := &recordingApp{}
+	d := NewAppDriver(eng, &cfg, 3, nil, nil, st, app)
+
+	bad := &rmc.Request{ID: 1, Op: rmc.OpRead, RemoteAddr: 0x1000, Size: 64, Failed: true}
+	good := &rmc.Request{ID: 2, Op: rmc.OpRead, RemoteAddr: 0x2000, Size: 64}
+	bad.T.IssueStart, good.T.IssueStart = 5, 5
+	resumed := false
+	d.retire([]*rmc.Request{bad, good}, func() { resumed = true })
+	eng.RunAll()
+
+	if !resumed {
+		t.Fatal("retire never continued")
+	}
+	if d.Failed() != 1 {
+		t.Fatalf("Failed()=%d, want 1", d.Failed())
+	}
+	if d.completed != 1 || st.Completed != 1 {
+		t.Fatalf("completed=%d stats.Completed=%d, want 1/1 (failure must not count)", d.completed, st.Completed)
+	}
+	if n := st.ReqLat.Count(); n != 1 {
+		t.Fatalf("latency samples=%d, want 1 (failed request must not contribute)", n)
+	}
+	if len(app.got) != 2 {
+		t.Fatalf("app saw %d completions, want 2", len(app.got))
+	}
+	if !app.got[0].Failed || app.got[0].Remote != 0x1000 {
+		t.Fatalf("failed request not flagged to the app: %+v", app.got[0])
+	}
+	if app.got[1].Failed {
+		t.Fatalf("successful request flagged failed: %+v", app.got[1])
+	}
+}

@@ -1,0 +1,166 @@
+package fabric
+
+import (
+	"fmt"
+
+	"rackni/internal/sim"
+)
+
+// Outage marks one directed inter-node link (Src -> Dst) as dead for the
+// half-open engine-cycle interval [From, Until). Until <= 0 means the link
+// never comes back.
+type Outage struct {
+	Src, Dst    int
+	From, Until int64
+}
+
+// covers reports whether the outage is active at engine cycle now.
+func (o Outage) covers(now int64) bool {
+	return now >= o.From && (o.Until <= 0 || now < o.Until)
+}
+
+// NodeOutage takes a whole node off the fabric for [From, Until) engine
+// cycles: every message entering or leaving the node is dropped. Until <= 0
+// means the node never comes back.
+type NodeOutage struct {
+	Node        int
+	From, Until int64
+}
+
+func (o NodeOutage) covers(now int64) bool {
+	return now >= o.From && (o.Until <= 0 || now < o.Until)
+}
+
+// FaultSpec declares a deterministic fault schedule for an Interconnect.
+// Probabilities apply independently to each fabric leg (request and
+// response); all randomness comes from a single xorshift generator seeded
+// with Seed at plan construction, never from wall clock, so identical specs
+// produce bit-identical runs.
+type FaultSpec struct {
+	// Seed seeds the plan's private generator (zero picks a fixed
+	// constant, see sim.NewRand).
+	Seed uint64
+	// DropProb is the probability a message silently disappears on a leg.
+	DropProb float64
+	// DelayProb is the probability a message is late by DelayCycles.
+	DelayProb float64
+	// DelayCycles is the extra latency charged to delayed messages.
+	DelayCycles int64
+	// CorruptProb is the probability a message arrives corrupted. The
+	// fabric models CRC-checked links, so corruption is detected at the
+	// receiver and the message discarded: a corrupt message is a drop
+	// that also counts in LinkStats.Corrupt.
+	CorruptProb float64
+	// LinkDown lists directed link outages.
+	LinkDown []Outage
+	// NodeDown lists whole-node outages.
+	NodeDown []NodeOutage
+}
+
+// Active reports whether the spec can ever perturb a message. A zero
+// FaultSpec is inactive and equivalent to no fault plan at all.
+func (s *FaultSpec) Active() bool {
+	return s.DropProb > 0 || s.DelayProb > 0 || s.CorruptProb > 0 ||
+		len(s.LinkDown) > 0 || len(s.NodeDown) > 0
+}
+
+// Validate checks the spec against an interconnect of the given node count.
+func (s *FaultSpec) Validate(nodes int) error {
+	switch {
+	case s.DropProb < 0 || s.DropProb >= 1:
+		return fmt.Errorf("fabric: drop probability %v outside [0,1)", s.DropProb)
+	case s.DelayProb < 0 || s.DelayProb >= 1:
+		return fmt.Errorf("fabric: delay probability %v outside [0,1)", s.DelayProb)
+	case s.CorruptProb < 0 || s.CorruptProb >= 1:
+		return fmt.Errorf("fabric: corrupt probability %v outside [0,1)", s.CorruptProb)
+	case s.DelayProb > 0 && s.DelayCycles <= 0:
+		return fmt.Errorf("fabric: delay probability set with non-positive DelayCycles %d", s.DelayCycles)
+	case s.DropProb+s.CorruptProb >= 1:
+		return fmt.Errorf("fabric: drop+corrupt probability %v leaves no chance of delivery", s.DropProb+s.CorruptProb)
+	}
+	for _, o := range s.LinkDown {
+		if o.Src < 0 || o.Src >= nodes || o.Dst < 0 || o.Dst >= nodes {
+			return fmt.Errorf("fabric: link outage %d->%d outside cluster of %d nodes", o.Src, o.Dst, nodes)
+		}
+		if o.Src == o.Dst {
+			return fmt.Errorf("fabric: link outage %d->%d is a self-loop", o.Src, o.Dst)
+		}
+		if o.From < 0 {
+			return fmt.Errorf("fabric: link outage %d->%d starts at negative cycle %d", o.Src, o.Dst, o.From)
+		}
+		if o.Until > 0 && o.Until <= o.From {
+			return fmt.Errorf("fabric: link outage %d->%d window [%d,%d) is empty", o.Src, o.Dst, o.From, o.Until)
+		}
+	}
+	for _, o := range s.NodeDown {
+		if o.Node < 0 || o.Node >= nodes {
+			return fmt.Errorf("fabric: node outage for node %d outside cluster of %d nodes", o.Node, nodes)
+		}
+		if o.From < 0 {
+			return fmt.Errorf("fabric: node outage for node %d starts at negative cycle %d", o.Node, o.From)
+		}
+		if o.Until > 0 && o.Until <= o.From {
+			return fmt.Errorf("fabric: node outage for node %d window [%d,%d) is empty", o.Node, o.From, o.Until)
+		}
+	}
+	return nil
+}
+
+// FaultPlan is an executable FaultSpec: the spec plus the private generator
+// that serves every probability draw. Reset re-seeds the generator so a
+// reused Session replays the exact fault schedule of a fresh run.
+type FaultPlan struct {
+	spec FaultSpec
+	rnd  *sim.Rand
+}
+
+// NewFaultPlan builds a plan for the spec. The caller is expected to have
+// validated the spec against the interconnect geometry.
+func NewFaultPlan(spec FaultSpec) *FaultPlan {
+	p := &FaultPlan{spec: spec}
+	p.Reset()
+	return p
+}
+
+// Spec returns a copy of the plan's spec.
+func (p *FaultPlan) Spec() FaultSpec { return p.spec }
+
+// Reset rewinds the plan's generator to its construction state.
+func (p *FaultPlan) Reset() { p.rnd = sim.NewRand(p.spec.Seed) }
+
+// down reports whether the directed leg src->dst is severed at cycle now by
+// a link or node outage. Outage checks draw no randomness.
+func (p *FaultPlan) down(src, dst int, now int64) bool {
+	for _, o := range p.spec.LinkDown {
+		if o.Src == src && o.Dst == dst && o.covers(now) {
+			return true
+		}
+	}
+	for _, o := range p.spec.NodeDown {
+		if (o.Node == src || o.Node == dst) && o.covers(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// judge decides the fate of one message on the directed leg src->dst at
+// cycle now: dropped (silently or by detected corruption) or delayed by
+// extra cycles. Each probability draws from the generator only when its
+// knob is nonzero, so enabling one fault class never shifts the schedule
+// of another run that only uses a different class.
+func (p *FaultPlan) judge(src, dst int, now int64) (drop, corrupt bool, extra int64) {
+	if p.down(src, dst, now) {
+		return true, false, 0
+	}
+	if p.spec.DropProb > 0 && p.rnd.Float64() < p.spec.DropProb {
+		return true, false, 0
+	}
+	if p.spec.CorruptProb > 0 && p.rnd.Float64() < p.spec.CorruptProb {
+		return true, true, 0
+	}
+	if p.spec.DelayProb > 0 && p.rnd.Float64() < p.spec.DelayProb {
+		return false, false, p.spec.DelayCycles
+	}
+	return false, false, 0
+}

@@ -1,0 +1,172 @@
+package fabric
+
+import (
+	"testing"
+)
+
+// TestFaultSpecValidate: the spec rejects out-of-range probabilities,
+// delay faults without a delay, drop+corrupt mass reaching certainty, and
+// malformed outage intervals — before a plan is ever built.
+func TestFaultSpecValidate(t *testing.T) {
+	ok := FaultSpec{DropProb: 0.1, DelayProb: 0.2, DelayCycles: 50, CorruptProb: 0.05,
+		LinkDown: []Outage{{Src: 0, Dst: 1, From: 10, Until: 20}},
+		NodeDown: []NodeOutage{{Node: 2, From: 5}}}
+	if err := ok.Validate(4); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	bad := []FaultSpec{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{DelayProb: 0.5}, // no DelayCycles
+		{DelayProb: 0.5, DelayCycles: -1},
+		{CorruptProb: 1.5},
+		{DropProb: 0.6, CorruptProb: 0.5}, // certainty of loss
+		{LinkDown: []Outage{{Src: 0, Dst: 0}}},                          // self-loop
+		{LinkDown: []Outage{{Src: 0, Dst: 9}}},                          // beyond cluster
+		{LinkDown: []Outage{{Src: -1, Dst: 1}}},                         // negative node
+		{LinkDown: []Outage{{Src: 0, Dst: 1, From: -5}}},                // negative start
+		{LinkDown: []Outage{{Src: 0, Dst: 1, From: 20, Until: 10}}},     // inverted window
+		{NodeDown: []NodeOutage{{Node: 4}}},                             // beyond cluster
+		{NodeDown: []NodeOutage{{Node: 1, From: 30, Until: 30}}},        // empty window
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(4); err == nil {
+			t.Fatalf("bad spec %d accepted: %+v", i, spec)
+		}
+	}
+}
+
+// TestFaultSpecActive: only specs that can actually perturb traffic arm a
+// plan; the zero spec is inert so SetFaults(&FaultSpec{}) equals nil.
+func TestFaultSpecActive(t *testing.T) {
+	inert, seeded := FaultSpec{}, FaultSpec{Seed: 7}
+	if inert.Active() || seeded.Active() {
+		t.Fatal("inert spec reports active")
+	}
+	for _, spec := range []FaultSpec{
+		{DropProb: 0.1},
+		{DelayProb: 0.1, DelayCycles: 10},
+		{CorruptProb: 0.1},
+		{LinkDown: []Outage{{Src: 0, Dst: 1}}},
+		{NodeDown: []NodeOutage{{Node: 0}}},
+	} {
+		if !spec.Active() {
+			t.Fatalf("active spec reports inert: %+v", spec)
+		}
+	}
+}
+
+// judgeTrace records the plan's verdicts over a window of pseudo-traffic.
+func judgeTrace(p *FaultPlan, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		drop, corrupt, extra := p.judge(i%3, (i+1)%3, int64(i))
+		switch {
+		case corrupt:
+			out[i] = 2
+		case drop:
+			out[i] = 1
+		case extra > 0:
+			out[i] = 3
+		}
+	}
+	return out
+}
+
+// TestFaultPlanDeterministicReset: the fault schedule is a pure function
+// of the seed — Reset rewinds the plan to an identical verdict stream, the
+// property Session.Begin relies on for reused-cluster bit-identity.
+func TestFaultPlanDeterministicReset(t *testing.T) {
+	spec := FaultSpec{Seed: 42, DropProb: 0.2, DelayProb: 0.1, DelayCycles: 30, CorruptProb: 0.05}
+	p := NewFaultPlan(spec)
+	first := judgeTrace(p, 2000)
+	saw := map[int]bool{}
+	for _, v := range first {
+		saw[v] = true
+	}
+	for v := 0; v <= 3; v++ {
+		if !saw[v] {
+			t.Fatalf("2000 verdicts never produced outcome %d: %v", v, saw)
+		}
+	}
+	p.Reset()
+	second := judgeTrace(p, 2000)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("verdict %d diverged after Reset: %d vs %d", i, first[i], second[i])
+		}
+	}
+	// A distinct seed must not replay the same schedule.
+	spec.Seed = 43
+	other := judgeTrace(NewFaultPlan(spec), 2000)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+}
+
+// TestFaultPlanOutages: link outages are directed and half-open in time;
+// node outages cover both directions of every adjacent link; outage
+// verdicts draw no randomness (they must not shift probabilistic faults).
+func TestFaultPlanOutages(t *testing.T) {
+	p := NewFaultPlan(FaultSpec{
+		LinkDown: []Outage{{Src: 0, Dst: 1, From: 10, Until: 20}},
+		NodeDown: []NodeOutage{{Node: 2, From: 100}}, // forever from 100
+	})
+	cases := []struct {
+		src, dst int
+		now      int64
+		down     bool
+	}{
+		{0, 1, 9, false}, {0, 1, 10, true}, {0, 1, 19, true}, {0, 1, 20, false},
+		{1, 0, 15, false}, // directed: reverse leg stays up
+		{2, 0, 99, false}, {2, 0, 100, true}, {0, 2, 5000, true}, // node-down covers both roles
+		{0, 1, 5000, false},
+	}
+	for _, c := range cases {
+		drop, corrupt, extra := p.judge(c.src, c.dst, c.now)
+		if drop != c.down || corrupt || extra != 0 {
+			t.Fatalf("judge(%d,%d,@%d) = (%v,%v,%d), want down=%v",
+				c.src, c.dst, c.now, drop, corrupt, extra, c.down)
+		}
+	}
+}
+
+// TestInterconnectSetFaults: an inactive or nil spec clears the plan, an
+// invalid one is rejected, and Interconnect.Reset rewinds the installed
+// plan's RNG along with everything else.
+func TestInterconnectSetFaults(t *testing.T) {
+	x, err := NewInterconnect(NewTorus3D(8), nil, 1, testPorts(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.SetFaults(nil); err != nil || x.Faults() != nil {
+		t.Fatalf("nil spec: err=%v plan=%v", err, x.Faults())
+	}
+	if err := x.SetFaults(&FaultSpec{}); err != nil || x.Faults() != nil {
+		t.Fatal("inert spec must clear the plan, not arm an RNG-less one")
+	}
+	if err := x.SetFaults(&FaultSpec{DropProb: 0.5, LinkDown: []Outage{{Src: 0, Dst: 7}}}); err == nil {
+		t.Fatal("outage naming node 7 accepted on a 3-node fabric")
+	}
+	if err := x.SetFaults(&FaultSpec{Seed: 9, DropProb: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	first := judgeTrace(x.Faults(), 500)
+	x.Reset()
+	second := judgeTrace(x.Faults(), 500)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("Interconnect.Reset did not rewind the fault plan (verdict %d)", i)
+		}
+	}
+	if x.PeakInFlight() != 0 {
+		t.Fatal("Reset left the in-flight high-water mark")
+	}
+}

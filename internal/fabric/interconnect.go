@@ -34,6 +34,9 @@ const (
 	NodeSelShift = 40
 	// nodeSelMask bounds the selector field (4095 ≥ any rack we model).
 	nodeSelMask = 0xFFF
+	// MaxNodes is the largest cluster the selector can address: targets
+	// are [0, nodeSelMask-1], so at most nodeSelMask nodes exist.
+	MaxNodes = nodeSelMask
 	// globalBit marks an address as an explicit GlobalAddr encoding.
 	globalBit = uint64(1) << 63
 	// selField is everything GlobalAddr owns: selector plus marker.
@@ -100,6 +103,13 @@ type LinkStats struct {
 	// requests (outbound and return legs) — the exact counterpart of
 	// Rack.HopCycles, compared bit for bit by the cross-validation tests.
 	HopCycles int64
+	// Drops counts this node's own messages (either leg) lost to the fault
+	// plan — silent drops, detected corruption, and outages alike.
+	Drops int64
+	// Corrupt counts the subset of Drops caused by detected corruption.
+	Corrupt int64
+	// Delayed counts this node's own messages the fault plan made late.
+	Delayed int64
 }
 
 // Interconnect is the real inter-node fabric: it connects N fully
@@ -149,6 +159,17 @@ type Interconnect struct {
 	// recycle LIFO so the table stays dense at the working-set size.
 	xfers []xfer
 	free  []uint64
+	// peakLive is the run's high-water mark of live transfer records — the
+	// quantity the per-QP credit window exists to bound.
+	peakLive int
+
+	// plan, when non-nil, perturbs messages on both fabric legs. retryOn
+	// records whether the attached nodes run request timeouts: with
+	// retries, a dropped message is simply lost (the requester's timeout
+	// recovers it); without, the fabric synthesizes a NACK so the loss
+	// surfaces as a failed request instead of a silent hang.
+	plan    *FaultPlan
+	retryOn bool
 
 	// Counters is the per-node accounting, reset per run by the cluster's
 	// run entry points.
@@ -217,6 +238,7 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 		respFlits:     base.BlockFlits(),
 		ackFlits:      1,
 		ports:         ports,
+		retryOn:       base.ReqTimeout > 0,
 		outs:          make([][]*noc.Outbox, n),
 		Counters:      make([]LinkStats, n),
 		Traffic:       make([][]int64, n),
@@ -277,6 +299,27 @@ func (x *Interconnect) CheckAddr(addr uint64) error {
 	return CheckRemoteAddr(addr, len(x.ports))
 }
 
+// SetFaults installs a fault plan built from spec, replacing any previous
+// plan; a nil or inactive spec clears it, so a zero FaultSpec is literally
+// a fault-free fabric.
+func (x *Interconnect) SetFaults(spec *FaultSpec) error {
+	if spec == nil || !spec.Active() {
+		x.plan = nil
+		return nil
+	}
+	if err := spec.Validate(len(x.ports)); err != nil {
+		return err
+	}
+	x.plan = NewFaultPlan(*spec)
+	return nil
+}
+
+// Faults returns the installed fault plan, nil when the fabric is lossless.
+func (x *Interconnect) Faults() *FaultPlan { return x.plan }
+
+// PeakInFlight returns the run's high-water mark of live transfer records.
+func (x *Interconnect) PeakInFlight() int { return x.peakLive }
+
 // ResetCounters zeroes the per-run accounting. In-flight transfer records
 // are untouched.
 func (x *Interconnect) ResetCounters() {
@@ -303,6 +346,10 @@ func (x *Interconnect) Reset() {
 	}
 	x.xfers = x.xfers[:0]
 	x.free = x.free[:0]
+	x.peakLive = 0
+	if x.plan != nil {
+		x.plan.Reset()
+	}
 	for _, rows := range x.outs {
 		for _, o := range rows {
 			o.Reset()
@@ -329,13 +376,17 @@ func packDst(node, row int) int64 { return int64(node)<<32 | int64(row) }
 // newXfer takes a free transfer slot (or grows the table) and returns its
 // transaction id; ids are slot+1 so 0 stays invalid.
 func (x *Interconnect) newXfer() (uint64, *xfer) {
+	var txn uint64
 	if n := len(x.free); n > 0 {
-		txn := x.free[n-1]
+		txn = x.free[n-1]
 		x.free = x.free[:n-1]
-		return txn, &x.xfers[txn-1]
+	} else {
+		x.xfers = append(x.xfers, xfer{})
+		txn = uint64(len(x.xfers))
 	}
-	x.xfers = append(x.xfers, xfer{})
-	txn := uint64(len(x.xfers))
+	if live := len(x.xfers) - len(x.free); live > x.peakLive {
+		x.peakLive = live
+	}
 	return txn, &x.xfers[txn-1]
 }
 
@@ -356,6 +407,29 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 			panic(fmt.Sprintf("fabric: node %d addressed nonexistent node %d (cluster has %d)", src, dst, len(x.ports)))
 		}
 	}
+	delay := x.delay[src*len(x.ports)+dst]
+	if x.plan != nil {
+		drop, corrupt, extra := x.plan.judge(src, dst, x.eng.Now())
+		if drop {
+			// The request was sent (RequestsOut, Traffic) but never
+			// arrives; no transfer record, no HopCycles for a hop that
+			// never completed.
+			x.Counters[src].RequestsOut++
+			x.Traffic[src][dst]++
+			x.Counters[src].Drops++
+			if corrupt {
+				x.Counters[src].Corrupt++
+			}
+			x.dropBlock(nr, m.Addr, src, delay)
+			return
+		}
+		if extra > 0 {
+			// Lateness is physical, not topological: the message is late
+			// on the wire but HopCycles keeps the nominal distance charge.
+			x.Counters[src].Delayed++
+			delay += extra
+		}
+	}
 	txn, o := x.newXfer()
 	o.nr, o.addr, o.src, o.dst, o.active = nr, m.Addr, int32(src), int32(dst), true
 
@@ -371,9 +445,8 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	inbound.Addr, inbound.Txn, inbound.A = local, txn, int64(nr.Op)
 	inbound.B = int64(src) // source-node tag, echoed by the RRPP's response
 
-	delay := x.delay[src*len(x.ports)+dst]
 	x.Counters[src].RequestsOut++
-	x.Counters[src].HopCycles += delay
+	x.Counters[src].HopCycles += x.delay[src*len(x.ports)+dst]
 	x.Traffic[src][dst]++
 	x.eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
 }
@@ -409,6 +482,26 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	*o = xfer{}
 	x.free = append(x.free, txn)
 
+	delay := x.delay[dst*len(x.ports)+src]
+	if x.plan != nil {
+		drop, corrupt, extra := x.plan.judge(dst, src, x.eng.Now())
+		if drop {
+			// The RRPP sent its response (ResponsesOut on the servicer);
+			// the loss lands on the requester's ledger.
+			x.Counters[dst].ResponsesOut++
+			x.Counters[src].Drops++
+			if corrupt {
+				x.Counters[src].Corrupt++
+			}
+			x.dropBlock(nr, addr, src, delay)
+			return
+		}
+		if extra > 0 {
+			x.Counters[src].Delayed++
+			delay += extra
+		}
+	}
+
 	flits := x.ackFlits
 	if nr.Op == rmc.OpRead {
 		flits = x.respFlits
@@ -420,8 +513,7 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	resp.Flits, resp.Kind = flits, rmc.KNetResponse
 	resp.Addr, resp.Meta = addr, nr
 
-	delay := x.delay[dst*len(x.ports)+src]
-	x.Counters[src].HopCycles += delay
+	x.Counters[src].HopCycles += x.delay[dst*len(x.ports)+src]
 	x.Counters[dst].ResponsesOut++
 	x.eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
 }
@@ -431,5 +523,33 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 func xconnRespEv(a, b any, dst int64) {
 	x := a.(*Interconnect)
 	x.Counters[dst>>32].ResponsesIn++
+	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(b.(*noc.Message))
+}
+
+// dropBlock disposes of a faulted block message. With request timeouts
+// armed the loss is silent — the requester's retrier recovers it, and the
+// orphaned NetReq is left to the garbage collector (the pool is
+// best-effort). Without timeouts the fabric synthesizes a NACK back to the
+// requesting core so the loss surfaces as a failed request instead of a
+// silent hang; NACKs themselves are never faulted.
+func (x *Interconnect) dropBlock(nr *rmc.NetReq, addr uint64, src int, delay int64) {
+	if x.retryOn {
+		return
+	}
+	nr.Nacked = true
+	row := x.ports[src].RowOf(nr.ReturnTo)
+	resp := noc.NewMessage()
+	resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
+	resp.Src, resp.Dst = noc.NetID(row), nr.ReturnTo
+	resp.Flits, resp.Kind = x.ackFlits, rmc.KNetResponse
+	resp.Addr, resp.Meta = addr, nr
+	x.eng.Post(delay, xconnNackEv, x, resp, packDst(src, row))
+}
+
+// xconnNackEv lands a synthesized NACK at the requesting node. It bumps no
+// delivery counters, so the zero-fault ledger invariant (ResponsesIn ==
+// ResponsesOut at quiesce) keeps describing real responses only.
+func xconnNackEv(a, b any, dst int64) {
+	x := a.(*Interconnect)
 	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(b.(*noc.Message))
 }

@@ -26,6 +26,10 @@ type ClusterSpec struct {
 	// distances — inexpressible under the mirror emulation — emerge
 	// naturally.
 	Placement []int
+	// Faults, when non-nil and active, installs a deterministic fault plan
+	// on the interconnect (see fabric.FaultSpec). A nil or zero spec is a
+	// lossless fabric.
+	Faults *fabric.FaultSpec
 }
 
 // Cluster is N fully simulated nodes sharing one event engine, connected
@@ -98,8 +102,19 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		return nil, err
 	}
 	c.Inter = inter
+	if err := inter.SetFaults(spec.Faults); err != nil {
+		return nil, err
+	}
 	c.session = newSession(eng, c.watch, c.Nodes, inter)
 	return c, nil
+}
+
+// SetFaults installs (or, with a nil or inactive spec, clears) the
+// interconnect's fault plan between runs. The next Session.Begin rewinds
+// the plan's generator, so every run replays the spec's schedule from the
+// start.
+func (c *Cluster) SetFaults(spec *fabric.FaultSpec) error {
+	return c.Inter.SetFaults(spec)
 }
 
 // SetContext attaches ctx to the cluster. Subsequent runs poll it
@@ -365,6 +380,8 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 			Cycles:       c.Eng.Now() - start,
 			MeanLatency:  n.Stats.ReqLat.Mean(),
 			AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
+			Retries:      n.Stats.Retries,
+			Failed:       n.Stats.FailedOps,
 			AllExhausted: active == 0,
 			PerCore:      make([]CoreStats, 0, len(n.AppDrivers)),
 		}
@@ -393,6 +410,8 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 		res.PerNode[i] = nr
 		res.Aggregate.Completed += nr.Completed
 		res.Aggregate.AppBytes += nr.AppBytes
+		res.Aggregate.Retries += nr.Retries
+		res.Aggregate.Failed += nr.Failed
 		latSum += nr.MeanLatency * float64(n.Stats.ReqLat.Count())
 		latCount += n.Stats.ReqLat.Count()
 	}

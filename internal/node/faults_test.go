@@ -1,0 +1,228 @@
+package node
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+)
+
+// faultCfg is a reduced 2-node-friendly configuration with timeouts armed.
+// The timeout is short relative to the cycle budget so dropped blocks get
+// retransmitted (and recovered) well inside the run.
+func faultCfg() config.Config {
+	cfg := smokeClusterCfg()
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 400_000
+	return cfg
+}
+
+// dropSpec is the canonical probabilistic fault plan of these tests.
+func dropSpec(seed uint64) *fabric.FaultSpec {
+	return &fabric.FaultSpec{Seed: seed, DropProb: 0.02}
+}
+
+// faultScatter runs the canonical fault-recovery workload: each node's
+// core 0 issues 30 cross-node 512-byte reads at the peer while the fabric
+// drops 2% of messages.
+func faultScatter(t *testing.T, cl *Cluster) ClusterWorkloadResult {
+	t.Helper()
+	res, err := cl.RunApp(func(node, core int) cpu.App {
+		if core != 0 {
+			return nil
+		}
+		return &scatterApp{targets: []int{1 - node}, size: 512, total: 30}
+	}, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestClusterFaultRecovery: under 2% fabric drops with the timeout armed,
+// every request still completes — via retransmission, not luck — with
+// drops in the link ledger, retries in the node stats, and no permanent
+// failures.
+func TestClusterFaultRecovery(t *testing.T) {
+	cl, err := NewCluster(faultCfg(), ClusterSpec{Nodes: 2, Hops: 1, Faults: dropSpec(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := faultScatter(t, cl)
+	if res.Aggregate.Completed != 60 || res.Aggregate.Failed != 0 {
+		t.Fatalf("completed=%d failed=%d, want 60/0", res.Aggregate.Completed, res.Aggregate.Failed)
+	}
+	var drops, retries int64
+	for i := range cl.Nodes {
+		drops += cl.Inter.Counters[i].Drops
+		retries += cl.Nodes[i].Stats.Retries
+	}
+	if drops == 0 {
+		t.Fatal("2% drop plan dropped nothing")
+	}
+	if retries == 0 {
+		t.Fatal("drops occurred but no block was ever retransmitted")
+	}
+}
+
+// TestClusterFaultDeterminism: the fault schedule is part of the seeded
+// simulation — two fresh clusters with the same spec produce bit-identical
+// results and ledgers.
+func TestClusterFaultDeterminism(t *testing.T) {
+	run := func() (ClusterWorkloadResult, []fabric.LinkStats) {
+		cl, err := NewCluster(faultCfg(), ClusterSpec{Nodes: 2, Hops: 1, Faults: dropSpec(7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := faultScatter(t, cl)
+		counters := make([]fabric.LinkStats, len(cl.Nodes))
+		for i := range cl.Nodes {
+			counters[i] = cl.Inter.Counters[i]
+		}
+		return res, counters
+	}
+	r1, c1 := run()
+	r2, c2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("fault-injected runs diverged:\n%+v\nvs\n%+v", r1, r2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("fault ledgers diverged:\n%+v\nvs\n%+v", c1, c2)
+	}
+}
+
+// TestClusterFaultSessionReuse: a reused cluster — after an interleaved
+// cut-short run — replays a fault-injected run bit-identically to a fresh
+// cluster: Session.Begin rewinds the fault plan's RNG, the retriers'
+// generations, and every other piece of run state.
+func TestClusterFaultSessionReuse(t *testing.T) {
+	fresh, err := NewCluster(faultCfg(), ClusterSpec{Nodes: 2, Hops: 1, Faults: dropSpec(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := faultScatter(t, fresh)
+
+	reused, err := NewCluster(faultCfg(), ClusterSpec{Nodes: 2, Hops: 1, Faults: dropSpec(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the cluster first: a different run type under the same faults
+	// leaves retry/fault state behind that Begin must annihilate.
+	if _, err := reused.RunSyncLatency(512, 3); err != nil {
+		t.Fatal(err)
+	}
+	got := faultScatter(t, reused)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reused cluster diverged from fresh under faults:\n%+v\nvs\n%+v", want, got)
+	}
+}
+
+// TestClusterInertFaultSpecIsNoSpec: an all-zero FaultSpec must behave
+// exactly like no spec at all — same results, no plan armed.
+func TestClusterInertFaultSpecIsNoSpec(t *testing.T) {
+	cfg := smokeClusterCfg()
+	plain, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inert, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 1, Faults: &fabric.FaultSpec{Seed: 99}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inert.Inter.Faults() != nil {
+		t.Fatal("inert spec armed a fault plan")
+	}
+	r1, err := plain.RunBandwidth(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := inert.RunBandwidth(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("inert fault spec changed results:\n%+v\nvs\n%+v", r1, r2)
+	}
+}
+
+// TestClusterRejectsBadFaultSpec: spec validation runs at construction,
+// against the actual cluster geometry.
+func TestClusterRejectsBadFaultSpec(t *testing.T) {
+	_, err := NewCluster(smokeClusterCfg(), ClusterSpec{Nodes: 2, Hops: 1,
+		Faults: &fabric.FaultSpec{LinkDown: []fabric.Outage{{Src: 0, Dst: 5}}}})
+	if err == nil {
+		t.Fatal("outage beyond the cluster accepted")
+	}
+}
+
+// oneShotApp issues a single cross-node read and then waits forever — the
+// behavior of an app that doesn't handle permanent failure.
+type oneShotApp struct{ issued bool }
+
+func (a *oneShotApp) Step(coreID int, now int64, inflight int) cpu.Action {
+	if !a.issued {
+		a.issued = true
+		return cpu.Issue(cpu.Request{
+			Op:     0, // OpRead
+			Remote: fabric.GlobalAddr(1, SourceBase),
+			Local:  LocalBase,
+			Size:   64,
+		})
+	}
+	return cpu.Wait()
+}
+
+func (a *oneShotApp) OnComplete(int, cpu.Request, int64, int64) {}
+
+// TestClusterDeadLinkFailsLoudlyWithoutRetry: with retries disabled, a
+// request crossing a dead link comes back as a NACKed permanent failure —
+// and an app that keeps waiting for data that can never arrive trips the
+// zero-inflight deadlock detector, which names the failure count instead
+// of leaving the run to spin to its cycle cap.
+func TestClusterDeadLinkFailsLoudlyWithoutRetry(t *testing.T) {
+	cfg := smokeClusterCfg() // ReqTimeout 0: NACK path, no retries
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: 2, Hops: 1,
+		Faults: &fabric.FaultSpec{LinkDown: []fabric.Outage{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.RunApp(func(node, core int) cpu.App {
+		if node != 0 || core != 0 {
+			return nil
+		}
+		return &oneShotApp{}
+	}, 200_000)
+	if err == nil {
+		t.Fatal("waiting on a permanently failed request must error, not hang")
+	}
+	if !strings.Contains(err.Error(), "permanently failed") {
+		t.Fatalf("deadlock error does not name the failure: %v", err)
+	}
+	if cl.Nodes[0].Stats.FailedOps != 1 {
+		t.Fatalf("FailedOps=%d, want 1", cl.Nodes[0].Stats.FailedOps)
+	}
+}
+
+// TestClusterScenarioRetriesSurfaceInResult: workload aggregation carries
+// the retry and failure tallies through WorkloadResult into the cluster
+// aggregate.
+func TestClusterScenarioRetriesSurfaceInResult(t *testing.T) {
+	cl, err := NewCluster(faultCfg(), ClusterSpec{Nodes: 2, Hops: 1, Faults: dropSpec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := faultScatter(t, cl)
+	var want int64
+	for i := range cl.Nodes {
+		want += cl.Nodes[i].Stats.Retries
+	}
+	if res.Aggregate.Retries != want {
+		t.Fatalf("aggregate Retries=%d, node stats sum %d", res.Aggregate.Retries, want)
+	}
+	if res.Aggregate.Retries == 0 {
+		t.Fatal("2% drops with 30 requests per node never retried — fault plane inactive?")
+	}
+}

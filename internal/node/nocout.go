@@ -105,6 +105,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(i), id, int64(cfg.RGPUnifiedLat), dp)
 			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
 			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpB.OnFail(rcpB.FailRequest)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
 			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
 			for c := 0; c < tiles; c++ {
@@ -131,6 +132,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 			rgpB := rmc.NewRGPBackend(n.env, id, noc.NetID(col), id, int64(cfg.RGPUnifiedLat), dp)
 			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
 			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpB.OnFail(rcpB.FailRequest)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
 			rgpF.AddQP(n.QPs[t])
 			ep := eps[id]
@@ -162,6 +164,7 @@ func newNOCOut(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*
 					cqSender.dispatch(noc.VNResp, noc.ClassResponse,
 						noc.NodeID(r.Core), 1, rmc.KCQDispatch, r)
 				})
+			rgpB.OnFail(rcpB.FailRequest)
 			rrpp := rmc.NewRRPP(n.env, id, noc.NetID(i), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)

@@ -235,6 +235,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 				int64(cfg.RGPUnifiedLat), dp)
 			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
 			rcpB := rmc.NewRCPBackend(n.env, niID, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpB.OnFail(rcpB.FailRequest)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
 			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
 
@@ -262,6 +263,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 				int64(cfg.RGPUnifiedLat), dp)
 			rcpF := rmc.NewRCPFrontend(n.env, cache, 0, qpOf)
 			rcpB := rmc.NewRCPBackend(n.env, id, int64(cfg.RCPUnifiedLat), dp, rcpF.Complete)
+			rgpB.OnFail(rcpB.FailRequest)
 			rgpF := rmc.NewRGPFrontend(n.env, cache, 0, rgpB.Accept)
 			rgpF.AddQP(n.QPs[t])
 
@@ -296,6 +298,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 					cqSender.dispatch(noc.VNResp, noc.ClassResponse,
 						noc.NodeID(r.Core), 1, rmc.KCQDispatch, r)
 				})
+			rgpB.OnFail(rcpB.FailRequest)
 			rrpp := rmc.NewRRPP(n.env, niID, noc.NetID(row), dp)
 			n.RGPBackends = append(n.RGPBackends, rgpB)
 			n.RRPPs = append(n.RRPPs, rrpp)

@@ -241,6 +241,8 @@ type WorkloadResult struct {
 	P95          int64
 	P99          int64
 	AppBytes     int64 // RCP-written plus RRPP-sent payload bytes
+	Retries      int64 // block retransmissions (fault-injected runs)
+	Failed       int64 // requests retired as permanently failed
 	AllExhausted bool  // every driver finished its workload and drained
 	PerCore      []CoreStats
 }
@@ -290,6 +292,8 @@ func (n *Node) RunApp(factory func(core int) cpu.App, maxCycles int64) (Workload
 		Cycles:       n.Eng.Now() - start,
 		MeanLatency:  n.Stats.ReqLat.Mean(),
 		AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
+		Retries:      n.Stats.Retries,
+		Failed:       n.Stats.FailedOps,
 		AllExhausted: active == 0,
 		PerCore:      make([]CoreStats, 0, len(n.AppDrivers)),
 	}

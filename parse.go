@@ -151,6 +151,30 @@ func ParseNodeCounts(s string) ([]int, error) {
 	})
 }
 
+// ParseDropRates parses a comma-separated list of fabric drop
+// probabilities in [0, 1) ("0.001,0.01"); 0 means no fault injection.
+func ParseDropRates(s string) ([]float64, error) {
+	return parseList(s, func(tok string) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || v < 0 || v >= 1 {
+			return 0, fmt.Errorf("rackni: bad drop rate %q (want [0, 1))", tok)
+		}
+		return v, nil
+	})
+}
+
+// ParseWindows parses a comma-separated list of non-negative QP credit
+// windows ("1,4,16,0"); 0 means uncapped (WQ-depth bound only).
+func ParseWindows(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("rackni: bad QP window %q", tok)
+		}
+		return v, nil
+	})
+}
+
 // ParseSeeds parses a comma-separated list of simulation seeds ("1,2,3").
 func ParseSeeds(s string) ([]uint64, error) {
 	return parseList(s, func(tok string) (uint64, error) {

@@ -81,6 +81,11 @@ func QuickConfig() Config {
 	return cfg
 }
 
+// DefaultReqTimeout is the request timeout (engine cycles) sweeps arm when
+// a fault axis is enabled but Config.ReqTimeout was left at 0, so dropped
+// blocks recover by retransmission instead of failing permanently.
+const DefaultReqTimeout = config.DefaultReqTimeout
+
 // SyncResult is a latency run's outcome; Breakdown is its tomography.
 type SyncResult = node.SyncResult
 
@@ -206,8 +211,23 @@ func (n *Node) Config() *Config { return n.n.Cfg }
 // ClusterSpec sizes and places a multi-node cluster: the node count, plus
 // either a uniform pairwise hop distance (Hops; the paper's fixed-hop
 // rack model) or explicit coordinates on the rack's 3D torus (Placement;
-// real pairwise distances).
+// real pairwise distances). Its optional Faults field installs a
+// deterministic fault plan on the inter-node fabric.
 type ClusterSpec = node.ClusterSpec
+
+// FaultSpec declares a deterministic fault schedule for the inter-node
+// fabric: seeded per-leg drop/delay/corrupt probabilities plus scheduled
+// link and node outages, all in engine cycles. Identical specs perturb
+// identical runs identically — no wall-clock randomness anywhere.
+type FaultSpec = fabric.FaultSpec
+
+// LinkOutage takes one directed inter-node link down for [From, Until)
+// engine cycles (Until <= 0 = forever).
+type LinkOutage = fabric.Outage
+
+// NodeOutage takes a whole node off the fabric for [From, Until) engine
+// cycles (Until <= 0 = forever).
+type NodeOutage = fabric.NodeOutage
 
 // ClusterSyncResult is a cluster latency run's outcome (per node plus
 // cross-node aggregate).
@@ -268,6 +288,12 @@ func (c *Cluster) Interconnect() *fabric.Interconnect { return c.c.Inter }
 // abort with its error once cancelled. Exactly one watchdog serves the
 // whole cluster.
 func (c *Cluster) SetContext(ctx context.Context) { c.c.SetContext(ctx) }
+
+// SetFaults installs (or, with a nil or inactive spec, clears) a
+// deterministic fault plan on the inter-node fabric between runs. Arm
+// Config.ReqTimeout to recover dropped blocks by retransmission; without
+// it, drops surface as permanently failed requests.
+func (c *Cluster) SetFaults(spec *FaultSpec) error { return c.c.SetFaults(spec) }
 
 // RunSyncLatency runs the §5 latency microbenchmark on every node
 // simultaneously: one core per node issues synchronous remote reads of

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"rackni/internal/fabric"
 )
 
 // Mode selects which §5 microbenchmark one sweep point runs.
@@ -69,6 +71,14 @@ type Point struct {
 	// paper's 512-node rack geometry) instead of the uniform fixed-hop
 	// model. Requires Nodes ≤ TorusRadix³; single-node points ignore it.
 	TorusPlacement bool
+	// Faults, when > 0, drops each inter-node fabric leg with this
+	// probability (deterministic, seeded from Config.Seed). Requires a
+	// multi-node point; if Config.ReqTimeout is unarmed the point arms it
+	// with DefaultReqTimeout so drops recover by retransmission.
+	Faults float64
+	// Window, when > 0, caps each QP's in-flight requests at this credit
+	// window (Config.QPWindow); 0 keeps the WQ-depth-only bound.
+	Window int
 }
 
 // nodeCount normalizes the point's node count (0 means single-node).
@@ -99,6 +109,12 @@ func (p Point) label() string {
 			l += "-torus"
 		}
 	}
+	if p.Faults > 0 {
+		l += fmt.Sprintf("/drop%g", p.Faults)
+	}
+	if p.Window > 0 {
+		l += fmt.Sprintf("/win%d", p.Window)
+	}
 	return l
 }
 
@@ -107,13 +123,14 @@ func (p Point) label() string {
 // Axis setters return the sweep for chaining; an axis left unset
 // contributes a single value taken from the base configuration (and for
 // axes with no Config field: Latency mode, the block size, DefaultHops,
-// the central measurement core, and one node). Points enumerate in a fixed
-// nesting order — Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ run
-// kinds (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis
-// outermost — so a sweep's point list is deterministic and stable across
-// runs. Workload points pin the Size and Core axes to 0 (the scenario
-// defines both), contributing one point per
-// design/topology/routing/hops/nodes/seed combination.
+// the central measurement core, one node, no faults, and an uncapped
+// window). Points enumerate in a fixed nesting order — Designs ▸
+// Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ Faults ▸ Windows ▸ run kinds
+// (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis outermost —
+// so a sweep's point list is deterministic and stable across runs.
+// Workload points pin the Size and Core axes to 0 (the scenario defines
+// both), contributing one point per
+// design/topology/routing/hops/nodes/faults/window/seed combination.
 type Sweep struct {
 	base        Config
 	designs     []Design
@@ -126,6 +143,8 @@ type Sweep struct {
 	seeds       []uint64
 	cores       []int
 	nodes       []int
+	faults      []float64
+	windows     []int
 	torusPlaced bool
 }
 
@@ -198,6 +217,25 @@ func (s *Sweep) Nodes(nodes ...int) *Sweep {
 	return s
 }
 
+// Faults sets the fabric drop-rate axis: each rate > 0 drops every
+// inter-node leg with that probability (deterministic, seeded from the
+// point's Config.Seed). Faulty points require a multi-node (Cluster) node
+// count; rate 0 contributes a fault-free point. When the base Config
+// leaves ReqTimeout unarmed, faulty points arm it with DefaultReqTimeout
+// so drops recover by retransmission.
+func (s *Sweep) Faults(rates ...float64) *Sweep {
+	s.faults = append(s.faults[:0], rates...)
+	return s
+}
+
+// Windows sets the per-QP credit-window axis (Config.QPWindow): each
+// window > 0 caps a QP's in-flight requests at that many; 0 keeps the
+// WQ-depth-only bound.
+func (s *Sweep) Windows(windows ...int) *Sweep {
+	s.windows = append(s.windows[:0], windows...)
+	return s
+}
+
 // TorusPlacement makes every multi-node point place its nodes at real
 // coordinates of the rack's 3D torus (identity placement, pairwise
 // distances from Torus3D) instead of the uniform fixed-hop model — the
@@ -258,8 +296,17 @@ func (s *Sweep) Points() []Point {
 	if len(nodes) == 0 {
 		nodes = []int{1}
 	}
+	faults := s.faults
+	if len(faults) == 0 {
+		faults = []float64{0}
+	}
+	windows := s.windows
+	if len(windows) == 0 {
+		windows = []int{s.base.QPWindow}
+	}
 	pts := make([]Point, 0,
-		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*len(kinds)*len(sizes)*len(seeds)*len(cores))
+		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*
+			len(faults)*len(windows)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
 			for _, rt := range routings {
@@ -274,23 +321,28 @@ func (s *Sweep) Points() []Point {
 						if nn < 1 {
 							nn = 1
 						}
-						for _, k := range kinds {
-							// Scenario points don't span the Size and Core axes
-							// (the scenario defines its sizes and participating
-							// cores), so they collapse to one point per
-							// design/topology/routing/hops/seed combination.
-							szs, crs := sizes, cores
-							if k.mode == WorkloadMode {
-								szs, crs = []int{0}, []int{0}
-							}
-							for _, sz := range szs {
-								for _, sd := range seeds {
-									for _, c := range crs {
-										cfg := s.base
-										cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-										pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-											Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
-											TorusPlacement: s.torusPlaced && nn > 1})
+						for _, fr := range faults {
+							for _, win := range windows {
+								for _, k := range kinds {
+									// Scenario points don't span the Size and Core axes
+									// (the scenario defines its sizes and participating
+									// cores), so they collapse to one point per
+									// design/topology/routing/hops/seed combination.
+									szs, crs := sizes, cores
+									if k.mode == WorkloadMode {
+										szs, crs = []int{0}, []int{0}
+									}
+									for _, sz := range szs {
+										for _, sd := range seeds {
+											for _, c := range crs {
+												cfg := s.base
+												cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+												pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+													Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+													TorusPlacement: s.torusPlaced && nn > 1,
+													Faults:         fr, Window: win})
+											}
+										}
 									}
 								}
 							}
@@ -443,6 +495,102 @@ func (r *Runner) Run(points []Point) (Results, error) {
 	return res, nil
 }
 
+// check validates the point's fault/window knobs against the rest of its
+// shape; it is the per-point core of CheckSweepPoints.
+func (p Point) check() error {
+	switch {
+	case p.Faults < 0 || p.Faults >= 1:
+		return fmt.Errorf("rackni: drop rate %g out of range [0, 1)", p.Faults)
+	case p.Faults > 0 && p.nodeCount() <= 1:
+		return fmt.Errorf("rackni: fault injection (drop rate %g) requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node fabric to fault", p.Faults)
+	case p.Window < 0:
+		return fmt.Errorf("rackni: negative QP window %d", p.Window)
+	}
+	return nil
+}
+
+// materialize resolves the point's fault/window knobs into the Config the
+// run will use: Window > 0 caps QPWindow, and a faulty point with no
+// configured request timeout arms DefaultReqTimeout so drops recover by
+// retransmission.
+func (p Point) materialize() (Config, error) {
+	if err := p.check(); err != nil {
+		return p.Config, err
+	}
+	cfg := p.Config
+	if p.Window > 0 {
+		cfg.QPWindow = p.Window
+	}
+	if p.Faults > 0 && cfg.ReqTimeout == 0 {
+		cfg.ReqTimeout = DefaultReqTimeout
+	}
+	return cfg, nil
+}
+
+// faultSpec builds the point's deterministic fault plan (nil when the
+// point is fault-free). The plan's RNG is seeded from the point's
+// simulation seed, so the fault schedule — like everything else about a
+// point — is a pure function of the point.
+func (p Point) faultSpec() *FaultSpec {
+	if p.Faults <= 0 {
+		return nil
+	}
+	return &FaultSpec{Seed: p.Config.Seed, DropProb: p.Faults}
+}
+
+// CheckSweepPoints validates a point list up front — fault/window knob
+// ranges, torus capacity, node counts, core and size bounds, scenario
+// names — returning the first problem with its point's index and label.
+// Runners applying the points would surface the same errors, but only
+// after every earlier point had simulated; front-loading the check lets
+// CLIs reject a bad flag combination before burning minutes of work.
+func CheckSweepPoints(pts []Point) error {
+	for i, p := range pts {
+		if err := p.checkShape(); err != nil {
+			return fmt.Errorf("point %d (%s): %w", i, p.label(), err)
+		}
+	}
+	return nil
+}
+
+// checkShape is the full up-front validation of one point: the fault and
+// window knobs plus the structural checks NewNode/NewClusterSpec and the
+// run entry points would otherwise only raise mid-sweep.
+func (p Point) checkShape() error {
+	if err := p.check(); err != nil {
+		return err
+	}
+	cfg := p.Config
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if p.Hops < 0 {
+		return fmt.Errorf("rackni: negative hop count %d", p.Hops)
+	}
+	if p.Nodes > fabric.MaxNodes {
+		return fmt.Errorf("rackni: %d nodes exceeds the %d-node addressing limit", p.Nodes, fabric.MaxNodes)
+	}
+	if p.TorusPlacement {
+		if cube := cfg.TorusRadix * cfg.TorusRadix * cfg.TorusRadix; p.nodeCount() > cube {
+			return fmt.Errorf("rackni: %d nodes exceed the %d-node torus (radix %d)",
+				p.nodeCount(), cube, cfg.TorusRadix)
+		}
+	}
+	switch p.Mode {
+	case Latency:
+		if p.Core < 0 || p.Core >= cfg.Tiles() {
+			return fmt.Errorf("rackni: core %d out of range [0, %d)", p.Core, cfg.Tiles())
+		}
+		return checkSize(&cfg, p.Size)
+	case Bandwidth:
+		return checkSize(&cfg, p.Size)
+	case WorkloadMode:
+		_, err := ParseScenario(p.Scenario)
+		return err
+	}
+	return fmt.Errorf("rackni: unknown mode %v", p.Mode)
+}
+
 // runPoint executes one point: builds its node (or, for Nodes > 1, its
 // cluster), attaches the context, and runs the point's microbenchmark.
 func runPoint(ctx context.Context, p Point) Result {
@@ -459,7 +607,13 @@ func runPoint(ctx context.Context, p Point) Result {
 		out.Wall = time.Since(t0)
 		return out
 	}
-	n, err := NewNode(p.Config, p.Hops)
+	cfg, err := p.materialize()
+	if err != nil {
+		out.Err = err
+		out.Wall = time.Since(t0)
+		return out
+	}
+	n, err := NewNode(cfg, p.Hops)
 	if err != nil {
 		out.Err = err
 		out.Wall = time.Since(t0)
@@ -509,14 +663,19 @@ func runPoint(ctx context.Context, p Point) Result {
 // runClusterPoint executes a multi-node point on a real Cluster,
 // reporting the cross-node aggregate.
 func runClusterPoint(ctx context.Context, p Point, out *Result) {
-	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops}
+	cfg, err := p.materialize()
+	if err != nil {
+		out.Err = err
+		return
+	}
+	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops, Faults: p.faultSpec()}
 	if p.TorusPlacement {
 		spec.Placement = make([]int, spec.Nodes)
 		for i := range spec.Placement {
 			spec.Placement[i] = i
 		}
 	}
-	c, err := NewClusterSpec(p.Config, spec)
+	c, err := NewClusterSpec(cfg, spec)
 	if err != nil {
 		out.Err = err
 		return
@@ -566,27 +725,49 @@ func (rs Results) hasMultiNode() bool {
 	return false
 }
 
+// hasFaults reports whether any point of the set injects faults or caps
+// the QP credit window. Renderers add the drop/window columns only then,
+// so fault-free result sets stay byte-identical to their pre-fault form.
+func (rs Results) hasFaults() bool {
+	for _, r := range rs {
+		if r.Point.Faults > 0 || r.Point.Window > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the results as an aligned table, one row per point.
 // Workload points report ops, mean and tail percentiles; skipped points
 // render as "-"; failed points show their error. A nodes column appears
-// when the set contains multi-node (Cluster) points.
+// when the set contains multi-node (Cluster) points, and drop/window
+// columns when any point injects faults or caps the QP window (workload
+// rows then also report their retry and permanent-failure counts).
 func (rs Results) Format() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	faulty := rs.hasFaults()
 	nodesHdr, nodesFmt := "", ""
 	if multi {
 		nodesHdr = fmt.Sprintf(" %5s", "nodes")
 	}
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+"  %s\n",
+	faultHdr, faultFmt := "", ""
+	if faulty {
+		faultHdr = fmt.Sprintf(" %6s %4s", "drop", "win")
+	}
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
 		if multi {
 			nodesFmt = fmt.Sprintf(" %5d", p.nodeCount())
 		}
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s  ",
+		if faulty {
+			faultFmt = fmt.Sprintf(" %6g %4d", p.Faults, p.Window)
+		}
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -596,9 +777,13 @@ func (rs Results) Format() string {
 			fmt.Fprintf(&b, "app %.1f GB/s (NOC %.1f, bisection %.1f, stable=%v)\n",
 				r.BW.AppGBps, r.BW.NOCGBps, r.BW.BisectionGBps, r.BW.Stable)
 		case r.WL != nil:
-			fmt.Fprintf(&b, "%d ops, mean %.0f cyc, p50/p95/p99 %d/%d/%d, drained=%v\n",
+			fmt.Fprintf(&b, "%d ops, mean %.0f cyc, p50/p95/p99 %d/%d/%d, drained=%v",
 				r.WL.Completed, r.WL.MeanLatency, r.WL.P50, r.WL.P95, r.WL.P99,
 				r.WL.AllExhausted)
+			if faulty {
+				fmt.Fprintf(&b, ", retries=%d, failed=%d", r.WL.Retries, r.WL.Failed)
+			}
+			b.WriteString("\n")
 		default:
 			fmt.Fprintf(&b, "-\n")
 		}
@@ -610,15 +795,22 @@ func (rs Results) Format() string {
 // Metric columns not applicable to a point's mode are left empty. The CSV
 // carries simulation results only (no wall-clock timing), so it is
 // deterministic: identical runs — serial or parallel — diff clean. A
-// nodes column follows seed when the set contains multi-node points.
+// nodes column follows seed when the set contains multi-node points, and
+// drop_rate/window columns follow it when any point injects faults or
+// caps the QP window.
 func (rs Results) CSV() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	faulty := rs.hasFaults()
 	nodesHdr := ""
 	if multi {
 		nodesHdr = "nodes,"
 	}
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr +
+	faultHdr := ""
+	if faulty {
+		faultHdr = "drop_rate,window,"
+	}
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
 		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained,error\n")
 	for _, r := range rs {
@@ -627,9 +819,13 @@ func (rs Results) CSV() string {
 		if multi {
 			nodesCol = fmt.Sprintf("%d,", p.nodeCount())
 		}
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s",
+		faultCol := ""
+		if faulty {
+			faultCol = fmt.Sprintf("%g,%d,", p.Faults, p.Window)
+		}
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -664,6 +860,8 @@ type resultJSON struct {
 	Seed      uint64          `json:"seed"`
 	Nodes     int             `json:"nodes,omitempty"`     // > 1: a real Cluster ran this point
 	Placement string          `json:"placement,omitempty"` // "torus": real 3D-torus coordinates
+	DropRate  float64         `json:"drop_rate,omitempty"` // > 0: fabric fault injection was active
+	Window    int             `json:"window,omitempty"`    // > 0: QP credit window cap
 	Latency   *SyncResult     `json:"latency,omitempty"`
 	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
 	Workload  *WorkloadResult `json:"workload,omitempty"`
@@ -702,6 +900,8 @@ func (rs Results) JSON() ([]byte, error) {
 				out[i].Placement = "torus"
 			}
 		}
+		out[i].DropRate = p.Faults
+		out[i].Window = p.Window
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()
 		}
