@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded (fault-plane studies beyond the paper, not part of all)")
+	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded|incast (fault- and congestion-plane studies beyond the paper, not part of all)")
 	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -43,9 +43,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded":
+	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded", "incast":
 	default:
-		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded)", *exp)
+		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded|incast)", *exp)
 	}
 
 	cfg := rackni.DefaultConfig()
@@ -155,6 +155,20 @@ func main() {
 			return wrap(rackni.RunDegradedMode(clusterStudyCfg(cfg), *nodes, "kv", nil, true))
 		})
 	}
+	if *exp == "incast" {
+		// The hot-spot study needs torus geometry with path diversity (≥ 2
+		// dimensions, so ≥ 16 nodes of the 8x8x8 rack) for adaptive routing
+		// to have anywhere to spread; default there unless -nodes was given.
+		n := *nodes
+		if !explicitFlag("nodes") {
+			n = 16
+		}
+		run(fmt.Sprintf("Incast hot-spot: goodput and victim tail vs fan-in (%d nodes, dor vs adaptive)", n), func() (fmt.Stringer, error) {
+			icfg := clusterStudyCfg(cfg)
+			icfg.MaxCycles = 2_000_000 // saturated high-fan-in runs must still drain
+			return wrap(rackni.RunIncast(icfg, n, nil, nil))
+		})
+	}
 	if *jsonOut {
 		blob, err := json.MarshalIndent(jsonRecords, "", "  ")
 		if err != nil {
@@ -162,6 +176,17 @@ func main() {
 		}
 		fmt.Printf("%s\n", blob)
 	}
+}
+
+// explicitFlag reports whether the named flag was set on the command line.
+func explicitFlag(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // clusterStudyCfg shrinks the per-node chip for the multi-node fault-plane

@@ -18,6 +18,7 @@
 //	racksim -nodes 512 -placement torus -mode bandwidth -size 1024 -quick -timeout 10m   # the paper's full rack
 //	racksim -nodes 8 -workload kv -drop 0.01 -quick       # 1% fabric drops, recovered by retry
 //	racksim -nodes 4 -mode bandwidth -size 4096 -window 1,4,16,0 -quick   # credit-window overload sweep
+//	racksim -nodes 16 -workload incast -fabricrouting dor,adaptive -quick  # link-level congestion, routing comparison
 package main
 
 import (
@@ -47,6 +48,7 @@ func main() {
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	drop := flag.String("drop", "0", "fabric drop rate(s) in [0,1), comma-separated; > 0 needs -nodes > 1 and arms the request timeout so drops recover by retry")
 	window := flag.String("window", "0", "QP credit window(s), comma-separated; 0 = uncapped (WQ-depth bound only)")
+	fabricRouting := flag.String("fabricrouting", "off", "inter-node fabric routing(s): off|dor|adaptive, comma-separated; dor/adaptive route hop-by-hop through per-link credit queues (congestion model, needs -nodes > 1)")
 	quick := flag.Bool("quick", false, "short stabilization windows")
 	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
 	jsonOut := flag.Bool("json", false, "emit JSON results")
@@ -129,6 +131,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	fabricRoutings, err := rackni.ParseFabricRoutings(*fabricRouting)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	torusPlaced := false
 	switch *placement {
@@ -151,6 +157,7 @@ func main() {
 		TorusPlacement(torusPlaced).
 		Faults(drops...).
 		Windows(windows...).
+		FabricRoutings(fabricRoutings...).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()

@@ -1,0 +1,403 @@
+// Tests for the link-level congestion fabric: per-link conservation
+// invariants, zero-load equivalence with the lump-sum fast path, renderer
+// gating for the FabricRoutings axis, and the incast study's headline
+// trends (goodput saturation, victim tail inflation, adaptive relief).
+package rackni
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// congestTestCfg is the reduced chip the congestion tests run multi-node
+// clusters with: small mesh, fixed cycle budget big enough that saturated
+// incast runs still drain.
+func congestTestCfg() Config {
+	cfg := quickClusterCfg()
+	cfg.MeshWidth = 4
+	cfg.MeshHeight = 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0
+	cfg.WindowCycles = 20_000
+	cfg.MaxCycles = 2_000_000
+	return cfg
+}
+
+// TestCongestionZeroLoadMatchesLumpSum: cut-through semantics mean an
+// unloaded hop costs exactly NetHopCycles, so a single window-1
+// single-block flow — which can never contend with itself, even at a
+// serializer — must time out bit-identically on the congested fabric and
+// the lump-sum dense-table fast path. (Multi-block requests differ by
+// design: the lump-sum fabric has infinite inter-node bandwidth, the
+// serializer does not.)
+func TestCongestionZeroLoadMatchesLumpSum(t *testing.T) {
+	cfg := congestTestCfg()
+	cfg.TorusRadix = 2 // 8-node torus; node 7 is 3 hops from node 0
+	const nodes = 8
+	app := func(nodeIdx, core int) App {
+		if nodeIdx != 7 || core != 0 {
+			return nil
+		}
+		return TargetRemote(NewMixedUpdate(1, 32, 64, 1<<12, 0, 7), 0)
+	}
+	identity := make([]int, nodes)
+	for i := range identity {
+		identity[i] = i
+	}
+	lump, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, Placement: identity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lump.RunApp(app, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Aggregate.AllExhausted || want.Aggregate.Completed != 32 {
+		t.Fatalf("lump-sum run: %d ops, drained=%v", want.Aggregate.Completed, want.Aggregate.AllExhausted)
+	}
+	for _, rp := range []RoutePolicy{RouteDOR, RouteAdaptive} {
+		cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, FabricRouting: rp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.RunApp(app, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: zero-load congested run differs from lump-sum:\ngot  %+v\nwant %+v",
+				rp, got.Aggregate, want.Aggregate)
+		}
+	}
+}
+
+// TestLinkConservationInvariants: after a drained fault-free congested
+// run, every credit granted must have been returned (zero residual
+// occupancy), occupancy high-waters must respect the credit pool, the
+// per-node queued/blocked ledgers must sum to the per-link ones, and —
+// because both policies route minimally — total link grants must equal
+// the nominal hop charge (HopCycles / NetHopCycles).
+func TestLinkConservationInvariants(t *testing.T) {
+	cfg := congestTestCfg()
+	sc, err := ParseScenario("incast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rp := range []RoutePolicy{RouteDOR, RouteAdaptive} {
+		cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: 16, FabricRouting: rp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.RunScenario(sc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Aggregate.AllExhausted {
+			t.Fatalf("%v: incast run did not drain within %d cycles", rp, cfg.MaxCycles)
+		}
+		checkLinkConservation(t, cl, cfg, 16, rp)
+	}
+}
+
+// checkLinkConservation asserts the post-run link-ledger invariants on a
+// drained fault-free congested cluster: every credit granted was returned,
+// occupancy high-waters respect the credit pool, per-node queued/blocked
+// ledgers sum to the per-link ones, and — because both policies route
+// minimally — total grants equal the nominal hop charge.
+func checkLinkConservation(t *testing.T, cl *Cluster, cfg Config, nodes int, rp RoutePolicy) {
+	t.Helper()
+	inter := cl.Interconnect()
+	ledgers := inter.LinkLedgers()
+	if len(ledgers) == 0 {
+		t.Fatalf("%v: congested run recorded no link activity", rp)
+	}
+	var granted, queued, blocked int64
+	for _, l := range ledgers {
+		if l.Granted != l.Returned {
+			t.Errorf("%v: link (%d dim %d dir %+d): %d granted, %d returned — residual occupancy",
+				rp, l.Coord, l.Dim, l.Dir, l.Granted, l.Returned)
+		}
+		if l.OccupancyHW < 1 || int(l.OccupancyHW) > DefaultConfig().LinkCredits {
+			t.Errorf("%v: link (%d dim %d dir %+d): occupancy high-water %d outside [1, %d]",
+				rp, l.Coord, l.Dim, l.Dir, l.OccupancyHW, DefaultConfig().LinkCredits)
+		}
+		granted += l.Granted
+		queued += l.QueuedCycles
+		blocked += l.BlockedCycles
+	}
+	var hopCharge, nodeQueued, nodeBlocked int64
+	for i := 0; i < nodes; i++ {
+		hopCharge += inter.Counters[i].HopCycles
+		nodeQueued += inter.Counters[i].FabricQueued
+		nodeBlocked += inter.Counters[i].FabricBlocked
+	}
+	if hop := cfg.NetHopCycles(); granted*hop != hopCharge {
+		t.Errorf("%v: %d link grants x %d cycles/hop = %d, but nominal hop charge is %d — a non-minimal path",
+			rp, granted, hop, granted*hop, hopCharge)
+	}
+	if nodeQueued != queued || nodeBlocked != blocked {
+		t.Errorf("%v: per-node queued/blocked (%d/%d) disagree with per-link (%d/%d)",
+			rp, nodeQueued, nodeBlocked, queued, blocked)
+	}
+	if blocked == 0 && queued == 0 {
+		t.Errorf("%v: run produced no congestion at all", rp)
+	}
+}
+
+// TestCongestion64NodeConservation: the conservation invariants and
+// adaptive-routing determinism hold at rack scale — a 64-node torus
+// section runs the kv scenario's uniform Zipf traffic over the adaptive
+// congested fabric, then repeats the run on the same (session-reused)
+// cluster and must reproduce every result field and link ledger bit for
+// bit. Skipped in -short; the CI congestion-smoke job runs it explicitly.
+func TestCongestion64NodeConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node congested rack")
+	}
+	cfg := congestTestCfg()
+	sc, err := ParseScenario("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: 64, FabricRouting: RouteAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.RunScenario(sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregate.AllExhausted {
+		t.Fatalf("64-node kv run did not drain within %d cycles", cfg.MaxCycles)
+	}
+	checkLinkConservation(t, cl, cfg, 64, RouteAdaptive)
+	ledgers := cl.Interconnect().LinkLedgers()
+
+	again, err := cl.RunScenario(sc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, res) {
+		t.Errorf("reused 64-node congested cluster diverged from its first run")
+	}
+	if !reflect.DeepEqual(cl.Interconnect().LinkLedgers(), ledgers) {
+		t.Errorf("reused 64-node congested cluster reproduced different link ledgers")
+	}
+}
+
+// TestCongestionRepeatDeterminism: two fresh clusters running the same
+// congested scenario must agree on every result field and every link
+// ledger — the congestion model is a pure function of the point.
+func TestCongestionRepeatDeterminism(t *testing.T) {
+	cfg := congestTestCfg()
+	sc, err := ParseScenario("incast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (ClusterWorkloadResult, []LinkLedger) {
+		cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: 8, FabricRouting: RouteAdaptive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := cl.RunScenario(sc, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, cl.Interconnect().LinkLedgers()
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("results differ between identical congested runs")
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Errorf("link ledgers differ between identical congested runs")
+	}
+}
+
+// TestCongestedSweepParallelMatchesSerial: congested points are
+// independent simulations like any other, so a sweep spanning the
+// FabricRoutings axis must render byte-identically serially and on a
+// worker pool. Wired into the CI race job alongside the cluster sweep.
+func TestCongestedSweepParallelMatchesSerial(t *testing.T) {
+	sweep := NewSweep(congestTestCfg()).
+		Designs(NISplit).
+		Workloads("incast").
+		Nodes(8).
+		FabricRoutings(RouteDOR, RouteAdaptive)
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Format() != par.Format() {
+		t.Fatalf("Format differs:\nserial:\n%s\nparallel:\n%s", serial.Format(), par.Format())
+	}
+	if serial.CSV() != par.CSV() {
+		t.Fatalf("CSV differs:\nserial:\n%s\nparallel:\n%s", serial.CSV(), par.CSV())
+	}
+}
+
+// TestFabricAxisRenderers: the fabric column appears exactly when a
+// result set contains congested points, keeping uncongested output
+// byte-identical to its pre-congestion form.
+func TestFabricAxisRenderers(t *testing.T) {
+	clean, err := NewSweep(quickClusterCfg()).Designs(NISplit).Modes(Latency).Sizes(64).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean.Format(), "fabric") || strings.Contains(clean.CSV(), "fabric_routing") {
+		t.Fatalf("uncongested result set grew a fabric column:\n%s\n%s", clean.Format(), clean.CSV())
+	}
+	blob, err := clean.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), `"fabric_routing"`) {
+		t.Fatalf("uncongested JSON carries a fabric field:\n%s", blob)
+	}
+
+	congested, err := NewSweep(congestTestCfg()).
+		Designs(NISplit).Modes(Latency).Sizes(64).Cores(0).Nodes(2).
+		FabricRoutings(RouteDOR).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(congested.Format(), "fabric") || !strings.Contains(congested.Format(), "dor") {
+		t.Fatalf("congested result set missing its fabric column:\n%s", congested.Format())
+	}
+	if !strings.Contains(congested.CSV(), "fabric_routing,") || !strings.Contains(congested.CSV(), "dor,") {
+		t.Fatalf("congested CSV missing its fabric column:\n%s", congested.CSV())
+	}
+	blob, err = congested.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(blob), `"fabric_routing": "dor"`) {
+		t.Fatalf("congested JSON missing fabric_routing:\n%s", blob)
+	}
+}
+
+// TestParseFabricRoutings: the CLI vocabulary round-trips, unknown names
+// fail loudly.
+func TestParseFabricRoutings(t *testing.T) {
+	got, err := ParseFabricRoutings("off, DOR ,adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []RoutePolicy{RouteNone, RouteDOR, RouteAdaptive}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseFabricRoutings = %v, want %v", got, want)
+	}
+	if _, err := ParseFabricRoutings("dor,minimal"); err == nil ||
+		!strings.Contains(err.Error(), "minimal") {
+		t.Fatalf("bad routing name not rejected: %v", err)
+	}
+}
+
+// TestCheckSweepPointsFabric: bad fabric-axis combinations are rejected up
+// front, named by point.
+func TestCheckSweepPointsFabric(t *testing.T) {
+	cfg := congestTestCfg()
+	single := NewSweep(cfg).Designs(NISplit).Modes(Latency).Sizes(64).
+		FabricRoutings(RouteDOR).Points()
+	err := CheckSweepPoints(single)
+	if err == nil || !strings.Contains(err.Error(), "point 0") ||
+		!strings.Contains(err.Error(), "multi-node") {
+		t.Fatalf("single-node congested point not rejected: %v", err)
+	}
+	big := cfg
+	big.TorusRadix = 2 // 8-node torus
+	overflow := NewSweep(big).Designs(NISplit).Modes(Latency).Sizes(64).
+		Nodes(9).FabricRoutings(RouteAdaptive).Points()
+	err = CheckSweepPoints(overflow)
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("over-capacity congested point not rejected: %v", err)
+	}
+}
+
+// TestIncastSmoke: the smallest legal incast study (4 nodes, fan-in 1,
+// one routing) runs end to end in short mode — the study drains, records
+// a hot link, and renders; malformed geometries are rejected up front.
+func TestIncastSmoke(t *testing.T) {
+	if _, err := RunIncast(congestTestCfg(), 3, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "at least 4 nodes") {
+		t.Fatalf("3-node incast not rejected: %v", err)
+	}
+	if _, err := RunIncast(congestTestCfg(), 4, []int{3}, nil); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("fan-in 3 on 4 nodes not rejected: %v", err)
+	}
+	res, err := RunIncast(congestTestCfg(), 4, []int{1}, []RoutePolicy{RouteDOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("got %d points, want 1", len(res.Points))
+	}
+	p := res.Points[0]
+	if !p.Drained || p.Completed == 0 || p.ServedGBps <= 0 {
+		t.Fatalf("smoke point did not run to completion: %+v", p)
+	}
+	if p.HotLink == "" || p.HotQueued+p.HotBlocked == 0 {
+		t.Fatalf("smoke point recorded no hot link: %+v", p)
+	}
+	out := res.Format()
+	for _, want := range []string{"fan-in", "dor", "victim p99", p.HotLink} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestIncastStudyTrends is the headline acceptance property: as fan-in
+// grows the hot node's goodput saturates (per-flow goodput collapses) and
+// the victim flow's p99 inflates under DOR; adaptive routing relieves the
+// victim at the same fan-in. Skipped in -short; the CI congestion-smoke
+// job runs it explicitly.
+func TestIncastStudyTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run incast study")
+	}
+	res, err := RunIncast(congestTestCfg(), 16, []int{1, 8}, []RoutePolicy{RouteDOR, RouteAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := map[string]IncastPoint{}
+	for _, p := range res.Points {
+		if !p.Drained {
+			t.Fatalf("%v fan-in %d did not drain", p.Routing, p.FanIn)
+		}
+		pts[p.Routing.String()+"/"+string(rune('0'+p.FanIn))] = p
+	}
+	dor1, dor8 := pts["dor/1"], pts["dor/8"]
+	ada8 := pts["adaptive/8"]
+	// Goodput saturation: the hot node serves 8 flows at well under 8x the
+	// single-flow rate (per-flow goodput collapse).
+	if dor8.ServedGBps >= 4*dor1.ServedGBps {
+		t.Errorf("no goodput saturation: fan-in 8 served %.2f GB/s vs fan-in 1 %.2f",
+			dor8.ServedGBps, dor1.ServedGBps)
+	}
+	// Victim tail inflation under DOR.
+	if dor8.VictimP99 <= dor1.VictimP99 {
+		t.Errorf("victim p99 did not inflate with fan-in: %d (fan-in 8) <= %d (fan-in 1)",
+			dor8.VictimP99, dor1.VictimP99)
+	}
+	// Adaptive relief: at the same fan-in the victim's tail shrinks and
+	// served goodput does not regress.
+	if ada8.VictimP99 >= dor8.VictimP99 {
+		t.Errorf("adaptive did not relieve the victim: p99 %d (adaptive) >= %d (dor)",
+			ada8.VictimP99, dor8.VictimP99)
+	}
+	if ada8.ServedGBps < dor8.ServedGBps {
+		t.Errorf("adaptive regressed goodput: %.2f < %.2f GB/s", ada8.ServedGBps, dor8.ServedGBps)
+	}
+	// Congestion left its fingerprints: the hot link blocked for real time.
+	if dor8.HotBlocked == 0 || dor8.HotLink == "" {
+		t.Errorf("fan-in 8 recorded no hot link blocking: %+v", dor8)
+	}
+}

@@ -1,0 +1,161 @@
+// The incast/hot-spot study: the congestion experiment the lump-sum fabric
+// cannot express. M aggressor nodes hammer one server node with windowed
+// remote reads while a victim flow crosses the congested region; with the
+// link-level fabric enabled, goodput collapse at the hot node and victim
+// tail inflation emerge from per-link occupancy instead of being scripted.
+// Like faultexp.go, this is a reusable entry point with a Format renderer,
+// consumed by cmd/rackbench (-exp incast) and the README table.
+package rackni
+
+import (
+	"fmt"
+	"strings"
+
+	"rackni/internal/stats"
+)
+
+// Aggressor and victim flow parameters. The aggressors use the incast
+// library scenario's shape (window-4 256B reads); the victim is a
+// single-core window-1 64B read loop from the far corner of the rack to
+// node 1, so its packets cross links the aggressor flows load without the
+// victim itself contributing meaningful load.
+const (
+	incastAggressorWindow = 4
+	incastAggressorOps    = 256
+	incastAggressorSize   = 256
+	incastVictimOps       = 128
+	incastVictimSize      = 64
+	incastObjects         = 1 << 15
+)
+
+// IncastPoint is one (routing, fan-in) setting of the incast study.
+type IncastPoint struct {
+	Routing    RoutePolicy // fabric routing policy (RouteNone = lump-sum baseline)
+	FanIn      int         // aggressor node count M (nodes 1..M all read from node 0)
+	ServedGBps float64     // hot-node goodput: payload bytes node 0 served per run cycle
+	VictimP50  int64       // victim-flow request latency percentiles, in cycles
+	VictimP99  int64
+	Completed  int64  // ops completed across the whole cluster
+	Retries    int64  // timeout retransmissions (congestion pushing past ReqTimeout)
+	HotLink    string // hottest link (most queued+blocked cycles), "" when uncongested
+	HotQueued  int64  // serializer-queued cycles on the hottest link
+	HotBlocked int64  // credit-blocked cycles on the hottest link
+	Drained    bool   // every client ran to completion within the cycle budget
+}
+
+// IncastResult is the incast study across routing policies and fan-ins.
+type IncastResult struct {
+	Nodes   int // cluster size (node 0 serves, node Nodes-1 hosts the victim)
+	Clients int // client cores per aggressor node
+	Points  []IncastPoint
+}
+
+// RunIncast measures hot-spot behavior on an n-node cluster: for each
+// routing policy it builds one cluster (reused across fan-ins; the session
+// lifecycle makes every run bit-identical to a fresh build) and, for each
+// fan-in M, drives M aggressor nodes' clients at node 0's memory plus one
+// victim flow from node n-1 to node 1. Fan-ins must fit [1, n-2] so the
+// victim node never doubles as an aggressor. Nil fanIns and routings
+// select the defaults: doubling fan-ins up to n-2, and dor vs adaptive.
+func RunIncast(cfg Config, nodes int, fanIns []int, routings []RoutePolicy) (IncastResult, error) {
+	if nodes < 4 {
+		return IncastResult{}, fmt.Errorf("rackni: incast needs at least 4 nodes (server, victim, victim's target, one aggressor), got %d", nodes)
+	}
+	if len(fanIns) == 0 {
+		for m := 1; m < nodes-2; m *= 2 {
+			fanIns = append(fanIns, m)
+		}
+		fanIns = append(fanIns, nodes-2)
+	}
+	if len(routings) == 0 {
+		routings = []RoutePolicy{RouteDOR, RouteAdaptive}
+	}
+	for _, m := range fanIns {
+		if m < 1 || m > nodes-2 {
+			return IncastResult{}, fmt.Errorf("rackni: incast fan-in %d out of range [1, %d] for %d nodes", m, nodes-2, nodes)
+		}
+	}
+	out := IncastResult{Nodes: nodes, Clients: scenarioClients(&cfg)}
+	for _, rp := range routings {
+		cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, FabricRouting: rp})
+		if err != nil {
+			return out, err
+		}
+		for _, m := range fanIns {
+			res, err := cl.RunApp(incastApp(&cfg, nodes, m), 0)
+			if err != nil {
+				return out, fmt.Errorf("%v fan-in %d: %w", rp, m, err)
+			}
+			agg := res.Aggregate
+			pt := IncastPoint{
+				Routing:    rp,
+				FanIn:      m,
+				ServedGBps: stats.GBps(float64(res.PerNode[0].AppBytes)/float64(agg.Cycles), cfg.ClockGHz),
+				VictimP50:  res.PerNode[nodes-1].P50,
+				VictimP99:  res.PerNode[nodes-1].P99,
+				Completed:  agg.Completed,
+				Retries:    agg.Retries,
+				Drained:    agg.AllExhausted,
+			}
+			for _, l := range cl.Interconnect().LinkLedgers() {
+				if hot := l.QueuedCycles + l.BlockedCycles; hot > pt.HotQueued+pt.HotBlocked {
+					pt.HotLink, pt.HotQueued, pt.HotBlocked = linkLabel(l), l.QueuedCycles, l.BlockedCycles
+				}
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// incastApp builds the per-core app factory for one fan-in: node 0 serves
+// (no apps), nodes 1..fanIn run aggressor clients aimed at node 0, and
+// node nodes-1's core 0 runs the victim flow aimed at node 1.
+func incastApp(cfg *Config, nodes, fanIn int) func(nodeIdx, core int) App {
+	clients := scenarioClients(cfg)
+	return func(nodeIdx, core int) App {
+		seed := scenarioSeed(clusterNodeSeed(cfg.Seed, nodeIdx), core)
+		if nodeIdx == nodes-1 {
+			if core != 0 {
+				return nil
+			}
+			return TargetRemote(NewMixedUpdate(1, incastVictimOps, incastVictimSize,
+				incastObjects, 0, seed), 1)
+		}
+		if nodeIdx == 0 || nodeIdx > fanIn || core >= clients {
+			return nil
+		}
+		return TargetRemote(NewMixedUpdate(incastAggressorWindow, incastAggressorOps,
+			incastAggressorSize, incastObjects, 0, seed), 0)
+	}
+}
+
+// linkLabel names a directed torus link compactly: "5+x" is coordinate 5's
+// outgoing link in the +x direction.
+func linkLabel(l LinkLedger) string {
+	sign := byte('+')
+	if l.Dir < 0 {
+		sign = '-'
+	}
+	return fmt.Sprintf("%d%c%c", l.Coord, sign, 'x'+byte(l.Dim))
+}
+
+// Format renders the incast study.
+func (r IncastResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Incast hot-spot: fan-in x %d clients (window %d, %dB reads) -> node 0; victim node %d -> node 1 (%dB, window 1)\n",
+		r.Clients, incastAggressorWindow, incastAggressorSize, r.Nodes-1, incastVictimSize)
+	fmt.Fprintf(&b, "%8s %6s %14s %11s %11s %9s %8s %8s %10s %11s %8s\n",
+		"fabric", "fan-in", "served (GB/s)", "victim p50", "victim p99",
+		"completed", "retries", "hot link", "queued", "blocked", "drained")
+	for _, p := range r.Points {
+		hot := p.HotLink
+		if hot == "" {
+			hot = "-"
+		}
+		fmt.Fprintf(&b, "%8s %6d %14.2f %11d %11d %9d %8d %8s %10d %11d %8v\n",
+			p.Routing, p.FanIn, p.ServedGBps, p.VictimP50, p.VictimP99,
+			p.Completed, p.Retries, hot, p.HotQueued, p.HotBlocked, p.Drained)
+	}
+	return b.String()
+}

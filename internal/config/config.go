@@ -179,6 +179,19 @@ type Config struct {
 	// behavior.
 	QPWindow int
 
+	// --- Link-level congestion (inter-node fabric) ---
+	// LinkCredits is the per-directed-torus-link credit pool when the
+	// congestion-faithful fabric is enabled: at most this many blocks may
+	// occupy one link at once; excess arrivals queue at the router. 0
+	// falls back to DefaultLinkCredits. Ignored by the lump-sum fabric.
+	LinkCredits int
+	// LinkFlitCycles is the link serializer's cycles per flit under the
+	// congestion-faithful fabric: consecutive blocks on one link start at
+	// least flits*LinkFlitCycles apart, so an unloaded hop still costs
+	// exactly NetHopCycles (cut-through) while sustained load queues. 0
+	// falls back to DefaultLinkFlitCycles.
+	LinkFlitCycles int
+
 	// --- Simulation control ---
 	Seed           uint64
 	WindowCycles   int64   // bandwidth monitoring window (500K in the paper)
@@ -193,6 +206,17 @@ type Config struct {
 // legitimate round trip (512-node torus worst case plus queueing), small
 // enough that retries finish within default cycle budgets.
 const DefaultReqTimeout int64 = 20_000
+
+// Defaults the congestion-faithful fabric falls back to when the link knobs
+// are left zero: 4 blocks in flight per directed torus link, and a
+// serializer matched to the 16-byte link at 2 GHz (one flit per 8 cycles:
+// a 5-flit block response occupies a link's serializer for 40 cycles, so a
+// single link sustains one response every 40 cycles — the capacity incast
+// fan-ins overrun).
+const (
+	DefaultLinkCredits    = 4
+	DefaultLinkFlitCycles = 8
+)
 
 // Default returns the paper's Table 2 configuration.
 func Default() Config {
@@ -256,6 +280,9 @@ func Default() Config {
 		RetryBackoffMax: 4,
 		QPWindow:        0, // WQ depth is the only in-flight bound
 
+		LinkCredits:    DefaultLinkCredits,
+		LinkFlitCycles: DefaultLinkFlitCycles,
+
 		Seed:           1,
 		WindowCycles:   100_000,
 		StableDelta:    0.02,
@@ -318,6 +345,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: negative backoff cap %d", c.RetryBackoffMax)
 	case c.QPWindow < 0:
 		return fmt.Errorf("config: negative QP window %d", c.QPWindow)
+	case c.LinkCredits < 0:
+		return fmt.Errorf("config: negative link credit pool %d", c.LinkCredits)
+	case c.LinkFlitCycles < 0:
+		return fmt.Errorf("config: negative link serializer rate %d", c.LinkFlitCycles)
 	}
 	return nil
 }

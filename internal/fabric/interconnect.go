@@ -110,6 +110,13 @@ type LinkStats struct {
 	Corrupt int64
 	// Delayed counts this node's own messages the fault plan made late.
 	Delayed int64
+	// FabricQueued accumulates the cycles this node's requests spent
+	// waiting on link serializers under the congestion model (0 when the
+	// fabric charges lump-sum delays).
+	FabricQueued int64
+	// FabricBlocked accumulates the cycles this node's requests spent
+	// credit-blocked at routers under the congestion model.
+	FabricBlocked int64
 }
 
 // Interconnect is the real inter-node fabric: it connects N fully
@@ -162,6 +169,17 @@ type Interconnect struct {
 	// peakLive is the run's high-water mark of live transfer records — the
 	// quantity the per-QP credit window exists to bound.
 	peakLive int
+
+	// Link-level congestion state (EnableCongestion): with routing set,
+	// every block routes hop by hop through per-link credit queues instead
+	// of taking the lump-sum delay. links stays nil under RouteNone, so
+	// the hot path tests one pointer.
+	routing        RoutePolicy
+	linkCredits    int32
+	linkFlitCycles int64
+	links          []link
+	transits       []transit
+	tfree          []int64
 
 	// plan, when non-nil, perturbs messages on both fabric legs. retryOn
 	// records whether the attached nodes run request timeouts: with
@@ -347,6 +365,7 @@ func (x *Interconnect) Reset() {
 	x.xfers = x.xfers[:0]
 	x.free = x.free[:0]
 	x.peakLive = 0
+	x.resetLinks()
 	if x.plan != nil {
 		x.plan.Reset()
 	}
@@ -408,8 +427,9 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 		}
 	}
 	delay := x.delay[src*len(x.ports)+dst]
+	var extra int64
 	if x.plan != nil {
-		drop, corrupt, extra := x.plan.judge(src, dst, x.eng.Now())
+		drop, corrupt, late := x.plan.judge(src, dst, x.eng.Now())
 		if drop {
 			// The request was sent (RequestsOut, Traffic) but never
 			// arrives; no transfer record, no HopCycles for a hop that
@@ -423,11 +443,12 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 			x.dropBlock(nr, m.Addr, src, delay)
 			return
 		}
-		if extra > 0 {
+		if late > 0 {
 			// Lateness is physical, not topological: the message is late
 			// on the wire but HopCycles keeps the nominal distance charge.
 			x.Counters[src].Delayed++
-			delay += extra
+			extra = late
+			delay += late
 		}
 	}
 	txn, o := x.newXfer()
@@ -448,6 +469,13 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	x.Counters[src].RequestsOut++
 	x.Counters[src].HopCycles += x.delay[src*len(x.ports)+dst]
 	x.Traffic[src][dst]++
+	if x.links != nil {
+		// Congestion model: route the block hop by hop. A fault-plan
+		// lateness holds it at the source router instead of padding the
+		// lump sum; unloaded, the hop-by-hop path costs exactly delay.
+		x.startTransit(inbound, packDst(dst, row), transitRequest, src, dst, src, flits, extra)
+		return
+	}
 	x.eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
 }
 
@@ -483,8 +511,9 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	x.free = append(x.free, txn)
 
 	delay := x.delay[dst*len(x.ports)+src]
+	var extra int64
 	if x.plan != nil {
-		drop, corrupt, extra := x.plan.judge(dst, src, x.eng.Now())
+		drop, corrupt, late := x.plan.judge(dst, src, x.eng.Now())
 		if drop {
 			// The RRPP sent its response (ResponsesOut on the servicer);
 			// the loss lands on the requester's ledger.
@@ -496,9 +525,10 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 			x.dropBlock(nr, addr, src, delay)
 			return
 		}
-		if extra > 0 {
+		if late > 0 {
 			x.Counters[src].Delayed++
-			delay += extra
+			extra = late
+			delay += late
 		}
 	}
 
@@ -515,6 +545,13 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 
 	x.Counters[src].HopCycles += x.delay[dst*len(x.ports)+src]
 	x.Counters[dst].ResponsesOut++
+	if x.links != nil {
+		// Return leg under the congestion model: the response enters the
+		// fabric at the servicing node; its queued/blocked cycles land on
+		// the requester's ledger, like every other per-message charge.
+		x.startTransit(resp, packDst(src, row), transitResponse, dst, src, src, flits, extra)
+		return
+	}
 	x.eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
 }
 

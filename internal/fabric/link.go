@@ -1,0 +1,411 @@
+// Link-level congestion model for the inter-node fabric: every directed
+// edge of the rack's 3D torus is a credit/occupancy queue with a flit
+// serializer, and blocks route hop by hop — dimension-ordered or
+// deterministic adaptive-minimal — instead of being charged a lump-sum
+// delay. Unloaded, a hop still costs exactly NetHopCycles (cut-through:
+// the serializer only spaces *starts*), so the congested fabric's
+// zero-load latency matches the dense-table fast path; under load,
+// occupancy, queueing and credit blocking emerge per link, which is where
+// incast and hot-spot behavior comes from.
+package fabric
+
+import (
+	"fmt"
+
+	"rackni/internal/noc"
+)
+
+// RoutePolicy selects how the congestion-faithful fabric routes blocks
+// across the torus. RouteNone disables the link-level model entirely: the
+// fabric charges precomputed lump-sum hop delays, bit-identical to the
+// pre-congestion Interconnect.
+type RoutePolicy int
+
+const (
+	// RouteNone: no link-level model; lump-sum per-hop latency (default).
+	RouteNone RoutePolicy = iota
+	// RouteDOR is dimension-ordered routing: correct x, then y, then z,
+	// taking the minimal ring direction in each (ties toward +).
+	RouteDOR
+	// RouteAdaptive is deterministic adaptive-minimal routing: at each
+	// router, take the productive dimension whose outgoing link has the
+	// least occupancy + queue, ties broken by dimension order — so paths
+	// stay minimal and runs stay bit-reproducible.
+	RouteAdaptive
+)
+
+func (r RoutePolicy) String() string {
+	switch r {
+	case RouteNone:
+		return "off"
+	case RouteDOR:
+		return "dor"
+	case RouteAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("RoutePolicy(%d)", int(r))
+}
+
+// linksPerCoord is the directed torus degree: 3 dimensions x 2 directions.
+const linksPerCoord = 6
+
+// linkIndex names the directed link leaving coordinate c along dimension
+// dim (0=x, 1=y, 2=z) in direction dir (+1 or -1).
+func linkIndex(c, dim, dir int) int {
+	bit := 0
+	if dir < 0 {
+		bit = 1
+	}
+	return c*linksPerCoord + dim*2 + bit
+}
+
+// Coords decodes a torus coordinate id into its per-dimension components
+// (the inverse of x + radix*y + radix²*z).
+func (t Torus3D) Coords(c int) (x, y, z int) {
+	r := t.Radix
+	return c % r, (c / r) % r, c / (r * r)
+}
+
+// neighbor returns the coordinate one hop from c along dim in direction
+// dir, with wraparound.
+func (t Torus3D) neighbor(c, dim, dir int) int {
+	r := t.Radix
+	x, y, z := t.Coords(c)
+	switch dim {
+	case 0:
+		x = (x + dir + r) % r
+	case 1:
+		y = (y + dir + r) % r
+	default:
+		z = (z + dir + r) % r
+	}
+	return x + r*y + r*r*z
+}
+
+// ringStep returns the minimal ring direction (+1/-1) and remaining hop
+// count from a to b along one dimension; dir is 0 when a == b. Equidistant
+// pairs (radix/2 apart on an even ring) break toward +1, so routing is a
+// pure function of the coordinates.
+func ringStep(a, b, radix int) (dir, dist int) {
+	fwd := (b - a + radix) % radix
+	if fwd == 0 {
+		return 0, 0
+	}
+	bwd := radix - fwd
+	if fwd <= bwd {
+		return 1, fwd
+	}
+	return -1, bwd
+}
+
+// waiter is one block parked at a router, waiting for a link credit.
+type waiter struct {
+	tid     int64 // transit id
+	arrived int64 // engine cycle the block started waiting
+}
+
+// link is one directed torus edge's live state and per-run ledger. A block
+// takes a credit when it is granted the link and returns it when it lands
+// at the far router, so occupancy covers both serializer queueing and
+// wire time; arrivals finding every credit taken park in the waiters FIFO
+// (credit blocking — the only unbounded queue, and it holds no upstream
+// resources, so there is no circular wait).
+type link struct {
+	occ      int32 // credits currently taken
+	nextFree int64 // earliest cycle the serializer can start the next block
+
+	waiters []waiter
+	whead   int // FIFO head; compacted when the queue drains
+
+	// Per-run ledger (zeroed with the rest of the link state by Reset).
+	granted  int64 // credits granted
+	returned int64 // credits returned
+	occHW    int32 // occupancy high-water mark
+	queued   int64 // cycles blocks spent waiting on the serializer
+	blocked  int64 // cycles blocks spent waiting on a credit
+	flits    int64 // flits serialized onto the wire
+}
+
+// queueLen is the number of blocks credit-blocked at this link.
+func (l *link) queueLen() int { return len(l.waiters) - l.whead }
+
+// push parks a transit at the link's credit queue.
+func (l *link) push(tid, now int64) { l.waiters = append(l.waiters, waiter{tid, now}) }
+
+// pop removes and returns the head waiter; the caller checked queueLen.
+func (l *link) pop() waiter {
+	w := l.waiters[l.whead]
+	l.whead++
+	if l.whead == len(l.waiters) {
+		l.waiters = l.waiters[:0]
+		l.whead = 0
+	}
+	return w
+}
+
+// LinkLedger is the exported per-run snapshot of one directed torus link,
+// keyed by its source coordinate, dimension and direction. Only links that
+// carried (or blocked) traffic are interesting; LinkLedgers returns all of
+// them and callers filter.
+type LinkLedger struct {
+	Coord int // source torus coordinate
+	Dim   int // 0=x, 1=y, 2=z
+	Dir   int // +1 or -1
+
+	Granted       int64 // credits granted (blocks that crossed or are crossing)
+	Returned      int64 // credits returned (blocks that finished crossing)
+	OccupancyHW   int32 // occupancy high-water mark (≤ the credit pool)
+	QueuedCycles  int64 // total cycles blocks waited on the serializer
+	BlockedCycles int64 // total cycles blocks waited for a credit
+	Flits         int64 // flits serialized onto the wire
+}
+
+// nextLink picks the outgoing link for a block at coordinate cur heading
+// to coordinate to, under the enabled policy. cur != to.
+func (x *Interconnect) nextLink(cur, to int) int {
+	r := x.topo.Radix
+	cx, cy, cz := x.topo.Coords(cur)
+	tx, ty, tz := x.topo.Coords(to)
+	var dirs [3]int
+	dirs[0], _ = ringStep(cx, tx, r)
+	dirs[1], _ = ringStep(cy, ty, r)
+	dirs[2], _ = ringStep(cz, tz, r)
+	if x.routing == RouteDOR {
+		for dim, dir := range dirs {
+			if dir != 0 {
+				return linkIndex(cur, dim, dir)
+			}
+		}
+		panic("fabric: nextLink called with cur == to")
+	}
+	// Adaptive-minimal: the least-loaded productive dimension, ties broken
+	// by dimension order. Load is occupancy plus the credit queue — both
+	// deterministic functions of the event history, so the choice is too.
+	best, bestLoad := -1, int32(0)
+	for dim, dir := range dirs {
+		if dir == 0 {
+			continue
+		}
+		li := linkIndex(cur, dim, dir)
+		load := x.links[li].occ + int32(x.links[li].queueLen())
+		if best < 0 || load < bestLoad {
+			best, bestLoad = li, load
+		}
+	}
+	if best < 0 {
+		panic("fabric: nextLink called with cur == to")
+	}
+	return best
+}
+
+// transit is one block crossing the congestion-faithful fabric, pooled by
+// value like xfer: tids are slot+1 and recycle LIFO.
+type transit struct {
+	msg    *noc.Message // delivery payload
+	dst    int64        // packed delivery target (node<<32 | row)
+	kind   int8         // transitRequest or transitResponse
+	active bool
+	cur    int32 // current torus coordinate
+	to     int32 // destination torus coordinate
+	flits  int32
+	owner  int32 // requesting node, for per-node queued/blocked stats
+}
+
+const (
+	transitRequest  int8 = iota // inbound request: delivery bumps InboundDelivered
+	transitResponse             // response: delivery bumps ResponsesIn
+)
+
+// EnableCongestion switches the fabric to the link-level congestion model:
+// blocks route hop by hop over per-link credit queues under the given
+// policy. Requires an explicit placement (congestion is a property of real
+// torus geometry; the uniform fixed-hop model has no links to contend).
+// credits is the per-link credit pool (≥ 1); flitCycles the serializer's
+// cycles per flit (≥ 1). Call before the first run; RouteNone restores the
+// lump-sum fast path.
+func (x *Interconnect) EnableCongestion(policy RoutePolicy, credits int, flitCycles int64) error {
+	if policy == RouteNone {
+		x.routing = RouteNone
+		x.links, x.transits, x.tfree = nil, nil, nil
+		return nil
+	}
+	if policy != RouteDOR && policy != RouteAdaptive {
+		return fmt.Errorf("fabric: unknown routing policy %d", int(policy))
+	}
+	if x.placement == nil {
+		return fmt.Errorf("fabric: the congestion model needs an explicit torus placement; the uniform fixed-hop fabric has no links to contend")
+	}
+	if credits < 1 {
+		return fmt.Errorf("fabric: link credit pool %d must be at least 1", credits)
+	}
+	if flitCycles < 1 {
+		return fmt.Errorf("fabric: link serializer rate %d cycles/flit must be at least 1", flitCycles)
+	}
+	x.routing = policy
+	x.linkCredits = int32(credits)
+	x.linkFlitCycles = flitCycles
+	x.links = make([]link, x.topo.Nodes()*linksPerCoord)
+	x.transits, x.tfree = nil, nil
+	return nil
+}
+
+// Routing returns the fabric's routing policy (RouteNone = lump-sum).
+func (x *Interconnect) Routing() RoutePolicy { return x.routing }
+
+// LinkLedgers snapshots every directed torus link that saw any activity
+// this run, in deterministic (coordinate, dimension, direction) order.
+func (x *Interconnect) LinkLedgers() []LinkLedger {
+	var out []LinkLedger
+	for i := range x.links {
+		l := &x.links[i]
+		if l.granted == 0 && l.blocked == 0 {
+			continue
+		}
+		c, rest := i/linksPerCoord, i%linksPerCoord
+		dir := 1
+		if rest%2 == 1 {
+			dir = -1
+		}
+		out = append(out, LinkLedger{
+			Coord: c, Dim: rest / 2, Dir: dir,
+			Granted: l.granted, Returned: l.returned, OccupancyHW: l.occHW,
+			QueuedCycles: l.queued, BlockedCycles: l.blocked, Flits: l.flits,
+		})
+	}
+	return out
+}
+
+// newTransit takes a free transit slot (or grows the pool); tids are
+// slot+1 so 0 stays invalid.
+func (x *Interconnect) newTransit() (int64, *transit) {
+	var tid int64
+	if n := len(x.tfree); n > 0 {
+		tid = x.tfree[n-1]
+		x.tfree = x.tfree[:n-1]
+	} else {
+		x.transits = append(x.transits, transit{})
+		tid = int64(len(x.transits))
+	}
+	return tid, &x.transits[tid-1]
+}
+
+// startTransit injects one block into the link-level fabric at node from
+// bound for node to; owner is the requesting node, whose ledger accrues
+// the block's queued/blocked cycles on either leg. launchDelay > 0 (a
+// fault-plan lateness) holds the block at its source router before the
+// first hop; the nominal HopCycles ledger was already charged by the
+// caller, exactly as in lump-sum mode.
+func (x *Interconnect) startTransit(m *noc.Message, packed int64, kind int8, from, to, owner, flits int, launchDelay int64) {
+	tid, t := x.newTransit()
+	t.msg, t.dst, t.kind, t.active = m, packed, kind, true
+	t.cur, t.to = int32(x.placement[from]), int32(x.placement[to])
+	t.flits, t.owner = int32(flits), int32(owner)
+	if launchDelay > 0 {
+		x.eng.Post(launchDelay, transitLaunchEv, x, nil, tid)
+		return
+	}
+	x.advance(tid)
+}
+
+// transitLaunchEv releases a fault-delayed block into the fabric.
+func transitLaunchEv(a, _ any, tid int64) { a.(*Interconnect).advance(tid) }
+
+// advance moves a transit one step: deliver if it has reached its
+// destination coordinate, otherwise request the next link (parking in its
+// credit queue if the pool is empty).
+func (x *Interconnect) advance(tid int64) {
+	t := &x.transits[tid-1]
+	if t.cur == t.to {
+		x.deliverTransit(tid)
+		return
+	}
+	li := x.nextLink(int(t.cur), int(t.to))
+	l := &x.links[li]
+	if l.occ >= x.linkCredits {
+		l.push(tid, x.eng.Now())
+		return
+	}
+	x.grant(li, tid)
+}
+
+// grant gives a transit the link: take a credit, wait out the serializer
+// (cycles accrued as queued time), cross the wire in hopCycles, and land
+// at the far router via linkArriveEv. Cut-through: the serializer delays
+// only the start, so an unloaded hop is exactly hopCycles.
+func (x *Interconnect) grant(li int, tid int64) {
+	l := &x.links[li]
+	t := &x.transits[tid-1]
+	now := x.eng.Now()
+	l.occ++
+	l.granted++
+	if l.occ > l.occHW {
+		l.occHW = l.occ
+	}
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	if q := start - now; q > 0 {
+		l.queued += q
+		x.Counters[t.owner].FabricQueued += q
+	}
+	l.nextFree = start + int64(t.flits)*x.linkFlitCycles
+	l.flits += int64(t.flits)
+	rest := li % linksPerCoord
+	dir := 1
+	if rest%2 == 1 {
+		dir = -1
+	}
+	t.cur = int32(x.topo.neighbor(li/linksPerCoord, rest/2, dir))
+	x.eng.Post(start-now+x.hopCycles, linkArriveEv, x, nil, tid<<20|int64(li))
+}
+
+// linkArriveEv lands a block at the far router: return the crossed link's
+// credit (waking the head of its credit queue), then advance.
+func linkArriveEv(a, _ any, i int64) {
+	x := a.(*Interconnect)
+	tid, li := i>>20, int(i&(1<<20-1))
+	l := &x.links[li]
+	l.occ--
+	l.returned++
+	if l.queueLen() > 0 {
+		w := l.pop()
+		if blocked := x.eng.Now() - w.arrived; blocked > 0 {
+			l.blocked += blocked
+			x.Counters[x.transits[w.tid-1].owner].FabricBlocked += blocked
+		}
+		x.grant(li, w.tid)
+	}
+	x.advance(tid)
+}
+
+// deliverTransit hands a block that reached its destination coordinate to
+// the target node, bumping the same delivery counters as the lump-sum
+// events so ledgers are comparable across fabric models.
+func (x *Interconnect) deliverTransit(tid int64) {
+	t := &x.transits[tid-1]
+	m, dst, kind := t.msg, t.dst, t.kind
+	*t = transit{}
+	x.tfree = append(x.tfree, tid)
+	switch kind {
+	case transitRequest:
+		x.Counters[dst>>32].InboundDelivered++
+	default:
+		x.Counters[dst>>32].ResponsesIn++
+	}
+	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(m)
+}
+
+// resetLinks returns the link-level state to just-built: live occupancy,
+// serializers, credit queues and in-flight transits dropped (their events
+// are cleared with the shared engine), ledgers zeroed.
+func (x *Interconnect) resetLinks() {
+	for i := range x.links {
+		x.links[i] = link{}
+	}
+	for i := range x.transits {
+		x.transits[i] = transit{}
+	}
+	x.transits = x.transits[:0]
+	x.tfree = x.tfree[:0]
+}

@@ -30,6 +30,14 @@ type ClusterSpec struct {
 	// on the interconnect (see fabric.FaultSpec). A nil or zero spec is a
 	// lossless fabric.
 	Faults *fabric.FaultSpec
+	// FabricRouting, when not RouteNone, enables the link-level congestion
+	// model on the inter-node fabric: blocks route hop by hop over
+	// per-link credit queues under the given policy (fabric.RouteDOR or
+	// fabric.RouteAdaptive) instead of taking lump-sum hop delays.
+	// Congestion is a property of real torus geometry, so a spec without a
+	// Placement gets the identity placement (node i at coordinate i). The
+	// link knobs come from Config.LinkCredits / Config.LinkFlitCycles.
+	FabricRouting fabric.RoutePolicy
 }
 
 // Cluster is N fully simulated nodes sharing one event engine, connected
@@ -64,6 +72,19 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		return nil, fmt.Errorf("node: negative hop count %d", hops)
 	}
 	topo := fabric.NewTorus3D(cfg.TorusRadix)
+	if spec.FabricRouting != fabric.RouteNone && spec.Placement == nil {
+		// The congestion model contends real torus links, so give the
+		// cluster real geometry: identity placement, the same coordinates
+		// the TorusPlacement sweep axis assigns.
+		if spec.Nodes > topo.Nodes() {
+			return nil, fmt.Errorf("node: %d nodes exceed the %d-node torus (radix %d) the congestion model routes over",
+				spec.Nodes, topo.Nodes(), cfg.TorusRadix)
+		}
+		spec.Placement = make([]int, spec.Nodes)
+		for i := range spec.Placement {
+			spec.Placement[i] = i
+		}
+	}
 	eng := sim.NewEngine()
 	c := &Cluster{Eng: eng}
 	c.watch = sim.NewCancelWatch(eng, cancelCheckCycles, func() context.Context { return c.ctx })
@@ -102,6 +123,18 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		return nil, err
 	}
 	c.Inter = inter
+	if spec.FabricRouting != fabric.RouteNone {
+		credits, flitCycles := cfg.LinkCredits, int64(cfg.LinkFlitCycles)
+		if credits == 0 {
+			credits = config.DefaultLinkCredits
+		}
+		if flitCycles == 0 {
+			flitCycles = config.DefaultLinkFlitCycles
+		}
+		if err := inter.EnableCongestion(spec.FabricRouting, credits, flitCycles); err != nil {
+			return nil, err
+		}
+	}
 	if err := inter.SetFaults(spec.Faults); err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rackni/internal/config"
+	"rackni/internal/fabric"
 )
 
 // benchClusterCfg is the cluster-throughput configuration: a reduced 4x2
@@ -47,26 +48,54 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(fmt.Sprintf("N%d", tc.nodes), func(b *testing.B) {
-			cfg := benchClusterCfg()
-			cfg.MaxCycles = tc.budget
-			var cycles int64
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				cl, err := NewCluster(cfg, ClusterSpec{
-					Nodes:     tc.nodes,
-					Placement: identityPlacement(tc.nodes),
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				res, err := cl.RunBandwidth(4096)
-				if err != nil {
-					b.Fatal(err)
-				}
-				cycles += res.Aggregate.Cycles
-			}
-			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
+			benchCluster(b, tc.nodes, tc.budget, fabric.RouteNone)
 		})
 	}
+}
+
+// BenchmarkClusterThroughputCongested is the same series with the
+// link-level congestion fabric enabled (DOR routing), bounding the
+// overhead of per-hop routing and credit accounting over the lump-sum
+// fast path; the congested-vs-off pair is recorded in BENCH_cluster.json.
+func BenchmarkClusterThroughputCongested(b *testing.B) {
+	cases := []struct {
+		nodes  int
+		budget int64
+	}{
+		{2, 200_000},
+		{8, 100_000},
+		{64, 40_000},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("N%d", tc.nodes), func(b *testing.B) {
+			benchCluster(b, tc.nodes, tc.budget, fabric.RouteDOR)
+		})
+	}
+}
+
+// benchCluster runs the all-cores asynchronous-read throughput benchmark
+// on fresh n-node torus-placed clusters, reporting simulated cycles per
+// wall-clock second.
+func benchCluster(b *testing.B, nodes int, budget int64, routing fabric.RoutePolicy) {
+	cfg := benchClusterCfg()
+	cfg.MaxCycles = budget
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, err := NewCluster(cfg, ClusterSpec{
+			Nodes:         nodes,
+			Placement:     identityPlacement(nodes),
+			FabricRouting: routing,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := cl.RunBandwidth(4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Aggregate.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }

@@ -175,6 +175,26 @@ func ParseWindows(s string) ([]int, error) {
 	})
 }
 
+// ParseFabricRouting converts a fabric routing-policy name (off, dor,
+// adaptive) to its enumerator; "off" (or "none") is the lump-sum fabric.
+func ParseFabricRouting(s string) (RoutePolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "off", "none":
+		return RouteNone, nil
+	case "dor":
+		return RouteDOR, nil
+	case "adaptive":
+		return RouteAdaptive, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown fabric routing %q (want off|dor|adaptive)", s)
+}
+
+// ParseFabricRoutings parses a comma-separated fabric routing-policy list
+// ("dor,adaptive") for the Sweep's FabricRoutings axis.
+func ParseFabricRoutings(s string) ([]RoutePolicy, error) {
+	return parseList(s, ParseFabricRouting)
+}
+
 // ParseSeeds parses a comma-separated list of simulation seeds ("1,2,3").
 func ParseSeeds(s string) ([]uint64, error) {
 	return parseList(s, func(tok string) (uint64, error) {

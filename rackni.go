@@ -229,6 +229,30 @@ type LinkOutage = fabric.Outage
 // cycles (Until <= 0 = forever).
 type NodeOutage = fabric.NodeOutage
 
+// RoutePolicy selects how the congestion-faithful inter-node fabric routes
+// blocks across the rack's 3D torus. RouteNone (the default) disables the
+// link-level model entirely — the fabric charges lump-sum hop delays,
+// bit-identical to the pre-congestion Interconnect.
+type RoutePolicy = fabric.RoutePolicy
+
+// Fabric routing policies for ClusterSpec.FabricRouting and the Sweep
+// FabricRoutings axis.
+const (
+	// RouteNone disables the congestion model (lump-sum hop delays).
+	RouteNone = fabric.RouteNone
+	// RouteDOR routes dimension-ordered: x, then y, then z, minimal ring
+	// direction per dimension.
+	RouteDOR = fabric.RouteDOR
+	// RouteAdaptive routes adaptive-minimal: the least-loaded productive
+	// dimension at each router, deterministic tie-breaks.
+	RouteAdaptive = fabric.RouteAdaptive
+)
+
+// LinkLedger is one directed torus link's per-run congestion snapshot
+// (grants, occupancy high-water, serializer-queued and credit-blocked
+// cycles); Cluster.Interconnect().LinkLedgers() lists the active ones.
+type LinkLedger = fabric.LinkLedger
+
 // ClusterSyncResult is a cluster latency run's outcome (per node plus
 // cross-node aggregate).
 type ClusterSyncResult = node.ClusterSyncResult
@@ -332,8 +356,10 @@ func (c *Cluster) RunApp(factory func(nodeIdx, core int) App, maxCycles int64) (
 // per-node decorrelated seeds and each client's keyspace sharded across
 // the other nodes of the cluster (see ShardRemote) — the cross-node
 // object placement the single-node mirror emulation cannot express.
+// Scenarios with a cluster-aware constructor (Scenario.NewCluster) shape
+// their own cross-node traffic instead and skip the sharding wrap.
 func (c *Cluster) RunScenario(sc Scenario, maxCycles int64) (ClusterWorkloadResult, error) {
-	if sc.New == nil {
+	if sc.New == nil && sc.NewCluster == nil {
 		return ClusterWorkloadResult{}, fmt.Errorf("rackni: scenario %q has no constructor", sc.Name)
 	}
 	n := c.NodeCount()
@@ -343,6 +369,9 @@ func (c *Cluster) RunScenario(sc Scenario, maxCycles int64) (ClusterWorkloadResu
 		// every node would issue the identical stream (desirable for
 		// mirror validation, not for scenario diversity).
 		cfg.Seed = clusterNodeSeed(cfg.Seed, nodeIdx)
+		if sc.NewCluster != nil {
+			return sc.NewCluster(&cfg, nodeIdx, n, core)
+		}
 		app := sc.New(&cfg, core)
 		if app == nil {
 			return nil

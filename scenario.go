@@ -112,6 +112,33 @@ func (s *shardedApp) OnComplete(coreID int, req Request, issued, done int64) {
 	s.app.OnComplete(coreID, req, issued, done)
 }
 
+// targetedApp pins every issued request's remote address to one cluster
+// node — the hot-spot traffic of an incast.
+type targetedApp struct {
+	app  App
+	node int
+}
+
+// TargetRemote wraps an app so every request it issues is routed to the
+// given cluster node's memory — the many-to-one traffic of an incast or
+// hot shard. On completions the app sees its own (selector-less)
+// addresses back, mirroring ShardRemote.
+func TargetRemote(app App, node int) App { return &targetedApp{app: app, node: node} }
+
+// Step implements App.
+func (t *targetedApp) Step(coreID int, now int64, inflight int) Action {
+	return t.app.Step(coreID, now, inflight).MapIssue(func(r Request) Request {
+		r.Remote = TargetNode(t.node, r.Remote)
+		return r
+	})
+}
+
+// OnComplete implements App, handing the app back its own address space.
+func (t *targetedApp) OnComplete(coreID int, req Request, issued, done int64) {
+	_, req.Remote = fabric.SplitAddr(req.Remote)
+	t.app.OnComplete(coreID, req, issued, done)
+}
+
 // Scenario constructors are synthetic traffic generators, not input
 // parsers: degenerate geometry is clamped to the nearest legal value
 // (minimum 1, request sizes to one block, keyspaces to the source region,
@@ -496,6 +523,14 @@ type Scenario struct {
 	Name    string
 	Summary string
 	New     func(cfg *Config, core int) App
+	// NewCluster, when non-nil, replaces New on multi-node (Cluster) runs:
+	// it builds the per-core app knowing the node's rack position, letting
+	// asymmetric scenarios (incast's one server, many clients) shape their
+	// cross-node traffic directly. cfg.Seed arrives already decorrelated
+	// per node, and the returned app's addresses are routed as issued (no
+	// ShardRemote wrap) — target explicit nodes with TargetNode or
+	// TargetRemote.
+	NewCluster func(cfg *Config, nodeIdx, nodes, core int) App
 }
 
 // kvScenarioTable lazily builds the kv scenario's 100k-entry popularity
@@ -549,6 +584,25 @@ func scenarioLibrary() []Scenario {
 			Summary: "update stream: every core, window 8, 128 ops, every 4th a 256B write",
 			New: func(cfg *Config, core int) App {
 				return NewMixedUpdate(8, 128, 256, 1<<15, 4, scenarioSeed(cfg.Seed, core))
+			},
+		},
+		{
+			Name:    "incast",
+			Summary: "incast hot-spot: tiles/4 clients per node hammer node 0 with window-4 256B reads (single-node: the default peer)",
+			New: func(cfg *Config, core int) App {
+				if core >= scenarioClients(cfg) {
+					return nil
+				}
+				return NewMixedUpdate(4, 64, 256, 1<<15, 0, scenarioSeed(cfg.Seed, core))
+			},
+			NewCluster: func(cfg *Config, nodeIdx, nodes, core int) App {
+				// Node 0 is the hot server: it issues nothing and every
+				// other node's clients aim at its memory, so all response
+				// traffic funnels out of one torus coordinate.
+				if nodeIdx == 0 || core >= scenarioClients(cfg) {
+					return nil
+				}
+				return TargetRemote(NewMixedUpdate(4, 64, 256, 1<<15, 0, scenarioSeed(cfg.Seed, core)), 0)
 			},
 		},
 		{

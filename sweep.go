@@ -79,6 +79,12 @@ type Point struct {
 	// Window, when > 0, caps each QP's in-flight requests at this credit
 	// window (Config.QPWindow); 0 keeps the WQ-depth-only bound.
 	Window int
+	// FabricRouting, when not RouteNone, routes every inter-node block
+	// hop-by-hop over the rack torus through per-link credit queues (the
+	// congestion-faithful fabric) with this routing policy. Requires a
+	// multi-node point that fits the torus; RouteNone keeps the lump-sum
+	// fast path, bit-identical to a sweep without the axis.
+	FabricRouting RoutePolicy
 }
 
 // nodeCount normalizes the point's node count (0 means single-node).
@@ -115,6 +121,9 @@ func (p Point) label() string {
 	if p.Window > 0 {
 		l += fmt.Sprintf("/win%d", p.Window)
 	}
+	if p.FabricRouting != RouteNone {
+		l += "/" + p.FabricRouting.String()
+	}
 	return l
 }
 
@@ -123,11 +132,12 @@ func (p Point) label() string {
 // Axis setters return the sweep for chaining; an axis left unset
 // contributes a single value taken from the base configuration (and for
 // axes with no Config field: Latency mode, the block size, DefaultHops,
-// the central measurement core, one node, no faults, and an uncapped
-// window). Points enumerate in a fixed nesting order — Designs ▸
-// Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ Faults ▸ Windows ▸ run kinds
-// (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸ Cores, first axis outermost —
-// so a sweep's point list is deterministic and stable across runs.
+// the central measurement core, one node, no faults, an uncapped window,
+// and the lump-sum fabric). Points enumerate in a fixed nesting order —
+// Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ Faults ▸ Windows ▸
+// FabricRoutings ▸ run kinds (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸
+// Cores, first axis outermost — so a sweep's point list is deterministic
+// and stable across runs.
 // Workload points pin the Size and Core axes to 0 (the scenario defines
 // both), contributing one point per
 // design/topology/routing/hops/nodes/faults/window/seed combination.
@@ -145,6 +155,7 @@ type Sweep struct {
 	nodes       []int
 	faults      []float64
 	windows     []int
+	froutings   []RoutePolicy
 	torusPlaced bool
 }
 
@@ -236,6 +247,17 @@ func (s *Sweep) Windows(windows ...int) *Sweep {
 	return s
 }
 
+// FabricRoutings sets the congestion-fabric routing-policy axis: each
+// policy other than RouteNone routes the point's inter-node blocks
+// hop-by-hop through per-link credit queues (DOR or adaptive-minimal)
+// instead of the lump-sum delay model. Congested points require a
+// multi-node node count that fits the rack torus (TorusRadix³);
+// RouteNone contributes an uncongested point.
+func (s *Sweep) FabricRoutings(rs ...RoutePolicy) *Sweep {
+	s.froutings = append(s.froutings[:0], rs...)
+	return s
+}
+
 // TorusPlacement makes every multi-node point place its nodes at real
 // coordinates of the rack's 3D torus (identity placement, pairwise
 // distances from Torus3D) instead of the uniform fixed-hop model — the
@@ -304,9 +326,13 @@ func (s *Sweep) Points() []Point {
 	if len(windows) == 0 {
 		windows = []int{s.base.QPWindow}
 	}
+	froutings := s.froutings
+	if len(froutings) == 0 {
+		froutings = []RoutePolicy{RouteNone}
+	}
 	pts := make([]Point, 0,
 		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*
-			len(faults)*len(windows)*len(kinds)*len(sizes)*len(seeds)*len(cores))
+			len(faults)*len(windows)*len(froutings)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
 			for _, rt := range routings {
@@ -323,24 +349,26 @@ func (s *Sweep) Points() []Point {
 						}
 						for _, fr := range faults {
 							for _, win := range windows {
-								for _, k := range kinds {
-									// Scenario points don't span the Size and Core axes
-									// (the scenario defines its sizes and participating
-									// cores), so they collapse to one point per
-									// design/topology/routing/hops/seed combination.
-									szs, crs := sizes, cores
-									if k.mode == WorkloadMode {
-										szs, crs = []int{0}, []int{0}
-									}
-									for _, sz := range szs {
-										for _, sd := range seeds {
-											for _, c := range crs {
-												cfg := s.base
-												cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-												pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-													Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
-													TorusPlacement: s.torusPlaced && nn > 1,
-													Faults:         fr, Window: win})
+								for _, fab := range froutings {
+									for _, k := range kinds {
+										// Scenario points don't span the Size and Core axes
+										// (the scenario defines its sizes and participating
+										// cores), so they collapse to one point per
+										// design/topology/routing/hops/seed combination.
+										szs, crs := sizes, cores
+										if k.mode == WorkloadMode {
+											szs, crs = []int{0}, []int{0}
+										}
+										for _, sz := range szs {
+											for _, sd := range seeds {
+												for _, c := range crs {
+													cfg := s.base
+													cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+													pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+														Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+														TorusPlacement: s.torusPlaced && nn > 1,
+														Faults:         fr, Window: win, FabricRouting: fab})
+												}
 											}
 										}
 									}
@@ -505,6 +533,8 @@ func (p Point) check() error {
 		return fmt.Errorf("rackni: fault injection (drop rate %g) requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node fabric to fault", p.Faults)
 	case p.Window < 0:
 		return fmt.Errorf("rackni: negative QP window %d", p.Window)
+	case p.FabricRouting != RouteNone && p.nodeCount() <= 1:
+		return fmt.Errorf("rackni: fabric routing %v requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node links to congest", p.FabricRouting)
 	}
 	return nil
 }
@@ -570,7 +600,9 @@ func (p Point) checkShape() error {
 	if p.Nodes > fabric.MaxNodes {
 		return fmt.Errorf("rackni: %d nodes exceeds the %d-node addressing limit", p.Nodes, fabric.MaxNodes)
 	}
-	if p.TorusPlacement {
+	if p.TorusPlacement || p.FabricRouting != RouteNone {
+		// Both real torus placement and the congestion fabric (which routes
+		// hop-by-hop over torus coordinates) need every node on the torus.
 		if cube := cfg.TorusRadix * cfg.TorusRadix * cfg.TorusRadix; p.nodeCount() > cube {
 			return fmt.Errorf("rackni: %d nodes exceed the %d-node torus (radix %d)",
 				p.nodeCount(), cube, cfg.TorusRadix)
@@ -668,7 +700,8 @@ func runClusterPoint(ctx context.Context, p Point, out *Result) {
 		out.Err = err
 		return
 	}
-	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops, Faults: p.faultSpec()}
+	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops, Faults: p.faultSpec(),
+		FabricRouting: p.FabricRouting}
 	if p.TorusPlacement {
 		spec.Placement = make([]int, spec.Nodes)
 		for i := range spec.Placement {
@@ -737,16 +770,30 @@ func (rs Results) hasFaults() bool {
 	return false
 }
 
+// hasFabricRouting reports whether any point of the set runs the
+// congestion-faithful fabric. Renderers add a fabric column only then, so
+// uncongested result sets stay byte-identical to their pre-congestion form.
+func (rs Results) hasFabricRouting() bool {
+	for _, r := range rs {
+		if r.Point.FabricRouting != RouteNone {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the results as an aligned table, one row per point.
 // Workload points report ops, mean and tail percentiles; skipped points
 // render as "-"; failed points show their error. A nodes column appears
-// when the set contains multi-node (Cluster) points, and drop/window
-// columns when any point injects faults or caps the QP window (workload
-// rows then also report their retry and permanent-failure counts).
+// when the set contains multi-node (Cluster) points, drop/window columns
+// when any point injects faults or caps the QP window (workload rows then
+// also report their retry and permanent-failure counts), and a fabric
+// column when any point runs the congestion-faithful fabric.
 func (rs Results) Format() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
 	faulty := rs.hasFaults()
+	congested := rs.hasFabricRouting()
 	nodesHdr, nodesFmt := "", ""
 	if multi {
 		nodesHdr = fmt.Sprintf(" %5s", "nodes")
@@ -755,7 +802,11 @@ func (rs Results) Format() string {
 	if faulty {
 		faultHdr = fmt.Sprintf(" %6s %4s", "drop", "win")
 	}
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+"  %s\n",
+	fabricHdr, fabricFmt := "", ""
+	if congested {
+		fabricHdr = fmt.Sprintf(" %8s", "fabric")
+	}
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+fabricHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
@@ -765,9 +816,12 @@ func (rs Results) Format() string {
 		if faulty {
 			faultFmt = fmt.Sprintf(" %6g %4d", p.Faults, p.Window)
 		}
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s  ",
+		if congested {
+			fabricFmt = fmt.Sprintf(" %8s", p.FabricRouting)
+		}
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt, fabricFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -795,13 +849,15 @@ func (rs Results) Format() string {
 // Metric columns not applicable to a point's mode are left empty. The CSV
 // carries simulation results only (no wall-clock timing), so it is
 // deterministic: identical runs — serial or parallel — diff clean. A
-// nodes column follows seed when the set contains multi-node points, and
+// nodes column follows seed when the set contains multi-node points,
 // drop_rate/window columns follow it when any point injects faults or
-// caps the QP window.
+// caps the QP window, and a fabric_routing column follows those when any
+// point runs the congestion-faithful fabric.
 func (rs Results) CSV() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
 	faulty := rs.hasFaults()
+	congested := rs.hasFabricRouting()
 	nodesHdr := ""
 	if multi {
 		nodesHdr = "nodes,"
@@ -810,7 +866,11 @@ func (rs Results) CSV() string {
 	if faulty {
 		faultHdr = "drop_rate,window,"
 	}
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr +
+	fabricHdr := ""
+	if congested {
+		fabricHdr = "fabric_routing,"
+	}
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr + fabricHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
 		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained,error\n")
 	for _, r := range rs {
@@ -823,9 +883,13 @@ func (rs Results) CSV() string {
 		if faulty {
 			faultCol = fmt.Sprintf("%g,%d,", p.Faults, p.Window)
 		}
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s",
+		fabricCol := ""
+		if congested {
+			fabricCol = fmt.Sprintf("%s,", p.FabricRouting)
+		}
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol, fabricCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -858,10 +922,11 @@ type resultJSON struct {
 	Hops      int             `json:"hops"`
 	Core      int             `json:"core"`
 	Seed      uint64          `json:"seed"`
-	Nodes     int             `json:"nodes,omitempty"`     // > 1: a real Cluster ran this point
-	Placement string          `json:"placement,omitempty"` // "torus": real 3D-torus coordinates
-	DropRate  float64         `json:"drop_rate,omitempty"` // > 0: fabric fault injection was active
-	Window    int             `json:"window,omitempty"`    // > 0: QP credit window cap
+	Nodes     int             `json:"nodes,omitempty"`          // > 1: a real Cluster ran this point
+	Placement string          `json:"placement,omitempty"`      // "torus": real 3D-torus coordinates
+	DropRate  float64         `json:"drop_rate,omitempty"`      // > 0: fabric fault injection was active
+	Window    int             `json:"window,omitempty"`         // > 0: QP credit window cap
+	Fabric    string          `json:"fabric_routing,omitempty"` // "dor"/"adaptive": congestion fabric active
 	Latency   *SyncResult     `json:"latency,omitempty"`
 	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
 	Workload  *WorkloadResult `json:"workload,omitempty"`
@@ -902,6 +967,9 @@ func (rs Results) JSON() ([]byte, error) {
 		}
 		out[i].DropRate = p.Faults
 		out[i].Window = p.Window
+		if p.FabricRouting != RouteNone {
+			out[i].Fabric = p.FabricRouting.String()
+		}
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()
 		}
