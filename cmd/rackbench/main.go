@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded|incast (fault- and congestion-plane studies beyond the paper, not part of all)")
+	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded|incast|service (fault-, congestion- and service-plane studies beyond the paper, not part of all)")
 	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -43,9 +43,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded", "incast":
+	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded", "incast", "service":
 	default:
-		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded|incast)", *exp)
+		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded|incast|service)", *exp)
 	}
 
 	cfg := rackni.DefaultConfig()
@@ -167,6 +167,20 @@ func main() {
 			icfg := clusterStudyCfg(cfg)
 			icfg.MaxCycles = 2_000_000 // saturated high-fan-in runs must still drain
 			return wrap(rackni.RunIncast(icfg, n, nil, nil))
+		})
+	}
+	if *exp == "service" {
+		// Like incast: torus geometry with path diversity so dor vs adaptive
+		// differ, and a raised cycle budget so saturated open-loop points
+		// still drain their arrival backlogs.
+		n := *nodes
+		if !explicitFlag("nodes") {
+			n = 16
+		}
+		run(fmt.Sprintf("Open-loop KV service: goodput and tail vs offered load (%d nodes, hedging off/on, dor vs adaptive)", n), func() (fmt.Stringer, error) {
+			scfg := clusterStudyCfg(cfg)
+			scfg.MaxCycles = 2_000_000
+			return wrap(rackni.RunServiceCurve(scfg, n, nil, nil, nil))
 		})
 	}
 	if *jsonOut {

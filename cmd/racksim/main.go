@@ -19,6 +19,7 @@
 //	racksim -nodes 8 -workload kv -drop 0.01 -quick       # 1% fabric drops, recovered by retry
 //	racksim -nodes 4 -mode bandwidth -size 4096 -window 1,4,16,0 -quick   # credit-window overload sweep
 //	racksim -nodes 16 -workload incast -fabricrouting dor,adaptive -quick  # link-level congestion, routing comparison
+//	racksim -nodes 8 -arrival poisson -rate 1,4 -hedge 0,1000 -quick       # open-loop KV service, hedging off/on
 package main
 
 import (
@@ -49,6 +50,9 @@ func main() {
 	drop := flag.String("drop", "0", "fabric drop rate(s) in [0,1), comma-separated; > 0 needs -nodes > 1 and arms the request timeout so drops recover by retry")
 	window := flag.String("window", "0", "QP credit window(s), comma-separated; 0 = uncapped (WQ-depth bound only)")
 	fabricRouting := flag.String("fabricrouting", "off", "inter-node fabric routing(s): off|dor|adaptive, comma-separated; dor/adaptive route hop-by-hop through per-link credit queues (congestion model, needs -nodes > 1)")
+	arrival := flag.String("arrival", "", "open-loop arrival process(es): poisson|bursty|diurnal, comma-separated; runs the replicated KV service instead of closed-loop scenarios")
+	rate := flag.String("rate", "1", "offered load(s) in requests per 1000 cycles per client, comma-separated (service points only)")
+	hedge := flag.String("hedge", "0", "hedged-request delay(s) in cycles, comma-separated; 0 = hedging off (service points only)")
 	quick := flag.Bool("quick", false, "short stabilization windows")
 	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
 	jsonOut := flag.Bool("json", false, "emit JSON results")
@@ -74,8 +78,8 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	// -workload replaces the default latency microbenchmark; passing -mode
-	// explicitly alongside it runs both kinds of points.
+	// -workload and -arrival replace the default latency microbenchmark;
+	// passing -mode explicitly alongside them runs both kinds of points.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	modeSet := explicit["mode"]
@@ -90,7 +94,7 @@ func main() {
 		}
 	}
 	var modes []rackni.Mode
-	if *workload == "" || modeSet {
+	if (*workload == "" && *arrival == "") || modeSet {
 		modes, err = rackni.ParseModes(*mode)
 		if err != nil {
 			fatalf("%v", err)
@@ -135,6 +139,35 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	// -arrival adds open-loop service points: the cross product of arrival
+	// kinds and rates, each run at every -hedge delay.
+	var arrivals []rackni.ArrivalSpec
+	var hedges []int64
+	if *arrival != "" {
+		kinds, err := rackni.ParseArrivalKinds(*arrival)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rates, err := rackni.ParseRates(*rate)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, k := range kinds {
+			for _, r := range rates {
+				arrivals = append(arrivals, rackni.ArrivalSpec{Kind: k, Rate: r})
+			}
+		}
+		hedges, err = rackni.ParseHedges(*hedge)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		for _, name := range []string{"rate", "hedge"} {
+			if explicit[name] {
+				fmt.Fprintf(os.Stderr, "racksim: note: -%s applies to service points only; pass -arrival to run them\n", name)
+			}
+		}
+	}
 
 	torusPlaced := false
 	switch *placement {
@@ -158,6 +191,8 @@ func main() {
 		Faults(drops...).
 		Windows(windows...).
 		FabricRoutings(fabricRoutings...).
+		Arrivals(arrivals...).
+		Hedges(hedges...).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()
@@ -229,6 +264,12 @@ func main() {
 			fmt.Printf("  %4d %9d %9d %10.0f %8d %8d %8d\n",
 				c.Core, c.Issued, c.Completed, c.MeanLatency, c.P50, c.P95, c.P99)
 		}
+	case len(results) == 1 && results[0].SVC != nil:
+		// Single service point: the full tail-at-scale breakdown.
+		r := results[0]
+		fmt.Printf("%v %v %s hedge=%d%s:\n%s",
+			r.Point.Config.Design, r.Point.Config.Topology, r.Point.Arrival,
+			r.Point.Hedge, nodesSuffix(r.Point.Nodes), r.SVC.Format())
 	case len(results) == 1 && results[0].BW != nil:
 		// Single bandwidth point: keep the detailed single-run output.
 		r := results[0]

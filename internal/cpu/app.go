@@ -107,6 +107,22 @@ type App interface {
 	OnComplete(coreID int, req Request, issuedCycle, doneCycle int64)
 }
 
+// OpenLooper marks an App that issues on an arrival clock instead of on
+// completion — an open-loop client whose Think durations are "sleep until
+// the next arrival or deadline". For such apps a long uninterrupted think
+// would starve completion delivery (hedge deadlines and cancellations
+// depend on seeing responses promptly), so the driver slices thinks: it
+// sleeps at most OpenLoopPoll cycles at a time, polls the CQ, delivers
+// any completions, and asks the app again. The contract is that the app
+// recomputes its remaining think from now on every Step (wake-time minus
+// now), which every arrival-clock app does naturally; fixed-duration
+// thinks would stretch under slicing.
+type OpenLooper interface {
+	// OpenLoopPoll returns the maximum cycles the driver may sleep on one
+	// Think before polling for completions (<= 0 disables slicing).
+	OpenLoopPoll() int64
+}
+
 // legacyApp adapts a v1 open-loop Workload to the App contract: always
 // issue the next scripted operation, never wait, stop when the script
 // ends. On the driver's open-loop discipline this reproduces the old
@@ -155,6 +171,13 @@ type AppDriver struct {
 	// consecutive enqueues ("occasionally polling", §5).
 	PollEvery int
 
+	// ThinkPoll, when positive, slices Think sleeps that exceed it while
+	// requests are in flight: sleep ThinkPoll cycles, poll the CQ, deliver
+	// completions, re-Step. Set automatically from apps implementing
+	// OpenLooper; zero (the default) keeps the classic uninterrupted
+	// think, so closed-loop runs are untouched.
+	ThinkPoll int64
+
 	// CheckAddr, when non-nil, validates every issued request's remote
 	// address before it enters the queue pair. Cluster members install the
 	// fabric's addressing-contract check here so an app that manufactures
@@ -182,6 +205,7 @@ type AppDriver struct {
 	// Prebuilt callbacks so the steady-state loops schedule no new
 	// closures beyond the two per issue the coherent publish needs.
 	stepFn      func()
+	thinkPollFn func()
 	resumeFn    func()
 	spinFn      func()
 	spinDoneFn  func()
@@ -207,7 +231,11 @@ func NewAppDriver(eng *sim.Engine, cfg *config.Config, id int, agent *coherence.
 		app: app, PollEvery: 4,
 		Hist: stats.NewLatencyHistogram(),
 	}
+	if ol, ok := app.(OpenLooper); ok {
+		d.ThinkPoll = ol.OpenLoopPoll()
+	}
 	d.stepFn = d.step
+	d.thinkPollFn = d.thinkPoll
 	d.resumeFn = d.resume
 	d.spinFn = d.spin
 	d.spinDoneFn = d.onSpinRead
@@ -292,6 +320,14 @@ func (d *AppDriver) step() {
 		if t < 1 {
 			t = 1
 		}
+		// Open-loop slicing: with responses pending, cap the sleep so
+		// completions are delivered on the ThinkPoll cadence instead of
+		// after the whole think. With nothing in flight no completion can
+		// arrive, so the full sleep is exact.
+		if d.ThinkPoll > 0 && t > d.ThinkPoll && d.qp.InFlight() > 0 {
+			d.eng.Schedule(d.ThinkPoll, d.thinkPollFn)
+			return
+		}
 		d.eng.Schedule(t, d.stepFn)
 	case actDone:
 		if d.qp.InFlight() > 0 {
@@ -347,6 +383,16 @@ func (d *AppDriver) onAfterIssue() {
 		return
 	}
 	d.step()
+}
+
+// thinkPoll wakes mid-think and checks the CQ; onPollRead re-Steps the
+// app (which recomputes its remaining think) whether or not anything
+// completed.
+func (d *AppDriver) thinkPoll() {
+	if d.stopped {
+		return
+	}
+	d.agent.Read(d.qp.CQTailAddr(), d.pollDoneFn)
 }
 
 // onPollRead handles a non-blocking poll's read completion.

@@ -1,0 +1,248 @@
+// Package load generates deterministic open-loop request arrival
+// schedules. A Process turns one seed into a monotone stream of absolute
+// arrival cycles — a pure function of (Spec, seed), so every node and
+// client of a cluster run draws an independent, reproducible schedule and
+// serial and parallel sweeps see byte-identical traffic.
+//
+// Three arrival shapes cover the datacenter-service load curves:
+//
+//   - Poisson: memoryless arrivals at a constant mean rate — the
+//     open-loop baseline.
+//   - Bursty: a two-state MMPP (Markov-modulated Poisson process) that
+//     alternates exponentially-long on/off phases; the on phase runs at
+//     BurstFactor times the mean rate, so the same offered load arrives
+//     in bursts that stress queues far harder than Poisson.
+//   - Diurnal: a non-homogeneous Poisson process whose rate follows a
+//     sinusoidal load curve (Lewis-Shedler thinning), the day/night swing
+//     of a user-facing service compressed to simulation scale.
+package load
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rackni/internal/sim"
+)
+
+// Kind names an arrival-process family.
+type Kind int
+
+const (
+	// Poisson is memoryless constant-rate arrivals.
+	Poisson Kind = iota
+	// Bursty is a two-state on/off MMPP at the same mean rate.
+	Bursty
+	// Diurnal is a sinusoidally rate-modulated Poisson process.
+	Diurnal
+)
+
+// String returns the canonical lower-case name.
+func (k Kind) String() string {
+	switch k {
+	case Poisson:
+		return "poisson"
+	case Bursty:
+		return "bursty"
+	case Diurnal:
+		return "diurnal"
+	}
+	return fmt.Sprintf("load.Kind(%d)", int(k))
+}
+
+// Kinds lists the canonical kind names in declaration order.
+func Kinds() []string { return []string{"poisson", "bursty", "diurnal"} }
+
+// ParseKind resolves a kind name (case-insensitive).
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "poisson":
+		return Poisson, nil
+	case "bursty", "mmpp":
+		return Bursty, nil
+	case "diurnal":
+		return Diurnal, nil
+	}
+	return 0, fmt.Errorf("load: unknown arrival kind %q (want %s)",
+		s, strings.Join(Kinds(), "|"))
+}
+
+// Spec parameterizes an arrival process. Rate is the mean offered load in
+// arrivals per 1000 cycles; every shape hits that long-run mean, so curves
+// across kinds compare like for like. Zero-valued shape parameters take
+// the defaults noted below.
+type Spec struct {
+	Kind Kind
+	Rate float64 // mean arrivals per 1000 cycles (> 0)
+
+	// Bursty shape.
+	BurstFactor float64 // on-phase rate multiplier (default 3, >= 1)
+	OnFrac      float64 // fraction of time spent on (default 0.25, in (0,1))
+	PhaseCycles float64 // mean on- and off-phase length in cycles (default 20_000)
+
+	// Diurnal shape.
+	PeriodCycles float64 // sine period in cycles (default 100_000)
+	Depth        float64 // modulation depth (default 0.8, in [0,1))
+}
+
+// withDefaults fills zero-valued shape parameters.
+func (s Spec) withDefaults() Spec {
+	if s.BurstFactor == 0 {
+		s.BurstFactor = 3
+	}
+	if s.OnFrac == 0 {
+		s.OnFrac = 0.25
+	}
+	if s.PhaseCycles == 0 {
+		s.PhaseCycles = 20_000
+	}
+	if s.PeriodCycles == 0 {
+		s.PeriodCycles = 100_000
+	}
+	if s.Depth == 0 {
+		s.Depth = 0.8
+	}
+	return s
+}
+
+// validate rejects shapes that cannot hit the requested mean rate.
+func (s Spec) validate() error {
+	switch {
+	case s.Rate <= 0 || math.IsInf(s.Rate, 0) || math.IsNaN(s.Rate):
+		return fmt.Errorf("load: rate %g must be a positive finite arrivals/kcycle", s.Rate)
+	case s.BurstFactor < 1:
+		return fmt.Errorf("load: burst factor %g must be >= 1", s.BurstFactor)
+	case s.OnFrac <= 0 || s.OnFrac >= 1:
+		return fmt.Errorf("load: on-fraction %g must be in (0,1)", s.OnFrac)
+	case s.OnFrac*s.BurstFactor > 1:
+		return fmt.Errorf("load: burst factor %g x on-fraction %g exceeds the mean rate (off-phase rate would be negative)", s.BurstFactor, s.OnFrac)
+	case s.PhaseCycles <= 0:
+		return fmt.Errorf("load: phase length %g must be positive", s.PhaseCycles)
+	case s.PeriodCycles <= 0:
+		return fmt.Errorf("load: diurnal period %g must be positive", s.PeriodCycles)
+	case s.Depth < 0 || s.Depth >= 1:
+		return fmt.Errorf("load: diurnal depth %g must be in [0,1)", s.Depth)
+	}
+	return nil
+}
+
+// Process is one deterministic arrival stream. Not safe for concurrent
+// use; give each client its own Process with a decorrelated seed.
+type Process struct {
+	spec Spec
+	rnd  *sim.Rand
+	t    float64 // absolute simulation time of the last arrival draw
+
+	// Bursty state.
+	on       bool
+	phaseEnd float64
+
+	// Diurnal envelope rate (arrivals per cycle).
+	lmax float64
+}
+
+// NewProcess builds the arrival stream for one client. The same (spec,
+// seed) pair always yields the same schedule.
+func NewProcess(spec Spec, seed uint64) (*Process, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	p := &Process{spec: spec, rnd: sim.NewRand(seed)}
+	if spec.Kind == Diurnal {
+		p.lmax = spec.Rate / 1000 * (1 + spec.Depth)
+	}
+	if spec.Kind == Bursty {
+		// Start mid-stream: the first phase boundary is drawn like every
+		// later one, beginning in the off state so low-rate streams do not
+		// all burst at cycle zero.
+		p.phaseEnd = p.exp(1 / p.offMean())
+	}
+	return p, nil
+}
+
+// Spec returns the fully defaulted parameters this process runs with.
+func (p *Process) Spec() Spec { return p.spec }
+
+// exp draws an exponential variate with the given rate (events per cycle).
+func (p *Process) exp(rate float64) float64 {
+	// 1-Float64() is in (0,1], so the log is finite.
+	return -math.Log(1-p.rnd.Float64()) / rate
+}
+
+// onMean and offMean split PhaseCycles so the long-run on-fraction is
+// OnFrac: mean on-phase OnFrac*Phase, mean off-phase (1-OnFrac)*Phase.
+func (p *Process) onMean() float64  { return p.spec.OnFrac * p.spec.PhaseCycles }
+func (p *Process) offMean() float64 { return (1 - p.spec.OnFrac) * p.spec.PhaseCycles }
+
+// rateNow is the instantaneous arrival rate (per cycle) of the bursty
+// process in its current phase.
+func (p *Process) rateNow() float64 {
+	mean := p.spec.Rate / 1000
+	if p.on {
+		return mean * p.spec.BurstFactor
+	}
+	// Chosen so OnFrac*on + (1-OnFrac)*off == mean; validate() guarantees
+	// the numerator is non-negative.
+	return mean * (1 - p.spec.BurstFactor*p.spec.OnFrac) / (1 - p.spec.OnFrac)
+}
+
+// Next returns the next absolute arrival cycle. Arrivals are monotone
+// non-decreasing; at high rates several can land in one cycle.
+func (p *Process) Next() int64 {
+	switch p.spec.Kind {
+	case Bursty:
+		return p.nextBursty()
+	case Diurnal:
+		return p.nextDiurnal()
+	}
+	p.t += p.exp(p.spec.Rate / 1000)
+	return p.arrival()
+}
+
+// nextBursty advances the MMPP: exponential interarrivals at the current
+// phase's rate, with draws that cross a phase boundary discarded at the
+// boundary (memorylessness makes the restart exact, not approximate).
+func (p *Process) nextBursty() int64 {
+	for {
+		r := p.rateNow()
+		if r > 0 {
+			d := p.exp(r)
+			if p.t+d < p.phaseEnd {
+				p.t += d
+				return p.arrival()
+			}
+		}
+		// Silent phase, or the draw overshot it: jump to the boundary and
+		// flip state.
+		p.t = p.phaseEnd
+		p.on = !p.on
+		mean := p.offMean()
+		if p.on {
+			mean = p.onMean()
+		}
+		p.phaseEnd = p.t + p.exp(1/mean)
+	}
+}
+
+// nextDiurnal thins a Poisson stream at the envelope rate lmax down to the
+// sinusoidal instantaneous rate (Lewis-Shedler).
+func (p *Process) nextDiurnal() int64 {
+	for {
+		p.t += p.exp(p.lmax)
+		rate := p.spec.Rate / 1000 *
+			(1 + p.spec.Depth*math.Sin(2*math.Pi*p.t/p.spec.PeriodCycles))
+		if p.rnd.Float64()*p.lmax <= rate {
+			return p.arrival()
+		}
+	}
+}
+
+// arrival converts the float clock to a cycle, saturating far past any
+// simulation horizon rather than overflowing.
+func (p *Process) arrival() int64 {
+	if p.t >= math.MaxInt64/2 {
+		return math.MaxInt64 / 2
+	}
+	return int64(p.t)
+}

@@ -1,0 +1,153 @@
+package load
+
+import (
+	"math"
+	"testing"
+)
+
+func schedule(t *testing.T, spec Spec, seed uint64, horizon int64) []int64 {
+	t.Helper()
+	p, err := NewProcess(spec, seed)
+	if err != nil {
+		t.Fatalf("NewProcess(%+v): %v", spec, err)
+	}
+	var s []int64
+	for {
+		a := p.Next()
+		if a > horizon {
+			return s
+		}
+		s = append(s, a)
+	}
+}
+
+// Same (spec, seed) must always produce the identical schedule; different
+// seeds must decorrelate.
+func TestProcessDeterminism(t *testing.T) {
+	for _, k := range []Kind{Poisson, Bursty, Diurnal} {
+		spec := Spec{Kind: k, Rate: 2}
+		a := schedule(t, spec, 7, 500_000)
+		b := schedule(t, spec, 7, 500_000)
+		if len(a) == 0 {
+			t.Fatalf("%v: empty schedule", k)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: schedules diverge at %d: %d vs %d", k, i, a[i], b[i])
+			}
+		}
+		c := schedule(t, spec, 8, 500_000)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%v: seeds 7 and 8 produced identical schedules", k)
+		}
+	}
+}
+
+// Arrivals must be monotone non-decreasing for every shape.
+func TestProcessMonotone(t *testing.T) {
+	for _, k := range []Kind{Poisson, Bursty, Diurnal} {
+		s := schedule(t, Spec{Kind: k, Rate: 5}, 3, 200_000)
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("%v: arrival %d at %d precedes %d", k, i, s[i], s[i-1])
+			}
+		}
+	}
+}
+
+// Every shape must hit the requested long-run mean rate: Rate arrivals
+// per 1000 cycles within a few percent over a long horizon.
+func TestProcessMeanRate(t *testing.T) {
+	const horizon = 4_000_000
+	for _, k := range []Kind{Poisson, Bursty, Diurnal} {
+		got := float64(len(schedule(t, Spec{Kind: k, Rate: 2}, 11, horizon)))
+		want := 2.0 / 1000 * horizon
+		if math.Abs(got-want)/want > 0.08 {
+			t.Fatalf("%v: %v arrivals over %d cycles, want ~%v", k, got, int64(horizon), want)
+		}
+	}
+}
+
+// Bursty arrivals at the same mean rate must be burstier than Poisson:
+// compare the variance of per-window arrival counts (index of dispersion).
+func TestBurstyIsBurstier(t *testing.T) {
+	const horizon, window = 2_000_000, 10_000
+	dispersion := func(kind Kind) float64 {
+		s := schedule(t, Spec{Kind: kind, Rate: 2}, 5, horizon)
+		counts := make([]float64, horizon/window)
+		for _, a := range s {
+			if i := int(a / window); i < len(counts) {
+				counts[i]++
+			}
+		}
+		var mean, varsum float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		for _, c := range counts {
+			varsum += (c - mean) * (c - mean)
+		}
+		return varsum / float64(len(counts)) / mean
+	}
+	p, b := dispersion(Poisson), dispersion(Bursty)
+	if b < 2*p {
+		t.Fatalf("bursty dispersion %.2f not clearly above poisson %.2f", b, p)
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+	}{{"poisson", Poisson}, {" Bursty ", Bursty}, {"mmpp", Bursty}, {"DIURNAL", Diurnal}} {
+		k, err := ParseKind(tc.in)
+		if err != nil || k != tc.want {
+			t.Fatalf("ParseKind(%q) = %v, %v; want %v", tc.in, k, err, tc.want)
+		}
+	}
+	if _, err := ParseKind("sawtooth"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+	for _, k := range []Kind{Poisson, Bursty, Diurnal} {
+		rt, err := ParseKind(k.String())
+		if err != nil || rt != k {
+			t.Fatalf("round trip of %v failed: %v, %v", k, rt, err)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: Poisson, Rate: 0},
+		{Kind: Poisson, Rate: -1},
+		{Kind: Poisson, Rate: math.Inf(1)},
+		{Kind: Bursty, Rate: 1, BurstFactor: 0.5},
+		{Kind: Bursty, Rate: 1, OnFrac: 1.5},
+		{Kind: Bursty, Rate: 1, BurstFactor: 8, OnFrac: 0.25}, // off rate < 0
+		{Kind: Bursty, Rate: 1, PhaseCycles: -1},
+		{Kind: Diurnal, Rate: 1, Depth: 1.5},
+		{Kind: Diurnal, Rate: 1, PeriodCycles: -5},
+	}
+	for _, s := range bad {
+		if _, err := NewProcess(s, 1); err == nil {
+			t.Fatalf("NewProcess(%+v) accepted an invalid spec", s)
+		}
+	}
+	p, err := NewProcess(Spec{Kind: Bursty, Rate: 1}, 1)
+	if err != nil {
+		t.Fatalf("defaulted bursty spec rejected: %v", err)
+	}
+	if d := p.Spec(); d.BurstFactor != 3 || d.OnFrac != 0.25 || d.PhaseCycles != 20_000 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+}

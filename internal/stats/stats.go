@@ -102,18 +102,32 @@ func (l *LatencyAccum) Percentile(p float64) int64 {
 // counts. Unlike a sampling accumulator it never drops tail samples, so
 // p99 over millions of requests is exact to one bucket width — the
 // property tail-latency metrics need.
+//
+// Samples beyond the fixed-width range land in a geometric overflow tier:
+// each doubling of the range (octave) is split into tailSubBuckets
+// sub-buckets, so the tail keeps ~3% relative resolution no matter how far
+// an overloaded run's latencies stretch, instead of saturating at the
+// top fixed bucket. The tier is allocated lazily — in-range distributions
+// carry no extra state and behave bit-identically to the pre-tier shape.
 type Histogram struct {
 	width    int64
 	counts   []int64
 	count    int64
 	sum      float64
 	min, max int64
-	overflow int64 // samples beyond the bucketed range (reported via max)
+	overflow int64   // samples beyond the fixed-width range (sum of tail)
+	tail     []int64 // geometric tier: tailSubBuckets per octave above the range
 }
 
+// tailSubBuckets is the per-octave resolution of the geometric overflow
+// tier: each [range·2ᵒ, range·2ᵒ⁺¹) octave is split into this many equal
+// sub-buckets, bounding a tail percentile's overstatement to one
+// sub-bucket (≤ 1/32 of the sample's magnitude).
+const tailSubBuckets = 32
+
 // NewHistogram returns a histogram of `buckets` buckets of `width` cycles
-// each; values at or beyond buckets*width accumulate in an overflow count
-// whose percentile reports the observed maximum.
+// each; values at or beyond buckets*width land in the geometric overflow
+// tier, whose percentiles stay within one sub-bucket of exact.
 func NewHistogram(width int64, buckets int) *Histogram {
 	if width < 1 {
 		width = 1
@@ -125,9 +139,54 @@ func NewHistogram(width int64, buckets int) *Histogram {
 }
 
 // NewLatencyHistogram returns the shape shared by the per-core request
-// latency histograms: 16-cycle buckets to 64 Ki cycles. All latency
-// histograms use one shape so per-core histograms merge into node totals.
+// latency histograms: 16-cycle buckets to 64 Ki cycles, then the geometric
+// overflow tier. All latency histograms use one shape so per-core
+// histograms merge into node totals.
 func NewLatencyHistogram() *Histogram { return NewHistogram(16, 4096) }
+
+// tailRange is the lower bound of the overflow tier (the fixed-width
+// range's upper edge).
+func (h *Histogram) tailRange() int64 { return h.width * int64(len(h.counts)) }
+
+// tailIndex maps an overflow sample (v >= tailRange) to its tier bucket.
+func (h *Histogram) tailIndex(v int64) int {
+	base := h.tailRange()
+	// Octave o covers [base<<o, base<<(o+1)).
+	o := 0
+	for lo := base; v >= lo<<1 && lo<<1 > lo; lo <<= 1 {
+		o++
+	}
+	lo := base << o
+	sub := int64(0)
+	if w := lo / tailSubBuckets; w > 0 {
+		sub = (v - lo) / w
+	} else {
+		sub = v - lo // octaves narrower than the sub-bucket count: unit width
+	}
+	if sub >= tailSubBuckets {
+		sub = tailSubBuckets - 1
+	}
+	return o*tailSubBuckets + int(sub)
+}
+
+// tailEdge is a tier bucket's upper edge — the value Percentile reports
+// (capped at the observed max) for ranks landing in it.
+func (h *Histogram) tailEdge(i int) int64 {
+	base := h.tailRange()
+	o, sub := i/tailSubBuckets, int64(i%tailSubBuckets)
+	lo := base << o
+	if lo <= 0 || lo > math.MaxInt64/2 {
+		return math.MaxInt64 // saturated octave: the max cap takes over
+	}
+	if sub == tailSubBuckets-1 {
+		return lo << 1 // octave top (sub-bucket rounding must not undershoot)
+	}
+	w := lo / tailSubBuckets
+	if w == 0 {
+		w = 1
+	}
+	return lo + (sub+1)*w
+}
 
 // Add records one sample.
 func (h *Histogram) Add(v int64) {
@@ -145,6 +204,11 @@ func (h *Histogram) Add(v int64) {
 	}
 	if i >= int64(len(h.counts)) {
 		h.overflow++
+		ti := h.tailIndex(v)
+		if ti >= len(h.tail) {
+			h.tail = append(h.tail, make([]int64, ti+1-len(h.tail))...)
+		}
+		h.tail[ti]++
 		return
 	}
 	h.counts[i]++
@@ -174,8 +238,9 @@ func (h *Histogram) Max() int64 { return h.max }
 
 // Percentile returns the p-th percentile (0..100): the upper edge of the
 // bucket holding the p-th sample, capped at the observed maximum, so the
-// result never understates a latency by more than one bucket width.
-// Samples in the overflow region report the observed maximum.
+// result never understates a latency — and never overstates it by more
+// than the containing bucket's width (one fixed bucket in range, one
+// geometric sub-bucket in the overflow tier).
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -198,11 +263,23 @@ func (h *Histogram) Percentile(p float64) int64 {
 			return edge
 		}
 	}
+	for i, c := range h.tail {
+		cum += c
+		if cum >= rank {
+			edge := h.tailEdge(i)
+			if edge > h.max {
+				edge = h.max
+			}
+			return edge
+		}
+	}
 	return h.max
 }
 
 // Merge adds o's counts into h. The histograms must share width and bucket
-// count (as NewLatencyHistogram guarantees); Merge panics otherwise.
+// count (as NewLatencyHistogram guarantees); Merge panics otherwise. The
+// overflow tiers merge by index (the shape check makes their octave grids
+// identical); h's tier grows to cover o's.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {
 		return
@@ -212,6 +289,12 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c
+	}
+	if len(o.tail) > len(h.tail) {
+		h.tail = append(h.tail, make([]int64, len(o.tail)-len(h.tail))...)
+	}
+	for i, c := range o.tail {
+		h.tail[i] += c
 	}
 	h.count += o.count
 	h.sum += o.sum

@@ -257,3 +257,114 @@ func TestPropertyHistogramPercentileBounds(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// bucketFor returns the upper edge of the bucket that holds v — the bound
+// a percentile landing exactly on v may report (before the max cap).
+func bucketFor(h *Histogram, v int64) int64 {
+	if v < h.tailRange() {
+		i := v / h.width
+		if v < 0 {
+			i = 0
+		}
+		return (i + 1) * h.width
+	}
+	return h.tailEdge(h.tailIndex(v))
+}
+
+// Property: with samples deep into the overflow tier, a percentile never
+// understates the exact rank sample and never overstates it by more than
+// the containing (geometric) bucket — the tail never saturates the way the
+// pre-tier top bucket did.
+func TestPropertyHistogramTailPercentileBounds(t *testing.T) {
+	f := func(vals []uint32, shift uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewLatencyHistogram()
+		s := make([]int64, len(vals))
+		for i, v := range vals {
+			// Spread samples across the fixed range and many octaves of
+			// the tail (up to ~2^47 cycles).
+			x := int64(v) << (shift % 16)
+			h.Add(x)
+			s[i] = x
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		for _, p := range []float64{50, 90, 99, 99.9, 100} {
+			rank := int(math.Ceil(p / 100 * float64(len(s))))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := s[rank-1]
+			got := h.Percentile(p)
+			if got < exact || got > bucketFor(h, exact) || got > h.Max() {
+				t.Logf("p%g: got %d, exact %d, bucket edge %d, max %d",
+					p, got, exact, bucketFor(h, exact), h.Max())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The overflow tier keeps relative resolution: two well-separated tail
+// modes must not collapse to one edge (the pre-tier behavior, where every
+// overflow rank reported the observed max and p99 under overload was
+// silently the worst sample ever seen).
+func TestHistogramTailResolvesDistinctModes(t *testing.T) {
+	h := NewLatencyHistogram() // fixed range ends at 65,536
+	for i := 0; i < 990; i++ {
+		h.Add(100_000) // the common overloaded latency
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(4_000_000) // a rare straggler mode, 40x slower
+	}
+	p50, p99, p999 := h.Percentile(50), h.Percentile(99), h.Percentile(99.9)
+	if p50 < 100_000 || p50 > 104_000 {
+		t.Fatalf("p50=%d want ~100k within one sub-bucket", p50)
+	}
+	if p99 < 100_000 || p99 > 104_000 {
+		t.Fatalf("p99=%d: the common mode must not be dragged to the straggler max", p99)
+	}
+	if p999 < 4_000_000 {
+		t.Fatalf("p99.9=%d must reach the straggler mode", p999)
+	}
+}
+
+// Tail merging: merged tail percentiles equal the single-histogram
+// reference, including across differently-grown tiers.
+func TestHistogramTailMerge(t *testing.T) {
+	a, b, ref := NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram()
+	for v := int64(1_000); v < 200_000; v += 997 {
+		a.Add(v)
+		ref.Add(v)
+	}
+	for v := int64(70_000); v < 50_000_000; v += 500_011 {
+		b.Add(v)
+		ref.Add(v)
+	}
+	a.Merge(b)
+	for _, p := range []float64{1, 50, 90, 99, 99.9, 100} {
+		if a.Percentile(p) != ref.Percentile(p) {
+			t.Fatalf("p%g: merged %d != ref %d", p, a.Percentile(p), ref.Percentile(p))
+		}
+	}
+	if a.Count() != ref.Count() || a.Max() != ref.Max() {
+		t.Fatal("merged aggregates diverge from reference")
+	}
+}
+
+// In-range distributions must be bit-identical to the pre-tier histogram:
+// no tail is allocated and every aggregate matches the fixed-bucket math.
+func TestHistogramInRangeAllocatesNoTail(t *testing.T) {
+	h := NewLatencyHistogram()
+	for v := int64(0); v < 65_536; v += 13 {
+		h.Add(v)
+	}
+	if h.tail != nil || h.overflow != 0 {
+		t.Fatalf("in-range samples grew a tail (len %d, overflow %d)", len(h.tail), h.overflow)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"rackni/internal/load"
 )
 
 // ParseDesign converts a design name (edge, pertile, per-tile, split) to
@@ -193,6 +195,45 @@ func ParseFabricRouting(s string) (RoutePolicy, error) {
 // ("dor,adaptive") for the Sweep's FabricRoutings axis.
 func ParseFabricRoutings(s string) ([]RoutePolicy, error) {
 	return parseList(s, ParseFabricRouting)
+}
+
+// ParseArrivalKind converts an arrival-process name (poisson, bursty,
+// diurnal) to its canonical form for ArrivalSpec.Kind.
+func ParseArrivalKind(s string) (string, error) {
+	k, err := load.ParseKind(s)
+	if err != nil {
+		return "", fmt.Errorf("rackni: unknown arrival kind %q (want %s)",
+			s, strings.Join(load.Kinds(), "|"))
+	}
+	return k.String(), nil
+}
+
+// ParseArrivalKinds parses a comma-separated arrival-process list
+// ("poisson,bursty") for the Sweep's Arrivals axis.
+func ParseArrivalKinds(s string) ([]string, error) { return parseList(s, ParseArrivalKind) }
+
+// ParseRates parses a comma-separated list of positive offered-load rates
+// in requests per 1000 cycles per client ("0.5,2,8").
+func ParseRates(s string) ([]float64, error) {
+	return parseList(s, func(tok string) (float64, error) {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("rackni: bad arrival rate %q (want > 0 req/kcycle)", tok)
+		}
+		return v, nil
+	})
+}
+
+// ParseHedges parses a comma-separated list of non-negative hedge delays
+// in cycles ("0,2000"); 0 disables hedging.
+func ParseHedges(s string) ([]int64, error) {
+	return parseList(s, func(tok string) (int64, error) {
+		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("rackni: bad hedge delay %q (want >= 0 cycles)", tok)
+		}
+		return v, nil
+	})
 }
 
 // ParseSeeds parses a comma-separated list of simulation seeds ("1,2,3").

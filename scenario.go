@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	rmc "rackni/internal/core"
 	"rackni/internal/cpu"
@@ -432,7 +431,7 @@ func newKVClient(gets uint64, size, objects int, theta float64, think int64, see
 		theta = 0
 	}
 	if table == nil || len(table.cum) != objects || table.theta != theta {
-		table = newZipfTable(objects, theta)
+		table = sharedZipfTable(objects, theta)
 	}
 	return &KVClient{
 		Gets: gets, Size: size, Objects: objects, Theta: theta, ThinkC: think,
@@ -533,14 +532,11 @@ type Scenario struct {
 	NewCluster func(cfg *Config, nodeIdx, nodes, core int) App
 }
 
-// kvScenarioTable lazily builds the kv scenario's 100k-entry popularity
-// table exactly once per process: zipfTable is read-only after
-// construction, so every client core of every sweep point — and every
-// concurrent run — shares it, instead of re-summing 100k math.Pow terms
-// per point.
-var kvScenarioTable = sync.OnceValue(func() *zipfTable {
-	return newZipfTable(100_000, 0.99)
-})
+// kvScenarioTable names the kv scenario's interned 100k-entry popularity
+// table: every client core of every sweep point — and every concurrent
+// run — shares the one cached copy instead of re-summing 100k math.Pow
+// terms per point.
+func kvScenarioTable() *zipfTable { return sharedZipfTable(100_000, 0.99) }
 
 // scenarioClients is the default client-core count for the request-bound
 // scenarios: a quarter of the tiles, so library runs finish quickly while

@@ -1,0 +1,463 @@
+// The open-loop datacenter-service layer: a replicated Zipf-sharded KV
+// service spanning the cluster, driven by deterministic arrival processes
+// (internal/load) instead of a closed client loop. Each client core draws
+// its own arrival schedule as a pure function of the seed, issues GETs on
+// the arrival clock (queueing between arrival and issue is measured and
+// folded into end-to-end latency), spreads each key over an R-way replica
+// set on the torus, and optionally hedges slow requests to a second
+// replica after a fixed delay with first-response-wins cancellation — the
+// tail-at-scale toolkit, measurable because the rack, its congestion
+// model and its fault plane are simulated in full.
+package rackni
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	rmc "rackni/internal/core"
+	"rackni/internal/load"
+	"rackni/internal/sim"
+	"rackni/internal/stats"
+)
+
+// ArrivalSpec selects an open-loop arrival process for service runs and
+// sweep points: the process family by name (poisson|bursty|diurnal) and
+// the mean offered rate in requests per 1000 cycles per client.
+type ArrivalSpec struct {
+	Kind string
+	Rate float64
+}
+
+func (a ArrivalSpec) String() string { return fmt.Sprintf("%s@%g", a.Kind, a.Rate) }
+
+// Balance selects how a service client picks a replica per request.
+type Balance int
+
+const (
+	// BalancePrimary always sends first attempts to the key's primary
+	// replica (hedges still go elsewhere).
+	BalancePrimary Balance = iota
+	// BalanceLeast sends each attempt to the replica with the fewest of
+	// this client's outstanding requests (deterministic lowest-index
+	// tie-break).
+	BalanceLeast
+)
+
+// String returns the canonical lower-case name.
+func (b Balance) String() string {
+	if b == BalanceLeast {
+		return "least"
+	}
+	return "primary"
+}
+
+// ParseBalance resolves a balance policy name.
+func ParseBalance(s string) (Balance, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "primary":
+		return BalancePrimary, nil
+	case "least":
+		return BalanceLeast, nil
+	}
+	return 0, fmt.Errorf("rackni: unknown balance policy %q (want primary|least)", s)
+}
+
+// ServiceSpec parameterizes one open-loop service run. Zero-valued fields
+// take the noted defaults.
+type ServiceSpec struct {
+	Arrival  ArrivalSpec
+	Requests int     // arrivals per client before its stream closes (default 64)
+	Replicas int     // R-way replication, capped at the node count (default 3)
+	Hedge    int64   // hedge delay in cycles; 0 disables hedging
+	Balance  Balance // replica selection for first attempts
+	Size     int     // GET size in bytes (default 256)
+	Objects  int     // keyspace size (default 100_000)
+	Theta    float64 // Zipf skew (default 0.99)
+	Clients  int     // client cores per node (default tiles/4)
+}
+
+// withServiceDefaults fills zero-valued fields for an n-node cluster.
+func (s ServiceSpec) withServiceDefaults(cfg *Config, n int) ServiceSpec {
+	if s.Requests == 0 {
+		s.Requests = 64
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 3
+	}
+	if s.Replicas > n {
+		s.Replicas = n
+	}
+	if s.Size == 0 {
+		s.Size = 256
+	}
+	if s.Objects == 0 {
+		s.Objects = 100_000
+	}
+	if s.Theta == 0 {
+		s.Theta = 0.99
+	}
+	if s.Clients == 0 {
+		s.Clients = scenarioClients(cfg)
+	}
+	return s
+}
+
+// ServiceResult is one open-loop service run's tail-at-scale summary.
+// Rates are whole-cluster requests per 1000 cycles; latencies are cycles.
+type ServiceResult struct {
+	Nodes   int
+	Clients int // client cores per node
+
+	Arrivals  int64
+	Completed int64
+	Failed    int64 // every attempt permanently failed
+	Hedged    int64 // requests that got a second attempt
+	HedgeWins int64 // requests whose hedge answered first
+	Cancelled int64 // loser/stale attempts dropped after first response
+
+	Offered float64 // arrivals per 1000 cycles, cluster-wide
+	Goodput float64 // completions per 1000 cycles, cluster-wide
+
+	MeanE2E float64 // mean end-to-end latency (arrival to response)
+	P50     int64   // end-to-end percentiles over every request
+	P99     int64
+	P999    int64
+
+	MeanQueue float64 // mean arrival-to-issue queueing delay
+	QueueP99  int64
+
+	NodeP99Max     int64 // worst single node's end-to-end p99
+	SlowDecileP999 int64 // p99.9 over the slowest decile of nodes (by p99)
+
+	Cycles  int64
+	Drained bool // all arrivals issued and every in-flight request retired
+}
+
+// Format renders the result as one readable block.
+func (r ServiceResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "service: %d nodes x %d clients, %d arrivals, %d completed, %d failed (drained=%v, %d cycles)\n",
+		r.Nodes, r.Clients, r.Arrivals, r.Completed, r.Failed, r.Drained, r.Cycles)
+	fmt.Fprintf(&b, "load:    offered %.3f goodput %.3f req/kcycle\n", r.Offered, r.Goodput)
+	fmt.Fprintf(&b, "latency: mean %.0f p50 %d p99 %d p99.9 %d cycles (queue mean %.0f p99 %d)\n",
+		r.MeanE2E, r.P50, r.P99, r.P999, r.MeanQueue, r.QueueP99)
+	fmt.Fprintf(&b, "tails:   worst-node p99 %d slow-decile p99.9 %d\n", r.NodeP99Max, r.SlowDecileP999)
+	fmt.Fprintf(&b, "hedging: %d hedged, %d wins, %d losers cancelled\n", r.Hedged, r.HedgeWins, r.Cancelled)
+	return b.String()
+}
+
+// svcReq is one service request from arrival to retirement.
+type svcReq struct {
+	id        uint64
+	arrival   int64 // arrival-clock cycle
+	committed int64 // cycle the first attempt was committed for issue
+	obj       int
+	firstNode int
+	attempts  int // live (unretired) attempts
+	hedged    bool
+}
+
+// serviceClient is the per-core open-loop service app. It implements
+// cpu.OpenLooper so the driver slices long idle thinks and delivers
+// responses promptly (hedge deadlines and end-to-end latency depend on
+// it). Attempt tags (id<<1 | attempt) are the request-generation
+// mechanism that drops stale responses: a loser or late-retry response
+// whose request already retired finds no outstanding entry and is counted
+// cancelled instead of double-retiring.
+type serviceClient struct {
+	nodes    int
+	spec     ServiceSpec
+	arr      *load.Process
+	keys     *sim.Rand
+	table    *zipfTable
+	slots    uint64
+	total    int
+	hedgeOK  bool
+	balance  Balance
+	replicas int
+
+	arrived     int
+	nextArrival int64
+	backlog     []*svcReq
+	outstanding map[uint64]*svcReq
+	attemptNode map[uint64]int // live attempt tag -> target node
+	outPerNode  []int          // this client's outstanding attempts per node
+	hedgeQ      []uint64       // request ids in first-commit order (lazy cleanup)
+
+	completed int64
+	failed    int64
+	hedged    int64
+	hedgeWins int64
+	cancelled int64
+
+	e2e   *stats.Histogram // arrival -> response
+	queue *stats.Histogram // arrival -> first-attempt commit
+}
+
+// newServiceClient builds one client core's app. seed decorrelates both
+// the arrival schedule and the key stream.
+func newServiceClient(spec ServiceSpec, nodes int, proc *load.Process, seed uint64) *serviceClient {
+	return &serviceClient{
+		nodes: nodes, spec: spec, arr: proc,
+		keys:    sim.NewRand(seed ^ 0xD1B5_4A32_D192_ED03),
+		table:   sharedZipfTable(spec.Objects, spec.Theta),
+		slots:   LocalStride / uint64(spec.Size),
+		total:   spec.Requests,
+		hedgeOK: spec.Hedge > 0 && spec.Replicas >= 2 && nodes >= 2,
+		balance: spec.Balance, replicas: spec.Replicas,
+		nextArrival: proc.Next(),
+		outstanding: make(map[uint64]*svcReq),
+		attemptNode: make(map[uint64]int),
+		outPerNode:  make([]int, nodes),
+		e2e:         stats.NewLatencyHistogram(),
+		queue:       stats.NewLatencyHistogram(),
+	}
+}
+
+// OpenLoopPoll implements cpu.OpenLooper: cap idle sleeps so responses are
+// delivered within ~200 cycles of retiring instead of at the next arrival.
+func (s *serviceClient) OpenLoopPoll() int64 { return 200 }
+
+// primary is the key's home replica: a stable hash of the object spread
+// over all nodes (the replica set is the R consecutive nodes from it).
+func (s *serviceClient) primary(obj int) int { return int(chaseNext(uint64(obj), s.nodes)) }
+
+// pickReplica selects the target for an attempt. exclude is the node the
+// first attempt went to (-1 for first attempts), so hedges always pick a
+// different replica.
+func (s *serviceClient) pickReplica(obj, exclude int) int {
+	p := s.primary(obj)
+	if s.replicas <= 1 || (s.balance == BalancePrimary && exclude < 0) {
+		return p
+	}
+	best, bestLoad := -1, math.MaxInt
+	for k := 0; k < s.replicas; k++ {
+		n := (p + k) % s.nodes
+		if n == exclude {
+			continue
+		}
+		if s.outPerNode[n] < bestLoad {
+			best, bestLoad = n, s.outPerNode[n]
+		}
+	}
+	if best < 0 {
+		return p
+	}
+	return best
+}
+
+// issueTo commits one attempt of r to the given node.
+func (s *serviceClient) issueTo(r *svcReq, node int, attempt uint64, coreID int) Action {
+	tag := r.id<<1 | attempt
+	s.attemptNode[tag] = node
+	s.outPerNode[node]++
+	r.attempts++
+	return Issue(Request{
+		Op:     rmc.OpRead,
+		Remote: TargetNode(node, SourceBase+uint64(r.obj)*uint64(s.spec.Size)),
+		Local:  LocalBufferOf(coreID) + (tag%s.slots)*uint64(s.spec.Size),
+		Size:   s.spec.Size,
+		Tag:    tag,
+	})
+}
+
+// Step implements App: pull due arrivals into the backlog, fire due
+// hedges, issue backlog head, otherwise sleep until the next arrival or
+// hedge deadline (recomputed from now each call — the open-loop
+// contract).
+func (s *serviceClient) Step(coreID int, now int64, inflight int) Action {
+	for s.arrived < s.total && s.nextArrival <= now {
+		s.backlog = append(s.backlog, &svcReq{
+			id: uint64(s.arrived), arrival: s.nextArrival, obj: s.table.sample(s.keys),
+		})
+		s.arrived++
+		if s.arrived < s.total {
+			s.nextArrival = s.arr.Next()
+		}
+	}
+	if s.hedgeOK {
+		for len(s.hedgeQ) > 0 {
+			r, live := s.outstanding[s.hedgeQ[0]]
+			if !live || r.hedged {
+				s.hedgeQ = s.hedgeQ[1:]
+				continue
+			}
+			if r.committed+s.spec.Hedge > now {
+				break // constant delay keeps the queue deadline-ordered
+			}
+			s.hedgeQ = s.hedgeQ[1:]
+			r.hedged = true
+			s.hedged++
+			return s.issueTo(r, s.pickReplica(r.obj, r.firstNode), 1, coreID)
+		}
+	}
+	if len(s.backlog) > 0 {
+		r := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		r.committed = now
+		s.outstanding[r.id] = r
+		r.firstNode = s.pickReplica(r.obj, -1)
+		if s.hedgeOK {
+			s.hedgeQ = append(s.hedgeQ, r.id)
+		}
+		return s.issueTo(r, r.firstNode, 0, coreID)
+	}
+	wake := int64(math.MaxInt64)
+	if s.arrived < s.total {
+		wake = s.nextArrival
+	}
+	if s.hedgeOK && len(s.hedgeQ) > 0 {
+		if r, live := s.outstanding[s.hedgeQ[0]]; live && !r.hedged {
+			if d := r.committed + s.spec.Hedge; d < wake {
+				wake = d
+			}
+		}
+	}
+	if wake < math.MaxInt64 {
+		// Due work was dispatched above, so wake is strictly in the future.
+		return Think(wake - now)
+	}
+	if len(s.outstanding) > 0 {
+		return Wait()
+	}
+	return Done()
+}
+
+// OnComplete implements App: first response wins; the loser (or a
+// response for an already-failed request) is dropped as cancelled.
+func (s *serviceClient) OnComplete(coreID int, req Request, issued, done int64) {
+	tag := req.Tag
+	if node, ok := s.attemptNode[tag]; ok {
+		delete(s.attemptNode, tag)
+		s.outPerNode[node]--
+	}
+	r, live := s.outstanding[tag>>1]
+	if !live {
+		s.cancelled++
+		return
+	}
+	if req.Failed {
+		r.attempts--
+		if r.attempts == 0 {
+			delete(s.outstanding, tag>>1)
+			s.failed++
+		}
+		return
+	}
+	delete(s.outstanding, tag>>1)
+	s.completed++
+	s.e2e.Add(done - r.arrival)
+	s.queue.Add(r.committed - r.arrival)
+	if tag&1 == 1 {
+		s.hedgeWins++
+	}
+}
+
+// RunService runs the open-loop replicated KV service on every node of
+// the cluster: spec.Clients cores per node each draw a decorrelated
+// arrival schedule and issue Zipf-popular GETs across the R-way replica
+// sets, until every client's stream closes and drains or maxCycles elapse
+// (<= 0 uses the configuration's MaxCycles; a cut-short run reports
+// partial statistics with Drained=false).
+func (c *Cluster) RunService(spec ServiceSpec, maxCycles int64) (ServiceResult, error) {
+	cfg := c.Config()
+	n := c.NodeCount()
+	spec = spec.withServiceDefaults(cfg, n)
+	kind, err := load.ParseKind(spec.Arrival.Kind)
+	if err != nil {
+		return ServiceResult{}, err
+	}
+	switch {
+	case spec.Requests < 0:
+		return ServiceResult{}, fmt.Errorf("rackni: negative service request count %d", spec.Requests)
+	case spec.Hedge < 0:
+		return ServiceResult{}, fmt.Errorf("rackni: negative hedge delay %d", spec.Hedge)
+	case spec.Clients < 0 || spec.Clients > cfg.Tiles():
+		return ServiceResult{}, fmt.Errorf("rackni: %d service clients per node exceed the %d tiles", spec.Clients, cfg.Tiles())
+	}
+	if err := checkSize(cfg, spec.Size); err != nil {
+		return ServiceResult{}, err
+	}
+	spec.Objects = clampObjects(spec.Objects, spec.Size)
+	if spec.Theta < 0 {
+		spec.Theta = 0
+	}
+	lspec := load.Spec{Kind: kind, Rate: spec.Arrival.Rate}
+
+	clients := make([][]*serviceClient, n)
+	var ferr error
+	factory := func(nodeIdx, core int) App {
+		if core >= spec.Clients || ferr != nil {
+			return nil
+		}
+		seed := scenarioSeed(clusterNodeSeed(cfg.Seed, nodeIdx), core)
+		proc, err := load.NewProcess(lspec, seed)
+		if err != nil {
+			ferr = err
+			return nil
+		}
+		cl := newServiceClient(spec, n, proc, seed)
+		clients[nodeIdx] = append(clients[nodeIdx], cl)
+		return cl
+	}
+	wl, err := c.RunApp(factory, maxCycles)
+	if ferr != nil {
+		return ServiceResult{}, ferr
+	}
+	if err != nil {
+		return ServiceResult{}, err
+	}
+
+	res := ServiceResult{
+		Nodes: n, Clients: spec.Clients,
+		Cycles: wl.Aggregate.Cycles, Drained: wl.Aggregate.AllExhausted,
+	}
+	e2e, queue := stats.NewLatencyHistogram(), stats.NewLatencyHistogram()
+	nodeHists := make([]*stats.Histogram, n)
+	for i, perNode := range clients {
+		nh := stats.NewLatencyHistogram()
+		for _, cl := range perNode {
+			res.Arrivals += int64(cl.arrived)
+			res.Completed += cl.completed
+			res.Failed += cl.failed
+			res.Hedged += cl.hedged
+			res.HedgeWins += cl.hedgeWins
+			res.Cancelled += cl.cancelled
+			e2e.Merge(cl.e2e)
+			queue.Merge(cl.queue)
+			nh.Merge(cl.e2e)
+		}
+		nodeHists[i] = nh
+	}
+	if res.Cycles > 0 {
+		res.Offered = float64(res.Arrivals) / float64(res.Cycles) * 1000
+		res.Goodput = float64(res.Completed) / float64(res.Cycles) * 1000
+	}
+	res.MeanE2E = e2e.Mean()
+	res.MeanQueue = queue.Mean()
+	res.P50 = e2e.Percentile(50)
+	res.P99 = e2e.Percentile(99)
+	res.P999 = e2e.Percentile(99.9)
+	res.QueueP99 = queue.Percentile(99)
+
+	// Slowest-decile node stats: rank nodes by their merged p99 and fold
+	// the worst ceil(N/10) into one tail.
+	p99s := make([]int64, n)
+	order := make([]int, n)
+	for i, nh := range nodeHists {
+		p99s[i] = nh.Percentile(99)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p99s[order[a]] > p99s[order[b]] })
+	if n > 0 {
+		res.NodeP99Max = p99s[order[0]]
+		slow := stats.NewLatencyHistogram()
+		for _, i := range order[:(n + 9) / 10] {
+			slow.Merge(nodeHists[i])
+		}
+		res.SlowDecileP999 = slow.Percentile(99.9)
+	}
+	return res, nil
+}

@@ -1,0 +1,295 @@
+package rackni
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// serviceTestCfg is the reduced study chip (4x2 mesh, 2 MiB LLC) the
+// service tests share, with a cycle budget generous enough for saturated
+// open-loop points to drain.
+func serviceTestCfg() Config {
+	cfg := quickClusterCfg()
+	cfg.MeshWidth = 4
+	cfg.MeshHeight = 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0
+	cfg.WindowCycles = 20_000
+	cfg.MaxCycles = 2_000_000
+	return cfg
+}
+
+// TestServiceSweepParallelMatchesSerial: service points are independent
+// simulations like any other, so a sweep spanning the Arrivals and Hedges
+// axes must produce byte-identical Results — Format and CSV — serially
+// and on a worker pool. Wired into the CI race job.
+func TestServiceSweepParallelMatchesSerial(t *testing.T) {
+	sweep := NewSweep(serviceTestCfg()).
+		Designs(NISplit).
+		Arrivals(ArrivalSpec{Kind: "poisson", Rate: 2}, ArrivalSpec{Kind: "bursty", Rate: 2}).
+		Hedges(0, 1200).
+		Nodes(2)
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4 || len(par) != 4 {
+		t.Fatalf("point counts: serial %d, parallel %d, want 4", len(serial), len(par))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].Point, par[i].Point) {
+			t.Fatalf("point %d metadata differs under parallelism", i)
+		}
+		if !reflect.DeepEqual(serial[i].SVC, par[i].SVC) {
+			t.Fatalf("point %d service results differ under parallelism", i)
+		}
+	}
+	if serial.Format() != par.Format() {
+		t.Fatalf("Format differs:\nserial:\n%s\nparallel:\n%s", serial.Format(), par.Format())
+	}
+	if serial.CSV() != par.CSV() {
+		t.Fatalf("CSV differs:\nserial:\n%s\nparallel:\n%s", serial.CSV(), par.CSV())
+	}
+}
+
+// TestServiceHedgeAccounting: on a lossless fabric the hedge bookkeeping
+// must balance exactly — every arrival completes once (no double retire:
+// a completion with no outstanding entry is counted cancelled, never
+// completed), every hedged request's loser attempt eventually lands and
+// is cancelled via its stale generation tag, and hedge wins are a subset
+// of hedges.
+func TestServiceHedgeAccounting(t *testing.T) {
+	cfg := serviceTestCfg()
+	c, err := NewCluster(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An aggressive hedge delay forces plenty of hedges without waiting
+	// for a genuine tail.
+	res, err := c.RunService(ServiceSpec{
+		Arrival: ArrivalSpec{Kind: "poisson", Rate: 2},
+		Hedge:   900,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Drained {
+		t.Fatalf("service run did not drain: %+v", res)
+	}
+	want := int64(4 * res.Clients * 64) // nodes x clients x default requests
+	if res.Arrivals != want {
+		t.Fatalf("arrivals %d, want %d", res.Arrivals, want)
+	}
+	if res.Failed != 0 || res.Completed != res.Arrivals {
+		t.Fatalf("lossless run lost requests: completed %d failed %d of %d",
+			res.Completed, res.Failed, res.Arrivals)
+	}
+	if res.Hedged == 0 {
+		t.Fatal("900-cycle hedge delay produced no hedges")
+	}
+	if res.Cancelled != res.Hedged {
+		t.Fatalf("cancelled %d != hedged %d: a loser attempt double-retired or never landed",
+			res.Cancelled, res.Hedged)
+	}
+	if res.HedgeWins > res.Hedged {
+		t.Fatalf("hedge wins %d exceed hedged %d", res.HedgeWins, res.Hedged)
+	}
+	if res.Goodput <= 0 || res.P999 < res.P99 || res.P99 < res.P50 {
+		t.Fatalf("implausible latency summary: %+v", res)
+	}
+
+	// Without hedging the same run must report zero hedge activity.
+	plain, err := c.RunService(ServiceSpec{
+		Arrival: ArrivalSpec{Kind: "poisson", Rate: 2},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Hedged != 0 || plain.HedgeWins != 0 || plain.Cancelled != 0 {
+		t.Fatalf("hedging disabled but hedge counters moved: %+v", plain)
+	}
+	if plain.Completed != plain.Arrivals || !plain.Drained {
+		t.Fatalf("unhedged run incomplete: %+v", plain)
+	}
+}
+
+// TestServiceSessionReuseMatchesFresh: the run lifecycle must make a
+// service run on a reused cluster bit-identical to the same run on a
+// fresh cluster, including after an interleaved run with different
+// arrival shape and hedging.
+func TestServiceSessionReuseMatchesFresh(t *testing.T) {
+	cfg := serviceTestCfg()
+	spec := ServiceSpec{Arrival: ArrivalSpec{Kind: "bursty", Rate: 2}, Hedge: 1200}
+	other := ServiceSpec{Arrival: ArrivalSpec{Kind: "poisson", Rate: 4}}
+
+	reused, err := NewCluster(cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := reused.RunService(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reused.RunService(other, 0); err != nil {
+		t.Fatal(err)
+	}
+	again, err := reused.RunService(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatalf("reused cluster diverged from its own first run:\nfirst: %+v\nagain: %+v", first, again)
+	}
+
+	fresh, err := NewCluster(cfg, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := fresh.RunService(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, ref) {
+		t.Fatalf("reused cluster differs from fresh:\nreused: %+v\nfresh: %+v", first, ref)
+	}
+}
+
+// TestServiceAxisRenderers: the arrival and hedge columns appear exactly
+// when a result set contains service points, keeping service-free output
+// byte-identical to its pre-service form.
+func TestServiceAxisRenderers(t *testing.T) {
+	cfg := quickClusterCfg()
+	plain, err := NewSweep(cfg).Designs(NISplit).Modes(Latency).Sizes(64).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{plain.Format(), plain.CSV()} {
+		if strings.Contains(out, "arrival") || strings.Contains(out, "hedge") {
+			t.Fatalf("service-free result set grew service columns:\n%s", out)
+		}
+	}
+	blob, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), `"arrival"`) || strings.Contains(string(blob), `"service"`) {
+		t.Fatalf("service-free JSON carries service fields:\n%s", blob)
+	}
+
+	svc, err := NewSweep(serviceTestCfg()).
+		Designs(NISplit).
+		Arrivals(ArrivalSpec{Kind: "poisson", Rate: 2}).
+		Nodes(2).
+		Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc) != 1 || svc[0].SVC == nil {
+		t.Fatalf("service sweep did not produce a service result: %+v", svc)
+	}
+	if !strings.Contains(svc.Format(), "arrival") || !strings.Contains(svc.CSV(), "arrival,rate,hedge,") {
+		t.Fatalf("service result set missing its columns:\nformat:\n%s\ncsv:\n%s", svc.Format(), svc.CSV())
+	}
+	if !strings.Contains(svc.CSV(), "goodput") {
+		t.Fatalf("service CSV missing metric columns:\n%s", svc.CSV())
+	}
+	blob, err = svc.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"arrival": "poisson"`, `"rate": 2`, `"service"`} {
+		if !strings.Contains(string(blob), field) {
+			t.Fatalf("service JSON missing %s:\n%s", field, blob)
+		}
+	}
+}
+
+// TestServiceSweepValidation: bad service axes must fail fast in check().
+func TestServiceSweepValidation(t *testing.T) {
+	bad := [][]Point{
+		NewSweep(serviceTestCfg()).Arrivals(ArrivalSpec{Kind: "sawtooth", Rate: 1}).Nodes(2).Points(),
+		NewSweep(serviceTestCfg()).Arrivals(ArrivalSpec{Kind: "poisson", Rate: 0}).Nodes(2).Points(),
+		NewSweep(serviceTestCfg()).Arrivals(ArrivalSpec{Kind: "poisson", Rate: 1}).Hedges(-1).Nodes(2).Points(),
+	}
+	for i, pts := range bad {
+		if err := CheckSweepPoints(pts); err == nil {
+			t.Errorf("bad service sweep %d passed validation", i)
+		}
+	}
+}
+
+// TestServiceCurveTrends is the headline acceptance property on a
+// paper-scale rack slice: goodput saturates past the knee while hedged
+// requests measurably cut p99.9 at moderate load for a small hedge
+// volume, and turn into self-inflicted overload past the knee. Skipped
+// in -short; the CI service-smoke job runs it explicitly at 64 nodes.
+func TestServiceCurveTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run service study")
+	}
+	res, err := RunServiceCurve(serviceTestCfg(), 64, []float64{0.5, 4}, []int64{0, 2400}, []RoutePolicy{RouteDOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points=%d, want 4", len(res.Points))
+	}
+	pt := map[[2]int64]ServiceCurvePoint{}
+	for _, p := range res.Points {
+		if !p.Drained {
+			t.Fatalf("hedge %d rate %g did not drain", p.Hedge, p.Rate)
+		}
+		pt[[2]int64{p.Hedge, int64(p.Rate * 2)}] = p
+	}
+	low, high := pt[[2]int64{0, 1}], pt[[2]int64{0, 8}]
+	hlow, hhigh := pt[[2]int64{2400, 1}], pt[[2]int64{2400, 8}]
+	// Goodput saturation: 8x the offered load returns well under 8x (or
+	// even 4x) the goodput, but the service keeps serving.
+	if high.Goodput >= 4*low.Goodput {
+		t.Errorf("no saturation: goodput %.2f at rate 4 vs %.2f at rate 0.5", high.Goodput, low.Goodput)
+	}
+	if high.Goodput <= low.Goodput {
+		t.Errorf("goodput collapsed past the knee: %.2f at rate 4 vs %.2f at rate 0.5", high.Goodput, low.Goodput)
+	}
+	// The unhedged tail at moderate load sits at the fabric-hiccup
+	// latency; hedging pulls it back under half of that while hedging
+	// only a small fraction of requests, without hurting goodput.
+	if low.P999 < 10_000 {
+		t.Errorf("unhedged p99.9 %d does not show the hiccup tail", low.P999)
+	}
+	if hlow.P999 >= low.P999/2 {
+		t.Errorf("hedging did not cut p99.9 at moderate load: %d vs %d", hlow.P999, low.P999)
+	}
+	if hlow.HedgeWins == 0 {
+		t.Error("hedging cut the tail but recorded no wins")
+	}
+	if frac := float64(hlow.Hedged) / float64(res.Nodes*res.Clients*serviceCurveRequests); frac > 0.05 {
+		t.Errorf("hedge volume %.1f%% at moderate load; want < 5%%", 100*frac)
+	}
+	if hlow.Goodput < 0.95*low.Goodput {
+		t.Errorf("hedging regressed goodput at moderate load: %.2f < %.2f", hlow.Goodput, low.Goodput)
+	}
+	// Past the knee hedging is self-inflicted overload: most requests
+	// outlast the delay, the duplicates eat capacity.
+	if hhigh.Goodput >= high.Goodput {
+		t.Errorf("over-hedging past the knee did not cost goodput: %.2f >= %.2f", hhigh.Goodput, high.Goodput)
+	}
+	out := res.Format()
+	if !strings.Contains(out, "hiccups") || !strings.Contains(out, "p99.9") {
+		t.Fatalf("Format missing expected headers:\n%s", out)
+	}
+	if _, err := RunServiceCurve(serviceTestCfg(), 1, nil, nil, nil); err == nil {
+		t.Error("single-node service curve accepted")
+	}
+	if _, err := RunServiceCurve(serviceTestCfg(), 4, []float64{-1}, nil, nil); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := RunServiceCurve(serviceTestCfg(), 4, nil, []int64{-1}, nil); err == nil {
+		t.Error("negative hedge accepted")
+	}
+}

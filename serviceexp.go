@@ -1,0 +1,148 @@
+// The tail-at-scale study: goodput and high percentiles of the open-loop
+// replicated KV service versus offered load, with hedged requests off and
+// on, under both link-level fabric routing policies. The closed-loop
+// scenarios cannot express this curve — open-loop clients keep arriving on
+// their own clock while the service saturates, so queueing delay compounds
+// into the tail instead of throttling the offered load.
+//
+// The study runs on a fabric with rare transient hiccups (a small per-leg
+// probability of a fixed extra delay — the GC pause / interrupt / deep
+// queue of the tail-at-scale literature): with homogeneous nodes and no
+// component-level variability, a hedge can never beat its original below
+// the knee (the original would have to outlast the hedge delay plus a
+// whole fresh request), so a loss-free rack would show hedging as pure
+// overhead. Against hiccups the trade-off is real and measurable: hedges
+// rescue delayed requests at low load and turn into self-inflicted
+// overload past the knee. Like faultexp.go and congestexp.go, this is a
+// reusable entry point with a Format renderer, consumed by cmd/rackbench
+// (-exp service) and the README table.
+package rackni
+
+import (
+	"fmt"
+	"strings"
+)
+
+const (
+	// Per-client request budget for curve points: enough samples per point
+	// that the cluster-wide p99.9 is resolved, small enough that a full
+	// curve stays tractable in CI.
+	serviceCurveRequests = 128
+	// The hiccup plane: each inter-node leg is independently late by
+	// serviceCurveHiccup cycles with probability serviceCurveHiccupProb.
+	// ~0.4% of requests (two legs each way) hit a hiccup — above the
+	// p99.9 quantile, so the unhedged tail sits at the hiccup latency.
+	serviceCurveHiccupProb = 0.002
+	serviceCurveHiccup     = 20_000
+	// Default hedge delay: just past the uncongested p99 (~2.3k cycles on
+	// the study chip), so below the knee only genuine stragglers hedge.
+	serviceCurveHedge = 2400
+)
+
+// ServiceCurvePoint is one (routing, hedge, rate) setting of the study.
+type ServiceCurvePoint struct {
+	Routing   RoutePolicy // fabric routing policy (RouteNone = lump-sum baseline)
+	Hedge     int64       // hedge delay in cycles; 0 = hedging off
+	Rate      float64     // offered load per client, requests per 1000 cycles
+	Offered   float64     // measured cluster-wide arrivals per 1000 cycles
+	Goodput   float64     // cluster-wide completions per 1000 cycles
+	P50       int64       // end-to-end latency percentiles, cycles
+	P99       int64
+	P999      int64
+	QueueP99  int64 // arrival-to-issue queueing delay p99
+	Hedged    int64
+	HedgeWins int64
+	Drained   bool
+}
+
+// ServiceCurveResult is the service study across routings, hedges, rates.
+type ServiceCurveResult struct {
+	Nodes   int
+	Clients int // client cores per node
+	Points  []ServiceCurvePoint
+}
+
+// RunServiceCurve sweeps the open-loop KV service on an n-node cluster
+// whose fabric suffers rare fixed-length hiccups: for each fabric routing
+// policy it builds one cluster (reused across settings; the session
+// lifecycle makes every run bit-identical to a fresh build) and, for each
+// hedge delay and offered rate, drives Poisson arrivals through the
+// replicated service and records goodput and the latency tail. Nil rates,
+// hedges and routings select the defaults: rates doubling from 0.5 to 8
+// req/kcycle per client, hedging off vs a delay just past the uncongested
+// p99, and dor vs adaptive routing.
+func RunServiceCurve(cfg Config, nodes int, rates []float64, hedges []int64, routings []RoutePolicy) (ServiceCurveResult, error) {
+	if nodes < 2 {
+		return ServiceCurveResult{}, fmt.Errorf("rackni: service curve needs at least 2 nodes for replication, got %d", nodes)
+	}
+	if len(rates) == 0 {
+		rates = []float64{0.5, 1, 2, 4, 8}
+	}
+	if len(hedges) == 0 {
+		hedges = []int64{0, serviceCurveHedge}
+	}
+	if len(routings) == 0 {
+		routings = []RoutePolicy{RouteDOR, RouteAdaptive}
+	}
+	for _, r := range rates {
+		if r <= 0 {
+			return ServiceCurveResult{}, fmt.Errorf("rackni: non-positive service rate %g", r)
+		}
+	}
+	for _, h := range hedges {
+		if h < 0 {
+			return ServiceCurveResult{}, fmt.Errorf("rackni: negative hedge delay %d", h)
+		}
+	}
+	out := ServiceCurveResult{Nodes: nodes, Clients: scenarioClients(&cfg)}
+	for _, rp := range routings {
+		cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, FabricRouting: rp,
+			Faults: &FaultSpec{DelayProb: serviceCurveHiccupProb, DelayCycles: serviceCurveHiccup}})
+		if err != nil {
+			return out, err
+		}
+		for _, h := range hedges {
+			for _, rate := range rates {
+				res, err := cl.RunService(ServiceSpec{
+					Arrival:  ArrivalSpec{Kind: "poisson", Rate: rate},
+					Requests: serviceCurveRequests,
+					Hedge:    h,
+				}, 0)
+				if err != nil {
+					return out, fmt.Errorf("%v hedge %d rate %g: %w", rp, h, rate, err)
+				}
+				out.Points = append(out.Points, ServiceCurvePoint{
+					Routing:   rp,
+					Hedge:     h,
+					Rate:      rate,
+					Offered:   res.Offered,
+					Goodput:   res.Goodput,
+					P50:       res.P50,
+					P99:       res.P99,
+					P999:      res.P999,
+					QueueP99:  res.QueueP99,
+					Hedged:    res.Hedged,
+					HedgeWins: res.HedgeWins,
+					Drained:   res.Drained,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Format renders the service study.
+func (r ServiceCurveResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Open-loop KV service: %d nodes x %d clients, Poisson arrivals, %d requests/client, 3-way replication, %d-cycle fabric hiccups (p=%g/leg)\n",
+		r.Nodes, r.Clients, serviceCurveRequests, int64(serviceCurveHiccup), serviceCurveHiccupProb)
+	fmt.Fprintf(&b, "%8s %6s %6s %9s %9s %7s %7s %7s %7s %7s %6s %8s\n",
+		"fabric", "hedge", "rate", "offered", "goodput", "p50", "p99", "p99.9",
+		"queue99", "hedged", "wins", "drained")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%8s %6d %6.2f %9.2f %9.2f %7d %7d %7d %7d %7d %6d %8v\n",
+			p.Routing, p.Hedge, p.Rate, p.Offered, p.Goodput, p.P50, p.P99, p.P999,
+			p.QueueP99, p.Hedged, p.HedgeWins, p.Drained)
+	}
+	return b.String()
+}

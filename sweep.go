@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"rackni/internal/fabric"
+	"rackni/internal/load"
 )
 
 // Mode selects which §5 microbenchmark one sweep point runs.
@@ -34,6 +35,11 @@ const (
 	// WorkloadMode runs a named closed-loop scenario from the library
 	// (Point.Scenario); set through the Sweep's Workloads axis.
 	WorkloadMode
+	// ServiceMode runs the open-loop replicated KV service (service.go)
+	// under the point's arrival process and hedge delay; set through the
+	// Sweep's Arrivals axis. Service points always run the Cluster path,
+	// even single-node ones.
+	ServiceMode
 )
 
 func (m Mode) String() string {
@@ -44,6 +50,8 @@ func (m Mode) String() string {
 		return "bandwidth"
 	case WorkloadMode:
 		return "workload"
+	case ServiceMode:
+		return "service"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -85,6 +93,12 @@ type Point struct {
 	// multi-node point that fits the torus; RouteNone keeps the lump-sum
 	// fast path, bit-identical to a sweep without the axis.
 	FabricRouting RoutePolicy
+	// Arrival is the open-loop arrival process of a ServiceMode point
+	// (kind and per-client rate); unused in other modes.
+	Arrival ArrivalSpec
+	// Hedge is the ServiceMode hedge delay in cycles (0 = no hedging);
+	// unused in other modes.
+	Hedge int64
 }
 
 // nodeCount normalizes the point's node count (0 means single-node).
@@ -124,6 +138,12 @@ func (p Point) label() string {
 	if p.FabricRouting != RouteNone {
 		l += "/" + p.FabricRouting.String()
 	}
+	if p.Mode == ServiceMode {
+		l += "/" + p.Arrival.String()
+		if p.Hedge > 0 {
+			l += fmt.Sprintf("/hedge%d", p.Hedge)
+		}
+	}
 	return l
 }
 
@@ -156,6 +176,8 @@ type Sweep struct {
 	faults      []float64
 	windows     []int
 	froutings   []RoutePolicy
+	arrivals    []ArrivalSpec
+	hedges      []int64
 	torusPlaced bool
 }
 
@@ -258,6 +280,24 @@ func (s *Sweep) FabricRoutings(rs ...RoutePolicy) *Sweep {
 	return s
 }
 
+// Arrivals adds open-loop service run kinds to the run-kind axis: one
+// ServiceMode point per arrival process (kind + per-client rate) for
+// every design/topology/routing/hops/nodes/faults/window/fabric/seed
+// combination, crossed with the Hedges axis. Like Workloads, service
+// points pin the Size and Core axes (the service spec defines both).
+func (s *Sweep) Arrivals(as ...ArrivalSpec) *Sweep {
+	s.arrivals = append(s.arrivals[:0], as...)
+	return s
+}
+
+// Hedges sets the service hedge-delay axis in cycles (0 = no hedging).
+// It spans only the ServiceMode points contributed by Arrivals;
+// microbenchmark and workload points ignore it.
+func (s *Sweep) Hedges(hs ...int64) *Sweep {
+	s.hedges = append(s.hedges[:0], hs...)
+	return s
+}
+
 // TorusPlacement makes every multi-node point place its nodes at real
 // coordinates of the rack's 3D torus (identity placement, pairwise
 // distances from Torus3D) instead of the uniform fixed-hop model — the
@@ -286,11 +326,13 @@ func (s *Sweep) Points() []Point {
 	if len(hops) == 0 {
 		hops = []int{s.base.DefaultHops}
 	}
-	// The run-kind axis merges the microbenchmark modes and the named
-	// scenarios; with neither set, a single latency run is the default.
+	// The run-kind axis merges the microbenchmark modes, the named
+	// scenarios and the open-loop arrival processes; with none set, a
+	// single latency run is the default.
 	type runKind struct {
 		mode     Mode
 		scenario string
+		arrival  ArrivalSpec
 	}
 	var kinds []runKind
 	for _, m := range s.modes {
@@ -299,8 +341,15 @@ func (s *Sweep) Points() []Point {
 	for _, w := range s.workloads {
 		kinds = append(kinds, runKind{mode: WorkloadMode, scenario: w})
 	}
+	for _, a := range s.arrivals {
+		kinds = append(kinds, runKind{mode: ServiceMode, arrival: a})
+	}
 	if len(kinds) == 0 {
 		kinds = []runKind{{mode: Latency}}
+	}
+	hedges := s.hedges
+	if len(hedges) == 0 {
+		hedges = []int64{0}
 	}
 	sizes := s.sizes
 	if len(sizes) == 0 {
@@ -351,23 +400,31 @@ func (s *Sweep) Points() []Point {
 							for _, win := range windows {
 								for _, fab := range froutings {
 									for _, k := range kinds {
-										// Scenario points don't span the Size and Core axes
-										// (the scenario defines its sizes and participating
-										// cores), so they collapse to one point per
-										// design/topology/routing/hops/seed combination.
+										// Scenario and service points don't span the Size and
+										// Core axes (the scenario or service spec defines
+										// both), so they collapse to one point per
+										// design/topology/routing/hops/seed combination; the
+										// hedge axis spans only service points.
 										szs, crs := sizes, cores
-										if k.mode == WorkloadMode {
+										hds := []int64{0}
+										if k.mode == WorkloadMode || k.mode == ServiceMode {
 											szs, crs = []int{0}, []int{0}
 										}
-										for _, sz := range szs {
-											for _, sd := range seeds {
-												for _, c := range crs {
-													cfg := s.base
-													cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-													pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-														Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
-														TorusPlacement: s.torusPlaced && nn > 1,
-														Faults:         fr, Window: win, FabricRouting: fab})
+										if k.mode == ServiceMode {
+											hds = hedges
+										}
+										for _, hd := range hds {
+											for _, sz := range szs {
+												for _, sd := range seeds {
+													for _, c := range crs {
+														cfg := s.base
+														cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+														pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+															Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+															TorusPlacement: s.torusPlaced && nn > 1,
+															Faults:         fr, Window: win, FabricRouting: fab,
+															Arrival: k.arrival, Hedge: hd})
+													}
 												}
 											}
 										}
@@ -408,22 +465,23 @@ type Options struct {
 	Progress func(done, total int, r Result)
 }
 
-// Result is one executed point and its outcome. Exactly one of Sync, BW
-// and WL is set on success (matching the point's mode); a point skipped
-// because the run was cancelled before it started has Sync, BW, WL and Err
-// all nil.
+// Result is one executed point and its outcome. Exactly one of Sync, BW,
+// WL and SVC is set on success (matching the point's mode); a point
+// skipped because the run was cancelled before it started has all of them
+// and Err nil.
 type Result struct {
 	Point Point
 	Sync  *SyncResult
 	BW    *BWResult
 	WL    *WorkloadResult
+	SVC   *ServiceResult
 	Err   error
 	Wall  time.Duration
 }
 
 // skipped reports whether the point never produced a result or error.
 func (r Result) skipped() bool {
-	return r.Sync == nil && r.BW == nil && r.WL == nil && r.Err == nil
+	return r.Sync == nil && r.BW == nil && r.WL == nil && r.SVC == nil && r.Err == nil
 }
 
 // Results is an ordered collection of point outcomes: index i holds point i
@@ -535,6 +593,16 @@ func (p Point) check() error {
 		return fmt.Errorf("rackni: negative QP window %d", p.Window)
 	case p.FabricRouting != RouteNone && p.nodeCount() <= 1:
 		return fmt.Errorf("rackni: fabric routing %v requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node links to congest", p.FabricRouting)
+	case p.Hedge < 0:
+		return fmt.Errorf("rackni: negative hedge delay %d", p.Hedge)
+	}
+	if p.Mode == ServiceMode {
+		if _, err := load.ParseKind(p.Arrival.Kind); err != nil {
+			return err
+		}
+		if p.Arrival.Rate <= 0 {
+			return fmt.Errorf("rackni: service arrival rate %g must be positive (requests per 1000 cycles per client)", p.Arrival.Rate)
+		}
 	}
 	return nil
 }
@@ -619,6 +687,8 @@ func (p Point) checkShape() error {
 	case WorkloadMode:
 		_, err := ParseScenario(p.Scenario)
 		return err
+	case ServiceMode:
+		return nil // arrival and hedge were validated in check above
 	}
 	return fmt.Errorf("rackni: unknown mode %v", p.Mode)
 }
@@ -631,10 +701,12 @@ func runPoint(ctx context.Context, p Point) Result {
 		return out // cancelled before start: leave the point skipped
 	}
 	t0 := time.Now()
-	if p.nodeCount() > 1 {
+	// Service points always run the Cluster path (replica placement and
+	// explicit node targeting need the real fabric), even at one node.
+	if p.nodeCount() > 1 || p.Mode == ServiceMode {
 		runClusterPoint(ctx, p, &out)
 		if errors.Is(out.Err, context.Canceled) || errors.Is(out.Err, context.DeadlineExceeded) {
-			out.Sync, out.BW, out.WL, out.Err = nil, nil, nil, nil
+			out.Sync, out.BW, out.WL, out.SVC, out.Err = nil, nil, nil, nil, nil
 		}
 		out.Wall = time.Since(t0)
 		return out
@@ -686,7 +758,7 @@ func runPoint(ctx context.Context, p Point) Result {
 		// A cancelled in-flight run has no result worth keeping; mark it
 		// skipped so renderers drop it. Genuine point errors (bad config,
 		// unstable run) are preserved even if cancellation raced them.
-		out.Sync, out.BW, out.WL, out.Err = nil, nil, nil, nil
+		out.Sync, out.BW, out.WL, out.SVC, out.Err = nil, nil, nil, nil, nil
 	}
 	out.Wall = time.Since(t0)
 	return out
@@ -741,6 +813,13 @@ func runClusterPoint(ctx context.Context, p Point, out *Result) {
 		} else {
 			out.WL = &r.Aggregate
 		}
+	case ServiceMode:
+		r, err := c.RunService(ServiceSpec{Arrival: p.Arrival, Hedge: p.Hedge}, 0)
+		if err != nil {
+			out.Err = err
+		} else {
+			out.SVC = &r
+		}
 	default:
 		out.Err = fmt.Errorf("rackni: unknown mode %v", p.Mode)
 	}
@@ -782,6 +861,18 @@ func (rs Results) hasFabricRouting() bool {
 	return false
 }
 
+// hasService reports whether any point of the set runs the open-loop
+// service. Renderers add arrival/hedge columns only then, so service-free
+// result sets stay byte-identical to their pre-service form.
+func (rs Results) hasService() bool {
+	for _, r := range rs {
+		if r.Point.Mode == ServiceMode {
+			return true
+		}
+	}
+	return false
+}
+
 // Format renders the results as an aligned table, one row per point.
 // Workload points report ops, mean and tail percentiles; skipped points
 // render as "-"; failed points show their error. A nodes column appears
@@ -794,6 +885,7 @@ func (rs Results) Format() string {
 	multi := rs.hasMultiNode()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
+	service := rs.hasService()
 	nodesHdr, nodesFmt := "", ""
 	if multi {
 		nodesHdr = fmt.Sprintf(" %5s", "nodes")
@@ -806,7 +898,11 @@ func (rs Results) Format() string {
 	if congested {
 		fabricHdr = fmt.Sprintf(" %8s", "fabric")
 	}
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+fabricHdr+"  %s\n",
+	svcHdr, svcFmt := "", ""
+	if service {
+		svcHdr = fmt.Sprintf(" %-13s %6s", "arrival", "hedge")
+	}
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+fabricHdr+svcHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
@@ -819,9 +915,16 @@ func (rs Results) Format() string {
 		if congested {
 			fabricFmt = fmt.Sprintf(" %8s", p.FabricRouting)
 		}
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s  ",
+		if service {
+			arr := "-"
+			if p.Mode == ServiceMode {
+				arr = p.Arrival.String()
+			}
+			svcFmt = fmt.Sprintf(" %-13s %6d", arr, p.Hedge)
+		}
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt, fabricFmt)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt, fabricFmt, svcFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -830,6 +933,10 @@ func (rs Results) Format() string {
 		case r.BW != nil:
 			fmt.Fprintf(&b, "app %.1f GB/s (NOC %.1f, bisection %.1f, stable=%v)\n",
 				r.BW.AppGBps, r.BW.NOCGBps, r.BW.BisectionGBps, r.BW.Stable)
+		case r.SVC != nil:
+			fmt.Fprintf(&b, "offered %.2f goodput %.2f req/kcyc, p99/p99.9 %d/%d cyc, hedged %d (wins %d), drained=%v\n",
+				r.SVC.Offered, r.SVC.Goodput, r.SVC.P99, r.SVC.P999,
+				r.SVC.Hedged, r.SVC.HedgeWins, r.SVC.Drained)
 		case r.WL != nil:
 			fmt.Fprintf(&b, "%d ops, mean %.0f cyc, p50/p95/p99 %d/%d/%d, drained=%v",
 				r.WL.Completed, r.WL.MeanLatency, r.WL.P50, r.WL.P95, r.WL.P99,
@@ -858,6 +965,7 @@ func (rs Results) CSV() string {
 	multi := rs.hasMultiNode()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
+	service := rs.hasService()
 	nodesHdr := ""
 	if multi {
 		nodesHdr = "nodes,"
@@ -870,9 +978,14 @@ func (rs Results) CSV() string {
 	if congested {
 		fabricHdr = "fabric_routing,"
 	}
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr + fabricHdr +
+	svcHdr, svcMetricHdr := "", ""
+	if service {
+		svcHdr = "arrival,rate,hedge,"
+		svcMetricHdr = "offered,goodput,svc_mean,svc_p50,svc_p99,svc_p999,hedged,hedge_wins,cancelled,svc_failed,svc_drained,"
+	}
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr + fabricHdr + svcHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
-		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained,error\n")
+		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained," + svcMetricHdr + "error\n")
 	for _, r := range rs {
 		p := r.Point
 		nodesCol := ""
@@ -887,9 +1000,17 @@ func (rs Results) CSV() string {
 		if congested {
 			fabricCol = fmt.Sprintf("%s,", p.FabricRouting)
 		}
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s",
+		svcCol := ""
+		if service {
+			if p.Mode == ServiceMode {
+				svcCol = fmt.Sprintf("%s,%g,%d,", p.Arrival.Kind, p.Arrival.Rate, p.Hedge)
+			} else {
+				svcCol = ",,,"
+			}
+		}
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol, fabricCol)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol, fabricCol, svcCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -901,6 +1022,16 @@ func (rs Results) CSV() string {
 				r.WL.MeanLatency, r.WL.P50, r.WL.P95, r.WL.P99, r.WL.AllExhausted)
 		default:
 			b.WriteString(",,,,,,,,,,,,")
+		}
+		if service {
+			if r.SVC != nil {
+				fmt.Fprintf(&b, "%.4f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%v,",
+					r.SVC.Offered, r.SVC.Goodput, r.SVC.MeanE2E, r.SVC.P50, r.SVC.P99,
+					r.SVC.P999, r.SVC.Hedged, r.SVC.HedgeWins, r.SVC.Cancelled,
+					r.SVC.Failed, r.SVC.Drained)
+			} else {
+				b.WriteString(",,,,,,,,,,,")
+			}
 		}
 		if r.Err != nil {
 			// RFC-4180 quoting: wrap in quotes, double embedded quotes.
@@ -927,9 +1058,13 @@ type resultJSON struct {
 	DropRate  float64         `json:"drop_rate,omitempty"`      // > 0: fabric fault injection was active
 	Window    int             `json:"window,omitempty"`         // > 0: QP credit window cap
 	Fabric    string          `json:"fabric_routing,omitempty"` // "dor"/"adaptive": congestion fabric active
+	Arrival   string          `json:"arrival,omitempty"`        // service points: arrival-process kind
+	Rate      float64         `json:"rate,omitempty"`           // service points: arrivals per kcycle per client
+	Hedge     int64           `json:"hedge,omitempty"`          // service points: hedge delay in cycles
 	Latency   *SyncResult     `json:"latency,omitempty"`
 	Bandwidth *BWResult       `json:"bandwidth,omitempty"`
 	Workload  *WorkloadResult `json:"workload,omitempty"`
+	Service   *ServiceResult  `json:"service,omitempty"`
 	WallMS    float64         `json:"wall_ms"`
 	Skipped   bool            `json:"skipped,omitempty"`
 	Error     string          `json:"error,omitempty"`
@@ -969,6 +1104,12 @@ func (rs Results) JSON() ([]byte, error) {
 		out[i].Window = p.Window
 		if p.FabricRouting != RouteNone {
 			out[i].Fabric = p.FabricRouting.String()
+		}
+		if p.Mode == ServiceMode {
+			out[i].Arrival = p.Arrival.Kind
+			out[i].Rate = p.Arrival.Rate
+			out[i].Hedge = p.Hedge
+			out[i].Service = r.SVC
 		}
 		if r.Err != nil {
 			out[i].Error = r.Err.Error()

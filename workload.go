@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	rmc "rackni/internal/core"
 	"rackni/internal/cpu"
@@ -86,6 +87,31 @@ func newZipfTable(objects int, theta float64) *zipfTable {
 	return &zipfTable{cum: cum, theta: theta}
 }
 
+// zipfKey identifies one precomputed popularity table.
+type zipfKey struct {
+	objects int
+	theta   float64
+}
+
+// zipfCache interns zipfTables process-wide. A 512-node rack would
+// otherwise build hundreds of identical 100k-entry cumulative tables at
+// cluster construction; tables are read-only after newZipfTable returns,
+// so sharing one per (objects, theta) is safe and sampling from it is
+// bit-identical to a privately built table.
+var zipfCache sync.Map // zipfKey -> *zipfTable
+
+// sharedZipfTable returns the interned table for (objects, theta),
+// building it at most once per distinct shape (a racing duplicate build is
+// discarded, never published).
+func sharedZipfTable(objects int, theta float64) *zipfTable {
+	k := zipfKey{objects, theta}
+	if t, ok := zipfCache.Load(k); ok {
+		return t.(*zipfTable)
+	}
+	t, _ := zipfCache.LoadOrStore(k, newZipfTable(objects, theta))
+	return t.(*zipfTable)
+}
+
 // sample draws one object index in [0, objects).
 func (t *zipfTable) sample(rnd *sim.Rand) int {
 	u := rnd.Float64() * t.cum[len(t.cum)-1]
@@ -130,7 +156,7 @@ func NewZipfReads(size, objects int, theta float64, max uint64, seed uint64) (*Z
 		return nil, fmt.Errorf("rackni: ZipfReads skew %g must be non-negative", theta)
 	}
 	return &ZipfReads{Size: size, Objects: objects, Theta: theta, Max: max,
-		rnd: sim.NewRand(seed), table: newZipfTable(objects, theta)}, nil
+		rnd: sim.NewRand(seed), table: sharedZipfTable(objects, theta)}, nil
 }
 
 // Next implements Workload.

@@ -150,3 +150,25 @@ func BenchmarkZipfNext(b *testing.B) {
 		})
 	}
 }
+
+// TestSharedZipfTableBitIdentical: the process-wide interned table must
+// sample exactly like a privately built per-node table (same cumulative
+// sums, same binary search), and repeated lookups must return the one
+// cached instance rather than rebuilding per node/core.
+func TestSharedZipfTableBitIdentical(t *testing.T) {
+	const objects, theta = 5_000, 0.99
+	shared := sharedZipfTable(objects, theta)
+	if again := sharedZipfTable(objects, theta); again != shared {
+		t.Fatal("second lookup rebuilt the table instead of interning it")
+	}
+	fresh := newZipfTable(objects, theta)
+	a, b := sim.NewRand(42), sim.NewRand(42)
+	for i := 0; i < 20_000; i++ {
+		if got, want := shared.sample(a), fresh.sample(b); got != want {
+			t.Fatalf("draw %d: shared table sampled %d, fresh reference %d", i, got, want)
+		}
+	}
+	if other := sharedZipfTable(objects, 0.5); other == shared {
+		t.Fatal("distinct skew must intern a distinct table")
+	}
+}
