@@ -37,7 +37,8 @@ func main() {
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	nodes := flag.Int("nodes", 8, "cluster node count for the overload and degraded experiments")
-	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; points are independent, output is identical)")
+	shards := flag.Int("shards", 1, "engine shards for the degraded experiment's cluster; k > 1 runs it on k parallel engines with bit-identical results (the other studies are single-engine: overload's stability monitor and the routed-fabric experiments coordinate cluster-wide)")
+	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial, capped at the machine's core count; points are independent, output is identical)")
 	jsonOut := flag.Bool("json", false, "emit JSON results on stdout instead of tables")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	flag.Parse()
@@ -152,7 +153,7 @@ func main() {
 	}
 	if *exp == "degraded" {
 		run(fmt.Sprintf("Degraded mode: kv scenario under fabric faults (%d nodes)", *nodes), func() (fmt.Stringer, error) {
-			return wrap(rackni.RunDegradedMode(clusterStudyCfg(cfg), *nodes, "kv", nil, true))
+			return wrap(rackni.RunDegradedMode(clusterStudyCfg(cfg), *nodes, "kv", nil, true, *shards))
 		})
 	}
 	if *exp == "incast" {

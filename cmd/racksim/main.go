@@ -20,6 +20,7 @@
 //	racksim -nodes 4 -mode bandwidth -size 4096 -window 1,4,16,0 -quick   # credit-window overload sweep
 //	racksim -nodes 16 -workload incast -fabricrouting dor,adaptive -quick  # link-level congestion, routing comparison
 //	racksim -nodes 8 -arrival poisson -rate 1,4 -hedge 0,1000 -quick       # open-loop KV service, hedging off/on
+//	racksim -nodes 64 -workload kv -shards 4 -quick        # same results as -shards 1, on 4 parallel engines
 package main
 
 import (
@@ -53,8 +54,9 @@ func main() {
 	arrival := flag.String("arrival", "", "open-loop arrival process(es): poisson|bursty|diurnal, comma-separated; runs the replicated KV service instead of closed-loop scenarios")
 	rate := flag.String("rate", "1", "offered load(s) in requests per 1000 cycles per client, comma-separated (service points only)")
 	hedge := flag.String("hedge", "0", "hedged-request delay(s) in cycles, comma-separated; 0 = hedging off (service points only)")
+	shardsFlag := flag.String("shards", "1", "engine shard count(s) per cluster point, comma-separated; k > 1 runs a multi-node workload/service point on k parallel engines with bit-identical results (pure wall-clock knob; congestion-routed points stay on 1 engine)")
 	quick := flag.Bool("quick", false, "short stabilization windows")
-	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial; table/CSV output is identical, JSON wall_ms timing varies)")
+	parallel := flag.Int("parallel", 1, "sweep-point workers (1 = serial, capped at the machine's core count; table/CSV output is identical, JSON wall_ms timing varies)")
 	jsonOut := flag.Bool("json", false, "emit JSON results")
 	csvOut := flag.Bool("csv", false, "emit CSV results")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
@@ -139,6 +141,10 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	shardList, err := rackni.ParseShards(*shardsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	// -arrival adds open-loop service points: the cross product of arrival
 	// kinds and rates, each run at every -hedge delay.
 	var arrivals []rackni.ArrivalSpec
@@ -193,6 +199,7 @@ func main() {
 		FabricRoutings(fabricRoutings...).
 		Arrivals(arrivals...).
 		Hedges(hedges...).
+		Shards(shardList...).
 		Seeds(seeds...).
 		Cores(cores...).
 		Points()

@@ -77,10 +77,12 @@ func ExampleSweep_Workloads() {
 // the spec's seed), the request timeout arms bounded retransmission, and
 // the closed-loop kv clients still drain every operation. Retries and
 // permanent failures surface in the aggregate result; with a timeout
-// armed and loss this low, nothing fails permanently.
+// armed and a retry budget sized for the loss rate, nothing fails
+// permanently.
 func ExampleCluster_SetFaults() {
 	cfg := rackni.QuickConfig()
 	cfg.ReqTimeout = 2_000 // cycles before a lost block retransmits
+	cfg.MaxRetries = 6     // budget sized so 2% loss never exhausts a block
 	cl, err := rackni.NewCluster(cfg, 2, 1)
 	if err != nil {
 		log.Fatal(err)

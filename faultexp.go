@@ -128,8 +128,9 @@ type DegradedModeResult struct {
 // block crossing a dead link does — surface as permanent failures, not
 // hangs. One cluster serves all settings: SetFaults swaps plans between
 // runs and the session lifecycle makes each run bit-identical to a fresh
-// build.
-func RunDegradedMode(cfg Config, nodes int, scenario string, dropRates []float64, deadLink bool) (DegradedModeResult, error) {
+// build. shards > 1 partitions the cluster across that many parallel
+// engines — results are bit-identical, only wall-clock changes.
+func RunDegradedMode(cfg Config, nodes int, scenario string, dropRates []float64, deadLink bool, shards int) (DegradedModeResult, error) {
 	sc, err := ParseScenario(scenario)
 	if err != nil {
 		return DegradedModeResult{}, err
@@ -141,7 +142,7 @@ func RunDegradedMode(cfg Config, nodes int, scenario string, dropRates []float64
 		cfg.ReqTimeout = DefaultReqTimeout
 	}
 	out := DegradedModeResult{Nodes: nodes, Scenario: sc.Name}
-	cl, err := NewCluster(cfg, nodes, 1)
+	cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, Hops: 1, Shards: shards})
 	if err != nil {
 		return out, err
 	}

@@ -1,6 +1,7 @@
 package rackni
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -59,7 +60,7 @@ func TestDegradedModeRecoversAndIsolates(t *testing.T) {
 	cfg := quickClusterCfg()
 	cfg.ReqTimeout = 1_000
 	cfg.MaxCycles = 2_000_000
-	res, err := RunDegradedMode(cfg, 3, "kv", []float64{0, 0.002}, true)
+	res, err := RunDegradedMode(cfg, 3, "kv", []float64{0, 0.002}, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,10 +87,19 @@ func TestDegradedModeRecoversAndIsolates(t *testing.T) {
 	if !strings.Contains(out, "link 0<->1 down") || !strings.Contains(out, "drop=0.002") {
 		t.Fatalf("Format missing fault labels:\n%s", out)
 	}
-	if _, err := RunDegradedMode(cfg, 3, "nosuch", nil, false); err == nil {
+	if _, err := RunDegradedMode(cfg, 3, "nosuch", nil, false, 1); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
-	if _, err := RunDegradedMode(cfg, 3, "kv", []float64{1.5}, false); err == nil {
+	if _, err := RunDegradedMode(cfg, 3, "kv", []float64{1.5}, false, 1); err == nil {
 		t.Fatal("out-of-range drop rate accepted")
+	}
+	// The sharded study is the same study: the degraded-mode points are
+	// bit-identical whether the cluster runs on one engine or three.
+	sharded, err := RunDegradedMode(cfg, 3, "kv", []float64{0, 0.002}, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, sharded) {
+		t.Fatalf("3-shard degraded study diverged from single-engine:\n%+v\nvs\n%+v", sharded, res)
 	}
 }

@@ -33,8 +33,8 @@ func (o NodeOutage) covers(now int64) bool {
 
 // FaultSpec declares a deterministic fault schedule for an Interconnect.
 // Probabilities apply independently to each fabric leg (request and
-// response); all randomness comes from a single xorshift generator seeded
-// with Seed at plan construction, never from wall clock, so identical specs
+// response); all randomness comes from per-leg xorshift generators seeded
+// from Seed at plan construction, never from wall clock, so identical specs
 // produce bit-identical runs.
 type FaultSpec struct {
 	// Seed seeds the plan's private generator (zero picks a fixed
@@ -106,18 +106,32 @@ func (s *FaultSpec) Validate(nodes int) error {
 	return nil
 }
 
-// FaultPlan is an executable FaultSpec: the spec plus the private generator
-// that serves every probability draw. Reset re-seeds the generator so a
-// reused Session replays the exact fault schedule of a fresh run.
+// FaultPlan is an executable FaultSpec: the spec plus one private generator
+// per directed leg. Per-leg streams make a leg's fault schedule a pure
+// function of (Seed, src, dst) and the leg's own traffic — never of the
+// interleaving of OTHER legs' traffic — which is what lets a sharded
+// cluster judge each leg inside the shard that sends on it and still
+// reproduce the single-engine schedule bit for bit. Reset re-seeds every
+// generator so a reused Session replays the exact schedule of a fresh run.
+//
+// Each leg (src, dst) is drawn only by node src's shard: requests src→dst
+// are judged at send time on the src side, and responses use the returning
+// leg (servicer→requester) judged on the servicer side — so concurrent
+// shards touch disjoint generators.
 type FaultPlan struct {
 	spec FaultSpec
-	rnd  *sim.Rand
+	n    int
+	legs []sim.Rand // generator per directed leg, indexed src*n+dst
 }
 
-// NewFaultPlan builds a plan for the spec. The caller is expected to have
-// validated the spec against the interconnect geometry.
-func NewFaultPlan(spec FaultSpec) *FaultPlan {
-	p := &FaultPlan{spec: spec}
+// NewFaultPlan builds a plan for the spec over a cluster of `nodes` nodes.
+// The caller is expected to have validated the spec against the
+// interconnect geometry.
+func NewFaultPlan(spec FaultSpec, nodes int) *FaultPlan {
+	if nodes < 1 {
+		nodes = 1
+	}
+	p := &FaultPlan{spec: spec, n: nodes, legs: make([]sim.Rand, nodes*nodes)}
 	p.Reset()
 	return p
 }
@@ -125,8 +139,26 @@ func NewFaultPlan(spec FaultSpec) *FaultPlan {
 // Spec returns a copy of the plan's spec.
 func (p *FaultPlan) Spec() FaultSpec { return p.spec }
 
-// Reset rewinds the plan's generator to its construction state.
-func (p *FaultPlan) Reset() { p.rnd = sim.NewRand(p.spec.Seed) }
+// legSeed decorrelates the per-leg generators: a splitmix64-style finalizer
+// over (seed, src, dst), so neighboring legs share no low-bit structure.
+func legSeed(seed uint64, src, dst int) uint64 {
+	z := seed ^ 0x9E3779B97F4A7C15*uint64(src+1) ^ 0xBF58476D1CE4E5B9*uint64(dst+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Reset rewinds every leg generator to its construction state.
+func (p *FaultPlan) Reset() {
+	for s := 0; s < p.n; s++ {
+		for d := 0; d < p.n; d++ {
+			p.legs[s*p.n+d] = *sim.NewRand(legSeed(p.spec.Seed, s, d))
+		}
+	}
+}
 
 // down reports whether the directed leg src->dst is severed at cycle now by
 // a link or node outage. Outage checks draw no randomness.
@@ -146,20 +178,22 @@ func (p *FaultPlan) down(src, dst int, now int64) bool {
 
 // judge decides the fate of one message on the directed leg src->dst at
 // cycle now: dropped (silently or by detected corruption) or delayed by
-// extra cycles. Each probability draws from the generator only when its
-// knob is nonzero, so enabling one fault class never shifts the schedule
-// of another run that only uses a different class.
+// extra cycles. Each probability draws from the leg's own generator, and
+// only when its knob is nonzero, so enabling one fault class never shifts
+// the schedule of another run that only uses a different class — and
+// traffic on one leg never shifts the schedule of any other leg.
 func (p *FaultPlan) judge(src, dst int, now int64) (drop, corrupt bool, extra int64) {
 	if p.down(src, dst, now) {
 		return true, false, 0
 	}
-	if p.spec.DropProb > 0 && p.rnd.Float64() < p.spec.DropProb {
+	rnd := &p.legs[src*p.n+dst]
+	if p.spec.DropProb > 0 && rnd.Float64() < p.spec.DropProb {
 		return true, false, 0
 	}
-	if p.spec.CorruptProb > 0 && p.rnd.Float64() < p.spec.CorruptProb {
+	if p.spec.CorruptProb > 0 && rnd.Float64() < p.spec.CorruptProb {
 		return true, true, 0
 	}
-	if p.spec.DelayProb > 0 && p.rnd.Float64() < p.spec.DelayProb {
+	if p.spec.DelayProb > 0 && rnd.Float64() < p.spec.DelayProb {
 		return false, false, p.spec.DelayCycles
 	}
 	return false, false, 0

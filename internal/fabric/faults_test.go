@@ -20,14 +20,14 @@ func TestFaultSpecValidate(t *testing.T) {
 		{DelayProb: 0.5}, // no DelayCycles
 		{DelayProb: 0.5, DelayCycles: -1},
 		{CorruptProb: 1.5},
-		{DropProb: 0.6, CorruptProb: 0.5}, // certainty of loss
-		{LinkDown: []Outage{{Src: 0, Dst: 0}}},                          // self-loop
-		{LinkDown: []Outage{{Src: 0, Dst: 9}}},                          // beyond cluster
-		{LinkDown: []Outage{{Src: -1, Dst: 1}}},                         // negative node
-		{LinkDown: []Outage{{Src: 0, Dst: 1, From: -5}}},                // negative start
-		{LinkDown: []Outage{{Src: 0, Dst: 1, From: 20, Until: 10}}},     // inverted window
-		{NodeDown: []NodeOutage{{Node: 4}}},                             // beyond cluster
-		{NodeDown: []NodeOutage{{Node: 1, From: 30, Until: 30}}},        // empty window
+		{DropProb: 0.6, CorruptProb: 0.5},                           // certainty of loss
+		{LinkDown: []Outage{{Src: 0, Dst: 0}}},                      // self-loop
+		{LinkDown: []Outage{{Src: 0, Dst: 9}}},                      // beyond cluster
+		{LinkDown: []Outage{{Src: -1, Dst: 1}}},                     // negative node
+		{LinkDown: []Outage{{Src: 0, Dst: 1, From: -5}}},            // negative start
+		{LinkDown: []Outage{{Src: 0, Dst: 1, From: 20, Until: 10}}}, // inverted window
+		{NodeDown: []NodeOutage{{Node: 4}}},                         // beyond cluster
+		{NodeDown: []NodeOutage{{Node: 1, From: 30, Until: 30}}},    // empty window
 	}
 	for i, spec := range bad {
 		if err := spec.Validate(4); err == nil {
@@ -78,7 +78,7 @@ func judgeTrace(p *FaultPlan, n int) []int {
 // property Session.Begin relies on for reused-cluster bit-identity.
 func TestFaultPlanDeterministicReset(t *testing.T) {
 	spec := FaultSpec{Seed: 42, DropProb: 0.2, DelayProb: 0.1, DelayCycles: 30, CorruptProb: 0.05}
-	p := NewFaultPlan(spec)
+	p := NewFaultPlan(spec, 3)
 	first := judgeTrace(p, 2000)
 	saw := map[int]bool{}
 	for _, v := range first {
@@ -98,7 +98,7 @@ func TestFaultPlanDeterministicReset(t *testing.T) {
 	}
 	// A distinct seed must not replay the same schedule.
 	spec.Seed = 43
-	other := judgeTrace(NewFaultPlan(spec), 2000)
+	other := judgeTrace(NewFaultPlan(spec, 3), 2000)
 	same := true
 	for i := range first {
 		if first[i] != other[i] {
@@ -118,14 +118,14 @@ func TestFaultPlanOutages(t *testing.T) {
 	p := NewFaultPlan(FaultSpec{
 		LinkDown: []Outage{{Src: 0, Dst: 1, From: 10, Until: 20}},
 		NodeDown: []NodeOutage{{Node: 2, From: 100}}, // forever from 100
-	})
+	}, 3)
 	cases := []struct {
 		src, dst int
 		now      int64
 		down     bool
 	}{
 		{0, 1, 9, false}, {0, 1, 10, true}, {0, 1, 19, true}, {0, 1, 20, false},
-		{1, 0, 15, false}, // directed: reverse leg stays up
+		{1, 0, 15, false},                                        // directed: reverse leg stays up
 		{2, 0, 99, false}, {2, 0, 100, true}, {0, 2, 5000, true}, // node-down covers both roles
 		{0, 1, 5000, false},
 	}

@@ -141,11 +141,34 @@ type LinkStats struct {
 // slice indexed by a recycling transaction id (no map operations, no
 // per-transfer allocation).
 type Interconnect struct {
-	eng       *sim.Engine
+	eng       *sim.Engine   // node 0's engine; THE engine when unsharded
+	engs      []*sim.Engine // per-node engine (all equal when unsharded)
+	shardOf   []int32       // shard index per node (engines in first-seen order)
+	nshards   int
 	topo      Torus3D
 	placement []int // torus coordinates per node; nil = uniform distances
 	uniform   int   // uniform pairwise hop count when placement is nil
 	hopCycles int64 // cycles per inter-node hop
+
+	// canonical switches inter-node delivery to the engine's calendar
+	// pre-phase, keyed (cycle, sender, sender-sequence): delivery order
+	// becomes a pure function of what was sent, never of the global event
+	// posting history, which is the property that makes a K-shard run
+	// bit-identical to the single-engine run. It is on exactly when the
+	// geometry allows sharding at all (N >= 2, lump-sum RouteNone delays,
+	// every cross-node delay >= 1 cycle), REGARDLESS of the shard count —
+	// K=1 must execute the identical schedule K>1 reproduces.
+	canonical bool
+
+	// seq[i] is node i's private monotone counter for calendar keys. Each
+	// node's entries are keyed by its own counter, so slots are written
+	// only by the shard that owns the node.
+	seq []uint64
+
+	// xbuf[s] buffers shard s's outgoing cross-shard calendar records
+	// within a window; the cluster's barrier drains them into the target
+	// engines via FlushWindow. Entries are written only by shard s.
+	xbuf [][]calRecord
 
 	// dist[src*n+dst] and delay[src*n+dst] are the precomputed inter-node
 	// hop counts and hop delays in cycles.
@@ -162,13 +185,11 @@ type Interconnect struct {
 	ports []NodePort
 	outs  [][]*noc.Outbox // [node][row] injection ports
 
-	// In-flight transfers, by value, indexed by txn-1. Free slot indices
-	// recycle LIFO so the table stays dense at the working-set size.
-	xfers []xfer
-	free  []uint64
-	// peakLive is the run's high-water mark of live transfer records — the
-	// quantity the per-QP credit window exists to bound.
-	peakLive int
+	// xtabs[i] holds node i's in-flight transfers (the requests IT issued).
+	// Per-requester tables keep the record's whole lifecycle inside the
+	// requester's shard: created at send, freed when the response (or its
+	// loss verdict) arrives back. Transaction ids are per-node.
+	xtabs []xferTable
 
 	// Link-level congestion state (EnableCongestion): with routing set,
 	// every block routes hop by hop through per-link credit queues instead
@@ -204,6 +225,59 @@ type xfer struct {
 	active   bool
 }
 
+// xferTable is one node's in-flight transfer records, by value, indexed by
+// txn-1. Free slot indices recycle LIFO so the table stays dense at the
+// working-set size.
+type xferTable struct {
+	xfers []xfer
+	free  []uint64
+	// peak is the node's high-water mark of live transfer records — the
+	// quantity the per-QP credit window exists to bound.
+	peak int
+}
+
+// take claims a free transfer slot (or grows the table) and returns its
+// transaction id; ids are slot+1 so 0 stays invalid.
+func (t *xferTable) take() (uint64, *xfer) {
+	var txn uint64
+	if n := len(t.free); n > 0 {
+		txn = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.xfers = append(t.xfers, xfer{})
+		txn = uint64(len(t.xfers))
+	}
+	if live := len(t.xfers) - len(t.free); live > t.peak {
+		t.peak = live
+	}
+	return txn, &t.xfers[txn-1]
+}
+
+// reset zeroes the abandoned records before truncating: a cut-short run
+// can leave hundreds of thousands of them, and the retained capacity would
+// otherwise pin every referenced NetReq across subsequent runs.
+func (t *xferTable) reset() {
+	for i := range t.xfers {
+		t.xfers[i] = xfer{}
+	}
+	t.xfers = t.xfers[:0]
+	t.free = t.free[:0]
+	t.peak = 0
+}
+
+// calRecord is one cross-shard calendar entry buffered at the shard edge:
+// the (cycle, sender, sequence) key plus the delivery event, shipped into
+// the receiving shard's engine at the next window barrier.
+type calRecord struct {
+	at  int64
+	src int32 // calendar key: the sending node
+	dst int32 // receiving node (selects the target shard's engine)
+	seq uint64
+	fn  sim.EventFunc
+	msg *noc.Message
+	i   int64
+}
+
 // NewInterconnect wires the fabric to every node's network ports.
 // placement, when non-nil, gives each node's torus coordinate (distinct,
 // in range); when nil every pair of nodes is uniformHops apart.
@@ -234,10 +308,11 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 	}
 	base := ports[0].Env.Cfg
 	for i, p := range ports {
-		// One engine, one clock, one block geometry: every node must tick
-		// the shared wheel in the same time base for hop delays to mean the
-		// same thing, and the precomputed flit counts assume one link and
-		// block size across the rack.
+		// One clock, one block geometry: every node must tick in the same
+		// time base for hop delays to mean the same thing, and the
+		// precomputed flit counts assume one link and block size across the
+		// rack. (Nodes may sit on different engines — shards — as long as
+		// the clock domains agree.)
 		if p.Env.Cfg.ClockGHz != base.ClockGHz || p.Env.Cfg.NetHopNS != base.NetHopNS {
 			return nil, fmt.Errorf("fabric: node %d clock domain (%.2f GHz, %.1f ns/hop) differs from node 0 (%.2f GHz, %.1f ns/hop)",
 				i, p.Env.Cfg.ClockGHz, p.Env.Cfg.NetHopNS, base.ClockGHz, base.NetHopNS)
@@ -249,6 +324,7 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 	}
 	x := &Interconnect{
 		eng:  ports[0].Env.Eng,
+		engs: make([]*sim.Engine, n),
 		topo: topo, placement: placement, uniform: uniformHops,
 		hopCycles:     base.NetHopCycles(),
 		reqFlits:      base.ReqHeaderFlits,
@@ -258,9 +334,31 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 		ports:         ports,
 		retryOn:       base.ReqTimeout > 0,
 		outs:          make([][]*noc.Outbox, n),
+		seq:           make([]uint64, n),
+		xtabs:         make([]xferTable, n),
+		shardOf:       make([]int32, n),
 		Counters:      make([]LinkStats, n),
 		Traffic:       make([][]int64, n),
 	}
+	// Shard identity: nodes sharing an engine form a shard, numbered in
+	// first-seen node order so shard layout is a pure function of the port
+	// list.
+	for i, p := range ports {
+		x.engs[i] = p.Env.Eng
+		s := int32(-1)
+		for j := 0; j < i; j++ {
+			if x.engs[j] == x.engs[i] {
+				s = x.shardOf[j]
+				break
+			}
+		}
+		if s < 0 {
+			s = int32(x.nshards)
+			x.nshards++
+		}
+		x.shardOf[i] = s
+	}
+	x.xbuf = make([][]calRecord, x.nshards)
 	// Dense pairwise hop-delay table: the per-message Dist call collapses
 	// to one load. At the paper's full 512-node rack this is 2 MiB — small
 	// next to the nodes it serves — and for uniform mode it simply repeats
@@ -274,6 +372,7 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 			x.delay[a*n+b] = int64(d) * x.hopCycles
 		}
 	}
+	x.canonical = x.canonicalEligible()
 	for i := range ports {
 		x.Traffic[i] = make([]int64, n)
 		x.outs[i] = make([]*noc.Outbox, ports[i].Ports)
@@ -291,6 +390,100 @@ func NewInterconnect(topo Torus3D, placement []int, uniformHops int, ports []Nod
 
 // NodeCount returns the number of attached nodes.
 func (x *Interconnect) NodeCount() int { return len(x.ports) }
+
+// canonicalEligible reports whether the geometry admits calendar-ordered
+// (and therefore shardable) delivery: at least two nodes, lump-sum delays
+// (no link-level congestion state, which is inherently cluster-global), and
+// at least one cycle of latency between every pair of distinct nodes — the
+// conservative lookahead that lets a shard run a window without observing
+// an out-of-order cross-shard message.
+func (x *Interconnect) canonicalEligible() bool {
+	n := len(x.ports)
+	if n < 2 || x.routing != RouteNone {
+		return false
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && x.delay[a*n+b] < 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetCanonical selects the delivery ordering for the next run: on — when
+// the geometry is eligible — uses the calendar pre-phase whose order is
+// reproducible across shard counts; off restores the legacy wheel path.
+// Run entry points that shard (workload, service) turn it on so K=1 and
+// K>1 execute the identical schedule; the single-engine microbenchmarks
+// (sync latency, bandwidth) turn it off to keep their cross-validated
+// legacy timing. Returns the resulting state. Call only between runs.
+func (x *Interconnect) SetCanonical(on bool) bool {
+	x.canonical = on && x.canonicalEligible()
+	return x.canonical
+}
+
+// Sharded reports whether the attached nodes span more than one engine.
+func (x *Interconnect) Sharded() bool { return x.nshards > 1 }
+
+// NumShards returns the number of engines the nodes span.
+func (x *Interconnect) NumShards() int { return x.nshards }
+
+// Lookahead returns the conservative window W: the minimum hop delay
+// between any pair of distinct nodes. Within a window [T, T+W) no node can
+// receive a message sent by another node inside the same window, so shards
+// advance W cycles between barriers without synchronizing. The minimum is
+// taken over every node pair — not just cross-shard pairs — so the window
+// boundaries, and with them the cycle at which a quiescing run's stop
+// check fires, are identical at every shard count. Returns a
+// practically-unbounded window for a single node.
+func (x *Interconnect) Lookahead() int64 {
+	w := int64(1) << 62
+	n := len(x.ports)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b && x.delay[a*n+b] < w {
+				w = x.delay[a*n+b]
+			}
+		}
+	}
+	return w
+}
+
+// FlushWindow ships every buffered cross-shard calendar record into its
+// receiving shard's engine. It must be called only at a window barrier —
+// when no shard's engine is running — both for memory safety (the buffers
+// and target engines are touched without locks) and because a parked
+// engine legally accepts entries for its current cycle.
+func (x *Interconnect) FlushWindow() {
+	for s := range x.xbuf {
+		buf := x.xbuf[s]
+		for i := range buf {
+			r := &buf[i]
+			x.engs[r.dst].PostCanonical(r.at, r.src, r.seq, r.fn, x, r.msg, r.i)
+			*r = calRecord{} // release the message reference
+		}
+		x.xbuf[s] = buf[:0]
+	}
+}
+
+// postCal routes one canonical delivery event keyed by the sending node's
+// counter: straight into the engine when sender and receiver share a
+// shard, buffered at the shard edge otherwise. `at` must be strictly in
+// the sender's future (guaranteed by cross-node delays >= 1 in canonical
+// mode); cross-shard entries additionally land at or beyond the next
+// barrier because delay >= Lookahead.
+func (x *Interconnect) postCal(sender, recv int, at int64, fn sim.EventFunc, msg *noc.Message, i int64) {
+	sq := x.seq[sender]
+	x.seq[sender]++
+	if x.shardOf[recv] == x.shardOf[sender] {
+		x.engs[sender].PostCanonical(at, int32(sender), sq, fn, x, msg, i)
+		return
+	}
+	s := x.shardOf[sender]
+	x.xbuf[s] = append(x.xbuf[s], calRecord{at: at, src: int32(sender), dst: int32(recv), seq: sq, fn: fn, msg: msg, i: i})
+}
 
 // distSlow computes a pairwise hop distance from the topology model; used
 // only to fill the dense table at construction.
@@ -328,15 +521,26 @@ func (x *Interconnect) SetFaults(spec *FaultSpec) error {
 	if err := spec.Validate(len(x.ports)); err != nil {
 		return err
 	}
-	x.plan = NewFaultPlan(*spec)
+	x.plan = NewFaultPlan(*spec, len(x.ports))
 	return nil
 }
 
 // Faults returns the installed fault plan, nil when the fabric is lossless.
 func (x *Interconnect) Faults() *FaultPlan { return x.plan }
 
-// PeakInFlight returns the run's high-water mark of live transfer records.
-func (x *Interconnect) PeakInFlight() int { return x.peakLive }
+// PeakInFlight returns the run's high-water mark of live transfer records:
+// the sum of each node's own high-water mark. (Per-node tables peak at
+// different cycles, so this bounds — and may slightly exceed — the largest
+// instantaneous cluster-wide population; each node's term is individually
+// bounded by its QP credit windows, which is the invariant the overload
+// experiments assert.)
+func (x *Interconnect) PeakInFlight() int {
+	total := 0
+	for i := range x.xtabs {
+		total += x.xtabs[i].peak
+	}
+	return total
+}
 
 // ResetCounters zeroes the per-run accounting. In-flight transfer records
 // are untouched.
@@ -356,15 +560,19 @@ func (x *Interconnect) ResetCounters() {
 // cleared with the shared engine.
 func (x *Interconnect) Reset() {
 	x.ResetCounters()
-	// Zero the abandoned records before truncating: a cut-short run can
-	// leave hundreds of thousands of them, and the retained capacity would
-	// otherwise pin every referenced NetReq across subsequent runs.
-	for i := range x.xfers {
-		x.xfers[i] = xfer{}
+	for i := range x.xtabs {
+		x.xtabs[i].reset()
 	}
-	x.xfers = x.xfers[:0]
-	x.free = x.free[:0]
-	x.peakLive = 0
+	for i := range x.seq {
+		x.seq[i] = 0
+	}
+	for s := range x.xbuf {
+		buf := x.xbuf[s]
+		for i := range buf {
+			buf[i] = calRecord{}
+		}
+		x.xbuf[s] = buf[:0]
+	}
 	x.resetLinks()
 	if x.plan != nil {
 		x.plan.Reset()
@@ -392,25 +600,10 @@ func (x *Interconnect) handle(node int, m *noc.Message) {
 // packDst packs the delivery coordinates into one event argument.
 func packDst(node, row int) int64 { return int64(node)<<32 | int64(row) }
 
-// newXfer takes a free transfer slot (or grows the table) and returns its
-// transaction id; ids are slot+1 so 0 stays invalid.
-func (x *Interconnect) newXfer() (uint64, *xfer) {
-	var txn uint64
-	if n := len(x.free); n > 0 {
-		txn = x.free[n-1]
-		x.free = x.free[:n-1]
-	} else {
-		x.xfers = append(x.xfers, xfer{})
-		txn = uint64(len(x.xfers))
-	}
-	if live := len(x.xfers) - len(x.free); live > x.peakLive {
-		x.peakLive = live
-	}
-	return txn, &x.xfers[txn-1]
-}
-
 // onRequest routes one outgoing block request to its target node's RRPP
-// row, after the inter-node hops.
+// row, after the inter-node hops. It runs in the sending node's shard:
+// every counter it touches is the sender's own row, and the transfer
+// record it creates lives in the sender's table.
 func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	nr := m.Meta.(*rmc.NetReq)
 	sel, local := SplitAddr(m.Addr)
@@ -429,7 +622,7 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 	delay := x.delay[src*len(x.ports)+dst]
 	var extra int64
 	if x.plan != nil {
-		drop, corrupt, late := x.plan.judge(src, dst, x.eng.Now())
+		drop, corrupt, late := x.plan.judge(src, dst, x.engs[src].Now())
 		if drop {
 			// The request was sent (RequestsOut, Traffic) but never
 			// arrives; no transfer record, no HopCycles for a hop that
@@ -451,7 +644,7 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 			delay += late
 		}
 	}
-	txn, o := x.newXfer()
+	txn, o := x.xtabs[src].take()
 	o.nr, o.addr, o.src, o.dst, o.active = nr, m.Addr, int32(src), int32(dst), true
 
 	flits := x.reqFlits
@@ -476,7 +669,14 @@ func (x *Interconnect) onRequest(src int, m *noc.Message) {
 		x.startTransit(inbound, packDst(dst, row), transitRequest, src, dst, src, flits, extra)
 		return
 	}
-	x.eng.Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
+	if x.canonical && delay > 0 {
+		x.postCal(src, dst, x.engs[src].Now()+delay, xconnInboundEv, inbound, packDst(dst, row))
+		return
+	}
+	// Loopback (zero distance) keeps the wheel path: it never leaves the
+	// sender's shard, so append order is already a pure function of the
+	// node's own execution.
+	x.engs[src].Post(delay, xconnInboundEv, x, inbound, packDst(dst, row))
 }
 
 // xconnInboundEv lands a request at its target node's RRPP row after the
@@ -489,14 +689,77 @@ func xconnInboundEv(a, b any, dst int64) {
 	x.outs[dst>>32][dst&0xFFFF_FFFF].Send(b.(*noc.Message))
 }
 
+// Response-leg verdicts, packed with the transfer coordinates into one
+// event argument (see packResp).
+const (
+	respDeliver = 0 // deliver: charge hops, count ResponsesIn
+	respNack    = 1 // lost, no retries: synthesize a NACK to the requester
+	respFree    = 2 // lost, retries armed: free the record, count the loss
+)
+
+// packResp packs a response-leg verdict for xconnCalRespEv:
+// bit 0 corrupt, bit 1 late, bits [2,4) verdict, bits [4,16) requester,
+// bits [16,28) servicer, bits [28,63) per-requester transaction id.
+func packResp(kind int, corrupt, late bool, requester, servicer int, txn uint64) int64 {
+	v := int64(txn)<<28 | int64(servicer)<<16 | int64(requester)<<4 | int64(kind)<<2
+	if late {
+		v |= 2
+	}
+	if corrupt {
+		v |= 1
+	}
+	return v
+}
+
 // onResponse routes an RRPP's response back to the requesting node, after
-// the return hops.
+// the return hops. It runs in the SERVICING node's shard, which may not be
+// the requester's: in canonical mode it therefore only judges the return
+// leg (the servicer's own fault stream), bumps the servicer's own
+// ResponsesOut, and ships a verdict keyed by the servicer's calendar
+// counter — the requester's table and counters are touched exclusively by
+// xconnCalRespEv in the requester's shard.
 func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	txn := m.Txn
-	if txn == 0 || txn > uint64(len(x.xfers)) || !x.xfers[txn-1].active {
-		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d", txn))
+	owner := int(m.B) // requesting node: the RRPP echoes the source tag
+	if owner < 0 || owner >= len(x.ports) {
+		panic(fmt.Sprintf("fabric: response txn %d tagged with nonexistent node %d", txn, m.B))
 	}
-	o := &x.xfers[txn-1]
+	if x.canonical {
+		src, dst := owner, node
+		delay := x.delay[dst*len(x.ports)+src]
+		now := x.engs[dst].Now()
+		kind := respDeliver
+		var corrupt bool
+		var late int64
+		if x.plan != nil {
+			drop, corr, l := x.plan.judge(dst, src, now)
+			if drop {
+				corrupt = corr
+				kind = respNack
+				if x.retryOn {
+					kind = respFree
+				}
+			} else if l > 0 {
+				late = l
+			}
+		}
+		x.Counters[dst].ResponsesOut++
+		pk := packResp(kind, corrupt, late > 0, src, dst, txn)
+		if delay > 0 {
+			x.postCal(dst, src, now+delay+late, xconnCalRespEv, nil, pk)
+			return
+		}
+		// Loopback (zero return distance, necessarily src == dst): the
+		// wheel path stays inside the requester's own shard.
+		x.engs[dst].Post(late, xconnCalRespEv, x, nil, pk)
+		return
+	}
+
+	t := &x.xtabs[owner]
+	if txn == 0 || txn > uint64(len(t.xfers)) || !t.xfers[txn-1].active {
+		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d at node %d", txn, owner))
+	}
+	o := &t.xfers[txn-1]
 	// Protocol validation: the servicing node and its RRPP's echoed
 	// source tag must both match the transfer record. A mismatch means the
 	// two implementations of "the rack" disagree about who asked.
@@ -508,7 +771,7 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	}
 	nr, addr, src, dst := o.nr, o.addr, int(o.src), int(o.dst)
 	*o = xfer{}
-	x.free = append(x.free, txn)
+	t.free = append(t.free, txn)
 
 	delay := x.delay[dst*len(x.ports)+src]
 	var extra int64
@@ -555,6 +818,80 @@ func (x *Interconnect) onResponse(node int, m *noc.Message) {
 	x.eng.Post(delay, xconnRespEv, x, resp, packDst(src, row))
 }
 
+// xconnCalRespEv resolves a response-leg verdict at the requesting node.
+// It runs in the requester's shard (via its engine's calendar, or the
+// wheel for loopback), so it owns the transfer record and every counter it
+// touches: the record is validated and freed here, and the response — or
+// NACK, or nothing for a silent loss — is delivered at this instant, which
+// is exactly the arrival cycle the legacy path charged.
+func xconnCalRespEv(a, _ any, pk int64) {
+	x := a.(*Interconnect)
+	corrupt := pk&1 != 0
+	late := pk&2 != 0
+	kind := int(pk>>2) & 3
+	src := int(pk>>4) & nodeSelMask
+	dst := int(pk>>16) & nodeSelMask
+	txn := uint64(pk >> 28)
+	t := &x.xtabs[src]
+	if txn == 0 || txn > uint64(len(t.xfers)) || !t.xfers[txn-1].active {
+		panic(fmt.Sprintf("fabric: response for unknown transfer txn %d at node %d", txn, src))
+	}
+	o := &t.xfers[txn-1]
+	if int(o.dst) != dst {
+		panic(fmt.Sprintf("fabric: txn %d serviced by node %d, was sent to node %d", txn, dst, o.dst))
+	}
+	if int(o.src) != src {
+		panic(fmt.Sprintf("fabric: txn %d response tagged for node %d, belongs to node %d", txn, src, o.src))
+	}
+	nr, addr := o.nr, o.addr
+	*o = xfer{}
+	t.free = append(t.free, txn)
+
+	switch kind {
+	case respFree:
+		// Silent loss with retries armed: the requester's timeout recovers
+		// the block; only the ledger records the fault.
+		x.Counters[src].Drops++
+		if corrupt {
+			x.Counters[src].Corrupt++
+		}
+		return
+	case respNack:
+		x.Counters[src].Drops++
+		if corrupt {
+			x.Counters[src].Corrupt++
+		}
+		nr.Nacked = true
+		row := x.ports[src].RowOf(nr.ReturnTo)
+		resp := noc.NewMessage()
+		resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
+		resp.Src, resp.Dst = noc.NetID(row), nr.ReturnTo
+		resp.Flits, resp.Kind = x.ackFlits, rmc.KNetResponse
+		resp.Addr, resp.Meta = addr, nr
+		// A NACK bumps no delivery counters, so the zero-fault ledger
+		// invariant (ResponsesIn == ResponsesOut at quiesce) keeps
+		// describing real responses only.
+		x.outs[src][row].Send(resp)
+		return
+	}
+	x.Counters[src].HopCycles += x.delay[dst*len(x.ports)+src]
+	if late {
+		x.Counters[src].Delayed++
+	}
+	flits := x.ackFlits
+	if nr.Op == rmc.OpRead {
+		flits = x.respFlits
+	}
+	row := x.ports[src].RowOf(nr.ReturnTo)
+	resp := noc.NewMessage()
+	resp.VN, resp.Class = noc.VNResp, noc.ClassResponse
+	resp.Src, resp.Dst = noc.NetID(row), nr.ReturnTo
+	resp.Flits, resp.Kind = flits, rmc.KNetResponse
+	resp.Addr, resp.Meta = addr, nr
+	x.Counters[src].ResponsesIn++
+	x.outs[src][row].Send(resp)
+}
+
 // xconnRespEv lands a response back at the requesting node after the
 // return hops.
 func xconnRespEv(a, b any, dst int64) {
@@ -580,7 +917,9 @@ func (x *Interconnect) dropBlock(nr *rmc.NetReq, addr uint64, src int, delay int
 	resp.Src, resp.Dst = noc.NetID(row), nr.ReturnTo
 	resp.Flits, resp.Kind = x.ackFlits, rmc.KNetResponse
 	resp.Addr, resp.Meta = addr, nr
-	x.eng.Post(delay, xconnNackEv, x, resp, packDst(src, row))
+	// Request-leg NACKs bounce back to the node that just sent, so this
+	// always posts into the calling shard's own engine.
+	x.engs[src].Post(delay, xconnNackEv, x, resp, packDst(src, row))
 }
 
 // xconnNackEv lands a synthesized NACK at the requesting node. It bumps no

@@ -227,10 +227,14 @@ func (x *Interconnect) EnableCongestion(policy RoutePolicy, credits int, flitCyc
 	if policy == RouteNone {
 		x.routing = RouteNone
 		x.links, x.transits, x.tfree = nil, nil, nil
+		x.canonical = x.canonicalEligible()
 		return nil
 	}
 	if policy != RouteDOR && policy != RouteAdaptive {
 		return fmt.Errorf("fabric: unknown routing policy %d", int(policy))
+	}
+	if x.nshards > 1 {
+		return fmt.Errorf("fabric: the congestion model's link state is cluster-global and needs a single engine; build the cluster with one shard")
 	}
 	if x.placement == nil {
 		return fmt.Errorf("fabric: the congestion model needs an explicit torus placement; the uniform fixed-hop fabric has no links to contend")
@@ -246,6 +250,7 @@ func (x *Interconnect) EnableCongestion(policy RoutePolicy, credits int, flitCyc
 	x.linkFlitCycles = flitCycles
 	x.links = make([]link, x.topo.Nodes()*linksPerCoord)
 	x.transits, x.tfree = nil, nil
+	x.canonical = false
 	return nil
 }
 

@@ -69,27 +69,37 @@ func TestInterconnectDenseDistance(t *testing.T) {
 	}
 }
 
-// TestInterconnectXferRecycling: transfer slots recycle LIFO through the
-// free list, the table stays dense, and Reset restarts the ids.
+// TestInterconnectXferRecycling: transfer slots recycle LIFO through a
+// node's free list, per-node tables stay dense and independent, and Reset
+// restarts the ids.
 func TestInterconnectXferRecycling(t *testing.T) {
 	x, err := NewInterconnect(NewTorus3D(8), nil, 1, testPorts(t, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	t1, o1 := x.newXfer()
-	t2, _ := x.newXfer()
+	tab := &x.xtabs[0]
+	t1, o1 := tab.take()
+	t2, _ := tab.take()
 	if t1 != 1 || t2 != 2 {
 		t.Fatalf("first ids %d,%d, want 1,2", t1, t2)
 	}
+	// Another node's table numbers independently: the id space is
+	// per-requester, so each record's lifecycle stays inside its shard.
+	if tn, _ := x.xtabs[1].take(); tn != 1 {
+		t.Fatalf("node 1's first id %d, want 1", tn)
+	}
 	o1.active = true
 	*o1 = xfer{}
-	x.free = append(x.free, t1)
-	t3, _ := x.newXfer()
+	tab.free = append(tab.free, t1)
+	t3, _ := tab.take()
 	if t3 != t1 {
 		t.Fatalf("freed id %d not recycled (got %d)", t1, t3)
 	}
-	if len(x.xfers) != 2 {
-		t.Fatalf("table grew to %d despite recycling", len(x.xfers))
+	if len(tab.xfers) != 2 {
+		t.Fatalf("table grew to %d despite recycling", len(tab.xfers))
+	}
+	if x.PeakInFlight() != 3 {
+		t.Fatalf("peak = %d, want 2 live at node 0 + 1 at node 1", x.PeakInFlight())
 	}
 	x.Counters[0].RequestsOut = 9
 	x.Traffic[0][1] = 4
@@ -97,10 +107,10 @@ func TestInterconnectXferRecycling(t *testing.T) {
 	if x.Counters[0] != (LinkStats{}) || x.Traffic[0][1] != 0 {
 		t.Fatal("Reset left per-run accounting")
 	}
-	if len(x.xfers) != 0 || len(x.free) != 0 {
+	if len(tab.xfers) != 0 || len(tab.free) != 0 || x.PeakInFlight() != 0 {
 		t.Fatal("Reset left transfer state")
 	}
-	if tn, _ := x.newXfer(); tn != 1 {
+	if tn, _ := tab.take(); tn != 1 {
 		t.Fatalf("post-Reset ids restart at %d, want 1", tn)
 	}
 }

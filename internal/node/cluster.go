@@ -3,6 +3,8 @@ package node
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"rackni/internal/config"
 	"rackni/internal/cpu"
@@ -38,6 +40,17 @@ type ClusterSpec struct {
 	// Placement gets the identity placement (node i at coordinate i). The
 	// link knobs come from Config.LinkCredits / Config.LinkFlitCycles.
 	FabricRouting fabric.RoutePolicy
+	// Shards partitions the nodes across this many event engines, each
+	// advanced by its own goroutine under conservative-window
+	// synchronization, for parallel wall-clock execution of workload and
+	// service runs. Results are bit-identical for every shard count.
+	// Values outside [1, Nodes] are clamped; 0 means 1 (the classic
+	// single-engine cluster). Sharding needs conservative lookahead —
+	// every cross-node message at least one cycle in flight — so the
+	// count is coerced to 1 when the congestion model is on (its link
+	// state is cluster-global), when Config.NetHopCycles() < 1, or when
+	// any two distinct nodes sit zero hops apart.
+	Shards int
 }
 
 // Cluster is N fully simulated nodes sharing one event engine, connected
@@ -47,15 +60,28 @@ type ClusterSpec struct {
 // workloads reproduces the emulation's traffic, which is how the two are
 // cross-validated (cluster_equiv_test.go).
 type Cluster struct {
-	Eng   *sim.Engine
+	Eng   *sim.Engine    // shard 0's engine (the only engine when unsharded)
+	Engs  []*sim.Engine  // one engine per shard; Engs[0] == Eng
 	Cfg   *config.Config // shared configuration (one clock domain)
 	Nodes []*Node
 	Inter *fabric.Interconnect
 
-	ctx     context.Context
-	watch   *sim.CancelWatch
-	session *Session
+	ctx       context.Context
+	watch     *sim.CancelWatch
+	session   *Session
+	shardSize int // contiguous nodes per shard: ceil(Nodes/len(Engs))
 }
+
+// Sharded reports whether the cluster's nodes span more than one engine.
+func (c *Cluster) Sharded() bool { return len(c.Engs) > 1 }
+
+// NumShards returns the number of engines the nodes are partitioned over.
+func (c *Cluster) NumShards() int { return len(c.Engs) }
+
+// shardOf returns the shard owning node i. Nodes are assigned in
+// contiguous blocks so a shard's members are as fabric-local as the
+// placement allows.
+func (c *Cluster) shardOf(i int) int { return i / c.shardSize }
 
 // NewCluster builds a cluster of identical nodes per the spec. All nodes
 // share cfg — and therefore one clock domain; per-node state (caches,
@@ -85,11 +111,9 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 			spec.Placement[i] = i
 		}
 	}
-	eng := sim.NewEngine()
-	c := &Cluster{Eng: eng}
-	c.watch = sim.NewCancelWatch(eng, cancelCheckCycles, func() context.Context { return c.ctx })
-
-	ports := make([]fabric.NodePort, 0, spec.Nodes)
+	if spec.Placement != nil && len(spec.Placement) != spec.Nodes {
+		return nil, fmt.Errorf("node: placement names %d positions for %d nodes", len(spec.Placement), spec.Nodes)
+	}
 	// Pairwise distances are needed before the interconnect exists (each
 	// node's tomography wants its default-peer distance), so compute them
 	// the same way the interconnect will.
@@ -99,23 +123,84 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		}
 		return topo.Hops(spec.Placement[a], spec.Placement[b])
 	}
-	for i := 0; i < spec.Nodes; i++ {
-		peer := (i + 1) % spec.Nodes
-		var peerHops int
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > spec.Nodes {
+		shards = spec.Nodes
+	}
+	if shards > 1 {
+		// Conservative-window sharding needs every cross-node message to
+		// spend at least one cycle in flight; the congestion model's link
+		// state is cluster-global. Either condition failing degrades
+		// gracefully to the classic single-engine cluster.
+		minCross := hops
 		if spec.Placement != nil {
-			if len(spec.Placement) != spec.Nodes {
-				return nil, fmt.Errorf("node: placement names %d positions for %d nodes", len(spec.Placement), spec.Nodes)
+			minCross = int(^uint(0) >> 1)
+			for a := 0; a < spec.Nodes; a++ {
+				for b := 0; b < spec.Nodes; b++ {
+					if a != b && dist(a, b) < minCross {
+						minCross = dist(a, b)
+					}
+				}
 			}
-			peerHops = dist(i, peer)
-		} else {
-			peerHops = hops
 		}
-		n, err := NewMember(eng, cfg, peerHops)
-		if err != nil {
+		if spec.FabricRouting != fabric.RouteNone || cfg.NetHopCycles() < 1 || minCross < 1 {
+			shards = 1
+		}
+	}
+	engs := make([]*sim.Engine, shards)
+	for s := range engs {
+		engs[s] = sim.NewEngine()
+	}
+	c := &Cluster{Eng: engs[0], Engs: engs, shardSize: (spec.Nodes + shards - 1) / shards}
+	c.watch = sim.NewCancelWatch(engs[0], cancelCheckCycles, func() context.Context { return c.ctx })
+
+	// Member pipelines are independent of one another, so each shard's
+	// goroutine builds its own members — construction wall-clock scales
+	// with the shard count just like execution, which is what makes
+	// multi-hundred-node clusters affordable to stand up.
+	c.Nodes = make([]*Node, spec.Nodes)
+	build := func(s int) error {
+		lo, hi := s*c.shardSize, (s+1)*c.shardSize
+		if hi > spec.Nodes {
+			hi = spec.Nodes
+		}
+		for i := lo; i < hi; i++ {
+			peer := (i + 1) % spec.Nodes
+			n, err := NewMember(engs[s], cfg, dist(i, peer))
+			if err != nil {
+				return err
+			}
+			c.Nodes[i] = n
+		}
+		return nil
+	}
+	if shards == 1 {
+		if err := build(0); err != nil {
 			return nil, err
 		}
-		c.Nodes = append(c.Nodes, n)
-		ports = append(ports, n.Port())
+	} else {
+		errs := make([]error, shards)
+		var wg sync.WaitGroup
+		wg.Add(shards)
+		for s := 0; s < shards; s++ {
+			go func(s int) {
+				defer wg.Done()
+				errs[s] = build(s)
+			}(s)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	ports := make([]fabric.NodePort, spec.Nodes)
+	for i, n := range c.Nodes {
+		ports[i] = n.Port()
 	}
 	c.Cfg = c.Nodes[0].Cfg
 	inter, err := fabric.NewInterconnect(topo, spec.Placement, hops, ports)
@@ -138,8 +223,66 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 	if err := inter.SetFaults(spec.Faults); err != nil {
 		return nil, err
 	}
-	c.session = newSession(eng, c.watch, c.Nodes, inter)
+	c.session = newSession(engs, c.watch, c.Nodes, inter)
 	return c, nil
+}
+
+// runWindowed executes one run as a sequence of conservative windows:
+// every shard's engine advances to the window boundary (on its own
+// goroutine when there are several), then all shards rendezvous at a
+// barrier where buffered cross-shard deliveries are exchanged in canonical
+// order. The window width is the fabric's lookahead — the minimum cycles
+// any inter-node message spends in flight — so no message can arrive
+// inside the window it was sent in, and every delivery lands through the
+// same canonical calendar regardless of which shard sent it. done is
+// polled at each barrier, never mid-window: a run therefore always ends on
+// a window boundary, and since the lookahead is computed over node pairs
+// (not shard pairs) the boundaries — and with them the residual events a
+// finishing run still executes — are identical at every shard count.
+// That window-edge stop is what makes results bit-identical across K; a
+// mid-window engine Stop at the last driver's idle would cut off
+// in-flight bookkeeping at a point other shards cannot reproduce.
+// Cancellation is polled at barriers too (the per-engine cancel watch
+// stays disarmed: it would race across shards). Returns whether done
+// reported completion before the budget ran out.
+func (c *Cluster) runWindowed(budget int64, done func() bool) (bool, error) {
+	w := c.Inter.Lookahead()
+	if w > budget {
+		w = budget
+	}
+	if w < 1 {
+		w = 1 // unreachable: NewCluster coerces zero-lookahead specs to one shard
+	}
+	var wg sync.WaitGroup
+	for wend := w - 1; ; wend += w {
+		if wend > budget {
+			wend = budget
+		}
+		if len(c.Engs) == 1 {
+			c.Engs[0].Run(wend)
+		} else {
+			wg.Add(len(c.Engs))
+			for _, e := range c.Engs {
+				go func(e *sim.Engine) {
+					defer wg.Done()
+					e.Run(wend)
+				}(e)
+			}
+			wg.Wait()
+			c.Inter.FlushWindow()
+		}
+		if done() {
+			return true, nil
+		}
+		if c.ctx != nil {
+			if err := c.ctx.Err(); err != nil {
+				return false, err
+			}
+		}
+		if wend >= budget {
+			return false, nil
+		}
+	}
 }
 
 // SetFaults installs (or, with a nil or inactive spec, clears) the
@@ -172,6 +315,12 @@ type ClusterSyncResult struct {
 // seeds, making the cluster a set of mirror images of one another — the
 // multi-node realization of the paper's rate-matching mirror emulation.
 func (c *Cluster) RunSyncLatency(size, onCore int) (ClusterSyncResult, error) {
+	if c.Sharded() {
+		return ClusterSyncResult{}, fmt.Errorf("node: the sync-latency microbenchmark coordinates completion cluster-wide on one engine; build the cluster with Shards=1")
+	}
+	// The microbenchmarks keep the legacy wheel delivery order their
+	// cross-validation against the mirror emulation was calibrated on.
+	c.Inter.SetCanonical(false)
 	c.session.Begin()
 	cfg := c.Cfg
 	total := uint64(cfg.WarmupRequests + cfg.MeasureReqs)
@@ -254,6 +403,10 @@ type ClusterBWResult struct {
 // to their node's default peer until the cluster-wide windowed
 // application bandwidth stabilizes (or MaxCycles).
 func (c *Cluster) RunBandwidth(size int) (ClusterBWResult, error) {
+	if c.Sharded() {
+		return ClusterBWResult{}, fmt.Errorf("node: the bandwidth microbenchmark's stability monitor is cluster-global on one engine; build the cluster with Shards=1")
+	}
+	c.Inter.SetCanonical(false)
 	c.session.Begin()
 	start := c.Eng.Now()
 	cfg := c.Cfg
@@ -367,38 +520,81 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 	if maxCycles <= 0 {
 		maxCycles = c.Cfg.MaxCycles
 	}
+	// Workload runs use the canonical delivery order — the one that is
+	// reproducible across shard counts — and the windowed run loop at
+	// EVERY shard count (windowed is what pins the run's stop cycle to a
+	// shard-count-invariant window boundary), so Shards is a pure
+	// wall-clock knob: K=1 and K=8 produce identical results. Geometries
+	// the canonical calendar can't order (one node, zero-delay hops, the
+	// congestion model) keep the legacy engine-Stop path; NewCluster
+	// coerces exactly those to a single shard.
+	windowed := c.Inter.SetCanonical(true)
 	c.session.Begin()
 	start := c.Eng.Now()
-	active := 0
+	lastIdle := make([]int64, len(c.Engs))
+	var active atomic.Int64
 	for i, n := range c.Nodes {
 		for core := 0; core < n.Cfg.Tiles(); core++ {
 			app := factory(i, core)
 			if app == nil {
 				continue
 			}
-			d := cpu.NewAppDriver(c.Eng, n.Cfg, core, n.Agents[core], n.QPs[core], n.Stats, app)
+			d := cpu.NewAppDriver(n.Eng, n.Cfg, core, n.Agents[core], n.QPs[core], n.Stats, app)
 			// The issue boundary of the cluster addressing contract: a
 			// workload that manufactures a remote address with stray bits in
 			// the node-selector field fails its run loudly here instead of
 			// being silently mis-routed (see fabric.CheckRemoteAddr).
 			d.CheckAddr = c.Inter.CheckAddr
-			active++
-			d.OnIdle = func() {
-				active--
-				if active == 0 {
-					c.Eng.Stop()
+			active.Add(1)
+			if windowed {
+				s, eng := c.shardOf(i), n.Eng
+				d.OnIdle = func() {
+					// The run's reported Cycles is the cycle the last
+					// driver idles; each shard tracks its own and the
+					// windowed loop takes the max. The engines keep
+					// running to the window boundary — the same residual
+					// events at every shard count.
+					lastIdle[s] = eng.Now()
+					active.Add(-1)
+				}
+			} else {
+				d.OnIdle = func() {
+					if active.Add(-1) == 0 {
+						c.Eng.Stop()
+					}
 				}
 			}
 			n.AppDrivers = append(n.AppDrivers, d)
 			d.Start()
 		}
 	}
-	if active == 0 {
+	if active.Load() == 0 {
 		return ClusterWorkloadResult{}, fmt.Errorf("node: no cores have workloads")
 	}
-	c.session.Run(maxCycles)
-	if err := c.session.End(); err != nil {
-		return ClusterWorkloadResult{}, err
+	var finish int64
+	if !windowed {
+		c.session.Run(maxCycles)
+		if err := c.session.End(); err != nil {
+			return ClusterWorkloadResult{}, err
+		}
+		finish = c.Eng.Now()
+	} else {
+		quiesced, err := c.runWindowed(maxCycles, func() bool { return active.Load() == 0 })
+		if eerr := c.session.End(); err == nil {
+			err = eerr
+		}
+		if err != nil {
+			return ClusterWorkloadResult{}, err
+		}
+		if quiesced {
+			for _, v := range lastIdle {
+				if v > finish {
+					finish = v
+				}
+			}
+		} else {
+			finish = maxCycles + 1 // where a budget-cut engine parks
+		}
 	}
 	res := ClusterWorkloadResult{PerNode: make([]WorkloadResult, len(c.Nodes))}
 	merged := stats.NewLatencyHistogram()
@@ -410,12 +606,12 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 		nodeMerged := stats.NewLatencyHistogram()
 		nr := WorkloadResult{
 			Completed:    n.Stats.Completed,
-			Cycles:       c.Eng.Now() - start,
+			Cycles:       finish - start,
 			MeanLatency:  n.Stats.ReqLat.Mean(),
 			AppBytes:     n.Stats.RCPBytes + n.Stats.RRPPBytes,
 			Retries:      n.Stats.Retries,
 			Failed:       n.Stats.FailedOps,
-			AllExhausted: active == 0,
+			AllExhausted: active.Load() == 0,
 			PerCore:      make([]CoreStats, 0, len(n.AppDrivers)),
 		}
 		for _, d := range n.AppDrivers {
@@ -448,8 +644,8 @@ func (c *Cluster) RunApp(factory func(node, core int) cpu.App, maxCycles int64) 
 		latSum += nr.MeanLatency * float64(n.Stats.ReqLat.Count())
 		latCount += n.Stats.ReqLat.Count()
 	}
-	res.Aggregate.Cycles = c.Eng.Now() - start
-	res.Aggregate.AllExhausted = active == 0
+	res.Aggregate.Cycles = finish - start
+	res.Aggregate.AllExhausted = active.Load() == 0
 	if latCount > 0 {
 		res.Aggregate.MeanLatency = latSum / float64(latCount)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rackni/internal/config"
+	"rackni/internal/cpu"
 	"rackni/internal/fabric"
 )
 
@@ -71,6 +72,55 @@ func BenchmarkClusterThroughputCongested(b *testing.B) {
 			benchCluster(b, tc.nodes, tc.budget, fabric.RouteDOR)
 		})
 	}
+}
+
+// BenchmarkClusterThroughputSharded measures the wall-clock effect of
+// ClusterSpec.Shards: every core of every node scatters 4 KiB reads at
+// two peers (a closed-loop workload — the bandwidth microbenchmark's
+// cluster-global stability monitor cannot shard), at 1/2/4/8 engines on
+// 16- and 64-node torus-placed clusters. Results are bit-identical across
+// the K axis (TestClusterShardInvariance); only wall-clock moves. The
+// series is recorded in BENCH_cluster.json.
+func BenchmarkClusterThroughputSharded(b *testing.B) {
+	for _, nodes := range []int{16, 64} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("N%d/K%d", nodes, shards), func(b *testing.B) {
+				benchClusterSharded(b, nodes, shards)
+			})
+		}
+	}
+}
+
+// benchClusterSharded runs the all-cores scatter workload on fresh
+// n-node clusters split across k engines, reporting simulated cycles per
+// wall-clock second.
+func benchClusterSharded(b *testing.B, nodes, shards int) {
+	cfg := benchClusterCfg()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cl, err := NewCluster(cfg, ClusterSpec{
+			Nodes:     nodes,
+			Placement: identityPlacement(nodes),
+			Shards:    shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := cl.RunApp(func(node, core int) cpu.App {
+			return &scatterApp{
+				targets: []int{(node + 1) % nodes, (node + nodes/2) % nodes},
+				size:    4096,
+				total:   16,
+			}
+		}, 400_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Aggregate.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/sec")
 }
 
 // benchCluster runs the all-cores asynchronous-read throughput benchmark

@@ -350,7 +350,7 @@ func newMesh(eng *sim.Engine, cfg config.Config, hops int, attachRack bool) (*No
 	if attachRack {
 		n.Rack = fabric.NewRack(n.port, hops)
 		n.resets = append(n.resets, n.Rack.Reset)
-		n.session = newSession(n.Eng, n.watch, []*Node{n}, nil)
+		n.session = newSession([]*sim.Engine{n.Eng}, n.watch, []*Node{n}, nil)
 	}
 	return n, nil
 }

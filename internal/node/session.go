@@ -18,20 +18,20 @@ import (
 
 // Session is the single run-lifecycle owner for a node or cluster: all
 // per-run reset duties live behind its Begin/End protocol. Exactly one
-// Session exists per engine — a standalone node's own, or one spanning all
-// members of a cluster.
+// Session exists per system — a standalone node's own, or one spanning
+// every member (and, under sharding, every engine) of a cluster.
 type Session struct {
-	eng   *sim.Engine
+	engs  []*sim.Engine
 	watch *sim.CancelWatch
 	nodes []*Node
 	inter *fabric.Interconnect
 }
 
-// newSession builds the lifecycle owner for the given engine and nodes
-// (one for a standalone node, all members for a cluster). inter is the
-// cluster's fabric, nil for a standalone node.
-func newSession(eng *sim.Engine, watch *sim.CancelWatch, nodes []*Node, inter *fabric.Interconnect) *Session {
-	return &Session{eng: eng, watch: watch, nodes: nodes, inter: inter}
+// newSession builds the lifecycle owner for the given engines and nodes
+// (one engine for a standalone node or unsharded cluster, one per shard
+// otherwise). inter is the cluster's fabric, nil for a standalone node.
+func newSession(engs []*sim.Engine, watch *sim.CancelWatch, nodes []*Node, inter *fabric.Interconnect) *Session {
+	return &Session{engs: engs, watch: watch, nodes: nodes, inter: inter}
 }
 
 // Begin starts a run by returning the whole system to its
@@ -52,7 +52,9 @@ func newSession(eng *sim.Engine, watch *sim.CancelWatch, nodes []*Node, inter *f
 // byte-identical to the pre-Session code; on a reused instance it erases
 // every leak a cut-short or completed previous run could leave behind.
 func (s *Session) Begin() {
-	s.eng.Reset()
+	for _, e := range s.engs {
+		e.Reset()
+	}
 	s.watch.Disarm()
 	for _, n := range s.nodes {
 		n.resetAll()
@@ -68,10 +70,12 @@ func (s *Session) Begin() {
 }
 
 // Run arms the cancellation watch and executes the run for at most budget
-// cycles past the current cycle.
+// cycles past the current cycle. Single-engine only: a sharded cluster
+// drives its engines through the windowed barrier loop instead (the watch
+// would race across shards, so cancellation is polled at barriers there).
 func (s *Session) Run(budget int64) {
 	s.watch.Arm()
-	s.eng.Run(s.eng.Now() + budget)
+	s.engs[0].Run(s.engs[0].Now() + budget)
 }
 
 // End concludes the run: drivers are silenced (their still-queued

@@ -1,0 +1,152 @@
+package node
+
+import (
+	"reflect"
+	"testing"
+
+	"rackni/internal/config"
+	"rackni/internal/cpu"
+	"rackni/internal/fabric"
+)
+
+// shardScatter runs the canonical sharding workload on a cluster: every
+// node's core 0 scatters reads at two peers, so traffic crosses every
+// shard boundary in both directions.
+func shardScatter(t *testing.T, cl *Cluster, nodes int) ClusterWorkloadResult {
+	t.Helper()
+	res, err := cl.RunApp(func(node, core int) cpu.App {
+		if core != 0 {
+			return nil
+		}
+		return &scatterApp{targets: []int{(node + 1) % nodes, (node + 3) % nodes}, size: 512, total: 12}
+	}, 300_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// shardLedger snapshots the fabric accounting that must be shard-count
+// invariant alongside the workload result.
+func shardLedger(cl *Cluster) ([]fabric.LinkStats, [][]int64) {
+	counters := make([]fabric.LinkStats, len(cl.Nodes))
+	traffic := make([][]int64, len(cl.Nodes))
+	for i := range cl.Nodes {
+		counters[i] = cl.Inter.Counters[i]
+		traffic[i] = append([]int64(nil), cl.Inter.Traffic[i]...)
+	}
+	return counters, traffic
+}
+
+// TestClusterShardInvariance: the tentpole contract — a workload run's
+// results, link ledgers and traffic matrices are bit-identical at every
+// shard count, with and without a fault plan. Shards is a pure wall-clock
+// knob.
+func TestClusterShardInvariance(t *testing.T) {
+	const nodes = 16
+	cfg := smokeClusterCfg()
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 300_000
+	for _, faults := range []*fabric.FaultSpec{nil, {Seed: 7, DropProb: 0.02}} {
+		var want ClusterWorkloadResult
+		var wantCounters []fabric.LinkStats
+		var wantTraffic [][]int64
+		for _, shards := range []int{1, 2, 4, 8} {
+			cl, err := NewCluster(cfg, ClusterSpec{Nodes: nodes, Hops: 1, Faults: faults, Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cl.NumShards(); got != shards {
+				t.Fatalf("NumShards=%d, want %d", got, shards)
+			}
+			res := shardScatter(t, cl, nodes)
+			counters, traffic := shardLedger(cl)
+			if shards == 1 {
+				want, wantCounters, wantTraffic = res, counters, traffic
+				if res.Aggregate.Completed != nodes*12 {
+					t.Fatalf("baseline completed %d, want %d", res.Aggregate.Completed, nodes*12)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(res, want) {
+				t.Fatalf("faults=%v shards=%d diverged from single-engine:\n%+v\nvs\n%+v",
+					faults != nil, shards, res.Aggregate, want.Aggregate)
+			}
+			if !reflect.DeepEqual(counters, wantCounters) {
+				t.Fatalf("faults=%v shards=%d link ledger diverged:\n%+v\nvs\n%+v",
+					faults != nil, shards, counters, wantCounters)
+			}
+			if !reflect.DeepEqual(traffic, wantTraffic) {
+				t.Fatalf("faults=%v shards=%d traffic matrix diverged", faults != nil, shards)
+			}
+		}
+	}
+}
+
+// TestClusterShardedSessionReuse: a sharded cluster reused across runs
+// replays bit-identically — Session.Begin resets every shard's engine and
+// the fabric's cross-shard buffers.
+func TestClusterShardedSessionReuse(t *testing.T) {
+	const nodes = 8
+	cfg := smokeClusterCfg()
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 300_000
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: nodes, Hops: 1, Shards: 4,
+		Faults: &fabric.FaultSpec{Seed: 9, DropProb: 0.02}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := shardScatter(t, cl, nodes)
+	second := shardScatter(t, cl, nodes)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("reused sharded cluster diverged:\n%+v\nvs\n%+v", first.Aggregate, second.Aggregate)
+	}
+}
+
+// TestClusterShardCoercion: geometries without conservative lookahead —
+// congestion routing, zero per-hop delay, zero uniform distance — fall
+// back to one engine instead of running incorrectly, and out-of-range
+// counts clamp.
+func TestClusterShardCoercion(t *testing.T) {
+	zeroHopNS := smokeClusterCfg()
+	zeroHopNS.NetHopNS = 0
+	zeroDist := smokeClusterCfg()
+	zeroDist.DefaultHops = 0
+	cases := []struct {
+		name string
+		cfg  config.Config
+		spec ClusterSpec
+		want int
+	}{
+		{"congestion", smokeClusterCfg(), ClusterSpec{Nodes: 4, Shards: 4, FabricRouting: fabric.RouteDOR}, 1},
+		{"zero-hop-cycles", zeroHopNS, ClusterSpec{Nodes: 4, Hops: 1, Shards: 2}, 1},
+		{"zero-distance", zeroDist, ClusterSpec{Nodes: 4, Shards: 2}, 1},
+		{"clamp-to-nodes", smokeClusterCfg(), ClusterSpec{Nodes: 2, Hops: 1, Shards: 16}, 2},
+		{"default", smokeClusterCfg(), ClusterSpec{Nodes: 2, Hops: 1}, 1},
+	}
+	for _, c := range cases {
+		cl, err := NewCluster(c.cfg, c.spec)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got := cl.NumShards(); got != c.want {
+			t.Errorf("%s: NumShards=%d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClusterShardedMicrobenchRefusal: the single-engine microbenchmarks
+// refuse a sharded cluster loudly rather than racing their cluster-global
+// monitors across engines.
+func TestClusterShardedMicrobenchRefusal(t *testing.T) {
+	cl, err := NewCluster(smokeClusterCfg(), ClusterSpec{Nodes: 4, Hops: 1, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RunSyncLatency(512, 0); err == nil {
+		t.Error("sharded RunSyncLatency did not refuse")
+	}
+	if _, err := cl.RunBandwidth(512); err == nil {
+		t.Error("sharded RunBandwidth did not refuse")
+	}
+}

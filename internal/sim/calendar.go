@@ -1,0 +1,109 @@
+// Canonical calendar events. The cluster fabric needs a delivery order
+// that is a pure function of WHAT was sent, never of WHEN the sending
+// shard's engine happened to execute relative to the receiver's: a wheel
+// slot runs in append order, so an event's intra-cycle position encodes
+// the global posting history — exactly the thing a parallel sharded run
+// cannot reproduce. Calendar events fix that by carrying their own total
+// order: each is keyed (cycle, source, sequence) and the engine drains all
+// calendar events due at a cycle — in key order — BEFORE that cycle's
+// wheel and overflow events. Two engines handed the same set of calendar
+// entries for a cycle therefore execute them identically, no matter which
+// engine (or barrier exchange) queued them first.
+package sim
+
+// calEvent is one canonical calendar entry: an event plus its total-order
+// key. src is the originating cluster node, seq that node's private
+// monotone counter — (at, src, seq) is unique, so heap order is a pure
+// function of the entry set.
+type calEvent struct {
+	at   int64
+	src  int32
+	seq  uint64
+	fn   EventFunc
+	a, b any
+	i    int64
+}
+
+// PostCanonical schedules fn(a, b, i) to run at absolute cycle `at` in the
+// canonical pre-phase: before any wheel or overflow event of that cycle,
+// ordered against other calendar entries by (at, src, seq). `at` must not
+// be in the past; posting for the current cycle is only legal while the
+// engine is parked between cycles (a shard barrier) — from inside a
+// running cycle the pre-phase has already drained, so callers there must
+// post strictly into the future.
+func (e *Engine) PostCanonical(at int64, src int32, seq uint64, fn EventFunc, a, b any, i int64) {
+	if at < e.now {
+		panic("sim: canonical event posted into the past")
+	}
+	e.pending++
+	e.cal.push(calEvent{at: at, src: src, seq: seq, fn: fn, a: a, b: b, i: i})
+}
+
+// drainCalendar runs every calendar entry due at the current cycle, in
+// (src, seq) order. It returns false if Stop was called mid-drain.
+func (e *Engine) drainCalendar() bool {
+	for len(e.cal) > 0 && e.cal[0].at == e.now {
+		ev := e.cal.pop()
+		e.pending--
+		ev.fn(ev.a, ev.b, ev.i)
+		if e.stopped {
+			return false
+		}
+	}
+	return true
+}
+
+// calHeap is a binary min-heap of calendar entries ordered by
+// (at, src, seq) — by value, like the overflow heap.
+type calHeap []calEvent
+
+func (h calHeap) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].src != h[j].src {
+		return h[i].src < h[j].src
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *calHeap) push(ev calEvent) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *calHeap) pop() calEvent {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = calEvent{} // release references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && s.less(l, sm) {
+			sm = l
+		}
+		if r < n && s.less(r, sm) {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		s[i], s[sm] = s[sm], s[i]
+		i = sm
+	}
+	return top
+}

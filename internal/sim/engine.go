@@ -60,6 +60,7 @@ type Engine struct {
 	wheel   [wheelSize][]event
 	occ     [wheelSize / 64]uint64 // bitmap of non-empty wheel slots
 	over    overflowHeap
+	cal     calHeap // canonical calendar, drained before each cycle's wheel
 	stopped bool
 }
 
@@ -91,6 +92,10 @@ func (e *Engine) Reset() {
 			e.over[i] = overEvent{}
 		}
 		e.over = e.over[:0]
+		for i := range e.cal {
+			e.cal[i] = calEvent{}
+		}
+		e.cal = e.cal[:0]
 	}
 	e.occ = [wheelSize / 64]uint64{}
 	e.pending = 0
@@ -150,6 +155,12 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(until int64) int64 {
 	e.stopped = false
 	for e.now <= until && e.pending > 0 && !e.stopped {
+		// Canonical calendar entries run first, in (src, seq) order: their
+		// position in the cycle must depend only on their keys, never on
+		// the order the wheel's append history would impose.
+		if !e.drainCalendar() {
+			return e.now
+		}
 		slot := int(e.now & (wheelSize - 1))
 		evs := e.wheel[slot]
 		if len(evs) > 0 {
@@ -208,6 +219,9 @@ func (e *Engine) Run(until int64) int64 {
 		next := e.now + e.nextOccupiedDelta()
 		if len(e.over) > 0 && e.over[0].at < next {
 			next = e.over[0].at
+		}
+		if len(e.cal) > 0 && e.cal[0].at < next {
+			next = e.cal[0].at
 		}
 		if next > until {
 			e.now = until + 1

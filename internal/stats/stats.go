@@ -79,21 +79,25 @@ func (l *LatencyAccum) Min() int64 {
 // Max returns the largest sample.
 func (l *LatencyAccum) Max() int64 { return l.max }
 
-// Percentile returns the p-th percentile (0..100) of the retained samples.
+// Percentile returns the p-th percentile (0..100) of the retained samples,
+// by ceiling rank: the smallest retained sample with at least p percent of
+// the samples at or below it. Like Histogram.Percentile, the result never
+// understates — the truncating nearest-rank index this replaces returned
+// the 98th-rank sample for p99 over 100 samples.
 func (l *LatencyAccum) Percentile(p float64) int64 {
 	if len(l.samples) == 0 {
 		return 0
 	}
 	s := append([]int64(nil), l.samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := int(p / 100 * float64(len(s)-1))
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if rank > len(s) {
+		rank = len(s)
 	}
-	return s[idx]
+	return s[rank-1]
 }
 
 // Histogram is a deterministic fixed-bucket latency histogram: values land
@@ -188,8 +192,15 @@ func (h *Histogram) tailEdge(i int) int64 {
 	return lo + (sub+1)*w
 }
 
-// Add records one sample.
+// Add records one sample. A negative sample is never a valid latency — it
+// can only come from a simulator accounting bug (an end timestamp taken
+// before its start) — so Add panics instead of folding it into the
+// aggregates: the old clamp-into-bucket-0 behavior skewed Mean() and Min()
+// while hiding the bug it was reporting.
 func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative latency sample %d (timestamp accounting bug upstream)", v))
+	}
 	h.count++
 	h.sum += float64(v)
 	if v < h.min {
@@ -199,9 +210,6 @@ func (h *Histogram) Add(v int64) {
 		h.max = v
 	}
 	i := v / h.width
-	if v < 0 {
-		i = 0
-	}
 	if i >= int64(len(h.counts)) {
 		h.overflow++
 		ti := h.tailIndex(v)

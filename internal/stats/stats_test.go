@@ -368,3 +368,69 @@ func TestHistogramInRangeAllocatesNoTail(t *testing.T) {
 		t.Fatalf("in-range samples grew a tail (len %d, overflow %d)", len(h.tail), h.overflow)
 	}
 }
+
+// The sampled percentile must use ceiling rank — the smallest sample with
+// at least p percent of the stream at or below it — so it never
+// understates. The truncating nearest-rank index it replaces returned 90
+// for p95 over ten equally spaced samples.
+func TestLatencyAccumPercentileCeilingRank(t *testing.T) {
+	l := NewLatencyAccum(10)
+	for v := int64(10); v <= 100; v += 10 {
+		l.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{50, 50}, {90, 90}, {95, 100}, {99, 100}, {100, 100}, {0, 10},
+	}
+	for _, c := range cases {
+		if got := l.Percentile(c.p); got != c.want {
+			t.Fatalf("p%g = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// LatencyAccum and Histogram observing the same stream must agree within
+// one bucket width: both use ceiling rank, so they pick the same sample and
+// the histogram reports at most that sample's bucket upper edge.
+func TestAccumHistogramPercentilesAgree(t *testing.T) {
+	const n = 5000
+	l := NewLatencyAccum(n)
+	h := NewLatencyHistogram()
+	s := uint64(0x1234_5678_9ABC_DEF0)
+	for i := 0; i < n; i++ {
+		s ^= s >> 12
+		s ^= s << 25
+		s ^= s >> 27
+		v := int64((s * 0x2545F4914F6CDD1D) % 60_000) // stays in the fixed-bucket range
+		l.Add(v)
+		h.Add(v)
+	}
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		acc, hist := l.Percentile(p), h.Percentile(p)
+		if hist < acc {
+			t.Fatalf("p%g: histogram %d understates sampled %d", p, hist, acc)
+		}
+		if hist-acc > 16 { // one NewLatencyHistogram bucket
+			t.Fatalf("p%g: histogram %d vs sampled %d differ by more than one bucket", p, hist, acc)
+		}
+	}
+}
+
+// A negative latency sample is a simulator accounting bug; the histogram
+// must fail loudly instead of clamping it into bucket 0 while silently
+// folding it into the mean and minimum.
+func TestHistogramNegativeSamplePanics(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Add(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+		if h.Count() != 1 || h.Min() != 5 {
+			t.Fatalf("rejected sample mutated aggregates: count=%d min=%d", h.Count(), h.Min())
+		}
+	}()
+	h.Add(-1)
+}

@@ -153,6 +153,19 @@ func ParseNodeCounts(s string) ([]int, error) {
 	})
 }
 
+// ParseShards parses a comma-separated list of positive shard counts
+// ("1,2,4"); 1 runs a cluster on a single engine, k > 1 partitions its
+// nodes across k engines synchronized at conservative window barriers.
+func ParseShards(s string) ([]int, error) {
+	return parseList(s, func(tok string) (int, error) {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("rackni: bad shard count %q", tok)
+		}
+		return v, nil
+	})
+}
+
 // ParseDropRates parses a comma-separated list of fabric drop
 // probabilities in [0, 1) ("0.001,0.01"); 0 means no fault injection.
 func ParseDropRates(s string) ([]float64, error) {

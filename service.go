@@ -454,7 +454,7 @@ func (c *Cluster) RunService(spec ServiceSpec, maxCycles int64) (ServiceResult, 
 	if n > 0 {
 		res.NodeP99Max = p99s[order[0]]
 		slow := stats.NewLatencyHistogram()
-		for _, i := range order[:(n + 9) / 10] {
+		for _, i := range order[:(n+9)/10] {
 			slow.Merge(nodeHists[i])
 		}
 		res.SlowDecileP999 = slow.Percentile(99.9)

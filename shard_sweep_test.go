@@ -1,0 +1,170 @@
+package rackni
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// shardStudyCfg shrinks the per-node chip (4x2 mesh, 2 MiB LLC) so
+// many-node sharded sweeps stay tractable, and arms a short request
+// timeout so faulty points recover inside reduced budgets.
+func shardStudyCfg() Config {
+	cfg := QuickConfig()
+	cfg.MeshWidth, cfg.MeshHeight = 4, 2
+	cfg.LLCSizeBytes = 2 << 20
+	cfg.StableDelta = 0
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 2_000_000
+	return cfg
+}
+
+// shardStudySweep builds the mixed sweep the shard-invariance contract is
+// checked on: closed-loop kv and open-loop Poisson service points, each
+// lossless and at a 0.2% drop rate, each on the lump-sum fabric and under
+// dor congestion routing (the congested points coerce to one engine — the
+// shard knob must be harmless there too), all at shard count k.
+func shardStudySweep(cfg Config, n, k int) *Sweep {
+	return NewSweep(cfg).
+		Designs(NISplit).
+		Workloads("kv").
+		Arrivals(ArrivalSpec{Kind: "poisson", Rate: 1}).
+		Nodes(n).
+		Hops(1).
+		Faults(0, 0.002).
+		FabricRoutings(RouteNone, RouteDOR).
+		Shards(k)
+}
+
+// normalizeShards erases the per-point shard metadata and wall-clock so
+// renderer output can be byte-compared across shard counts — Shards is a
+// pure execution knob, so after normalization every rendering must be
+// identical.
+func normalizeShards(rs Results) {
+	for i := range rs {
+		rs[i].Point.Shards = 1
+		rs[i].Wall = 0
+	}
+}
+
+// TestSweepShardInvariance: the sweep-level half of the tentpole contract
+// — a mixed 16-node sweep (faulty, congested and service points) renders
+// byte-identical Format, CSV and JSON at every shard count once the shard
+// metadata column is normalized away. This is the user-visible guarantee
+// behind racksim -shards: the flag changes wall-clock, never output.
+func TestSweepShardInvariance(t *testing.T) {
+	cfg := shardStudyCfg()
+	const n = 16
+	base, err := shardStudySweep(cfg, n, 1).Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 8 {
+		t.Fatalf("baseline points=%d, want 8 (2 kinds x 2 drop rates x 2 fabrics)", len(base))
+	}
+	normalizeShards(base)
+	wantFmt, wantCSV := base.Format(), base.CSV()
+	wantJSON, err := base.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(wantFmt, "shards") {
+		t.Fatalf("normalized baseline still renders a shards column:\n%s", wantFmt)
+	}
+	ks := []int{2, 4, 8}
+	if testing.Short() {
+		ks = []int{4}
+	}
+	for _, k := range ks {
+		res, err := shardStudySweep(cfg, n, k).Run(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-normalization the shard axis must be visible metadata on the
+		// shardable points.
+		if !strings.Contains(res.Format(), "shards") {
+			t.Fatalf("k=%d result set missing its shards column:\n%s", k, res.Format())
+		}
+		normalizeShards(res)
+		for i := range res {
+			if !reflect.DeepEqual(res[i].WL, base[i].WL) || !reflect.DeepEqual(res[i].SVC, base[i].SVC) {
+				t.Fatalf("k=%d point %d (%s) diverged from single-engine", k, i, res[i].Point.label())
+			}
+		}
+		if got := res.Format(); got != wantFmt {
+			t.Fatalf("k=%d Format diverged:\n%s\nvs\n%s", k, got, wantFmt)
+		}
+		if got := res.CSV(); got != wantCSV {
+			t.Fatalf("k=%d CSV diverged", k)
+		}
+		got, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(wantJSON) {
+			t.Fatalf("k=%d JSON diverged:\n%s\nvs\n%s", k, got, wantJSON)
+		}
+	}
+}
+
+// TestSweepShardInvariance64: the same contract at rack scale — a 64-node
+// faulty kv point is bit-identical on 1 and 4 engines. One point per
+// sweep: 64-node runs are the repo's most expensive, and the full mixed
+// variety is covered at 16 nodes above.
+func TestSweepShardInvariance64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node shard equivalence skipped in -short")
+	}
+	cfg := shardStudyCfg()
+	var want Results
+	for _, k := range []int{1, 4} {
+		res, err := NewSweep(cfg).Designs(NISplit).Workloads("kv").
+			Nodes(64).Hops(1).Faults(0.002).Shards(k).Run(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("k=%d points=%d, want 1", k, len(res))
+		}
+		normalizeShards(res)
+		if k == 1 {
+			want = res
+			if res[0].WL == nil || !res[0].WL.AllExhausted {
+				t.Fatalf("64-node baseline did not drain: %+v", res[0].WL)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(res[0].WL, want[0].WL) {
+			t.Fatalf("k=%d 64-node workload diverged:\n%+v\nvs\n%+v", k, res[0].WL, want[0].WL)
+		}
+		if res.Format() != want.Format() {
+			t.Fatalf("k=%d 64-node Format diverged", k)
+		}
+	}
+}
+
+// TestShardedSweepParallelMatchesSerial: sharded points on a worker pool —
+// engines inside each point racing goroutines, points racing each other —
+// render byte-identically to a serial run. Wired into the CI race job: it
+// is the only test where both layers of the repo's concurrency (the sweep
+// pool and the per-cluster shard barrier) run at once.
+func TestShardedSweepParallelMatchesSerial(t *testing.T) {
+	cfg := shardStudyCfg()
+	sweep := NewSweep(cfg).Designs(NISplit).Workloads("kv").
+		Nodes(8).Hops(1).Faults(0, 0.002).Shards(2)
+	serial, err := sweep.Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sweep.Run(Options{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Format() != par.Format() {
+		t.Fatalf("Format differs under parallelism:\nserial:\n%s\nparallel:\n%s",
+			serial.Format(), par.Format())
+	}
+	if serial.CSV() != par.CSV() {
+		t.Fatalf("CSV differs under parallelism")
+	}
+}

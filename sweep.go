@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -93,6 +95,15 @@ type Point struct {
 	// multi-node point that fits the torus; RouteNone keeps the lump-sum
 	// fast path, bit-identical to a sweep without the axis.
 	FabricRouting RoutePolicy
+	// Shards partitions a multi-node point's cluster across this many
+	// event engines, one goroutine each, under conservative-window
+	// synchronization (ClusterSpec.Shards). A pure wall-clock knob:
+	// results are bit-identical at every shard count. 0 or 1 is the
+	// classic single engine; requires a multi-node workload or service
+	// point (the microbenchmarks coordinate cluster-wide on one engine).
+	// Geometries without conservative lookahead — the congestion fabric,
+	// zero per-hop delay — fall back to one engine.
+	Shards int
 	// Arrival is the open-loop arrival process of a ServiceMode point
 	// (kind and per-client rate); unused in other modes.
 	Arrival ArrivalSpec
@@ -128,6 +139,9 @@ func (p Point) label() string {
 		if p.TorusPlacement {
 			l += "-torus"
 		}
+		if p.Shards > 1 {
+			l += fmt.Sprintf("/%dshards", p.Shards)
+		}
 	}
 	if p.Faults > 0 {
 		l += fmt.Sprintf("/drop%g", p.Faults)
@@ -155,8 +169,8 @@ func (p Point) label() string {
 // the central measurement core, one node, no faults, an uncapped window,
 // and the lump-sum fabric). Points enumerate in a fixed nesting order —
 // Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ Faults ▸ Windows ▸
-// FabricRoutings ▸ run kinds (Modes, then Workloads) ▸ Sizes ▸ Seeds ▸
-// Cores, first axis outermost — so a sweep's point list is deterministic
+// FabricRoutings ▸ run kinds (Modes, then Workloads) ▸ Shards ▸ Sizes ▸
+// Seeds ▸ Cores, first axis outermost — so a sweep's point list is deterministic
 // and stable across runs.
 // Workload points pin the Size and Core axes to 0 (the scenario defines
 // both), contributing one point per
@@ -173,6 +187,7 @@ type Sweep struct {
 	seeds       []uint64
 	cores       []int
 	nodes       []int
+	shards      []int
 	faults      []float64
 	windows     []int
 	froutings   []RoutePolicy
@@ -247,6 +262,16 @@ func (s *Sweep) Cores(cores ...int) *Sweep {
 // pair Hops apart) and reports the cross-node aggregate.
 func (s *Sweep) Nodes(nodes ...int) *Sweep {
 	s.nodes = append(s.nodes[:0], nodes...)
+	return s
+}
+
+// Shards sets the engine-shard axis for multi-node workload and service
+// points (Point.Shards): each count K > 1 runs the point's cluster on K
+// engines in parallel under conservative-window synchronization —
+// bit-identical results, shorter wall clock. 0 and 1 both mean the
+// classic single engine.
+func (s *Sweep) Shards(ks ...int) *Sweep {
+	s.shards = append(s.shards[:0], ks...)
 	return s
 }
 
@@ -379,8 +404,12 @@ func (s *Sweep) Points() []Point {
 	if len(froutings) == 0 {
 		froutings = []RoutePolicy{RouteNone}
 	}
+	shards := s.shards
+	if len(shards) == 0 {
+		shards = []int{1}
+	}
 	pts := make([]Point, 0,
-		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*
+		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*len(shards)*
 			len(faults)*len(windows)*len(froutings)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
@@ -404,26 +433,37 @@ func (s *Sweep) Points() []Point {
 										// Core axes (the scenario or service spec defines
 										// both), so they collapse to one point per
 										// design/topology/routing/hops/seed combination; the
-										// hedge axis spans only service points.
+										// hedge axis spans only service points, and the shard
+										// axis only multi-node workload/service points (the
+										// only run kinds whose cluster can shard).
 										szs, crs := sizes, cores
 										hds := []int64{0}
+										ks := []int{1}
 										if k.mode == WorkloadMode || k.mode == ServiceMode {
 											szs, crs = []int{0}, []int{0}
+											if nn > 1 {
+												ks = shards
+											}
 										}
 										if k.mode == ServiceMode {
 											hds = hedges
 										}
-										for _, hd := range hds {
-											for _, sz := range szs {
-												for _, sd := range seeds {
-													for _, c := range crs {
-														cfg := s.base
-														cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-														pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-															Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
-															TorusPlacement: s.torusPlaced && nn > 1,
-															Faults:         fr, Window: win, FabricRouting: fab,
-															Arrival: k.arrival, Hedge: hd})
+										for _, sh := range ks {
+											if sh < 1 {
+												sh = 1
+											}
+											for _, hd := range hds {
+												for _, sz := range szs {
+													for _, sd := range seeds {
+														for _, c := range crs {
+															cfg := s.base
+															cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+															pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+																Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+																TorusPlacement: s.torusPlaced && nn > 1,
+																Faults:         fr, Window: win, FabricRouting: fab,
+																Shards: sh, Arrival: k.arrival, Hedge: hd})
+														}
 													}
 												}
 											}
@@ -448,10 +488,22 @@ func (s *Sweep) Run(opts Options) (Results, error) {
 
 // Options configures a Runner.
 type Options struct {
-	// Parallel is the worker-pool size; values below 2 run points serially.
-	// Points are independent simulations, so any degree of parallelism
-	// yields bit-identical results in the same order.
+	// Parallel is the requested worker-pool size; values below 2 run
+	// points serially. The effective pool is min(Parallel,
+	// runtime.NumCPU(), number of points): simulation points are pure
+	// CPU work, so workers beyond the machine's cores only add scheduler
+	// overhead — on a single-core container an oversubscribed pool ran
+	// ~20% slower than serial. Points are independent simulations, so
+	// any degree of parallelism yields bit-identical results in the same
+	// order.
 	Parallel int
+	// Uncapped skips the core-count cap on Parallel: exactly that many
+	// workers run (still at most one per point) even beyond the
+	// machine's cores. Simulation gains nothing from oversubscription —
+	// the override exists for callers whose Progress callbacks block on
+	// external coordination and need that many points genuinely
+	// in flight at once.
+	Uncapped bool
 	// Context, when non-nil, cancels the run: in-flight simulations abort
 	// at their next cancellation poll and not-yet-started points are
 	// skipped. Run returns the context's error.
@@ -517,13 +569,11 @@ func (r *Runner) Run(points []Point) (Results, error) {
 	for i := range res {
 		res[i].Point = points[i]
 	}
-	workers := r.opts.Parallel
-	if workers < 1 {
-		workers = 1
+	cores := runtime.NumCPU()
+	if r.opts.Uncapped {
+		cores = math.MaxInt
 	}
-	if workers > len(points) {
-		workers = len(points)
-	}
+	workers := effectiveWorkers(r.opts.Parallel, len(points), cores)
 	var (
 		mu   sync.Mutex
 		done int
@@ -581,6 +631,29 @@ func (r *Runner) Run(points []Point) (Results, error) {
 	return res, nil
 }
 
+// effectiveWorkers resolves the requested pool size against the machine:
+// at least 1, at most the core count, at most one worker per point.
+// CPU-bound work gains nothing from more workers than cores; on a
+// single-core machine an oversubscribed pool is measurably SLOWER than
+// serial (goroutine churn between simulation points — the ~20% regression
+// BENCH_paperrepro.json carried since PR 2).
+func effectiveWorkers(requested, points, cores int) int {
+	w := requested
+	if w < 1 {
+		w = 1
+	}
+	if w > cores {
+		w = cores
+	}
+	if w > points {
+		w = points
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // check validates the point's fault/window knobs against the rest of its
 // shape; it is the per-point core of CheckSweepPoints.
 func (p Point) check() error {
@@ -595,6 +668,12 @@ func (p Point) check() error {
 		return fmt.Errorf("rackni: fabric routing %v requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node links to congest", p.FabricRouting)
 	case p.Hedge < 0:
 		return fmt.Errorf("rackni: negative hedge delay %d", p.Hedge)
+	case p.Shards < 0:
+		return fmt.Errorf("rackni: negative shard count %d", p.Shards)
+	case p.Shards > 1 && p.nodeCount() <= 1:
+		return fmt.Errorf("rackni: %d engine shards require a multi-node point (-nodes > 1); the single-node rack emulation runs one engine", p.Shards)
+	case p.Shards > 1 && p.Mode != WorkloadMode && p.Mode != ServiceMode:
+		return fmt.Errorf("rackni: %d engine shards require a workload or service point; the %v microbenchmark coordinates cluster-wide on one engine", p.Shards, p.Mode)
 	}
 	if p.Mode == ServiceMode {
 		if _, err := load.ParseKind(p.Arrival.Kind); err != nil {
@@ -773,7 +852,7 @@ func runClusterPoint(ctx context.Context, p Point, out *Result) {
 		return
 	}
 	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops, Faults: p.faultSpec(),
-		FabricRouting: p.FabricRouting}
+		FabricRouting: p.FabricRouting, Shards: p.Shards}
 	if p.TorusPlacement {
 		spec.Placement = make([]int, spec.Nodes)
 		for i := range spec.Placement {
@@ -837,6 +916,18 @@ func (rs Results) hasMultiNode() bool {
 	return false
 }
 
+// hasSharded reports whether any point of the set runs its cluster on
+// more than one engine shard. Renderers add a shards column only then, so
+// unsharded result sets stay byte-identical to their pre-sharding form.
+func (rs Results) hasSharded() bool {
+	for _, r := range rs {
+		if r.Point.Shards > 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // hasFaults reports whether any point of the set injects faults or caps
 // the QP credit window. Renderers add the drop/window columns only then,
 // so fault-free result sets stay byte-identical to their pre-fault form.
@@ -883,12 +974,17 @@ func (rs Results) hasService() bool {
 func (rs Results) Format() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	sharded := rs.hasSharded()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
 	service := rs.hasService()
 	nodesHdr, nodesFmt := "", ""
 	if multi {
 		nodesHdr = fmt.Sprintf(" %5s", "nodes")
+	}
+	shardHdr, shardFmt := "", ""
+	if sharded {
+		shardHdr = fmt.Sprintf(" %6s", "shards")
 	}
 	faultHdr, faultFmt := "", ""
 	if faulty {
@@ -902,12 +998,19 @@ func (rs Results) Format() string {
 	if service {
 		svcHdr = fmt.Sprintf(" %-13s %6s", "arrival", "hedge")
 	}
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+faultHdr+fabricHdr+svcHdr+"  %s\n",
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+shardHdr+faultHdr+fabricHdr+svcHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
 		if multi {
 			nodesFmt = fmt.Sprintf(" %5d", p.nodeCount())
+		}
+		if sharded {
+			k := p.Shards
+			if k < 1 {
+				k = 1
+			}
+			shardFmt = fmt.Sprintf(" %6d", k)
 		}
 		if faulty {
 			faultFmt = fmt.Sprintf(" %6g %4d", p.Faults, p.Window)
@@ -922,9 +1025,9 @@ func (rs Results) Format() string {
 			}
 			svcFmt = fmt.Sprintf(" %-13s %6d", arr, p.Hedge)
 		}
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s%s  ",
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s%s%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, faultFmt, fabricFmt, svcFmt)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, shardFmt, faultFmt, fabricFmt, svcFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -963,12 +1066,17 @@ func (rs Results) Format() string {
 func (rs Results) CSV() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	sharded := rs.hasSharded()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
 	service := rs.hasService()
 	nodesHdr := ""
 	if multi {
 		nodesHdr = "nodes,"
+	}
+	shardHdr := ""
+	if sharded {
+		shardHdr = "shards,"
 	}
 	faultHdr := ""
 	if faulty {
@@ -983,7 +1091,7 @@ func (rs Results) CSV() string {
 		svcHdr = "arrival,rate,hedge,"
 		svcMetricHdr = "offered,goodput,svc_mean,svc_p50,svc_p99,svc_p999,hedged,hedge_wins,cancelled,svc_failed,svc_drained,"
 	}
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + faultHdr + fabricHdr + svcHdr +
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + shardHdr + faultHdr + fabricHdr + svcHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
 		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained," + svcMetricHdr + "error\n")
 	for _, r := range rs {
@@ -991,6 +1099,14 @@ func (rs Results) CSV() string {
 		nodesCol := ""
 		if multi {
 			nodesCol = fmt.Sprintf("%d,", p.nodeCount())
+		}
+		shardCol := ""
+		if sharded {
+			k := p.Shards
+			if k < 1 {
+				k = 1
+			}
+			shardCol = fmt.Sprintf("%d,", k)
 		}
 		faultCol := ""
 		if faulty {
@@ -1008,9 +1124,9 @@ func (rs Results) CSV() string {
 				svcCol = ",,,"
 			}
 		}
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s%s",
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s%s%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, faultCol, fabricCol, svcCol)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, shardCol, faultCol, fabricCol, svcCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -1054,6 +1170,7 @@ type resultJSON struct {
 	Core      int             `json:"core"`
 	Seed      uint64          `json:"seed"`
 	Nodes     int             `json:"nodes,omitempty"`          // > 1: a real Cluster ran this point
+	Shards    int             `json:"shards,omitempty"`         // > 1: the cluster ran on this many parallel engines
 	Placement string          `json:"placement,omitempty"`      // "torus": real 3D-torus coordinates
 	DropRate  float64         `json:"drop_rate,omitempty"`      // > 0: fabric fault injection was active
 	Window    int             `json:"window,omitempty"`         // > 0: QP credit window cap
@@ -1098,6 +1215,9 @@ func (rs Results) JSON() ([]byte, error) {
 			out[i].Nodes = n
 			if p.TorusPlacement {
 				out[i].Placement = "torus"
+			}
+			if p.Shards > 1 {
+				out[i].Shards = p.Shards
 			}
 		}
 		out[i].DropRate = p.Faults

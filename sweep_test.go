@@ -3,6 +3,7 @@ package rackni
 import (
 	"context"
 	"errors"
+	"math"
 	"reflect"
 	"sort"
 	"strings"
@@ -106,6 +107,36 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 	}
 	if serial.CSV() != par.CSV() {
 		t.Fatalf("CSV differs:\nserial:\n%s\nparallel:\n%s", serial.CSV(), par.CSV())
+	}
+}
+
+// TestRunnerWorkerClamp: the worker pool never oversubscribes the
+// machine — requested counts cap at the core count (the PR 2-era default
+// of trusting -parallel verbatim ran ~20% slower than serial on
+// single-core containers) and at one worker per point, while in-range
+// explicit requests are honored verbatim.
+func TestRunnerWorkerClamp(t *testing.T) {
+	cases := []struct {
+		requested, points, cores, want int
+	}{
+		{0, 10, 8, 1},             // below 1: serial
+		{-3, 10, 8, 1},            // negative: serial
+		{1, 10, 8, 1},             // explicit serial honored
+		{4, 10, 8, 4},             // in range: honored verbatim
+		{8, 10, 8, 8},             // exactly the core count: honored
+		{64, 10, 8, 8},            // oversubscribed: capped at cores
+		{64, 10, 1, 1},            // single-core container: serial
+		{4, 2, 8, 2},              // more workers than points: one per point
+		{4, 0, 8, 1},              // empty sweep: degenerate pool of 1
+		{1 << 30, 3, 2, 2},        // absurd request: min(cores, points)
+		{64, 10, math.MaxInt, 10}, // Uncapped lifts the core cap, not the point cap
+		{4, 100, math.MaxInt, 4},  // Uncapped still honors the request verbatim
+	}
+	for _, c := range cases {
+		if got := effectiveWorkers(c.requested, c.points, c.cores); got != c.want {
+			t.Errorf("effectiveWorkers(%d, %d, %d) = %d, want %d",
+				c.requested, c.points, c.cores, got, c.want)
+		}
 	}
 }
 
@@ -258,7 +289,10 @@ func TestRunnerProgress(t *testing.T) {
 // until every point's callback has been entered — possible only if the
 // runner invokes Progress outside its bookkeeping lock (the pre-fix
 // worker held the lock across the callback, serializing the pool and
-// deadlocking this test).
+// deadlocking this test). The rendezvous needs all four points genuinely
+// in flight at once regardless of the machine's core count, so this is
+// also the Options.Uncapped override's test: without it the core clamp
+// would run one worker on a single-core container and deadlock here.
 func TestRunnerProgressDoesNotStallWorkers(t *testing.T) {
 	const points = 4
 	var arrived atomic.Int32
@@ -266,6 +300,7 @@ func TestRunnerProgressDoesNotStallWorkers(t *testing.T) {
 	fail := time.After(60 * time.Second)
 	_, err := NewSweep(sweepTestCfg()).Seeds(1, 2, 3, 4).Run(Options{
 		Parallel: points,
+		Uncapped: true,
 		Progress: func(done, total int, r Result) {
 			if arrived.Add(1) == points {
 				close(release)
