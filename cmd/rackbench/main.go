@@ -32,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded|incast|service (fault-, congestion- and service-plane studies beyond the paper, not part of all)")
+	exp := flag.String("exp", "all", "experiment: table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all (paper artifacts), or overload|degraded|incast|service|placement (fault-, congestion-, service- and placement-plane studies beyond the paper, not part of all)")
 	quick := flag.Bool("quick", false, "short stabilization windows / fewer samples")
 	sizeList := flag.String("sizes", "", "comma-separated transfer sizes in bytes (sweeps only)")
 	seed := flag.Uint64("seed", 1, "simulation seed")
@@ -44,9 +44,9 @@ func main() {
 	flag.Parse()
 
 	switch *exp {
-	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded", "incast", "service":
+	case "all", "table1", "table3", "fig5", "fig6", "fig7", "fig9", "fig10", "cdr", "overload", "degraded", "incast", "service", "placement":
 	default:
-		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded|incast|service)", *exp)
+		fatalf("unknown experiment %q (want table1|table3|fig5|fig6|fig7|fig9|fig10|cdr|all|overload|degraded|incast|service|placement)", *exp)
 	}
 
 	cfg := rackni.DefaultConfig()
@@ -182,6 +182,20 @@ func main() {
 			scfg := clusterStudyCfg(cfg)
 			scfg.MaxCycles = 2_000_000
 			return wrap(rackni.RunServiceCurve(scfg, n, nil, nil, nil))
+		})
+	}
+	if *exp == "placement" {
+		// One communicating group per torus sub-cube: 64 nodes = 8 groups of
+		// 8, enough contention for clustered vs scattered to diverge; the
+		// raised budget lets the long scattered paths still drain.
+		n := *nodes
+		if !explicitFlag("nodes") {
+			n = 64
+		}
+		run(fmt.Sprintf("Congested placement: locality vs hot-spot trade-off (%d nodes, identity vs clustered vs scattered, dor vs adaptive)", n), func() (fmt.Stringer, error) {
+			pcfg := clusterStudyCfg(cfg)
+			pcfg.MaxCycles = 2_000_000
+			return wrap(rackni.RunPlacementStudy(pcfg, n, nil, nil))
 		})
 	}
 	if *jsonOut {

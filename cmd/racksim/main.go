@@ -15,7 +15,8 @@
 //	racksim -workload kv -quick    # single point: per-core p50/p95/p99 table
 //	racksim -nodes 2 -workload kv -quick   # real 2-node cluster, cross-node sharded KV
 //	racksim -nodes 1,2,4 -mode bandwidth -size 4096 -quick
-//	racksim -nodes 512 -placement torus -mode bandwidth -size 1024 -quick -timeout 10m   # the paper's full rack
+//	racksim -nodes 512 -placement identity -mode bandwidth -size 1024 -quick -timeout 10m   # the paper's full rack
+//	racksim -nodes 64 -workload kv -placement clustered,scattered -fabricrouting dor -quick  # placement comparison
 //	racksim -nodes 8 -workload kv -drop 0.01 -quick       # 1% fabric drops, recovered by retry
 //	racksim -nodes 4 -mode bandwidth -size 4096 -window 1,4,16,0 -quick   # credit-window overload sweep
 //	racksim -nodes 16 -workload incast -fabricrouting dor,adaptive -quick  # link-level congestion, routing comparison
@@ -45,7 +46,7 @@ func main() {
 	size := flag.String("size", "64", "transfer size(s) in bytes, comma-separated (microbenchmark modes; -workload scenarios define their own sizes)")
 	hops := flag.String("hops", "1", "one-way intra-rack hop count(s), comma-separated")
 	nodes := flag.String("nodes", "1", "detailed node count(s), comma-separated, up to 512: 1 = emulated rack, n>1 = real n-node cluster (cross-node traffic over the torus hop model)")
-	placement := flag.String("placement", "uniform", "multi-node distance model: uniform (every pair -hops apart) | torus (real 3D-torus coordinates, the paper's 8x8x8 rack geometry; -nodes 512 covers the full rack)")
+	placement := flag.String("placement", "uniform", "multi-node placement policy/policies, comma-separated: uniform (every pair -hops apart) | identity | clustered | scattered | random:<seed> (real 3D-torus coordinates, the paper's 8x8x8 rack geometry; -nodes 512 covers the full rack; torus = deprecated alias for identity)")
 	core := flag.String("core", "27", "issuing core(s) (latency mode; -workload scenarios define their own cores), comma-separated")
 	seed := flag.String("seed", "1", "simulation seed(s), comma-separated")
 	drop := flag.String("drop", "0", "fabric drop rate(s) in [0,1), comma-separated; > 0 needs -nodes > 1 and arms the request timeout so drops recover by retry")
@@ -175,13 +176,9 @@ func main() {
 		}
 	}
 
-	torusPlaced := false
-	switch *placement {
-	case "uniform":
-	case "torus":
-		torusPlaced = true
-	default:
-		fatalf("unknown placement %q (uniform|torus)", *placement)
+	placements, err := rackni.ParsePlacements(*placement)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	points := rackni.NewSweep(cfg).
@@ -193,7 +190,7 @@ func main() {
 		Sizes(sizes...).
 		Hops(hopList...).
 		Nodes(nodeList...).
-		TorusPlacement(torusPlaced).
+		Placements(placements...).
 		Faults(drops...).
 		Windows(windows...).
 		FabricRoutings(fabricRoutings...).

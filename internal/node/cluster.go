@@ -9,6 +9,7 @@ import (
 	"rackni/internal/config"
 	"rackni/internal/cpu"
 	"rackni/internal/fabric"
+	"rackni/internal/place"
 	"rackni/internal/sim"
 	"rackni/internal/stats"
 )
@@ -22,11 +23,17 @@ type ClusterSpec struct {
 	// emulation, under which every pair of nodes (including a node and
 	// itself) is Hops apart. 0 means the configuration's DefaultHops.
 	Hops int
+	// Place, when non-zero, is a named placement policy (identity,
+	// clustered, scattered, random:<seed>) expanded into torus coordinates
+	// at construction — the first-class way to give the cluster real
+	// geometry. Mutually exclusive with Placement.
+	Place place.Policy
 	// Placement, when non-nil, names each node's coordinate on the rack's
 	// 3D torus (cfg.TorusRadix per dimension); pairwise distances are then
 	// real torus hop counts, so skewed placements and non-uniform
 	// distances — inexpressible under the mirror emulation — emerge
-	// naturally.
+	// naturally. The raw escape hatch under the named Place policies;
+	// coordinates must be distinct and on the torus.
 	Placement []int
 	// Faults, when non-nil and active, installs a deterministic fault plan
 	// on the interconnect (see fabric.FaultSpec). A nil or zero spec is a
@@ -69,8 +76,14 @@ type Cluster struct {
 	ctx       context.Context
 	watch     *sim.CancelWatch
 	session   *Session
-	shardSize int // contiguous nodes per shard: ceil(Nodes/len(Engs))
+	placed    place.Policy // named policy the spec was built with (zero otherwise)
+	shardSize int          // contiguous nodes per shard: ceil(Nodes/len(Engs))
 }
+
+// Placed returns the named placement policy the cluster was built with —
+// the zero policy for uniform-hop clusters, raw coordinate lists, and the
+// congestion model's automatic identity placement.
+func (c *Cluster) Placed() place.Policy { return c.placed }
 
 // Sharded reports whether the cluster's nodes span more than one engine.
 func (c *Cluster) Sharded() bool { return len(c.Engs) > 1 }
@@ -98,6 +111,16 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 		return nil, fmt.Errorf("node: negative hop count %d", hops)
 	}
 	topo := fabric.NewTorus3D(cfg.TorusRadix)
+	if !spec.Place.IsZero() {
+		if spec.Placement != nil {
+			return nil, fmt.Errorf("node: ClusterSpec sets both a %s placement policy and explicit coordinates", spec.Place)
+		}
+		coords, err := spec.Place.Coordinates(spec.Nodes, cfg.TorusRadix)
+		if err != nil {
+			return nil, fmt.Errorf("node: %w", err)
+		}
+		spec.Placement = coords
+	}
 	if spec.FabricRouting != fabric.RouteNone && spec.Placement == nil {
 		// The congestion model contends real torus links, so give the
 		// cluster real geometry: identity placement, the same coordinates
@@ -111,8 +134,17 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 			spec.Placement[i] = i
 		}
 	}
-	if spec.Placement != nil && len(spec.Placement) != spec.Nodes {
-		return nil, fmt.Errorf("node: placement names %d positions for %d nodes", len(spec.Placement), spec.Nodes)
+	if spec.Placement != nil {
+		if len(spec.Placement) != spec.Nodes {
+			return nil, fmt.Errorf("node: placement names %d positions for %d nodes", len(spec.Placement), spec.Nodes)
+		}
+		// Out-of-range or duplicate coordinates would silently yield bogus
+		// (even zero-hop) pairwise distances that poison the sharded
+		// engines' conservative lookahead — reject them here, naming the
+		// offending node, before any member is built.
+		if err := place.Validate(spec.Placement, cfg.TorusRadix); err != nil {
+			return nil, fmt.Errorf("node: %w", err)
+		}
 	}
 	// Pairwise distances are needed before the interconnect exists (each
 	// node's tomography wants its default-peer distance), so compute them
@@ -154,7 +186,7 @@ func NewCluster(cfg config.Config, spec ClusterSpec) (*Cluster, error) {
 	for s := range engs {
 		engs[s] = sim.NewEngine()
 	}
-	c := &Cluster{Eng: engs[0], Engs: engs, shardSize: (spec.Nodes + shards - 1) / shards}
+	c := &Cluster{Eng: engs[0], Engs: engs, placed: spec.Place, shardSize: (spec.Nodes + shards - 1) / shards}
 	c.watch = sim.NewCancelWatch(engs[0], cancelCheckCycles, func() context.Context { return c.ctx })
 
 	// Member pipelines are independent of one another, so each shard's

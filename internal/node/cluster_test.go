@@ -1,11 +1,13 @@
 package node
 
 import (
+	"strings"
 	"testing"
 
 	"rackni/internal/config"
 	"rackni/internal/cpu"
 	"rackni/internal/fabric"
+	"rackni/internal/place"
 )
 
 // TestClusterN1BitIdentical: a 1-node cluster in uniform-hop mode is the
@@ -101,6 +103,73 @@ func TestClusterPlacement(t *testing.T) {
 	delta := far - near
 	if delta < wantDelta*0.95 || delta > wantDelta*1.05 {
 		t.Fatalf("distance 6 vs 1: latency delta %.0f cycles, want ~%.0f", delta, wantDelta)
+	}
+}
+
+// TestClusterPlacementValidation: bogus explicit placements are rejected
+// at construction with the offending node named (regression: they used to
+// reach the cluster build, corrupting member distance tables and — for
+// duplicates — silently coercing the shard count to 1 via a zero minimum
+// cross-node distance).
+func TestClusterPlacementValidation(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	cube := cfg.TorusRadix * cfg.TorusRadix * cfg.TorusRadix
+	cases := []struct {
+		name string
+		spec ClusterSpec
+		want string
+	}{
+		{"out-of-range", ClusterSpec{Nodes: 2, Placement: []int{0, cube}}, "node 1"},
+		{"negative", ClusterSpec{Nodes: 2, Placement: []int{-1, 3}}, "node 0"},
+		{"duplicate", ClusterSpec{Nodes: 3, Placement: []int{5, 9, 5}}, "nodes 0 and 2"},
+		{"policy-and-coords", ClusterSpec{Nodes: 2, Placement: []int{0, 1},
+			Place: place.Policy{Kind: place.Clustered}}, "both"},
+	}
+	for _, c := range cases {
+		_, err := NewCluster(cfg, c.spec)
+		if err == nil {
+			t.Errorf("%s: NewCluster accepted invalid placement %v", c.name, c.spec.Placement)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the offender (want %q)", c.name, err, c.want)
+		}
+	}
+}
+
+// TestClusterPlacePolicy: a named policy resolves to the same coordinates
+// as calling the policy directly, the fabric distance table reflects them,
+// and the cluster reports the policy it was built with.
+func TestClusterPlacePolicy(t *testing.T) {
+	cfg := config.Default()
+	cfg.Design = config.NISplit
+	const nodes = 9
+	for _, pol := range []place.Policy{
+		{Kind: place.Identity},
+		{Kind: place.Clustered},
+		{Kind: place.Scattered},
+		{Kind: place.Random, Seed: 3},
+	} {
+		cl, err := NewCluster(cfg, ClusterSpec{Nodes: nodes, Place: pol})
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		if got := cl.Placed(); got != pol {
+			t.Errorf("%s: Placed() = %s", pol, got)
+		}
+		coords, err := pol.Coordinates(nodes, cfg.TorusRadix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torus := fabric.NewTorus3D(cfg.TorusRadix)
+		for a := 0; a < nodes; a++ {
+			for b := 0; b < nodes; b++ {
+				if got, want := cl.Inter.Dist(a, b), torus.Hops(coords[a], coords[b]); got != want {
+					t.Fatalf("%s: Dist(%d,%d)=%d, torus at placed coords says %d", pol, a, b, got, want)
+				}
+			}
+		}
 	}
 }
 

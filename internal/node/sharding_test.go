@@ -7,6 +7,7 @@ import (
 	"rackni/internal/config"
 	"rackni/internal/cpu"
 	"rackni/internal/fabric"
+	"rackni/internal/place"
 )
 
 // shardScatter runs the canonical sharding workload on a cluster: every
@@ -40,44 +41,58 @@ func shardLedger(cl *Cluster) ([]fabric.LinkStats, [][]int64) {
 
 // TestClusterShardInvariance: the tentpole contract — a workload run's
 // results, link ledgers and traffic matrices are bit-identical at every
-// shard count, with and without a fault plan. Shards is a pure wall-clock
-// knob.
+// shard count, with and without a fault plan, under the uniform-hop model
+// and under every named placement policy (whose real torus distances feed
+// the conservative lookahead). Shards is a pure wall-clock knob.
 func TestClusterShardInvariance(t *testing.T) {
 	const nodes = 16
 	cfg := smokeClusterCfg()
 	cfg.ReqTimeout = 1_000
 	cfg.MaxCycles = 300_000
-	for _, faults := range []*fabric.FaultSpec{nil, {Seed: 7, DropProb: 0.02}} {
-		var want ClusterWorkloadResult
-		var wantCounters []fabric.LinkStats
-		var wantTraffic [][]int64
-		for _, shards := range []int{1, 2, 4, 8} {
-			cl, err := NewCluster(cfg, ClusterSpec{Nodes: nodes, Hops: 1, Faults: faults, Shards: shards})
-			if err != nil {
-				t.Fatal(err)
+	placements := []place.Policy{{}, {Kind: place.Clustered}, {Kind: place.Scattered}}
+	for _, pol := range placements {
+		for _, faults := range []*fabric.FaultSpec{nil, {Seed: 7, DropProb: 0.02}} {
+			if faults != nil && !pol.IsZero() && pol.Kind != place.Clustered {
+				continue // one placed+faulted combination is enough coverage
 			}
-			if got := cl.NumShards(); got != shards {
-				t.Fatalf("NumShards=%d, want %d", got, shards)
-			}
-			res := shardScatter(t, cl, nodes)
-			counters, traffic := shardLedger(cl)
-			if shards == 1 {
-				want, wantCounters, wantTraffic = res, counters, traffic
-				if res.Aggregate.Completed != nodes*12 {
-					t.Fatalf("baseline completed %d, want %d", res.Aggregate.Completed, nodes*12)
+			var want ClusterWorkloadResult
+			var wantCounters []fabric.LinkStats
+			var wantTraffic [][]int64
+			for _, shards := range []int{1, 2, 4, 8} {
+				spec := ClusterSpec{Nodes: nodes, Faults: faults, Shards: shards, Place: pol}
+				if pol.IsZero() {
+					spec.Hops = 1
 				}
-				continue
-			}
-			if !reflect.DeepEqual(res, want) {
-				t.Fatalf("faults=%v shards=%d diverged from single-engine:\n%+v\nvs\n%+v",
-					faults != nil, shards, res.Aggregate, want.Aggregate)
-			}
-			if !reflect.DeepEqual(counters, wantCounters) {
-				t.Fatalf("faults=%v shards=%d link ledger diverged:\n%+v\nvs\n%+v",
-					faults != nil, shards, counters, wantCounters)
-			}
-			if !reflect.DeepEqual(traffic, wantTraffic) {
-				t.Fatalf("faults=%v shards=%d traffic matrix diverged", faults != nil, shards)
+				cl, err := NewCluster(cfg, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Named placements yield distinct coordinates, so the minimum
+				// cross-node distance is ≥ 1 hop and the requested shard count
+				// must survive uncoerced.
+				if got := cl.NumShards(); got != shards {
+					t.Fatalf("%s: NumShards=%d, want %d", pol, got, shards)
+				}
+				res := shardScatter(t, cl, nodes)
+				counters, traffic := shardLedger(cl)
+				if shards == 1 {
+					want, wantCounters, wantTraffic = res, counters, traffic
+					if res.Aggregate.Completed != nodes*12 {
+						t.Fatalf("%s: baseline completed %d, want %d", pol, res.Aggregate.Completed, nodes*12)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(res, want) {
+					t.Fatalf("place=%s faults=%v shards=%d diverged from single-engine:\n%+v\nvs\n%+v",
+						pol, faults != nil, shards, res.Aggregate, want.Aggregate)
+				}
+				if !reflect.DeepEqual(counters, wantCounters) {
+					t.Fatalf("place=%s faults=%v shards=%d link ledger diverged:\n%+v\nvs\n%+v",
+						pol, faults != nil, shards, counters, wantCounters)
+				}
+				if !reflect.DeepEqual(traffic, wantTraffic) {
+					t.Fatalf("place=%s faults=%v shards=%d traffic matrix diverged", pol, faults != nil, shards)
+				}
 			}
 		}
 	}
@@ -100,6 +115,29 @@ func TestClusterShardedSessionReuse(t *testing.T) {
 	second := shardScatter(t, cl, nodes)
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("reused sharded cluster diverged:\n%+v\nvs\n%+v", first.Aggregate, second.Aggregate)
+	}
+}
+
+// TestClusterShardedSessionReusePlaced: session reuse holds on a sharded
+// cluster whose lookahead comes from a named placement's real torus
+// distances rather than the uniform hop count.
+func TestClusterShardedSessionReusePlaced(t *testing.T) {
+	const nodes = 8
+	cfg := smokeClusterCfg()
+	cfg.ReqTimeout = 1_000
+	cfg.MaxCycles = 300_000
+	cl, err := NewCluster(cfg, ClusterSpec{Nodes: nodes, Shards: 4,
+		Place: place.Policy{Kind: place.Scattered}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.NumShards(); got != 4 {
+		t.Fatalf("NumShards=%d, want 4", got)
+	}
+	first := shardScatter(t, cl, nodes)
+	second := shardScatter(t, cl, nodes)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("reused placed sharded cluster diverged:\n%+v\nvs\n%+v", first.Aggregate, second.Aggregate)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"rackni/internal/load"
+	"rackni/internal/place"
 )
 
 // ParseDesign converts a design name (edge, pertile, per-tile, split) to
@@ -208,6 +209,30 @@ func ParseFabricRouting(s string) (RoutePolicy, error) {
 // ("dor,adaptive") for the Sweep's FabricRoutings axis.
 func ParseFabricRoutings(s string) ([]RoutePolicy, error) {
 	return parseList(s, ParseFabricRouting)
+}
+
+// ParsePlacement converts a placement-policy name to its PlacementPolicy.
+// "uniform" (or "none") is the zero policy — the fixed-hop model; "torus"
+// is a deprecated alias for "identity", the coordinates the old
+// TorusPlacement flag assigned.
+func ParsePlacement(s string) (PlacementPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "uniform", "none":
+		return PlacementPolicy{}, nil
+	case "torus":
+		return PlaceIdentity, nil
+	}
+	p, err := place.Parse(s)
+	if err != nil {
+		return PlacementPolicy{}, fmt.Errorf("rackni: unknown placement %q (want uniform|identity|clustered|scattered|random:<seed>)", s)
+	}
+	return p, nil
+}
+
+// ParsePlacements parses a comma-separated placement-policy list
+// ("identity,clustered,scattered") for the Sweep's Placements axis.
+func ParsePlacements(s string) ([]PlacementPolicy, error) {
+	return parseList(s, ParsePlacement)
 }
 
 // ParseArrivalKind converts an arrival-process name (poisson, bursty,

@@ -1,0 +1,190 @@
+// The congested-placement study: the experiment the placement layer
+// exists for. Communicating groups of nodes exchange windowed remote
+// reads over the link-level fabric under each named placement policy;
+// clustered placement keeps every flow inside a 2x2x2 sub-cube (short
+// paths, traffic concentrated on few links) while scattered placement
+// stretches the same flows near the torus diameter (long paths spread
+// over many links), and the per-link occupancy ledgers quantify the
+// locality/hot-spot trade-off between them. Like congestexp.go, this is
+// a reusable entry point with a Format renderer, consumed by
+// cmd/rackbench (-exp placement) and the README table.
+package rackni
+
+import (
+	"fmt"
+	"strings"
+
+	"rackni/internal/stats"
+)
+
+// Group-traffic parameters: consecutive nodes form groups of
+// placeGroupSize, and each node's client cores read from distinct peers
+// of their own group with the mixed-update scenario's shape (window-4
+// 256B operations). Placement decides where a group's members physically
+// sit, which is the entire experiment.
+const (
+	placeGroupSize = 8
+	placeWindow    = 4
+	placeOps       = 256
+	placeSize      = 256
+	placeObjects   = 1 << 15
+)
+
+// PlacementPoint is one (placement, routing) setting of the study.
+type PlacementPoint struct {
+	Placement  PlacementPolicy // named placement under test
+	Routing    RoutePolicy     // fabric routing policy
+	AvgHops    float64         // mean torus distance over all client flows
+	Completed  int64           // ops completed across the whole cluster
+	MeanLat    float64         // mean request latency, cycles
+	P50        int64           // request latency percentiles, cycles
+	P99        int64
+	GoodGBps   float64 // cluster goodput: payload bytes per run cycle
+	Queued     int64   // serializer-queued cycles summed over all links
+	Blocked    int64   // credit-blocked cycles summed over all links
+	Links      int     // links that carried at least one flit
+	HotLink    string  // hottest link (most queued+blocked cycles)
+	HotQueued  int64   // serializer-queued cycles on the hottest link
+	HotBlocked int64   // credit-blocked cycles on the hottest link
+	Drained    bool    // every client ran to completion within the budget
+}
+
+// PlacementResult is the placement study across policies and routings.
+type PlacementResult struct {
+	Nodes   int // cluster size
+	Groups  int // communicating groups of placeGroupSize nodes
+	Clients int // client cores per node
+	Points  []PlacementPoint
+}
+
+// placementPeer returns the group-local peer node core's flow targets:
+// nodes pair off within their placeGroupSize-node group, each core
+// striding to a different group member so a group's traffic is all-to-all
+// rather than a single ring. ok is false when the node's group is too
+// small to have a peer (a trailing group of one).
+func placementPeer(nodes, nodeIdx, core int) (int, bool) {
+	base := nodeIdx / placeGroupSize * placeGroupSize
+	gsize := placeGroupSize
+	if base+gsize > nodes {
+		gsize = nodes - base
+	}
+	if gsize < 2 {
+		return 0, false
+	}
+	off := 1 + core%(gsize-1)
+	return base + (nodeIdx-base+off)%gsize, true
+}
+
+// placementApp builds the per-core app factory: every node's client cores
+// run windowed mixed-update clients against their group peers.
+func placementApp(cfg *Config, nodes int) func(nodeIdx, core int) App {
+	clients := scenarioClients(cfg)
+	return func(nodeIdx, core int) App {
+		if core >= clients {
+			return nil
+		}
+		peer, ok := placementPeer(nodes, nodeIdx, core)
+		if !ok {
+			return nil
+		}
+		seed := scenarioSeed(clusterNodeSeed(cfg.Seed, nodeIdx), core)
+		return TargetRemote(NewMixedUpdate(placeWindow, placeOps, placeSize,
+			placeObjects, 0, seed), peer)
+	}
+}
+
+// RunPlacementStudy measures the locality/hot-spot trade-off on an n-node
+// congested cluster: for each named placement policy and routing policy it
+// builds one cluster, drives the group traffic, and reports flow distance,
+// latency, goodput and per-link occupancy. Nil policies and routings
+// select the defaults: identity vs clustered vs scattered, and dor vs
+// adaptive.
+func RunPlacementStudy(cfg Config, nodes int, policies []PlacementPolicy, routings []RoutePolicy) (PlacementResult, error) {
+	if nodes < 2 {
+		return PlacementResult{}, fmt.Errorf("rackni: the placement study needs at least 2 nodes (one communicating pair), got %d", nodes)
+	}
+	if len(policies) == 0 {
+		policies = []PlacementPolicy{PlaceIdentity, PlaceClustered, PlaceScattered}
+	}
+	if len(routings) == 0 {
+		routings = []RoutePolicy{RouteDOR, RouteAdaptive}
+	}
+	for _, pol := range policies {
+		if pol.IsZero() {
+			return PlacementResult{}, fmt.Errorf("rackni: the placement study compares named placements; the uniform fixed-hop model has no geometry to place")
+		}
+	}
+	for _, rp := range routings {
+		if rp == RouteNone {
+			return PlacementResult{}, fmt.Errorf("rackni: the placement study needs the congestion fabric (dor or adaptive); placement only matters once links contend")
+		}
+	}
+	out := PlacementResult{Nodes: nodes, Groups: (nodes + placeGroupSize - 1) / placeGroupSize, Clients: scenarioClients(&cfg)}
+	for _, pol := range policies {
+		for _, rp := range routings {
+			cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, FabricRouting: rp, Place: pol})
+			if err != nil {
+				return out, fmt.Errorf("%s/%v: %w", pol, rp, err)
+			}
+			res, err := cl.RunApp(placementApp(&cfg, nodes), 0)
+			if err != nil {
+				return out, fmt.Errorf("%s/%v: %w", pol, rp, err)
+			}
+			agg := res.Aggregate
+			pt := PlacementPoint{
+				Placement: pol,
+				Routing:   rp,
+				Completed: agg.Completed,
+				MeanLat:   agg.MeanLatency,
+				P50:       agg.P50,
+				P99:       agg.P99,
+				GoodGBps:  stats.GBps(float64(agg.AppBytes)/float64(agg.Cycles), cfg.ClockGHz),
+				Drained:   agg.AllExhausted,
+			}
+			var flows, hops int
+			for nodeIdx := 0; nodeIdx < nodes; nodeIdx++ {
+				for core := 0; core < out.Clients; core++ {
+					if peer, ok := placementPeer(nodes, nodeIdx, core); ok {
+						hops += cl.Interconnect().Dist(nodeIdx, peer)
+						flows++
+					}
+				}
+			}
+			if flows > 0 {
+				pt.AvgHops = float64(hops) / float64(flows)
+			}
+			for _, l := range cl.Interconnect().LinkLedgers() {
+				if l.Flits > 0 {
+					pt.Links++
+				}
+				pt.Queued += l.QueuedCycles
+				pt.Blocked += l.BlockedCycles
+				if hot := l.QueuedCycles + l.BlockedCycles; hot > pt.HotQueued+pt.HotBlocked {
+					pt.HotLink, pt.HotQueued, pt.HotBlocked = linkLabel(l), l.QueuedCycles, l.BlockedCycles
+				}
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the placement study.
+func (r PlacementResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Congested placement: %d nodes in %d groups of %d, %d clients/node (window %d, %dB ops) within-group\n",
+		r.Nodes, r.Groups, placeGroupSize, r.Clients, placeWindow, placeSize)
+	fmt.Fprintf(&b, "%-10s %8s %8s %9s %8s %8s %13s %6s %10s %10s %8s %10s %8s\n",
+		"placement", "fabric", "avghops", "completed", "mean", "p99",
+		"goodput(GB/s)", "links", "queued", "blocked", "hot", "hotcycles", "drained")
+	for _, p := range r.Points {
+		hot := p.HotLink
+		if hot == "" {
+			hot = "-"
+		}
+		fmt.Fprintf(&b, "%-10s %8s %8.2f %9d %8.0f %8d %13.2f %6d %10d %10d %8s %10d %8v\n",
+			p.Placement, p.Routing, p.AvgHops, p.Completed, p.MeanLat, p.P99,
+			p.GoodGBps, p.Links, p.Queued, p.Blocked, hot, p.HotQueued+p.HotBlocked, p.Drained)
+	}
+	return b.String()
+}

@@ -1,0 +1,146 @@
+package rackni
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPlacementStudyValidation: malformed study requests fail fast with
+// the reason named.
+func TestPlacementStudyValidation(t *testing.T) {
+	cfg := serviceTestCfg()
+	if _, err := RunPlacementStudy(cfg, 1, nil, nil); err == nil ||
+		!strings.Contains(err.Error(), "at least 2 nodes") {
+		t.Fatalf("1-node study not rejected: %v", err)
+	}
+	if _, err := RunPlacementStudy(cfg, 8, []PlacementPolicy{{}}, nil); err == nil ||
+		!strings.Contains(err.Error(), "no geometry") {
+		t.Fatalf("uniform placement not rejected: %v", err)
+	}
+	if _, err := RunPlacementStudy(cfg, 8, nil, []RoutePolicy{RouteNone}); err == nil ||
+		!strings.Contains(err.Error(), "links contend") {
+		t.Fatalf("uncongested routing not rejected: %v", err)
+	}
+}
+
+// TestPlacementStudySmoke: the smallest useful study (one pair-heavy
+// 4-node group, one policy, one routing) runs end to end in short mode —
+// it drains, measures real flow distance, records a hot link, renders.
+func TestPlacementStudySmoke(t *testing.T) {
+	res, err := RunPlacementStudy(serviceTestCfg(), 4, []PlacementPolicy{PlaceClustered}, []RoutePolicy{RouteDOR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 || res.Groups != 1 {
+		t.Fatalf("got %d points in %d groups, want 1 in 1", len(res.Points), res.Groups)
+	}
+	p := res.Points[0]
+	if !p.Drained || p.Completed == 0 || p.GoodGBps <= 0 || p.AvgHops <= 0 {
+		t.Fatalf("smoke point did not run to completion: %+v", p)
+	}
+	if p.HotLink == "" || p.Links == 0 {
+		t.Fatalf("smoke point recorded no link activity: %+v", p)
+	}
+	out := res.Format()
+	for _, want := range []string{"placement", "clustered", "dor", "avghops", p.HotLink} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPlacementStudyTrends is the headline acceptance property: clustered
+// placement keeps group flows short and beats identity (whose consecutive
+// nodes share single torus rows, concentrating every flow on few links);
+// scattered placement stretches flows near the torus diameter across many
+// links and is the placement that adaptive routing rescues — its path
+// diversity cuts credit blocking by an order of magnitude versus DOR.
+// Skipped in -short; the CI placement-smoke job runs it explicitly.
+func TestPlacementStudyTrends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run placement study")
+	}
+	res, err := RunPlacementStudy(serviceTestCfg(), 16, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points=%d, want 6 (3 placements x 2 routings)", len(res.Points))
+	}
+	pts := map[string]PlacementPoint{}
+	for _, p := range res.Points {
+		if !p.Drained {
+			t.Fatalf("%s/%v did not drain", p.Placement, p.Routing)
+		}
+		if p.Completed != res.Points[0].Completed {
+			t.Fatalf("%s/%v completed %d, others %d — placement changed the workload",
+				p.Placement, p.Routing, p.Completed, res.Points[0].Completed)
+		}
+		pts[p.Placement.String()+"/"+p.Routing.String()] = p
+	}
+	idn, clu, sca := pts["identity/adaptive"], pts["clustered/adaptive"], pts["scattered/adaptive"]
+	scaDOR := pts["scattered/dor"]
+	// Geometry: clustered keeps group flows inside 2x2x2 sub-cubes (≤ 2
+	// hops), scattered stretches them toward the torus diameter.
+	if clu.AvgHops > 2 {
+		t.Errorf("clustered flows average %.2f hops; sub-cube locality lost", clu.AvgHops)
+	}
+	if sca.AvgHops < 2*clu.AvgHops {
+		t.Errorf("scattered flows average %.2f hops vs clustered %.2f; no dispersion", sca.AvgHops, clu.AvgHops)
+	}
+	// Footprint: identity concentrates all flows on the fewest links,
+	// scattered spreads them over the most.
+	if !(idn.Links < clu.Links && clu.Links < sca.Links) {
+		t.Errorf("link footprint not ordered: identity %d, clustered %d, scattered %d",
+			idn.Links, clu.Links, sca.Links)
+	}
+	// The hot-spot cost: identity's shared rows block for far longer than
+	// scattered's dispersed paths, and clustered beats identity on both
+	// latency and goodput.
+	if idn.Blocked < 4*sca.Blocked {
+		t.Errorf("identity blocking %d not >> scattered %d", idn.Blocked, sca.Blocked)
+	}
+	if clu.MeanLat >= idn.MeanLat {
+		t.Errorf("clustered mean %.0f did not beat identity %.0f", clu.MeanLat, idn.MeanLat)
+	}
+	if clu.GoodGBps <= idn.GoodGBps {
+		t.Errorf("clustered goodput %.2f did not beat identity %.2f", clu.GoodGBps, idn.GoodGBps)
+	}
+	// Adaptive rescue: scattered's long paths have the diversity adaptive
+	// routing exploits — blocking collapses and latency improves vs DOR.
+	if sca.Blocked >= scaDOR.Blocked/4 {
+		t.Errorf("adaptive did not relieve scattered blocking: %d vs %d under dor", sca.Blocked, scaDOR.Blocked)
+	}
+	if sca.MeanLat > scaDOR.MeanLat {
+		t.Errorf("adaptive regressed scattered latency: %.0f vs %.0f", sca.MeanLat, scaDOR.MeanLat)
+	}
+	for _, p := range res.Points {
+		if p.HotLink == "" || p.HotQueued+p.HotBlocked == 0 {
+			t.Errorf("%s/%v recorded no hot link", p.Placement, p.Routing)
+		}
+	}
+}
+
+// TestPlacement64NodeConservation: the credit-conservation invariants hold
+// at rack scale under a non-identity placement — 64 clustered nodes fill
+// the whole-torus link ledger and every grant is returned. Skipped in
+// -short; the CI placement-smoke job runs it explicitly.
+func TestPlacement64NodeConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-node congested run")
+	}
+	cfg := serviceTestCfg()
+	const nodes = 64
+	cl, err := NewClusterSpec(cfg, ClusterSpec{Nodes: nodes, Place: PlaceClustered, FabricRouting: RouteAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.RunApp(placementApp(&cfg, nodes), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aggregate.AllExhausted {
+		t.Fatalf("64-node clustered run did not drain within %d cycles", cfg.MaxCycles)
+	}
+	checkLinkConservation(t, cl, cfg, nodes, RouteAdaptive)
+}

@@ -36,6 +36,7 @@ import (
 	"rackni/internal/cpu"
 	"rackni/internal/fabric"
 	"rackni/internal/node"
+	"rackni/internal/place"
 )
 
 // Config is the full system parameter set (Table 2 defaults).
@@ -248,6 +249,33 @@ const (
 	RouteAdaptive = fabric.RouteAdaptive
 )
 
+// PlacementPolicy is a named node-placement policy: a deterministic
+// mapping from cluster node indices onto coordinates of the rack's 3D
+// torus. The zero value means "no named placement" — the uniform
+// fixed-hop model (or whatever raw coordinates the spec provides). Named
+// policies are a sweep axis (Sweep.Placements), a ClusterSpec field
+// (Place), and a CLI flag (racksim -placement).
+type PlacementPolicy = place.Policy
+
+// Named placement policies for ClusterSpec.Place and the Sweep
+// Placements axis.
+var (
+	// PlaceIdentity places node i at torus coordinate i — the geometry the
+	// deprecated TorusPlacement flag assigned.
+	PlaceIdentity = PlacementPolicy{Kind: place.Identity}
+	// PlaceClustered packs consecutive node indices into 2x2x2 torus
+	// sub-cubes: maximal locality for communicating groups.
+	PlaceClustered = PlacementPolicy{Kind: place.Clustered}
+	// PlaceScattered strides consecutive node indices across the whole
+	// torus: maximal spread, paths near the torus diameter.
+	PlaceScattered = PlacementPolicy{Kind: place.Scattered}
+)
+
+// PlaceRandom returns the seeded uniform-permutation placement policy.
+func PlaceRandom(seed uint64) PlacementPolicy {
+	return PlacementPolicy{Kind: place.Random, Seed: seed}
+}
+
 // LinkLedger is one directed torus link's per-run congestion snapshot
 // (grants, occupancy high-water, serializer-queued and credit-blocked
 // cycles); Cluster.Interconnect().LinkLedgers() lists the active ones.
@@ -303,6 +331,11 @@ func (c *Cluster) Config() *Config { return c.c.Cfg }
 
 // NodeStats exposes node i's raw counters.
 func (c *Cluster) NodeStats(i int) *rmc.Stats { return c.c.Nodes[i].Stats }
+
+// Placement returns the named placement policy the cluster was built with
+// (the zero policy for uniform-hop clusters, raw coordinate lists, and the
+// congestion model's automatic identity placement).
+func (c *Cluster) Placement() PlacementPolicy { return c.c.Placed() }
 
 // Interconnect exposes the inter-node fabric's per-run accounting: one
 // LinkStats per node plus the node-to-node traffic matrix.

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	rmc "rackni/internal/core"
+	"rackni/internal/fabric"
 	"rackni/internal/load"
 	"rackni/internal/sim"
 	"rackni/internal/stats"
@@ -177,6 +178,7 @@ type serviceClient struct {
 	hedgeOK  bool
 	balance  Balance
 	replicas int
+	sets     [][]int // placement-aware replica sets (nil: R consecutive nodes)
 
 	arrived     int
 	nextArrival int64
@@ -221,8 +223,19 @@ func newServiceClient(spec ServiceSpec, nodes int, proc *load.Process, seed uint
 func (s *serviceClient) OpenLoopPoll() int64 { return 200 }
 
 // primary is the key's home replica: a stable hash of the object spread
-// over all nodes (the replica set is the R consecutive nodes from it).
+// over all nodes (the replica set is the R consecutive nodes from it, or
+// its placement-aware nearest-R set when one was computed).
 func (s *serviceClient) primary(obj int) int { return int(chaseNext(uint64(obj), s.nodes)) }
+
+// replica returns the k-th member of primary p's replica set: the
+// placement-aware nearest-R set when one was computed, else the legacy R
+// consecutive node indices.
+func (s *serviceClient) replica(p, k int) int {
+	if s.sets != nil {
+		return s.sets[p][k]
+	}
+	return (p + k) % s.nodes
+}
 
 // pickReplica selects the target for an attempt. exclude is the node the
 // first attempt went to (-1 for first attempts), so hedges always pick a
@@ -234,7 +247,7 @@ func (s *serviceClient) pickReplica(obj, exclude int) int {
 	}
 	best, bestLoad := -1, math.MaxInt
 	for k := 0; k < s.replicas; k++ {
-		n := (p + k) % s.nodes
+		n := s.replica(p, k)
 		if n == exclude {
 			continue
 		}
@@ -355,6 +368,25 @@ func (s *serviceClient) OnComplete(coreID int, req Request, issued, done int64) 
 	}
 }
 
+// nearestReplicaSets precomputes each primary's placement-aware replica
+// set: the r nodes nearest to it over the placed fabric, ranked by torus
+// distance with the ring offset from the primary as the deterministic
+// tie-break — offset 0 first, so a set always begins with its primary.
+func nearestReplicaSets(inter *fabric.Interconnect, n, r int) [][]int {
+	sets := make([][]int, n)
+	for p := 0; p < n; p++ {
+		order := make([]int, n)
+		for j := range order {
+			order[j] = (p + j) % n // ring offset j from p: the tie-break order
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return inter.Dist(p, order[a]) < inter.Dist(p, order[b])
+		})
+		sets[p] = order[:r]
+	}
+	return sets
+}
+
 // RunService runs the open-loop replicated KV service on every node of
 // the cluster: spec.Clients cores per node each draw a decorrelated
 // arrival schedule and issue Zipf-popular GETs across the R-way replica
@@ -386,6 +418,19 @@ func (c *Cluster) RunService(spec ServiceSpec, maxCycles int64) (ServiceResult, 
 	}
 	lspec := load.Spec{Kind: kind, Rate: spec.Arrival.Rate}
 
+	// Placement-aware replication: under a named non-identity placement,
+	// each primary's replica set is the R nodes nearest to it on the placed
+	// torus instead of R consecutive indices — the point of clustering
+	// nodes is that their replicas sit close. Identity (and the deprecated
+	// torus flag, raw coordinate lists, and the congestion model's
+	// automatic identity placement) keeps the legacy consecutive mapping,
+	// which is already ring-adjacent there — and with it, bit-identical
+	// output for every pre-policy invocation.
+	var sets [][]int
+	if pol := c.Placement(); !pol.IsZero() && pol != PlaceIdentity && spec.Replicas > 1 && n > 1 {
+		sets = nearestReplicaSets(c.c.Inter, n, spec.Replicas)
+	}
+
 	clients := make([][]*serviceClient, n)
 	var ferr error
 	factory := func(nodeIdx, core int) App {
@@ -399,6 +444,7 @@ func (c *Cluster) RunService(spec ServiceSpec, maxCycles int64) (ServiceResult, 
 			return nil
 		}
 		cl := newServiceClient(spec, n, proc, seed)
+		cl.sets = sets
 		clients[nodeIdx] = append(clients[nodeIdx], cl)
 		return cl
 	}

@@ -80,7 +80,17 @@ type Point struct {
 	// 0..Nodes-1 of the rack's 3D torus (real pairwise hop distances, the
 	// paper's 512-node rack geometry) instead of the uniform fixed-hop
 	// model. Requires Nodes ≤ TorusRadix³; single-node points ignore it.
+	//
+	// Deprecated: equivalent to Placement = PlaceIdentity, which the
+	// Sweep's Placements axis and racksim -placement set; kept so old
+	// callers keep working.
 	TorusPlacement bool
+	// Placement, when non-zero, places the point's cluster nodes on the
+	// rack's 3D torus under the named policy (identity, clustered,
+	// scattered, random:<seed>) — real pairwise hop distances instead of
+	// the uniform fixed-hop model. Requires a multi-node point that fits
+	// the torus (Nodes ≤ TorusRadix³).
+	Placement PlacementPolicy
 	// Faults, when > 0, drops each inter-node fabric leg with this
 	// probability (deterministic, seeded from Config.Seed). Requires a
 	// multi-node point; if Config.ReqTimeout is unarmed the point arms it
@@ -120,6 +130,20 @@ func (p Point) nodeCount() int {
 	return p.Nodes
 }
 
+// placement resolves the point's effective placement policy: the named
+// Placement if set, else the identity policy when the deprecated
+// TorusPlacement flag is up on a multi-node point, else the zero policy
+// (the uniform fixed-hop model).
+func (p Point) placement() PlacementPolicy {
+	if !p.Placement.IsZero() {
+		return p.Placement
+	}
+	if p.TorusPlacement && p.nodeCount() > 1 {
+		return PlaceIdentity
+	}
+	return PlacementPolicy{}
+}
+
 // modeLabel names the point's run kind for tables: the scenario name for
 // workload points, the microbenchmark otherwise.
 func (p Point) modeLabel() string {
@@ -136,8 +160,8 @@ func (p Point) label() string {
 		p.Size, p.Hops, p.Config.Seed)
 	if p.nodeCount() > 1 {
 		l += fmt.Sprintf("/%dnodes", p.nodeCount())
-		if p.TorusPlacement {
-			l += "-torus"
+		if pol := p.placement(); !pol.IsZero() {
+			l += "-" + pol.String()
 		}
 		if p.Shards > 1 {
 			l += fmt.Sprintf("/%dshards", p.Shards)
@@ -166,12 +190,13 @@ func (p Point) label() string {
 // Axis setters return the sweep for chaining; an axis left unset
 // contributes a single value taken from the base configuration (and for
 // axes with no Config field: Latency mode, the block size, DefaultHops,
-// the central measurement core, one node, no faults, an uncapped window,
-// and the lump-sum fabric). Points enumerate in a fixed nesting order —
-// Designs ▸ Topologies ▸ Routings ▸ Hops ▸ Nodes ▸ Faults ▸ Windows ▸
-// FabricRoutings ▸ run kinds (Modes, then Workloads) ▸ Shards ▸ Sizes ▸
-// Seeds ▸ Cores, first axis outermost — so a sweep's point list is deterministic
-// and stable across runs.
+// the central measurement core, one node, the uniform placement, no
+// faults, an uncapped window, and the lump-sum fabric). Points enumerate
+// in a fixed nesting order — Designs ▸ Topologies ▸ Routings ▸ Hops ▸
+// Nodes ▸ Placements ▸ Faults ▸ Windows ▸ FabricRoutings ▸ run kinds
+// (Modes, then Workloads) ▸ Shards ▸ Sizes ▸ Seeds ▸ Cores, first axis
+// outermost — so a sweep's point list is deterministic and stable across
+// runs.
 // Workload points pin the Size and Core axes to 0 (the scenario defines
 // both), contributing one point per
 // design/topology/routing/hops/nodes/faults/window/seed combination.
@@ -193,6 +218,7 @@ type Sweep struct {
 	froutings   []RoutePolicy
 	arrivals    []ArrivalSpec
 	hedges      []int64
+	placements  []PlacementPolicy
 	torusPlaced bool
 }
 
@@ -323,11 +349,26 @@ func (s *Sweep) Hedges(hs ...int64) *Sweep {
 	return s
 }
 
+// Placements sets the node-placement axis: each named policy places
+// every multi-node point's nodes at its coordinates on the rack's 3D
+// torus (real pairwise hop distances from Torus3D); the zero policy
+// contributes a uniform fixed-hop point. Node counts must fit the torus
+// (TorusRadix³). Single-node points collapse the axis to the uniform
+// model — the emulated rack has no torus to place nodes on.
+func (s *Sweep) Placements(ps ...PlacementPolicy) *Sweep {
+	s.placements = append(s.placements[:0], ps...)
+	return s
+}
+
 // TorusPlacement makes every multi-node point place its nodes at real
 // coordinates of the rack's 3D torus (identity placement, pairwise
 // distances from Torus3D) instead of the uniform fixed-hop model — the
 // geometry of the paper's full 512-node rack. Node counts must not exceed
 // the torus size (TorusRadix³).
+//
+// Deprecated: TorusPlacement(true) is an alias for
+// Placements(PlaceIdentity), consulted only when no Placements axis is
+// set; the two expand to identical point lists.
 func (s *Sweep) TorusPlacement(on bool) *Sweep {
 	s.torusPlaced = on
 	return s
@@ -392,6 +433,16 @@ func (s *Sweep) Points() []Point {
 	if len(nodes) == 0 {
 		nodes = []int{1}
 	}
+	placements := s.placements
+	if len(placements) == 0 {
+		// The deprecated TorusPlacement flag is the identity policy by
+		// another name; absent both, points keep the uniform fixed-hop model.
+		if s.torusPlaced {
+			placements = []PlacementPolicy{PlaceIdentity}
+		} else {
+			placements = []PlacementPolicy{{}}
+		}
+	}
 	faults := s.faults
 	if len(faults) == 0 {
 		faults = []float64{0}
@@ -409,7 +460,7 @@ func (s *Sweep) Points() []Point {
 		shards = []int{1}
 	}
 	pts := make([]Point, 0,
-		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*len(shards)*
+		len(designs)*len(topos)*len(routings)*len(hops)*len(nodes)*len(placements)*len(shards)*
 			len(faults)*len(windows)*len(froutings)*len(kinds)*len(sizes)*len(seeds)*len(cores))
 	for _, d := range designs {
 		for _, tp := range topos {
@@ -425,44 +476,56 @@ func (s *Sweep) Points() []Point {
 						if nn < 1 {
 							nn = 1
 						}
-						for _, fr := range faults {
-							for _, win := range windows {
-								for _, fab := range froutings {
-									for _, k := range kinds {
-										// Scenario and service points don't span the Size and
-										// Core axes (the scenario or service spec defines
-										// both), so they collapse to one point per
-										// design/topology/routing/hops/seed combination; the
-										// hedge axis spans only service points, and the shard
-										// axis only multi-node workload/service points (the
-										// only run kinds whose cluster can shard).
-										szs, crs := sizes, cores
-										hds := []int64{0}
-										ks := []int{1}
-										if k.mode == WorkloadMode || k.mode == ServiceMode {
-											szs, crs = []int{0}, []int{0}
-											if nn > 1 {
-												ks = shards
+						// Single-node points run the emulated rack — no
+						// torus to place nodes on. The legacy TorusPlacement
+						// knob always ignored them silently, so its derived
+						// axis collapses to the uniform model; an explicit
+						// Placements axis instead carries the named policy
+						// through so check() can reject the combination.
+						pls := placements
+						if nn <= 1 && len(s.placements) == 0 {
+							pls = []PlacementPolicy{{}}
+						}
+						for _, pl := range pls {
+							for _, fr := range faults {
+								for _, win := range windows {
+									for _, fab := range froutings {
+										for _, k := range kinds {
+											// Scenario and service points don't span the Size and
+											// Core axes (the scenario or service spec defines
+											// both), so they collapse to one point per
+											// design/topology/routing/hops/seed combination; the
+											// hedge axis spans only service points, and the shard
+											// axis only multi-node workload/service points (the
+											// only run kinds whose cluster can shard).
+											szs, crs := sizes, cores
+											hds := []int64{0}
+											ks := []int{1}
+											if k.mode == WorkloadMode || k.mode == ServiceMode {
+												szs, crs = []int{0}, []int{0}
+												if nn > 1 {
+													ks = shards
+												}
 											}
-										}
-										if k.mode == ServiceMode {
-											hds = hedges
-										}
-										for _, sh := range ks {
-											if sh < 1 {
-												sh = 1
+											if k.mode == ServiceMode {
+												hds = hedges
 											}
-											for _, hd := range hds {
-												for _, sz := range szs {
-													for _, sd := range seeds {
-														for _, c := range crs {
-															cfg := s.base
-															cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
-															pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
-																Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
-																TorusPlacement: s.torusPlaced && nn > 1,
-																Faults:         fr, Window: win, FabricRouting: fab,
-																Shards: sh, Arrival: k.arrival, Hedge: hd})
+											for _, sh := range ks {
+												if sh < 1 {
+													sh = 1
+												}
+												for _, hd := range hds {
+													for _, sz := range szs {
+														for _, sd := range seeds {
+															for _, c := range crs {
+																cfg := s.base
+																cfg.Design, cfg.Topology, cfg.Routing, cfg.Seed = d, tp, rt, sd
+																pts = append(pts, Point{Config: cfg, Mode: k.mode, Size: sz,
+																	Hops: h, Core: c, Scenario: k.scenario, Nodes: nn,
+																	Placement: pl,
+																	Faults:    fr, Window: win, FabricRouting: fab,
+																	Shards: sh, Arrival: k.arrival, Hedge: hd})
+															}
 														}
 													}
 												}
@@ -666,6 +729,8 @@ func (p Point) check() error {
 		return fmt.Errorf("rackni: negative QP window %d", p.Window)
 	case p.FabricRouting != RouteNone && p.nodeCount() <= 1:
 		return fmt.Errorf("rackni: fabric routing %v requires a multi-node point (-nodes > 1); the single-node rack emulation has no inter-node links to congest", p.FabricRouting)
+	case !p.Placement.IsZero() && p.nodeCount() <= 1:
+		return fmt.Errorf("rackni: the %s placement requires a multi-node point (-nodes > 1); the single-node rack emulation has no torus to place nodes on", p.Placement)
 	case p.Hedge < 0:
 		return fmt.Errorf("rackni: negative hedge delay %d", p.Hedge)
 	case p.Shards < 0:
@@ -747,12 +812,20 @@ func (p Point) checkShape() error {
 	if p.Nodes > fabric.MaxNodes {
 		return fmt.Errorf("rackni: %d nodes exceeds the %d-node addressing limit", p.Nodes, fabric.MaxNodes)
 	}
-	if p.TorusPlacement || p.FabricRouting != RouteNone {
+	pol := p.placement()
+	if !pol.IsZero() || p.FabricRouting != RouteNone {
 		// Both real torus placement and the congestion fabric (which routes
 		// hop-by-hop over torus coordinates) need every node on the torus.
 		if cube := cfg.TorusRadix * cfg.TorusRadix * cfg.TorusRadix; p.nodeCount() > cube {
 			return fmt.Errorf("rackni: %d nodes exceed the %d-node torus (radix %d)",
 				p.nodeCount(), cube, cfg.TorusRadix)
+		}
+	}
+	if !pol.IsZero() {
+		// Reject malformed policies (an unknown kind, say) by name before
+		// the sweep burns cycles; capacity was already checked above.
+		if _, err := pol.Coordinates(p.nodeCount(), cfg.TorusRadix); err != nil {
+			return err
 		}
 	}
 	switch p.Mode {
@@ -852,13 +925,7 @@ func runClusterPoint(ctx context.Context, p Point, out *Result) {
 		return
 	}
 	spec := ClusterSpec{Nodes: p.nodeCount(), Hops: p.Hops, Faults: p.faultSpec(),
-		FabricRouting: p.FabricRouting, Shards: p.Shards}
-	if p.TorusPlacement {
-		spec.Placement = make([]int, spec.Nodes)
-		for i := range spec.Placement {
-			spec.Placement[i] = i
-		}
-	}
+		FabricRouting: p.FabricRouting, Shards: p.Shards, Place: p.placement()}
 	c, err := NewClusterSpec(cfg, spec)
 	if err != nil {
 		out.Err = err
@@ -910,6 +977,20 @@ func runClusterPoint(ctx context.Context, p Point, out *Result) {
 func (rs Results) hasMultiNode() bool {
 	for _, r := range rs {
 		if r.Point.nodeCount() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPlacement reports whether any point of the set places its nodes
+// under a named placement policy (the deprecated TorusPlacement flag
+// resolves to the identity policy). Renderers add a placement column only
+// then, so placement-free result sets stay byte-identical to their
+// pre-placement form.
+func (rs Results) hasPlacement() bool {
+	for _, r := range rs {
+		if !r.Point.placement().IsZero() {
 			return true
 		}
 	}
@@ -974,6 +1055,7 @@ func (rs Results) hasService() bool {
 func (rs Results) Format() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	placed := rs.hasPlacement()
 	sharded := rs.hasSharded()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
@@ -981,6 +1063,10 @@ func (rs Results) Format() string {
 	nodesHdr, nodesFmt := "", ""
 	if multi {
 		nodesHdr = fmt.Sprintf(" %5s", "nodes")
+	}
+	placeHdr, placeFmt := "", ""
+	if placed {
+		placeHdr = fmt.Sprintf(" %-10s", "placement")
 	}
 	shardHdr, shardFmt := "", ""
 	if sharded {
@@ -998,12 +1084,15 @@ func (rs Results) Format() string {
 	if service {
 		svcHdr = fmt.Sprintf(" %-13s %6s", "arrival", "hedge")
 	}
-	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+shardHdr+faultHdr+fabricHdr+svcHdr+"  %s\n",
+	fmt.Fprintf(&b, "%-12s %-8s %-7s %-13s %8s %5s %5s %6s"+nodesHdr+placeHdr+shardHdr+faultHdr+fabricHdr+svcHdr+"  %s\n",
 		"design", "topology", "routing", "mode", "size(B)", "hops", "core", "seed", "result")
 	for _, r := range rs {
 		p := r.Point
 		if multi {
 			nodesFmt = fmt.Sprintf(" %5d", p.nodeCount())
+		}
+		if placed {
+			placeFmt = fmt.Sprintf(" %-10s", p.placement())
 		}
 		if sharded {
 			k := p.Shards
@@ -1025,9 +1114,9 @@ func (rs Results) Format() string {
 			}
 			svcFmt = fmt.Sprintf(" %-13s %6d", arr, p.Hedge)
 		}
-		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s%s%s  ",
+		fmt.Fprintf(&b, "%-12v %-8v %-7v %-13v %8d %5d %5d %6d%s%s%s%s%s%s  ",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, shardFmt, faultFmt, fabricFmt, svcFmt)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesFmt, placeFmt, shardFmt, faultFmt, fabricFmt, svcFmt)
 		switch {
 		case r.Err != nil:
 			fmt.Fprintf(&b, "error: %v\n", r.Err)
@@ -1066,6 +1155,7 @@ func (rs Results) Format() string {
 func (rs Results) CSV() string {
 	var b strings.Builder
 	multi := rs.hasMultiNode()
+	placed := rs.hasPlacement()
 	sharded := rs.hasSharded()
 	faulty := rs.hasFaults()
 	congested := rs.hasFabricRouting()
@@ -1073,6 +1163,10 @@ func (rs Results) CSV() string {
 	nodesHdr := ""
 	if multi {
 		nodesHdr = "nodes,"
+	}
+	placeHdr := ""
+	if placed {
+		placeHdr = "placement,"
 	}
 	shardHdr := ""
 	if sharded {
@@ -1091,7 +1185,7 @@ func (rs Results) CSV() string {
 		svcHdr = "arrival,rate,hedge,"
 		svcMetricHdr = "offered,goodput,svc_mean,svc_p50,svc_p99,svc_p999,hedged,hedge_wins,cancelled,svc_failed,svc_drained,"
 	}
-	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + shardHdr + faultHdr + fabricHdr + svcHdr +
+	b.WriteString("design,topology,routing,mode,size_bytes,hops,core,seed," + nodesHdr + placeHdr + shardHdr + faultHdr + fabricHdr + svcHdr +
 		"latency_cycles,latency_ns,app_gbps,noc_gbps,bisection_gbps,stable," +
 		"completed,wl_mean_cycles,wl_p50,wl_p95,wl_p99,wl_drained," + svcMetricHdr + "error\n")
 	for _, r := range rs {
@@ -1099,6 +1193,10 @@ func (rs Results) CSV() string {
 		nodesCol := ""
 		if multi {
 			nodesCol = fmt.Sprintf("%d,", p.nodeCount())
+		}
+		placeCol := ""
+		if placed {
+			placeCol = fmt.Sprintf("%s,", p.placement())
 		}
 		shardCol := ""
 		if sharded {
@@ -1124,9 +1222,9 @@ func (rs Results) CSV() string {
 				svcCol = ",,,"
 			}
 		}
-		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s%s%s",
+		fmt.Fprintf(&b, "%v,%v,%v,%v,%d,%d,%d,%d,%s%s%s%s%s%s",
 			p.Config.Design, p.Config.Topology, p.Config.Routing, p.modeLabel(),
-			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, shardCol, faultCol, fabricCol, svcCol)
+			p.Size, p.Hops, p.Core, p.Config.Seed, nodesCol, placeCol, shardCol, faultCol, fabricCol, svcCol)
 		switch {
 		case r.Sync != nil:
 			fmt.Fprintf(&b, "%.2f,%.2f,,,,,,,,,,,", r.Sync.MeanCycles, r.Sync.MeanNS)
@@ -1171,7 +1269,7 @@ type resultJSON struct {
 	Seed      uint64          `json:"seed"`
 	Nodes     int             `json:"nodes,omitempty"`          // > 1: a real Cluster ran this point
 	Shards    int             `json:"shards,omitempty"`         // > 1: the cluster ran on this many parallel engines
-	Placement string          `json:"placement,omitempty"`      // "torus": real 3D-torus coordinates
+	Placement string          `json:"placement,omitempty"`      // named policy ("identity", "clustered", ...): real 3D-torus coordinates
 	DropRate  float64         `json:"drop_rate,omitempty"`      // > 0: fabric fault injection was active
 	Window    int             `json:"window,omitempty"`         // > 0: QP credit window cap
 	Fabric    string          `json:"fabric_routing,omitempty"` // "dor"/"adaptive": congestion fabric active
@@ -1213,8 +1311,8 @@ func (rs Results) JSON() ([]byte, error) {
 		}
 		if n := p.nodeCount(); n > 1 {
 			out[i].Nodes = n
-			if p.TorusPlacement {
-				out[i].Placement = "torus"
+			if pol := p.placement(); !pol.IsZero() {
+				out[i].Placement = pol.String()
 			}
 			if p.Shards > 1 {
 				out[i].Shards = p.Shards
